@@ -1,0 +1,57 @@
+// Extension bench: what slot-level pipelining would buy. The paper's SNC
+// issues one spike wave at a time (the IFC membranes of layer l+1 must
+// settle on slot s before slot s+1's currents arrive); streaming IFCs
+// could overlap slots across stages. The discrete-event timing simulator
+// quantifies the gap for every model and bit width.
+#include <cstdio>
+
+#include "models/model_zoo.h"
+#include "report/table.h"
+#include "snc/cost_model.h"
+#include "snc/spike.h"
+#include "snc/timing_sim.h"
+
+using namespace qsnc;
+
+int main() {
+  std::printf("== Extension: sequential-wave vs slot-pipelined timing ==\n");
+  report::Table t({"model", "bits", "sequential (MHz)", "pipelined (MHz)",
+                   "gain", "seq. utilization", "pipe. utilization"});
+
+  struct ModelCase {
+    const char* name;
+    nn::Network (*factory)(nn::Rng&);
+    nn::Shape input;
+  };
+  const ModelCase cases[] = {
+      {"Lenet", models::make_lenet, {1, 28, 28}},
+      {"Alexnet", models::make_alexnet, {3, 32, 32}},
+      {"Resnet", models::make_resnet, {3, 32, 32}},
+  };
+
+  for (const ModelCase& mc : cases) {
+    nn::Rng rng(1);
+    nn::Network net = mc.factory(rng);
+    const snc::ModelMapping m = snc::map_network(net, mc.name, mc.input, 32);
+    for (int bits : {3, 4, 8}) {
+      snc::TimingConfig seq;
+      snc::TimingConfig pipe;
+      pipe.discipline = snc::PipelineDiscipline::kSlotPipelined;
+      const snc::TimingResult rs =
+          snc::simulate_window(m.layer_count(), snc::window_slots(bits), seq);
+      const snc::TimingResult rp = snc::simulate_window(
+          m.layer_count(), snc::window_slots(bits), pipe);
+      t.add_row({mc.name, std::to_string(bits),
+                 report::fmt(rs.speed_mhz, 2), report::fmt(rp.speed_mhz, 2),
+                 report::fmt(rp.speed_mhz / rs.speed_mhz, 1) + "x",
+                 report::pct(rs.utilization, 1),
+                 report::pct(rp.utilization, 1)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("pipelining approaches an L-fold gain for long windows "
+              "(8-bit) and helps least exactly where the proposed low-bit "
+              "designs already live — quantization and pipelining attack "
+              "the same bottleneck.\n");
+  return 0;
+}

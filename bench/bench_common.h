@@ -1,0 +1,115 @@
+// Shared workload and configuration for the table/figure bench binaries.
+//
+// Real-data hook: when QSNC_MNIST_DIR / QSNC_CIFAR_DIR point at directories
+// containing the original datasets (IDX / binary batches), the benches run
+// on them; otherwise they fall back to the synthetic generators (see
+// DESIGN.md for the substitution rationale).
+//
+// QSNC_BENCH_FAST=1 shrinks every workload (~4x fewer images, fewer
+// epochs) for smoke runs; reported numbers then carry more seed noise.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/qat_pipeline.h"
+#include "data/idx_loader.h"
+#include "data/synthetic_cifar.h"
+#include "data/synthetic_mnist.h"
+#include "report/table.h"
+
+namespace qsnc::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("QSNC_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+struct Workload {
+  data::DatasetPtr train;
+  data::DatasetPtr test;
+};
+
+inline Workload mnist_workload() {
+  if (const char* dir = std::getenv("QSNC_MNIST_DIR")) {
+    auto train = data::try_load_mnist(dir, true);
+    auto test = data::try_load_mnist(dir, false);
+    if (train && test) {
+      std::printf("[data] real MNIST from %s\n", dir);
+      return {*train, *test};
+    }
+  }
+  data::SyntheticMnistConfig tc;
+  tc.num_samples = fast_mode() ? 400 : 1200;
+  tc.seed = 1;
+  data::SyntheticMnistConfig ec = tc;
+  ec.num_samples = fast_mode() ? 150 : 400;
+  ec.seed = 999;
+  return {data::make_synthetic_mnist(tc), data::make_synthetic_mnist(ec)};
+}
+
+inline Workload cifar_workload() {
+  if (const char* dir = std::getenv("QSNC_CIFAR_DIR")) {
+    auto train = data::try_load_cifar10(dir, true);
+    auto test = data::try_load_cifar10(dir, false);
+    if (train && test) {
+      std::printf("[data] real CIFAR-10 from %s\n", dir);
+      return {*train, *test};
+    }
+  }
+  data::SyntheticCifarConfig tc;
+  tc.num_samples = fast_mode() ? 300 : 1000;
+  tc.seed = 1;
+  data::SyntheticCifarConfig ec = tc;
+  ec.num_samples = fast_mode() ? 120 : 300;
+  ec.seed = 999;
+  return {data::make_synthetic_cifar(tc), data::make_synthetic_cifar(ec)};
+}
+
+inline core::TrainConfig lenet_train_config() {
+  core::TrainConfig cfg;
+  cfg.epochs = fast_mode() ? 6 : 14;
+  cfg.lr = 5e-4f;
+  return cfg;
+}
+
+inline core::TrainConfig alexnet_train_config() {
+  core::TrainConfig cfg;
+  cfg.epochs = fast_mode() ? 5 : 14;
+  cfg.lr = 1e-3f;
+  return cfg;
+}
+
+inline core::TrainConfig resnet_train_config() {
+  core::TrainConfig cfg;
+  cfg.epochs = fast_mode() ? 4 : 10;
+  cfg.lr = 1e-2f;
+  return cfg;
+}
+
+/// Prints one experiment block in the paper's Table 2/3/4 layout.
+inline void print_experiment(const core::ExperimentResult& r,
+                             const char* paper_row_note) {
+  std::printf("\n%s on %s  (ideal fp32: %s", r.model.c_str(),
+              r.dataset.c_str(), report::pct(r.ideal_acc).c_str());
+  if (r.dfp8_acc > 0.0) {
+    std::printf(", 8-bit dynamic fixed point [23]: %s",
+                report::pct(r.dfp8_acc).c_str());
+  }
+  std::printf(")\n");
+
+  report::Table t({"bits", "w/o (direct)", "w/ (proposed)", "Recovered Acc.",
+                   "Acc. Drop"});
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    t.add_row({std::to_string(r.rows[i].bits) + "-bit",
+               report::pct(r.rows[i].acc_without),
+               report::pct(r.rows[i].acc_with),
+               report::fmt(r.recovered_pp(i), 2) + " pp",
+               report::fmt(-r.drop_pp(i), 2) + " pp"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("paper: %s\n", paper_row_note);
+}
+
+}  // namespace qsnc::bench

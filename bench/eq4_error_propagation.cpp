@@ -1,0 +1,46 @@
+// Empirical validation of the paper's Eq 4 / Eq 5 argument: with Neuron
+// Convergence the per-layer quantization error stays flat with depth
+// (sparse, range-confined signals stop error transmission); with plain
+// training the relative error compounds layer over layer. LeNet, 4-bit.
+#include "bench_common.h"
+#include "core/error_propagation.h"
+#include "core/neuron_convergence.h"
+#include "models/model_zoo.h"
+
+using namespace qsnc;
+
+int main() {
+  std::printf("== Eq 4/5 check: per-layer quantization error propagation "
+              "==\n");
+  const bench::Workload mnist = bench::mnist_workload();
+  const core::TrainConfig cfg = bench::lenet_train_config();
+  const int bits = 4;
+
+  auto analyze = [&](bool with_nc) {
+    nn::Rng rng(cfg.seed);
+    nn::Network net = models::make_lenet(rng);
+    core::NeuronConvergenceRegularizer reg(bits, 0.1f);
+    core::train(net, *mnist.train, cfg, with_nc ? &reg : nullptr,
+                with_nc ? bits : 0, cfg.epochs - 2);
+    return core::analyze_error_propagation(net, *mnist.test, bits,
+                                           cfg.input_scale);
+  };
+
+  const auto plain = analyze(false);
+  const auto nc = analyze(true);
+
+  report::Table t({"signal layer", "plain rel.err", "plain sparsity",
+                   "NC rel.err", "NC sparsity"});
+  for (size_t i = 0; i < plain.size(); ++i) {
+    t.add_row({std::to_string(i), report::pct(plain[i].relative_error, 1),
+               report::pct(plain[i].sparsity, 1),
+               report::pct(nc[i].relative_error, 1),
+               report::pct(nc[i].sparsity, 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("Eq 4's claim: the NC column's relative error should stay "
+              "flat (or shrink) with depth while the plain column "
+              "compounds; NC signals are also markedly sparser (the Eq 5 "
+              "premise).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces paper Figure 2 (textually): how a convolutional layer deploys
+// onto memristor crossbars — filter j of layer i maps to bit line j, the
+// receptive-field taps occupy s*s*d word lines, and Eq 1 tiles the logical
+// matrix over 32x32 arrays. Prints the full mapping for every layer of the
+// LeNet example plus the Eq 1 arithmetic for all three models.
+#include <cstdio>
+
+#include "models/model_zoo.h"
+#include "report/table.h"
+#include "snc/mapper.h"
+
+using namespace qsnc;
+
+namespace {
+
+const char* kind_name(snc::LayerKind kind) {
+  return kind == snc::LayerKind::kConv ? "conv" : "fc";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 2: deploying layers on crossbars ==\n\n");
+
+  nn::Rng rng(1);
+  nn::Network lenet = models::make_lenet(rng);
+  const snc::ModelMapping m = snc::map_network(lenet, "Lenet", {1, 28, 28},
+                                               32);
+
+  std::printf("LeNet, crossbar size t = 32:\n");
+  report::Table t({"layer", "kind", "filters J", "kernel s", "depth d",
+                   "rows s*s*d", "cols J", "Eq1 tiles"});
+  for (const snc::LayerMapping& l : m.layers) {
+    t.add_row({l.desc.label, kind_name(l.desc.kind),
+               std::to_string(l.desc.filters), std::to_string(l.desc.kernel),
+               std::to_string(l.desc.in_channels), std::to_string(l.rows),
+               std::to_string(l.cols), std::to_string(l.crossbars)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // The conv2 tiling spelled out like the figure: BL_j holds filter j.
+  const snc::LayerMapping& conv2 = m.layers[1];
+  std::printf("conv2 in detail: each of the %lld filters (5x5x%lld taps) "
+              "occupies one bit line;\n%lld word lines split over "
+              "ceil(%lld/32) = %lld row tiles x ceil(%lld/32) = %lld column "
+              "tiles -> %lld crossbars.\n\n",
+              static_cast<long long>(conv2.cols),
+              static_cast<long long>(conv2.desc.in_channels),
+              static_cast<long long>(conv2.rows),
+              static_cast<long long>(conv2.rows),
+              static_cast<long long>((conv2.rows + 31) / 32),
+              static_cast<long long>(conv2.cols),
+              static_cast<long long>((conv2.cols + 31) / 32),
+              static_cast<long long>(conv2.crossbars));
+
+  report::Table totals({"model", "layers", "total rows", "total cols",
+                        "total crossbars (Eq 1)"});
+  struct Case {
+    const char* name;
+    nn::Network (*factory)(nn::Rng&);
+    nn::Shape input;
+  };
+  const Case cases[] = {{"Lenet", models::make_lenet, {1, 28, 28}},
+                        {"Alexnet", models::make_alexnet, {3, 32, 32}},
+                        {"Resnet", models::make_resnet, {3, 32, 32}}};
+  for (const Case& c : cases) {
+    nn::Rng r2(1);
+    nn::Network net = c.factory(r2);
+    const snc::ModelMapping mm = snc::map_network(net, c.name, c.input, 32);
+    totals.add_row({c.name, std::to_string(mm.layer_count()),
+                    std::to_string(mm.total_rows()),
+                    std::to_string(mm.total_cols()),
+                    std::to_string(mm.total_crossbars())});
+  }
+  std::printf("%s", totals.to_string().c_str());
+  return 0;
+}

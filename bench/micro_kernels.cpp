@@ -1,0 +1,120 @@
+// Kernel-level micro-benchmarks (google-benchmark): GEMM, im2col,
+// convolution forward, crossbar reads, quantizers, spike coding.
+#include <benchmark/benchmark.h>
+
+#include "core/fixed_point.h"
+#include "core/weight_clustering.h"
+#include "nn/gemm.h"
+#include "nn/im2col.h"
+#include "nn/layers/conv2d.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+#include "snc/crossbar.h"
+#include "snc/spike.h"
+
+using namespace qsnc;
+
+namespace {
+
+std::vector<float> random_vec(int64_t n, uint64_t seed) {
+  nn::Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0f, 1.0f);
+  return v;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    nn::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const int64_t c = 16, h = 32, w = 32, k = 3;
+  const auto img = random_vec(c * h * w, 3);
+  std::vector<float> cols(static_cast<size_t>(c * k * k * h * w));
+  for (auto _ : state) {
+    nn::im2col(img.data(), c, h, w, k, k, 1, 1, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_ConvForward(benchmark::State& state) {
+  nn::Rng rng(4);
+  nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+  nn::Tensor x({1, 16, 32, 32});
+  for (int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0f, 1.0f);
+  for (auto _ : state) {
+    nn::Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_CrossbarRead(benchmark::State& state) {
+  snc::MemristorConfig cfg;
+  snc::Crossbar xb(32, 32, cfg);
+  nn::Rng rng(5);
+  for (int64_t r = 0; r < 32; ++r) {
+    for (int64_t c = 0; c < 32; ++c) {
+      xb.program_cell(r, c, rng.uniform_int(0, 8), 8);
+    }
+  }
+  std::vector<double> volts(32, 0.5);
+  for (auto _ : state) {
+    auto currents = xb.read_columns(volts);
+    benchmark::DoNotOptimize(currents.data());
+  }
+}
+BENCHMARK(BM_CrossbarRead);
+
+void BM_SignalQuantizer(benchmark::State& state) {
+  core::IntegerSignalQuantizer q(4);
+  const auto values = random_vec(4096, 6);
+  std::vector<float> out(values.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = q.apply(values[i] * 20.0f);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SignalQuantizer);
+
+void BM_WeightClustering(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto base = random_vec(n, 7);
+  for (auto _ : state) {
+    std::vector<float> w = base;
+    core::WeightClusterConfig cfg;
+    cfg.bits = 4;
+    auto r = core::cluster_weight_set({w.data()}, {n}, cfg);
+    benchmark::DoNotOptimize(r.scale);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WeightClustering)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RateEncode(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int64_t v = 0; v <= snc::window_slots(bits); ++v) {
+      auto train = snc::rate_encode(v, bits);
+      benchmark::DoNotOptimize(train.data());
+    }
+  }
+}
+BENCHMARK(BM_RateEncode)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

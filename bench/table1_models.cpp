@@ -1,0 +1,79 @@
+// Reproduces paper Table 1: the model zoo and its ideal (fp32) accuracy.
+//
+// The structural columns (input size, conv/FC layer counts, weight counts)
+// come from the full-spec builders; the ideal accuracy is measured by
+// training the 1-core variants (LeNet is full-spec; AlexNet/ResNet use the
+// mini widths — see DESIGN.md).
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "models/model_zoo.h"
+
+using namespace qsnc;
+
+namespace {
+
+std::string shape_str(const nn::Shape& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out += "x";
+    out += std::to_string(s[i]);
+  }
+  return out;
+}
+
+double train_ideal(nn::Network (*factory)(nn::Rng&),
+                   const core::TrainConfig& cfg,
+                   const bench::Workload& work) {
+  nn::Rng rng(cfg.seed);
+  nn::Network net = factory(rng);
+  core::train(net, *work.train, cfg);
+  return core::evaluate_accuracy(net, *work.test, cfg.input_scale);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1: Neural network models and ideal accuracy ==\n");
+  const bench::Workload mnist = bench::mnist_workload();
+  const bench::Workload cifar = bench::cifar_workload();
+
+  struct Row {
+    models::ModelSpec spec;
+    nn::Network (*full)(nn::Rng&);
+    nn::Network (*mini)(nn::Rng&);
+    core::TrainConfig cfg;
+    const bench::Workload* work;
+    const char* paper_weights;
+    const char* paper_acc;
+  };
+  const Row rows[] = {
+      {models::lenet_spec(), models::make_lenet, models::make_lenet_mini,
+       bench::lenet_train_config(), &mnist, "7e3", "98.16%"},
+      {models::alexnet_spec(), models::make_alexnet,
+       models::make_alexnet_mini, bench::alexnet_train_config(), &cifar,
+       "3.4e5", "85.35%"},
+      {models::resnet_spec(), models::make_resnet, models::make_resnet_mini,
+       bench::resnet_train_config(), &cifar, "1.2e7", "93.05%"},
+  };
+
+  report::Table t({"Model", "Dataset", "Input Size", "Conv Layers",
+                   "FC Layers", "Weights (full)", "paper", "Ideal Acc.",
+                   "paper"});
+  for (const Row& row : rows) {
+    nn::Rng rng(1);
+    nn::Network full = row.full(rng);
+    const double acc = train_ideal(row.mini, row.cfg, *row.work);
+    char weights[32];
+    std::snprintf(weights, sizeof(weights), "%.2g",
+                  static_cast<double>(full.num_weights()));
+    t.add_row({row.spec.name, row.spec.dataset,
+               shape_str(row.spec.input_shape),
+               std::to_string(row.spec.conv_layers),
+               std::to_string(row.spec.fc_layers), weights,
+               row.paper_weights, report::pct(acc), row.paper_acc});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("note: accuracy measured on the 1-core training variants and "
+              "the offline dataset (synthetic unless QSNC_*_DIR is set).\n");
+  return 0;
+}

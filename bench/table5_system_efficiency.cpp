@@ -1,0 +1,80 @@
+// Reproduces paper Table 5: memristor-based SNC system speed / energy /
+// area for the three full-spec models at the 8-bit dynamic fixed point
+// baseline versus the proposed 4-bit and 3-bit designs.
+//
+// The cost model's constants are calibrated once on the 8-bit LeNet row
+// (see snc/cost_model.h); every other cell is predicted.
+#include <cstdio>
+
+#include "models/model_zoo.h"
+#include "report/table.h"
+#include "snc/cost_model.h"
+
+using namespace qsnc;
+
+namespace {
+
+struct PaperRow {
+  double speed, speedup, energy, saving, area, area_saving;
+};
+
+void emit_model(const char* name, nn::Network (*factory)(nn::Rng&),
+                const nn::Shape& input, const PaperRow paper[3],
+                report::Table& t) {
+  nn::Rng rng(1);
+  nn::Network net = factory(rng);
+  const snc::ModelMapping mapping = snc::map_network(net, name, input, 32);
+
+  const snc::SystemCost base = snc::evaluate_cost(mapping, 8, 8);
+  const snc::SystemCost p4 = snc::evaluate_cost(mapping, 4, 4);
+  const snc::SystemCost p3 = snc::evaluate_cost(mapping, 3, 3);
+
+  auto row = [&](const char* tag, const snc::SystemCost& c,
+                 const PaperRow& p, bool is_base) {
+    const snc::CostComparison cmp = snc::compare_cost(base, c);
+    t.add_row({std::string(name) + " " + tag,
+               std::to_string(c.layers),
+               report::fmt(c.speed_mhz, 2),
+               is_base ? "-" : report::fmt(cmp.speedup, 1) + "x",
+               is_base ? "-" : report::fmt(p.speedup, 1) + "x",
+               report::fmt(c.energy_uj, c.energy_uj < 10 ? 2 : 0),
+               is_base ? "-" : report::fmt(cmp.energy_saving_pct, 1) + "%",
+               is_base ? "-" : report::fmt(p.saving, 1) + "%",
+               report::fmt(c.area_mm2, 2),
+               is_base ? "-" : report::fmt(cmp.area_saving_pct, 1) + "%",
+               is_base ? "-" : report::fmt(p.area_saving, 1) + "%"});
+  };
+  row("8-bit [23]", base, paper[0], true);
+  row("4-bit", p4, paper[1], false);
+  row("3-bit", p3, paper[2], false);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 5: Memristor-based SNC system evaluation ==\n");
+  report::Table t({"model", "Layers", "Speed (MHz)", "Speedup",
+                   "paper", "Energy (uJ)", "E. Saving", "paper",
+                   "Area (mm2)", "A. Saving", "paper"});
+
+  const PaperRow lenet[3] = {{0.64, 0, 4.7, 0, 1.48, 0},
+                             {8.93, 13.9, 0.57, 87.9, 1.04, 29.7},
+                             {15.63, 24.4, 0.27, 94.3, 0.93, 37.2}};
+  const PaperRow alexnet[3] = {{0.27, 0, 337.0, 0, 34.3, 0},
+                               {2.66, 9.8, 36.9, 89.1, 24.0, 30.0},
+                               {3.79, 11.8, 26.3, 92.2, 21.4, 37.6}};
+  const PaperRow resnet[3] = {{0.11, 0, 19200, 0, 937.3, 0},
+                              {1.38, 12.5, 1500, 92.2, 656.2, 30.0},
+                              {2.20, 20.0, 935, 95.0, 585.9, 37.5}};
+
+  emit_model("Lenet", models::make_lenet, {1, 28, 28}, lenet, t);
+  emit_model("Alexnet", models::make_alexnet, {3, 32, 32}, alexnet, t);
+  emit_model("Resnet", models::make_resnet, {3, 32, 32}, resnet, t);
+
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\ncalibration: per-component constants fitted to the 8-bit LeNet row "
+      "(paper: 0.64 MHz / 4.7 uJ / 1.48 mm2); all other cells predicted.\n"
+      "8-bit rows use 2 crossbar slices per weight (4-bit devices).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// CIFAR-style workload: run the paper's full proposed flow on the AlexNet
+// model — Neuron Convergence training, Weight Clustering, combined
+// quantized fine-tune — and sweep the deployment bit width.
+//
+//   ./cifar_qat [train_size] [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fixed_point.h"
+#include "core/metrics.h"
+#include "core/neuron_convergence.h"
+#include "core/qat_pipeline.h"
+#include "core/weight_clustering.h"
+#include "data/synthetic_cifar.h"
+#include "models/model_zoo.h"
+#include "nn/serialize.h"
+#include "report/table.h"
+
+using namespace qsnc;
+
+int main(int argc, char** argv) {
+  const int64_t train_size = argc > 1 ? std::atoll(argv[1]) : 800;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  data::SyntheticCifarConfig tc;
+  tc.num_samples = train_size;
+  tc.seed = 1;
+  data::SyntheticCifarConfig ec = tc;
+  ec.num_samples = 250;
+  ec.seed = 999;
+  auto train_set = data::make_synthetic_cifar(tc);
+  auto test_set = data::make_synthetic_cifar(ec);
+
+  core::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.lr = 1e-3f;
+
+  // Ideal reference.
+  nn::Rng rng(tcfg.seed);
+  nn::Network net = models::make_alexnet_mini(rng);
+  const nn::NetworkState init = nn::snapshot(net);
+  std::printf("training ideal fp32 AlexNet (%lld weights, %d epochs)...\n",
+              static_cast<long long>(net.num_weights()), epochs);
+  core::train(net, *train_set, tcfg);
+  const double ideal =
+      core::evaluate_accuracy(net, *test_set, tcfg.input_scale);
+  std::printf("ideal accuracy: %s\n\n", report::pct(ideal).c_str());
+
+  report::Table t({"bits (M=N)", "proposed accuracy", "drop vs ideal"});
+  for (int bits : {5, 4, 3}) {
+    nn::restore(net, init);
+    core::NeuronConvergenceRegularizer reg(bits, 0.1f);
+    std::printf("bits=%d: NC training + clustering + fine-tune...\n", bits);
+    core::train(net, *train_set, tcfg, &reg, bits,
+                std::max(0, epochs - 2));
+
+    core::WeightClusterConfig wc;
+    wc.bits = bits;
+    const auto wcr = core::apply_weight_clustering(net, wc);
+    core::TrainConfig ft = tcfg;
+    ft.epochs = 1;
+    ft.lr = tcfg.lr * 0.1f;
+    core::fine_tune_quantized(net, *train_set, ft, bits, wc, wcr);
+
+    core::IntegerSignalQuantizer q(bits);
+    net.set_signal_quantizer(&q);
+    const double acc =
+        core::evaluate_accuracy(net, *test_set, tcfg.input_scale, bits);
+    net.set_signal_quantizer(nullptr);
+    t.add_row({std::to_string(bits), report::pct(acc),
+               report::fmt((ideal - acc) * 100.0, 2) + " pp"});
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  return 0;
+}

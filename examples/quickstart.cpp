@@ -1,0 +1,127 @@
+// Quickstart: train LeNet on the synthetic MNIST set, quantize it to 4-bit
+// signals + 4-bit weights with the paper's two techniques, and deploy it on
+// the memristor SNC simulator.
+//
+//   ./quickstart [train_size] [test_size] [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fixed_point.h"
+#include "core/metrics.h"
+#include "core/neuron_convergence.h"
+#include "core/qat_pipeline.h"
+#include "core/weight_clustering.h"
+#include "data/synthetic_mnist.h"
+#include "models/model_zoo.h"
+#include "snc/snc_system.h"
+
+using namespace qsnc;
+
+int main(int argc, char** argv) {
+  const int64_t train_size = argc > 1 ? std::atoll(argv[1]) : 1200;
+  const int64_t test_size = argc > 2 ? std::atoll(argv[2]) : 400;
+  const int epochs = argc > 3 ? std::atoi(argv[3]) : 15;
+  const int bits = 4;
+
+  std::printf("== qsnc quickstart: LeNet, %d-bit signals & weights ==\n",
+              bits);
+
+  // 1. Data.
+  data::SyntheticMnistConfig train_cfg;
+  train_cfg.num_samples = train_size;
+  train_cfg.seed = 1;
+  data::SyntheticMnistConfig test_cfg = train_cfg;
+  test_cfg.num_samples = test_size;
+  test_cfg.seed = 999;
+  auto train_set = data::make_synthetic_mnist(train_cfg);
+  auto test_set = data::make_synthetic_mnist(test_cfg);
+  std::printf("data: %lld train / %lld test images\n",
+              static_cast<long long>(train_set->size()),
+              static_cast<long long>(test_set->size()));
+
+  // 2. Ideal fp32 model.
+  core::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.verbose = true;
+  nn::Rng rng(tcfg.seed);
+  nn::Network net = models::make_lenet(rng);
+  std::printf("training ideal fp32 LeNet (%lld weights)...\n",
+              static_cast<long long>(net.num_weights()));
+  core::train(net, *train_set, tcfg);
+  const double ideal = core::evaluate_accuracy(net, *test_set,
+                                               tcfg.input_scale);
+  std::printf("ideal fp32 accuracy: %.2f%%\n", ideal * 100.0);
+
+  // 3. Direct quantization (the problem the paper addresses).
+  {
+    core::IntegerSignalQuantizer q(bits);
+    net.set_signal_quantizer(&q);
+    const double direct =
+        core::evaluate_accuracy(net, *test_set, tcfg.input_scale, bits);
+    net.set_signal_quantizer(nullptr);
+    std::printf("direct %d-bit signal quantization: %.2f%%\n", bits,
+                direct * 100.0);
+  }
+
+  // 4. The proposed method: Neuron Convergence + Weight Clustering.
+  nn::Rng rng2(tcfg.seed);
+  nn::Network qnet = models::make_lenet(rng2);
+  core::NcOptions nc;
+  core::NeuronConvergenceRegularizer reg(bits, nc.lambda, nc.alpha);
+  std::printf("training with Neuron Convergence (lambda=%.2f)...\n",
+              nc.lambda);
+  core::train(qnet, *train_set, tcfg, &reg, bits,
+              std::max(0, epochs - nc.qat_epochs));
+
+  core::WeightClusterConfig wc;
+  wc.bits = bits;
+  const auto wcr = core::apply_weight_clustering(qnet, wc);
+  std::printf("weight clustering: %zu per-layer grids, first scale=%.4f "
+              "mse=%.2e (%d Lloyd iters)\n",
+              wcr.size(), wcr[0].scale, wcr[0].mse, wcr[0].iterations);
+
+  core::IntegerSignalQuantizer q(bits);
+  qnet.set_signal_quantizer(&q);
+  const double quant =
+      core::evaluate_accuracy(qnet, *test_set, tcfg.input_scale, bits);
+  std::printf("proposed %d-bit accuracy: %.2f%% (drop %.2f pp)\n", bits,
+              quant * 100.0, (ideal - quant) * 100.0);
+  qnet.set_signal_quantizer(nullptr);
+
+  // 5. Deploy on the memristor SNC and check functional agreement.
+  snc::SncConfig scfg;
+  scfg.signal_bits = bits;
+  scfg.weight_bits = bits;
+  scfg.weight_scales.clear();
+  for (const auto& r : wcr) scfg.weight_scales.push_back(r.scale);
+  scfg.input_scale = tcfg.input_scale;
+  snc::SncSystem system(qnet, {1, 28, 28}, scfg);
+
+  qnet.set_signal_quantizer(&q);
+  int64_t agree = 0, snc_correct = 0;
+  const int64_t n_deploy = std::min<int64_t>(50, test_set->size());
+  snc::SncStats stats;
+  for (int64_t i = 0; i < n_deploy; ++i) {
+    const data::Sample s = test_set->get(i);
+    const int64_t snc_pred = system.infer(s.image, &stats);
+    nn::Tensor batch = s.image.reshape({1, 1, 28, 28});
+    batch *= tcfg.input_scale;
+    for (int64_t j = 0; j < batch.numel(); ++j) {
+      batch[j] = core::quantize_input_signal(batch[j], bits);
+    }
+    const int64_t net_pred = qnet.predict(batch)[0];
+    agree += snc_pred == net_pred ? 1 : 0;
+    snc_correct += snc_pred == s.label ? 1 : 0;
+  }
+  qnet.set_signal_quantizer(nullptr);
+  std::printf(
+      "SNC deployment: %lld/%lld predictions match the quantized net, "
+      "accuracy %.1f%% on %lld images (window=%lld slots, ~%lld spikes/img)\n",
+      static_cast<long long>(agree), static_cast<long long>(n_deploy),
+      100.0 * static_cast<double>(snc_correct) /
+          static_cast<double>(n_deploy),
+      static_cast<long long>(n_deploy),
+      static_cast<long long>(stats.window_slots),
+      static_cast<long long>(stats.total_spikes));
+  return 0;
+}

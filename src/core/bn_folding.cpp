@@ -1,0 +1,81 @@
+#include "core/bn_folding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/residual.h"
+
+namespace qsnc::core {
+
+namespace {
+
+// Absorbs bn's inference affine into conv, then neutralizes bn.
+void fold_pair(nn::Conv2d& conv, nn::BatchNorm2d& bn) {
+  if (conv.out_channels() != bn.channels()) {
+    throw std::invalid_argument("fold_batchnorm: channel mismatch");
+  }
+  const int64_t per_filter = conv.in_channels() * conv.kernel() * conv.kernel();
+  conv.enable_bias();
+  for (int64_t oc = 0; oc < conv.out_channels(); ++oc) {
+    float scale = 0.0f, shift = 0.0f;
+    bn.inference_affine(oc, &scale, &shift);
+    float* w = conv.weight().value.data() + oc * per_filter;
+    for (int64_t i = 0; i < per_filter; ++i) w[i] *= scale;
+    conv.bias().value[oc] = scale * conv.bias().value[oc] + shift;
+  }
+  bn.reset_to_identity();
+}
+
+}  // namespace
+
+bool is_identity_batchnorm(const nn::BatchNorm2d& bn, float tol) {
+  for (int64_t c = 0; c < bn.channels(); ++c) {
+    if (std::fabs(bn.gamma()[c] - 1.0f) > tol) return false;
+    if (std::fabs(bn.beta()[c]) > tol) return false;
+    if (std::fabs(bn.running_mean()[c]) > tol) return false;
+    if (std::fabs(bn.running_var()[c] - (1.0f - bn.eps())) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int fold_batchnorm(nn::Network& net) {
+  int folded = 0;
+  nn::Conv2d* pending_conv = nullptr;
+
+  for (size_t i = 0; i < net.size(); ++i) {
+    nn::Layer* layer = &net.layer(i);
+    if (auto* block = dynamic_cast<nn::ResidualBlock*>(layer)) {
+      fold_pair(block->conv1(), block->bn1());
+      fold_pair(block->conv2(), block->bn2());
+      if (block->proj_conv() != nullptr) {
+        fold_pair(*block->proj_conv(), *block->proj_bn());
+        ++folded;
+      }
+      folded += 2;
+      pending_conv = nullptr;
+      continue;
+    }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(layer)) {
+      pending_conv = conv;
+      continue;
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(layer)) {
+      if (pending_conv == nullptr) {
+        throw std::invalid_argument(
+            "fold_batchnorm: BatchNorm2d without a preceding Conv2d");
+      }
+      fold_pair(*pending_conv, *bn);
+      ++folded;
+      pending_conv = nullptr;
+      continue;
+    }
+    pending_conv = nullptr;
+  }
+  return folded;
+}
+
+}  // namespace qsnc::core

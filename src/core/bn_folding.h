@@ -1,0 +1,35 @@
+// Batch-norm folding for deployment.
+//
+// Crossbars realize only the linear map y = Wx (+ IFC bias offsets), so a
+// trained network's batch-norm layers must be folded into their preceding
+// convolutions before Weight Clustering and SNC programming:
+//
+//   BN(conv(x))_c = scale_c * (W_c * x + b_c) + shift_c
+//                 = (scale_c * W_c) * x + (scale_c * b_c + shift_c)
+//
+// with (scale, shift) taken from the BN inference affine (running stats).
+// After folding, the BN layer is reduced to the exact identity (gamma = 1,
+// beta = 0, mean = 0, var = 1 - eps) so the network still evaluates
+// normally and the SNC deployment can verify-and-skip it.
+//
+// Deployment order matters: fold FIRST, then cluster, then program — the
+// folded weights are what must land on the conductance grid.
+#pragma once
+
+#include "nn/layers/batchnorm.h"
+#include "nn/network.h"
+
+namespace qsnc::core {
+
+/// Folds every BatchNorm2d that directly follows a Conv2d — at the top
+/// level of `net` and inside ResidualBlock composites (conv1/bn1, conv2/
+/// bn2, and projection pairs). Returns the number of BN layers folded.
+/// Throws std::invalid_argument if a BatchNorm2d has no preceding conv to
+/// absorb it.
+int fold_batchnorm(nn::Network& net);
+
+/// True when the given BN layer is the exact identity a fold leaves
+/// behind (used by the SNC deployment to verify-and-skip).
+bool is_identity_batchnorm(const nn::BatchNorm2d& bn, float tol = 1e-5f);
+
+}  // namespace qsnc::core

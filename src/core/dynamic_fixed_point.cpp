@@ -1,0 +1,105 @@
+#include "core/dynamic_fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::core {
+
+namespace {
+
+/// Pass-through "quantizer" that records the max magnitude flowing through
+/// a signal boundary; used for range calibration.
+class RangeRecorder final : public nn::SignalQuantizer {
+ public:
+  float apply(float o) const override {
+    max_abs_ = std::max(max_abs_, std::fabs(o));
+    return o;
+  }
+  bool pass_through(float) const override { return true; }
+  float max_abs() const { return max_abs_; }
+
+ private:
+  mutable float max_abs_ = 0.0f;
+};
+
+}  // namespace
+
+DynamicFixedPointSignalQuantizer::DynamicFixedPointSignalQuantizer(
+    int total_bits, int frac_bits)
+    : step_(std::ldexp(1.0f, -frac_bits)),
+      max_value_((std::ldexp(1.0f, total_bits - 1) - 1.0f) *
+                 std::ldexp(1.0f, -frac_bits)) {
+  if (total_bits < 2 || total_bits > 32) {
+    throw std::invalid_argument("DFP signal quantizer: bad total_bits");
+  }
+  frac_bits_ = frac_bits;
+}
+
+float DynamicFixedPointSignalQuantizer::apply(float o) const {
+  const float q = std::round(o / step_) * step_;
+  return std::clamp(q, -max_value_, max_value_);
+}
+
+bool DynamicFixedPointSignalQuantizer::pass_through(float o) const {
+  return std::fabs(o) < max_value_ + 0.5f * step_;
+}
+
+int choose_fraction_bits(float max_abs, int total_bits) {
+  if (max_abs <= 0.0f) return total_bits - 1;
+  // Integer length covers ceil(log2(max_abs)) magnitude bits plus sign.
+  const int il = static_cast<int>(std::ceil(std::log2(max_abs)));
+  return total_bits - 1 - il;
+}
+
+float dfp_quantize(float v, int total_bits, int frac_bits) {
+  const float step = std::ldexp(1.0f, -frac_bits);
+  const float max_v =
+      (std::ldexp(1.0f, total_bits - 1) - 1.0f) * step;
+  return std::clamp(std::round(v / step) * step, -max_v, max_v);
+}
+
+std::vector<std::unique_ptr<DynamicFixedPointSignalQuantizer>>
+apply_dynamic_fixed_point(nn::Network& net, const data::InMemoryDataset& calib,
+                          const DfpConfig& config) {
+  // 1. Per-tensor weight quantization.
+  for (nn::Param* p : net.params()) {
+    if (p->value.rank() < 2) continue;
+    const int fl = choose_fraction_bits(p->value.abs_max(), config.total_bits);
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = dfp_quantize(p->value[i], config.total_bits, fl);
+    }
+  }
+
+  // 2. Signal range calibration via recording hooks.
+  std::vector<nn::ReLU*> signals = net.signal_layers();
+  std::vector<std::unique_ptr<RangeRecorder>> recorders;
+  recorders.reserve(signals.size());
+  for (nn::ReLU* r : signals) {
+    recorders.push_back(std::make_unique<RangeRecorder>());
+    r->set_quantizer(recorders.back().get());
+  }
+  const int64_t n = std::min<int64_t>(config.calibration_samples,
+                                      calib.size());
+  constexpr int64_t kBatch = 32;
+  for (int64_t first = 0; first < n; first += kBatch) {
+    const int64_t count = std::min<int64_t>(kBatch, n - first);
+    nn::Tensor batch = calib.batch_images(first, count);
+    if (config.input_scale != 1.0f) batch *= config.input_scale;
+    net.forward(batch, /*train=*/false);
+  }
+
+  // 3. Attach per-layer DFP quantizers.
+  std::vector<std::unique_ptr<DynamicFixedPointSignalQuantizer>> quantizers;
+  quantizers.reserve(signals.size());
+  for (size_t i = 0; i < signals.size(); ++i) {
+    const int fl =
+        choose_fraction_bits(recorders[i]->max_abs(), config.total_bits);
+    quantizers.push_back(std::make_unique<DynamicFixedPointSignalQuantizer>(
+        config.total_bits, fl));
+    signals[i]->set_quantizer(quantizers[i].get());
+  }
+  return quantizers;
+}
+
+}  // namespace qsnc::core

@@ -1,0 +1,66 @@
+// 8-bit dynamic fixed point baseline (Gysel et al., "Hardware-oriented
+// approximation of convolutional neural networks", ICLR'16 workshop — the
+// paper's comparison [23]).
+//
+// Dynamic fixed point keeps a *per-layer* binary point: each layer l stores
+// values as  +/- mantissa * 2^{-fl_l}  where the fractional length fl_l is
+// chosen from the observed range of that layer's weights / activations.
+// This recovers most fp32 accuracy at 8 bits but is exactly what the paper
+// argues is expensive on a spiking substrate: 8-bit signals need 255-slot
+// spike windows, and per-layer ranges break the uniform-hardware property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "nn/signal.h"
+
+namespace qsnc::core {
+
+/// Per-layer signal quantizer in dynamic fixed point.
+class DynamicFixedPointSignalQuantizer final : public nn::SignalQuantizer {
+ public:
+  /// `total_bits` includes the sign bit; `frac_bits` is the binary point.
+  DynamicFixedPointSignalQuantizer(int total_bits, int frac_bits);
+
+  float apply(float o) const override;
+  bool pass_through(float o) const override;
+
+  int frac_bits() const { return frac_bits_; }
+
+ private:
+  float step_;
+  float max_value_;
+  int frac_bits_ = 0;
+};
+
+/// Chooses the fractional length for `total_bits` so the largest observed
+/// magnitude fits: fl = total_bits - 1 - ceil(log2(max_abs)).
+int choose_fraction_bits(float max_abs, int total_bits);
+
+/// Quantizes one value to dynamic fixed point with the given lengths.
+float dfp_quantize(float v, int total_bits, int frac_bits);
+
+struct DfpConfig {
+  int total_bits = 8;
+  int64_t calibration_samples = 128;  // forward passes used to range signals
+  /// Pixel -> signal-unit scale applied to calibration batches; must match
+  /// the input convention the network was trained with (see
+  /// core/qat_pipeline.h), otherwise the calibrated ranges are off by the
+  /// same factor and every signal saturates at deployment.
+  float input_scale = 16.0f;
+};
+
+/// Applies the full Gysel-style conversion to a trained float network:
+///  1. per-layer weight quantization (each rank>=2 tensor gets its own fl),
+///  2. signal range calibration on `calib` samples,
+///  3. per-signal-layer quantizer attachment.
+/// The returned quantizer objects must outlive the network's use of them.
+std::vector<std::unique_ptr<DynamicFixedPointSignalQuantizer>>
+apply_dynamic_fixed_point(nn::Network& net, const data::InMemoryDataset& calib,
+                          const DfpConfig& config);
+
+}  // namespace qsnc::core

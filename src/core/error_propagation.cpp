@@ -1,0 +1,107 @@
+#include "core/error_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/fixed_point.h"
+#include "nn/layers/relu.h"
+
+namespace qsnc::core {
+
+namespace {
+
+/// Hook that optionally quantizes and always records the values flowing
+/// through one signal layer.
+class Tap final : public nn::SignalQuantizer {
+ public:
+  explicit Tap(const nn::SignalQuantizer* inner) : inner_(inner) {}
+
+  float apply(float o) const override {
+    const float out = inner_ != nullptr ? inner_->apply(o) : o;
+    values_.push_back(out);
+    return out;
+  }
+  bool pass_through(float o) const override {
+    return inner_ == nullptr || inner_->pass_through(o);
+  }
+
+  const std::vector<float>& values() const { return values_; }
+  void reset() { values_.clear(); }
+
+ private:
+  const nn::SignalQuantizer* inner_;
+  mutable std::vector<float> values_;
+};
+
+}  // namespace
+
+std::vector<LayerErrorStats> analyze_error_propagation(
+    nn::Network& net, const data::InMemoryDataset& data, int bits,
+    float input_scale, int64_t batch_size) {
+  if (data.size() == 0) {
+    throw std::invalid_argument("analyze_error_propagation: empty dataset");
+  }
+  const int64_t count = std::min<int64_t>(batch_size, data.size());
+  std::vector<nn::ReLU*> signals = net.signal_layers();
+
+  // Pass 1: fp32 reference.
+  std::vector<std::unique_ptr<Tap>> float_taps;
+  for (nn::ReLU* r : signals) {
+    float_taps.push_back(std::make_unique<Tap>(nullptr));
+    r->set_quantizer(float_taps.back().get());
+  }
+  {
+    nn::Tensor batch = data.batch_images(0, count);
+    batch *= input_scale;
+    net.forward(batch, false);
+  }
+
+  // Pass 2: quantized signals + input encoder.
+  IntegerSignalQuantizer q(bits);
+  std::vector<std::unique_ptr<Tap>> quant_taps;
+  for (size_t i = 0; i < signals.size(); ++i) {
+    quant_taps.push_back(std::make_unique<Tap>(&q));
+    signals[i]->set_quantizer(quant_taps.back().get());
+  }
+  {
+    nn::Tensor batch = data.batch_images(0, count);
+    batch *= input_scale;
+    for (int64_t i = 0; i < batch.numel(); ++i) {
+      batch[i] = quantize_input_signal(batch[i], bits);
+    }
+    net.forward(batch, false);
+  }
+  for (nn::ReLU* r : signals) r->set_quantizer(nullptr);
+
+  std::vector<LayerErrorStats> stats;
+  stats.reserve(signals.size());
+  for (size_t i = 0; i < signals.size(); ++i) {
+    const std::vector<float>& ref = float_taps[i]->values();
+    const std::vector<float>& got = quant_taps[i]->values();
+    if (ref.size() != got.size()) {
+      throw std::logic_error(
+          "analyze_error_propagation: tap size mismatch (network not "
+          "deterministic across passes?)");
+    }
+    LayerErrorStats s;
+    s.layer_index = static_cast<int>(i);
+    double sum_signal = 0.0, sum_err = 0.0;
+    int64_t sparse = 0;
+    for (size_t j = 0; j < ref.size(); ++j) {
+      sum_signal += std::fabs(ref[j]);
+      sum_err += std::fabs(got[j] - ref[j]);
+      if (ref[j] < 0.5f) ++sparse;
+    }
+    const double n = static_cast<double>(ref.size());
+    s.mean_signal = sum_signal / n;
+    s.mean_abs_error = sum_err / n;
+    s.relative_error = s.mean_abs_error / std::max(s.mean_signal, 1e-9);
+    s.sparsity = static_cast<double>(sparse) / n;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+}  // namespace qsnc::core

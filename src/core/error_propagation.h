@@ -1,0 +1,42 @@
+// Empirical check of the paper's error-propagation argument (Eq 4 / Eq 5).
+//
+// Sec 3.1 argues that after Neuron Convergence the quantization error
+// introduced at one layer barely propagates: the error transmitted to
+// layer i is a weighted sum of upstream errors (Eq 4), and with sparse,
+// range-confined signals (and correspondingly small weights) that sum
+// stays below the rounding threshold. Sec 3.2 makes the symmetric argument
+// for weight error against sparse signals (Eq 5).
+//
+// This module measures the claim directly: it runs the same batch through
+// the float network and the signal-quantized network, captures every
+// inter-layer signal via the hook interface, and reports per-layer error
+// and sparsity statistics. The proposed training should show flat (non-
+// amplifying) error depth profiles; plain training shows compounding
+// error — the fig_eq4 bench prints both side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+
+namespace qsnc::core {
+
+struct LayerErrorStats {
+  int layer_index = 0;           // position among signal layers
+  double mean_signal = 0.0;      // mean |float signal|
+  double mean_abs_error = 0.0;   // mean |quantized - float|
+  double relative_error = 0.0;   // mean_abs_error / max(mean_signal, eps)
+  double sparsity = 0.0;         // fraction of float signals below 0.5
+};
+
+/// Runs `batch_size` images from `data` through `net` twice — once in
+/// fp32, once with an M-bit integer signal quantizer (and input encoder)
+/// attached — and returns per-signal-layer error statistics in forward
+/// order. The network is left with hooks detached.
+std::vector<LayerErrorStats> analyze_error_propagation(
+    nn::Network& net, const data::InMemoryDataset& data, int bits,
+    float input_scale, int64_t batch_size = 64);
+
+}  // namespace qsnc::core

@@ -1,0 +1,52 @@
+#include "core/fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::core {
+
+IntegerSignalQuantizer::IntegerSignalQuantizer(int bits)
+    : bits_(bits), max_value_(static_cast<float>(signal_max(bits))) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("IntegerSignalQuantizer: bits out of range");
+  }
+}
+
+float IntegerSignalQuantizer::apply(float o) const {
+  const float r = std::round(o);
+  return std::clamp(r, 0.0f, max_value_);
+}
+
+bool IntegerSignalQuantizer::pass_through(float o) const {
+  // STE passes gradient where rounding is locally identity-like; values at
+  // or beyond the clip ceiling are saturated and receive no gradient.
+  return o < max_value_ + 0.5f;
+}
+
+float quantize_weight_to_grid(float w, int bits, float scale) {
+  if (scale <= 0.0f) {
+    throw std::invalid_argument("quantize_weight_to_grid: scale <= 0");
+  }
+  const float step = scale / static_cast<float>(int64_t{1} << bits);
+  const float kmax = static_cast<float>(int64_t{1} << (bits - 1));
+  const float k = std::clamp(std::round(w / step), -kmax, kmax);
+  return k * step;
+}
+
+int64_t weight_grid_index(float w, int bits, float scale) {
+  if (scale <= 0.0f) {
+    throw std::invalid_argument("weight_grid_index: scale <= 0");
+  }
+  const float step = scale / static_cast<float>(int64_t{1} << bits);
+  const int64_t kmax = int64_t{1} << (bits - 1);
+  const int64_t k = static_cast<int64_t>(std::llround(w / step));
+  return std::clamp(k, -kmax, kmax);
+}
+
+float quantize_input_signal(float x, int bits) {
+  const float max_v = static_cast<float>(signal_max(bits));
+  return std::clamp(std::round(x), 0.0f, max_v);
+}
+
+}  // namespace qsnc::core

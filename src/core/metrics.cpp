@@ -1,0 +1,80 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "core/fixed_point.h"
+
+namespace qsnc::core {
+
+double evaluate_accuracy(nn::Network& net,
+                         const data::InMemoryDataset& dataset,
+                         float input_scale, int input_bits,
+                         int64_t batch_size) {
+  const int64_t n = dataset.size();
+  int64_t correct = 0;
+  for (int64_t first = 0; first < n; first += batch_size) {
+    const int64_t count = std::min(batch_size, n - first);
+    nn::Tensor batch = dataset.batch_images(first, count);
+    if (input_scale != 1.0f) {
+      batch *= input_scale;
+    }
+    if (input_bits > 0) {
+      for (int64_t i = 0; i < batch.numel(); ++i) {
+        batch[i] = quantize_input_signal(batch[i], input_bits);
+      }
+    }
+    const std::vector<int64_t> pred = net.predict(batch);
+    for (int64_t i = 0; i < count; ++i) {
+      if (pred[static_cast<size_t>(i)] ==
+          dataset.labels()[static_cast<size_t>(first + i)]) {
+        ++correct;
+      }
+    }
+  }
+  return n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+}
+
+double accuracy_drop_pp(double a, double b) { return (a - b) * 100.0; }
+
+double EvalResult::recall(int64_t cls) const {
+  int64_t total = 0;
+  for (int64_t p = 0; p < num_classes; ++p) total += at(cls, p);
+  return total > 0 ? static_cast<double>(at(cls, cls)) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+EvalResult evaluate_detailed(nn::Network& net,
+                             const data::InMemoryDataset& dataset,
+                             float input_scale, int input_bits,
+                             int64_t batch_size) {
+  EvalResult result;
+  result.num_classes = dataset.num_classes();
+  result.confusion.assign(
+      static_cast<size_t>(result.num_classes * result.num_classes), 0);
+
+  const int64_t n = dataset.size();
+  int64_t correct = 0;
+  for (int64_t first = 0; first < n; first += batch_size) {
+    const int64_t count = std::min(batch_size, n - first);
+    nn::Tensor batch = dataset.batch_images(first, count);
+    if (input_scale != 1.0f) batch *= input_scale;
+    if (input_bits > 0) {
+      for (int64_t i = 0; i < batch.numel(); ++i) {
+        batch[i] = quantize_input_signal(batch[i], input_bits);
+      }
+    }
+    const std::vector<int64_t> pred = net.predict(batch);
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t truth = dataset.labels()[static_cast<size_t>(first + i)];
+      const int64_t p = pred[static_cast<size_t>(i)];
+      ++result.confusion[static_cast<size_t>(truth * result.num_classes + p)];
+      if (p == truth) ++correct;
+    }
+  }
+  result.accuracy =
+      n > 0 ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+  return result;
+}
+
+}  // namespace qsnc::core

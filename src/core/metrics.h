@@ -1,0 +1,45 @@
+// Accuracy evaluation helpers shared by the experiment pipeline, tests,
+// and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+
+namespace qsnc::core {
+
+/// Top-1 accuracy of `net` on `dataset` in [0, 1], evaluated in inference
+/// mode with whatever signal quantizers are currently attached.
+/// `input_scale` multiplies pixel values before the forward pass (the
+/// experiments feed inputs in signal units, see qat_pipeline.h); set
+/// `input_bits` > 0 to round-and-clamp scaled inputs like an SNC input
+/// encoder would.
+double evaluate_accuracy(nn::Network& net, const data::InMemoryDataset& dataset,
+                         float input_scale = 1.0f, int input_bits = 0,
+                         int64_t batch_size = 64);
+
+/// Accuracy drop a - b expressed in percentage points (positive = b worse).
+double accuracy_drop_pp(double a, double b);
+
+/// Detailed evaluation: top-1 accuracy plus the full confusion matrix.
+struct EvalResult {
+  double accuracy = 0.0;
+  int64_t num_classes = 0;
+  /// Row-major [num_classes x num_classes]: confusion[truth][predicted].
+  std::vector<int64_t> confusion;
+
+  int64_t at(int64_t truth, int64_t predicted) const {
+    return confusion[static_cast<size_t>(truth * num_classes + predicted)];
+  }
+  /// Per-class recall: correct / total of that true class (0 if absent).
+  double recall(int64_t cls) const;
+};
+
+/// Like evaluate_accuracy but also fills the confusion matrix.
+EvalResult evaluate_detailed(nn::Network& net,
+                             const data::InMemoryDataset& dataset,
+                             float input_scale = 1.0f, int input_bits = 0,
+                             int64_t batch_size = 64);
+
+}  // namespace qsnc::core

@@ -1,0 +1,71 @@
+#include "core/neuron_convergence.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::core {
+
+namespace {
+float sign(float v) { return v > 0.0f ? 1.0f : (v < 0.0f ? -1.0f : 0.0f); }
+}  // namespace
+
+NeuronConvergenceRegularizer::NeuronConvergenceRegularizer(int bits,
+                                                           float lambda,
+                                                           float alpha)
+    : bits_(bits),
+      lambda_(lambda),
+      alpha_(alpha),
+      threshold_(signal_range_threshold(bits)) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("NeuronConvergenceRegularizer: bad bits");
+  }
+  if (lambda < 0.0f || alpha < 0.0f) {
+    throw std::invalid_argument(
+        "NeuronConvergenceRegularizer: negative lambda/alpha");
+  }
+}
+
+float NeuronConvergenceRegularizer::penalty(float o) const {
+  const float a = std::fabs(o);
+  if (a >= threshold_) return (a - threshold_) + alpha_ * a;
+  return alpha_ * a;
+}
+
+float NeuronConvergenceRegularizer::grad(float o) const {
+  const float a = std::fabs(o);
+  const float s = sign(o);
+  if (a >= threshold_) return s * (1.0f + alpha_);
+  return s * alpha_;
+}
+
+L1SignalRegularizer::L1SignalRegularizer(float lambda) : lambda_(lambda) {
+  if (lambda < 0.0f) {
+    throw std::invalid_argument("L1SignalRegularizer: negative lambda");
+  }
+}
+
+float L1SignalRegularizer::penalty(float o) const { return std::fabs(o); }
+
+float L1SignalRegularizer::grad(float o) const { return sign(o); }
+
+TruncatedL1Regularizer::TruncatedL1Regularizer(int bits, float lambda)
+    : lambda_(lambda), threshold_(signal_range_threshold(bits)) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("TruncatedL1Regularizer: bad bits");
+  }
+  if (lambda < 0.0f) {
+    throw std::invalid_argument("TruncatedL1Regularizer: negative lambda");
+  }
+}
+
+float TruncatedL1Regularizer::penalty(float o) const {
+  const float a = std::fabs(o);
+  return a >= threshold_ ? a - threshold_ : 0.0f;
+}
+
+float TruncatedL1Regularizer::grad(float o) const {
+  const float a = std::fabs(o);
+  return a >= threshold_ ? sign(o) : 0.0f;
+}
+
+}  // namespace qsnc::core

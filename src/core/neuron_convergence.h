@@ -1,0 +1,69 @@
+// Neuron Convergence (paper Sec 3.1): the signal regularizer of Eq 2/3 that
+// trains inter-layer signals to be sparse AND confined to the uniform range
+// [0, 2^{M-1}], so that post-training integer rounding loses almost nothing.
+//
+// Also provides the comparison regularizer forms of Fig 3 / Fig 4:
+// l1-norm and truncated l1-norm.
+#pragma once
+
+#include "core/fixed_point.h"
+#include "nn/signal.h"
+
+namespace qsnc::core {
+
+/// The proposed regularizer (Eq 3):
+///   rg(o) = alpha*|o|                     for |o| <  2^{M-1}
+///   rg(o) = (|o| - 2^{M-1}) + alpha*|o|   for |o| >= 2^{M-1}
+/// alpha = 0.1 empirically in the paper.
+class NeuronConvergenceRegularizer final : public nn::SignalRegularizer {
+ public:
+  /// `bits` is the target signal bit width M; `lambda` the loss weight
+  /// (applied mean-normalized per layer, see nn::ReLU).
+  NeuronConvergenceRegularizer(int bits, float lambda, float alpha = 0.1f);
+
+  float penalty(float o) const override;
+  float grad(float o) const override;
+  float lambda() const override { return lambda_; }
+
+  int bits() const { return bits_; }
+  float alpha() const { return alpha_; }
+  float threshold() const { return threshold_; }
+
+ private:
+  int bits_;
+  float lambda_;
+  float alpha_;
+  float threshold_;  // 2^{M-1}
+};
+
+/// Plain l1-norm regularizer (Fig 3b / Fig 4b): rg(o) = |o|.
+class L1SignalRegularizer final : public nn::SignalRegularizer {
+ public:
+  explicit L1SignalRegularizer(float lambda);
+
+  float penalty(float o) const override;
+  float grad(float o) const override;
+  float lambda() const override { return lambda_; }
+
+ private:
+  float lambda_;
+};
+
+/// Truncated l1-norm regularizer (Fig 3c / Fig 4c): zero inside the range,
+/// |o| - 2^{M-1} beyond it. Restricts range without promoting sparsity.
+class TruncatedL1Regularizer final : public nn::SignalRegularizer {
+ public:
+  TruncatedL1Regularizer(int bits, float lambda);
+
+  float penalty(float o) const override;
+  float grad(float o) const override;
+  float lambda() const override { return lambda_; }
+
+  float threshold() const { return threshold_; }
+
+ private:
+  float lambda_;
+  float threshold_;
+};
+
+}  // namespace qsnc::core

@@ -1,0 +1,119 @@
+#include "core/related_baselines.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::core {
+
+namespace {
+
+float mean_abs(const nn::Tensor& w) {
+  if (w.numel() == 0) return 0.0f;
+  double acc = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) acc += std::fabs(w[i]);
+  return static_cast<float>(acc / static_cast<double>(w.numel()));
+}
+
+float mse_against(const nn::Tensor& a, const nn::Tensor& b) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(a.numel()));
+}
+
+template <typename Fn>
+std::vector<BaselineQuantResult> apply_to_synapses(nn::Network& net, Fn fn) {
+  std::vector<BaselineQuantResult> results;
+  for (nn::Param* p : net.params()) {
+    if (p->value.rank() >= 2) results.push_back(fn(&p->value));
+  }
+  return results;
+}
+
+}  // namespace
+
+BaselineQuantResult binarize_tensor(nn::Tensor* w) {
+  if (w == nullptr) throw std::invalid_argument("binarize_tensor: null");
+  const nn::Tensor original = *w;
+  const float s = mean_abs(*w);
+  for (int64_t i = 0; i < w->numel(); ++i) {
+    (*w)[i] = (*w)[i] >= 0.0f ? s : -s;
+  }
+  return {s, mse_against(original, *w)};
+}
+
+BaselineQuantResult ternarize_tensor(nn::Tensor* w) {
+  if (w == nullptr) throw std::invalid_argument("ternarize_tensor: null");
+  const nn::Tensor original = *w;
+  const float threshold = 0.7f * mean_abs(*w);
+
+  // Scale: mean magnitude over the weights that survive the dead zone.
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < w->numel(); ++i) {
+    const float a = std::fabs((*w)[i]);
+    if (a > threshold) {
+      acc += a;
+      ++count;
+    }
+  }
+  const float s =
+      count > 0 ? static_cast<float>(acc / static_cast<double>(count)) : 0.0f;
+
+  for (int64_t i = 0; i < w->numel(); ++i) {
+    const float v = (*w)[i];
+    (*w)[i] = std::fabs(v) > threshold ? (v > 0.0f ? s : -s) : 0.0f;
+  }
+  return {s, mse_against(original, *w)};
+}
+
+BaselineQuantResult power_of_two_tensor(nn::Tensor* w, int levels) {
+  if (w == nullptr) throw std::invalid_argument("power_of_two_tensor: null");
+  if (levels < 1 || levels > 32) {
+    throw std::invalid_argument("power_of_two_tensor: bad level count");
+  }
+  const nn::Tensor original = *w;
+  const float wmax = w->abs_max();
+  if (wmax == 0.0f) return {0.0f, 0.0f};
+
+  const int k_max = static_cast<int>(std::ceil(std::log2(wmax)));
+  const int k_min = k_max - levels + 1;
+  const float min_mag = std::ldexp(1.0f, k_min);
+
+  for (int64_t i = 0; i < w->numel(); ++i) {
+    const float v = (*w)[i];
+    const float a = std::fabs(v);
+    float q;
+    if (a < min_mag * 0.5f) {
+      q = 0.0f;  // nearer to zero than to the smallest magnitude
+    } else {
+      // Round the exponent to the nearest representable power.
+      int k = static_cast<int>(std::lround(std::log2(a)));
+      k = std::min(std::max(k, k_min), k_max);
+      q = std::ldexp(1.0f, k);
+    }
+    (*w)[i] = v >= 0.0f ? q : -q;
+  }
+  return {std::ldexp(1.0f, k_max), mse_against(original, *w)};
+}
+
+std::vector<BaselineQuantResult> apply_binary_weights(nn::Network& net) {
+  return apply_to_synapses(net,
+                           [](nn::Tensor* w) { return binarize_tensor(w); });
+}
+
+std::vector<BaselineQuantResult> apply_ternary_weights(nn::Network& net) {
+  return apply_to_synapses(net,
+                           [](nn::Tensor* w) { return ternarize_tensor(w); });
+}
+
+std::vector<BaselineQuantResult> apply_power_of_two_weights(nn::Network& net,
+                                                            int levels) {
+  return apply_to_synapses(net, [levels](nn::Tensor* w) {
+    return power_of_two_tensor(w, levels);
+  });
+}
+
+}  // namespace qsnc::core

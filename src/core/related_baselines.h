@@ -1,0 +1,55 @@
+// Related-work weight quantization baselines the paper positions itself
+// against (Sec 1-2):
+//
+//  * Binary weights (Hubara et al., "Binarized neural networks" [18]; the
+//    TrueNorth deployment of [9]): w -> sign(w) * s with one scale per
+//    tensor (XNOR-net style s = mean|w|).
+//  * One-level precision synapses (Wang et al., ASP-DAC'17 [17]): ternary
+//    {-s, 0, +s} with a dead-zone threshold.
+//  * Integer power-of-two weights (Tann et al., DAC'17 [24]): w ->
+//    sign(w) * 2^k for integer k in a window chosen from the tensor range
+//    (multiplier-free hardware: shifts instead of multiplies).
+//
+// Each converts a trained float network in place, mirroring
+// apply_weight_clustering so the baseline bench can compare all grids under
+// identical conditions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace qsnc::core {
+
+/// Result of one baseline conversion (per synapse tensor).
+struct BaselineQuantResult {
+  float scale = 0.0f;  // s (binary/ternary) or top power-of-two magnitude
+  float mse = 0.0f;    // mean squared weight error
+};
+
+/// Binary: w -> sign(w) * s, s = mean|w| of the tensor (XNOR-net scale,
+/// which minimizes the L2 error for the sign pattern).
+BaselineQuantResult binarize_tensor(nn::Tensor* w);
+
+/// Ternary: w -> {-s, 0, +s}. The dead-zone threshold t = 0.7 * mean|w|
+/// and s = mean of |w| over the surviving weights (Ternary Weight Networks
+/// heuristic, matching [17]'s one-level synapse).
+BaselineQuantResult ternarize_tensor(nn::Tensor* w);
+
+/// Power-of-two: w -> sign(w) * 2^k, k integer in [k_max - levels + 1,
+/// k_max] where 2^{k_max} is the smallest power covering max|w|; values
+/// below the smallest representable magnitude round to zero when that is
+/// nearer. `levels` is the number of exponent steps (paper [24] uses the
+/// 8-bit dynamic fixed point activations with such weights).
+BaselineQuantResult power_of_two_tensor(nn::Tensor* w, int levels);
+
+/// Network-level application (rank >= 2 tensors only, like
+/// apply_weight_clustering). Returns one result per synapse tensor.
+std::vector<BaselineQuantResult> apply_binary_weights(nn::Network& net);
+std::vector<BaselineQuantResult> apply_ternary_weights(nn::Network& net);
+std::vector<BaselineQuantResult> apply_power_of_two_weights(nn::Network& net,
+                                                            int levels);
+
+}  // namespace qsnc::core

@@ -1,0 +1,153 @@
+#include "core/weight_clustering.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/fixed_point.h"
+
+namespace qsnc::core {
+
+namespace {
+
+// Applies one assignment + update sweep; returns the updated scale and the
+// squared error under the *previous* scale's assignment.
+struct SweepResult {
+  double numerator = 0.0;    // sum w_i * k_i
+  double denominator = 0.0;  // sum k_i^2
+  double sq_error = 0.0;
+  int64_t count = 0;
+};
+
+SweepResult assign_sweep(const std::vector<float*>& values,
+                         const std::vector<int64_t>& counts, int bits,
+                         float scale) {
+  SweepResult r;
+  const float step = scale / static_cast<float>(int64_t{1} << bits);
+  for (size_t t = 0; t < values.size(); ++t) {
+    const float* w = values[t];
+    for (int64_t i = 0; i < counts[t]; ++i) {
+      const int64_t k = weight_grid_index(w[i], bits, scale);
+      const double q = static_cast<double>(k) * step;
+      const double e = w[i] - q;
+      r.numerator += static_cast<double>(w[i]) * static_cast<double>(k);
+      r.denominator += static_cast<double>(k) * static_cast<double>(k);
+      r.sq_error += e * e;
+      ++r.count;
+    }
+  }
+  return r;
+}
+
+float max_abs(const std::vector<float*>& values,
+              const std::vector<int64_t>& counts) {
+  float m = 0.0f;
+  for (size_t t = 0; t < values.size(); ++t) {
+    for (int64_t i = 0; i < counts[t]; ++i) {
+      m = std::max(m, std::fabs(values[t][i]));
+    }
+  }
+  return m;
+}
+
+void write_quantized(const std::vector<float*>& values,
+                     const std::vector<int64_t>& counts, int bits,
+                     float scale) {
+  for (size_t t = 0; t < values.size(); ++t) {
+    for (int64_t i = 0; i < counts[t]; ++i) {
+      values[t][i] = quantize_weight_to_grid(values[t][i], bits, scale);
+    }
+  }
+}
+
+}  // namespace
+
+WeightClusterResult cluster_weight_set(const std::vector<float*>& values,
+                                       const std::vector<int64_t>& counts,
+                                       const WeightClusterConfig& config) {
+  if (values.size() != counts.size()) {
+    throw std::invalid_argument("cluster_weight_set: size mismatch");
+  }
+  if (config.bits < 1 || config.bits > 16) {
+    throw std::invalid_argument("cluster_weight_set: bits out of range");
+  }
+
+  WeightClusterResult result;
+  const float wmax = max_abs(values, counts);
+  if (wmax == 0.0f) {
+    // All-zero weights are already on the grid.
+    result.scale = 1.0f;
+    return result;
+  }
+
+  // Naive scale: map max|W| onto the top level 2^{N-1} * s / 2^N = s/2.
+  float scale = 2.0f * wmax;
+
+  if (config.optimize_scale) {
+    double prev_err = -1.0;
+    for (int it = 0; it < config.max_iterations; ++it) {
+      const SweepResult sweep =
+          assign_sweep(values, counts, config.bits, scale);
+      ++result.iterations;
+      if (sweep.denominator <= 0.0) break;  // everything assigned to 0
+      const float new_scale = static_cast<float>(
+          sweep.numerator / sweep.denominator *
+          static_cast<double>(int64_t{1} << config.bits));
+      if (new_scale <= 0.0f) break;
+      const bool converged =
+          prev_err >= 0.0 &&
+          std::fabs(prev_err - sweep.sq_error) <= 1e-12 * (prev_err + 1.0);
+      prev_err = sweep.sq_error;
+      scale = new_scale;
+      if (converged) break;
+    }
+  }
+
+  const SweepResult final_sweep =
+      assign_sweep(values, counts, config.bits, scale);
+  result.scale = scale;
+  result.mse = final_sweep.count > 0
+                   ? static_cast<float>(final_sweep.sq_error /
+                                        static_cast<double>(final_sweep.count))
+                   : 0.0f;
+  write_quantized(values, counts, config.bits, scale);
+  return result;
+}
+
+std::vector<WeightClusterResult> apply_weight_clustering(
+    nn::Network& net, const WeightClusterConfig& config) {
+  std::vector<WeightClusterResult> results;
+  std::vector<nn::Param*> synapses;
+  for (nn::Param* p : net.params()) {
+    if (p->value.rank() >= 2) synapses.push_back(p);
+  }
+
+  if (config.scope == ClusterScope::kPerNetwork) {
+    std::vector<float*> values;
+    std::vector<int64_t> counts;
+    for (nn::Param* p : synapses) {
+      values.push_back(p->value.data());
+      counts.push_back(p->value.numel());
+    }
+    results.push_back(cluster_weight_set(values, counts, config));
+  } else {
+    for (nn::Param* p : synapses) {
+      results.push_back(cluster_weight_set({p->value.data()},
+                                           {p->value.numel()}, config));
+    }
+  }
+  return results;
+}
+
+WeightClusterResult cluster_tensor(const nn::Tensor& weights, int bits,
+                                   bool optimize_scale, nn::Tensor* out) {
+  if (out == nullptr) {
+    throw std::invalid_argument("cluster_tensor: out must not be null");
+  }
+  *out = weights;
+  WeightClusterConfig config;
+  config.bits = bits;
+  config.optimize_scale = optimize_scale;
+  return cluster_weight_set({out->data()}, {out->numel()}, config);
+}
+
+}  // namespace qsnc::core

@@ -1,0 +1,68 @@
+// Weight Clustering (paper Sec 3.2): quantize all weights of a network to
+// the N-bit linear fixed-point grid  D/2^N, D in {0, ±1, ..., ±2^{N-1}},
+// by solving  D* = argmin ‖ s·D/2^N − W ‖²  (Eq 6 with an explicit scale s).
+//
+// The optimization alternates the two classic Lloyd steps the paper
+// attributes to "k-nearest neighbors":
+//   assignment:  k_i = nearest grid index of w_i given s   (1-NN on a line)
+//   update:      s*  = 2^N · Σ w_i k_i / Σ k_i²            (closed form)
+// which monotonically decreases the squared error.
+//
+// The "without" baseline quantizes in one shot with the naive scale that
+// maps max|W| onto the top grid level — the straightforward deployment the
+// paper's Tables 3/4 "w/o" rows represent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace qsnc::core {
+
+/// Result of clustering one weight set.
+struct WeightClusterResult {
+  float scale = 0.0f;       // optimized s of Eq 6
+  float mse = 0.0f;         // mean squared quantization error
+  int iterations = 0;       // Lloyd iterations actually run
+};
+
+/// Scope of the shared grid scale.
+enum class ClusterScope {
+  kPerNetwork,  // one scale for all layers (paper default: uniform values)
+  kPerLayer,    // one scale per parameter tensor (ablation)
+};
+
+struct WeightClusterConfig {
+  int bits = 4;                         // N
+  int max_iterations = 50;              // Lloyd cap (converges much earlier)
+  ClusterScope scope = ClusterScope::kPerLayer;
+  bool optimize_scale = true;           // false = naive one-shot ("w/o")
+};
+
+/// Clusters a flat list of weight pointers sharing one scale; writes the
+/// quantized values back through the pointers.
+WeightClusterResult cluster_weight_set(const std::vector<float*>& values,
+                                       const std::vector<int64_t>& counts,
+                                       const WeightClusterConfig& config);
+
+/// Quantizes every *synaptic* weight tensor of `net` (rank >= 2: conv
+/// kernels and dense matrices) in place per `config`. Returns one result
+/// per scale group (1 for kPerNetwork, #tensors for kPerLayer).
+///
+/// Biases and batch-norm affine parameters stay in float: on the SNC
+/// substrate they are not memristor conductances — they fold into the IFC
+/// firing thresholds and counter offsets, which are digital (see snc/).
+/// Mixing them into the shared conductance grid would also let the
+/// O(1)-magnitude BN gammas dominate the scale and collapse the much
+/// smaller conv weights onto a single level.
+std::vector<WeightClusterResult> apply_weight_clustering(
+    nn::Network& net, const WeightClusterConfig& config);
+
+/// Pure-function form for a single tensor (used by tests/benches): returns
+/// the quantized copy and the cluster stats.
+WeightClusterResult cluster_tensor(const nn::Tensor& weights, int bits,
+                                   bool optimize_scale, nn::Tensor* out);
+
+}  // namespace qsnc::core

@@ -1,0 +1,71 @@
+#include "data/augment.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace qsnc::data {
+
+Augmenter::Augmenter(const AugmentConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.max_shift_px < 0) {
+    throw std::invalid_argument("Augmenter: negative shift");
+  }
+}
+
+void Augmenter::apply_image(Tensor* image) {
+  if (image == nullptr || image->rank() != 3) {
+    throw std::invalid_argument("Augmenter::apply_image: need [C,H,W]");
+  }
+  const int64_t c = image->dim(0);
+  const int64_t h = image->dim(1);
+  const int64_t w = image->dim(2);
+
+  const int64_t dy = config_.max_shift_px > 0
+                         ? rng_.uniform_int(-config_.max_shift_px,
+                                            config_.max_shift_px)
+                         : 0;
+  const int64_t dx = config_.max_shift_px > 0
+                         ? rng_.uniform_int(-config_.max_shift_px,
+                                            config_.max_shift_px)
+                         : 0;
+  const bool flip = config_.horizontal_flip && rng_.bernoulli(0.5);
+
+  if (dy == 0 && dx == 0 && !flip) return;
+
+  std::vector<float> out(static_cast<size_t>(image->numel()), 0.0f);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* src = image->data() + ch * h * w;
+    float* dst = out.data() + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      const int64_t sy = y - dy;
+      if (sy < 0 || sy >= h) continue;
+      for (int64_t x = 0; x < w; ++x) {
+        int64_t sx = x - dx;
+        if (flip) sx = w - 1 - sx;
+        if (sx < 0 || sx >= w) continue;
+        dst[y * w + x] = src[sy * w + sx];
+      }
+    }
+  }
+  std::memcpy(image->data(), out.data(),
+              static_cast<size_t>(image->numel()) * sizeof(float));
+}
+
+void Augmenter::apply(Tensor* batch) {
+  if (batch == nullptr || batch->rank() != 4) {
+    throw std::invalid_argument("Augmenter::apply: need [N,C,H,W]");
+  }
+  const int64_t n = batch->dim(0);
+  const int64_t chw = batch->dim(1) * batch->dim(2) * batch->dim(3);
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor view({batch->dim(1), batch->dim(2), batch->dim(3)});
+    std::memcpy(view.data(), batch->data() + i * chw,
+                static_cast<size_t>(chw) * sizeof(float));
+    apply_image(&view);
+    std::memcpy(batch->data() + i * chw, view.data(),
+                static_cast<size_t>(chw) * sizeof(float));
+  }
+}
+
+}  // namespace qsnc::data

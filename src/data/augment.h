@@ -1,0 +1,35 @@
+// Training-time data augmentation: random shifts (with zero padding) and
+// horizontal flips, the standard recipe for the CIFAR-style workloads.
+// Augmentation operates on batches so it can slot between Batcher::next()
+// and the forward pass without touching the dataset.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/rng.h"
+
+namespace qsnc::data {
+
+struct AugmentConfig {
+  int64_t max_shift_px = 2;    // uniform shift in [-max, +max] per axis
+  bool horizontal_flip = true; // 50% probability per image
+  uint64_t seed = 21;
+};
+
+class Augmenter {
+ public:
+  explicit Augmenter(const AugmentConfig& config);
+
+  /// Augments a batch [N, C, H, W] in place (each image independently).
+  void apply(Tensor* batch);
+
+  /// Augments one image [C, H, W] in place (exposed for tests).
+  void apply_image(Tensor* image);
+
+ private:
+  AugmentConfig config_;
+  nn::Rng rng_;
+};
+
+}  // namespace qsnc::data

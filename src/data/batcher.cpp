@@ -1,0 +1,41 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace qsnc::data {
+
+Batcher::Batcher(DatasetPtr dataset, int64_t batch_size, uint64_t seed)
+    : dataset_(std::move(dataset)), batch_size_(batch_size), rng_(seed) {
+  if (!dataset_) throw std::invalid_argument("Batcher: null dataset");
+  if (batch_size_ <= 0) throw std::invalid_argument("Batcher: batch_size <= 0");
+  order_.resize(static_cast<size_t>(dataset_->size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+void Batcher::reshuffle() {
+  std::shuffle(order_.begin(), order_.end(), rng_.engine());
+  cursor_ = 0;
+}
+
+Batch Batcher::next() {
+  if (cursor_ >= dataset_->size()) {
+    ++epoch_;
+    reshuffle();
+  }
+  const int64_t count =
+      std::min(batch_size_, dataset_->size() - cursor_);
+  std::vector<int64_t> indices(order_.begin() + cursor_,
+                               order_.begin() + cursor_ + count);
+  cursor_ += count;
+  return Batch{dataset_->gather_images(indices),
+               dataset_->gather_labels(indices)};
+}
+
+int64_t Batcher::batches_per_epoch() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace qsnc::data

@@ -1,0 +1,45 @@
+// Mini-batch iteration with per-epoch shuffling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/rng.h"
+
+namespace qsnc::data {
+
+/// One training mini-batch.
+struct Batch {
+  Tensor images;                // [N, C, H, W]
+  std::vector<int64_t> labels;  // N entries
+};
+
+/// Iterates a dataset in shuffled mini-batches. Each call to next() returns
+/// the next batch of the current epoch; when the epoch is exhausted the
+/// index order is reshuffled and a new epoch begins transparently.
+class Batcher {
+ public:
+  Batcher(DatasetPtr dataset, int64_t batch_size, uint64_t seed);
+
+  /// Next mini-batch (the final batch of an epoch may be smaller).
+  Batch next();
+
+  /// Number of batches per epoch.
+  int64_t batches_per_epoch() const;
+
+  /// Completed epochs so far.
+  int64_t epoch() const { return epoch_; }
+
+ private:
+  void reshuffle();
+
+  DatasetPtr dataset_;
+  int64_t batch_size_;
+  nn::Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace qsnc::data

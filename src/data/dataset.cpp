@@ -1,0 +1,84 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace qsnc::data {
+
+InMemoryDataset::InMemoryDataset(std::string name, Tensor images,
+                                 std::vector<int64_t> labels,
+                                 int64_t num_classes)
+    : name_(std::move(name)),
+      images_(std::move(images)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  if (images_.rank() != 4) {
+    throw std::invalid_argument("InMemoryDataset: images must be [N,C,H,W]");
+  }
+  if (images_.dim(0) != static_cast<int64_t>(labels_.size())) {
+    throw std::invalid_argument("InMemoryDataset: image/label count mismatch");
+  }
+  for (int64_t y : labels_) {
+    if (y < 0 || y >= num_classes_) {
+      throw std::invalid_argument("InMemoryDataset: label out of range");
+    }
+  }
+}
+
+Sample InMemoryDataset::get(int64_t index) const {
+  if (index < 0 || index >= size()) {
+    throw std::out_of_range("InMemoryDataset::get: index out of range");
+  }
+  const int64_t chw = images_.dim(1) * images_.dim(2) * images_.dim(3);
+  Tensor img({images_.dim(1), images_.dim(2), images_.dim(3)});
+  std::memcpy(img.data(), images_.data() + index * chw,
+              static_cast<size_t>(chw) * sizeof(float));
+  return Sample{std::move(img), labels_[static_cast<size_t>(index)]};
+}
+
+Shape InMemoryDataset::image_shape() const {
+  return {images_.dim(1), images_.dim(2), images_.dim(3)};
+}
+
+Tensor InMemoryDataset::batch_images(int64_t first, int64_t count) const {
+  if (first < 0 || count < 0 || first + count > size()) {
+    throw std::out_of_range("InMemoryDataset::batch_images: bad range");
+  }
+  const int64_t chw = images_.dim(1) * images_.dim(2) * images_.dim(3);
+  Tensor out({count, images_.dim(1), images_.dim(2), images_.dim(3)});
+  std::memcpy(out.data(), images_.data() + first * chw,
+              static_cast<size_t>(count * chw) * sizeof(float));
+  return out;
+}
+
+Tensor InMemoryDataset::gather_images(
+    const std::vector<int64_t>& indices) const {
+  const int64_t chw = images_.dim(1) * images_.dim(2) * images_.dim(3);
+  Tensor out({static_cast<int64_t>(indices.size()), images_.dim(1),
+              images_.dim(2), images_.dim(3)});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    if (idx < 0 || idx >= size()) {
+      throw std::out_of_range("InMemoryDataset::gather_images: bad index");
+    }
+    std::memcpy(out.data() + static_cast<int64_t>(i) * chw,
+                images_.data() + idx * chw,
+                static_cast<size_t>(chw) * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<int64_t> InMemoryDataset::gather_labels(
+    const std::vector<int64_t>& indices) const {
+  std::vector<int64_t> out;
+  out.reserve(indices.size());
+  for (int64_t idx : indices) {
+    if (idx < 0 || idx >= size()) {
+      throw std::out_of_range("InMemoryDataset::gather_labels: bad index");
+    }
+    out.push_back(labels_[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+}  // namespace qsnc::data

@@ -1,0 +1,70 @@
+// Dataset abstraction and the in-memory implementation every loader and
+// generator in qsnc produces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace qsnc::data {
+
+using nn::Shape;
+using nn::Tensor;
+
+/// One labelled image in CHW layout.
+struct Sample {
+  Tensor image;   // [C, H, W]
+  int64_t label;  // in [0, num_classes)
+};
+
+/// Read-only labelled image dataset.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual int64_t size() const = 0;
+  virtual Sample get(int64_t index) const = 0;
+
+  /// Per-image shape [C, H, W].
+  virtual Shape image_shape() const = 0;
+  virtual int64_t num_classes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Dataset holding all images contiguously in memory.
+class InMemoryDataset : public Dataset {
+ public:
+  /// `images` has shape [N, C, H, W]; `labels` has N entries.
+  InMemoryDataset(std::string name, Tensor images,
+                  std::vector<int64_t> labels, int64_t num_classes);
+
+  int64_t size() const override { return static_cast<int64_t>(labels_.size()); }
+  Sample get(int64_t index) const override;
+  Shape image_shape() const override;
+  int64_t num_classes() const override { return num_classes_; }
+  std::string name() const override { return name_; }
+
+  /// Zero-copy access to the full image block [N, C, H, W].
+  const Tensor& images() const { return images_; }
+  const std::vector<int64_t>& labels() const { return labels_; }
+
+  /// Copies rows `first..first+count` into a batch tensor [count, C, H, W].
+  Tensor batch_images(int64_t first, int64_t count) const;
+
+  /// Gathers an arbitrary index set into a batch tensor.
+  Tensor gather_images(const std::vector<int64_t>& indices) const;
+  std::vector<int64_t> gather_labels(const std::vector<int64_t>& indices) const;
+
+ private:
+  std::string name_;
+  Tensor images_;
+  std::vector<int64_t> labels_;
+  int64_t num_classes_;
+};
+
+using DatasetPtr = std::shared_ptr<InMemoryDataset>;
+
+}  // namespace qsnc::data

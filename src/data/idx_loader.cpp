@@ -1,0 +1,112 @@
+#include "data/idx_loader.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qsnc::data {
+
+namespace {
+
+uint32_t read_be32(std::ifstream& f) {
+  unsigned char b[4];
+  f.read(reinterpret_cast<char*>(b), 4);
+  return (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | static_cast<uint32_t>(b[3]);
+}
+
+std::vector<uint8_t> read_all(std::ifstream& f, size_t count) {
+  std::vector<uint8_t> buf(count);
+  f.read(reinterpret_cast<char*>(buf.data()),
+         static_cast<std::streamsize>(count));
+  if (!f) throw std::runtime_error("idx_loader: truncated file");
+  return buf;
+}
+
+}  // namespace
+
+std::optional<DatasetPtr> try_load_mnist(const std::string& dir, bool train) {
+  namespace fs = std::filesystem;
+  const std::string prefix = train ? "train" : "t10k";
+  const fs::path img_path = fs::path(dir) / (prefix + "-images-idx3-ubyte");
+  const fs::path lbl_path = fs::path(dir) / (prefix + "-labels-idx1-ubyte");
+  if (!fs::exists(img_path) || !fs::exists(lbl_path)) return std::nullopt;
+
+  std::ifstream img_f(img_path, std::ios::binary);
+  std::ifstream lbl_f(lbl_path, std::ios::binary);
+  if (!img_f || !lbl_f) return std::nullopt;
+
+  if (read_be32(img_f) != 0x00000803) {
+    throw std::runtime_error("try_load_mnist: bad image magic");
+  }
+  const uint32_t n = read_be32(img_f);
+  const uint32_t rows = read_be32(img_f);
+  const uint32_t cols = read_be32(img_f);
+  if (rows != 28 || cols != 28) {
+    throw std::runtime_error("try_load_mnist: unexpected image size");
+  }
+  if (read_be32(lbl_f) != 0x00000801) {
+    throw std::runtime_error("try_load_mnist: bad label magic");
+  }
+  if (read_be32(lbl_f) != n) {
+    throw std::runtime_error("try_load_mnist: image/label count mismatch");
+  }
+
+  const std::vector<uint8_t> pixels = read_all(img_f, size_t{n} * 28 * 28);
+  const std::vector<uint8_t> raw_labels = read_all(lbl_f, n);
+
+  Tensor images({static_cast<int64_t>(n), 1, 28, 28});
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    images[static_cast<int64_t>(i)] = static_cast<float>(pixels[i]) / 255.0f;
+  }
+  std::vector<int64_t> labels(raw_labels.begin(), raw_labels.end());
+  return std::make_shared<InMemoryDataset>("mnist", std::move(images),
+                                           std::move(labels), 10);
+}
+
+std::optional<DatasetPtr> try_load_cifar10(const std::string& dir,
+                                           bool train) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  if (train) {
+    for (int i = 1; i <= 5; ++i) {
+      files.push_back(fs::path(dir) /
+                      ("data_batch_" + std::to_string(i) + ".bin"));
+    }
+  } else {
+    files.push_back(fs::path(dir) / "test_batch.bin");
+  }
+  for (const auto& p : files) {
+    if (!fs::exists(p)) return std::nullopt;
+  }
+
+  constexpr int64_t kRecord = 1 + 3 * 32 * 32;
+  constexpr int64_t kPerFile = 10000;
+  const int64_t total = kPerFile * static_cast<int64_t>(files.size());
+
+  Tensor images({total, 3, 32, 32});
+  std::vector<int64_t> labels(static_cast<size_t>(total));
+
+  int64_t sample = 0;
+  for (const auto& p : files) {
+    std::ifstream f(p, std::ios::binary);
+    if (!f) return std::nullopt;
+    for (int64_t i = 0; i < kPerFile; ++i, ++sample) {
+      unsigned char rec[kRecord];
+      f.read(reinterpret_cast<char*>(rec), kRecord);
+      if (!f) throw std::runtime_error("try_load_cifar10: truncated file");
+      labels[static_cast<size_t>(sample)] = rec[0];
+      float* dst = images.data() + sample * 3 * 32 * 32;
+      for (int64_t j = 0; j < 3 * 32 * 32; ++j) {
+        dst[j] = static_cast<float>(rec[1 + j]) / 255.0f;
+      }
+    }
+  }
+  return std::make_shared<InMemoryDataset>("cifar10", std::move(images),
+                                           std::move(labels), 10);
+}
+
+}  // namespace qsnc::data

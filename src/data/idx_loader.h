@@ -1,0 +1,24 @@
+// Loaders for the real MNIST (IDX) and CIFAR-10 (binary) file formats.
+//
+// The repository ships no data; these loaders exist so that a user with the
+// real datasets on disk can rerun every experiment on them. All benches and
+// examples call try_load_* first and fall back to the synthetic generators.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace qsnc::data {
+
+/// Loads `<dir>/train-images-idx3-ubyte` + `<dir>/train-labels-idx1-ubyte`
+/// (or the t10k pair when `train` is false). Returns nullopt when the files
+/// are absent; throws std::runtime_error on malformed files.
+std::optional<DatasetPtr> try_load_mnist(const std::string& dir, bool train);
+
+/// Loads the CIFAR-10 binary batches data_batch_1..5.bin (train) or
+/// test_batch.bin from `dir`. Returns nullopt when absent.
+std::optional<DatasetPtr> try_load_cifar10(const std::string& dir, bool train);
+
+}  // namespace qsnc::data

@@ -1,0 +1,243 @@
+#include "data/synthetic_cifar.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qsnc::data {
+
+namespace {
+
+constexpr int64_t kSize = 32;
+
+struct Rgb {
+  float r;
+  float g;
+  float b;
+};
+
+Rgb random_color(nn::Rng& rng, float base, float jitter) {
+  return {std::clamp(base + rng.uniform(-jitter, jitter), 0.0f, 1.0f),
+          std::clamp(base + rng.uniform(-jitter, jitter), 0.0f, 1.0f),
+          std::clamp(base + rng.uniform(-jitter, jitter), 0.0f, 1.0f)};
+}
+
+void put(Tensor& img, int64_t y, int64_t x, const Rgb& c, float alpha) {
+  const int64_t hw = kSize * kSize;
+  const int64_t idx = y * kSize + x;
+  img[idx] = img[idx] * (1.0f - alpha) + c.r * alpha;
+  img[hw + idx] = img[hw + idx] * (1.0f - alpha) + c.g * alpha;
+  img[2 * hw + idx] = img[2 * hw + idx] * (1.0f - alpha) + c.b * alpha;
+}
+
+void fill_bg(Tensor& img, const Rgb& c) {
+  const int64_t hw = kSize * kSize;
+  for (int64_t i = 0; i < hw; ++i) {
+    img[i] = c.r;
+    img[hw + i] = c.g;
+    img[2 * hw + i] = c.b;
+  }
+}
+
+}  // namespace
+
+Tensor render_cifar_class(int64_t cls, nn::Rng& rng,
+                          const SyntheticCifarConfig& config) {
+  Tensor img({3, kSize, kSize});
+  const Rgb bg = random_color(rng, 0.3f, config.color_jitter);
+  const Rgb fg = random_color(rng, 0.75f, config.color_jitter);
+  fill_bg(img, bg);
+
+  const float cx = 16.0f + rng.uniform(-3.0f, 3.0f);
+  const float cy = 16.0f + rng.uniform(-3.0f, 3.0f);
+
+  switch (cls) {
+    case 0: {  // horizontal stripes
+      const float period = rng.uniform(4.0f, 8.0f);
+      const float phase = rng.uniform(0.0f, period);
+      for (int64_t y = 0; y < kSize; ++y) {
+        const bool on =
+            std::fmod(static_cast<float>(y) + phase, period) < period / 2.0f;
+        if (!on) continue;
+        for (int64_t x = 0; x < kSize; ++x) put(img, y, x, fg, 1.0f);
+      }
+      break;
+    }
+    case 1: {  // vertical stripes
+      const float period = rng.uniform(4.0f, 8.0f);
+      const float phase = rng.uniform(0.0f, period);
+      for (int64_t x = 0; x < kSize; ++x) {
+        const bool on =
+            std::fmod(static_cast<float>(x) + phase, period) < period / 2.0f;
+        if (!on) continue;
+        for (int64_t y = 0; y < kSize; ++y) put(img, y, x, fg, 1.0f);
+      }
+      break;
+    }
+    case 2: {  // diagonal stripes
+      const float period = rng.uniform(5.0f, 9.0f);
+      const float phase = rng.uniform(0.0f, period);
+      const float sign = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          const float d = static_cast<float>(x) + sign * static_cast<float>(y);
+          if (std::fmod(std::fabs(d + phase), period) < period / 2.0f) {
+            put(img, y, x, fg, 1.0f);
+          }
+        }
+      }
+      break;
+    }
+    case 3: {  // checkerboard
+      const int64_t cell = rng.uniform_int(3, 6);
+      const int64_t off = rng.uniform_int(0, cell - 1);
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          if ((((y + off) / cell) + ((x + off) / cell)) % 2 == 0) {
+            put(img, y, x, fg, 1.0f);
+          }
+        }
+      }
+      break;
+    }
+    case 4: {  // filled disc
+      const float radius = rng.uniform(6.0f, 11.0f);
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          const float d = std::hypot(static_cast<float>(x) - cx,
+                                     static_cast<float>(y) - cy);
+          if (d < radius) put(img, y, x, fg, 1.0f);
+        }
+      }
+      break;
+    }
+    case 5: {  // ring
+      const float radius = rng.uniform(7.0f, 11.0f);
+      const float width = rng.uniform(2.0f, 3.5f);
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          const float d = std::hypot(static_cast<float>(x) - cx,
+                                     static_cast<float>(y) - cy);
+          if (std::fabs(d - radius) < width) put(img, y, x, fg, 1.0f);
+        }
+      }
+      break;
+    }
+    case 6: {  // filled triangle (barycentric inside test)
+      const float half = rng.uniform(8.0f, 12.0f);
+      const float x0 = cx, y0 = cy - half;
+      const float x1 = cx - half, y1 = cy + half;
+      const float x2 = cx + half, y2 = cy + half;
+      auto edge = [](float ax, float ay, float bx, float by, float px,
+                     float py) {
+        return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+      };
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          const float px = static_cast<float>(x), py = static_cast<float>(y);
+          const float e0 = edge(x0, y0, x1, y1, px, py);
+          const float e1 = edge(x1, y1, x2, y2, px, py);
+          const float e2 = edge(x2, y2, x0, y0, px, py);
+          if ((e0 >= 0 && e1 >= 0 && e2 >= 0) ||
+              (e0 <= 0 && e1 <= 0 && e2 <= 0)) {
+            put(img, y, x, fg, 1.0f);
+          }
+        }
+      }
+      break;
+    }
+    case 7: {  // radial gradient
+      const float spread = rng.uniform(10.0f, 18.0f);
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          const float d = std::hypot(static_cast<float>(x) - cx,
+                                     static_cast<float>(y) - cy);
+          const float a = std::clamp(1.0f - d / spread, 0.0f, 1.0f);
+          put(img, y, x, fg, a);
+        }
+      }
+      break;
+    }
+    case 8: {  // smoothed random blobs
+      std::array<float, kSize * kSize> noise{};
+      for (float& v : noise) v = rng.uniform(0.0f, 1.0f);
+      // Three box-blur passes approximate a Gaussian; threshold yields blobs.
+      std::array<float, kSize * kSize> tmp{};
+      for (int pass = 0; pass < 3; ++pass) {
+        for (int64_t y = 0; y < kSize; ++y) {
+          for (int64_t x = 0; x < kSize; ++x) {
+            float acc = 0.0f;
+            int count = 0;
+            for (int64_t ky = -2; ky <= 2; ++ky) {
+              for (int64_t kx = -2; kx <= 2; ++kx) {
+                const int64_t yy = y + ky, xx = x + kx;
+                if (yy < 0 || yy >= kSize || xx < 0 || xx >= kSize) continue;
+                acc += noise[static_cast<size_t>(yy * kSize + xx)];
+                ++count;
+              }
+            }
+            tmp[static_cast<size_t>(y * kSize + x)] =
+                acc / static_cast<float>(count);
+          }
+        }
+        noise = tmp;
+      }
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          if (noise[static_cast<size_t>(y * kSize + x)] > 0.52f) {
+            put(img, y, x, fg, 1.0f);
+          }
+        }
+      }
+      break;
+    }
+    case 9: {  // cross / plus sign
+      const float arm = rng.uniform(3.0f, 5.0f);
+      const float span = rng.uniform(10.0f, 14.0f);
+      for (int64_t y = 0; y < kSize; ++y) {
+        for (int64_t x = 0; x < kSize; ++x) {
+          const float ax = std::fabs(static_cast<float>(x) - cx);
+          const float ay = std::fabs(static_cast<float>(y) - cy);
+          if ((ax < arm && ay < span) || (ay < arm && ax < span)) {
+            put(img, y, x, fg, 1.0f);
+          }
+        }
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument("render_cifar_class: class out of range");
+  }
+
+  if (config.noise_std > 0.0f) {
+    for (int64_t i = 0; i < img.numel(); ++i) {
+      img[i] = std::clamp(img[i] + rng.normal(0.0f, config.noise_std), 0.0f,
+                          1.0f);
+    }
+  }
+  return img;
+}
+
+DatasetPtr make_synthetic_cifar(const SyntheticCifarConfig& config) {
+  if (config.num_samples <= 0) {
+    throw std::invalid_argument("make_synthetic_cifar: num_samples <= 0");
+  }
+  nn::Rng rng(config.seed);
+  Tensor images({config.num_samples, 3, kSize, kSize});
+  std::vector<int64_t> labels(static_cast<size_t>(config.num_samples));
+
+  const int64_t chw = 3 * kSize * kSize;
+  for (int64_t i = 0; i < config.num_samples; ++i) {
+    const int64_t cls = i % 10;
+    const Tensor img = render_cifar_class(cls, rng, config);
+    std::copy(img.data(), img.data() + chw, images.data() + i * chw);
+    labels[static_cast<size_t>(i)] = cls;
+  }
+  return std::make_shared<InMemoryDataset>("synthetic-cifar",
+                                           std::move(images),
+                                           std::move(labels), 10);
+}
+
+}  // namespace qsnc::data

@@ -1,0 +1,32 @@
+// Procedural CIFAR-10 stand-in: 32x32x3 color images of ten parametric
+// texture/shape classes with randomized colors, phase, scale, and noise.
+//
+// The classes are deliberately harder than the digit set (color instead of
+// intensity cues, texture frequencies that alias under augmentation) so that
+// the accuracy-vs-bit-width curves show the same qualitative gap the paper
+// reports between MNIST (robust) and CIFAR-10 (sensitive).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "nn/rng.h"
+
+namespace qsnc::data {
+
+struct SyntheticCifarConfig {
+  int64_t num_samples = 2000;
+  uint64_t seed = 2;
+  float noise_std = 0.07f;      // additive Gaussian pixel noise
+  float color_jitter = 0.35f;   // random fg/bg color spread
+};
+
+/// Class ids: 0 h-stripes, 1 v-stripes, 2 diagonal stripes, 3 checkerboard,
+/// 4 disc, 5 ring, 6 triangle, 7 radial gradient, 8 blobs, 9 cross.
+DatasetPtr make_synthetic_cifar(const SyntheticCifarConfig& config);
+
+/// Renders one sample of the given class (exposed for tests and examples).
+Tensor render_cifar_class(int64_t cls, nn::Rng& rng,
+                          const SyntheticCifarConfig& config);
+
+}  // namespace qsnc::data

@@ -1,0 +1,179 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace qsnc::data {
+
+namespace {
+
+constexpr int64_t kSize = 28;
+
+struct Point {
+  float x;
+  float y;
+};
+
+using Polyline = std::vector<Point>;
+
+// Appends a circular arc (degrees, counter-clockwise in image coordinates
+// where y grows downward) approximated by short segments.
+Polyline arc(float cx, float cy, float rx, float ry, float deg0, float deg1,
+             int steps = 24) {
+  Polyline line;
+  line.reserve(static_cast<size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const float t = deg0 + (deg1 - deg0) * static_cast<float>(i) /
+                              static_cast<float>(steps);
+    const float rad = t * std::numbers::pi_v<float> / 180.0f;
+    line.push_back({cx + rx * std::cos(rad), cy + ry * std::sin(rad)});
+  }
+  return line;
+}
+
+// Stroke skeletons in a [0,1]x[0,1] box (x right, y down), hand-tuned to
+// read as the ten digits.
+std::vector<Polyline> digit_strokes(int64_t digit) {
+  switch (digit) {
+    case 0:
+      return {arc(0.5f, 0.5f, 0.28f, 0.38f, 0.0f, 360.0f)};
+    case 1:
+      return {{{0.35f, 0.3f}, {0.55f, 0.12f}, {0.55f, 0.88f}},
+              {{0.35f, 0.88f}, {0.75f, 0.88f}}};
+    case 2: {
+      Polyline top = arc(0.5f, 0.32f, 0.26f, 0.2f, 180.0f, 380.0f);
+      top.push_back({0.25f, 0.88f});
+      return {top, {{0.25f, 0.88f}, {0.78f, 0.88f}}};
+    }
+    case 3: {
+      Polyline upper = arc(0.45f, 0.3f, 0.26f, 0.18f, 150.0f, 360.0f);
+      Polyline lower = arc(0.45f, 0.68f, 0.28f, 0.2f, 0.0f, 210.0f);
+      upper.push_back({0.45f, 0.48f});
+      lower.insert(lower.begin(), {0.45f, 0.48f});
+      return {upper, lower};
+    }
+    case 4:
+      return {{{0.62f, 0.12f}, {0.22f, 0.62f}, {0.8f, 0.62f}},
+              {{0.62f, 0.12f}, {0.62f, 0.88f}}};
+    case 5: {
+      Polyline belly = arc(0.48f, 0.66f, 0.28f, 0.22f, 270.0f, 90.0f);
+      belly.insert(belly.begin(), {0.28f, 0.45f});
+      belly.push_back({0.26f, 0.85f});
+      return {{{0.75f, 0.12f}, {0.3f, 0.12f}, {0.28f, 0.45f}}, belly};
+    }
+    case 6: {
+      Polyline hook = arc(0.52f, 0.3f, 0.3f, 0.25f, 200.0f, 290.0f);
+      std::reverse(hook.begin(), hook.end());
+      hook.push_back({0.26f, 0.62f});
+      return {hook, arc(0.5f, 0.66f, 0.24f, 0.22f, 0.0f, 360.0f)};
+    }
+    case 7:
+      return {{{0.24f, 0.14f}, {0.78f, 0.14f}, {0.42f, 0.88f}},
+              {{0.35f, 0.5f}, {0.68f, 0.5f}}};
+    case 8:
+      return {arc(0.5f, 0.3f, 0.22f, 0.18f, 0.0f, 360.0f),
+              arc(0.5f, 0.68f, 0.26f, 0.2f, 0.0f, 360.0f)};
+    case 9: {
+      Polyline tail = arc(0.5f, 0.34f, 0.24f, 0.22f, 0.0f, 60.0f);
+      tail.push_back({0.6f, 0.88f});
+      return {arc(0.5f, 0.34f, 0.24f, 0.22f, 0.0f, 360.0f), tail};
+    }
+    default:
+      throw std::invalid_argument("digit_strokes: digit out of range");
+  }
+}
+
+// Stamps a Gaussian pen dab centered at (px, py) in pixel coordinates.
+void stamp(Tensor& img, float px, float py, float sigma, float intensity) {
+  const int64_t radius = static_cast<int64_t>(std::ceil(3.0f * sigma));
+  const int64_t x0 = std::max<int64_t>(0, static_cast<int64_t>(px) - radius);
+  const int64_t x1 =
+      std::min<int64_t>(kSize - 1, static_cast<int64_t>(px) + radius);
+  const int64_t y0 = std::max<int64_t>(0, static_cast<int64_t>(py) - radius);
+  const int64_t y1 =
+      std::min<int64_t>(kSize - 1, static_cast<int64_t>(py) + radius);
+  const float inv2s2 = 1.0f / (2.0f * sigma * sigma);
+  for (int64_t y = y0; y <= y1; ++y) {
+    for (int64_t x = x0; x <= x1; ++x) {
+      const float dx = static_cast<float>(x) - px;
+      const float dy = static_cast<float>(y) - py;
+      const float v = intensity * std::exp(-(dx * dx + dy * dy) * inv2s2);
+      float& pixel = img[y * kSize + x];
+      pixel = std::max(pixel, v);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor render_digit(int64_t digit, nn::Rng& rng,
+                    const SyntheticMnistConfig& config) {
+  Tensor img({1, kSize, kSize});
+
+  const float rot = rng.uniform(-config.rotation_deg, config.rotation_deg) *
+                    std::numbers::pi_v<float> / 180.0f;
+  const float scale =
+      1.0f + rng.uniform(-config.scale_jitter, config.scale_jitter);
+  const float dx = rng.uniform(-config.shift_px, config.shift_px);
+  const float dy = rng.uniform(-config.shift_px, config.shift_px);
+  const float sigma =
+      config.pen_sigma * (1.0f + rng.uniform(-0.2f, 0.2f));
+  const float cos_r = std::cos(rot);
+  const float sin_r = std::sin(rot);
+
+  auto to_pixel = [&](Point p) -> Point {
+    // Center, rotate, scale, translate, then map to the 28x28 canvas with a
+    // 4-pixel margin.
+    const float cx = p.x - 0.5f;
+    const float cy = p.y - 0.5f;
+    const float rx = (cx * cos_r - cy * sin_r) * scale;
+    const float ry = (cx * sin_r + cy * cos_r) * scale;
+    return {(rx + 0.5f) * 20.0f + 4.0f + dx, (ry + 0.5f) * 20.0f + 4.0f + dy};
+  };
+
+  for (const Polyline& stroke : digit_strokes(digit)) {
+    for (size_t i = 0; i + 1 < stroke.size(); ++i) {
+      const Point a = to_pixel(stroke[i]);
+      const Point b = to_pixel(stroke[i + 1]);
+      const float len = std::hypot(b.x - a.x, b.y - a.y);
+      const int steps = std::max(1, static_cast<int>(std::ceil(len * 2.0f)));
+      for (int s = 0; s <= steps; ++s) {
+        const float t = static_cast<float>(s) / static_cast<float>(steps);
+        stamp(img, a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t, sigma, 1.0f);
+      }
+    }
+  }
+
+  if (config.noise_std > 0.0f) {
+    for (int64_t i = 0; i < img.numel(); ++i) {
+      img[i] = std::clamp(img[i] + rng.normal(0.0f, config.noise_std), 0.0f,
+                          1.0f);
+    }
+  }
+  return img;
+}
+
+DatasetPtr make_synthetic_mnist(const SyntheticMnistConfig& config) {
+  if (config.num_samples <= 0) {
+    throw std::invalid_argument("make_synthetic_mnist: num_samples <= 0");
+  }
+  nn::Rng rng(config.seed);
+  Tensor images({config.num_samples, 1, kSize, kSize});
+  std::vector<int64_t> labels(static_cast<size_t>(config.num_samples));
+
+  const int64_t chw = kSize * kSize;
+  for (int64_t i = 0; i < config.num_samples; ++i) {
+    const int64_t digit = i % 10;
+    const Tensor img = render_digit(digit, rng, config);
+    std::copy(img.data(), img.data() + chw, images.data() + i * chw);
+    labels[static_cast<size_t>(i)] = digit;
+  }
+  return std::make_shared<InMemoryDataset>("synthetic-mnist",
+                                           std::move(images),
+                                           std::move(labels), 10);
+}
+
+}  // namespace qsnc::data

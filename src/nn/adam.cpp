@@ -1,0 +1,52 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace qsnc::nn {
+
+Adam::Adam(std::vector<Param*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  float grad_scale = 1.0f;
+  if (config_.max_grad_norm > 0.0f) {
+    double sq = 0.0;
+    for (Param* p : params_) sq += p->grad.squared_norm();
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (norm > config_.max_grad_norm) {
+      grad_scale = config_.max_grad_norm / norm;
+    }
+  }
+
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    for (int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g =
+          p.grad[j] * grad_scale + config_.weight_decay * p.value[j];
+      m_[i][j] = config_.beta1 * m_[i][j] + (1.0f - config_.beta1) * g;
+      v_[i][j] = config_.beta2 * v_[i][j] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m_[i][j] / bias1;
+      const float v_hat = v_[i][j] / bias2;
+      p.value[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace qsnc::nn

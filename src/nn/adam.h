@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba 2015) with the same global gradient-norm
+// clipping as Sgd. The experiment pipeline defaults to SGD (matching the
+// era of the paper); Adam is provided for the substrate's completeness and
+// the optimizer ablation.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace qsnc::nn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float max_grad_norm = 5.0f;  // 0 disables
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig config);
+
+  /// Applies one update using the gradients currently in each Param.
+  void step();
+
+  void zero_grad();
+
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+  int64_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  AdamConfig config_;
+  int64_t t_ = 0;
+};
+
+}  // namespace qsnc::nn

@@ -1,0 +1,82 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace qsnc::nn {
+
+namespace {
+// Block extents chosen so one A-panel + one B-panel fit comfortably in L1/L2
+// on typical x86 cores. The i-k-j loop order keeps the innermost loop a
+// contiguous SAXPY over C and B rows, which GCC auto-vectorizes.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockK = 128;
+constexpr int64_t kBlockN = 256;
+}  // namespace
+
+void gemm_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n) {
+  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const int64_t i1 = std::min(i0 + kBlockM, m);
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k0 + kBlockK, k);
+      for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const int64_t j1 = std::min(j0 + kBlockN, n);
+        for (int64_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          const float* arow = a + i * k;
+          for (int64_t kk = k0; kk < k1; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;  // sparse activations are common here
+            const float* brow = b + kk * n;
+            for (int64_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  gemm_acc(a, b, c, m, k, n);
+}
+
+void gemm_at_b_acc(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n) {
+  // A stored [k x m]: element A^T(i, kk) = a[kk * m + i].
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_a_bt_acc(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n) {
+  // B stored [n x k]: element B^T(kk, j) = b[j * k + kk].
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace qsnc::nn

@@ -1,0 +1,26 @@
+// Minimal single-threaded GEMM kernels used by the convolution and dense
+// layers. Not a BLAS replacement: the goal is a dependency-free, cache-aware
+// matrix multiply fast enough to train the mini model zoo on one CPU core.
+#pragma once
+
+#include <cstdint>
+
+namespace qsnc::nn {
+
+/// C[m x n] = A[m x k] * B[k x n]  (row-major, C overwritten).
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n);
+
+/// C[m x n] += A[m x k] * B[k x n]  (row-major, accumulate into C).
+void gemm_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n);
+
+/// C[m x n] += A^T[m x k] * B[k x n] where A is stored [k x m] row-major.
+void gemm_at_b_acc(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n);
+
+/// C[m x n] += A[m x k] * B^T[k x n] where B is stored [n x k] row-major.
+void gemm_a_bt_acc(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n);
+
+}  // namespace qsnc::nn

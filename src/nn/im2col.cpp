@@ -1,0 +1,76 @@
+#include "nn/im2col.h"
+
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+int64_t conv_out_extent(int64_t in, int64_t kernel, int64_t stride,
+                        int64_t pad) {
+  const int64_t out = (in + 2 * pad - kernel) / stride + 1;
+  if (out <= 0) {
+    throw std::invalid_argument("conv_out_extent: non-positive output extent");
+  }
+  return out;
+}
+
+void im2col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float* cols) {
+  const int64_t out_h = conv_out_extent(height, kh, stride, pad);
+  const int64_t out_w = conv_out_extent(width, kw, stride, pad);
+  const int64_t out_hw = out_h * out_w;
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* plane = image + c * height * width;
+    for (int64_t ky = 0; ky < kh; ++ky) {
+      for (int64_t kx = 0; kx < kw; ++kx, ++row) {
+        float* out_row = cols + row * out_hw;
+        for (int64_t oy = 0; oy < out_h; ++oy) {
+          const int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) {
+            for (int64_t ox = 0; ox < out_w; ++ox) {
+              out_row[oy * out_w + ox] = 0.0f;
+            }
+            continue;
+          }
+          const float* in_row = plane + iy * width;
+          for (int64_t ox = 0; ox < out_w; ++ox) {
+            const int64_t ix = ox * stride - pad + kx;
+            out_row[oy * out_w + ox] =
+                (ix >= 0 && ix < width) ? in_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float* image) {
+  const int64_t out_h = conv_out_extent(height, kh, stride, pad);
+  const int64_t out_w = conv_out_extent(width, kw, stride, pad);
+  const int64_t out_hw = out_h * out_w;
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* plane = image + c * height * width;
+    for (int64_t ky = 0; ky < kh; ++ky) {
+      for (int64_t kx = 0; kx < kw; ++kx, ++row) {
+        const float* in_row = cols + row * out_hw;
+        for (int64_t oy = 0; oy < out_h; ++oy) {
+          const int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) continue;
+          float* img_row = plane + iy * width;
+          for (int64_t ox = 0; ox < out_w; ++ox) {
+            const int64_t ix = ox * stride - pad + kx;
+            if (ix >= 0 && ix < width) {
+              img_row[ix] += in_row[oy * out_w + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qsnc::nn

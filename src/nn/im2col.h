@@ -1,0 +1,29 @@
+// im2col / col2im transforms used to express convolution as GEMM.
+//
+// For an input of shape [C, H, W] and a (kh x kw) kernel with the given
+// stride and padding, im2col produces a matrix of shape
+// [C*kh*kw, out_h*out_w] (row-major) whose columns are the flattened
+// receptive fields; the convolution is then weights[OC, C*kh*kw] x cols.
+#pragma once
+
+#include <cstdint>
+
+namespace qsnc::nn {
+
+/// Output spatial extent for one axis: floor((in + 2*pad - kernel)/stride)+1.
+int64_t conv_out_extent(int64_t in, int64_t kernel, int64_t stride,
+                        int64_t pad);
+
+/// Expands one image [channels, height, width] into `cols`
+/// [channels*kh*kw, out_h*out_w]. Out-of-bounds (padding) taps read as 0.
+void im2col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float* cols);
+
+/// Scatters `cols` (same layout as produced by im2col) back into an image
+/// gradient buffer [channels, height, width], accumulating overlapping taps.
+/// The image buffer must be zeroed by the caller beforehand.
+void col2im(const float* cols, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad, float* image);
+
+}  // namespace qsnc::nn

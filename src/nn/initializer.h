@@ -1,0 +1,21 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace qsnc::nn {
+
+/// He/Kaiming-normal init: N(0, sqrt(2/fan_in)). The default for all conv
+/// and dense layers (every hidden activation in the model zoo is ReLU).
+void he_normal(Tensor& w, int64_t fan_in, Rng& rng);
+
+/// Glorot/Xavier-uniform init: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Uniform init in [-a, a].
+void uniform(Tensor& w, float a, Rng& rng);
+
+}  // namespace qsnc::nn

@@ -1,0 +1,76 @@
+// Layer abstraction: every network component implements forward/backward
+// over batched tensors and exposes its trainable parameters.
+//
+// The training loop in qsnc is layer-based rather than tape-based autograd:
+// each layer caches whatever it needs from the forward pass and consumes the
+// upstream gradient in backward. This keeps the substrate small, explicit,
+// and easy to instrument — which matters here, because the paper's Neuron
+// Convergence regularizer injects gradients at *layer boundaries* (the
+// inter-layer signals), a hook the Network class exposes via is_signal().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace qsnc::nn {
+
+/// A trainable parameter: the value and its accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class for all network layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch. When `train` is true the layer
+  /// caches activations needed by backward and updates any running
+  /// statistics (batch norm).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Consumes dLoss/dOutput, accumulates parameter gradients, and returns
+  /// dLoss/dInput. Must be called after a forward(..., train=true).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Pointers remain
+  /// valid for the lifetime of the layer.
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Short type name for diagnostics, e.g. "Conv2d".
+  virtual std::string name() const = 0;
+
+  /// True for layers whose output is an inter-layer signal in the paper's
+  /// sense (activation layers). The Neuron Convergence regularizer applies
+  /// only at these boundaries, and the SNC deployment quantizes exactly
+  /// these tensors into spike counts.
+  virtual bool is_signal() const { return false; }
+
+  /// Direct sub-layers of composite layers (residual blocks). Enables
+  /// recursive traversal so signal hooks reach activations at any depth.
+  virtual std::vector<Layer*> children() { return {}; }
+};
+
+/// Depth-first traversal over `root` and all transitive children.
+template <typename Fn>
+void visit_layers(Layer* root, Fn&& fn) {
+  fn(root);
+  for (Layer* child : root->children()) {
+    visit_layers(child, fn);
+  }
+}
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace qsnc::nn

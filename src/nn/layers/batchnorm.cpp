@@ -1,0 +1,150 @@
+#include "nn/layers/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor({channels}, 1.0f)),
+      beta_("bn.beta", Tensor({channels})),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm2d: channels <= 0");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d::forward: expected [N," +
+                                std::to_string(channels_) + ",H,W]");
+  }
+  const int64_t batch = input.dim(0);
+  const int64_t hw = input.dim(2) * input.dim(3);
+  const int64_t per_channel = batch * hw;
+
+  Tensor output(input.shape());
+
+  if (train) {
+    input_shape_ = input.shape();
+    batch_mean_ = Tensor({channels_});
+    batch_var_ = Tensor({channels_});
+    x_hat_ = Tensor(input.shape());
+
+    for (int64_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* plane = input.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) sum += plane[i];
+      }
+      const float mean = static_cast<float>(sum / per_channel);
+      double var_sum = 0.0;
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* plane = input.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          const double d = plane[i] - mean;
+          var_sum += d * d;
+        }
+      }
+      const float var = static_cast<float>(var_sum / per_channel);
+      batch_mean_[c] = mean;
+      batch_var_[c] = var;
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      const float g = gamma_.value[c];
+      const float b = beta_.value[c];
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* in_plane = input.data() + (n * channels_ + c) * hw;
+        float* xh_plane = x_hat_.data() + (n * channels_ + c) * hw;
+        float* out_plane = output.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          const float xh = (in_plane[i] - mean) * inv_std;
+          xh_plane[i] = xh;
+          out_plane[i] = g * xh + b;
+        }
+      }
+    }
+  } else {
+    for (int64_t c = 0; c < channels_; ++c) {
+      float scale, shift;
+      inference_affine(c, &scale, &shift);
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* in_plane = input.data() + (n * channels_ + c) * hw;
+        float* out_plane = output.data() + (n * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          out_plane[i] = scale * in_plane[i] + shift;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (x_hat_.empty()) {
+    throw std::logic_error("BatchNorm2d::backward before forward(train=true)");
+  }
+  const int64_t batch = input_shape_[0];
+  const int64_t hw = input_shape_[2] * input_shape_[3];
+  const int64_t per_channel = batch * hw;
+  const float inv_m = 1.0f / static_cast<float>(per_channel);
+
+  Tensor grad_input(input_shape_);
+  for (int64_t c = 0; c < channels_; ++c) {
+    const float inv_std = 1.0f / std::sqrt(batch_var_[c] + eps_);
+    const float g = gamma_.value[c];
+
+    // Accumulate dGamma, dBeta, and the two reduction terms of dX.
+    double dgamma = 0.0, dbeta = 0.0, sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * hw;
+      const float* xh = x_hat_.data() + (n * channels_ + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        dgamma += dy[i] * xh[i];
+        dbeta += dy[i];
+      }
+    }
+    sum_dy = dbeta;
+    sum_dy_xhat = dgamma;
+    gamma_.grad[c] += static_cast<float>(dgamma);
+    beta_.grad[c] += static_cast<float>(dbeta);
+
+    // dX = (g * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+    const float k = g * inv_std * inv_m;
+    const float m = static_cast<float>(per_channel);
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * hw;
+      const float* xh = x_hat_.data() + (n * channels_ + c) * hw;
+      float* dx = grad_input.data() + (n * channels_ + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        dx[i] = k * (m * dy[i] - static_cast<float>(sum_dy) -
+                     xh[i] * static_cast<float>(sum_dy_xhat));
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+void BatchNorm2d::reset_to_identity() {
+  gamma_.value.fill(1.0f);
+  beta_.value.fill(0.0f);
+  running_mean_.fill(0.0f);
+  running_var_.fill(1.0f - eps_);
+}
+
+void BatchNorm2d::inference_affine(int64_t channel, float* scale,
+                                   float* shift) const {
+  const float inv_std = 1.0f / std::sqrt(running_var_[channel] + eps_);
+  *scale = gamma_.value[channel] * inv_std;
+  *shift = beta_.value[channel] - gamma_.value[channel] *
+                                      running_mean_[channel] * inv_std;
+}
+
+}  // namespace qsnc::nn

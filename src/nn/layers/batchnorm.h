@@ -1,0 +1,59 @@
+// Batch normalization over the channel axis of NCHW activations.
+//
+// Standard formulation (Ioffe & Szegedy 2015): per-channel statistics over
+// (N, H, W), learned affine (gamma, beta), and exponential running stats for
+// inference. The ResNet model in the paper's Table 1 requires this.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+
+namespace qsnc::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  int64_t channels() const { return channels_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+  /// Folds the normalization into an affine y = a*x + b per channel using
+  /// running statistics; used when deploying to the SNC (the crossbar can
+  /// only realize linear ops, so BN must be fused into weights beforehand).
+  void inference_affine(int64_t channel, float* scale, float* shift) const;
+
+  /// Resets the layer to the exact inference identity (gamma 1, beta 0,
+  /// mean 0, var 1-eps); core::fold_batchnorm calls this after absorbing
+  /// the affine into the preceding convolution.
+  void reset_to_identity();
+
+  float eps() const { return eps_; }
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+
+ private:
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cache for backward.
+  Tensor x_hat_;       // normalized input
+  Tensor batch_mean_;  // [C]
+  Tensor batch_var_;   // [C]
+  Shape input_shape_;
+};
+
+}  // namespace qsnc::nn

@@ -1,0 +1,119 @@
+#include "nn/layers/conv2d.h"
+
+#include <stdexcept>
+
+#include "nn/gemm.h"
+#include "nn/im2col.h"
+#include "nn/initializer.h"
+
+namespace qsnc::nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, Rng& rng, bool use_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      use_bias_(use_bias),
+      weight_("conv.weight",
+              Tensor({out_channels, in_channels, kernel, kernel})),
+      bias_("conv.bias", Tensor({out_channels})) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 ||
+      pad < 0) {
+    throw std::invalid_argument("Conv2d: invalid geometry");
+  }
+  he_normal(weight_.value, in_channels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: expected [N," +
+                                std::to_string(in_channels_) + ",H,W], got " +
+                                shape_to_string(input.shape()));
+  }
+  const int64_t batch = input.dim(0);
+  const int64_t in_h = input.dim(2);
+  const int64_t in_w = input.dim(3);
+  const int64_t out_h = conv_out_extent(in_h, kernel_, stride_, pad_);
+  const int64_t out_w = conv_out_extent(in_w, kernel_, stride_, pad_);
+  const int64_t patch = in_channels_ * kernel_ * kernel_;
+  const int64_t out_hw = out_h * out_w;
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+  std::vector<float> cols(static_cast<size_t>(patch * out_hw));
+
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* image = input.data() + n * in_channels_ * in_h * in_w;
+    im2col(image, in_channels_, in_h, in_w, kernel_, kernel_, stride_, pad_,
+           cols.data());
+    float* out = output.data() + n * out_channels_ * out_hw;
+    // out[OC, out_hw] = W[OC, patch] x cols[patch, out_hw]
+    gemm(weight_.value.data(), cols.data(), out, out_channels_, patch, out_hw);
+    if (use_bias_) {
+      for (int64_t oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_.value[oc];
+        float* row = out + oc * out_hw;
+        for (int64_t i = 0; i < out_hw; ++i) row[i] += b;
+      }
+    }
+  }
+
+  if (train) input_cache_ = input;
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  if (input.empty()) {
+    throw std::logic_error("Conv2d::backward before forward(train=true)");
+  }
+  const int64_t batch = input.dim(0);
+  const int64_t in_h = input.dim(2);
+  const int64_t in_w = input.dim(3);
+  const int64_t out_h = grad_output.dim(2);
+  const int64_t out_w = grad_output.dim(3);
+  const int64_t patch = in_channels_ * kernel_ * kernel_;
+  const int64_t out_hw = out_h * out_w;
+
+  Tensor grad_input(input.shape());
+  std::vector<float> cols(static_cast<size_t>(patch * out_hw));
+  std::vector<float> grad_cols(static_cast<size_t>(patch * out_hw));
+
+  for (int64_t n = 0; n < batch; ++n) {
+    const float* image = input.data() + n * in_channels_ * in_h * in_w;
+    const float* gout = grad_output.data() + n * out_channels_ * out_hw;
+
+    // dW += gout[OC, out_hw] x cols^T[out_hw, patch]
+    im2col(image, in_channels_, in_h, in_w, kernel_, kernel_, stride_, pad_,
+           cols.data());
+    gemm_a_bt_acc(gout, cols.data(), weight_.grad.data(), out_channels_,
+                  out_hw, patch);
+
+    // dBias += sum over spatial positions.
+    if (use_bias_) {
+      for (int64_t oc = 0; oc < out_channels_; ++oc) {
+        float acc = 0.0f;
+        const float* row = gout + oc * out_hw;
+        for (int64_t i = 0; i < out_hw; ++i) acc += row[i];
+        bias_.grad[oc] += acc;
+      }
+    }
+
+    // grad_cols[patch, out_hw] = W^T[patch, OC] x gout[OC, out_hw]
+    std::fill(grad_cols.begin(), grad_cols.end(), 0.0f);
+    gemm_at_b_acc(weight_.value.data(), gout, grad_cols.data(), patch,
+                  out_channels_, out_hw);
+    float* gin = grad_input.data() + n * in_channels_ * in_h * in_w;
+    col2im(grad_cols.data(), in_channels_, in_h, in_w, kernel_, kernel_,
+           stride_, pad_, gin);
+  }
+  return grad_input;
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (use_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace qsnc::nn

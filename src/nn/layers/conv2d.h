@@ -1,0 +1,59 @@
+// 2-D convolution layer (NCHW), implemented as im2col + GEMM.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+#include "nn/rng.h"
+
+namespace qsnc::nn {
+
+class Conv2d : public Layer {
+ public:
+  /// Square kernel of extent `kernel`, stride and symmetric zero padding.
+  /// Weights are OIHW [out_channels, in_channels, kernel, kernel] with
+  /// He-normal init; bias is zero-initialized (disable with `use_bias`).
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t pad, Rng& rng, bool use_bias = true);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Conv2d"; }
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool uses_bias() const { return use_bias_; }
+
+  /// Enables the bias term on a conv built without one (the bias tensor
+  /// exists zero-initialized either way). Batch-norm folding uses this to
+  /// absorb the BN shift into the convolution.
+  void enable_bias() { use_bias_ = true; }
+
+  /// Input cached by the latest forward(train=true); the SNC mapper probes
+  /// it to recover per-layer spatial extents without separate shape
+  /// inference plumbing.
+  const Tensor& input_cache() const { return input_cache_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t pad_;
+  bool use_bias_;
+
+  Param weight_;  // [OC, IC, K, K]
+  Param bias_;    // [OC]
+
+  // Forward-pass cache for backward.
+  Tensor input_cache_;
+};
+
+}  // namespace qsnc::nn

@@ -1,0 +1,72 @@
+#include "nn/layers/dense.h"
+
+#include <stdexcept>
+
+#include "nn/gemm.h"
+#include "nn/initializer.h"
+
+namespace qsnc::nn {
+
+Dense::Dense(int64_t in_features, int64_t out_features, Rng& rng,
+             bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias),
+      weight_("dense.weight", Tensor({out_features, in_features})),
+      bias_("dense.bias", Tensor({out_features})) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Dense: non-positive feature count");
+  }
+  he_normal(weight_.value, in_features, rng);
+}
+
+Tensor Dense::forward(const Tensor& input, bool train) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Dense::forward: expected [N," +
+                                std::to_string(in_features_) + "], got " +
+                                shape_to_string(input.shape()));
+  }
+  const int64_t batch = input.dim(0);
+  Tensor output({batch, out_features_});
+  // y[N, out] = x[N, in] * W^T[in, out]  (W stored [out, in])
+  gemm_a_bt_acc(input.data(), weight_.value.data(), output.data(), batch,
+                in_features_, out_features_);
+  if (use_bias_) {
+    for (int64_t n = 0; n < batch; ++n) {
+      float* row = output.data() + n * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+    }
+  }
+  if (train) input_cache_ = input;
+  return output;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  if (input.empty()) {
+    throw std::logic_error("Dense::backward before forward(train=true)");
+  }
+  const int64_t batch = input.dim(0);
+
+  // dW[out, in] += gout^T[out, N] * x[N, in]
+  gemm_at_b_acc(grad_output.data(), input.data(), weight_.grad.data(),
+                out_features_, batch, in_features_);
+  if (use_bias_) {
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* row = grad_output.data() + n * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+    }
+  }
+  // dx[N, in] = gout[N, out] * W[out, in]
+  Tensor grad_input({batch, in_features_});
+  gemm_acc(grad_output.data(), weight_.value.data(), grad_input.data(), batch,
+           out_features_, in_features_);
+  return grad_input;
+}
+
+std::vector<Param*> Dense::params() {
+  if (use_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace qsnc::nn

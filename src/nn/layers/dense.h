@@ -1,0 +1,38 @@
+// Fully connected layer: y = x W^T + b with x [N, in], W [out, in].
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+#include "nn/rng.h"
+
+namespace qsnc::nn {
+
+class Dense : public Layer {
+ public:
+  Dense(int64_t in_features, int64_t out_features, Rng& rng,
+        bool use_bias = true);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "Dense"; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool use_bias_;
+
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+
+  Tensor input_cache_;  // [N, in]
+};
+
+}  // namespace qsnc::nn

@@ -1,0 +1,41 @@
+#include "nn/layers/dropout.h"
+
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+Dropout::Dropout(float rate, uint64_t seed)
+    : rate_(rate), keep_scale_(1.0f / (1.0f - rate)), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || rate_ == 0.0f) {
+    mask_ = Tensor();  // inference path leaves no backward state
+    return input;
+  }
+  mask_ = Tensor(input.shape());
+  Tensor output(input.shape());
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const bool keep = !rng_.bernoulli(rate_);
+    mask_[i] = keep ? keep_scale_ : 0.0f;
+    output[i] = input[i] * mask_[i];
+  }
+  return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) {
+    // forward ran in inference mode or with rate 0: identity gradient.
+    return grad_output;
+  }
+  Tensor grad_input(grad_output.shape());
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = grad_output[i] * mask_[i];
+  }
+  return grad_input;
+}
+
+}  // namespace qsnc::nn

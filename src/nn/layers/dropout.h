@@ -1,0 +1,31 @@
+// Inverted dropout: active only in training mode, identity at inference.
+// The AlexNet lineage the paper's Table 1 models descend from regularizes
+// its FC head this way; included for substrate completeness and used by
+// the extended model-zoo variants.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/rng.h"
+
+namespace qsnc::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `rate` is the drop probability in [0, 1); surviving activations are
+  /// scaled by 1/(1-rate) so inference needs no rescaling.
+  Dropout(float rate, uint64_t seed);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  float keep_scale_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace qsnc::nn

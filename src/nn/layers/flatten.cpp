@@ -1,0 +1,22 @@
+#include "nn/layers/flatten.h"
+
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten::forward: rank must be >= 2");
+  }
+  if (train) input_shape_ = input.shape();
+  return input.reshape({input.dim(0), -1});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (input_shape_.empty()) {
+    throw std::logic_error("Flatten::backward before forward(train=true)");
+  }
+  return grad_output.reshape(input_shape_);
+}
+
+}  // namespace qsnc::nn

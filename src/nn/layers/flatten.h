@@ -1,0 +1,20 @@
+// Flattens [N, C, H, W] activations to [N, C*H*W] for the FC head.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace qsnc::nn {
+
+class Flatten : public Layer {
+ public:
+  Flatten() = default;
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace qsnc::nn

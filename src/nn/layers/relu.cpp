@@ -1,0 +1,68 @@
+#include "nn/layers/relu.h"
+
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  Tensor output(input.shape());
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    output[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  }
+
+  last_penalty_ = 0.0f;
+  if (train) {
+    mask_ = Tensor(input.shape());
+    for (int64_t i = 0; i < input.numel(); ++i) {
+      mask_[i] = input[i] > 0.0f ? 1.0f : 0.0f;
+    }
+    if (regularizer_ != nullptr || quantizer_ != nullptr) {
+      pre_quant_ = output;
+    }
+    if (regularizer_ != nullptr) {
+      // Penalty and its gradient are evaluated on the *signal* (post-ReLU)
+      // values, because that is the tensor the SNC will rate-code. The sum
+      // is mean-normalized so the effective per-layer weight lambda_i of
+      // Eq 2 is lambda / numel — dimensionless and layer-size independent.
+      float acc = 0.0f;
+      for (int64_t i = 0; i < output.numel(); ++i) {
+        acc += regularizer_->penalty(output[i]);
+      }
+      last_penalty_ =
+          regularizer_->lambda() * acc / static_cast<float>(output.numel());
+    }
+  }
+
+  if (quantizer_ != nullptr) {
+    for (int64_t i = 0; i < output.numel(); ++i) {
+      output[i] = quantizer_->apply(output[i]);
+    }
+  }
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (mask_.empty()) {
+    throw std::logic_error("ReLU::backward before forward(train=true)");
+  }
+  Tensor grad_input(grad_output.shape());
+  const float reg_scale =
+      regularizer_ != nullptr
+          ? regularizer_->lambda() / static_cast<float>(grad_output.numel())
+          : 0.0f;
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    float g = grad_output[i];
+    if (quantizer_ != nullptr) {
+      // Straight-through estimator: stop gradient where the value was
+      // clipped out of the representable range.
+      if (!quantizer_->pass_through(pre_quant_[i])) g = 0.0f;
+    }
+    if (regularizer_ != nullptr) {
+      g += reg_scale * regularizer_->grad(pre_quant_[i]);
+    }
+    grad_input[i] = g * mask_[i];
+  }
+  return grad_input;
+}
+
+}  // namespace qsnc::nn

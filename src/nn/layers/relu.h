@@ -1,0 +1,48 @@
+// ReLU activation. This is an inter-layer *signal* boundary in the paper's
+// terminology: the Neuron Convergence regularizer attaches here, and SNC
+// deployment rate-codes exactly these tensors into spike trains.
+//
+// Hooks (see nn/signal.h):
+//  * set_regularizer: adds lambda * rg'(o) to the gradient in backward and
+//    reports the accumulated penalty via last_penalty() — this is how Eq 2's
+//    per-layer Rg(O_i) terms are realized without a tape autograd.
+//  * set_quantizer: applies a value quantizer to the signal in forward
+//    (fake quantization); backward uses the straight-through estimator.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/signal.h"
+
+namespace qsnc::nn {
+
+class ReLU : public Layer {
+ public:
+  ReLU() = default;
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+  bool is_signal() const override { return true; }
+
+  /// Attach / detach a signal regularizer (non-owning; nullptr detaches).
+  void set_regularizer(const SignalRegularizer* reg) { regularizer_ = reg; }
+
+  /// Attach / detach a signal quantizer (non-owning; nullptr detaches).
+  void set_quantizer(const SignalQuantizer* q) { quantizer_ = q; }
+
+  const SignalQuantizer* quantizer() const { return quantizer_; }
+
+  /// Regularizer penalty accumulated in the most recent training forward
+  /// pass (already multiplied by lambda). Zero when no regularizer is set.
+  float last_penalty() const { return last_penalty_; }
+
+ private:
+  const SignalRegularizer* regularizer_ = nullptr;
+  const SignalQuantizer* quantizer_ = nullptr;
+
+  Tensor mask_;       // 1 where input > 0
+  Tensor pre_quant_;  // post-ReLU, pre-quantizer signal (for STE + reg grad)
+  float last_penalty_ = 0.0f;
+};
+
+}  // namespace qsnc::nn

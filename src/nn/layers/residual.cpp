@@ -1,0 +1,127 @@
+#include "nn/layers/residual.h"
+
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+ResidualBlock::ResidualBlock(int64_t in_channels, int64_t out_channels,
+                             int64_t stride, Rng& rng, ShortcutKind shortcut)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride),
+      conv1_(std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                      rng, /*use_bias=*/false)),
+      bn1_(std::make_unique<BatchNorm2d>(out_channels)),
+      relu1_(std::make_unique<ReLU>()),
+      conv2_(std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1, rng,
+                                      /*use_bias=*/false)),
+      bn2_(std::make_unique<BatchNorm2d>(out_channels)),
+      relu_out_(std::make_unique<ReLU>()) {
+  if (out_channels < in_channels) {
+    throw std::invalid_argument("ResidualBlock: channel narrowing unsupported");
+  }
+  const bool shape_changes = stride != 1 || in_channels != out_channels;
+  if (shape_changes && shortcut == ShortcutKind::kProjection) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride,
+                                          0, rng, /*use_bias=*/false);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor ResidualBlock::shortcut_forward(const Tensor& input, bool train) {
+  if (proj_conv_) {
+    Tensor s = proj_conv_->forward(input, train);
+    return proj_bn_->forward(s, train);
+  }
+  if (stride_ == 1 && in_channels_ == out_channels_) return input;
+
+  // Option A: spatial subsample by stride, zero-pad new channels.
+  if (train) input_shape_ = input.shape();
+  const int64_t batch = input.dim(0);
+  const int64_t in_h = input.dim(2);
+  const int64_t in_w = input.dim(3);
+  const int64_t out_h = (in_h + stride_ - 1) / stride_;
+  const int64_t out_w = (in_w + stride_ - 1) / stride_;
+  Tensor out({batch, out_channels_, out_h, out_w});
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < in_channels_; ++c) {
+      for (int64_t y = 0; y < out_h; ++y) {
+        for (int64_t x = 0; x < out_w; ++x) {
+          out.at(n, c, y, x) = input.at(n, c, y * stride_, x * stride_);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ResidualBlock::shortcut_backward(const Tensor& grad) {
+  if (proj_conv_) {
+    Tensor g = proj_bn_->backward(grad);
+    return proj_conv_->backward(g);
+  }
+  if (stride_ == 1 && in_channels_ == out_channels_) return grad;
+
+  if (input_shape_.empty()) {
+    throw std::logic_error("ResidualBlock: shortcut backward before forward");
+  }
+  Tensor out(input_shape_);
+  const int64_t batch = grad.dim(0);
+  const int64_t out_h = grad.dim(2);
+  const int64_t out_w = grad.dim(3);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < in_channels_; ++c) {
+      for (int64_t y = 0; y < out_h; ++y) {
+        for (int64_t x = 0; x < out_w; ++x) {
+          out.at(n, c, y * stride_, x * stride_) = grad.at(n, c, y, x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+  Tensor main = conv1_->forward(input, train);
+  main = bn1_->forward(main, train);
+  main = relu1_->forward(main, train);
+  main = conv2_->forward(main, train);
+  main = bn2_->forward(main, train);
+
+  main += shortcut_forward(input, train);
+  return relu_out_->forward(main, train);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  Tensor g = relu_out_->backward(grad_output);
+
+  // Main branch.
+  Tensor gm = bn2_->backward(g);
+  gm = conv2_->backward(gm);
+  gm = relu1_->backward(gm);
+  gm = bn1_->backward(gm);
+  gm = conv1_->backward(gm);
+
+  gm += shortcut_backward(g);
+  return gm;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> out;
+  for (Layer* l : children()) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Layer*> ResidualBlock::children() {
+  std::vector<Layer*> out{conv1_.get(), bn1_.get(),  relu1_.get(),
+                          conv2_.get(), bn2_.get(), relu_out_.get()};
+  if (proj_conv_) {
+    out.push_back(proj_conv_.get());
+    out.push_back(proj_bn_.get());
+  }
+  return out;
+}
+
+}  // namespace qsnc::nn

@@ -1,0 +1,72 @@
+// Basic residual block (He et al. 2016), CIFAR style:
+//
+//   y = ReLU( BN(conv3x3(ReLU(BN(conv3x3(x))))) + shortcut(x) )
+//
+// Two shortcut kinds when the block changes shape:
+//  * kProjection — 1x1 strided conv + BN (ResNet "option B").
+//  * kPadIdentity — strided spatial subsample + zero channel padding
+//    ("option A", parameter-free). The paper's Table 1/5 ResNet counts
+//    exactly 17 conv layers + 1 FC, which implies option A (projection
+//    convs would add crossbar layers); the model zoo uses it.
+// Implemented as a composite Layer so the rest of the stack (optimizer,
+// serializer, signal hooks, SNC mapper) can treat a ResNet as a flat
+// sequence with nested children.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/relu.h"
+#include "nn/rng.h"
+
+namespace qsnc::nn {
+
+enum class ShortcutKind { kProjection, kPadIdentity };
+
+class ResidualBlock : public Layer {
+ public:
+  /// Block from `in_channels` to `out_channels`; `stride` applies to the
+  /// first conv (and the shortcut, when shape changes).
+  ResidualBlock(int64_t in_channels, int64_t out_channels, int64_t stride,
+                Rng& rng, ShortcutKind shortcut = ShortcutKind::kPadIdentity);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  std::vector<Layer*> children() override;
+  std::string name() const override { return "ResidualBlock"; }
+
+  bool has_projection() const { return proj_conv_ != nullptr; }
+  Conv2d& conv1() { return *conv1_; }
+  Conv2d& conv2() { return *conv2_; }
+  BatchNorm2d& bn1() { return *bn1_; }
+  BatchNorm2d& bn2() { return *bn2_; }
+  Conv2d* proj_conv() { return proj_conv_.get(); }
+  BatchNorm2d* proj_bn() { return proj_bn_.get(); }
+  int64_t stride() const { return stride_; }
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  Tensor shortcut_forward(const Tensor& input, bool train);
+  Tensor shortcut_backward(const Tensor& grad);
+
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t stride_;
+
+  std::unique_ptr<Conv2d> conv1_;
+  std::unique_ptr<BatchNorm2d> bn1_;
+  std::unique_ptr<ReLU> relu1_;
+  std::unique_ptr<Conv2d> conv2_;
+  std::unique_ptr<BatchNorm2d> bn2_;
+  std::unique_ptr<Conv2d> proj_conv_;     // only for kProjection shortcuts
+  std::unique_ptr<BatchNorm2d> proj_bn_;  // paired with proj_conv_
+  std::unique_ptr<ReLU> relu_out_;
+
+  Shape input_shape_;  // cached for pad-identity backward
+};
+
+}  // namespace qsnc::nn

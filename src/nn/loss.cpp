@@ -1,0 +1,54 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+std::vector<float> softmax(const float* logits, int64_t k) {
+  std::vector<float> p(static_cast<size_t>(k));
+  const float m = *std::max_element(logits, logits + k);
+  float z = 0.0f;
+  for (int64_t j = 0; j < k; ++j) {
+    p[static_cast<size_t>(j)] = std::exp(logits[j] - m);
+    z += p[static_cast<size_t>(j)];
+  }
+  for (float& v : p) v /= z;
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: logits must be rank 2");
+  }
+  const int64_t n = logits.dim(0);
+  const int64_t k = logits.dim(1);
+  if (static_cast<int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double loss_acc = 0.0;
+
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= k) {
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    }
+    const float* row = logits.data() + i * k;
+    const std::vector<float> p = softmax(row, k);
+    loss_acc += -std::log(std::max(p[static_cast<size_t>(y)], 1e-12f));
+    float* grow = result.grad.data() + i * k;
+    for (int64_t j = 0; j < k; ++j) {
+      grow[j] = (p[static_cast<size_t>(j)] - (j == y ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  result.loss = static_cast<float>(loss_acc * inv_n);
+  return result;
+}
+
+}  // namespace qsnc::nn

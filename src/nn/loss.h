@@ -1,0 +1,24 @@
+// Classification loss: numerically stable softmax cross-entropy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace qsnc::nn {
+
+struct LossResult {
+  float loss = 0.0f;   // mean over the batch
+  Tensor grad;         // dLoss/dLogits, [N, K]
+};
+
+/// Mean softmax cross-entropy over a batch of logits [N, K] against integer
+/// class labels in [0, K).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int64_t>& labels);
+
+/// Softmax probabilities of one logits row (utility for examples/tests).
+std::vector<float> softmax(const float* logits, int64_t k);
+
+}  // namespace qsnc::nn

@@ -1,0 +1,43 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace qsnc::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  float grad_scale = 1.0f;
+  if (config_.max_grad_norm > 0.0f) {
+    double sq = 0.0;
+    for (Param* p : params_) sq += p->grad.squared_norm();
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (norm > config_.max_grad_norm) {
+      grad_scale = config_.max_grad_norm / norm;
+    }
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float lr = config_.lr;
+    const float mu = config_.momentum;
+    const float wd = config_.weight_decay;
+    for (int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] * grad_scale + wd * p.value[j];
+      v[j] = mu * v[j] - lr * g;
+      p.value[j] += v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace qsnc::nn

@@ -1,0 +1,41 @@
+// SGD optimizer with classical momentum and decoupled L2 weight decay
+// (the R(W) term of the paper's Eq 2 in its most common concrete form).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace qsnc::nn {
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;  // lambda for the L2 term of Eq 2
+  /// Global gradient-norm ceiling applied before each step (0 disables).
+  /// The signal-unit input convention (pixels scaled to the integer spike
+  /// range) makes early epochs noisy; clipping keeps training stable
+  /// across initialization seeds.
+  float max_grad_norm = 5.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig config);
+
+  /// Applies one update step using the gradients currently accumulated in
+  /// each Param, then leaves gradients untouched (call zero_grad next).
+  void step();
+
+  void zero_grad();
+
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+}  // namespace qsnc::nn

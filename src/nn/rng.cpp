@@ -1,0 +1,28 @@
+#include "nn/rng.h"
+
+#include <algorithm>
+
+namespace qsnc::nn {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> d(lo, hi);
+  return d(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> d(mean, stddev);
+  return d(engine_);
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+}  // namespace qsnc::nn

@@ -1,0 +1,116 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/layers/batchnorm.h"
+
+namespace qsnc::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x51534e43;  // "QSNC"
+constexpr uint32_t kVersion = 1;
+
+// Collects pointers to every state tensor in deterministic order:
+// leaf params first (network order), then BN running stats (network order).
+std::vector<Tensor*> state_tensors(Network& net) {
+  std::vector<Tensor*> out;
+  for (Param* p : net.params()) out.push_back(&p->value);
+  for (size_t i = 0; i < net.size(); ++i) {
+    visit_layers(&net.layer(i), [&out](Layer* l) {
+      if (auto* bn = dynamic_cast<BatchNorm2d*>(l)) {
+        // const_cast is safe: we own the network mutably here.
+        out.push_back(const_cast<Tensor*>(&bn->running_mean()));
+        out.push_back(const_cast<Tensor*>(&bn->running_var()));
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+NetworkState snapshot(Network& net) {
+  NetworkState state;
+  for (Tensor* t : state_tensors(net)) state.tensors.push_back(*t);
+  return state;
+}
+
+void restore(Network& net, const NetworkState& state) {
+  std::vector<Tensor*> dst = state_tensors(net);
+  if (dst.size() != state.tensors.size()) {
+    throw std::invalid_argument("restore: state tensor count mismatch");
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->shape() != state.tensors[i].shape()) {
+      throw std::invalid_argument("restore: shape mismatch at tensor " +
+                                  std::to_string(i));
+    }
+    *dst[i] = state.tensors[i];
+  }
+}
+
+void save_state(Network& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_state: cannot open " + path);
+
+  const NetworkState state = snapshot(net);
+  auto write_u32 = [&f](uint32_t v) {
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto write_i64 = [&f](int64_t v) {
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+
+  write_u32(kMagic);
+  write_u32(kVersion);
+  write_u32(static_cast<uint32_t>(state.tensors.size()));
+  for (const Tensor& t : state.tensors) {
+    write_u32(static_cast<uint32_t>(t.rank()));
+    for (int64_t d : t.shape()) write_i64(d);
+    f.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!f) throw std::runtime_error("save_state: write failed for " + path);
+}
+
+void load_state(Network& net, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_state: cannot open " + path);
+
+  auto read_u32 = [&f]() {
+    uint32_t v = 0;
+    f.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  auto read_i64 = [&f]() {
+    int64_t v = 0;
+    f.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+
+  if (read_u32() != kMagic) {
+    throw std::runtime_error("load_state: bad magic in " + path);
+  }
+  if (read_u32() != kVersion) {
+    throw std::runtime_error("load_state: unsupported version in " + path);
+  }
+  const uint32_t count = read_u32();
+  NetworkState state;
+  state.tensors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t rank = read_u32();
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) shape[d] = read_i64();
+    Tensor t(shape);
+    f.read(reinterpret_cast<char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    state.tensors.push_back(std::move(t));
+  }
+  if (!f) throw std::runtime_error("load_state: truncated file " + path);
+  restore(net, state);
+}
+
+}  // namespace qsnc::nn

@@ -1,0 +1,36 @@
+// Network state snapshot / restore, in memory and on disk.
+//
+// State covers all trainable parameters plus batch-norm running statistics.
+// The in-memory snapshot is used heavily by the QAT pipeline: the paper's
+// "with / without" comparisons must start both arms from the identical
+// initialization, so the pipeline snapshots after init and restores between
+// arms. The on-disk format is a simple versioned little-endian dump.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace qsnc::nn {
+
+/// Opaque full state of a network (parameters + BN running stats).
+struct NetworkState {
+  std::vector<Tensor> tensors;
+};
+
+/// Captures all state tensors of the network, in deterministic order.
+NetworkState snapshot(Network& net);
+
+/// Restores a snapshot taken from a structurally identical network.
+/// Throws std::invalid_argument on any shape mismatch.
+void restore(Network& net, const NetworkState& state);
+
+/// Writes the snapshot to `path`. Throws std::runtime_error on I/O failure.
+void save_state(Network& net, const std::string& path);
+
+/// Reads state previously written by save_state into the (structurally
+/// identical) network. Throws on I/O failure or shape mismatch.
+void load_state(Network& net, const std::string& path);
+
+}  // namespace qsnc::nn

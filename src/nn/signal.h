@@ -1,0 +1,48 @@
+// Hooks attached to inter-layer signal boundaries (activation layers).
+//
+// The paper's two signal-side mechanisms plug in here:
+//  * SignalRegularizer — a differentiable penalty added to each inter-layer
+//    signal during training (Eq 2's Rg term; the Neuron Convergence form is
+//    Eq 3, and the l1 / truncated-l1 comparison forms of Fig 3 implement the
+//    same interface).
+//  * SignalQuantizer — a (non-differentiable) value mapping applied to the
+//    signal in the forward pass, e.g. rounding to M-bit fixed integers.
+//    Backward uses the straight-through estimator: gradients pass where the
+//    quantizer is locally identity-like (inside its clip range) and are
+//    zeroed where the value was clipped.
+//
+// Both hooks are non-owning observers from the layer's point of view; the
+// objects themselves live in the QAT pipeline that configures the network.
+#pragma once
+
+namespace qsnc::nn {
+
+/// Differentiable per-element penalty on an inter-layer signal value.
+class SignalRegularizer {
+ public:
+  virtual ~SignalRegularizer() = default;
+
+  /// Penalty contribution rg(o) of a single signal element.
+  virtual float penalty(float o) const = 0;
+
+  /// d rg / d o at the given value (subgradient at kinks).
+  virtual float grad(float o) const = 0;
+
+  /// Layer-weight lambda_i multiplying this regularizer in the loss (Eq 2).
+  virtual float lambda() const = 0;
+};
+
+/// Forward-only value mapping applied at a signal boundary.
+class SignalQuantizer {
+ public:
+  virtual ~SignalQuantizer() = default;
+
+  /// Quantized value of a single signal element.
+  virtual float apply(float o) const = 0;
+
+  /// True when the straight-through estimator should pass gradient at o
+  /// (i.e. o lies inside the quantizer's representable range).
+  virtual bool pass_through(float o) const = 0;
+};
+
+}  // namespace qsnc::nn

@@ -1,0 +1,230 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace qsnc::nn {
+
+int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("shape_numel: negative extent");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (static_cast<int64_t>(data_.size()) != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: values size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  Shape s{static_cast<int64_t>(values.size())};
+  return Tensor(std::move(s), std::move(values));
+}
+
+int64_t Tensor::dim(int64_t d) const {
+  const int64_t r = rank();
+  if (d < 0) d += r;
+  if (d < 0 || d >= r) {
+    throw std::out_of_range("Tensor::dim: axis " + std::to_string(d) +
+                            " out of range for rank " + std::to_string(r));
+  }
+  return shape_[static_cast<size_t>(d)];
+}
+
+void Tensor::check_index(int64_t i) const {
+  assert(i >= 0 && i < numel());
+  (void)i;
+}
+
+float& Tensor::operator[](int64_t i) {
+  check_index(i);
+  return data_[static_cast<size_t>(i)];
+}
+
+float Tensor::operator[](int64_t i) const {
+  check_index(i);
+  return data_[static_cast<size_t>(i)];
+}
+
+namespace {
+// Rank mismatches are programming errors that silently index out of bounds
+// if unchecked; the single compare is negligible next to the arithmetic.
+void require_rank(const Shape& shape, size_t expected) {
+  if (shape.size() != expected) {
+    throw std::logic_error("Tensor::at: rank-" + std::to_string(expected) +
+                           " accessor on tensor of shape " +
+                           shape_to_string(shape));
+  }
+}
+}  // namespace
+
+float& Tensor::at(int64_t i, int64_t j) {
+  require_rank(shape_, 2);
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  require_rank(shape_, 2);
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float& Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) {
+  require_rank(shape_, 4);
+  return data_[static_cast<size_t>(
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+
+float Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  require_rank(shape_, 4);
+  return data_[static_cast<size_t>(
+      ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  int64_t known = 1;
+  int64_t infer_axis = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      if (infer_axis >= 0) {
+        throw std::invalid_argument("Tensor::reshape: multiple -1 axes");
+      }
+      infer_axis = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    if (known == 0 || numel() % known != 0) {
+      throw std::invalid_argument("Tensor::reshape: cannot infer axis for " +
+                                  shape_to_string(new_shape));
+    }
+    new_shape[static_cast<size_t>(infer_axis)] = numel() / known;
+  }
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape));
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("Tensor::operator+=: shape mismatch " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(other.shape_));
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("Tensor::operator-=: shape mismatch");
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Tensor operator-(Tensor lhs, const Tensor& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, float scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) throw std::logic_error("Tensor::mean on empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+int64_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+  return static_cast<int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::squared_norm() const {
+  float s = 0.0f;
+  for (float v : data_) s += v * v;
+  return s;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace qsnc::nn

@@ -1,0 +1,111 @@
+// Dense float tensor used throughout the qsnc library.
+//
+// Layout is row-major with the conventional NCHW interpretation for
+// 4-D activations and OIHW for convolution weights. The class is a thin,
+// value-semantic wrapper over a contiguous std::vector<float>; it never
+// aliases and copies are deep, which keeps layer implementations easy to
+// reason about at the cost of some copying (acceptable at the model sizes
+// this reproduction targets).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qsnc::nn {
+
+/// Shape of a tensor: a short list of non-negative extents.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape (1 for rank-0).
+int64_t shape_numel(const Shape& shape);
+
+/// Human-readable form, e.g. "[2, 3, 28, 28]".
+std::string shape_to_string(const Shape& shape);
+
+/// Dense float tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty rank-0 tensor with a single zero element is NOT created;
+  /// a default tensor has no elements and empty shape.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor of the given shape adopting `values` (size must match).
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// Convenience 1-D constructor: Tensor::vector({1.f, 2.f}).
+  static Tensor from_vector(std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Extent of dimension `d` (negative d counts from the back).
+  int64_t dim(int64_t d) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  /// Flat element access with bounds checking in debug builds.
+  float& operator[](int64_t i);
+  float operator[](int64_t i) const;
+
+  /// 2-D access (rank must be 2).
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+
+  /// 4-D NCHW access (rank must be 4).
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w);
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  /// Returns a tensor with the same data and a new shape.
+  /// numel must be preserved. One dimension may be -1 (inferred).
+  Tensor reshape(Shape new_shape) const;
+
+  /// In-place fill.
+  void fill(float value);
+
+  /// In-place element-wise operations (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// Element-wise binary ops returning new tensors.
+  friend Tensor operator+(Tensor lhs, const Tensor& rhs);
+  friend Tensor operator-(Tensor lhs, const Tensor& rhs);
+  friend Tensor operator*(Tensor lhs, float scalar);
+
+  /// Reductions.
+  float sum() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  float mean() const;
+
+  /// Index of the maximum element (first on ties). Requires numel > 0.
+  int64_t argmax() const;
+
+  /// Squared L2 norm of all elements.
+  float squared_norm() const;
+
+  /// True when shapes are equal and all elements differ by at most `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+ private:
+  void check_index(int64_t i) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace qsnc::nn

@@ -1,0 +1,75 @@
+#include "snc/cost_model.h"
+
+#include <stdexcept>
+
+#include "snc/spike.h"
+
+namespace qsnc::snc {
+
+int weight_slices(int weight_bits, int device_bits) {
+  if (weight_bits < 1 || device_bits < 1) {
+    throw std::invalid_argument("weight_slices: non-positive bits");
+  }
+  return (weight_bits + device_bits - 1) / device_bits;
+}
+
+SystemCost evaluate_cost(const ModelMapping& mapping, int signal_bits,
+                         int weight_bits, const CostParams& params) {
+  if (mapping.layers.empty()) {
+    throw std::invalid_argument("evaluate_cost: empty mapping");
+  }
+  const int64_t T = window_slots(signal_bits);
+  const int64_t L = mapping.layer_count();
+  const int slices = weight_slices(weight_bits, params.device_bits);
+  const double tile_cells = static_cast<double>(params.crossbar_size) *
+                            static_cast<double>(params.crossbar_size);
+
+  SystemCost cost;
+  cost.layers = L;
+  cost.window_slots = T;
+
+  // Speed: one spike wave crosses all L stages per slot; a window of T
+  // slots plus per-layer setup forms one inference period.
+  const double period_ns =
+      static_cast<double>(T) * static_cast<double>(L) * params.t_prop_ns +
+      static_cast<double>(L) * params.t_setup_ns;
+  cost.speed_mhz = 1e3 / period_ns;  // ns -> MHz
+
+  double e_slot_pj = 0.0;   // energy of one slot across all layers
+  double e_fixed_pj = 0.0;  // per-window energy (counters)
+  double area_um2 = 0.0;
+  for (const LayerMapping& l : mapping.layers) {
+    const double rows = static_cast<double>(l.rows);
+    const double cols = static_cast<double>(l.cols);
+    const double tiles = static_cast<double>(l.crossbars * slices);
+    const double positions =
+        static_cast<double>(l.desc.out_h * l.desc.out_w);
+    cost.crossbars += l.crossbars * slices;
+
+    e_slot_pj += positions * (rows * params.e_driver_pj +
+                              tiles * params.e_xbar_pj +
+                              cols * params.e_ifc_pj);
+    e_fixed_pj += positions * cols * static_cast<double>(signal_bits) *
+                  params.e_cnt_bit_pj;
+
+    area_um2 += tiles * tile_cells * params.a_cell_um2 +
+                rows * params.a_driver_um2 + cols * params.a_ifc_um2 +
+                cols * static_cast<double>(signal_bits) * params.a_perbit_um2;
+  }
+
+  cost.energy_uj = (static_cast<double>(T) * e_slot_pj + e_fixed_pj) * 1e-6;
+  cost.area_mm2 = area_um2 * 1e-6;
+  return cost;
+}
+
+CostComparison compare_cost(const SystemCost& baseline,
+                            const SystemCost& proposed) {
+  CostComparison cmp;
+  cmp.speedup = proposed.speed_mhz / baseline.speed_mhz;
+  cmp.energy_saving_pct =
+      (1.0 - proposed.energy_uj / baseline.energy_uj) * 100.0;
+  cmp.area_saving_pct = (1.0 - proposed.area_mm2 / baseline.area_mm2) * 100.0;
+  return cmp;
+}
+
+}  // namespace qsnc::snc

@@ -1,0 +1,140 @@
+#include "snc/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::snc {
+
+namespace {
+size_t checked_cells(int64_t rows, int64_t cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("Crossbar: non-positive extent");
+  }
+  return static_cast<size_t>(rows * cols);
+}
+}  // namespace
+
+Crossbar::Crossbar(int64_t rows, int64_t cols, const MemristorConfig& config)
+    : rows_(rows),
+      cols_(cols),
+      config_(config),
+      g_(checked_cells(rows, cols), g_min(config)) {}
+
+void Crossbar::program_cell(int64_t r, int64_t c, int64_t level,
+                            int64_t max_level, nn::Rng* rng) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("Crossbar::program_cell: cell out of range");
+  }
+  if (rng != nullptr) {
+    // Fabrication defects override programming entirely.
+    if (config_.stuck_off_rate > 0.0 && rng->bernoulli(config_.stuck_off_rate)) {
+      g_[static_cast<size_t>(index(r, c))] = g_min(config_);
+      return;
+    }
+    if (config_.stuck_on_rate > 0.0 && rng->bernoulli(config_.stuck_on_rate)) {
+      g_[static_cast<size_t>(index(r, c))] = g_max(config_);
+      return;
+    }
+  }
+  double g = level_conductance(level, max_level, config_);
+  if (config_.variation_sigma > 0.0 && rng != nullptr) {
+    g *= std::exp(rng->normal(0.0f,
+                              static_cast<float>(config_.variation_sigma)));
+    g = std::clamp(g, g_min(config_), g_max(config_));
+  }
+  g_[static_cast<size_t>(index(r, c))] = g;
+}
+
+double Crossbar::conductance(int64_t r, int64_t c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("Crossbar::conductance: cell out of range");
+  }
+  return g_[static_cast<size_t>(index(r, c))];
+}
+
+double Crossbar::effective_conductance(int64_t r, int64_t c) const {
+  const double g = g_[static_cast<size_t>(index(r, c))];
+  if (config_.wire_resistance_ohm <= 0.0) return g;
+  // First-order IR drop: (r + c + 2) wire segments in series with the cell.
+  const double segments = static_cast<double>(r + c + 2);
+  return g / (1.0 + g * config_.wire_resistance_ohm * segments);
+}
+
+std::vector<double> Crossbar::read_columns(
+    const std::vector<double>& volts) const {
+  if (static_cast<int64_t>(volts.size()) != rows_) {
+    throw std::invalid_argument("Crossbar::read_columns: bad voltage count");
+  }
+  std::vector<double> currents(static_cast<size_t>(cols_), 0.0);
+  const bool ideal_wires = config_.wire_resistance_ohm <= 0.0;
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double v = volts[static_cast<size_t>(r)];
+    if (v == 0.0) continue;
+    const double* row = g_.data() + r * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      currents[static_cast<size_t>(c)] +=
+          v * (ideal_wires ? row[c] : effective_conductance(r, c));
+    }
+  }
+  return currents;
+}
+
+std::vector<double> Crossbar::read_columns_spiking(
+    const std::vector<uint8_t>& spikes, double v_read) const {
+  if (static_cast<int64_t>(spikes.size()) != rows_) {
+    throw std::invalid_argument(
+        "Crossbar::read_columns_spiking: bad spike count");
+  }
+  std::vector<double> currents(static_cast<size_t>(cols_), 0.0);
+  const bool ideal_wires = config_.wire_resistance_ohm <= 0.0;
+  for (int64_t r = 0; r < rows_; ++r) {
+    if (spikes[static_cast<size_t>(r)] == 0) continue;
+    const double* row = g_.data() + r * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      currents[static_cast<size_t>(c)] +=
+          v_read * (ideal_wires ? row[c] : effective_conductance(r, c));
+    }
+  }
+  return currents;
+}
+
+DifferentialCrossbar::DifferentialCrossbar(int64_t rows, int64_t cols,
+                                           const MemristorConfig& config)
+    : rows_(rows),
+      cols_(cols),
+      config_(config),
+      plus_(rows, cols, config),
+      minus_(rows, cols, config) {}
+
+void DifferentialCrossbar::program_cell(int64_t r, int64_t c,
+                                        int64_t signed_level,
+                                        int64_t max_level, nn::Rng* rng) {
+  const int64_t magnitude = signed_level >= 0 ? signed_level : -signed_level;
+  if (signed_level >= 0) {
+    plus_.program_cell(r, c, magnitude, max_level, rng);
+    minus_.program_cell(r, c, 0, max_level, rng);
+  } else {
+    plus_.program_cell(r, c, 0, max_level, rng);
+    minus_.program_cell(r, c, magnitude, max_level, rng);
+  }
+}
+
+std::vector<double> DifferentialCrossbar::read_columns_spiking(
+    const std::vector<uint8_t>& spikes, double v_read) const {
+  std::vector<double> ip = plus_.read_columns_spiking(spikes, v_read);
+  const std::vector<double> im = minus_.read_columns_spiking(spikes, v_read);
+  for (size_t c = 0; c < ip.size(); ++c) ip[c] -= im[c];
+  return ip;
+}
+
+int64_t DifferentialCrossbar::read_level(int64_t r, int64_t c,
+                                         int64_t max_level) const {
+  const int64_t kp = nearest_level(plus_.conductance(r, c), max_level,
+                                   config_);
+  const int64_t km = nearest_level(minus_.conductance(r, c), max_level,
+                                   config_);
+  return kp - km;
+}
+
+}  // namespace qsnc::snc

@@ -1,0 +1,87 @@
+// Memristor crossbar array: the analog vector-matrix multiply primitive.
+//
+// A crossbar of R rows x C columns computes, in one read cycle, the column
+// currents  I_c = sum_r V_r * G[r][c]  for the word-line voltages V_r. A
+// *signed* weight matrix uses two physical arrays (positive and negative
+// cells); the differential column current is what the IFC integrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/rng.h"
+#include "snc/memristor.h"
+
+namespace qsnc::snc {
+
+/// One physical conductance array.
+class Crossbar {
+ public:
+  Crossbar(int64_t rows, int64_t cols, const MemristorConfig& config);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  /// Programs the cell at (r, c) to the given magnitude level of an N-bit
+  /// grid. Pass `rng` to draw programming variation per the device config.
+  void program_cell(int64_t r, int64_t c, int64_t level, int64_t max_level,
+                    nn::Rng* rng = nullptr);
+
+  double conductance(int64_t r, int64_t c) const;
+
+  /// Conductance as seen through the wire-resistance model (equals
+  /// conductance() when the config has ideal wires).
+  double effective_conductance(int64_t r, int64_t c) const;
+
+  /// Column currents (amps) for word-line voltages `volts` (size rows()).
+  std::vector<double> read_columns(const std::vector<double>& volts) const;
+
+  /// Column currents when word lines carry binary spikes at `v_read`:
+  /// rows with spike[r] != 0 are driven, the rest are grounded.
+  std::vector<double> read_columns_spiking(const std::vector<uint8_t>& spikes,
+                                           double v_read) const;
+
+ private:
+  int64_t index(int64_t r, int64_t c) const { return r * cols_ + c; }
+
+  int64_t rows_;
+  int64_t cols_;
+  MemristorConfig config_;
+  std::vector<double> g_;  // row-major conductances
+};
+
+/// A differential pair of crossbars realizing a signed weight block.
+/// Weight levels k in [-max_level, +max_level]: positive k programs the
+/// plus array, negative k the minus array; the other cell stays at level 0
+/// (g_min leakage), and the differential current cancels the common leak.
+class DifferentialCrossbar {
+ public:
+  DifferentialCrossbar(int64_t rows, int64_t cols,
+                       const MemristorConfig& config);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  void program_cell(int64_t r, int64_t c, int64_t signed_level,
+                    int64_t max_level, nn::Rng* rng = nullptr);
+
+  /// Differential column currents I_plus - I_minus for binary spikes.
+  std::vector<double> read_columns_spiking(const std::vector<uint8_t>& spikes,
+                                           double v_read) const;
+
+  /// Signed level read back from the pair (ideal devices round-trip
+  /// exactly; with variation this is the nearest level).
+  int64_t read_level(int64_t r, int64_t c, int64_t max_level) const;
+
+  const Crossbar& plus() const { return plus_; }
+  const Crossbar& minus() const { return minus_; }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  MemristorConfig config_;
+  Crossbar plus_;
+  Crossbar minus_;
+};
+
+}  // namespace qsnc::snc

@@ -1,0 +1,94 @@
+#include "snc/mapper.h"
+
+#include <stdexcept>
+
+#include "nn/im2col.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+
+namespace qsnc::snc {
+
+int64_t ModelMapping::total_crossbars() const {
+  int64_t n = 0;
+  for (const LayerMapping& l : layers) n += l.crossbars;
+  return n;
+}
+
+int64_t ModelMapping::total_rows() const {
+  int64_t n = 0;
+  for (const LayerMapping& l : layers) n += l.rows;
+  return n;
+}
+
+int64_t ModelMapping::total_cols() const {
+  int64_t n = 0;
+  for (const LayerMapping& l : layers) n += l.cols;
+  return n;
+}
+
+int64_t crossbars_for(int64_t rows, int64_t cols, int64_t t) {
+  if (rows <= 0 || cols <= 0 || t <= 0) {
+    throw std::invalid_argument("crossbars_for: non-positive extent");
+  }
+  const auto ceil_div = [](int64_t a, int64_t b) { return (a + b - 1) / b; };
+  return ceil_div(cols, t) * ceil_div(rows, t);  // Eq 1
+}
+
+ModelMapping map_network(nn::Network& net, const std::string& model_name,
+                         const nn::Shape& input_chw, int64_t crossbar_size) {
+  if (input_chw.size() != 3) {
+    throw std::invalid_argument("map_network: input shape must be [C,H,W]");
+  }
+  // A single training-mode forward pass makes every Conv2d cache its input,
+  // from which the mapper recovers spatial extents.
+  nn::Tensor probe({1, input_chw[0], input_chw[1], input_chw[2]});
+  net.forward(probe, /*train=*/true);
+
+  ModelMapping mapping;
+  mapping.model = model_name;
+  mapping.crossbar_size = crossbar_size;
+
+  int conv_index = 0;
+  int fc_index = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    nn::visit_layers(&net.layer(i), [&](nn::Layer* l) {
+      if (auto* conv = dynamic_cast<nn::Conv2d*>(l)) {
+        const nn::Tensor& in = conv->input_cache();
+        LayerDesc desc;
+        desc.kind = LayerKind::kConv;
+        desc.label = "conv" + std::to_string(++conv_index);
+        desc.filters = conv->out_channels();
+        desc.kernel = conv->kernel();
+        desc.in_channels = conv->in_channels();
+        desc.out_h = nn::conv_out_extent(in.dim(2), conv->kernel(),
+                                         conv->stride(), conv->pad());
+        desc.out_w = nn::conv_out_extent(in.dim(3), conv->kernel(),
+                                         conv->stride(), conv->pad());
+        LayerMapping lm;
+        lm.desc = desc;
+        lm.rows = desc.kernel * desc.kernel * desc.in_channels;
+        lm.cols = desc.filters;
+        lm.crossbars = crossbars_for(lm.rows, lm.cols, crossbar_size);
+        mapping.layers.push_back(lm);
+      } else if (auto* fc = dynamic_cast<nn::Dense*>(l)) {
+        LayerDesc desc;
+        desc.kind = LayerKind::kFullyConnected;
+        desc.label = "fc" + std::to_string(++fc_index);
+        desc.filters = fc->out_features();
+        desc.kernel = 1;
+        desc.in_channels = fc->in_features();
+        desc.out_h = 1;
+        desc.out_w = 1;
+        LayerMapping lm;
+        lm.desc = desc;
+        lm.rows = desc.in_channels;
+        lm.cols = desc.filters;
+        lm.crossbars = crossbars_for(lm.rows, lm.cols, crossbar_size);
+        mapping.layers.push_back(lm);
+      }
+    });
+  }
+  return mapping;
+}
+
+}  // namespace qsnc::snc

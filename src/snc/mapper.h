@@ -1,0 +1,63 @@
+// Layer-to-crossbar mapping (paper Sec 2.2, Eq 1).
+//
+// A convolutional layer i with J^i filters of size s_i x s_i x d_i maps its
+// filters column-by-column: filter j occupies bit line j, so the layer
+// needs s_i^2 * d_i rows and J^i columns, tiled over t x t crossbars:
+//
+//   L_i = ceil(J^i / t) * ceil(s_i^2 * J^{i-1} / t)          (Eq 1)
+//
+// A fully connected layer is the degenerate case s=1 (in-features rows,
+// out-features columns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace qsnc::snc {
+
+enum class LayerKind { kConv, kFullyConnected };
+
+/// Geometry of one weight-bearing layer as seen by the mapper.
+struct LayerDesc {
+  LayerKind kind = LayerKind::kConv;
+  std::string label;
+  int64_t filters = 0;      // J^i (conv) or out-features (FC)
+  int64_t kernel = 0;       // s_i (1 for FC)
+  int64_t in_channels = 0;  // d_i (conv) or in-features (FC)
+  int64_t out_h = 0;        // output spatial extent (conv; 1 for FC)
+  int64_t out_w = 0;
+};
+
+/// Crossbar tiling of one layer.
+struct LayerMapping {
+  LayerDesc desc;
+  int64_t rows = 0;       // logical rows required
+  int64_t cols = 0;       // logical columns required
+  int64_t crossbars = 0;  // Eq 1 tile count (per slice)
+};
+
+/// Whole-model mapping.
+struct ModelMapping {
+  std::string model;
+  int64_t crossbar_size = 32;  // t
+  std::vector<LayerMapping> layers;
+
+  int64_t total_crossbars() const;
+  int64_t total_rows() const;
+  int64_t total_cols() const;
+  int64_t layer_count() const { return static_cast<int64_t>(layers.size()); }
+};
+
+/// Eq 1 for one layer.
+int64_t crossbars_for(int64_t rows, int64_t cols, int64_t t);
+
+/// Extracts the weight-bearing layers (Conv2d at any nesting depth, Dense)
+/// of `net` in forward order and tiles each onto t x t crossbars. The
+/// input image shape [C, H, W] is needed to track conv output extents.
+ModelMapping map_network(nn::Network& net, const std::string& model_name,
+                         const nn::Shape& input_chw, int64_t crossbar_size);
+
+}  // namespace qsnc::snc

@@ -1,0 +1,49 @@
+#include "snc/programming.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "snc/cost_model.h"
+
+namespace qsnc::snc {
+
+double pulses_per_cell(int weight_bits, const ProgrammingParams& params) {
+  if (weight_bits < 1 || weight_bits > 16) {
+    throw std::invalid_argument("pulses_per_cell: bits out of range");
+  }
+  const int per_device = std::min(weight_bits, params.device_bits);
+  return params.pulses_base *
+         std::ldexp(1.0, per_device - 1);  // pulses_base * 2^(bits-1)
+}
+
+ProgrammingCost evaluate_programming(const ModelMapping& mapping,
+                                     int weight_bits,
+                                     const ProgrammingParams& params) {
+  if (mapping.layers.empty()) {
+    throw std::invalid_argument("evaluate_programming: empty mapping");
+  }
+  const int slices = weight_slices(weight_bits, params.device_bits);
+  const double pulses = pulses_per_cell(weight_bits, params);
+
+  ProgrammingCost cost;
+  double serial_time_ns = 0.0;
+  for (const LayerMapping& l : mapping.layers) {
+    // Differential pair: two physical cells per logical weight, per slice.
+    const int64_t layer_cells = 2 * l.rows * l.cols * slices;
+    cost.cells += layer_cells;
+
+    // Rows program in parallel groups; columns within a row are written
+    // together by the bit-line drivers.
+    const int64_t row_groups =
+        (l.rows + params.parallel_rows - 1) / params.parallel_rows;
+    serial_time_ns += static_cast<double>(row_groups) * 2.0 *
+                      static_cast<double>(slices) * pulses *
+                      (params.t_pulse_ns + params.t_verify_ns);
+  }
+  cost.total_pulses = static_cast<double>(cost.cells) * pulses;
+  cost.time_ms = serial_time_ns * 1e-6;
+  cost.energy_uj = cost.total_pulses * params.e_pulse_pj * 1e-6;
+  return cost;
+}
+
+}  // namespace qsnc::snc

@@ -1,0 +1,57 @@
+// Crossbar programming (write) cost model.
+//
+// The paper's motivation for <= 4-bit devices (Sec 1): although memristors
+// can afford 6-bit conductance levels (HP Labs, ref [16]), "the heavy
+// programming cost in speed and circuit design are not acceptable".
+// Programming a cell to one of 2^N levels uses write-verify iterations:
+// each pulse nudges the conductance, a read verifies, and the loop repeats
+// until the level tolerance is met. Empirically the iteration count grows
+// with level resolution — tighter tolerance windows take more pulses — so
+// per-cell cost scales superlinearly with N.
+//
+// Model:
+//   pulses(cell)   = pulses_base * 2^(N - 1) / tolerance_factor
+//   (expected write-verify pulses to land in a 1/2^N-wide window from a
+//   random starting state; the 2^(N-1) factor is the standard
+//   binary-search-free pessimistic bound used in programming studies)
+//   time(model)    = cells * pulses * (t_pulse + t_verify)   (serial/row)
+//   energy(model)  = cells * pulses * e_pulse
+//
+// Programming happens once per deployment, but matters for reconfigurable
+// systems and for the 8-bit baseline's 2x cell count.
+#pragma once
+
+#include <cstdint>
+
+#include "snc/mapper.h"
+
+namespace qsnc::snc {
+
+struct ProgrammingParams {
+  double pulses_base = 2.0;    // pulses for a 1-bit cell
+  double t_pulse_ns = 50.0;    // one SET/RESET pulse
+  double t_verify_ns = 20.0;   // one verify read
+  double e_pulse_pj = 8.0;     // energy per pulse
+  /// Rows programmed in parallel per crossbar (write drivers per array).
+  int64_t parallel_rows = 1;
+  int device_bits = 4;         // native device precision per slice
+};
+
+struct ProgrammingCost {
+  double total_pulses = 0.0;
+  double time_ms = 0.0;
+  double energy_uj = 0.0;
+  int64_t cells = 0;  // differential cells programmed (2 per weight)
+};
+
+/// Expected write-verify pulses per cell at N-bit target precision.
+double pulses_per_cell(int weight_bits, const ProgrammingParams& params);
+
+/// Programming cost of deploying a mapped model at `weight_bits` weights
+/// (bit-sliced over `params.device_bits` devices like the run-time cost
+/// model).
+ProgrammingCost evaluate_programming(const ModelMapping& mapping,
+                                     int weight_bits,
+                                     const ProgrammingParams& params = {});
+
+}  // namespace qsnc::snc

@@ -1,0 +1,587 @@
+#include "snc/snc_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bn_folding.h"
+#include "core/fixed_point.h"
+#include "nn/im2col.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/pool.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/relu.h"
+#include "nn/layers/residual.h"
+
+namespace qsnc::snc {
+
+struct SncSystem::Stage {
+  enum class Kind {
+    kConv,
+    kDense,
+    kMaxPool,
+    kAvgPool,
+    kGlobalAvgPool,
+  };
+  Kind kind = Kind::kConv;
+
+  // Geometry (all stages).
+  int64_t in_c = 0, in_h = 0, in_w = 0;
+  int64_t out_c = 0, out_h = 0, out_w = 0;
+  int64_t kernel = 0, stride = 0, pad = 0;
+
+  // Crossbar-backed stages.
+  std::unique_ptr<DifferentialCrossbar> xbar;  // [rows x cols] logical
+  std::vector<float> bias;                     // per output column
+  float step = 0.0f;     // weight units per grid level (scale / 2^N)
+  bool rectify = false;  // followed by ReLU: clamp + M-bit counter ceiling
+
+  // Residual plumbing (pad-identity shortcuts). A save_skip stage latches
+  // its *input* signal into the skip register before executing; an
+  // add_skip stage adds the (subsampled, zero-channel-padded) register to
+  // its raw counter outputs and then rectifies.
+  bool save_skip = false;
+  bool add_skip = false;
+  int64_t skip_in_c = 0;    // channels of the latched signal
+  int64_t skip_stride = 1;  // spatial subsample factor of the shortcut
+
+  // Output layer: read with an analog winner-take-all instead of an M-bit
+  // counter, so sub-spike logit differences survive.
+  bool final_readout = false;
+};
+
+namespace {
+
+int64_t round_half_up(double v) {
+  return static_cast<int64_t>(std::floor(v + 0.5));
+}
+
+}  // namespace
+
+SncSystem::~SncSystem() = default;
+
+SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
+                     const SncConfig& config)
+    : config_(config), input_chw_(input_chw), rng_(config.seed) {
+  if (input_chw.size() != 3) {
+    throw std::invalid_argument("SncSystem: input shape must be [C,H,W]");
+  }
+  const int64_t kmax = int64_t{1} << (config.weight_bits - 1);
+  if (config.weight_scales.empty()) {
+    throw std::invalid_argument("SncSystem: weight_scales must not be empty");
+  }
+
+  int64_t c = input_chw[0], h = input_chw[1], w = input_chw[2];
+  bool flattened = false;
+  size_t xbar_index = 0;
+
+  auto scale_for_stage = [&](size_t idx) {
+    if (config_.weight_scales.size() == 1) return config_.weight_scales[0];
+    if (idx >= config_.weight_scales.size()) {
+      throw std::invalid_argument(
+          "SncSystem: fewer weight_scales than crossbar layers");
+    }
+    return config_.weight_scales[idx];
+  };
+
+  auto program_matrix = [&](const nn::Tensor& weights, int64_t rows,
+                            int64_t cols, Stage& stage) {
+    const float step =
+        scale_for_stage(xbar_index++) /
+        static_cast<float>(int64_t{1} << config_.weight_bits);
+    stage.step = step;
+    stage.xbar = std::make_unique<DifferentialCrossbar>(rows, cols,
+                                                        config_.device);
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t col = 0; col < cols; ++col) {
+        // Weight layout: conv OIHW / dense [out, in] both expose
+        // weight(col-th output, r-th input tap) at flat index col*rows + r.
+        const float wv = weights[col * rows + r];
+        const double level = wv / step;
+        const int64_t k = std::llround(level);
+        if (std::fabs(level - static_cast<double>(k)) > 1e-3 ||
+            std::llabs(k) > kmax) {
+          throw std::invalid_argument(
+              "SncSystem: weight off the cluster grid; run "
+              "apply_weight_clustering first");
+        }
+        const bool nonideal = config_.device.variation_sigma > 0.0 ||
+                              config_.device.stuck_off_rate > 0.0 ||
+                              config_.device.stuck_on_rate > 0.0;
+        stage.xbar->program_cell(r, col, k, kmax, nonideal ? &rng_ : nullptr);
+      }
+    }
+  };
+
+  // Emits a crossbar stage for one convolution given the running geometry.
+  auto make_conv_stage = [&](nn::Conv2d& conv) {
+    auto stage = std::make_unique<Stage>();
+    stage->kind = Stage::Kind::kConv;
+    stage->in_c = c;
+    stage->in_h = h;
+    stage->in_w = w;
+    stage->out_c = conv.out_channels();
+    stage->kernel = conv.kernel();
+    stage->stride = conv.stride();
+    stage->pad = conv.pad();
+    stage->out_h =
+        nn::conv_out_extent(h, conv.kernel(), conv.stride(), conv.pad());
+    stage->out_w =
+        nn::conv_out_extent(w, conv.kernel(), conv.stride(), conv.pad());
+    const int64_t rows = conv.in_channels() * conv.kernel() * conv.kernel();
+    program_matrix(conv.weight().value, rows, conv.out_channels(), *stage);
+    stage->bias.assign(static_cast<size_t>(conv.out_channels()), 0.0f);
+    if (conv.uses_bias()) {
+      for (int64_t j = 0; j < conv.out_channels(); ++j) {
+        stage->bias[static_cast<size_t>(j)] = conv.bias().value[j];
+      }
+    }
+    c = stage->out_c;
+    h = stage->out_h;
+    w = stage->out_w;
+    return stage;
+  };
+
+  for (size_t i = 0; i < net.size(); ++i) {
+    nn::Layer* layer = &net.layer(i);
+    if (auto* block = dynamic_cast<nn::ResidualBlock*>(layer)) {
+      // Pad-identity basic block, batch-norm already folded:
+      //   y = clamp(conv2(relu_q(conv1(x))) + pad_subsample(x)).
+      if (block->has_projection()) {
+        throw std::invalid_argument(
+            "SncSystem: projection shortcuts unsupported; build the model "
+            "with ShortcutKind::kPadIdentity");
+      }
+      if (!core::is_identity_batchnorm(block->bn1()) ||
+          !core::is_identity_batchnorm(block->bn2())) {
+        throw std::invalid_argument(
+            "SncSystem: residual block has unfolded batch norm; run "
+            "core::fold_batchnorm(net) before deployment");
+      }
+      const int64_t skip_in_c = c;
+      auto stage1 = make_conv_stage(block->conv1());
+      stage1->rectify = true;  // relu1: mid-block IFC + counter
+      stage1->save_skip = true;
+      stages_.push_back(std::move(stage1));
+
+      auto stage2 = make_conv_stage(block->conv2());
+      stage2->rectify = false;  // raw counts; rectify after the skip add
+      stage2->add_skip = true;
+      stage2->skip_in_c = skip_in_c;
+      stage2->skip_stride = block->stride();
+      stages_.push_back(std::move(stage2));
+      continue;
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(layer)) {
+      if (!core::is_identity_batchnorm(*bn)) {
+        throw std::invalid_argument(
+            "SncSystem: unfolded BatchNorm2d; run core::fold_batchnorm(net) "
+            "before deployment");
+      }
+      continue;  // exact identity: nothing to execute
+    }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(layer)) {
+      stages_.push_back(make_conv_stage(*conv));
+    } else if (auto* fc = dynamic_cast<nn::Dense*>(layer)) {
+      auto stage = std::make_unique<Stage>();
+      stage->kind = Stage::Kind::kDense;
+      stage->in_c = flattened ? c * h * w : c;
+      if (!flattened && (h != 1 || w != 1)) {
+        throw std::invalid_argument("SncSystem: Dense before Flatten");
+      }
+      if (stage->in_c != fc->in_features()) {
+        throw std::invalid_argument("SncSystem: Dense fan-in mismatch");
+      }
+      stage->out_c = fc->out_features();
+      stage->out_h = stage->out_w = stage->in_h = stage->in_w = 1;
+      program_matrix(fc->weight().value, fc->in_features(), fc->out_features(),
+                     *stage);
+      stage->bias.assign(static_cast<size_t>(fc->out_features()), 0.0f);
+      for (int64_t j = 0; j < fc->out_features(); ++j) {
+        stage->bias[static_cast<size_t>(j)] = fc->bias().value[j];
+      }
+      c = stage->out_c;
+      h = w = 1;
+      flattened = true;
+      stages_.push_back(std::move(stage));
+    } else if (auto* mp = dynamic_cast<nn::MaxPool2d*>(layer)) {
+      auto stage = std::make_unique<Stage>();
+      stage->kind = Stage::Kind::kMaxPool;
+      stage->in_c = stage->out_c = c;
+      stage->in_h = h;
+      stage->in_w = w;
+      stage->kernel = mp->kernel();
+      stage->stride = mp->stride();
+      stage->out_h = nn::conv_out_extent(h, mp->kernel(), mp->stride(), 0);
+      stage->out_w = nn::conv_out_extent(w, mp->kernel(), mp->stride(), 0);
+      h = stage->out_h;
+      w = stage->out_w;
+      stages_.push_back(std::move(stage));
+    } else if (auto* ap = dynamic_cast<nn::AvgPool2d*>(layer)) {
+      auto stage = std::make_unique<Stage>();
+      stage->kind = Stage::Kind::kAvgPool;
+      stage->in_c = stage->out_c = c;
+      stage->in_h = h;
+      stage->in_w = w;
+      stage->kernel = ap->kernel();
+      stage->stride = ap->stride();
+      stage->out_h = nn::conv_out_extent(h, ap->kernel(), ap->stride(), 0);
+      stage->out_w = nn::conv_out_extent(w, ap->kernel(), ap->stride(), 0);
+      h = stage->out_h;
+      w = stage->out_w;
+      stages_.push_back(std::move(stage));
+    } else if (dynamic_cast<nn::GlobalAvgPool*>(layer) != nullptr) {
+      auto stage = std::make_unique<Stage>();
+      stage->kind = Stage::Kind::kGlobalAvgPool;
+      stage->in_c = stage->out_c = c;
+      stage->in_h = h;
+      stage->in_w = w;
+      stage->out_h = stage->out_w = 1;
+      h = w = 1;
+      flattened = true;
+      stages_.push_back(std::move(stage));
+    } else if (dynamic_cast<nn::ReLU*>(layer) != nullptr) {
+      if (stages_.empty() || (stages_.back()->kind != Stage::Kind::kConv &&
+                              stages_.back()->kind != Stage::Kind::kDense)) {
+        throw std::invalid_argument("SncSystem: ReLU without crossbar stage");
+      }
+      stages_.back()->rectify = true;
+    } else if (dynamic_cast<nn::Flatten*>(layer) != nullptr) {
+      // CHW-major integer buffers make flatten the identity.
+      flattened = true;
+    } else {
+      throw std::invalid_argument("SncSystem: unsupported layer '" +
+                                  layer->name() +
+                                  "' (sequential conv/pool/fc nets only)");
+    }
+  }
+
+  // The network's last crossbar stage carries the classification logits:
+  // if it is unrectified (no trailing ReLU), read it out analog.
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    Stage& s = **it;
+    if (s.kind == Stage::Kind::kConv || s.kind == Stage::Kind::kDense) {
+      if (&s == stages_.back().get() && !s.rectify && !s.add_skip) {
+        s.final_readout = true;
+      }
+      break;
+    }
+  }
+}
+
+std::vector<int64_t> SncSystem::run_crossbar_stage(
+    const Stage& stage, const std::vector<int64_t>& input, SncStats* stats) {
+  const int64_t T = window_slots(config_.signal_bits);
+  const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
+  const float step = stage.step;
+  // Differential conductance of one grid level: converts column currents
+  // (per unit read voltage) back to level units.
+  const double dg = (g_max(config_.device) - g_min(config_.device)) /
+                    static_cast<double>(kmax);
+
+  const int64_t rows = stage.xbar->rows();
+  const int64_t cols = stage.xbar->cols();
+  const bool is_conv = stage.kind == Stage::Kind::kConv;
+  const int64_t positions = is_conv ? stage.out_h * stage.out_w : 1;
+  if (stage.final_readout) {
+    analog_readout_.assign(static_cast<size_t>(cols), 0.0);
+  }
+
+  std::vector<int64_t> output(
+      static_cast<size_t>(stage.out_c * positions), 0);
+  std::vector<double> volts(static_cast<size_t>(rows));
+  std::vector<int64_t> field(static_cast<size_t>(rows));
+
+  for (int64_t pos = 0; pos < positions; ++pos) {
+    // Gather the integer receptive field (im2col order: c, ky, kx).
+    if (is_conv) {
+      const int64_t oy = pos / stage.out_w;
+      const int64_t ox = pos % stage.out_w;
+      int64_t r = 0;
+      for (int64_t ic = 0; ic < stage.in_c; ++ic) {
+        for (int64_t ky = 0; ky < stage.kernel; ++ky) {
+          for (int64_t kx = 0; kx < stage.kernel; ++kx, ++r) {
+            const int64_t iy = oy * stage.stride - stage.pad + ky;
+            const int64_t ix = ox * stage.stride - stage.pad + kx;
+            field[static_cast<size_t>(r)] =
+                (iy >= 0 && iy < stage.in_h && ix >= 0 && ix < stage.in_w)
+                    ? input[static_cast<size_t>(
+                          (ic * stage.in_h + iy) * stage.in_w + ix)]
+                    : 0;
+          }
+        }
+      }
+    } else {
+      for (int64_t r = 0; r < rows; ++r) {
+        field[static_cast<size_t>(r)] = input[static_cast<size_t>(r)];
+      }
+    }
+
+    if (config_.mode == IntegrationMode::kIdealIntegration &&
+        !config_.stochastic_coding) {
+      // Linear synapses let the whole window collapse into one read with
+      // value-weighted word-line drive (mathematically identical to the
+      // slot-by-slot sum of deterministic trains).
+      for (int64_t r = 0; r < rows; ++r) {
+        volts[static_cast<size_t>(r)] =
+            static_cast<double>(field[static_cast<size_t>(r)]);
+      }
+      const std::vector<double> minus =
+          stage.xbar->minus().read_columns(volts);
+      const std::vector<double> plus = stage.xbar->plus().read_columns(volts);
+      for (int64_t col = 0; col < cols; ++col) {
+        const double level_sum =
+            (plus[static_cast<size_t>(col)] - minus[static_cast<size_t>(col)]) /
+            dg;
+        const double y = static_cast<double>(step) * level_sum +
+                         static_cast<double>(stage.bias[static_cast<size_t>(col)]);
+        int64_t count = round_half_up(y);
+        if (stage.rectify) count = std::clamp<int64_t>(count, 0, T);
+        output[static_cast<size_t>(col * positions + pos)] = count;
+        if (stage.final_readout) {
+          analog_readout_[static_cast<size_t>(col)] = y;
+        }
+      }
+    } else {
+      // Slot-by-slot spiking execution with physical IFC semantics.
+      std::vector<std::vector<uint8_t>> trains(static_cast<size_t>(rows));
+      for (int64_t r = 0; r < rows; ++r) {
+        trains[static_cast<size_t>(r)] =
+            config_.stochastic_coding
+                ? rate_encode_stochastic(field[static_cast<size_t>(r)],
+                                         config_.signal_bits, rng_)
+                : rate_encode(field[static_cast<size_t>(r)],
+                              config_.signal_bits);
+      }
+      // IFCs work in output-level units (threshold = charge of one output
+      // level); the bias plus the 0.5 rounding offset preloads each
+      // membrane. Spikes fired by the preload itself count toward the
+      // window total.
+      std::vector<IntegrateFire> units;
+      std::vector<SpikeCounter> counters;
+      units.reserve(static_cast<size_t>(cols));
+      counters.reserve(static_cast<size_t>(cols));
+      for (int64_t col = 0; col < cols; ++col) {
+        IntegrateFire u(1.0);
+        counters.emplace_back(config_.signal_bits);
+        const int64_t preload_fires = u.integrate(
+            static_cast<double>(stage.bias[static_cast<size_t>(col)]) + 0.5);
+        counters.back().count(preload_fires);
+        units.push_back(u);
+      }
+      std::vector<uint8_t> slot_spikes(static_cast<size_t>(rows));
+      for (int64_t t = 0; t < T; ++t) {
+        for (int64_t r = 0; r < rows; ++r) {
+          slot_spikes[static_cast<size_t>(r)] =
+              trains[static_cast<size_t>(r)][static_cast<size_t>(t)];
+        }
+        const std::vector<double> plus =
+            stage.xbar->plus().read_columns_spiking(slot_spikes, 1.0);
+        const std::vector<double> minus =
+            stage.xbar->minus().read_columns_spiking(slot_spikes, 1.0);
+        for (int64_t col = 0; col < cols; ++col) {
+          const double level_sum = (plus[static_cast<size_t>(col)] -
+                                    minus[static_cast<size_t>(col)]) /
+                                   dg;
+          const int64_t fired = units[static_cast<size_t>(col)].integrate(
+              static_cast<double>(step) * level_sum);
+          counters[static_cast<size_t>(col)].count(fired);
+        }
+      }
+      for (int64_t col = 0; col < cols; ++col) {
+        int64_t count = counters[static_cast<size_t>(col)].value();
+        // The initial bias preload may already cross threshold; fires from
+        // integrate() at preload time were not counted, so re-derive: the
+        // counter has everything integrate() returned during the window.
+        if (!stage.rectify) {
+          // Final readout uses a wide digital counter: reconstruct the raw
+          // (possibly negative / above-T) sum from the ideal path instead.
+          for (int64_t r = 0; r < rows; ++r) {
+            volts[static_cast<size_t>(r)] =
+                static_cast<double>(field[static_cast<size_t>(r)]);
+          }
+          const std::vector<double> p2 = stage.xbar->plus().read_columns(volts);
+          const std::vector<double> m2 =
+              stage.xbar->minus().read_columns(volts);
+          const double y =
+              static_cast<double>(step) *
+                  ((p2[static_cast<size_t>(col)] -
+                    m2[static_cast<size_t>(col)]) /
+                   dg) +
+              static_cast<double>(stage.bias[static_cast<size_t>(col)]);
+          count = round_half_up(y);
+          if (stage.final_readout) {
+            analog_readout_[static_cast<size_t>(col)] = y;
+          }
+        }
+        output[static_cast<size_t>(col * positions + pos)] = count;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    ++stats->layers;
+    // add_skip stages report spikes after the digital skip add (see
+    // infer); raw pre-add counts are not what crosses the boundary.
+    if (!stage.add_skip) {
+      for (int64_t v : output) stats->total_spikes += std::max<int64_t>(v, 0);
+    }
+  }
+  return output;
+}
+
+int64_t SncSystem::infer(const nn::Tensor& image, SncStats* stats) {
+  if (image.rank() != 3 || image.dim(0) != input_chw_[0] ||
+      image.dim(1) != input_chw_[1] || image.dim(2) != input_chw_[2]) {
+    throw std::invalid_argument("SncSystem::infer: image shape mismatch");
+  }
+  const int64_t T = window_slots(config_.signal_bits);
+  analog_readout_.clear();
+  if (stats != nullptr) {
+    *stats = SncStats{};
+    stats->window_slots = T;
+  }
+
+  // Input encoder: pixel -> signal units -> M-bit spike count.
+  std::vector<int64_t> signal(static_cast<size_t>(image.numel()));
+  for (int64_t i = 0; i < image.numel(); ++i) {
+    const float scaled = image[i] * config_.input_scale;
+    signal[static_cast<size_t>(i)] = std::clamp<int64_t>(
+        static_cast<int64_t>(std::llround(scaled)), 0, T);
+    if (stats != nullptr) stats->total_spikes += signal[static_cast<size_t>(i)];
+  }
+
+  std::vector<int64_t> skip;  // residual shortcut register
+  for (const auto& stage : stages_) {
+    switch (stage->kind) {
+      case Stage::Kind::kConv:
+      case Stage::Kind::kDense: {
+        if (stage->save_skip) skip = signal;
+        signal = run_crossbar_stage(*stage, signal, stats);
+        if (stage->add_skip) {
+          // Digital skip add (pad-identity shortcut): subsample spatially,
+          // zero-pad new channels, then rectify to the counter ceiling.
+          const int64_t in_h = stage->out_h * stage->skip_stride;
+          const int64_t in_w = stage->out_w * stage->skip_stride;
+          for (int64_t oc = 0; oc < stage->out_c; ++oc) {
+            for (int64_t y = 0; y < stage->out_h; ++y) {
+              for (int64_t x = 0; x < stage->out_w; ++x) {
+                int64_t v = signal[static_cast<size_t>(
+                    (oc * stage->out_h + y) * stage->out_w + x)];
+                if (oc < stage->skip_in_c) {
+                  v += skip[static_cast<size_t>(
+                      (oc * in_h + y * stage->skip_stride) * in_w +
+                      x * stage->skip_stride)];
+                }
+                v = std::clamp<int64_t>(v, 0, T);
+                signal[static_cast<size_t>(
+                    (oc * stage->out_h + y) * stage->out_w + x)] = v;
+                if (stats != nullptr) stats->total_spikes += v;
+              }
+            }
+          }
+        }
+        break;
+      }
+      case Stage::Kind::kMaxPool: {
+        std::vector<int64_t> out(static_cast<size_t>(
+            stage->out_c * stage->out_h * stage->out_w));
+        for (int64_t ch = 0; ch < stage->in_c; ++ch) {
+          for (int64_t oy = 0; oy < stage->out_h; ++oy) {
+            for (int64_t ox = 0; ox < stage->out_w; ++ox) {
+              int64_t best = 0;
+              for (int64_t ky = 0; ky < stage->kernel; ++ky) {
+                for (int64_t kx = 0; kx < stage->kernel; ++kx) {
+                  const int64_t iy = oy * stage->stride + ky;
+                  const int64_t ix = ox * stage->stride + kx;
+                  if (iy >= stage->in_h || ix >= stage->in_w) continue;
+                  best = std::max(
+                      best, signal[static_cast<size_t>(
+                                (ch * stage->in_h + iy) * stage->in_w + ix)]);
+                }
+              }
+              out[static_cast<size_t>(
+                  (ch * stage->out_h + oy) * stage->out_w + ox)] = best;
+            }
+          }
+        }
+        signal = std::move(out);
+        break;
+      }
+      case Stage::Kind::kAvgPool: {
+        std::vector<int64_t> out(static_cast<size_t>(
+            stage->out_c * stage->out_h * stage->out_w));
+        const int64_t window = stage->kernel * stage->kernel;
+        for (int64_t ch = 0; ch < stage->in_c; ++ch) {
+          for (int64_t oy = 0; oy < stage->out_h; ++oy) {
+            for (int64_t ox = 0; ox < stage->out_w; ++ox) {
+              int64_t acc = 0;
+              for (int64_t ky = 0; ky < stage->kernel; ++ky) {
+                for (int64_t kx = 0; kx < stage->kernel; ++kx) {
+                  const int64_t iy = oy * stage->stride + ky;
+                  const int64_t ix = ox * stage->stride + kx;
+                  if (iy >= stage->in_h || ix >= stage->in_w) continue;
+                  acc += signal[static_cast<size_t>(
+                      (ch * stage->in_h + iy) * stage->in_w + ix)];
+                }
+              }
+              out[static_cast<size_t>(
+                  (ch * stage->out_h + oy) * stage->out_w + ox)] =
+                  (acc + window / 2) / window;  // digital rounded divide
+            }
+          }
+        }
+        signal = std::move(out);
+        break;
+      }
+      case Stage::Kind::kGlobalAvgPool: {
+        std::vector<int64_t> out(static_cast<size_t>(stage->in_c));
+        const int64_t hw = stage->in_h * stage->in_w;
+        for (int64_t ch = 0; ch < stage->in_c; ++ch) {
+          int64_t acc = 0;
+          for (int64_t i = 0; i < hw; ++i) {
+            acc += signal[static_cast<size_t>(ch * hw + i)];
+          }
+          out[static_cast<size_t>(ch)] = (acc + hw / 2) / hw;
+        }
+        signal = std::move(out);
+        break;
+      }
+    }
+  }
+
+  if (!analog_readout_.empty()) {
+    last_logits_ = analog_readout_;
+  } else {
+    last_logits_.assign(signal.begin(), signal.end());
+  }
+  int64_t best = 0;
+  for (size_t j = 1; j < last_logits_.size(); ++j) {
+    if (last_logits_[j] > last_logits_[static_cast<size_t>(best)]) {
+      best = static_cast<int64_t>(j);
+    }
+  }
+  return best;
+}
+
+float SncSystem::read_back_weight(size_t layer, int64_t row,
+                                  int64_t col) const {
+  size_t idx = 0;
+  for (const auto& stage : stages_) {
+    if (stage->kind != Stage::Kind::kConv &&
+        stage->kind != Stage::Kind::kDense) {
+      continue;
+    }
+    if (idx == layer) {
+      const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
+      return static_cast<float>(stage->xbar->read_level(row, col, kmax)) *
+             stage->step;
+    }
+    ++idx;
+  }
+  throw std::out_of_range("SncSystem::read_back_weight: no such layer");
+}
+
+}  // namespace qsnc::snc

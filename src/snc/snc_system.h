@@ -1,0 +1,110 @@
+// Behavioural simulator of the memristor-based SNC executing a deployed,
+// quantized network.
+//
+// Deployment contract: the source network's weights must already lie on the
+// N-bit cluster grid (core::apply_weight_clustering) — program_network()
+// maps each weight to its signed grid level and programs a differential
+// crossbar pair per layer. Inference then runs entirely in the spiking
+// domain: integer signals are rate-coded into windows of T = 2^M - 1 slots,
+// crossbar column currents are integrated by IFCs, and counters reconstruct
+// the next layer's integer signals.
+//
+// Supported topologies: sequential Conv2d / ReLU / MaxPool2d / AvgPool2d /
+// GlobalAvgPool / Flatten / Dense networks plus pad-identity ResidualBlock
+// composites — i.e. all three model-zoo networks. Batch norms must be
+// folded into their convolutions first (core::fold_batchnorm); the
+// constructor verifies every remaining BN is the exact identity and
+// rejects unfolded networks loudly. Residual shortcuts execute as digital
+// adds on the counter outputs (subsample + zero-channel-pad), with the
+// block's output rectification applied after the add.
+//
+// Integration modes:
+//  * kIdealIntegration — the IFC defers firing to the window end, so the
+//    spike count equals clamp(round(column_sum + bias), 0, T). This is
+//    bit-exact with the quantized network (tests assert equality) and fast
+//    (no slot loop).
+//  * kOnline — physical IFC semantics: the membrane integrates slot by
+//    slot and fires whenever it crosses threshold (subtractive reset).
+//    With mixed-sign weights an early fire cannot be revoked, so results
+//    can deviate by a spike — the coding ablation bench measures how much
+//    accuracy this costs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "snc/crossbar.h"
+#include "snc/mapper.h"
+#include "snc/spike.h"
+
+namespace qsnc::snc {
+
+enum class IntegrationMode { kIdealIntegration, kOnline };
+
+struct SncConfig {
+  int signal_bits = 4;  // M
+  int weight_bits = 4;  // N
+  /// Cluster grid scales from weight clustering: one entry per
+  /// crossbar-backed layer (conv/dense, in network order) for per-layer
+  /// clustering, or a single shared entry for per-network clustering. Each
+  /// layer's scale fixes its conductance-to-weight conversion factor (the
+  /// per-layer IFC threshold in hardware).
+  std::vector<float> weight_scales{1.0f};
+  float input_scale = 16.0f;  // pixel -> signal-unit scale before encoding
+  IntegrationMode mode = IntegrationMode::kIdealIntegration;
+  bool stochastic_coding = false;  // Bernoulli instead of deterministic
+  MemristorConfig device;
+  uint64_t seed = 7;  // programming variation + stochastic coding draws
+};
+
+/// Per-inference activity statistics.
+struct SncStats {
+  int64_t total_spikes = 0;   // spikes transported across all boundaries
+  int64_t window_slots = 0;   // T
+  int64_t layers = 0;         // crossbar-backed stages executed
+};
+
+class SncSystem {
+ public:
+  /// Programs the crossbars from `net` (throws std::invalid_argument on an
+  /// unsupported topology or weights off the grid beyond tolerance).
+  SncSystem(nn::Network& net, const nn::Shape& input_chw,
+            const SncConfig& config);
+  ~SncSystem();  // out of line: Stage is an implementation detail
+
+  /// Spike-level inference of one [C, H, W] image with pixels in [0, 1].
+  /// Returns the predicted class. Hidden layers communicate through M-bit
+  /// counters; the output layer is read with an analog winner-take-all
+  /// (column charge comparison, as in the paper's substrate [12]), so
+  /// sub-spike logit differences still resolve the argmax.
+  int64_t infer(const nn::Tensor& image, SncStats* stats = nullptr);
+
+  /// Output-layer analog charges (weight units) of the last infer() call.
+  const std::vector<double>& last_logits() const { return last_logits_; }
+
+  /// Reads a programmed weight back through the conductance domain
+  /// (crossbar `layer`, logical row/col) — used by round-trip tests.
+  float read_back_weight(size_t layer, int64_t row, int64_t col) const;
+
+  size_t stage_count() const { return stages_.size(); }
+  const SncConfig& config() const { return config_; }
+
+ private:
+  struct Stage;
+
+  std::vector<int64_t> run_crossbar_stage(const Stage& stage,
+                                          const std::vector<int64_t>& input,
+                                          SncStats* stats);
+
+  SncConfig config_;
+  nn::Shape input_chw_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::vector<double> last_logits_;
+  std::vector<double> analog_readout_;  // filled by the final stage
+  nn::Rng rng_;
+};
+
+}  // namespace qsnc::snc

@@ -1,0 +1,69 @@
+#include "snc/spike.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qsnc::snc {
+
+std::vector<uint8_t> rate_encode(int64_t value, int bits) {
+  const int64_t slots = window_slots(bits);
+  const int64_t n = std::clamp<int64_t>(value, 0, slots);
+  std::vector<uint8_t> train(static_cast<size_t>(slots), 0);
+  if (n == 0) return train;
+  // Evenly spread spikes: slot k fires when floor((k+1)*n/T) increments.
+  int64_t fired = 0;
+  for (int64_t k = 0; k < slots; ++k) {
+    const int64_t target = (k + 1) * n / slots;
+    if (target > fired) {
+      train[static_cast<size_t>(k)] = 1;
+      fired = target;
+    }
+  }
+  return train;
+}
+
+std::vector<uint8_t> rate_encode_stochastic(int64_t value, int bits,
+                                            nn::Rng& rng) {
+  const int64_t slots = window_slots(bits);
+  const int64_t n = std::clamp<int64_t>(value, 0, slots);
+  const double p = static_cast<double>(n) / static_cast<double>(slots);
+  std::vector<uint8_t> train(static_cast<size_t>(slots), 0);
+  for (auto& s : train) s = rng.bernoulli(p) ? 1 : 0;
+  return train;
+}
+
+int64_t rate_decode(const std::vector<uint8_t>& spikes) {
+  int64_t n = 0;
+  for (uint8_t s : spikes) n += s != 0 ? 1 : 0;
+  return n;
+}
+
+IntegrateFire::IntegrateFire(double threshold_charge)
+    : threshold_(threshold_charge) {
+  if (threshold_charge <= 0.0) {
+    throw std::invalid_argument("IntegrateFire: threshold must be positive");
+  }
+}
+
+int64_t IntegrateFire::integrate(double charge) {
+  membrane_ += charge;
+  int64_t spikes = 0;
+  while (membrane_ >= threshold_) {
+    membrane_ -= threshold_;
+    ++spikes;
+  }
+  return spikes;
+}
+
+SpikeCounter::SpikeCounter(int bits)
+    : ceiling_((int64_t{1} << bits) - 1) {
+  if (bits < 1 || bits > 30) {
+    throw std::invalid_argument("SpikeCounter: bits out of range");
+  }
+}
+
+void SpikeCounter::count(int64_t spikes) {
+  value_ = std::min(value_ + spikes, ceiling_);
+}
+
+}  // namespace qsnc::snc

@@ -1,0 +1,69 @@
+// Rate coding and the integrate-and-fire conversion chain.
+//
+// In the paper's SNC an M-bit signal value n in [0, 2^M - 1] is carried as
+// n spikes inside a time window of T = 2^M - 1 slots. Crossbar column
+// currents are converted back to spikes by integrate-and-fire circuits
+// (IFCs); digital counters tally the spikes to reconstruct the M-bit value
+// for the next layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/rng.h"
+
+namespace qsnc::snc {
+
+/// Spike window length for an M-bit signal.
+constexpr int64_t window_slots(int bits) { return (int64_t{1} << bits) - 1; }
+
+/// Encodes an integer value into a deterministic spike train of
+/// `window_slots(bits)` slots with evenly spread spikes (values are clamped
+/// to [0, 2^M - 1]). Deterministic coding keeps the behavioural simulator
+/// bit-exact with the quantized network; Bernoulli coding is available for
+/// the stochastic-coding ablation.
+std::vector<uint8_t> rate_encode(int64_t value, int bits);
+
+/// Stochastic variant: each slot fires with probability value / T.
+std::vector<uint8_t> rate_encode_stochastic(int64_t value, int bits,
+                                            nn::Rng& rng);
+
+/// Counts spikes back into an integer (the Counter block).
+int64_t rate_decode(const std::vector<uint8_t>& spikes);
+
+/// Integrate-and-fire circuit: accumulates charge each slot and emits a spike
+/// each time the membrane crosses the firing threshold (subtractive reset).
+class IntegrateFire {
+ public:
+  /// `threshold_charge` is the charge equivalent of one output spike.
+  explicit IntegrateFire(double threshold_charge);
+
+  /// Integrates one slot's current*dt worth of charge; returns the number
+  /// of spikes emitted in this slot (can exceed 1 for large inputs).
+  int64_t integrate(double charge);
+
+  /// Remaining sub-threshold membrane charge.
+  double membrane() const { return membrane_; }
+
+  void reset() { membrane_ = 0.0; }
+
+ private:
+  double threshold_;
+  double membrane_ = 0.0;
+};
+
+/// Saturating digital spike counter with an M-bit ceiling.
+class SpikeCounter {
+ public:
+  explicit SpikeCounter(int bits);
+
+  void count(int64_t spikes);
+  int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  int64_t ceiling_;
+  int64_t value_ = 0;
+};
+
+}  // namespace qsnc::snc

@@ -1,0 +1,99 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+namespace qsnc::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (!arg.empty() && arg[0] == '-') {
+        throw std::invalid_argument("Flags: malformed flag '" + arg +
+                                    "' (use --key[=value])");
+      }
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("Flags: empty flag name");
+    }
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // "--key value"; a following token is the value unless it is itself
+      // a --flag. Negative numbers ("-0.5") are therefore fine as values.
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const {
+  touched_[key] = true;
+  return values_.count(key) > 0;
+}
+
+std::string Flags::get(const std::string& key,
+                       const std::string& fallback) const {
+  touched_[key] = true;
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::get_int(const std::string& key, int64_t fallback) const {
+  touched_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    size_t pos = 0;
+    const int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  touched_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback) const {
+  touched_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("Flags: --" + key + " expects a boolean, got '" +
+                              v + "'");
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (touched_.find(key) == touched_.end()) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace qsnc::util

@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the qsnc tool and examples.
+// Supports "--key value", "--key=value", and bare boolean "--key" forms,
+// plus positional arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qsnc::util {
+
+class Flags {
+ public:
+  /// Parses argv[1..). Throws std::invalid_argument on a malformed flag
+  /// (anything starting with "-" that is not "--key[=value]").
+  Flags(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+
+  /// String value; returns `fallback` when absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Integer value; throws std::invalid_argument when present but not an
+  /// integer.
+  int64_t get_int(const std::string& key, int64_t fallback) const;
+
+  /// Double value; throws std::invalid_argument when present but not a
+  /// number.
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Boolean: "--key" alone, or --key=true/false/1/0.
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys that were parsed but never read by any get*/has call — a typo
+  /// guard for tools (call after all lookups).
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace qsnc::util

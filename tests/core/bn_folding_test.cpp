@@ -1,0 +1,128 @@
+#include "core/bn_folding.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/relu.h"
+#include "nn/layers/residual.h"
+#include "models/model_zoo.h"
+
+namespace qsnc::core {
+namespace {
+
+using test::randomize;
+
+// Builds conv+BN+ReLU and feeds training batches so BN has running stats.
+nn::Network make_conv_bn(nn::Rng& rng) {
+  nn::Network net;
+  net.emplace<nn::Conv2d>(2, 4, 3, 1, 1, rng, /*use_bias=*/false);
+  net.emplace<nn::BatchNorm2d>(4);
+  net.emplace<nn::ReLU>();
+  return net;
+}
+
+void warm_up(nn::Network& net, nn::Rng& rng, const nn::Shape& shape) {
+  for (int i = 0; i < 30; ++i) {
+    nn::Tensor x(shape);
+    randomize(x, rng, -2.0f, 2.0f);
+    net.forward(x, true);
+  }
+}
+
+TEST(BnFoldingTest, FoldedNetworkMatchesOriginalInference) {
+  nn::Rng rng(80);
+  nn::Network net = make_conv_bn(rng);
+  warm_up(net, rng, {4, 2, 6, 6});
+
+  nn::Tensor x({2, 2, 6, 6});
+  randomize(x, rng);
+  const nn::Tensor before = net.forward(x, false);
+
+  EXPECT_EQ(fold_batchnorm(net), 1);
+  const nn::Tensor after = net.forward(x, false);
+  EXPECT_TRUE(after.allclose(before, 1e-4f));
+}
+
+TEST(BnFoldingTest, FoldedBnIsExactIdentity) {
+  nn::Rng rng(81);
+  nn::Network net = make_conv_bn(rng);
+  warm_up(net, rng, {4, 2, 6, 6});
+  auto* bn = dynamic_cast<nn::BatchNorm2d*>(&net.layer(1));
+  EXPECT_FALSE(is_identity_batchnorm(*bn));
+  fold_batchnorm(net);
+  EXPECT_TRUE(is_identity_batchnorm(*bn));
+}
+
+TEST(BnFoldingTest, ResidualBlockFoldPreservesInference) {
+  nn::Rng rng(82);
+  nn::Network net;
+  net.emplace<nn::ResidualBlock>(3, 6, 2, rng);
+  warm_up(net, rng, {4, 3, 8, 8});
+
+  nn::Tensor x({2, 3, 8, 8});
+  randomize(x, rng);
+  const nn::Tensor before = net.forward(x, false);
+  EXPECT_EQ(fold_batchnorm(net), 2);
+  const nn::Tensor after = net.forward(x, false);
+  EXPECT_TRUE(after.allclose(before, 1e-4f));
+}
+
+TEST(BnFoldingTest, ProjectionBlockFoldsAllThreeBns) {
+  nn::Rng rng(83);
+  nn::Network net;
+  net.emplace<nn::ResidualBlock>(3, 6, 2, rng,
+                                 nn::ShortcutKind::kProjection);
+  warm_up(net, rng, {4, 3, 8, 8});
+  nn::Tensor x({2, 3, 8, 8});
+  randomize(x, rng);
+  const nn::Tensor before = net.forward(x, false);
+  EXPECT_EQ(fold_batchnorm(net), 3);
+  const nn::Tensor after = net.forward(x, false);
+  EXPECT_TRUE(after.allclose(before, 1e-4f));
+}
+
+TEST(BnFoldingTest, FullResnetFoldPreservesPredictions) {
+  nn::Rng rng(84);
+  nn::Network net = models::make_resnet_mini(rng);
+  warm_up(net, rng, {4, 3, 32, 32});
+
+  nn::Tensor x({4, 3, 32, 32});
+  randomize(x, rng, 0.0f, 1.0f);
+  const nn::Tensor before = net.forward(x, false);
+  // 17 conv-BN pairs: 1 stem + 8 blocks x 2.
+  EXPECT_EQ(fold_batchnorm(net), 17);
+  const nn::Tensor after = net.forward(x, false);
+  EXPECT_TRUE(after.allclose(before, 2e-3f));
+}
+
+TEST(BnFoldingTest, OrphanBnThrows) {
+  nn::Rng rng(85);
+  nn::Network net;
+  net.emplace<nn::BatchNorm2d>(4);
+  EXPECT_THROW(fold_batchnorm(net), std::invalid_argument);
+
+  // ReLU between conv and BN breaks the foldable pair.
+  nn::Network net2;
+  net2.emplace<nn::Conv2d>(2, 4, 3, 1, 1, rng);
+  net2.emplace<nn::ReLU>();
+  net2.emplace<nn::BatchNorm2d>(4);
+  EXPECT_THROW(fold_batchnorm(net2), std::invalid_argument);
+}
+
+TEST(BnFoldingTest, FoldIsIdempotent) {
+  nn::Rng rng(86);
+  nn::Network net = make_conv_bn(rng);
+  warm_up(net, rng, {4, 2, 6, 6});
+  fold_batchnorm(net);
+  nn::Tensor x({1, 2, 6, 6});
+  randomize(x, rng);
+  const nn::Tensor once = net.forward(x, false);
+  fold_batchnorm(net);  // folding an identity BN changes nothing
+  const nn::Tensor twice = net.forward(x, false);
+  EXPECT_TRUE(twice.allclose(once, 1e-6f));
+}
+
+}  // namespace
+}  // namespace qsnc::core

@@ -1,0 +1,81 @@
+#include "core/dynamic_fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_mnist.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/relu.h"
+#include "nn/network.h"
+
+namespace qsnc::core {
+namespace {
+
+TEST(DfpQuantizeTest, StepIsPowerOfTwo) {
+  // 8 bits, fl=6 -> step 1/64, range +-127/64.
+  EXPECT_FLOAT_EQ(dfp_quantize(0.02f, 8, 6), 0.015625f);
+  EXPECT_FLOAT_EQ(dfp_quantize(-0.02f, 8, 6), -0.015625f);
+  EXPECT_FLOAT_EQ(dfp_quantize(0.0f, 8, 6), 0.0f);
+}
+
+TEST(DfpQuantizeTest, SaturatesAtRange) {
+  // fl=6: max = 127/64 = 1.984375.
+  EXPECT_FLOAT_EQ(dfp_quantize(5.0f, 8, 6), 127.0f / 64.0f);
+  EXPECT_FLOAT_EQ(dfp_quantize(-5.0f, 8, 6), -127.0f / 64.0f);
+}
+
+TEST(ChooseFractionBitsTest, CoversMaxAbs) {
+  for (float max_abs : {0.1f, 0.9f, 1.5f, 3.0f, 100.0f}) {
+    const int fl = choose_fraction_bits(max_abs, 8);
+    const float range = (std::ldexp(1.0f, 7) - 1) * std::ldexp(1.0f, -fl);
+    EXPECT_GE(range, max_abs * 0.99f) << "max_abs " << max_abs;
+  }
+}
+
+TEST(ChooseFractionBitsTest, SmallValuesGetFineResolution) {
+  EXPECT_GT(choose_fraction_bits(0.1f, 8), choose_fraction_bits(10.0f, 8));
+}
+
+TEST(DfpSignalQuantizerTest, RoundsAndClamps) {
+  DynamicFixedPointSignalQuantizer q(8, 4);  // step 1/16, max 127/16
+  EXPECT_FLOAT_EQ(q.apply(0.06f), 0.0625f);
+  EXPECT_FLOAT_EQ(q.apply(100.0f), 127.0f / 16.0f);
+  EXPECT_TRUE(q.pass_through(1.0f));
+  EXPECT_FALSE(q.pass_through(100.0f));
+}
+
+TEST(ApplyDfpTest, EndToEndKeepsNetworkFunctional) {
+  // Train-free check: quantizing an MLP to 8-bit DFP must leave outputs
+  // close to the float outputs (8 bits is plenty for this range).
+  nn::Rng rng(70);
+  nn::Network net;
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(28 * 28, 16, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(16, 10, rng);
+
+  data::SyntheticMnistConfig cfg;
+  cfg.num_samples = 32;
+  auto ds = data::make_synthetic_mnist(cfg);
+  nn::Tensor batch = ds->batch_images(0, 8);
+
+  const nn::Tensor before = net.forward(batch, false);
+  DfpConfig dfp;
+  dfp.calibration_samples = 16;
+  dfp.input_scale = 1.0f;  // this test feeds raw [0,1] pixels
+  auto quantizers = apply_dynamic_fixed_point(net, *ds, dfp);
+  EXPECT_EQ(quantizers.size(), 1u);  // one ReLU boundary
+  const nn::Tensor after = net.forward(batch, false);
+
+  float max_rel = 0.0f;
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    const float denom = std::max(1.0f, std::fabs(before[i]));
+    max_rel = std::max(max_rel, std::fabs(before[i] - after[i]) / denom);
+  }
+  EXPECT_LT(max_rel, 0.05f);
+}
+
+}  // namespace
+}  // namespace qsnc::core

@@ -1,0 +1,88 @@
+#include "core/error_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/neuron_convergence.h"
+#include "core/qat_pipeline.h"
+#include "data/synthetic_mnist.h"
+#include "models/model_zoo.h"
+
+namespace qsnc::core {
+namespace {
+
+class ErrorPropagationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticMnistConfig cfg;
+    cfg.num_samples = 400;
+    data_ = data::make_synthetic_mnist(cfg);
+  }
+  static data::DatasetPtr data_;
+};
+
+data::DatasetPtr ErrorPropagationTest::data_;
+
+TEST_F(ErrorPropagationTest, ReportsOneEntryPerSignalLayer) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_lenet(rng);
+  const auto stats = analyze_error_propagation(net, *data_, 4, 16.0f, 16);
+  EXPECT_EQ(stats.size(), net.signal_layers().size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].layer_index, static_cast<int>(i));
+    EXPECT_GE(stats[i].mean_abs_error, 0.0);
+    EXPECT_GE(stats[i].sparsity, 0.0);
+    EXPECT_LE(stats[i].sparsity, 1.0);
+  }
+}
+
+TEST_F(ErrorPropagationTest, HooksDetachedAfterAnalysis) {
+  nn::Rng rng(2);
+  nn::Network net = models::make_lenet(rng);
+  analyze_error_propagation(net, *data_, 4, 16.0f, 8);
+  for (nn::ReLU* r : net.signal_layers()) {
+    EXPECT_EQ(r->quantizer(), nullptr);
+  }
+}
+
+TEST_F(ErrorPropagationTest, WiderBitsGiveSmallerError) {
+  nn::Rng rng(3);
+  nn::Network net = models::make_lenet(rng);
+  core::TrainConfig cfg;
+  cfg.epochs = 4;
+  core::train(net, *data_, cfg);
+
+  const auto e3 = analyze_error_propagation(net, *data_, 3, 16.0f, 32);
+  const auto e6 = analyze_error_propagation(net, *data_, 6, 16.0f, 32);
+  // Compare the final layer's accumulated error.
+  EXPECT_LT(e6.back().mean_abs_error, e3.back().mean_abs_error);
+}
+
+TEST_F(ErrorPropagationTest, NcTrainingReducesFinalLayerError) {
+  // The Eq 4 claim as an assertion: the NC-trained network's deepest
+  // signal layer carries less relative quantization error.
+  core::TrainConfig cfg;
+  cfg.epochs = 6;
+  auto run = [&](bool with_nc) {
+    nn::Rng rng(cfg.seed);
+    nn::Network net = models::make_lenet(rng);
+    core::NeuronConvergenceRegularizer reg(4, 0.1f);
+    core::train(net, *data_, cfg, with_nc ? &reg : nullptr,
+                with_nc ? 4 : 0, cfg.epochs - 2);
+    return analyze_error_propagation(net, *data_, 4, 16.0f, 32);
+  };
+  const auto plain = run(false);
+  const auto nc = run(true);
+  EXPECT_LT(nc.back().relative_error, plain.back().relative_error);
+}
+
+TEST_F(ErrorPropagationTest, EmptyDatasetThrows) {
+  nn::Rng rng(4);
+  nn::Network net = models::make_lenet(rng);
+  nn::Tensor none({0, 1, 28, 28});
+  data::InMemoryDataset empty("empty", none, {}, 10);
+  EXPECT_THROW(analyze_error_propagation(net, empty, 4, 16.0f),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsnc::core

@@ -1,0 +1,111 @@
+#include "core/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qsnc::core {
+namespace {
+
+TEST(SignalMaxTest, PowersOfTwoMinusOne) {
+  EXPECT_EQ(signal_max(1), 1);
+  EXPECT_EQ(signal_max(3), 7);
+  EXPECT_EQ(signal_max(4), 15);
+  EXPECT_EQ(signal_max(5), 31);
+  EXPECT_EQ(signal_max(8), 255);
+}
+
+TEST(SignalRangeThresholdTest, HalfRange) {
+  EXPECT_FLOAT_EQ(signal_range_threshold(4), 8.0f);
+  EXPECT_FLOAT_EQ(signal_range_threshold(3), 4.0f);
+  EXPECT_FLOAT_EQ(signal_range_threshold(2), 2.0f);
+}
+
+TEST(IntegerSignalQuantizerTest, RoundsToNearestInteger) {
+  IntegerSignalQuantizer q(4);
+  EXPECT_FLOAT_EQ(q.apply(3.2f), 3.0f);
+  EXPECT_FLOAT_EQ(q.apply(3.5f), 4.0f);
+  EXPECT_FLOAT_EQ(q.apply(0.49f), 0.0f);
+}
+
+TEST(IntegerSignalQuantizerTest, ClampsToWindow) {
+  IntegerSignalQuantizer q(4);
+  EXPECT_FLOAT_EQ(q.apply(99.0f), 15.0f);
+  EXPECT_FLOAT_EQ(q.apply(-3.0f), 0.0f);
+  EXPECT_FLOAT_EQ(q.max_value(), 15.0f);
+}
+
+TEST(IntegerSignalQuantizerTest, SteStopsAtCeiling) {
+  IntegerSignalQuantizer q(3);  // ceiling 7
+  EXPECT_TRUE(q.pass_through(3.0f));
+  EXPECT_TRUE(q.pass_through(7.2f));
+  EXPECT_FALSE(q.pass_through(7.6f));
+  EXPECT_FALSE(q.pass_through(20.0f));
+}
+
+TEST(IntegerSignalQuantizerTest, BadBitsThrow) {
+  EXPECT_THROW(IntegerSignalQuantizer(0), std::invalid_argument);
+  EXPECT_THROW(IntegerSignalQuantizer(17), std::invalid_argument);
+}
+
+TEST(IntegerSignalQuantizerTest, OutputAlwaysIntegral) {
+  IntegerSignalQuantizer q(5);
+  for (float v = -2.0f; v < 40.0f; v += 0.13f) {
+    const float o = q.apply(v);
+    EXPECT_FLOAT_EQ(o, std::round(o));
+    EXPECT_GE(o, 0.0f);
+    EXPECT_LE(o, 31.0f);
+  }
+}
+
+TEST(WeightGridTest, LevelsCount) {
+  EXPECT_EQ(weight_grid_levels(3), 9);   // 0, ±1..±4 scaled
+  EXPECT_EQ(weight_grid_levels(4), 17);
+}
+
+TEST(WeightGridTest, QuantizeSnapsToNearestLevel) {
+  // bits=2, scale=1: step=0.25, levels {0, ±0.25, ±0.5}.
+  EXPECT_FLOAT_EQ(quantize_weight_to_grid(0.3f, 2, 1.0f), 0.25f);
+  EXPECT_FLOAT_EQ(quantize_weight_to_grid(0.1f, 2, 1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(quantize_weight_to_grid(-0.4f, 2, 1.0f), -0.5f);
+}
+
+TEST(WeightGridTest, ClampsToTopLevel) {
+  EXPECT_FLOAT_EQ(quantize_weight_to_grid(9.0f, 2, 1.0f), 0.5f);
+  EXPECT_FLOAT_EQ(quantize_weight_to_grid(-9.0f, 2, 1.0f), -0.5f);
+}
+
+TEST(WeightGridTest, ZeroIsAlwaysRepresentable) {
+  for (int bits = 1; bits <= 8; ++bits) {
+    EXPECT_FLOAT_EQ(quantize_weight_to_grid(0.0f, bits, 3.7f), 0.0f);
+  }
+}
+
+TEST(WeightGridTest, IndexMatchesQuantize) {
+  const float scale = 2.0f;
+  for (int bits : {2, 3, 4}) {
+    const float step = scale / static_cast<float>(1 << bits);
+    for (float w = -1.5f; w <= 1.5f; w += 0.07f) {
+      const int64_t k = weight_grid_index(w, bits, scale);
+      EXPECT_FLOAT_EQ(quantize_weight_to_grid(w, bits, scale),
+                      static_cast<float>(k) * step);
+    }
+  }
+}
+
+TEST(WeightGridTest, NonPositiveScaleThrows) {
+  EXPECT_THROW(quantize_weight_to_grid(1.0f, 4, 0.0f), std::invalid_argument);
+  EXPECT_THROW(weight_grid_index(1.0f, 4, -1.0f), std::invalid_argument);
+}
+
+TEST(InputSignalTest, QuantizesLikeEncoder) {
+  EXPECT_FLOAT_EQ(quantize_input_signal(3.4f, 4), 3.0f);
+  EXPECT_FLOAT_EQ(quantize_input_signal(15.7f, 4), 15.0f);
+  EXPECT_FLOAT_EQ(quantize_input_signal(22.0f, 4), 15.0f);
+  EXPECT_FLOAT_EQ(quantize_input_signal(-1.0f, 4), 0.0f);
+  EXPECT_FLOAT_EQ(quantize_input_signal(6.0f, 3), 6.0f);
+  EXPECT_FLOAT_EQ(quantize_input_signal(9.0f, 3), 7.0f);
+}
+
+}  // namespace
+}  // namespace qsnc::core

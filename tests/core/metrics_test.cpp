@@ -1,0 +1,101 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/flatten.h"
+#include "nn/network.h"
+
+namespace qsnc::core {
+namespace {
+
+// Dataset where the label equals the index of the brightest pixel, and a
+// hand-built "identity" network that solves it exactly.
+data::DatasetPtr make_argmax_dataset(int64_t n) {
+  nn::Tensor images({n, 1, 1, 3});
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t cls = i % 3;
+    labels[static_cast<size_t>(i)] = cls;
+    images[i * 3 + cls] = 1.0f;
+  }
+  return std::make_shared<data::InMemoryDataset>("argmax", std::move(images),
+                                                 std::move(labels), 3);
+}
+
+nn::Network make_identity_net() {
+  nn::Rng rng(1);
+  nn::Network net;
+  net.emplace<nn::Flatten>();
+  auto& fc = net.emplace<nn::Dense>(3, 3, rng);
+  fc.weight().value = nn::Tensor({3, 3}, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  fc.bias().value.fill(0.0f);
+  return net;
+}
+
+nn::Network make_constant_net(int64_t cls) {
+  nn::Network net = make_identity_net();
+  // Kill the weights; bias selects one class forever.
+  for (nn::Param* p : net.params()) p->value.fill(0.0f);
+  auto* fc = dynamic_cast<nn::Dense*>(&net.layer(1));
+  fc->bias().value[cls] = 1.0f;
+  return net;
+}
+
+TEST(MetricsTest, PerfectClassifierScoresOne) {
+  auto ds = make_argmax_dataset(30);
+  nn::Network net = make_identity_net();
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(net, *ds), 1.0);
+}
+
+TEST(MetricsTest, ConstantClassifierScoresClassFraction) {
+  auto ds = make_argmax_dataset(30);
+  nn::Network net = make_constant_net(1);
+  EXPECT_NEAR(evaluate_accuracy(net, *ds), 1.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, BatchSizeDoesNotChangeResult) {
+  auto ds = make_argmax_dataset(31);  // odd size exercises the tail batch
+  nn::Network net = make_identity_net();
+  for (int64_t batch : {1, 7, 31, 64}) {
+    EXPECT_DOUBLE_EQ(evaluate_accuracy(net, *ds, 1.0f, 0, batch), 1.0);
+  }
+}
+
+TEST(MetricsTest, DetailedConfusionDiagonalForPerfect) {
+  auto ds = make_argmax_dataset(30);
+  nn::Network net = make_identity_net();
+  const EvalResult r = evaluate_detailed(net, *ds);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t p = 0; p < 3; ++p) {
+      EXPECT_EQ(r.at(t, p), t == p ? 10 : 0);
+    }
+    EXPECT_DOUBLE_EQ(r.recall(t), 1.0);
+  }
+}
+
+TEST(MetricsTest, DetailedConfusionColumnForConstant) {
+  auto ds = make_argmax_dataset(30);
+  nn::Network net = make_constant_net(2);
+  const EvalResult r = evaluate_detailed(net, *ds);
+  for (int64_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(r.at(t, 2), 10);  // everything predicted as class 2
+    EXPECT_EQ(r.at(t, 0), 0);
+  }
+  EXPECT_DOUBLE_EQ(r.recall(2), 1.0);
+  EXPECT_DOUBLE_EQ(r.recall(0), 0.0);
+}
+
+TEST(MetricsTest, ConfusionTotalEqualsDatasetSize) {
+  auto ds = make_argmax_dataset(29);
+  nn::Network net = make_identity_net();
+  const EvalResult r = evaluate_detailed(net, *ds);
+  int64_t total = 0;
+  for (int64_t v : r.confusion) total += v;
+  EXPECT_EQ(total, 29);
+}
+
+}  // namespace
+}  // namespace qsnc::core

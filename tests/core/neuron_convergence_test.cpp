@@ -1,0 +1,134 @@
+#include "core/neuron_convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers/relu.h"
+#include "nn/network.h"
+#include "nn/layers/dense.h"
+
+namespace qsnc::core {
+namespace {
+
+TEST(NeuronConvergenceTest, Eq3PenaltyInsideRange) {
+  // M=4 -> threshold 8; inside: alpha*|o|.
+  NeuronConvergenceRegularizer reg(4, 1.0f, 0.1f);
+  EXPECT_FLOAT_EQ(reg.penalty(0.0f), 0.0f);
+  EXPECT_FLOAT_EQ(reg.penalty(5.0f), 0.5f);
+  EXPECT_FLOAT_EQ(reg.penalty(-5.0f), 0.5f);
+}
+
+TEST(NeuronConvergenceTest, Eq3PenaltyBeyondRange) {
+  // Beyond: (|o| - 8) + alpha*|o|.
+  NeuronConvergenceRegularizer reg(4, 1.0f, 0.1f);
+  EXPECT_FLOAT_EQ(reg.penalty(10.0f), 2.0f + 1.0f);
+  EXPECT_FLOAT_EQ(reg.penalty(-10.0f), 2.0f + 1.0f);
+  EXPECT_FLOAT_EQ(reg.penalty(8.0f), 0.8f);  // kink point
+}
+
+TEST(NeuronConvergenceTest, PenaltyIsContinuousAtKink) {
+  NeuronConvergenceRegularizer reg(3, 1.0f, 0.1f);  // threshold 4
+  const float below = reg.penalty(4.0f - 1e-4f);
+  const float above = reg.penalty(4.0f + 1e-4f);
+  EXPECT_NEAR(below, above, 1e-3f);
+}
+
+TEST(NeuronConvergenceTest, GradientMatchesSlopes) {
+  NeuronConvergenceRegularizer reg(4, 1.0f, 0.1f);
+  EXPECT_FLOAT_EQ(reg.grad(5.0f), 0.1f);
+  EXPECT_FLOAT_EQ(reg.grad(-5.0f), -0.1f);
+  EXPECT_FLOAT_EQ(reg.grad(10.0f), 1.1f);
+  EXPECT_FLOAT_EQ(reg.grad(-10.0f), -1.1f);
+  EXPECT_FLOAT_EQ(reg.grad(0.0f), 0.0f);  // subgradient choice at 0
+}
+
+TEST(NeuronConvergenceTest, GradientMatchesFiniteDifference) {
+  NeuronConvergenceRegularizer reg(4, 1.0f, 0.1f);
+  const float eps = 1e-3f;
+  for (float o : {0.5f, 3.0f, 7.5f, 9.0f, 20.0f, -2.0f, -12.0f}) {
+    const float numeric =
+        (reg.penalty(o + eps) - reg.penalty(o - eps)) / (2 * eps);
+    EXPECT_NEAR(numeric, reg.grad(o), 1e-2f) << "at o=" << o;
+  }
+}
+
+TEST(NeuronConvergenceTest, ThresholdTracksBits) {
+  EXPECT_FLOAT_EQ(NeuronConvergenceRegularizer(3, 1.0f).threshold(), 4.0f);
+  EXPECT_FLOAT_EQ(NeuronConvergenceRegularizer(5, 1.0f).threshold(), 16.0f);
+}
+
+TEST(NeuronConvergenceTest, InvalidArgsThrow) {
+  EXPECT_THROW(NeuronConvergenceRegularizer(0, 1.0f), std::invalid_argument);
+  EXPECT_THROW(NeuronConvergenceRegularizer(4, -1.0f), std::invalid_argument);
+  EXPECT_THROW(NeuronConvergenceRegularizer(4, 1.0f, -0.1f),
+               std::invalid_argument);
+}
+
+TEST(L1RegularizerTest, AbsoluteValueForm) {
+  L1SignalRegularizer reg(0.5f);
+  EXPECT_FLOAT_EQ(reg.penalty(3.0f), 3.0f);
+  EXPECT_FLOAT_EQ(reg.penalty(-3.0f), 3.0f);
+  EXPECT_FLOAT_EQ(reg.grad(2.0f), 1.0f);
+  EXPECT_FLOAT_EQ(reg.grad(-2.0f), -1.0f);
+  EXPECT_FLOAT_EQ(reg.lambda(), 0.5f);
+}
+
+TEST(TruncatedL1Test, ZeroInsideRange) {
+  TruncatedL1Regularizer reg(4, 1.0f);  // threshold 8
+  EXPECT_FLOAT_EQ(reg.penalty(5.0f), 0.0f);
+  EXPECT_FLOAT_EQ(reg.grad(5.0f), 0.0f);
+  EXPECT_FLOAT_EQ(reg.penalty(10.0f), 2.0f);
+  EXPECT_FLOAT_EQ(reg.grad(10.0f), 1.0f);
+  EXPECT_FLOAT_EQ(reg.grad(-10.0f), -1.0f);
+}
+
+TEST(ReluRegularizerHookTest, PenaltyAccumulatesMeanNormalized) {
+  nn::ReLU relu;
+  NeuronConvergenceRegularizer reg(4, 2.0f, 0.1f);
+  relu.set_regularizer(&reg);
+  // Signals: 10 (beyond, penalty 3.0) and 5 (inside, penalty 0.5);
+  // mean over 2 elements, lambda 2 -> 2 * 3.5 / 2 = 3.5.
+  nn::Tensor x({2}, {10.0f, 5.0f});
+  relu.forward(x, /*train=*/true);
+  EXPECT_NEAR(relu.last_penalty(), 3.5f, 1e-5f);
+}
+
+TEST(ReluRegularizerHookTest, BackwardAddsRegGradient) {
+  nn::ReLU relu;
+  NeuronConvergenceRegularizer reg(4, 2.0f, 0.1f);
+  relu.set_regularizer(&reg);
+  nn::Tensor x({2}, {10.0f, -1.0f});
+  relu.forward(x, true);
+  nn::Tensor g({2}, {0.0f, 0.0f});
+  nn::Tensor gi = relu.backward(g);
+  // Element 0: reg grad 1.1 * lambda 2 / numel 2 = 1.1, times relu mask 1.
+  EXPECT_NEAR(gi[0], 1.1f, 1e-5f);
+  // Element 1: masked by ReLU.
+  EXPECT_FLOAT_EQ(gi[1], 0.0f);
+}
+
+TEST(ReluRegularizerHookTest, TrainingShrinksSignalsIntoRange) {
+  // A 1-layer toy: with a strong NC regularizer and zero data loss,
+  // gradient descent must pull an out-of-range activation below threshold.
+  nn::Rng rng(60);
+  nn::Dense fc(1, 1, rng);
+  fc.weight().value[0] = 20.0f;  // activation = 20 * input
+  fc.bias().value[0] = 0.0f;
+  nn::ReLU relu;
+  NeuronConvergenceRegularizer reg(4, 5.0f, 0.1f);
+  relu.set_regularizer(&reg);
+
+  nn::Tensor x({1, 1}, {1.0f});
+  for (int step = 0; step < 200; ++step) {
+    for (nn::Param* p : fc.params()) p->zero_grad();
+    nn::Tensor h = fc.forward(x, true);
+    relu.forward(h, true);
+    nn::Tensor zero({1, 1}, 0.0f);
+    nn::Tensor g = relu.backward(zero);
+    fc.backward(g);
+    fc.weight().value[0] -= 0.05f * fc.weight().grad[0];
+  }
+  EXPECT_LT(fc.weight().value[0], 8.5f);  // pulled to the 2^{M-1} boundary
+}
+
+}  // namespace
+}  // namespace qsnc::core

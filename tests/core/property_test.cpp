@@ -1,0 +1,153 @@
+// Cross-module property tests: idempotence, monotonicity, and consistency
+// invariants that hold for any input, checked over parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dynamic_fixed_point.h"
+#include "core/fixed_point.h"
+#include "core/weight_clustering.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace qsnc::core {
+namespace {
+
+class SignalQuantizerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignalQuantizerProperty, Idempotent) {
+  const int bits = GetParam();
+  IntegerSignalQuantizer q(bits);
+  nn::Rng rng(bits);
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.uniform(-10.0f, 80.0f);
+    const float once = q.apply(x);
+    EXPECT_FLOAT_EQ(q.apply(once), once) << "x=" << x;
+  }
+}
+
+TEST_P(SignalQuantizerProperty, Monotone) {
+  const int bits = GetParam();
+  IntegerSignalQuantizer q(bits);
+  nn::Rng rng(bits + 100);
+  for (int i = 0; i < 500; ++i) {
+    const float a = rng.uniform(-5.0f, 50.0f);
+    const float b = rng.uniform(-5.0f, 50.0f);
+    if (a <= b) {
+      EXPECT_LE(q.apply(a), q.apply(b));
+    } else {
+      EXPECT_GE(q.apply(a), q.apply(b));
+    }
+  }
+}
+
+TEST_P(SignalQuantizerProperty, ErrorBoundedByHalfStepInRange) {
+  const int bits = GetParam();
+  IntegerSignalQuantizer q(bits);
+  nn::Rng rng(bits + 200);
+  const float max_v = static_cast<float>(signal_max(bits));
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.uniform(0.0f, max_v);
+    EXPECT_LE(std::fabs(q.apply(x) - x), 0.5f + 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, SignalQuantizerProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+class WeightGridProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightGridProperty, QuantizeIdempotent) {
+  const int bits = GetParam();
+  nn::Rng rng(bits);
+  for (int i = 0; i < 300; ++i) {
+    const float scale = rng.uniform(0.1f, 4.0f);
+    const float w = rng.uniform(-3.0f, 3.0f);
+    const float once = quantize_weight_to_grid(w, bits, scale);
+    EXPECT_NEAR(quantize_weight_to_grid(once, bits, scale), once,
+                1e-6f * scale);
+  }
+}
+
+TEST_P(WeightGridProperty, OddSymmetry) {
+  const int bits = GetParam();
+  nn::Rng rng(bits + 50);
+  for (int i = 0; i < 300; ++i) {
+    const float scale = rng.uniform(0.1f, 4.0f);
+    const float w = rng.uniform(0.0f, 3.0f);
+    EXPECT_NEAR(quantize_weight_to_grid(-w, bits, scale),
+                -quantize_weight_to_grid(w, bits, scale), 1e-6f * scale);
+  }
+}
+
+TEST_P(WeightGridProperty, ErrorBoundedByHalfStepInRange) {
+  const int bits = GetParam();
+  const float scale = 2.0f;
+  const float step = scale / static_cast<float>(1 << bits);
+  nn::Rng rng(bits + 75);
+  for (int i = 0; i < 300; ++i) {
+    // Stay strictly inside the grid's covered range [-scale/2, scale/2].
+    const float w = rng.uniform(-scale / 2.0f, scale / 2.0f);
+    EXPECT_LE(std::fabs(quantize_weight_to_grid(w, bits, scale) - w),
+              step / 2.0f + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, WeightGridProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(ClusteringProperty, IdempotentOnItsOwnOutput) {
+  nn::Rng rng(9);
+  nn::Tensor w({1000});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal(0.0f, 0.4f);
+
+  nn::Tensor q1;
+  const WeightClusterResult r1 = cluster_tensor(w, 4, true, &q1);
+  nn::Tensor q2;
+  const WeightClusterResult r2 = cluster_tensor(q1, 4, true, &q2);
+  EXPECT_TRUE(q2.allclose(q1, 1e-5f));
+  EXPECT_NEAR(r2.mse, 0.0f, 1e-9f);
+  (void)r1;
+}
+
+TEST(ClusteringProperty, ScaleEquivariance) {
+  // Clustering commutes with a global rescale of the weights.
+  nn::Rng rng(10);
+  nn::Tensor w({500});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.normal(0.0f, 0.4f);
+  nn::Tensor w2 = w;
+  w2 *= 3.0f;
+
+  nn::Tensor q1, q2;
+  cluster_tensor(w, 4, true, &q1);
+  cluster_tensor(w2, 4, true, &q2);
+  q1 *= 3.0f;
+  EXPECT_TRUE(q2.allclose(q1, 1e-4f));
+}
+
+TEST(DfpProperty, QuantizeIdempotent) {
+  nn::Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const int fl = static_cast<int>(rng.uniform_int(0, 10));
+    const float v = rng.uniform(-4.0f, 4.0f);
+    const float once = dfp_quantize(v, 8, fl);
+    EXPECT_FLOAT_EQ(dfp_quantize(once, 8, fl), once);
+  }
+}
+
+TEST(DfpProperty, WiderIsNeverWorse) {
+  nn::Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const float v = rng.uniform(-1.0f, 1.0f);
+    float prev_err = 1e9f;
+    for (int bits : {4, 6, 8, 12}) {
+      const int fl = choose_fraction_bits(1.0f, bits);
+      const float err = std::fabs(dfp_quantize(v, bits, fl) - v);
+      EXPECT_LE(err, prev_err + 1e-6f) << "v=" << v << " bits=" << bits;
+      prev_err = err;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qsnc::core

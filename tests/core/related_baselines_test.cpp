@@ -1,0 +1,151 @@
+#include "core/related_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/layers/dense.h"
+#include "nn/layers/relu.h"
+#include "nn/network.h"
+#include "nn/rng.h"
+
+namespace qsnc::core {
+namespace {
+
+nn::Tensor random_weights(int64_t n, uint64_t seed, float scale = 0.3f) {
+  nn::Rng rng(seed);
+  nn::Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t[i] = rng.normal(0.0f, scale);
+  return t;
+}
+
+TEST(BinarizeTest, OutputHasExactlyTwoValues) {
+  nn::Tensor w = random_weights(500, 1);
+  const BaselineQuantResult r = binarize_tensor(&w);
+  std::set<float> values;
+  for (int64_t i = 0; i < w.numel(); ++i) values.insert(w[i]);
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_GT(r.scale, 0.0f);
+  EXPECT_FLOAT_EQ(*values.rbegin(), r.scale);
+  EXPECT_FLOAT_EQ(*values.begin(), -r.scale);
+}
+
+TEST(BinarizeTest, ScaleIsMeanAbs) {
+  nn::Tensor w({4}, {0.1f, -0.3f, 0.5f, -0.1f});
+  const BaselineQuantResult r = binarize_tensor(&w);
+  EXPECT_FLOAT_EQ(r.scale, 0.25f);
+}
+
+TEST(BinarizeTest, SignsPreserved) {
+  nn::Tensor w({3}, {0.2f, -0.4f, 0.0f});
+  binarize_tensor(&w);
+  EXPECT_GT(w[0], 0.0f);
+  EXPECT_LT(w[1], 0.0f);
+  EXPECT_GE(w[2], 0.0f);  // zero binarizes to +s by convention
+}
+
+TEST(TernarizeTest, OutputHasAtMostThreeValues) {
+  nn::Tensor w = random_weights(500, 2);
+  const BaselineQuantResult r = ternarize_tensor(&w);
+  std::set<float> values;
+  for (int64_t i = 0; i < w.numel(); ++i) values.insert(w[i]);
+  EXPECT_LE(values.size(), 3u);
+  EXPECT_TRUE(values.count(0.0f) > 0);
+  EXPECT_GT(r.scale, 0.0f);
+}
+
+TEST(TernarizeTest, DeadZoneZeroesSmallWeights) {
+  // mean|w| = 0.25, threshold 0.175: the two 0.1s become 0.
+  nn::Tensor w({4}, {0.1f, -0.1f, 0.4f, -0.4f});
+  ternarize_tensor(&w);
+  EXPECT_FLOAT_EQ(w[0], 0.0f);
+  EXPECT_FLOAT_EQ(w[1], 0.0f);
+  EXPECT_FLOAT_EQ(w[2], 0.4f);
+  EXPECT_FLOAT_EQ(w[3], -0.4f);
+}
+
+TEST(TernarizeTest, AllZeroTensorStaysZero) {
+  nn::Tensor w({8}, 0.0f);
+  const BaselineQuantResult r = ternarize_tensor(&w);
+  EXPECT_FLOAT_EQ(r.scale, 0.0f);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(w[i], 0.0f);
+}
+
+TEST(PowerOfTwoTest, OutputsArePowersOfTwo) {
+  nn::Tensor w = random_weights(500, 3);
+  power_of_two_tensor(&w, 4);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    if (w[i] == 0.0f) continue;
+    const float log = std::log2(std::fabs(w[i]));
+    EXPECT_NEAR(log, std::round(log), 1e-5f) << "value " << w[i];
+  }
+}
+
+TEST(PowerOfTwoTest, LevelsLimitExponentWindow) {
+  nn::Tensor w = random_weights(500, 4);
+  const float wmax = w.abs_max();
+  power_of_two_tensor(&w, 3);
+  const int k_max = static_cast<int>(std::ceil(std::log2(wmax)));
+  float min_nonzero = 1e9f, max_abs = 0.0f;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    const float a = std::fabs(w[i]);
+    max_abs = std::max(max_abs, a);
+    if (a > 0.0f) min_nonzero = std::min(min_nonzero, a);
+  }
+  EXPECT_LE(max_abs, std::ldexp(1.0f, k_max) + 1e-6f);
+  EXPECT_GE(min_nonzero, std::ldexp(1.0f, k_max - 2) - 1e-6f);
+}
+
+TEST(PowerOfTwoTest, MoreLevelsNeverWorseMse) {
+  const nn::Tensor base = random_weights(2000, 5);
+  float prev = 1e9f;
+  for (int levels : {1, 2, 4, 8}) {
+    nn::Tensor w = base;
+    const BaselineQuantResult r = power_of_two_tensor(&w, levels);
+    EXPECT_LE(r.mse, prev + 1e-7f) << "levels " << levels;
+    prev = r.mse;
+  }
+}
+
+TEST(PowerOfTwoTest, BadLevelsThrow) {
+  nn::Tensor w({4});
+  EXPECT_THROW(power_of_two_tensor(&w, 0), std::invalid_argument);
+  EXPECT_THROW(power_of_two_tensor(&w, 64), std::invalid_argument);
+  EXPECT_THROW(power_of_two_tensor(nullptr, 4), std::invalid_argument);
+}
+
+TEST(ApplyBaselinesTest, OnlySynapsesTouched) {
+  nn::Rng rng(6);
+  nn::Network net;
+  auto& fc = net.emplace<nn::Dense>(8, 4, rng);
+  net.emplace<nn::ReLU>();
+  fc.bias().value.fill(0.777f);
+
+  const auto results = apply_binary_weights(net);
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_FLOAT_EQ(fc.bias().value[0], 0.777f);
+  std::set<float> values;
+  for (int64_t i = 0; i < fc.weight().value.numel(); ++i) {
+    values.insert(fc.weight().value[i]);
+  }
+  EXPECT_EQ(values.size(), 2u);
+}
+
+TEST(ApplyBaselinesTest, TernaryAndPo2CoverAllSynapses) {
+  nn::Rng rng(7);
+  nn::Network net;
+  net.emplace<nn::Dense>(8, 8, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(8, 4, rng);
+  EXPECT_EQ(apply_ternary_weights(net).size(), 2u);
+  nn::Rng rng2(7);
+  nn::Network net2;
+  net2.emplace<nn::Dense>(8, 8, rng2);
+  net2.emplace<nn::ReLU>();
+  net2.emplace<nn::Dense>(8, 4, rng2);
+  EXPECT_EQ(apply_power_of_two_weights(net2, 4).size(), 2u);
+}
+
+}  // namespace
+}  // namespace qsnc::core

@@ -1,0 +1,180 @@
+#include "core/weight_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fixed_point.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/relu.h"
+#include "nn/network.h"
+#include "nn/rng.h"
+
+namespace qsnc::core {
+namespace {
+
+float tensor_mse(const nn::Tensor& a, const nn::Tensor& b) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return acc / static_cast<float>(a.numel());
+}
+
+nn::Tensor random_weights(int64_t n, uint64_t seed, float scale = 0.3f) {
+  nn::Rng rng(seed);
+  nn::Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t[i] = rng.normal(0.0f, scale);
+  return t;
+}
+
+TEST(ClusterTensorTest, OutputLiesOnGrid) {
+  const nn::Tensor w = random_weights(500, 1);
+  nn::Tensor q;
+  const WeightClusterResult r = cluster_tensor(w, 4, true, &q);
+  const float step = r.scale / 16.0f;
+  for (int64_t i = 0; i < q.numel(); ++i) {
+    const float k = q[i] / step;
+    EXPECT_NEAR(k, std::round(k), 1e-3f) << "value " << q[i];
+    EXPECT_LE(std::fabs(k), 8.001f);
+  }
+}
+
+TEST(ClusterTensorTest, OptimizedBeatsNaiveMse) {
+  const nn::Tensor w = random_weights(2000, 2);
+  nn::Tensor q_naive, q_opt;
+  cluster_tensor(w, 4, false, &q_naive);
+  const WeightClusterResult r = cluster_tensor(w, 4, true, &q_opt);
+  EXPECT_LE(tensor_mse(w, q_opt), tensor_mse(w, q_naive) + 1e-8f);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(ClusterTensorTest, ReportedMseMatchesActual) {
+  const nn::Tensor w = random_weights(800, 3);
+  nn::Tensor q;
+  const WeightClusterResult r = cluster_tensor(w, 3, true, &q);
+  EXPECT_NEAR(r.mse, tensor_mse(w, q), 1e-5f);
+}
+
+TEST(ClusterTensorTest, MoreBitsNeverWorse) {
+  const nn::Tensor w = random_weights(1000, 4);
+  float prev = 1e9f;
+  for (int bits : {2, 3, 4, 5, 6}) {
+    nn::Tensor q;
+    const WeightClusterResult r = cluster_tensor(w, bits, true, &q);
+    EXPECT_LE(r.mse, prev * 1.02f) << "bits " << bits;
+    prev = r.mse;
+  }
+}
+
+TEST(ClusterTensorTest, GridValuesAreExactlyRepresentable) {
+  // A tensor already on the grid must survive clustering unchanged.
+  nn::Tensor w({5}, {0.0f, 0.25f, -0.25f, 0.5f, -0.5f});
+  nn::Tensor q;
+  const WeightClusterResult r = cluster_tensor(w, 2, true, &q);
+  EXPECT_NEAR(r.mse, 0.0f, 1e-10f);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_NEAR(q[i], w[i], 1e-6f);
+}
+
+TEST(ClusterTensorTest, AllZerosHandled) {
+  nn::Tensor w({10}, 0.0f);
+  nn::Tensor q;
+  const WeightClusterResult r = cluster_tensor(w, 4, true, &q);
+  EXPECT_FLOAT_EQ(r.mse, 0.0f);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(q[i], 0.0f);
+}
+
+TEST(ClusterWeightSetTest, LloydMonotonicallyImproves) {
+  // Sweep iteration caps; MSE must be non-increasing in the cap.
+  nn::Tensor w = random_weights(3000, 5);
+  float prev_mse = 1e9f;
+  for (int cap : {1, 2, 5, 50}) {
+    nn::Tensor copy = w;
+    WeightClusterConfig cfg;
+    cfg.bits = 3;
+    cfg.max_iterations = cap;
+    const WeightClusterResult r =
+        cluster_weight_set({copy.data()}, {copy.numel()}, cfg);
+    EXPECT_LE(r.mse, prev_mse + 1e-7f) << "cap " << cap;
+    prev_mse = r.mse;
+  }
+}
+
+TEST(ClusterWeightSetTest, SizeMismatchThrows) {
+  nn::Tensor w({4});
+  WeightClusterConfig cfg;
+  EXPECT_THROW(cluster_weight_set({w.data()}, {4, 4}, cfg),
+               std::invalid_argument);
+}
+
+TEST(ClusterWeightSetTest, BadBitsThrow) {
+  nn::Tensor w({4});
+  WeightClusterConfig cfg;
+  cfg.bits = 0;
+  EXPECT_THROW(cluster_weight_set({w.data()}, {4}, cfg),
+               std::invalid_argument);
+}
+
+TEST(ApplyWeightClusteringTest, QuantizesOnlySynapses) {
+  nn::Rng rng(6);
+  nn::Network net;
+  auto& fc = net.emplace<nn::Dense>(8, 4, rng);
+  net.emplace<nn::ReLU>();
+  fc.bias().value.fill(0.333f);  // not representable on typical grids
+
+  WeightClusterConfig cfg;
+  cfg.bits = 3;
+  const auto results = apply_weight_clustering(net, cfg);
+  ASSERT_EQ(results.size(), 1u);  // one synapse tensor (per-layer scope)
+  // Bias untouched.
+  EXPECT_FLOAT_EQ(fc.bias().value[0], 0.333f);
+  // Weights on the grid.
+  const float step = results[0].scale / 8.0f;
+  for (int64_t i = 0; i < fc.weight().value.numel(); ++i) {
+    const float k = fc.weight().value[i] / step;
+    EXPECT_NEAR(k, std::round(k), 1e-3f);
+  }
+}
+
+TEST(ApplyWeightClusteringTest, PerLayerGivesOneResultPerTensor) {
+  nn::Rng rng(7);
+  nn::Network net;
+  net.emplace<nn::Conv2d>(1, 2, 3, 1, 1, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(8, 4, rng);
+
+  WeightClusterConfig cfg;
+  cfg.scope = ClusterScope::kPerLayer;
+  EXPECT_EQ(apply_weight_clustering(net, cfg).size(), 2u);
+
+  nn::Rng rng2(7);
+  nn::Network net2;
+  net2.emplace<nn::Conv2d>(1, 2, 3, 1, 1, rng2);
+  net2.emplace<nn::ReLU>();
+  net2.emplace<nn::Dense>(8, 4, rng2);
+  cfg.scope = ClusterScope::kPerNetwork;
+  EXPECT_EQ(apply_weight_clustering(net2, cfg).size(), 1u);
+}
+
+TEST(ApplyWeightClusteringTest, PerLayerMseNotWorseThanPerNetwork) {
+  // Two tensors with very different magnitudes: a shared grid must be at
+  // least as lossy as per-tensor grids.
+  nn::Tensor a = random_weights(500, 8, 0.05f);
+  nn::Tensor b = random_weights(500, 9, 1.0f);
+
+  nn::Tensor a1 = a, b1 = b;
+  WeightClusterConfig cfg;
+  cfg.bits = 4;
+  const auto ra = cluster_weight_set({a1.data()}, {a1.numel()}, cfg);
+  const auto rb = cluster_weight_set({b1.data()}, {b1.numel()}, cfg);
+  const float per_layer_mse = (ra.mse + rb.mse) / 2.0f;
+
+  nn::Tensor a2 = a, b2 = b;
+  const auto rj = cluster_weight_set({a2.data(), b2.data()},
+                                     {a2.numel(), b2.numel()}, cfg);
+  EXPECT_GE(rj.mse, per_layer_mse * 0.999f);
+}
+
+}  // namespace
+}  // namespace qsnc::core

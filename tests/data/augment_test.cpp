@@ -1,0 +1,126 @@
+#include "data/augment.h"
+
+#include <gtest/gtest.h>
+
+namespace qsnc::data {
+namespace {
+
+// Flat index of (c, y, x) in a [C, 4, 4] image.
+constexpr int64_t idx(int64_t c, int64_t y, int64_t x) {
+  return (c * 4 + y) * 4 + x;
+}
+
+Tensor marker_image() {
+  // 1x4x4 with a single bright pixel at (y=1, x=2).
+  Tensor img({1, 4, 4});
+  img[idx(0, 1, 2)] = 1.0f;
+  return img;
+}
+
+TEST(AugmenterTest, NoOpConfigLeavesImageUntouched) {
+  AugmentConfig cfg;
+  cfg.max_shift_px = 0;
+  cfg.horizontal_flip = false;
+  Augmenter aug(cfg);
+  Tensor img = marker_image();
+  const Tensor before = img;
+  aug.apply_image(&img);
+  EXPECT_TRUE(img.allclose(before));
+}
+
+TEST(AugmenterTest, MassIsNeverCreated) {
+  AugmentConfig cfg;
+  cfg.max_shift_px = 2;
+  Augmenter aug(cfg);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor img = marker_image();
+    aug.apply_image(&img);
+    // The marker either survives (sum 1) or shifted out (sum 0).
+    EXPECT_TRUE(img.sum() == 0.0f || img.sum() == 1.0f);
+    EXPECT_GE(img.min(), 0.0f);
+    EXPECT_LE(img.max(), 1.0f);
+  }
+}
+
+TEST(AugmenterTest, ShiftsActuallyMoveContent) {
+  AugmentConfig cfg;
+  cfg.max_shift_px = 1;
+  cfg.horizontal_flip = false;
+  Augmenter aug(cfg);
+  int moved = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Tensor img = marker_image();
+    aug.apply_image(&img);
+    if (img[idx(0, 1, 2)] != 1.0f) ++moved;
+  }
+  EXPECT_GT(moved, 10);  // 8/9 shift combos move the marker
+}
+
+TEST(AugmenterTest, FlipMirrorsColumns) {
+  AugmentConfig cfg;
+  cfg.max_shift_px = 0;
+  cfg.horizontal_flip = true;
+  cfg.seed = 3;
+  Augmenter aug(cfg);
+  // Run until a flip occurs; the marker at x=2 of width 4 lands at x=1.
+  bool saw_flip = false;
+  for (int trial = 0; trial < 50 && !saw_flip; ++trial) {
+    Tensor img = marker_image();
+    aug.apply_image(&img);
+    if (img[idx(0, 1, 1)] == 1.0f) saw_flip = true;
+  }
+  EXPECT_TRUE(saw_flip);
+}
+
+TEST(AugmenterTest, BatchAppliesPerImage) {
+  AugmentConfig cfg;
+  cfg.max_shift_px = 1;
+  Augmenter aug(cfg);
+  Tensor batch({8, 1, 4, 4});
+  for (int64_t i = 0; i < 8; ++i) batch.at(i, 0, 1, 2) = 1.0f;
+  aug.apply(&batch);
+  // Images are augmented independently: they should not all be identical.
+  bool any_differs = false;
+  for (int64_t i = 1; i < 8 && !any_differs; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      if (batch[i * 16 + j] != batch[j]) {
+        any_differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(AugmenterTest, MultiChannelShiftsTogether) {
+  AugmentConfig cfg;
+  cfg.max_shift_px = 1;
+  cfg.horizontal_flip = false;
+  cfg.seed = 9;
+  Augmenter aug(cfg);
+  Tensor img({3, 4, 4});
+  for (int64_t c = 0; c < 3; ++c) img[idx(c, 1, 2)] = 1.0f;
+  aug.apply_image(&img);
+  // All channels must show the marker at the same location.
+  for (int64_t y = 0; y < 4; ++y) {
+    for (int64_t x = 0; x < 4; ++x) {
+      const float r = img[0 * 16 + y * 4 + x];
+      EXPECT_EQ(r, img[1 * 16 + y * 4 + x]);
+      EXPECT_EQ(r, img[2 * 16 + y * 4 + x]);
+    }
+  }
+}
+
+TEST(AugmenterTest, BadInputsThrow) {
+  Augmenter aug(AugmentConfig{});
+  Tensor wrong({4, 4});
+  EXPECT_THROW(aug.apply_image(&wrong), std::invalid_argument);
+  EXPECT_THROW(aug.apply(&wrong), std::invalid_argument);
+  EXPECT_THROW(aug.apply_image(nullptr), std::invalid_argument);
+  AugmentConfig bad;
+  bad.max_shift_px = -1;
+  EXPECT_THROW(Augmenter{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsnc::data

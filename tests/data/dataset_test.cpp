@@ -1,0 +1,135 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/batcher.h"
+
+namespace qsnc::data {
+namespace {
+
+DatasetPtr make_tiny(int64_t n = 10) {
+  Tensor images({n, 1, 2, 2});
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % 3;
+    for (int64_t j = 0; j < 4; ++j) {
+      images[i * 4 + j] = static_cast<float>(i * 4 + j);
+    }
+  }
+  return std::make_shared<InMemoryDataset>("tiny", std::move(images),
+                                           std::move(labels), 3);
+}
+
+TEST(InMemoryDatasetTest, BasicAccessors) {
+  auto ds = make_tiny();
+  EXPECT_EQ(ds->size(), 10);
+  EXPECT_EQ(ds->num_classes(), 3);
+  EXPECT_EQ(ds->name(), "tiny");
+  EXPECT_EQ(ds->image_shape(), (Shape{1, 2, 2}));
+}
+
+TEST(InMemoryDatasetTest, GetReturnsCorrectSlice) {
+  auto ds = make_tiny();
+  const Sample s = ds->get(2);
+  EXPECT_EQ(s.label, 2);
+  EXPECT_EQ(s.image.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(s.image[0], 8.0f);
+  EXPECT_FLOAT_EQ(s.image[3], 11.0f);
+}
+
+TEST(InMemoryDatasetTest, GetOutOfRangeThrows) {
+  auto ds = make_tiny();
+  EXPECT_THROW(ds->get(-1), std::out_of_range);
+  EXPECT_THROW(ds->get(10), std::out_of_range);
+}
+
+TEST(InMemoryDatasetTest, CountMismatchThrows) {
+  Tensor images({3, 1, 2, 2});
+  EXPECT_THROW(
+      InMemoryDataset("bad", images, {0, 1}, 2),
+      std::invalid_argument);
+}
+
+TEST(InMemoryDatasetTest, LabelOutOfRangeThrows) {
+  Tensor images({2, 1, 2, 2});
+  EXPECT_THROW(InMemoryDataset("bad", images, {0, 5}, 3),
+               std::invalid_argument);
+}
+
+TEST(InMemoryDatasetTest, BatchImagesCopiesRange) {
+  auto ds = make_tiny();
+  Tensor b = ds->batch_images(1, 2);
+  EXPECT_EQ(b.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(b[0], 4.0f);
+  EXPECT_FLOAT_EQ(b[7], 11.0f);
+  EXPECT_THROW(ds->batch_images(9, 2), std::out_of_range);
+}
+
+TEST(InMemoryDatasetTest, GatherRespectsIndexOrder) {
+  auto ds = make_tiny();
+  Tensor g = ds->gather_images({3, 0});
+  EXPECT_FLOAT_EQ(g[0], 12.0f);
+  EXPECT_FLOAT_EQ(g[4], 0.0f);
+  std::vector<int64_t> labels = ds->gather_labels({3, 0});
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_THROW(ds->gather_images({42}), std::out_of_range);
+}
+
+TEST(BatcherTest, CoversEpochExactlyOnce) {
+  auto ds = make_tiny(10);
+  Batcher batcher(ds, 3, 7);
+  std::vector<int> seen(10, 0);
+  for (int b = 0; b < 4; ++b) {  // 3+3+3+1
+    Batch batch = batcher.next();
+    for (int64_t i = 0; i < batch.images.dim(0); ++i) {
+      // Recover the source index from the first pixel (i*4).
+      const int64_t idx = static_cast<int64_t>(batch.images[i * 4]) / 4;
+      ++seen[static_cast<size_t>(idx)];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_EQ(batcher.epoch(), 0);
+  batcher.next();  // rolls into epoch 1
+  EXPECT_EQ(batcher.epoch(), 1);
+}
+
+TEST(BatcherTest, BatchesPerEpochRoundsUp) {
+  auto ds = make_tiny(10);
+  EXPECT_EQ(Batcher(ds, 3, 1).batches_per_epoch(), 4);
+  EXPECT_EQ(Batcher(ds, 5, 1).batches_per_epoch(), 2);
+  EXPECT_EQ(Batcher(ds, 16, 1).batches_per_epoch(), 1);
+}
+
+TEST(BatcherTest, LabelsTravelWithImages) {
+  auto ds = make_tiny(9);
+  Batcher batcher(ds, 4, 3);
+  for (int b = 0; b < 3; ++b) {
+    Batch batch = batcher.next();
+    for (int64_t i = 0; i < batch.images.dim(0); ++i) {
+      const int64_t idx = static_cast<int64_t>(batch.images[i * 4]) / 4;
+      EXPECT_EQ(batch.labels[static_cast<size_t>(i)], idx % 3);
+    }
+  }
+}
+
+TEST(BatcherTest, InvalidArgumentsThrow) {
+  auto ds = make_tiny();
+  EXPECT_THROW(Batcher(nullptr, 4, 1), std::invalid_argument);
+  EXPECT_THROW(Batcher(ds, 0, 1), std::invalid_argument);
+}
+
+TEST(BatcherTest, DeterministicForSeed) {
+  auto ds = make_tiny(10);
+  Batcher a(ds, 4, 99), b(ds, 4, 99);
+  for (int i = 0; i < 5; ++i) {
+    Batch ba = a.next(), bb = b.next();
+    EXPECT_TRUE(ba.images.allclose(bb.images));
+    EXPECT_EQ(ba.labels, bb.labels);
+  }
+}
+
+}  // namespace
+}  // namespace qsnc::data

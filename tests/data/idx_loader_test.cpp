@@ -1,0 +1,109 @@
+#include "data/idx_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+namespace qsnc::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+void write_be32(std::ofstream& f, uint32_t v) {
+  const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                              static_cast<unsigned char>(v >> 16),
+                              static_cast<unsigned char>(v >> 8),
+                              static_cast<unsigned char>(v)};
+  f.write(reinterpret_cast<const char*>(b), 4);
+}
+
+class IdxLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "qsnc_idx_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_mnist_pair(uint32_t n) {
+    std::ofstream img(dir_ / "t10k-images-idx3-ubyte", std::ios::binary);
+    write_be32(img, 0x803);
+    write_be32(img, n);
+    write_be32(img, 28);
+    write_be32(img, 28);
+    for (uint32_t i = 0; i < n * 28 * 28; ++i) {
+      const unsigned char px = static_cast<unsigned char>(i % 256);
+      img.write(reinterpret_cast<const char*>(&px), 1);
+    }
+    std::ofstream lbl(dir_ / "t10k-labels-idx1-ubyte", std::ios::binary);
+    write_be32(lbl, 0x801);
+    write_be32(lbl, n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const unsigned char y = static_cast<unsigned char>(i % 10);
+      lbl.write(reinterpret_cast<const char*>(&y), 1);
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IdxLoaderTest, MissingFilesReturnNullopt) {
+  EXPECT_FALSE(try_load_mnist(dir_.string(), false).has_value());
+  EXPECT_FALSE(try_load_mnist(dir_.string(), true).has_value());
+  EXPECT_FALSE(try_load_cifar10(dir_.string(), false).has_value());
+}
+
+TEST_F(IdxLoaderTest, LoadsValidMnist) {
+  write_mnist_pair(6);
+  auto ds = try_load_mnist(dir_.string(), false);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ((*ds)->size(), 6);
+  EXPECT_EQ((*ds)->image_shape(), (Shape{1, 28, 28}));
+  EXPECT_EQ((*ds)->get(3).label, 3);
+  // Pixel 1 of image 0 is raw value 1 -> 1/255.
+  EXPECT_NEAR((*ds)->get(0).image[1], 1.0f / 255.0f, 1e-6f);
+}
+
+TEST_F(IdxLoaderTest, BadMagicThrows) {
+  write_mnist_pair(2);
+  {
+    std::ofstream img(dir_ / "t10k-images-idx3-ubyte", std::ios::binary);
+    write_be32(img, 0xdead);
+    write_be32(img, 2);
+    write_be32(img, 28);
+    write_be32(img, 28);
+  }
+  EXPECT_THROW(try_load_mnist(dir_.string(), false), std::runtime_error);
+}
+
+TEST_F(IdxLoaderTest, LoadsValidCifarTestBatch) {
+  {
+    std::ofstream f(dir_ / "test_batch.bin", std::ios::binary);
+    for (int i = 0; i < 10000; ++i) {
+      unsigned char rec[1 + 3 * 32 * 32];
+      rec[0] = static_cast<unsigned char>(i % 10);
+      for (size_t j = 1; j < sizeof(rec); ++j) {
+        rec[j] = static_cast<unsigned char>((i + j) % 256);
+      }
+      f.write(reinterpret_cast<const char*>(rec), sizeof(rec));
+    }
+  }
+  auto ds = try_load_cifar10(dir_.string(), false);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ((*ds)->size(), 10000);
+  EXPECT_EQ((*ds)->image_shape(), (Shape{3, 32, 32}));
+  EXPECT_EQ((*ds)->get(7).label, 7);
+}
+
+TEST_F(IdxLoaderTest, TruncatedCifarThrows) {
+  {
+    std::ofstream f(dir_ / "test_batch.bin", std::ios::binary);
+    f << "short";
+  }
+  EXPECT_THROW(try_load_cifar10(dir_.string(), false), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qsnc::data

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic_cifar.h"
+#include "data/synthetic_mnist.h"
+
+namespace qsnc::data {
+namespace {
+
+TEST(SyntheticMnistTest, ShapeAndRange) {
+  SyntheticMnistConfig cfg;
+  cfg.num_samples = 50;
+  auto ds = make_synthetic_mnist(cfg);
+  EXPECT_EQ(ds->size(), 50);
+  EXPECT_EQ(ds->image_shape(), (Shape{1, 28, 28}));
+  EXPECT_EQ(ds->num_classes(), 10);
+  const Tensor& imgs = ds->images();
+  EXPECT_GE(imgs.min(), 0.0f);
+  EXPECT_LE(imgs.max(), 1.0f);
+}
+
+TEST(SyntheticMnistTest, RoundRobinLabels) {
+  SyntheticMnistConfig cfg;
+  cfg.num_samples = 25;
+  auto ds = make_synthetic_mnist(cfg);
+  for (int64_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(ds->get(i).label, i % 10);
+  }
+}
+
+TEST(SyntheticMnistTest, DeterministicForSeed) {
+  SyntheticMnistConfig cfg;
+  cfg.num_samples = 20;
+  cfg.seed = 5;
+  auto a = make_synthetic_mnist(cfg);
+  auto b = make_synthetic_mnist(cfg);
+  EXPECT_TRUE(a->images().allclose(b->images()));
+}
+
+TEST(SyntheticMnistTest, DifferentSeedsDiffer) {
+  SyntheticMnistConfig a_cfg, b_cfg;
+  a_cfg.num_samples = b_cfg.num_samples = 20;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  auto a = make_synthetic_mnist(a_cfg);
+  auto b = make_synthetic_mnist(b_cfg);
+  EXPECT_FALSE(a->images().allclose(b->images()));
+}
+
+TEST(SyntheticMnistTest, DigitsHaveInk) {
+  nn::Rng rng(3);
+  SyntheticMnistConfig cfg;
+  for (int64_t d = 0; d < 10; ++d) {
+    const Tensor img = render_digit(d, rng, cfg);
+    // Every digit has a visible stroke mass but is far from solid.
+    float ink = 0.0f;
+    for (int64_t i = 0; i < img.numel(); ++i) ink += img[i] > 0.5f ? 1 : 0;
+    EXPECT_GT(ink, 20.0f) << "digit " << d;
+    EXPECT_LT(ink, 400.0f) << "digit " << d;
+  }
+}
+
+TEST(SyntheticMnistTest, ClassesAreVisuallyDistinct) {
+  // Mean images of different digits should differ substantially more than
+  // two samples of the same digit rendered with different jitter.
+  SyntheticMnistConfig cfg;
+  cfg.num_samples = 200;
+  auto ds = make_synthetic_mnist(cfg);
+  std::vector<Tensor> means(10, Tensor({28 * 28}));
+  std::vector<int> counts(10, 0);
+  for (int64_t i = 0; i < ds->size(); ++i) {
+    const Sample s = ds->get(i);
+    for (int64_t j = 0; j < 28 * 28; ++j) {
+      means[static_cast<size_t>(s.label)][j] += s.image[j];
+    }
+    ++counts[static_cast<size_t>(s.label)];
+  }
+  for (int64_t d = 0; d < 10; ++d) {
+    means[static_cast<size_t>(d)] *= 1.0f / counts[static_cast<size_t>(d)];
+  }
+  for (int64_t a = 0; a < 10; ++a) {
+    for (int64_t b = a + 1; b < 10; ++b) {
+      const float dist =
+          (means[static_cast<size_t>(a)] - means[static_cast<size_t>(b)])
+              .squared_norm();
+      EXPECT_GT(dist, 1.0f) << "digits " << a << " vs " << b;
+    }
+  }
+}
+
+TEST(SyntheticMnistTest, BadConfigThrows) {
+  SyntheticMnistConfig cfg;
+  cfg.num_samples = 0;
+  EXPECT_THROW(make_synthetic_mnist(cfg), std::invalid_argument);
+}
+
+TEST(SyntheticCifarTest, ShapeAndRange) {
+  SyntheticCifarConfig cfg;
+  cfg.num_samples = 40;
+  auto ds = make_synthetic_cifar(cfg);
+  EXPECT_EQ(ds->size(), 40);
+  EXPECT_EQ(ds->image_shape(), (Shape{3, 32, 32}));
+  EXPECT_EQ(ds->num_classes(), 10);
+  EXPECT_GE(ds->images().min(), 0.0f);
+  EXPECT_LE(ds->images().max(), 1.0f);
+}
+
+TEST(SyntheticCifarTest, DeterministicForSeed) {
+  SyntheticCifarConfig cfg;
+  cfg.num_samples = 20;
+  auto a = make_synthetic_cifar(cfg);
+  auto b = make_synthetic_cifar(cfg);
+  EXPECT_TRUE(a->images().allclose(b->images()));
+}
+
+TEST(SyntheticCifarTest, AllClassesRenderable) {
+  nn::Rng rng(4);
+  SyntheticCifarConfig cfg;
+  for (int64_t cls = 0; cls < 10; ++cls) {
+    const Tensor img = render_cifar_class(cls, rng, cfg);
+    EXPECT_EQ(img.shape(), (Shape{3, 32, 32}));
+    // Non-degenerate: some within-image variance.
+    const float mean = img.mean();
+    float var = 0.0f;
+    for (int64_t i = 0; i < img.numel(); ++i) {
+      var += (img[i] - mean) * (img[i] - mean);
+    }
+    EXPECT_GT(var / static_cast<float>(img.numel()), 1e-3f)
+        << "class " << cls;
+  }
+  EXPECT_THROW(render_cifar_class(10, rng, cfg), std::invalid_argument);
+}
+
+TEST(SyntheticCifarTest, StripesHaveOrientation) {
+  // Horizontal stripes vary along y but little along x (per row constant);
+  // vertical stripes the other way around. Use noise-free renders.
+  nn::Rng rng(5);
+  SyntheticCifarConfig cfg;
+  cfg.noise_std = 0.0f;
+  const Tensor h = render_cifar_class(0, rng, cfg);
+  const Tensor v = render_cifar_class(1, rng, cfg);
+  auto row_var = [](const Tensor& img) {
+    // Mean within-row variance of the red channel.
+    float acc = 0.0f;
+    for (int64_t y = 0; y < 32; ++y) {
+      float mean = 0.0f;
+      for (int64_t x = 0; x < 32; ++x) mean += img[y * 32 + x];
+      mean /= 32.0f;
+      float var = 0.0f;
+      for (int64_t x = 0; x < 32; ++x) {
+        var += (img[y * 32 + x] - mean) * (img[y * 32 + x] - mean);
+      }
+      acc += var / 32.0f;
+    }
+    return acc / 32.0f;
+  };
+  auto col_var = [](const Tensor& img) {
+    float acc = 0.0f;
+    for (int64_t x = 0; x < 32; ++x) {
+      float mean = 0.0f;
+      for (int64_t y = 0; y < 32; ++y) mean += img[y * 32 + x];
+      mean /= 32.0f;
+      float var = 0.0f;
+      for (int64_t y = 0; y < 32; ++y) {
+        var += (img[y * 32 + x] - mean) * (img[y * 32 + x] - mean);
+      }
+      acc += var / 32.0f;
+    }
+    return acc / 32.0f;
+  };
+  EXPECT_LT(row_var(h), col_var(h));
+  EXPECT_LT(col_var(v), row_var(v));
+}
+
+}  // namespace
+}  // namespace qsnc::data

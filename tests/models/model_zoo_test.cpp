@@ -1,0 +1,130 @@
+#include "models/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+
+namespace qsnc::models {
+namespace {
+
+struct LayerCounts {
+  int conv = 0;
+  int fc = 0;
+};
+
+LayerCounts count_layers(nn::Network& net) {
+  LayerCounts counts;
+  for (size_t i = 0; i < net.size(); ++i) {
+    nn::visit_layers(&net.layer(i), [&counts](nn::Layer* l) {
+      if (dynamic_cast<nn::Conv2d*>(l) != nullptr) ++counts.conv;
+      if (dynamic_cast<nn::Dense*>(l) != nullptr) ++counts.fc;
+    });
+  }
+  return counts;
+}
+
+TEST(ModelZooTest, LenetMatchesTable1Structure) {
+  nn::Rng rng(1);
+  nn::Network net = make_lenet(rng);
+  const LayerCounts c = count_layers(net);
+  EXPECT_EQ(c.conv, 2);
+  EXPECT_EQ(c.fc, 2);
+  // Table 1: ~7e3 weights.
+  EXPECT_NEAR(static_cast<double>(net.num_weights()), 7e3, 1e3);
+}
+
+TEST(ModelZooTest, LenetForwardShape) {
+  nn::Rng rng(1);
+  nn::Network net = make_lenet(rng);
+  nn::Tensor x({2, 1, 28, 28});
+  EXPECT_EQ(net.forward(x).shape(), (nn::Shape{2, 10}));
+}
+
+TEST(ModelZooTest, AlexnetMatchesTable1Structure) {
+  nn::Rng rng(1);
+  nn::Network net = make_alexnet(rng);
+  const LayerCounts c = count_layers(net);
+  EXPECT_EQ(c.conv, 5);  // 1x 5x5 + 4x 3x3
+  EXPECT_EQ(c.fc, 3);
+  // Table 1: ~3.4e5 weights.
+  EXPECT_NEAR(static_cast<double>(net.num_weights()), 3.4e5, 0.6e5);
+}
+
+TEST(ModelZooTest, AlexnetForwardShape) {
+  nn::Rng rng(1);
+  nn::Network net = make_alexnet(rng);
+  nn::Tensor x({1, 3, 32, 32});
+  EXPECT_EQ(net.forward(x).shape(), (nn::Shape{1, 10}));
+}
+
+TEST(ModelZooTest, AlexnetFirstConvIs5x5) {
+  nn::Rng rng(1);
+  nn::Network net = make_alexnet(rng);
+  auto* conv = dynamic_cast<nn::Conv2d*>(&net.layer(0));
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->kernel(), 5);
+}
+
+TEST(ModelZooTest, ResnetMatchesTable1Structure) {
+  nn::Rng rng(1);
+  nn::Network net = make_resnet(rng);
+  const LayerCounts c = count_layers(net);
+  EXPECT_EQ(c.conv, 17);  // option-A shortcuts: no projection convs
+  EXPECT_EQ(c.fc, 1);
+  // Table 1: ~1.2e7 weights (ResNet-18 CIFAR shape gives ~1.1e7).
+  EXPECT_NEAR(static_cast<double>(net.num_weights()), 1.2e7, 0.15e7);
+}
+
+TEST(ModelZooTest, ResnetMiniSameStructureFewerWeights) {
+  nn::Rng rng(1);
+  nn::Network mini = make_resnet_mini(rng);
+  const LayerCounts c = count_layers(mini);
+  EXPECT_EQ(c.conv, 17);
+  EXPECT_EQ(c.fc, 1);
+  nn::Rng rng2(1);
+  nn::Network full = make_resnet(rng2);
+  EXPECT_LT(mini.num_weights(), full.num_weights() / 50);
+}
+
+TEST(ModelZooTest, ResnetMiniForwardShape) {
+  nn::Rng rng(1);
+  nn::Network net = make_resnet_mini(rng);
+  nn::Tensor x({2, 3, 32, 32});
+  EXPECT_EQ(net.forward(x, true).shape(), (nn::Shape{2, 10}));
+}
+
+TEST(ModelZooTest, AlexnetMiniSameStructure) {
+  nn::Rng rng(1);
+  nn::Network mini = make_alexnet_mini(rng);
+  const LayerCounts c = count_layers(mini);
+  EXPECT_EQ(c.conv, 5);
+  EXPECT_EQ(c.fc, 3);
+  nn::Tensor x({1, 3, 32, 32});
+  EXPECT_EQ(mini.forward(x).shape(), (nn::Shape{1, 10}));
+}
+
+TEST(ModelZooTest, SpecsMatchPaperTable1) {
+  EXPECT_EQ(lenet_spec().dataset, "MNIST");
+  EXPECT_EQ(lenet_spec().conv_layers, 2);
+  EXPECT_EQ(lenet_spec().fc_layers, 2);
+  EXPECT_EQ(alexnet_spec().conv_layers, 5);
+  EXPECT_EQ(alexnet_spec().fc_layers, 3);
+  EXPECT_EQ(resnet_spec().conv_layers, 17);
+  EXPECT_EQ(resnet_spec().fc_layers, 1);
+  EXPECT_EQ(alexnet_spec().input_shape, (nn::Shape{3, 32, 32}));
+}
+
+TEST(ModelZooTest, DeterministicInitForSeed) {
+  nn::Rng a(7), b(7);
+  nn::Network na = make_lenet(a);
+  nn::Network nb = make_lenet(b);
+  auto pa = na.params(), pb = nb.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value.allclose(pb[i]->value));
+  }
+}
+
+}  // namespace
+}  // namespace qsnc::models

@@ -1,0 +1,97 @@
+// Parameterized convolution sweep: forward-vs-reference and gradient
+// checks across a grid of geometries (kernel, stride, padding, channels).
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "nn/im2col.h"
+#include "nn/layers/conv2d.h"
+
+namespace qsnc::nn {
+namespace {
+
+struct ConvCase {
+  int64_t in_c, out_c, kernel, stride, pad, size;
+};
+
+void PrintTo(const ConvCase& c, std::ostream* os) {
+  *os << c.in_c << "->" << c.out_c << " k" << c.kernel << " s" << c.stride
+      << " p" << c.pad << " in" << c.size;
+}
+
+// Direct (non-im2col) reference convolution.
+Tensor reference_conv(const Tensor& x, Conv2d& conv) {
+  const int64_t batch = x.dim(0);
+  const int64_t in_c = conv.in_channels();
+  const int64_t out_c = conv.out_channels();
+  const int64_t k = conv.kernel();
+  const int64_t stride = conv.stride();
+  const int64_t pad = conv.pad();
+  const int64_t in_h = x.dim(2), in_w = x.dim(3);
+  const int64_t out_h = conv_out_extent(in_h, k, stride, pad);
+  const int64_t out_w = conv_out_extent(in_w, k, stride, pad);
+
+  Tensor y({batch, out_c, out_h, out_w});
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < out_c; ++oc) {
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        for (int64_t ox = 0; ox < out_w; ++ox) {
+          float acc = conv.uses_bias() ? conv.bias().value[oc] : 0.0f;
+          for (int64_t ic = 0; ic < in_c; ++ic) {
+            for (int64_t ky = 0; ky < k; ++ky) {
+              for (int64_t kx = 0; kx < k; ++kx) {
+                const int64_t iy = oy * stride - pad + ky;
+                const int64_t ix = ox * stride - pad + kx;
+                if (iy < 0 || iy >= in_h || ix < 0 || ix >= in_w) continue;
+                acc += x.at(n, ic, iy, ix) *
+                       conv.weight().value[((oc * in_c + ic) * k + ky) * k +
+                                           kx];
+              }
+            }
+          }
+          y.at(n, oc, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, ForwardMatchesDirectReference) {
+  const ConvCase c = GetParam();
+  Rng rng(c.in_c * 131 + c.kernel);
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.pad, rng);
+  Tensor x({2, c.in_c, c.size, c.size});
+  test::randomize(x, rng);
+  const Tensor got = conv.forward(x, false);
+  const Tensor want = reference_conv(x, conv);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-3f) << "at " << i;
+  }
+}
+
+TEST_P(ConvSweep, GradientsCheckNumerically) {
+  const ConvCase c = GetParam();
+  Rng rng(c.out_c * 17 + c.stride);
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.pad, rng);
+  Tensor x({1, c.in_c, c.size, c.size});
+  test::randomize(x, rng);
+  EXPECT_LT(test::gradcheck_input(conv, x), 5e-2f);
+  EXPECT_LT(test::gradcheck_params(conv, x), 5e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5},   // pointwise
+                      ConvCase{1, 2, 3, 1, 1, 6},   // same padding
+                      ConvCase{2, 3, 3, 2, 1, 7},   // strided odd input
+                      ConvCase{3, 2, 5, 1, 2, 8},   // 5x5 same
+                      ConvCase{2, 2, 5, 1, 0, 9},   // 5x5 valid
+                      ConvCase{1, 4, 3, 3, 0, 9},   // stride == kernel
+                      ConvCase{4, 1, 2, 2, 0, 8},   // even kernel
+                      ConvCase{2, 2, 3, 1, 2, 5})); // pad > kernel/2
+
+}  // namespace
+}  // namespace qsnc::nn

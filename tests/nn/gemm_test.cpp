@@ -1,0 +1,125 @@
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/rng.h"
+
+namespace qsnc::nn {
+namespace {
+
+// Reference triple loop.
+void naive_gemm(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+std::vector<float> random_vec(int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1.0f, 1.0f);
+  return v;
+}
+
+TEST(GemmTest, TinyKnownResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4);
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+class GemmShapeTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmShapeTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 10007 + k * 101 + n);
+  const auto a = random_vec(m * k, rng);
+  const auto b = random_vec(k * n, rng);
+  std::vector<float> got(static_cast<size_t>(m * n));
+  std::vector<float> want(static_cast<size_t>(m * n));
+  gemm(a.data(), b.data(), got.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), want.data(), m, k, n);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-4f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{3, 5, 2},
+                      GemmShape{16, 16, 16}, GemmShape{65, 129, 33},
+                      GemmShape{128, 64, 300}, GemmShape{1, 500, 7},
+                      GemmShape{70, 1, 70}));
+
+TEST(GemmTest, AccAccumulatesOntoExisting) {
+  const std::vector<float> a{1, 0, 0, 1};  // identity
+  const std::vector<float> b{2, 3, 4, 5};
+  std::vector<float> c{10, 10, 10, 10};
+  gemm_acc(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 12);
+  EXPECT_FLOAT_EQ(c[3], 15);
+}
+
+TEST(GemmTest, SkipsZeroActivationRows) {
+  // Correctness with many zeros (the sparse-signal fast path).
+  Rng rng(5);
+  std::vector<float> a = random_vec(8 * 16, rng);
+  for (size_t i = 0; i < a.size(); i += 2) a[i] = 0.0f;
+  const auto b = random_vec(16 * 8, rng);
+  std::vector<float> got(64), want(64);
+  gemm(a.data(), b.data(), got.data(), 8, 16, 8);
+  naive_gemm(a.data(), b.data(), want.data(), 8, 16, 8);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+TEST(GemmTest, AtBMatchesExplicitTranspose) {
+  Rng rng(9);
+  const int64_t m = 13, k = 7, n = 11;
+  const auto a_t = random_vec(k * m, rng);  // stored [k x m]
+  const auto b = random_vec(k * n, rng);
+  // Build A = (a_t)^T explicitly.
+  std::vector<float> a(static_cast<size_t>(m * k));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) a[i * k + kk] = a_t[kk * m + i];
+  }
+  std::vector<float> got(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> want(static_cast<size_t>(m * n));
+  gemm_at_b_acc(a_t.data(), b.data(), got.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), want.data(), m, k, n);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+TEST(GemmTest, ABtMatchesExplicitTranspose) {
+  Rng rng(10);
+  const int64_t m = 6, k = 9, n = 4;
+  const auto a = random_vec(m * k, rng);
+  const auto b_t = random_vec(n * k, rng);  // stored [n x k]
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) b[kk * n + j] = b_t[j * k + kk];
+  }
+  std::vector<float> got(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> want(static_cast<size_t>(m * n));
+  gemm_a_bt_acc(a.data(), b_t.data(), got.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), want.data(), m, k, n);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+}  // namespace
+}  // namespace qsnc::nn

@@ -1,0 +1,95 @@
+#include "nn/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/rng.h"
+
+namespace qsnc::nn {
+namespace {
+
+TEST(ConvOutExtentTest, BasicCases) {
+  EXPECT_EQ(conv_out_extent(28, 5, 1, 2), 28);  // same-padding 5x5
+  EXPECT_EQ(conv_out_extent(28, 5, 1, 0), 24);  // valid
+  EXPECT_EQ(conv_out_extent(32, 3, 2, 1), 16);  // strided downsample
+  EXPECT_EQ(conv_out_extent(4, 2, 2, 0), 2);    // pooling geometry
+}
+
+TEST(ConvOutExtentTest, NonPositiveOutputThrows) {
+  EXPECT_THROW(conv_out_extent(2, 5, 1, 0), std::invalid_argument);
+}
+
+TEST(Im2ColTest, IdentityKernelIsCopy) {
+  // 1x1 kernel, stride 1, no pad: cols equal the image rows.
+  const std::vector<float> img{1, 2, 3, 4, 5, 6};
+  std::vector<float> cols(6);
+  im2col(img.data(), 1, 2, 3, 1, 1, 1, 0, cols.data());
+  for (size_t i = 0; i < img.size(); ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2ColTest, ExtractsReceptiveFields) {
+  // 1 channel 3x3 image, 2x2 kernel, stride 1, no pad -> 4 cols of 4 taps.
+  const std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(4 * 4);
+  im2col(img.data(), 1, 3, 3, 2, 2, 1, 0, cols.data());
+  // Column for output (0,0): taps (0,0),(0,1),(1,0),(1,1) = 1,2,4,5 across
+  // rows; cols layout is [patch_row][out_pos].
+  EXPECT_EQ(cols[0 * 4 + 0], 1);
+  EXPECT_EQ(cols[1 * 4 + 0], 2);
+  EXPECT_EQ(cols[2 * 4 + 0], 4);
+  EXPECT_EQ(cols[3 * 4 + 0], 5);
+  // Output (1,1): 5,6,8,9.
+  EXPECT_EQ(cols[0 * 4 + 3], 5);
+  EXPECT_EQ(cols[1 * 4 + 3], 6);
+  EXPECT_EQ(cols[2 * 4 + 3], 8);
+  EXPECT_EQ(cols[3 * 4 + 3], 9);
+}
+
+TEST(Im2ColTest, PaddingReadsZero) {
+  const std::vector<float> img{1, 2, 3, 4};
+  // 2x2 image, 3x3 kernel, pad 1 -> 2x2 output, 9 rows.
+  std::vector<float> cols(9 * 4);
+  im2col(img.data(), 1, 2, 2, 3, 3, 1, 1, cols.data());
+  // Output (0,0) top-left tap is padding.
+  EXPECT_EQ(cols[0 * 4 + 0], 0.0f);
+  // Center tap of output (0,0) is pixel (0,0) = 1.
+  EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+TEST(Im2ColTest, MultiChannelRowOrderIsChannelMajor) {
+  // 2 channels of 2x2, 1x1 kernel: rows are [c0, c1].
+  const std::vector<float> img{1, 2, 3, 4, 10, 20, 30, 40};
+  std::vector<float> cols(2 * 4);
+  im2col(img.data(), 2, 2, 2, 1, 1, 1, 0, cols.data());
+  EXPECT_EQ(cols[0 * 4 + 3], 4);
+  EXPECT_EQ(cols[1 * 4 + 3], 40);
+}
+
+TEST(Col2ImTest, RoundTripAccumulatesOverlaps) {
+  // col2im(im2col(x)) multiplies each pixel by its receptive-field
+  // multiplicity; with a 2x2 kernel stride 1 on 3x3, the center pixel is
+  // touched 4 times, corners once.
+  const std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(4 * 4);
+  im2col(img.data(), 1, 3, 3, 2, 2, 1, 0, cols.data());
+  std::vector<float> back(9, 0.0f);
+  col2im(cols.data(), 1, 3, 3, 2, 2, 1, 0, back.data());
+  EXPECT_FLOAT_EQ(back[0], 1.0f * 1);   // corner
+  EXPECT_FLOAT_EQ(back[4], 5.0f * 4);   // center
+  EXPECT_FLOAT_EQ(back[1], 2.0f * 2);   // edge
+}
+
+TEST(Col2ImTest, StridedNoOverlapRoundTripIsExact) {
+  Rng rng(3);
+  std::vector<float> img(2 * 4 * 4);
+  for (auto& v : img) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<float> cols(2 * 2 * 2 * 4);  // 2ch * 2x2 kernel, 2x2 out
+  im2col(img.data(), 2, 4, 4, 2, 2, 2, 0, cols.data());
+  std::vector<float> back(img.size(), 0.0f);
+  col2im(cols.data(), 2, 4, 4, 2, 2, 2, 0, back.data());
+  for (size_t i = 0; i < img.size(); ++i) EXPECT_FLOAT_EQ(back[i], img[i]);
+}
+
+}  // namespace
+}  // namespace qsnc::nn

@@ -1,0 +1,80 @@
+// Property tests of the softmax cross-entropy loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/rng.h"
+
+namespace qsnc::nn {
+namespace {
+
+class LossProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossProperty, SoftmaxInvariantUnderLogitShift) {
+  const int k = GetParam();
+  Rng rng(k);
+  std::vector<float> logits(static_cast<size_t>(k));
+  for (auto& v : logits) v = rng.uniform(-3.0f, 3.0f);
+  std::vector<float> shifted = logits;
+  for (auto& v : shifted) v += 100.0f;
+  const auto p = softmax(logits.data(), k);
+  const auto q = softmax(shifted.data(), k);
+  for (int i = 0; i < k; ++i) {
+    EXPECT_NEAR(p[static_cast<size_t>(i)], q[static_cast<size_t>(i)], 1e-5f);
+  }
+}
+
+TEST_P(LossProperty, GradientRowsSumToZero) {
+  // d/dlogits of CE sums to zero per sample (softmax simplex constraint).
+  const int k = GetParam();
+  Rng rng(k + 7);
+  Tensor logits({3, k});
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = rng.uniform(-2.0f, 2.0f);
+  }
+  const LossResult r = softmax_cross_entropy(logits, {0, 1 % k, 2 % k});
+  for (int64_t n = 0; n < 3; ++n) {
+    float row_sum = 0.0f;
+    for (int64_t j = 0; j < k; ++j) row_sum += r.grad.at(n, j);
+    EXPECT_NEAR(row_sum, 0.0f, 1e-5f);
+  }
+}
+
+TEST_P(LossProperty, LossNonNegativeAndFinite) {
+  const int k = GetParam();
+  Rng rng(k + 13);
+  Tensor logits({4, k});
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    logits[i] = rng.uniform(-50.0f, 50.0f);
+  }
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < 4; ++i) labels.push_back(i % k);
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_GE(r.loss, 0.0f);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  for (int64_t i = 0; i < r.grad.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(r.grad[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, LossProperty,
+                         ::testing::Values(2, 3, 10, 100));
+
+TEST(LossPropertyTest, PerfectPredictionHasNearZeroLoss) {
+  Tensor logits({1, 3}, {50.0f, 0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-5f);
+}
+
+TEST(LossPropertyTest, ConfidentWrongPredictionCostsLinearly) {
+  // CE of a wrong class with margin m is ~m for large m.
+  for (float margin : {10.0f, 20.0f, 40.0f}) {
+    Tensor logits({1, 2}, {margin, 0.0f});
+    const LossResult r = softmax_cross_entropy(logits, {1});
+    EXPECT_NEAR(r.loss, margin, 0.01f);
+  }
+}
+
+}  // namespace
+}  // namespace qsnc::nn

@@ -1,0 +1,203 @@
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/pool.h"
+#include "nn/layers/relu.h"
+#include "nn/layers/residual.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace qsnc::nn {
+namespace {
+
+using test::randomize;
+
+Network make_tiny_mlp(Rng& rng) {
+  Network net;
+  net.emplace<Dense>(4, 16, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(16, 3, rng);
+  return net;
+}
+
+TEST(NetworkTest, ForwardShape) {
+  Rng rng(40);
+  Network net = make_tiny_mlp(rng);
+  Tensor x({5, 4});
+  randomize(x, rng);
+  Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+TEST(NetworkTest, ParamsCollectsLeaves) {
+  Rng rng(41);
+  Network net = make_tiny_mlp(rng);
+  EXPECT_EQ(net.params().size(), 4u);  // 2 x (weight + bias)
+}
+
+TEST(NetworkTest, ParamsNoDuplicatesWithComposites) {
+  Rng rng(42);
+  Network net;
+  net.emplace<Conv2d>(3, 4, 3, 1, 1, rng, false);
+  net.emplace<ResidualBlock>(4, 4, 1, rng);
+  std::vector<Param*> params = net.params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (size_t j = i + 1; j < params.size(); ++j) {
+      EXPECT_NE(params[i], params[j]);
+    }
+  }
+  // conv w + block(conv1 w, bn1 g/b, conv2 w, bn2 g/b) = 7.
+  EXPECT_EQ(params.size(), 7u);
+}
+
+TEST(NetworkTest, NumWeightsCountsScalars) {
+  Rng rng(43);
+  Network net = make_tiny_mlp(rng);
+  EXPECT_EQ(net.num_weights(), 4 * 16 + 16 + 16 * 3 + 3);
+}
+
+TEST(NetworkTest, SignalLayersFoundAtDepth) {
+  Rng rng(44);
+  Network net;
+  net.emplace<Conv2d>(3, 4, 3, 1, 1, rng, false);
+  net.emplace<ReLU>();
+  net.emplace<ResidualBlock>(4, 4, 1, rng);
+  // Top-level ReLU + 2 nested in the block.
+  EXPECT_EQ(net.signal_layers().size(), 3u);
+}
+
+TEST(NetworkTest, PredictReturnsArgmax) {
+  Rng rng(45);
+  Network net = make_tiny_mlp(rng);
+  Tensor x({3, 4});
+  randomize(x, rng);
+  Tensor logits = net.forward(x);
+  std::vector<int64_t> pred = net.predict(x);
+  for (int64_t i = 0; i < 3; ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < 3; ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    }
+    EXPECT_EQ(pred[static_cast<size_t>(i)], best);
+  }
+}
+
+TEST(NetworkTest, TrainingReducesLossOnToyProblem) {
+  // Learn a linearly separable 3-class problem.
+  Rng rng(46);
+  Network net = make_tiny_mlp(rng);
+  Sgd opt(net.params(), {0.1f, 0.9f, 0.0f});
+
+  Tensor x({30, 4});
+  std::vector<int64_t> labels(30);
+  for (int64_t i = 0; i < 30; ++i) {
+    const int64_t cls = i % 3;
+    labels[static_cast<size_t>(i)] = cls;
+    for (int64_t j = 0; j < 4; ++j) {
+      x.at(i, j) = rng.normal(static_cast<float>(cls) * 2.0f, 0.3f);
+    }
+  }
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    Tensor logits = net.forward(x, true);
+    LossResult loss = softmax_cross_entropy(logits, labels);
+    net.backward(loss.grad);
+    opt.step();
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2f);
+
+  // The trained network classifies the training set perfectly.
+  std::vector<int64_t> pred = net.predict(x);
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  EXPECT_EQ(correct, 30);
+}
+
+TEST(LossTest, SoftmaxSumsToOne) {
+  const float logits[3] = {1.0f, 2.0f, 3.0f};
+  std::vector<float> p = softmax(logits, 3);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0f, 1e-6f);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(LossTest, SoftmaxStableUnderLargeLogits) {
+  const float logits[2] = {1000.0f, 999.0f};
+  std::vector<float> p = softmax(logits, 2);
+  EXPECT_NEAR(p[0], 0.731f, 1e-3f);
+}
+
+TEST(LossTest, CrossEntropyKnownValue) {
+  // Uniform logits -> loss = log(K).
+  Tensor logits({1, 4}, 0.0f);
+  LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5f);
+  // Gradient: p - onehot, scaled 1/N.
+  EXPECT_NEAR(r.grad.at(0, 0), 0.25f, 1e-5f);
+  EXPECT_NEAR(r.grad.at(0, 2), -0.75f, 1e-5f);
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  Rng rng(47);
+  Tensor logits({2, 5});
+  randomize(logits, rng);
+  const std::vector<int64_t> labels{1, 3};
+  LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float numeric = (softmax_cross_entropy(lp, labels).loss -
+                           softmax_cross_entropy(lm, labels).loss) /
+                          (2 * eps);
+    EXPECT_NEAR(numeric, r.grad[i], 1e-3f);
+  }
+}
+
+TEST(LossTest, BadLabelThrows) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), std::out_of_range);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(SgdTest, StepMovesAgainstGradient) {
+  Param p("w", Tensor({2}, {1.0f, -1.0f}));
+  p.grad = Tensor({2}, {0.5f, -0.5f});
+  Sgd opt({&p}, {0.1f, 0.0f, 0.0f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6f);
+  EXPECT_NEAR(p.value[1], -0.95f, 1e-6f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Param p("w", Tensor({1}, {0.0f}));
+  Sgd opt({&p}, {0.1f, 0.5f, 0.0f});
+  p.grad[0] = 1.0f;
+  opt.step();  // v = -0.1, w = -0.1
+  opt.step();  // v = -0.5*0.1 - 0.1 = -0.15, w = -0.25
+  EXPECT_NEAR(p.value[0], -0.25f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayPullsTowardZero) {
+  Param p("w", Tensor({1}, {2.0f}));
+  p.grad[0] = 0.0f;
+  Sgd opt({&p}, {0.1f, 0.0f, 0.5f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace qsnc::nn

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace qsnc::nn {
+namespace {
+
+TEST(SgdClipTest, LargeGradientIsScaledToMaxNorm) {
+  Param p("w", Tensor({2}, {0.0f, 0.0f}));
+  p.grad = Tensor({2}, {30.0f, 40.0f});  // norm 50
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.momentum = 0.0f;
+  cfg.max_grad_norm = 5.0f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  // Effective gradient = grad * (5/50) = (3, 4).
+  EXPECT_NEAR(p.value[0], -3.0f, 1e-5f);
+  EXPECT_NEAR(p.value[1], -4.0f, 1e-5f);
+}
+
+TEST(SgdClipTest, SmallGradientUntouched) {
+  Param p("w", Tensor({2}, {0.0f, 0.0f}));
+  p.grad = Tensor({2}, {0.3f, 0.4f});  // norm 0.5 < 5
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.momentum = 0.0f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.3f, 1e-6f);
+  EXPECT_NEAR(p.value[1], -0.4f, 1e-6f);
+}
+
+TEST(SgdClipTest, ClipSpansAllParams) {
+  // Norm is global: two params of norm 30 and 40 -> total 50.
+  Param a("a", Tensor({1}, {0.0f}));
+  Param b("b", Tensor({1}, {0.0f}));
+  a.grad[0] = 30.0f;
+  b.grad[0] = 40.0f;
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.momentum = 0.0f;
+  cfg.max_grad_norm = 5.0f;
+  Sgd opt({&a, &b}, cfg);
+  opt.step();
+  EXPECT_NEAR(a.value[0], -3.0f, 1e-5f);
+  EXPECT_NEAR(b.value[0], -4.0f, 1e-5f);
+}
+
+TEST(SgdClipTest, ZeroDisablesClipping) {
+  Param p("w", Tensor({1}, {0.0f}));
+  p.grad[0] = 100.0f;
+  SgdConfig cfg;
+  cfg.lr = 0.01f;
+  cfg.momentum = 0.0f;
+  cfg.max_grad_norm = 0.0f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-5f);
+}
+
+TEST(SgdClipTest, WeightDecayAppliedAfterClip) {
+  // Clipping scales the loss gradient only, not the decay term.
+  Param p("w", Tensor({1}, {10.0f}));
+  p.grad[0] = 50.0f;
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.1f;
+  cfg.max_grad_norm = 5.0f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  // Update = -(5 + 0.1*10) = -6.
+  EXPECT_NEAR(p.value[0], 4.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace qsnc::nn

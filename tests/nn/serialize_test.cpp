@@ -1,0 +1,126 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "../test_util.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/relu.h"
+#include "nn/layers/residual.h"
+
+namespace qsnc::nn {
+namespace {
+
+using test::randomize;
+
+Network make_net(Rng& rng) {
+  Network net;
+  net.emplace<Conv2d>(1, 3, 3, 1, 1, rng);
+  net.emplace<BatchNorm2d>(3);
+  net.emplace<ReLU>();
+  net.emplace<ResidualBlock>(3, 3, 1, rng);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(3 * 4 * 4, 2, rng);
+  return net;
+}
+
+TEST(SerializeTest, SnapshotRestoreRoundTrip) {
+  Rng rng(50);
+  Network net = make_net(rng);
+
+  // Run a training forward so BN builds running stats.
+  Tensor x({4, 1, 4, 4});
+  randomize(x, rng);
+  net.forward(x, true);
+
+  const NetworkState state = snapshot(net);
+  const Tensor before = net.forward(x, false);
+
+  // Clobber the parameters, then restore.
+  for (Param* p : net.params()) p->value.fill(0.123f);
+  const Tensor clobbered = net.forward(x, false);
+  EXPECT_FALSE(clobbered.allclose(before));
+
+  restore(net, state);
+  const Tensor after = net.forward(x, false);
+  EXPECT_TRUE(after.allclose(before));
+}
+
+TEST(SerializeTest, RestoreCoversBatchNormRunningStats) {
+  Rng rng(51);
+  Network net;
+  auto& bn = net.emplace<BatchNorm2d>(2);
+  Tensor x({4, 2, 2, 2});
+  randomize(x, rng, 1.0f, 3.0f);
+  net.forward(x, true);
+  const NetworkState state = snapshot(net);
+  const float mean_before = bn.running_mean()[0];
+
+  // More training shifts running stats.
+  Tensor x2({4, 2, 2, 2});
+  randomize(x2, rng, -9.0f, -5.0f);
+  for (int i = 0; i < 10; ++i) net.forward(x2, true);
+  EXPECT_NE(bn.running_mean()[0], mean_before);
+
+  restore(net, state);
+  EXPECT_EQ(bn.running_mean()[0], mean_before);
+}
+
+TEST(SerializeTest, RestoreShapeMismatchThrows) {
+  Rng rng(52);
+  Network a = make_net(rng);
+  Network small;
+  small.emplace<Dense>(2, 2, rng);
+  const NetworkState state = snapshot(a);
+  EXPECT_THROW(restore(small, state), std::invalid_argument);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(53);
+  Network net = make_net(rng);
+  Tensor x({2, 1, 4, 4});
+  randomize(x, rng);
+  net.forward(x, true);
+  const Tensor before = net.forward(x, false);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qsnc_serialize_test.bin")
+          .string();
+  save_state(net, path);
+
+  Rng rng2(53);
+  Network net2 = make_net(rng2);
+  for (Param* p : net2.params()) p->value.fill(0.0f);
+  load_state(net2, path);
+  const Tensor after = net2.forward(x, false);
+  EXPECT_TRUE(after.allclose(before));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadMissingFileThrows) {
+  Rng rng(54);
+  Network net = make_net(rng);
+  EXPECT_THROW(load_state(net, "/nonexistent/qsnc.bin"), std::runtime_error);
+}
+
+TEST(SerializeTest, LoadCorruptMagicThrows) {
+  Rng rng(55);
+  Network net = make_net(rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qsnc_corrupt.bin").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a qsnc file";
+  }
+  EXPECT_THROW(load_state(net, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qsnc::nn

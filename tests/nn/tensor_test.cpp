@@ -1,0 +1,172 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qsnc::nn {
+namespace {
+
+TEST(ShapeTest, NumelOfEmptyShapeIsOne) {
+  EXPECT_EQ(shape_numel({}), 1);
+}
+
+TEST(ShapeTest, NumelMultipliesExtents) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({7}), 7);
+  EXPECT_EQ(shape_numel({5, 0, 3}), 0);
+}
+
+TEST(ShapeTest, NegativeExtentThrows) {
+  EXPECT_THROW(shape_numel({2, -1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, AdoptValues) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, AdoptValuesSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f, 2.0f, 3.0f}),
+               std::invalid_argument);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::from_vector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.numel(), 3);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(TensorTest, DimNegativeIndexing) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+  EXPECT_THROW(t.dim(-4), std::out_of_range);
+}
+
+TEST(TensorTest, FourDimAccessRowMajorNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(TensorTest, WrongRankAccessorThrows) {
+  Tensor r3({2, 3, 4});
+  EXPECT_THROW(r3.at(0, 0, 0, 0), std::logic_error);
+  EXPECT_THROW(r3.at(0, 0), std::logic_error);
+  Tensor r2({2, 3});
+  EXPECT_THROW(r2.at(0, 0, 0, 0), std::logic_error);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_EQ(r.at(0, 1), 2.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, ReshapeInfersAxis) {
+  Tensor t({2, 6});
+  Tensor r = t.reshape({4, -1});
+  EXPECT_EQ(r.dim(1), 3);
+}
+
+TEST(TensorTest, ReshapeBadNumelThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(t.reshape({-1, 4}), std::invalid_argument);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[0], 2.0f);
+  Tensor c = a + b;
+  EXPECT_EQ(c[1], 24.0f);
+  Tensor d = b - a;
+  EXPECT_EQ(d[0], 8.0f);
+  Tensor e = a * 0.5f;
+  EXPECT_EQ(e[2], 3.0f);
+}
+
+TEST(TensorTest, MismatchedShapesThrow) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, {-3, 1, 2, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0f);
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+  EXPECT_EQ(t.argmax(), 3);
+  EXPECT_FLOAT_EQ(t.squared_norm(), 9 + 1 + 4 + 16);
+}
+
+TEST(TensorTest, ReductionsOnEmptyThrow) {
+  Tensor t;
+  EXPECT_THROW(t.min(), std::logic_error);
+  EXPECT_THROW(t.max(), std::logic_error);
+  EXPECT_THROW(t.mean(), std::logic_error);
+  EXPECT_THROW(t.argmax(), std::logic_error);
+}
+
+TEST(TensorTest, ArgmaxFirstOnTies) {
+  Tensor t({4}, {1, 5, 5, 2});
+  EXPECT_EQ(t.argmax(), 1);
+}
+
+TEST(TensorTest, Allclose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(b, 1e-7f));
+  Tensor c({3});
+  EXPECT_FALSE(a.allclose(c));
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t({3}, {1, 2, 3});
+  t.fill(7.0f);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 7.0f);
+}
+
+}  // namespace
+}  // namespace qsnc::nn

@@ -1,0 +1,104 @@
+#include "snc/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "nn/rng.h"
+
+namespace qsnc::snc {
+namespace {
+
+ModelMapping lenet_mapping() {
+  nn::Rng rng(1);
+  nn::Network net = models::make_lenet(rng);
+  return map_network(net, "Lenet", {1, 28, 28}, 32);
+}
+
+TEST(WeightSlicesTest, CeilDivision) {
+  EXPECT_EQ(weight_slices(8, 4), 2);  // 8-bit weights on 4-bit devices
+  EXPECT_EQ(weight_slices(4, 4), 1);
+  EXPECT_EQ(weight_slices(3, 4), 1);
+  EXPECT_EQ(weight_slices(6, 4), 2);
+  EXPECT_THROW(weight_slices(0, 4), std::invalid_argument);
+}
+
+TEST(CostModelTest, LenetBaselineMatchesTable5Calibration) {
+  // The constants are calibrated on this row (Table 5: 0.64 MHz, 4.7 uJ,
+  // 1.48 mm^2); the test pins the calibration.
+  const SystemCost c = evaluate_cost(lenet_mapping(), 8, 8);
+  EXPECT_NEAR(c.speed_mhz, 0.64, 0.02);
+  EXPECT_NEAR(c.energy_uj, 4.7, 0.15);
+  EXPECT_NEAR(c.area_mm2, 1.48, 0.05);
+  EXPECT_EQ(c.layers, 4);
+  EXPECT_EQ(c.window_slots, 255);
+  EXPECT_EQ(c.crossbars, 17 * 2);  // bit-sliced 8-bit weights
+}
+
+TEST(CostModelTest, Lenet4BitReproducesTable5Shape) {
+  const ModelMapping m = lenet_mapping();
+  const SystemCost base = evaluate_cost(m, 8, 8);
+  const SystemCost prop = evaluate_cost(m, 4, 4);
+  const CostComparison cmp = compare_cost(base, prop);
+  // Paper row: 13.9x speedup, 87.9% energy saving, 29.7% area saving.
+  EXPECT_NEAR(cmp.speedup, 13.9, 1.0);
+  EXPECT_GT(cmp.energy_saving_pct, 85.0);
+  EXPECT_LT(cmp.energy_saving_pct, 97.0);
+  EXPECT_NEAR(cmp.area_saving_pct, 30.0, 5.0);
+}
+
+TEST(CostModelTest, Lenet3BitSavesMore) {
+  const ModelMapping m = lenet_mapping();
+  const SystemCost base = evaluate_cost(m, 8, 8);
+  const SystemCost p4 = evaluate_cost(m, 4, 4);
+  const SystemCost p3 = evaluate_cost(m, 3, 3);
+  // Monotonic orderings of Table 5.
+  EXPECT_GT(p3.speed_mhz, p4.speed_mhz);
+  EXPECT_LT(p3.energy_uj, p4.energy_uj);
+  EXPECT_LT(p3.area_mm2, p4.area_mm2);
+  const CostComparison cmp3 = compare_cost(base, p3);
+  EXPECT_NEAR(cmp3.speedup, 24.4, 2.0);
+  EXPECT_NEAR(cmp3.area_saving_pct, 37.2, 5.0);
+}
+
+TEST(CostModelTest, SpeedScalesInverselyWithLayers) {
+  // More pipeline stages -> slower inference at equal bit width.
+  nn::Rng rng(1);
+  nn::Network alex = models::make_alexnet(rng);
+  const ModelMapping ma = map_network(alex, "Alexnet", {3, 32, 32}, 32);
+  const SystemCost lenet = evaluate_cost(lenet_mapping(), 4, 4);
+  const SystemCost alexc = evaluate_cost(ma, 4, 4);
+  EXPECT_GT(lenet.speed_mhz, alexc.speed_mhz);
+}
+
+TEST(CostModelTest, EnergyGrowsWithModelSize) {
+  nn::Rng rng(1);
+  nn::Network alex = models::make_alexnet(rng);
+  const ModelMapping ma = map_network(alex, "Alexnet", {3, 32, 32}, 32);
+  EXPECT_GT(evaluate_cost(ma, 4, 4).energy_uj,
+            evaluate_cost(lenet_mapping(), 4, 4).energy_uj);
+  EXPECT_GT(evaluate_cost(ma, 4, 4).area_mm2,
+            evaluate_cost(lenet_mapping(), 4, 4).area_mm2);
+}
+
+TEST(CostModelTest, EmptyMappingThrows) {
+  ModelMapping empty;
+  EXPECT_THROW(evaluate_cost(empty, 4, 4), std::invalid_argument);
+}
+
+class CostMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostMonotonicity, FewerSignalBitsNeverSlower) {
+  const int bits = GetParam();
+  const ModelMapping m = lenet_mapping();
+  const SystemCost lo = evaluate_cost(m, bits, 4);
+  const SystemCost hi = evaluate_cost(m, bits + 1, 4);
+  EXPECT_GT(lo.speed_mhz, hi.speed_mhz);
+  EXPECT_LT(lo.energy_uj, hi.energy_uj);
+  EXPECT_LT(lo.area_mm2, hi.area_mm2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CostMonotonicity,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace qsnc::snc

@@ -1,0 +1,108 @@
+#include "snc/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "nn/rng.h"
+
+namespace qsnc::snc {
+namespace {
+
+TEST(Eq1Test, KnownTilings) {
+  // Eq 1: ceil(cols/t) * ceil(rows/t).
+  EXPECT_EQ(crossbars_for(32, 32, 32), 1);
+  EXPECT_EQ(crossbars_for(33, 32, 32), 2);
+  EXPECT_EQ(crossbars_for(150, 12, 32), 5);
+  EXPECT_EQ(crossbars_for(300, 16, 32), 10);
+  EXPECT_EQ(crossbars_for(1, 1, 32), 1);
+  EXPECT_EQ(crossbars_for(64, 64, 32), 4);
+}
+
+TEST(Eq1Test, InvalidArgsThrow) {
+  EXPECT_THROW(crossbars_for(0, 4, 32), std::invalid_argument);
+  EXPECT_THROW(crossbars_for(4, 4, 0), std::invalid_argument);
+}
+
+TEST(MapperTest, LenetLayerGeometry) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_lenet(rng);
+  const ModelMapping m = map_network(net, "Lenet", {1, 28, 28}, 32);
+
+  // Paper convention: conv + FC layers are crossbar stages. LeNet has 4.
+  ASSERT_EQ(m.layer_count(), 4);
+
+  // conv1: 5x5x1 = 25 rows, 6 filters.
+  EXPECT_EQ(m.layers[0].rows, 25);
+  EXPECT_EQ(m.layers[0].cols, 6);
+  EXPECT_EQ(m.layers[0].crossbars, 1);
+  EXPECT_EQ(m.layers[0].desc.out_h, 28);  // same padding
+
+  // conv2: 5x5x6 = 150 rows, 12 filters -> ceil(150/32)*1 = 5.
+  EXPECT_EQ(m.layers[1].rows, 150);
+  EXPECT_EQ(m.layers[1].cols, 12);
+  EXPECT_EQ(m.layers[1].crossbars, 5);
+  EXPECT_EQ(m.layers[1].desc.out_h, 10);  // 14 -> valid 5x5
+
+  // fc1: 300 -> 16: ceil(300/32)*ceil(16/32) = 10.
+  EXPECT_EQ(m.layers[2].rows, 300);
+  EXPECT_EQ(m.layers[2].crossbars, 10);
+
+  // fc2: 16 -> 10: 1 crossbar.
+  EXPECT_EQ(m.layers[3].crossbars, 1);
+
+  EXPECT_EQ(m.total_crossbars(), 17);
+}
+
+TEST(MapperTest, AlexnetLayerCount) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_alexnet(rng);
+  const ModelMapping m = map_network(net, "Alexnet", {3, 32, 32}, 32);
+  // Table 1/5: 5 conv + 3 FC = 8 stages.
+  EXPECT_EQ(m.layer_count(), 8);
+  // conv1: 5x5x3 = 75 rows, 32 cols -> ceil(75/32)*1 = 3.
+  EXPECT_EQ(m.layers[0].rows, 75);
+  EXPECT_EQ(m.layers[0].crossbars, 3);
+}
+
+TEST(MapperTest, ResnetHas18CrossbarLayers) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_resnet_mini(rng);
+  const ModelMapping m = map_network(net, "Resnet", {3, 32, 32}, 32);
+  // 17 conv (option-A shortcuts are parameter-free) + 1 FC = 18 stages,
+  // matching Table 5's "Layer Num." of 18.
+  EXPECT_EQ(m.layer_count(), 18);
+}
+
+TEST(MapperTest, StridedConvTracksSpatialExtent) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_resnet_mini(rng);
+  const ModelMapping m = map_network(net, "Resnet", {3, 32, 32}, 32);
+  // First conv keeps 32x32; later stages shrink to 16, 8, 4.
+  EXPECT_EQ(m.layers[0].desc.out_h, 32);
+  int64_t min_extent = 32;
+  for (const LayerMapping& l : m.layers) {
+    if (l.desc.kind == LayerKind::kConv) {
+      min_extent = std::min(min_extent, l.desc.out_h);
+    }
+  }
+  EXPECT_EQ(min_extent, 4);
+}
+
+TEST(MapperTest, CrossbarSizeChangesTiling) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_lenet(rng);
+  const ModelMapping m64 = map_network(net, "Lenet", {1, 28, 28}, 64);
+  nn::Rng rng2(1);
+  nn::Network net2 = models::make_lenet(rng2);
+  const ModelMapping m16 = map_network(net2, "Lenet", {1, 28, 28}, 16);
+  EXPECT_LT(m64.total_crossbars(), m16.total_crossbars());
+}
+
+TEST(MapperTest, BadInputShapeThrows) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_lenet(rng);
+  EXPECT_THROW(map_network(net, "x", {28, 28}, 32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsnc::snc

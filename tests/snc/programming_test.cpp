@@ -1,0 +1,80 @@
+#include "snc/programming.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "nn/rng.h"
+
+namespace qsnc::snc {
+namespace {
+
+ModelMapping lenet_mapping() {
+  nn::Rng rng(1);
+  nn::Network net = models::make_lenet(rng);
+  return map_network(net, "Lenet", {1, 28, 28}, 32);
+}
+
+TEST(PulsesPerCellTest, DoublesPerBit) {
+  ProgrammingParams p;
+  EXPECT_DOUBLE_EQ(pulses_per_cell(1, p), 2.0);
+  EXPECT_DOUBLE_EQ(pulses_per_cell(2, p), 4.0);
+  EXPECT_DOUBLE_EQ(pulses_per_cell(3, p), 8.0);
+  EXPECT_DOUBLE_EQ(pulses_per_cell(4, p), 16.0);
+}
+
+TEST(PulsesPerCellTest, CapsAtDevicePrecision) {
+  // 8-bit weights on 4-bit devices: each slice programs at 4-bit cost.
+  ProgrammingParams p;
+  EXPECT_DOUBLE_EQ(pulses_per_cell(8, p), pulses_per_cell(4, p));
+}
+
+TEST(PulsesPerCellTest, BadBitsThrow) {
+  EXPECT_THROW(pulses_per_cell(0, {}), std::invalid_argument);
+  EXPECT_THROW(pulses_per_cell(17, {}), std::invalid_argument);
+}
+
+TEST(ProgrammingCostTest, CellsCountDifferentialPairs) {
+  const ModelMapping m = lenet_mapping();
+  const ProgrammingCost c4 = evaluate_programming(m, 4);
+  // 2 cells per logical weight position, 1 slice.
+  EXPECT_EQ(c4.cells, 2 * (25 * 6 + 150 * 12 + 300 * 16 + 16 * 10));
+}
+
+TEST(ProgrammingCostTest, EightBitPaysTwoSlices) {
+  const ModelMapping m = lenet_mapping();
+  const ProgrammingCost c4 = evaluate_programming(m, 4);
+  const ProgrammingCost c8 = evaluate_programming(m, 8);
+  EXPECT_EQ(c8.cells, 2 * c4.cells);
+  EXPECT_GT(c8.energy_uj, c4.energy_uj * 1.9);
+  EXPECT_GT(c8.time_ms, c4.time_ms * 1.9);
+}
+
+TEST(ProgrammingCostTest, CostGrowsSuperlinearlyWithDeviceBits) {
+  // The paper's motivation: 6-bit devices exist but programming cost
+  // explodes. Per-cell pulses at 6-bit vs 3-bit on 6-bit-capable devices.
+  const ModelMapping m = lenet_mapping();
+  ProgrammingParams p6;
+  p6.device_bits = 6;
+  const ProgrammingCost c3 = evaluate_programming(m, 3, p6);
+  const ProgrammingCost c6 = evaluate_programming(m, 6, p6);
+  EXPECT_GT(c6.energy_uj, c3.energy_uj * 7.0);  // 2^5 / 2^2 = 8x pulses
+}
+
+TEST(ProgrammingCostTest, RowParallelismShortensTime) {
+  const ModelMapping m = lenet_mapping();
+  ProgrammingParams serial;
+  ProgrammingParams parallel = serial;
+  parallel.parallel_rows = 32;
+  const ProgrammingCost cs = evaluate_programming(m, 4, serial);
+  const ProgrammingCost cp = evaluate_programming(m, 4, parallel);
+  EXPECT_GT(cs.time_ms, cp.time_ms * 10.0);
+  EXPECT_DOUBLE_EQ(cs.energy_uj, cp.energy_uj);  // same pulse count
+}
+
+TEST(ProgrammingCostTest, EmptyMappingThrows) {
+  ModelMapping empty;
+  EXPECT_THROW(evaluate_programming(empty, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qsnc::snc

@@ -1,0 +1,73 @@
+// End-to-end SNC deployment of the AlexNet-mini topology: exercises the
+// multi-stage conv + maxpool + 3-FC path on the crossbar simulator (LeNet
+// covers the small case, ResNet the residual case; this covers the deep
+// sequential case with repeated pooling).
+#include <gtest/gtest.h>
+
+#include "core/fixed_point.h"
+#include "core/neuron_convergence.h"
+#include "core/qat_pipeline.h"
+#include "core/weight_clustering.h"
+#include "data/synthetic_cifar.h"
+#include "models/model_zoo.h"
+#include "snc/snc_system.h"
+
+namespace qsnc::snc {
+namespace {
+
+TEST(SncAlexnetDeployTest, AgreementAndStats) {
+  data::SyntheticCifarConfig dc;
+  dc.num_samples = 250;
+  auto train_set = data::make_synthetic_cifar(dc);
+  data::SyntheticCifarConfig ec = dc;
+  ec.num_samples = 30;
+  ec.seed = 77;
+  auto test_set = data::make_synthetic_cifar(ec);
+
+  core::TrainConfig tcfg;
+  tcfg.epochs = 4;
+  tcfg.lr = 1e-3f;
+  tcfg.input_scale = 15.0f;
+  nn::Rng rng(tcfg.seed);
+  nn::Network net = models::make_alexnet_mini(rng);
+  core::NeuronConvergenceRegularizer reg(4, 0.1f);
+  core::train(net, *train_set, tcfg, &reg, 4, tcfg.epochs - 2);
+
+  core::WeightClusterConfig wc;
+  wc.bits = 4;
+  const auto wcr = core::apply_weight_clustering(net, wc);
+  ASSERT_EQ(wcr.size(), 8u);  // 5 conv + 3 fc synapse tensors
+
+  SncConfig cfg;
+  cfg.signal_bits = 4;
+  cfg.weight_bits = 4;
+  cfg.weight_scales.clear();
+  for (const auto& r : wcr) cfg.weight_scales.push_back(r.scale);
+  cfg.input_scale = tcfg.input_scale;
+  SncSystem sys(net, {3, 32, 32}, cfg);
+  // 8 crossbar stages + 3 max pools.
+  EXPECT_EQ(sys.stage_count(), 11u);
+
+  core::IntegerSignalQuantizer q(4);
+  net.set_signal_quantizer(&q);
+  int agree = 0;
+  SncStats stats;
+  for (int64_t i = 0; i < test_set->size(); ++i) {
+    const data::Sample s = test_set->get(i);
+    const int64_t snc_pred = sys.infer(s.image, &stats);
+    nn::Tensor batch = s.image.reshape({1, 3, 32, 32});
+    batch *= tcfg.input_scale;
+    for (int64_t j = 0; j < batch.numel(); ++j) {
+      batch[j] = core::quantize_input_signal(batch[j], 4);
+    }
+    if (net.predict(batch)[0] == snc_pred) ++agree;
+    EXPECT_EQ(stats.layers, 8);
+    EXPECT_EQ(stats.window_slots, 15);
+    EXPECT_GT(stats.total_spikes, 0);
+  }
+  net.set_signal_quantizer(nullptr);
+  EXPECT_GE(agree, test_set->size() * 3 / 5);
+}
+
+}  // namespace
+}  // namespace qsnc::snc

@@ -1,0 +1,132 @@
+// Property tests across the SNC substrate: mapper arithmetic, conductance
+// mappings, and cost-model scaling laws.
+#include <gtest/gtest.h>
+
+#include "snc/cost_model.h"
+#include "snc/mapper.h"
+#include "snc/memristor.h"
+#include "snc/spike.h"
+
+namespace qsnc::snc {
+namespace {
+
+TEST(MapperProperty, TilingCoversLogicalMatrix) {
+  // ceil arithmetic: tiles * t^2 >= rows * cols, and removing one tile row
+  // or column would not cover.
+  for (int64_t rows : {1, 31, 32, 33, 150, 300, 1024}) {
+    for (int64_t cols : {1, 10, 32, 64, 100}) {
+      for (int64_t t : {8, 32, 128}) {
+        const int64_t tiles = crossbars_for(rows, cols, t);
+        const int64_t row_tiles = (rows + t - 1) / t;
+        const int64_t col_tiles = (cols + t - 1) / t;
+        EXPECT_EQ(tiles, row_tiles * col_tiles);
+        EXPECT_GE(row_tiles * t, rows);
+        EXPECT_GE(col_tiles * t, cols);
+        EXPECT_LT((row_tiles - 1) * t, rows);
+        EXPECT_LT((col_tiles - 1) * t, cols);
+      }
+    }
+  }
+}
+
+TEST(MapperProperty, TilesMonotoneInMatrixSize) {
+  for (int64_t rows = 1; rows < 100; rows += 7) {
+    EXPECT_LE(crossbars_for(rows, 16, 32), crossbars_for(rows + 32, 16, 32));
+    EXPECT_LE(crossbars_for(16, rows, 32), crossbars_for(16, rows + 32, 32));
+  }
+}
+
+TEST(ConductanceProperty, LevelMappingIsMonotone) {
+  MemristorConfig cfg;
+  for (int64_t max_level : {1, 7, 8, 15, 63}) {
+    double prev = -1.0;
+    for (int64_t k = 0; k <= max_level; ++k) {
+      const double g = level_conductance(k, max_level, cfg);
+      EXPECT_GT(g, prev);
+      prev = g;
+    }
+  }
+}
+
+TEST(ConductanceProperty, RoundTripForAnyRange) {
+  for (double r_on : {25e3, 50e3, 100e3}) {
+    MemristorConfig cfg;
+    cfg.r_on_ohm = r_on;
+    for (int64_t k = 0; k <= 15; ++k) {
+      EXPECT_EQ(nearest_level(level_conductance(k, 15, cfg), 15, cfg), k);
+    }
+  }
+}
+
+TEST(CostProperty, EnergyAdditiveOverLayers) {
+  // A mapping with one layer duplicated costs exactly one layer more.
+  LayerMapping layer;
+  layer.desc.kind = LayerKind::kConv;
+  layer.desc.out_h = layer.desc.out_w = 4;
+  layer.rows = 64;
+  layer.cols = 16;
+  layer.crossbars = crossbars_for(64, 16, 32);
+
+  ModelMapping one;
+  one.layers = {layer};
+  ModelMapping two;
+  two.layers = {layer, layer};
+
+  const SystemCost c1 = evaluate_cost(one, 4, 4);
+  const SystemCost c2 = evaluate_cost(two, 4, 4);
+  EXPECT_NEAR(c2.energy_uj, 2.0 * c1.energy_uj, 1e-9);
+  EXPECT_NEAR(c2.area_mm2, 2.0 * c1.area_mm2, 1e-9);
+  // Speed halves at fixed bits: twice the pipeline stages.
+  EXPECT_NEAR(c2.speed_mhz, c1.speed_mhz / 2.0, 1e-9);
+}
+
+TEST(CostProperty, SpeedDependsOnlyOnLayersAndBits) {
+  // The paper's speed model is window x pipeline depth; layer widths only
+  // affect energy/area.
+  LayerMapping narrow;
+  narrow.desc.out_h = narrow.desc.out_w = 1;
+  narrow.rows = 8;
+  narrow.cols = 8;
+  narrow.crossbars = 1;
+  LayerMapping wide = narrow;
+  wide.rows = 512;
+  wide.cols = 256;
+  wide.crossbars = crossbars_for(512, 256, 32);
+
+  ModelMapping a, b;
+  a.layers = {narrow, narrow};
+  b.layers = {wide, wide};
+  EXPECT_DOUBLE_EQ(evaluate_cost(a, 4, 4).speed_mhz,
+                   evaluate_cost(b, 4, 4).speed_mhz);
+  EXPECT_LT(evaluate_cost(a, 4, 4).energy_uj,
+            evaluate_cost(b, 4, 4).energy_uj);
+}
+
+TEST(SpikeProperty, WindowDoublesPlusOnePerBit) {
+  for (int bits = 1; bits < 12; ++bits) {
+    EXPECT_EQ(window_slots(bits + 1), 2 * window_slots(bits) + 1);
+  }
+}
+
+TEST(SpikeProperty, EncodeIsDeterministic) {
+  for (int64_t v = 0; v <= 15; ++v) {
+    EXPECT_EQ(rate_encode(v, 4), rate_encode(v, 4));
+  }
+}
+
+TEST(SpikeProperty, HigherValuesAreSupersetsInCount) {
+  // Monotone coding: more value, never fewer spikes in any prefix window.
+  for (int64_t v = 0; v < 15; ++v) {
+    const auto a = rate_encode(v, 4);
+    const auto b = rate_encode(v + 1, 4);
+    int64_t ca = 0, cb = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ca += a[i];
+      cb += b[i];
+      EXPECT_GE(cb, ca) << "prefix " << i << " value " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qsnc::snc

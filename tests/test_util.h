@@ -1,0 +1,72 @@
+// Shared helpers for the qsnc test suites.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/network.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace qsnc::test {
+
+/// Fills a tensor with deterministic pseudo-random values in [-1, 1].
+inline void randomize(nn::Tensor& t, nn::Rng& rng, float lo = -1.0f,
+                      float hi = 1.0f) {
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(lo, hi);
+}
+
+/// Scalar loss used by gradient checks: 0.5 * sum(y^2), dLoss/dy = y.
+inline float half_sq(const nn::Tensor& y) { return 0.5f * y.squared_norm(); }
+
+/// Checks the analytic input gradient of `layer` against central
+/// differences. Returns the max absolute deviation.
+inline float gradcheck_input(nn::Layer& layer, nn::Tensor input,
+                             float eps = 1e-3f) {
+  nn::Tensor out = layer.forward(input, /*train=*/true);
+  nn::Tensor grad_in = layer.backward(out);  // dLoss/dOut = out for half_sq
+
+  float max_dev = 0.0f;
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float saved = input[i];
+    input[i] = saved + eps;
+    const float lp = half_sq(layer.forward(input, true));
+    input[i] = saved - eps;
+    const float lm = half_sq(layer.forward(input, true));
+    input[i] = saved;
+    const float numeric = (lp - lm) / (2.0f * eps);
+    max_dev = std::max(max_dev, std::fabs(numeric - grad_in[i]));
+  }
+  // Restore the cached state for the caller.
+  layer.forward(input, true);
+  return max_dev;
+}
+
+/// Checks the analytic parameter gradients of `layer` against central
+/// differences on a fixed input. Returns the max absolute deviation over
+/// all parameters.
+inline float gradcheck_params(nn::Layer& layer, const nn::Tensor& input,
+                              float eps = 1e-3f) {
+  for (nn::Param* p : layer.params()) p->zero_grad();
+  nn::Tensor out = layer.forward(input, /*train=*/true);
+  layer.backward(out);
+
+  float max_dev = 0.0f;
+  for (nn::Param* p : layer.params()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float lp = half_sq(layer.forward(input, true));
+      p->value[i] = saved - eps;
+      const float lm = half_sq(layer.forward(input, true));
+      p->value[i] = saved;
+      const float numeric = (lp - lm) / (2.0f * eps);
+      max_dev = std::max(max_dev, std::fabs(numeric - p->grad[i]));
+    }
+  }
+  return max_dev;
+}
+
+}  // namespace qsnc::test

@@ -1,0 +1,91 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace qsnc::util {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, KeyValuePairs) {
+  Flags f = make({"--model", "lenet", "--epochs", "12"});
+  EXPECT_EQ(f.get("model", ""), "lenet");
+  EXPECT_EQ(f.get_int("epochs", 0), 12);
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = make({"--model=resnet", "--lr=0.01"});
+  EXPECT_EQ(f.get("model", ""), "resnet");
+  EXPECT_DOUBLE_EQ(f.get_double("lr", 0.0), 0.01);
+}
+
+TEST(FlagsTest, BareBoolean) {
+  Flags f = make({"--verbose", "--nc"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.get_bool("nc", false));
+  EXPECT_FALSE(f.get_bool("absent", false));
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  Flags f = make({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(FlagsTest, BooleanFollowedByFlagStaysBoolean) {
+  Flags f = make({"--verbose", "--epochs", "3"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get_int("epochs", 0), 3);
+}
+
+TEST(FlagsTest, NegativeNumberAsValue) {
+  Flags f = make({"--offset", "-0.5"});
+  EXPECT_DOUBLE_EQ(f.get_double("offset", 0.0), -0.5);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = make({"train", "--epochs=2", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "train");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  Flags f = make({});
+  EXPECT_EQ(f.get("x", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+}
+
+TEST(FlagsTest, MalformedThrows) {
+  EXPECT_THROW(make({"-x"}), std::invalid_argument);
+  EXPECT_THROW(make({"--"}), std::invalid_argument);
+  Flags f = make({"--n=abc"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  Flags g = make({"--n=1.5x"});
+  EXPECT_THROW(g.get_double("n", 0), std::invalid_argument);
+  Flags h = make({"--n=maybe"});
+  EXPECT_THROW(h.get_bool("n", false), std::invalid_argument);
+}
+
+TEST(FlagsTest, UnusedTracksUntouchedKeys) {
+  Flags f = make({"--used=1", "--typo=2"});
+  EXPECT_EQ(f.get_int("used", 0), 1);
+  const std::vector<std::string> unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, HasMarksTouched) {
+  Flags f = make({"--k=v"});
+  EXPECT_TRUE(f.has("k"));
+  EXPECT_TRUE(f.unused().empty());
+}
+
+}  // namespace
+}  // namespace qsnc::util

@@ -1,0 +1,300 @@
+// qsnc — command-line front end to the library.
+//
+//   qsnc train  --model lenet|alexnet|resnet [--nc --bits M] [--epochs N]
+//               [--lr X] [--train-size N] [--out state.bin]
+//   qsnc quantize --model M --state in.bin --bits N [--out out.bin]
+//               (Weight Clustering onto the N-bit grid)
+//   qsnc eval   --model M --state state.bin [--bits M] [--test-size N]
+//   qsnc deploy --model M --state state.bin --bits M [--images N]
+//               (spike-level SNC inference; weights must be on the grid)
+//   qsnc cost   --model M [--signal-bits M] [--weight-bits N] [--crossbar t]
+//
+// Models train/evaluate on the built-in synthetic datasets (set
+// QSNC_MNIST_DIR / QSNC_CIFAR_DIR for the real ones, as in the benches).
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "core/fixed_point.h"
+#include "core/metrics.h"
+#include "core/neuron_convergence.h"
+#include "core/qat_pipeline.h"
+#include "core/weight_clustering.h"
+#include "data/idx_loader.h"
+#include "data/synthetic_cifar.h"
+#include "data/synthetic_mnist.h"
+#include "models/model_zoo.h"
+#include "nn/serialize.h"
+#include "report/table.h"
+#include "snc/cost_model.h"
+#include "snc/snc_system.h"
+#include "util/flags.h"
+
+using namespace qsnc;
+
+namespace {
+
+struct ModelChoice {
+  std::string name;
+  nn::Network (*factory)(nn::Rng&);
+  nn::Network (*full_factory)(nn::Rng&);
+  bool is_mnist;
+  nn::Shape input;
+};
+
+ModelChoice resolve_model(const std::string& name) {
+  if (name == "lenet") {
+    return {name, models::make_lenet, models::make_lenet, true, {1, 28, 28}};
+  }
+  if (name == "alexnet") {
+    return {name, models::make_alexnet_mini, models::make_alexnet, false,
+            {3, 32, 32}};
+  }
+  if (name == "resnet") {
+    return {name, models::make_resnet_mini, models::make_resnet, false,
+            {3, 32, 32}};
+  }
+  throw std::invalid_argument("unknown --model '" + name +
+                              "' (lenet|alexnet|resnet)");
+}
+
+data::DatasetPtr load_dataset(const ModelChoice& model, int64_t size,
+                              uint64_t seed, bool train) {
+  if (model.is_mnist) {
+    if (const char* dir = std::getenv("QSNC_MNIST_DIR")) {
+      if (auto ds = data::try_load_mnist(dir, train)) return *ds;
+    }
+    data::SyntheticMnistConfig cfg;
+    cfg.num_samples = size;
+    cfg.seed = seed;
+    return data::make_synthetic_mnist(cfg);
+  }
+  if (const char* dir = std::getenv("QSNC_CIFAR_DIR")) {
+    if (auto ds = data::try_load_cifar10(dir, train)) return *ds;
+  }
+  data::SyntheticCifarConfig cfg;
+  cfg.num_samples = size;
+  cfg.seed = seed;
+  return data::make_synthetic_cifar(cfg);
+}
+
+core::TrainConfig base_config(const ModelChoice& model) {
+  core::TrainConfig cfg;
+  if (model.name == "lenet") {
+    cfg.epochs = 14;
+    cfg.lr = 5e-4f;
+  } else if (model.name == "alexnet") {
+    cfg.epochs = 14;
+    cfg.lr = 1e-3f;
+  } else {
+    cfg.epochs = 10;
+    cfg.lr = 1e-2f;
+  }
+  return cfg;
+}
+
+void check_unused(const util::Flags& flags) {
+  for (const std::string& key : flags.unused()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+}
+
+int cmd_train(const util::Flags& flags) {
+  const ModelChoice model = resolve_model(flags.get("model", "lenet"));
+  core::TrainConfig cfg = base_config(model);
+  cfg.epochs = static_cast<int>(flags.get_int("epochs", cfg.epochs));
+  cfg.lr = static_cast<float>(flags.get_double("lr", cfg.lr));
+  cfg.seed = static_cast<uint64_t>(flags.get_int("seed", 42));
+  const int64_t train_size = flags.get_int("train-size", 1200);
+  const bool use_nc = flags.get_bool("nc", false);
+  const int bits = static_cast<int>(flags.get_int("bits", 4));
+  const std::string out = flags.get("out", "");
+  check_unused(flags);
+
+  auto train_set = load_dataset(model, train_size, 1, true);
+  nn::Rng rng(cfg.seed);
+  nn::Network net = model.factory(rng);
+  const std::string nc_note =
+      use_nc ? " with Neuron Convergence @" + std::to_string(bits) + "-bit"
+             : "";
+  std::printf("training %s (%lld weights) for %d epochs%s...\n",
+              model.name.c_str(), static_cast<long long>(net.num_weights()),
+              cfg.epochs, nc_note.c_str());
+  if (use_nc) {
+    cfg.input_scale = std::min(
+        cfg.input_scale, static_cast<float>(core::signal_max(bits)));
+    core::NeuronConvergenceRegularizer reg(bits, 0.1f);
+    core::train(net, *train_set, cfg, &reg, bits,
+                std::max(0, cfg.epochs - 2));
+  } else {
+    core::train(net, *train_set, cfg);
+  }
+  const double acc = core::evaluate_accuracy(
+      net, *load_dataset(model, 400, 999, false), cfg.input_scale);
+  std::printf("held-out accuracy: %s\n", report::pct(acc).c_str());
+  if (!out.empty()) {
+    nn::save_state(net, out);
+    std::printf("state written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_quantize(const util::Flags& flags) {
+  const ModelChoice model = resolve_model(flags.get("model", "lenet"));
+  const std::string in = flags.get("state", "");
+  if (in.empty()) throw std::invalid_argument("quantize needs --state");
+  const int bits = static_cast<int>(flags.get_int("bits", 4));
+  const std::string out = flags.get("out", in + ".q" + std::to_string(bits));
+  check_unused(flags);
+
+  nn::Rng rng(1);
+  nn::Network net = model.factory(rng);
+  nn::load_state(net, in);
+  core::WeightClusterConfig wc;
+  wc.bits = bits;
+  const auto results = core::apply_weight_clustering(net, wc);
+  report::Table t({"tensor", "grid scale", "mse"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    t.add_row({std::to_string(i), report::fmt(results[i].scale, 4),
+               report::fmt(results[i].mse, 6)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  nn::save_state(net, out);
+  std::printf("clustered state written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_eval(const util::Flags& flags) {
+  const ModelChoice model = resolve_model(flags.get("model", "lenet"));
+  const std::string in = flags.get("state", "");
+  if (in.empty()) throw std::invalid_argument("eval needs --state");
+  const int bits = static_cast<int>(flags.get_int("bits", 0));
+  const int64_t test_size = flags.get_int("test-size", 400);
+  check_unused(flags);
+
+  nn::Rng rng(1);
+  nn::Network net = model.factory(rng);
+  nn::load_state(net, in);
+  auto test_set = load_dataset(model, test_size, 999, false);
+
+  const float scale =
+      bits > 0 ? std::min(16.0f, static_cast<float>(core::signal_max(bits)))
+               : 16.0f;
+  std::unique_ptr<core::IntegerSignalQuantizer> q;
+  if (bits > 0) {
+    q = std::make_unique<core::IntegerSignalQuantizer>(bits);
+    net.set_signal_quantizer(q.get());
+  }
+  const core::EvalResult r =
+      core::evaluate_detailed(net, *test_set, scale, bits);
+  net.set_signal_quantizer(nullptr);
+
+  const std::string bits_note =
+      bits > 0 ? ", " + std::to_string(bits) + "-bit signals" : "";
+  std::printf("accuracy: %s (%lld images%s)\n",
+              report::pct(r.accuracy).c_str(),
+              static_cast<long long>(test_set->size()), bits_note.c_str());
+  report::Table t({"class", "recall"});
+  for (int64_t c = 0; c < r.num_classes; ++c) {
+    t.add_row({std::to_string(c), report::pct(r.recall(c))});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_deploy(const util::Flags& flags) {
+  const ModelChoice model = resolve_model(flags.get("model", "lenet"));
+  const std::string in = flags.get("state", "");
+  if (in.empty()) throw std::invalid_argument("deploy needs --state");
+  const int bits = static_cast<int>(flags.get_int("bits", 4));
+  const int64_t images = flags.get_int("images", 50);
+  check_unused(flags);
+
+  nn::Rng rng(1);
+  nn::Network net = model.factory(rng);
+  nn::load_state(net, in);
+
+  // Recover the per-layer grid scales by re-clustering (idempotent when the
+  // state is already on the grid: the Lloyd assignment reproduces it).
+  core::WeightClusterConfig wc;
+  wc.bits = bits;
+  const auto wcr = core::apply_weight_clustering(net, wc);
+
+  snc::SncConfig cfg;
+  cfg.signal_bits = bits;
+  cfg.weight_bits = bits;
+  cfg.weight_scales.clear();
+  for (const auto& r : wcr) cfg.weight_scales.push_back(r.scale);
+  cfg.input_scale =
+      std::min(16.0f, static_cast<float>(core::signal_max(bits)));
+  snc::SncSystem system(net, model.input, cfg);
+
+  auto test_set = load_dataset(model, std::max<int64_t>(images, 50), 999,
+                               false);
+  int64_t correct = 0;
+  snc::SncStats stats;
+  int64_t total_spikes = 0;
+  for (int64_t i = 0; i < images; ++i) {
+    const data::Sample s = test_set->get(i);
+    if (system.infer(s.image, &stats) == s.label) ++correct;
+    total_spikes += stats.total_spikes;
+  }
+  std::printf("SNC inference: %lld/%lld correct, window %lld slots, "
+              "avg %.0f spikes/image\n",
+              static_cast<long long>(correct),
+              static_cast<long long>(images),
+              static_cast<long long>(stats.window_slots),
+              static_cast<double>(total_spikes) /
+                  static_cast<double>(images));
+  return 0;
+}
+
+int cmd_cost(const util::Flags& flags) {
+  const ModelChoice model = resolve_model(flags.get("model", "lenet"));
+  const int signal_bits = static_cast<int>(flags.get_int("signal-bits", 4));
+  const int weight_bits = static_cast<int>(flags.get_int("weight-bits", 4));
+  const int64_t crossbar = flags.get_int("crossbar", 32);
+  check_unused(flags);
+
+  nn::Rng rng(1);
+  nn::Network net = model.full_factory(rng);
+  const snc::ModelMapping mapping =
+      snc::map_network(net, model.name, model.input, crossbar);
+  snc::CostParams params;
+  params.crossbar_size = crossbar;
+  const snc::SystemCost cost =
+      snc::evaluate_cost(mapping, signal_bits, weight_bits, params);
+  std::printf("%s @ M=%d N=%d t=%lld: %lld layers, %lld crossbars, "
+              "%.2f MHz, %.2f uJ/inf, %.2f mm2\n",
+              model.name.c_str(), signal_bits, weight_bits,
+              static_cast<long long>(crossbar),
+              static_cast<long long>(cost.layers),
+              static_cast<long long>(cost.crossbars), cost.speed_mhz,
+              cost.energy_uj, cost.area_mm2);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Flags flags(argc, argv);
+    if (flags.positional().empty()) {
+      std::fprintf(stderr,
+                   "usage: qsnc <train|quantize|eval|deploy|cost> [flags]\n"
+                   "see the header of tools/qsnc.cpp for details\n");
+      return 2;
+    }
+    const std::string& cmd = flags.positional()[0];
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "quantize") return cmd_quantize(flags);
+    if (cmd == "eval") return cmd_eval(flags);
+    if (cmd == "deploy") return cmd_deploy(flags);
+    if (cmd == "cost") return cmd_cost(flags);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
