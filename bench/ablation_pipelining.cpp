@@ -4,6 +4,7 @@
 // could overlap slots across stages. The discrete-event timing simulator
 // quantifies the gap for every model and bit width.
 #include <cstdio>
+#include <vector>
 
 #include "models/model_zoo.h"
 #include "report/table.h"
@@ -29,24 +30,39 @@ int main() {
       {"Resnet", models::make_resnet, {3, 32, 32}},
   };
 
+  // Collect every (model, bits, discipline) point up front and simulate the
+  // whole grid in one simulate_windows call — the points are independent, so
+  // the batch API spreads them across the thread pool.
+  struct SweepPoint {
+    const char* model;
+    int bits;
+  };
+  std::vector<SweepPoint> points;
+  std::vector<snc::WindowSpec> specs;
   for (const ModelCase& mc : cases) {
     nn::Rng rng(1);
     nn::Network net = mc.factory(rng);
     const snc::ModelMapping m = snc::map_network(net, mc.name, mc.input, 32);
     for (int bits : {3, 4, 8}) {
-      snc::TimingConfig seq;
-      snc::TimingConfig pipe;
-      pipe.discipline = snc::PipelineDiscipline::kSlotPipelined;
-      const snc::TimingResult rs =
-          snc::simulate_window(m.layer_count(), snc::window_slots(bits), seq);
-      const snc::TimingResult rp = snc::simulate_window(
-          m.layer_count(), snc::window_slots(bits), pipe);
-      t.add_row({mc.name, std::to_string(bits),
-                 report::fmt(rs.speed_mhz, 2), report::fmt(rp.speed_mhz, 2),
-                 report::fmt(rp.speed_mhz / rs.speed_mhz, 1) + "x",
-                 report::pct(rs.utilization, 1),
-                 report::pct(rp.utilization, 1)});
+      snc::WindowSpec spec;
+      spec.layers = m.layer_count();
+      spec.window_slots = snc::window_slots(bits);
+      specs.push_back(spec);  // sequential wave
+      spec.config.discipline = snc::PipelineDiscipline::kSlotPipelined;
+      specs.push_back(spec);
+      points.push_back({mc.name, bits});
     }
+  }
+
+  const std::vector<snc::TimingResult> results = snc::simulate_windows(specs);
+  for (size_t p = 0; p < points.size(); ++p) {
+    const snc::TimingResult& rs = results[2 * p];
+    const snc::TimingResult& rp = results[2 * p + 1];
+    t.add_row({points[p].model, std::to_string(points[p].bits),
+               report::fmt(rs.speed_mhz, 2), report::fmt(rp.speed_mhz, 2),
+               report::fmt(rp.speed_mhz / rs.speed_mhz, 1) + "x",
+               report::pct(rs.utilization, 1),
+               report::pct(rp.utilization, 1)});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("pipelining approaches an L-fold gain for long windows "

@@ -1,6 +1,18 @@
 // Kernel-level micro-benchmarks (google-benchmark): GEMM, im2col,
 // convolution forward, crossbar reads, quantizers, spike coding.
+//
+// In addition to the google-benchmark suite, main() runs a thread-scaling
+// sweep over {1, 2, 4, hw_max} threads for the GEMM and conv hot paths and
+// writes GFLOP/s plus speedup-vs-1-thread to BENCH_kernels.json (override
+// the path with QSNC_BENCH_OUT).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/fixed_point.h"
 #include "core/weight_clustering.h"
@@ -11,6 +23,7 @@
 #include "nn/tensor.h"
 #include "snc/crossbar.h"
 #include "snc/spike.h"
+#include "util/thread_pool.h"
 
 using namespace qsnc;
 
@@ -36,6 +49,28 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// Thread-count-parameterized GEMM: range(0) = matrix extent, range(1) =
+// pool size. Compare against the threads:1 row for scaling.
+void BM_GemmThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const int prev = util::num_threads();
+  util::set_num_threads(threads);
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    nn::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel("threads:" + std::to_string(threads));
+  util::set_num_threads(prev);
+}
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{256}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Im2Col(benchmark::State& state) {
   const int64_t c = 16, h = 32, w = 32, k = 3;
   const auto img = random_vec(c * h * w, 3);
@@ -58,6 +93,25 @@ void BM_ConvForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvForward);
+
+// Batched conv forward across pool sizes (parallel over images).
+void BM_ConvForwardThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int prev = util::num_threads();
+  util::set_num_threads(threads);
+  nn::Rng rng(4);
+  nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+  nn::Tensor x({8, 16, 32, 32});
+  for (int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0f, 1.0f);
+  for (auto _ : state) {
+    nn::Tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel("threads:" + std::to_string(threads));
+  util::set_num_threads(prev);
+}
+BENCHMARK(BM_ConvForwardThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CrossbarRead(benchmark::State& state) {
   snc::MemristorConfig cfg;
@@ -115,6 +169,118 @@ void BM_RateEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_RateEncode)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------------
+// Thread-scaling sweep -> BENCH_kernels.json
+// ---------------------------------------------------------------------------
+
+struct SweepRow {
+  std::string kernel;
+  int threads;
+  double seconds;   // best of reps
+  double gflops;    // flops / seconds / 1e9
+  double speedup;   // vs the 1-thread row of the same kernel
+};
+
+// Times `fn` (one full kernel invocation) and returns best-of-reps seconds.
+template <typename Fn>
+double time_best(Fn&& fn, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::vector<int> sweep_thread_counts() {
+  std::vector<int> counts = {1, 2, 4, util::ThreadPool::default_threads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+void run_thread_sweep() {
+  const int prev = util::num_threads();
+  const std::vector<int> counts = sweep_thread_counts();
+  std::vector<SweepRow> rows;
+
+  auto sweep = [&](const std::string& kernel, double flops, auto&& run) {
+    double base_seconds = 0.0;
+    for (int threads : counts) {
+      util::set_num_threads(threads);
+      run();  // warm-up: populates thread-local scratch, faults pages
+      const double seconds = time_best(run, 3);
+      if (threads == 1) base_seconds = seconds;
+      rows.push_back({kernel, threads, seconds, flops / seconds / 1e9,
+                      base_seconds > 0.0 ? base_seconds / seconds : 1.0});
+    }
+  };
+
+  for (int64_t n : {256, 384}) {
+    const auto a = random_vec(n * n, 1);
+    const auto b = random_vec(n * n, 2);
+    std::vector<float> c(static_cast<size_t>(n * n));
+    sweep("gemm_" + std::to_string(n),
+          2.0 * static_cast<double>(n) * n * n,
+          [&] { nn::gemm(a.data(), b.data(), c.data(), n, n, n); });
+  }
+
+  {
+    const int64_t batch = 8, ic = 16, oc = 32, hw = 32, k = 3;
+    nn::Rng rng(4);
+    nn::Conv2d conv(ic, oc, k, 1, 1, rng);
+    nn::Tensor x({batch, ic, hw, hw});
+    for (int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(0.0f, 1.0f);
+    const double flops =
+        2.0 * batch * oc * ic * k * k * hw * hw;  // stride 1, same padding
+    sweep("conv_fwd_b8_16x32x32", flops, [&] {
+      nn::Tensor y = conv.forward(x, false);
+      benchmark::DoNotOptimize(y.data());
+    });
+  }
+
+  util::set_num_threads(prev);
+
+  const char* env = std::getenv("QSNC_BENCH_OUT");
+  const std::string path = env ? env : "BENCH_kernels.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "thread sweep: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_threads\": %d,\n  \"results\": [\n",
+               util::ThreadPool::default_threads());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"threads\": %d, "
+                 "\"seconds\": %.6g, \"gflops\": %.4g, \"speedup\": %.3g}%s\n",
+                 r.kernel.c_str(), r.threads, r.seconds, r.gflops, r.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("\n== thread-scaling sweep (best of 3) ==\n");
+  std::printf("%-24s %8s %12s %10s %9s\n", "kernel", "threads", "seconds",
+              "GFLOP/s", "speedup");
+  for (const SweepRow& r : rows) {
+    std::printf("%-24s %8d %12.6f %10.2f %8.2fx\n", r.kernel.c_str(),
+                r.threads, r.seconds, r.gflops, r.speedup);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_thread_sweep();
+  return 0;
+}

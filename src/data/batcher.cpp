@@ -3,16 +3,34 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace qsnc::data {
 
-Batcher::Batcher(DatasetPtr dataset, int64_t batch_size, uint64_t seed)
+Batcher::Batcher(DatasetPtr dataset, int64_t batch_size, uint64_t seed,
+                 bool prefetch)
     : dataset_(std::move(dataset)), batch_size_(batch_size), rng_(seed) {
   if (!dataset_) throw std::invalid_argument("Batcher: null dataset");
   if (batch_size_ <= 0) throw std::invalid_argument("Batcher: batch_size <= 0");
   order_.resize(static_cast<size_t>(dataset_->size()));
   std::iota(order_.begin(), order_.end(), 0);
   reshuffle();
+  prefetch_ = prefetch;
+  if (prefetch_) {
+    request_ = true;  // pre-produce the first batch immediately
+    worker_ = std::thread([this] { prefetch_loop(); });
+  }
+}
+
+Batcher::~Batcher() {
+  if (prefetch_) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
 }
 
 void Batcher::reshuffle() {
@@ -20,9 +38,9 @@ void Batcher::reshuffle() {
   cursor_ = 0;
 }
 
-Batch Batcher::next() {
+Batch Batcher::produce() {
   if (cursor_ >= dataset_->size()) {
-    ++epoch_;
+    ++produced_epoch_;
     reshuffle();
   }
   const int64_t count =
@@ -32,6 +50,65 @@ Batch Batcher::next() {
   cursor_ += count;
   return Batch{dataset_->gather_images(indices),
                dataset_->gather_labels(indices)};
+}
+
+void Batcher::prefetch_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || (request_ && !slot_full_); });
+      if (stop_) return;
+      request_ = false;
+    }
+    // Produce outside the lock: the consumer only blocks on slot_full_,
+    // and all producer state (rng_, order_, cursor_) is touched by this
+    // thread alone once the worker is running.
+    Batch batch;
+    std::exception_ptr error;
+    try {
+      batch = produce();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      slot_ = std::move(batch);
+      slot_epoch_ = produced_epoch_;
+      error_ = error;
+      slot_full_ = true;
+    }
+    cv_.notify_all();
+  }
+}
+
+Batch Batcher::next() {
+  if (!prefetch_) {
+    Batch batch = produce();
+    epoch_ = produced_epoch_;
+    return batch;
+  }
+  Batch batch;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return slot_full_; });
+    if (error_) {
+      // Leave the slot consumed so a retry requests a fresh batch.
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      slot_full_ = false;
+      request_ = true;
+      cv_.notify_all();
+      std::rethrow_exception(error);
+    }
+    batch = std::move(slot_);
+    // Epoch accounting matches the synchronous path: the epoch counter the
+    // producer saw when preparing *this* batch becomes visible only now.
+    epoch_ = slot_epoch_;
+    slot_full_ = false;
+    request_ = true;  // overlap the next batch with the caller's compute
+  }
+  cv_.notify_all();
+  return batch;
 }
 
 int64_t Batcher::batches_per_epoch() const {

@@ -1,7 +1,16 @@
-// Mini-batch iteration with per-epoch shuffling.
+// Mini-batch iteration with per-epoch shuffling and double-buffered
+// prefetch: a background thread prepares batch n+1 (shuffle bookkeeping +
+// gather copies) while the trainer computes on batch n. Production is
+// strictly serialized on the one prefetch thread, so the delivered batch
+// sequence — including the shuffle RNG stream and epoch boundaries — is
+// bit-identical to the synchronous path.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "data/dataset.h"
@@ -20,7 +29,13 @@ struct Batch {
 /// index order is reshuffled and a new epoch begins transparently.
 class Batcher {
  public:
-  Batcher(DatasetPtr dataset, int64_t batch_size, uint64_t seed);
+  /// `prefetch` overlaps the next batch's preparation with the caller's
+  /// compute. Sequence and epoch accounting are identical either way.
+  Batcher(DatasetPtr dataset, int64_t batch_size, uint64_t seed,
+          bool prefetch = true);
+  ~Batcher();
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
 
   /// Next mini-batch (the final batch of an epoch may be smaller).
   Batch next();
@@ -28,18 +43,36 @@ class Batcher {
   /// Number of batches per epoch.
   int64_t batches_per_epoch() const;
 
-  /// Completed epochs so far.
+  /// Completed epochs so far, as of the last batch handed out by next().
   int64_t epoch() const { return epoch_; }
+
+  /// True when the background prefetch thread is active.
+  bool prefetching() const { return prefetch_; }
 
  private:
   void reshuffle();
+  Batch produce();  // synchronous single-batch preparation
+  void prefetch_loop();
 
   DatasetPtr dataset_;
   int64_t batch_size_;
   nn::Rng rng_;
   std::vector<int64_t> order_;
   int64_t cursor_ = 0;
-  int64_t epoch_ = 0;
+  int64_t epoch_ = 0;          // published to the consumer by next()
+  int64_t produced_epoch_ = 0; // producer-side counter (prefetch thread)
+
+  // Double buffer: the prefetch thread fills `slot_`, next() drains it.
+  bool prefetch_ = false;
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool slot_full_ = false;
+  bool request_ = false;
+  bool stop_ = false;
+  Batch slot_;
+  int64_t slot_epoch_ = 0;
+  std::exception_ptr error_;
 };
 
 }  // namespace qsnc::data

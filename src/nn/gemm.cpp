@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace qsnc::nn {
 
@@ -12,24 +15,43 @@ namespace {
 constexpr int64_t kBlockM = 64;
 constexpr int64_t kBlockK = 128;
 constexpr int64_t kBlockN = 256;
-}  // namespace
 
-void gemm_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
-              int64_t n) {
-  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const int64_t i1 = std::min(i0 + kBlockM, m);
+// Minimum FLOP count (2*m*k*n) before a kernel fans out to the pool;
+// below this the fork/join overhead dominates the multiply itself.
+constexpr int64_t kParallelMinFlops = int64_t{1} << 18;
+
+// Per-thread B-panel scratch. Each chunk packs the active B block into its
+// own copy, so concurrent M-chunks share no mutable state and the panel
+// rows sit contiguously for the SAXPY sweep.
+thread_local std::vector<float> tl_pack;
+
+// Rows [i0, i1) of C += A*B under the shared blocking. The per-(i, j)
+// accumulation order (k ascending) is independent of the row partition, so
+// any split of [0, m) — including the serial single-chunk one — produces
+// bit-identical results.
+void gemm_acc_rows(const float* a, const float* b, float* c, int64_t k,
+                   int64_t n, int64_t i0, int64_t i1) {
+  std::vector<float>& pack = tl_pack;
+  pack.resize(static_cast<size_t>(kBlockK * kBlockN));
+  for (int64_t ib = i0; ib < i1; ib += kBlockM) {
+    const int64_t ie = std::min(ib + kBlockM, i1);
     for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
       const int64_t k1 = std::min(k0 + kBlockK, k);
       for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
         const int64_t j1 = std::min(j0 + kBlockN, n);
-        for (int64_t i = i0; i < i1; ++i) {
-          float* crow = c + i * n;
+        const int64_t jw = j1 - j0;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          std::memcpy(pack.data() + (kk - k0) * jw, b + kk * n + j0,
+                      static_cast<size_t>(jw) * sizeof(float));
+        }
+        for (int64_t i = ib; i < ie; ++i) {
+          float* crow = c + i * n + j0;
           const float* arow = a + i * k;
           for (int64_t kk = k0; kk < k1; ++kk) {
             const float av = arow[kk];
             if (av == 0.0f) continue;  // sparse activations are common here
-            const float* brow = b + kk * n;
-            for (int64_t j = j0; j < j1; ++j) {
+            const float* brow = pack.data() + (kk - k0) * jw;
+            for (int64_t j = 0; j < jw; ++j) {
               crow[j] += av * brow[j];
             }
           }
@@ -38,45 +60,144 @@ void gemm_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
     }
   }
 }
+}  // namespace
+
+void gemm_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n) {
+  if (2 * m * k * n < kParallelMinFlops) {
+    gemm_acc_rows(a, b, c, k, n, 0, m);
+    return;
+  }
+  util::parallel_for(0, m, kBlockM, [&](int64_t i0, int64_t i1) {
+    gemm_acc_rows(a, b, c, k, n, i0, i1);
+  });
+}
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n) {
-  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
-  gemm_acc(a, b, c, m, k, n);
+  if (2 * m * k * n < kParallelMinFlops) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    gemm_acc_rows(a, b, c, k, n, 0, m);
+    return;
+  }
+  util::parallel_for(0, m, kBlockM, [&](int64_t i0, int64_t i1) {
+    std::memset(c + i0 * n, 0,
+                static_cast<size_t>((i1 - i0) * n) * sizeof(float));
+    gemm_acc_rows(a, b, c, k, n, i0, i1);
+  });
 }
 
 void gemm_at_b_acc(const float* a, const float* b, float* c, int64_t m,
                    int64_t k, int64_t n) {
   // A stored [k x m]: element A^T(i, kk) = a[kk * m + i].
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a + kk * m;
-    const float* brow = b + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+  //
+  // The schedule is chosen from the problem shape only — never the pool
+  // size — so results are bit-identical at any thread count:
+  //  * wide M: partition the output rows; each chunk keeps the k-outer
+  //    order (reading a contiguous a-row slice per kk) and writes disjoint
+  //    C rows, so no synchronization and no reduction are needed.
+  //  * narrow M over a deep K (e.g. a small dense head's dW): too few rows
+  //    to spread, so split K into fixed kBlockK chunks accumulated into
+  //    private C buffers and combined by a deterministic tree reduction.
+  const bool split_k =
+      m < 32 && k >= 2 * kBlockK && m * n <= (int64_t{1} << 18);
+  if (!split_k) {
+    auto rows = [&](int64_t i0, int64_t i1) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = a + kk * m;
+        const float* brow = b + kk * n;
+        for (int64_t i = i0; i < i1; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          float* crow = c + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    };
+    if (2 * m * k * n < kParallelMinFlops) {
+      rows(0, m);
+      return;
+    }
+    util::parallel_for(0, m, kBlockM / 4, rows);
+    return;
+  }
+
+  const int64_t chunks = (k + kBlockK - 1) / kBlockK;
+  const int64_t csize = m * n;
+  std::vector<float> partials(static_cast<size_t>(chunks * csize), 0.0f);
+  util::parallel_for(0, chunks, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t ch = c0; ch < c1; ++ch) {
+      float* pc = partials.data() + ch * csize;
+      const int64_t kb = ch * kBlockK;
+      const int64_t ke = std::min(kb + kBlockK, k);
+      for (int64_t kk = kb; kk < ke; ++kk) {
+        const float* arow = a + kk * m;
+        const float* brow = b + kk * n;
+        for (int64_t i = 0; i < m; ++i) {
+          const float av = arow[i];
+          if (av == 0.0f) continue;
+          float* prow = pc + i * n;
+          for (int64_t j = 0; j < n; ++j) {
+            prow[j] += av * brow[j];
+          }
+        }
       }
     }
+  });
+  // Tree reduction: pair (ch, ch + stride) in a fixed pattern set by the
+  // chunk count alone, so the float summation order never varies.
+  for (int64_t stride = 1; stride < chunks; stride *= 2) {
+    const int64_t pairs = (chunks + 2 * stride - 1) / (2 * stride);
+    util::parallel_for(0, pairs, 1, [&](int64_t p0, int64_t p1) {
+      for (int64_t p = p0; p < p1; ++p) {
+        const int64_t dst = p * 2 * stride;
+        const int64_t src = dst + stride;
+        if (src >= chunks) continue;
+        float* d = partials.data() + dst * csize;
+        const float* s = partials.data() + src * csize;
+        for (int64_t e = 0; e < csize; ++e) d[e] += s[e];
+      }
+    });
   }
+  for (int64_t e = 0; e < csize; ++e) c[e] += partials[static_cast<size_t>(e)];
 }
 
 void gemm_a_bt_acc(const float* a, const float* b, float* c, int64_t m,
                    int64_t k, int64_t n) {
-  // B stored [n x k]: element B^T(kk, j) = b[j * k + kk].
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * brow[kk];
+  // B stored [n x k]: element B^T(kk, j) = b[j * k + kk]. Blocked with the
+  // shared extents so one A-panel plus the kBlockN B rows it dots against
+  // stay cache-resident; per (i, j) the k-blocks accumulate in ascending
+  // order regardless of the row partition (bit-identical at any pool size).
+  auto rows = [&](int64_t i0, int64_t i1) {
+    for (int64_t ib = i0; ib < i1; ib += kBlockM) {
+      const int64_t ie = std::min(ib + kBlockM, i1);
+      for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const int64_t k1 = std::min(k0 + kBlockK, k);
+        for (int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const int64_t j1 = std::min(j0 + kBlockN, n);
+          for (int64_t i = ib; i < ie; ++i) {
+            const float* arow = a + i * k;
+            float* crow = c + i * n;
+            for (int64_t j = j0; j < j1; ++j) {
+              const float* brow = b + j * k;
+              float acc = 0.0f;
+              for (int64_t kk = k0; kk < k1; ++kk) {
+                acc += arow[kk] * brow[kk];
+              }
+              crow[j] += acc;
+            }
+          }
+        }
       }
-      crow[j] += acc;
     }
+  };
+  if (2 * m * k * n < kParallelMinFlops) {
+    rows(0, m);
+    return;
   }
+  util::parallel_for(0, m, kBlockM, rows);
 }
 
 }  // namespace qsnc::nn

@@ -1,12 +1,31 @@
 #include "nn/layers/conv2d.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "nn/gemm.h"
 #include "nn/im2col.h"
 #include "nn/initializer.h"
+#include "util/thread_pool.h"
 
 namespace qsnc::nn {
+
+namespace {
+// Fixed chunk count for the backward weight/bias-gradient reduction. The
+// batch is split into this many contiguous chunks (fewer when the batch is
+// smaller), each accumulating into a private gradient buffer; the chunks
+// are then folded into the shared gradient in ascending order. Because the
+// chunking depends only on the batch size, gradients are bit-identical at
+// any thread count.
+constexpr int64_t kGradChunks = 8;
+
+// Per-thread im2col scratch, reused across images and layers so the batch
+// loop never allocates. im2col overwrites every entry (padding taps write
+// zeros), so stale contents cannot leak between images.
+thread_local std::vector<float> tl_cols;
+thread_local std::vector<float> tl_grad_cols;
+}  // namespace
 
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
                int64_t stride, int64_t pad, Rng& rng, bool use_bias)
@@ -41,23 +60,31 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   const int64_t out_hw = out_h * out_w;
 
   Tensor output({batch, out_channels_, out_h, out_w});
-  std::vector<float> cols(static_cast<size_t>(patch * out_hw));
 
-  for (int64_t n = 0; n < batch; ++n) {
-    const float* image = input.data() + n * in_channels_ * in_h * in_w;
-    im2col(image, in_channels_, in_h, in_w, kernel_, kernel_, stride_, pad_,
-           cols.data());
-    float* out = output.data() + n * out_channels_ * out_hw;
-    // out[OC, out_hw] = W[OC, patch] x cols[patch, out_hw]
-    gemm(weight_.value.data(), cols.data(), out, out_channels_, patch, out_hw);
-    if (use_bias_) {
-      for (int64_t oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_.value[oc];
-        float* row = out + oc * out_hw;
-        for (int64_t i = 0; i < out_hw; ++i) row[i] += b;
+  // Images are independent: partition the batch across the pool, one
+  // im2col scratch per thread. Inside a distributed chunk the gemm runs
+  // serially (nested parallelism executes inline); a single-image batch
+  // falls through as one chunk and lets the gemm itself fan out.
+  util::parallel_for(0, batch, 1, [&](int64_t n0, int64_t n1) {
+    std::vector<float>& cols = tl_cols;
+    cols.resize(static_cast<size_t>(patch * out_hw));
+    for (int64_t n = n0; n < n1; ++n) {
+      const float* image = input.data() + n * in_channels_ * in_h * in_w;
+      im2col(image, in_channels_, in_h, in_w, kernel_, kernel_, stride_, pad_,
+             cols.data());
+      float* out = output.data() + n * out_channels_ * out_hw;
+      // out[OC, out_hw] = W[OC, patch] x cols[patch, out_hw]
+      gemm(weight_.value.data(), cols.data(), out, out_channels_, patch,
+           out_hw);
+      if (use_bias_) {
+        for (int64_t oc = 0; oc < out_channels_; ++oc) {
+          const float b = bias_.value[oc];
+          float* row = out + oc * out_hw;
+          for (int64_t i = 0; i < out_hw; ++i) row[i] += b;
+        }
       }
     }
-  }
+  });
 
   if (train) input_cache_ = input;
   return output;
@@ -77,36 +104,70 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const int64_t out_hw = out_h * out_w;
 
   Tensor grad_input(input.shape());
-  std::vector<float> cols(static_cast<size_t>(patch * out_hw));
-  std::vector<float> grad_cols(static_cast<size_t>(patch * out_hw));
 
-  for (int64_t n = 0; n < batch; ++n) {
-    const float* image = input.data() + n * in_channels_ * in_h * in_w;
-    const float* gout = grad_output.data() + n * out_channels_ * out_hw;
+  // The batch is split into a shape-determined number of contiguous
+  // chunks; each accumulates dW/dBias into a private buffer (grad_input
+  // rows are disjoint per image and need none). Chunks then fold into the
+  // shared gradients in ascending order, so the result is bit-identical
+  // at any thread count.
+  const int64_t chunks = std::min<int64_t>(batch, kGradChunks);
+  const int64_t per_chunk = (batch + chunks - 1) / chunks;
+  const int64_t wsize = weight_.grad.numel();
+  std::vector<float> wpart(static_cast<size_t>(chunks * wsize), 0.0f);
+  std::vector<float> bpart(
+      use_bias_ ? static_cast<size_t>(chunks * out_channels_) : 0, 0.0f);
 
-    // dW += gout[OC, out_hw] x cols^T[out_hw, patch]
-    im2col(image, in_channels_, in_h, in_w, kernel_, kernel_, stride_, pad_,
-           cols.data());
-    gemm_a_bt_acc(gout, cols.data(), weight_.grad.data(), out_channels_,
-                  out_hw, patch);
+  util::parallel_for(0, chunks, 1, [&](int64_t c0, int64_t c1) {
+    std::vector<float>& cols = tl_cols;
+    std::vector<float>& grad_cols = tl_grad_cols;
+    cols.resize(static_cast<size_t>(patch * out_hw));
+    grad_cols.resize(static_cast<size_t>(patch * out_hw));
+    for (int64_t ch = c0; ch < c1; ++ch) {
+      float* wgrad = wpart.data() + ch * wsize;
+      float* bgrad = use_bias_ ? bpart.data() + ch * out_channels_ : nullptr;
+      const int64_t nb = ch * per_chunk;
+      const int64_t ne = std::min(nb + per_chunk, batch);
+      for (int64_t n = nb; n < ne; ++n) {
+        const float* image = input.data() + n * in_channels_ * in_h * in_w;
+        const float* gout = grad_output.data() + n * out_channels_ * out_hw;
 
-    // dBias += sum over spatial positions.
-    if (use_bias_) {
-      for (int64_t oc = 0; oc < out_channels_; ++oc) {
-        float acc = 0.0f;
-        const float* row = gout + oc * out_hw;
-        for (int64_t i = 0; i < out_hw; ++i) acc += row[i];
-        bias_.grad[oc] += acc;
+        // dW += gout[OC, out_hw] x cols^T[out_hw, patch]
+        im2col(image, in_channels_, in_h, in_w, kernel_, kernel_, stride_,
+               pad_, cols.data());
+        gemm_a_bt_acc(gout, cols.data(), wgrad, out_channels_, out_hw, patch);
+
+        // dBias += sum over spatial positions.
+        if (use_bias_) {
+          for (int64_t oc = 0; oc < out_channels_; ++oc) {
+            float acc = 0.0f;
+            const float* row = gout + oc * out_hw;
+            for (int64_t i = 0; i < out_hw; ++i) acc += row[i];
+            bgrad[oc] += acc;
+          }
+        }
+
+        // grad_cols[patch, out_hw] = W^T[patch, OC] x gout[OC, out_hw]
+        std::fill(grad_cols.begin(),
+                  grad_cols.begin() + static_cast<int64_t>(patch * out_hw),
+                  0.0f);
+        gemm_at_b_acc(weight_.value.data(), gout, grad_cols.data(), patch,
+                      out_channels_, out_hw);
+        float* gin = grad_input.data() + n * in_channels_ * in_h * in_w;
+        col2im(grad_cols.data(), in_channels_, in_h, in_w, kernel_, kernel_,
+               stride_, pad_, gin);
       }
     }
+  });
 
-    // grad_cols[patch, out_hw] = W^T[patch, OC] x gout[OC, out_hw]
-    std::fill(grad_cols.begin(), grad_cols.end(), 0.0f);
-    gemm_at_b_acc(weight_.value.data(), gout, grad_cols.data(), patch,
-                  out_channels_, out_hw);
-    float* gin = grad_input.data() + n * in_channels_ * in_h * in_w;
-    col2im(grad_cols.data(), in_channels_, in_h, in_w, kernel_, kernel_,
-           stride_, pad_, gin);
+  for (int64_t ch = 0; ch < chunks; ++ch) {
+    const float* wgrad = wpart.data() + ch * wsize;
+    for (int64_t e = 0; e < wsize; ++e) weight_.grad[e] += wgrad[e];
+    if (use_bias_) {
+      const float* bgrad = bpart.data() + ch * out_channels_;
+      for (int64_t oc = 0; oc < out_channels_; ++oc) {
+        bias_.grad[oc] += bgrad[oc];
+      }
+    }
   }
   return grad_input;
 }

@@ -1,11 +1,21 @@
 #include "nn/layers/dropout.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace qsnc::nn {
 
+namespace {
+// Elements per RNG stream. Fixed (never derived from the pool size) so the
+// chunk → stream mapping, and therefore the mask, is thread-count
+// invariant.
+constexpr int64_t kChunk = 4096;
+}  // namespace
+
 Dropout::Dropout(float rate, uint64_t seed)
-    : rate_(rate), keep_scale_(1.0f / (1.0f - rate)), rng_(seed) {
+    : rate_(rate), keep_scale_(1.0f / (1.0f - rate)), seed_(seed) {
   if (rate < 0.0f || rate >= 1.0f) {
     throw std::invalid_argument("Dropout: rate must be in [0, 1)");
   }
@@ -18,11 +28,21 @@ Tensor Dropout::forward(const Tensor& input, bool train) {
   }
   mask_ = Tensor(input.shape());
   Tensor output(input.shape());
-  for (int64_t i = 0; i < input.numel(); ++i) {
-    const bool keep = !rng_.bernoulli(rate_);
-    mask_[i] = keep ? keep_scale_ : 0.0f;
-    output[i] = input[i] * mask_[i];
-  }
+  const int64_t numel = input.numel();
+  const int64_t chunks = (numel + kChunk - 1) / kChunk;
+  const uint64_t round_seed = Rng::stream_seed(seed_, ++round_);
+  util::parallel_for(0, chunks, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t ch = c0; ch < c1; ++ch) {
+      Rng rng = Rng::stream(round_seed, static_cast<uint64_t>(ch));
+      const int64_t e0 = ch * kChunk;
+      const int64_t e1 = std::min(e0 + kChunk, numel);
+      for (int64_t i = e0; i < e1; ++i) {
+        const bool keep = !rng.bernoulli(rate_);
+        mask_[i] = keep ? keep_scale_ : 0.0f;
+        output[i] = input[i] * mask_[i];
+      }
+    }
+  });
   return output;
 }
 

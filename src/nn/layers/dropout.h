@@ -2,6 +2,11 @@
 // The AlexNet lineage the paper's Table 1 models descend from regularizes
 // its FC head this way; included for substrate completeness and used by
 // the extended model-zoo variants.
+//
+// Mask generation draws from per-chunk RNG streams derived from
+// (seed, forward-pass counter, chunk index) — see Rng::stream_seed — so the
+// chunks can run on the thread pool and the mask is identical at any
+// thread count, and across runs at equal seeds.
 #pragma once
 
 #include "nn/layer.h"
@@ -24,7 +29,8 @@ class Dropout : public Layer {
  private:
   float rate_;
   float keep_scale_;
-  Rng rng_;
+  uint64_t seed_;
+  uint64_t round_ = 0;  // training forward passes seen, keys the streams
   Tensor mask_;
 };
 

@@ -40,11 +40,20 @@ LossResult softmax_cross_entropy(const Tensor& logits,
       throw std::out_of_range("softmax_cross_entropy: label out of range");
     }
     const float* row = logits.data() + i * k;
-    const std::vector<float> p = softmax(row, k);
-    loss_acc += -std::log(std::max(p[static_cast<size_t>(y)], 1e-12f));
+    // Loss in log-space: -log p[y] = log(sum_j exp(l_j - m)) + m - l_y.
+    // Going through the probability (then clamping it away from 0) would
+    // saturate the loss at -log(eps) and break its linearity in the margin
+    // for confident wrong predictions.
     float* grow = result.grad.data() + i * k;
+    const float m = *std::max_element(row, row + k);
+    float z = 0.0f;
     for (int64_t j = 0; j < k; ++j) {
-      grow[j] = (p[static_cast<size_t>(j)] - (j == y ? 1.0f : 0.0f)) * inv_n;
+      grow[j] = std::exp(row[j] - m);
+      z += grow[j];
+    }
+    loss_acc += static_cast<double>(std::log(z) + m - row[y]);
+    for (int64_t j = 0; j < k; ++j) {
+      grow[j] = (grow[j] / z - (j == y ? 1.0f : 0.0f)) * inv_n;
     }
   }
   result.loss = static_cast<float>(loss_acc * inv_n);

@@ -25,4 +25,14 @@ bool Rng::bernoulli(double p) {
   return d(engine_);
 }
 
+uint64_t Rng::stream_seed(uint64_t master_seed, uint64_t stream_id) {
+  // SplitMix64 finalizer over master + golden-ratio-spaced stream offsets:
+  // adjacent stream ids land far apart in the mt19937_64 seed space, so
+  // streams behave as independent generators.
+  uint64_t z = master_seed + (stream_id + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace qsnc::nn

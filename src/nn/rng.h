@@ -28,6 +28,18 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool bernoulli(double p);
 
+  /// SplitMix64-mixed seed for stream `stream_id` of a master seed.
+  /// Parallel components (dropout mask chunks, per-worker generators)
+  /// derive one statistically independent stream per work unit instead of
+  /// sharing an engine, so draws are race-free and reproducible regardless
+  /// of thread count or execution order.
+  static uint64_t stream_seed(uint64_t master_seed, uint64_t stream_id);
+
+  /// Convenience: an Rng seeded with stream_seed(master_seed, stream_id).
+  static Rng stream(uint64_t master_seed, uint64_t stream_id) {
+    return Rng(stream_seed(master_seed, stream_id));
+  }
+
   /// Underlying engine (for std::shuffle and distributions).
   std::mt19937_64& engine() { return engine_; }
 

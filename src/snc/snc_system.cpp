@@ -14,6 +14,7 @@
 #include "nn/layers/batchnorm.h"
 #include "nn/layers/relu.h"
 #include "nn/layers/residual.h"
+#include "util/thread_pool.h"
 
 namespace qsnc::snc {
 
@@ -291,10 +292,17 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
 
   std::vector<int64_t> output(
       static_cast<size_t>(stage.out_c * positions), 0);
-  std::vector<double> volts(static_cast<size_t>(rows));
-  std::vector<int64_t> field(static_cast<size_t>(rows));
 
-  for (int64_t pos = 0; pos < positions; ++pos) {
+  // Each position is one independent crossbar evaluation of the Eq-1
+  // mapped layer: crossbar state is read-only during inference and every
+  // position writes its own output stride, so positions fan out across
+  // the thread pool. Two cases must stay serial: stochastic coding (draws
+  // from the shared rng_ stream in position order) and the final analog
+  // readout (positions overwrite the shared readout register).
+  auto run_positions = [&](int64_t p0, int64_t p1) {
+    std::vector<double> volts(static_cast<size_t>(rows));
+    std::vector<int64_t> field(static_cast<size_t>(rows));
+    for (int64_t pos = p0; pos < p1; ++pos) {
     // Gather the integer receptive field (im2col order: c, ky, kx).
     if (is_conv) {
       const int64_t oy = pos / stage.out_w;
@@ -419,6 +427,12 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
         output[static_cast<size_t>(col * positions + pos)] = count;
       }
     }
+    }
+  };
+  if (!config_.stochastic_coding && !stage.final_readout) {
+    util::parallel_for(0, positions, 0, run_positions);
+  } else {
+    run_positions(0, positions);
   }
 
   if (stats != nullptr) {

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace qsnc::snc {
 
 namespace {
@@ -81,6 +83,21 @@ TimingResult simulate_window(int64_t layers, int64_t window_slots,
   result.utilization =
       busy / (result.period_ns * static_cast<double>(layers));
   return result;
+}
+
+std::vector<TimingResult> simulate_windows(
+    const std::vector<WindowSpec>& specs) {
+  std::vector<TimingResult> results(specs.size());
+  util::parallel_for(
+      0, static_cast<int64_t>(specs.size()), 1,
+      [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s) {
+          const WindowSpec& spec = specs[static_cast<size_t>(s)];
+          results[static_cast<size_t>(s)] =
+              simulate_window(spec.layers, spec.window_slots, spec.config);
+        }
+      });
+  return results;
 }
 
 }  // namespace qsnc::snc

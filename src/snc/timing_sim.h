@@ -45,4 +45,19 @@ struct TimingResult {
 TimingResult simulate_window(int64_t layers, int64_t window_slots,
                              const TimingConfig& config = {});
 
+/// One independent window simulation in a batch (e.g. a per-crossbar or
+/// per-model sweep point).
+struct WindowSpec {
+  int64_t layers = 1;
+  int64_t window_slots = 1;
+  TimingConfig config;
+};
+
+/// Simulates a batch of independent windows on the thread pool. A single
+/// window's event schedule is inherently sequential (each event's start
+/// time depends on its predecessors), but crossbars/windows are mutually
+/// independent under the Eq-1 mapping, so sweeps parallelize across specs.
+/// results[i] is bit-identical to simulate_window(specs[i]) run serially.
+std::vector<TimingResult> simulate_windows(const std::vector<WindowSpec>& specs);
+
 }  // namespace qsnc::snc

@@ -1,0 +1,227 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qsnc::util {
+
+namespace {
+// Depth of parallel_for tasks running on this thread; nested calls at
+// depth > 0 execute inline so a task can never block on the pool it
+// occupies (deadlock freedom).
+thread_local int tl_depth = 0;
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One fork-join invocation. Tasks reference the job; the job outlives
+  // them because parallel_for does not return until remaining hits zero.
+  struct Job {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::atomic<int64_t> remaining{0};
+    std::mutex mu;                 // guards error, pairs with done
+    std::condition_variable done;  // signalled when remaining drops to 0
+    std::exception_ptr error;
+  };
+
+  struct Task {
+    int64_t begin = 0;
+    int64_t end = 0;
+    Job* job = nullptr;
+  };
+
+  // Per-worker deque: the owner pops from the front, thieves (including
+  // the submitting caller) pop from the back.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::vector<std::thread> workers;
+  std::mutex wake_mu;            // guards pending + stop
+  std::condition_variable wake_cv;
+  int64_t pending = 0;           // tasks sitting in deques
+  bool stop = false;
+  std::atomic<uint64_t> deal_cursor{0};  // round-robin push start
+
+  static void run_task(const Task& task) {
+    ++tl_depth;
+    try {
+      (*task.job->fn)(task.begin, task.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(task.job->mu);
+      if (!task.job->error) task.job->error = std::current_exception();
+    }
+    --tl_depth;
+    if (task.job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(task.job->mu);
+      task.job->done.notify_all();
+    }
+  }
+
+  // Pops one task, preferring queue `home` (front) and stealing from the
+  // others (back). Returns false when every deque is empty.
+  bool take_task(size_t home, Task* out) {
+    const size_t n = queues.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t q = (home + i) % n;
+      WorkerQueue& wq = *queues[q];
+      std::lock_guard<std::mutex> lk(wq.mu);
+      if (wq.tasks.empty()) continue;
+      if (i == 0) {
+        *out = wq.tasks.front();
+        wq.tasks.pop_front();
+      } else {
+        *out = wq.tasks.back();
+        wq.tasks.pop_back();
+      }
+      {
+        std::lock_guard<std::mutex> wlk(wake_mu);
+        --pending;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void worker_loop(size_t index) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(wake_mu);
+        wake_cv.wait(lk, [&] { return stop || pending > 0; });
+        if (stop) return;
+      }
+      Task task;
+      if (take_task(index, &task)) run_task(task);
+    }
+  }
+
+  explicit Impl(int worker_count) {
+    queues.reserve(static_cast<size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i) {
+      queues.push_back(std::make_unique<WorkerQueue>());
+    }
+    workers.reserve(static_cast<size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i) {
+      workers.emplace_back([this, i] { worker_loop(static_cast<size_t>(i)); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(wake_mu);
+      stop = true;
+    }
+    wake_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+};
+
+ThreadPool::ThreadPool(int threads) {
+  threads_ = std::clamp(threads, 1, 512);
+  impl_ = new Impl(threads_ - 1);
+}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+int ThreadPool::default_threads() {
+  if (const char* env = std::getenv("QSNC_THREADS")) {
+    char* tail = nullptr;
+    const long v = std::strtol(env, &tail, 10);
+    if (tail != env && *tail == '\0' && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 512));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::in_parallel_region() { return tl_depth > 0; }
+
+void ThreadPool::set_threads(int n) {
+  n = std::clamp(n, 1, 512);
+  if (n == threads_) return;
+  delete impl_;
+  threads_ = n;
+  impl_ = new Impl(threads_ - 1);
+}
+
+void ThreadPool::parallel_for(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  if (threads_ <= 1 || tl_depth > 0) {
+    // Serial / nested fallback: the whole range as one chunk is a valid
+    // partition under the determinism contract.
+    fn(begin, end);
+    return;
+  }
+  int64_t g = grain;
+  if (g <= 0) {
+    // Auto grain: ~8 chunks per thread. Only safe for kernels whose chunks
+    // write disjoint outputs (boundaries depend on the pool size).
+    g = std::max<int64_t>(
+        1, (end - begin + threads_ * 8 - 1) / (threads_ * 8));
+  }
+  if (end - begin <= g) {
+    fn(begin, end);
+    return;
+  }
+
+  Impl::Job job;
+  job.fn = &fn;
+  const int64_t chunks = (end - begin + g - 1) / g;
+  job.remaining.store(chunks, std::memory_order_relaxed);
+
+  const size_t nq = impl_->queues.size();
+  size_t q = static_cast<size_t>(
+      impl_->deal_cursor.fetch_add(1, std::memory_order_relaxed) % nq);
+  for (int64_t b = begin; b < end; b += g) {
+    const Impl::Task task{b, std::min(b + g, end), &job};
+    {
+      std::lock_guard<std::mutex> lk(impl_->queues[q]->mu);
+      impl_->queues[q]->tasks.push_back(task);
+    }
+    q = (q + 1) % nq;
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->wake_mu);
+    impl_->pending += chunks;
+  }
+  impl_->wake_cv.notify_all();
+
+  // The caller works alongside the pool until the deques drain, then
+  // parks until in-flight tasks (on workers) retire.
+  Impl::Task task;
+  while (impl_->take_task(0, &task)) Impl::run_task(task);
+  {
+    std::unique_lock<std::mutex> lk(job.mu);
+    job.done.wait(lk, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0;
+    });
+    if (job.error) std::rethrow_exception(job.error);
+  }
+}
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+int num_threads() { return ThreadPool::instance().threads(); }
+
+void set_num_threads(int n) { ThreadPool::instance().set_threads(n); }
+
+}  // namespace qsnc::util

@@ -9,6 +9,9 @@
 //               (spike-level SNC inference; weights must be on the grid)
 //   qsnc cost   --model M [--signal-bits M] [--weight-bits N] [--crossbar t]
 //
+// Every command accepts --threads N to size the thread pool (overrides the
+// QSNC_THREADS environment variable; default: hardware concurrency).
+//
 // Models train/evaluate on the built-in synthetic datasets (set
 // QSNC_MNIST_DIR / QSNC_CIFAR_DIR for the real ones, as in the benches).
 #include <cstdio>
@@ -29,6 +32,7 @@
 #include "snc/cost_model.h"
 #include "snc/snc_system.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 using namespace qsnc;
 
@@ -279,6 +283,8 @@ int cmd_cost(const util::Flags& flags) {
 int main(int argc, char** argv) {
   try {
     const util::Flags flags(argc, argv);
+    const int64_t threads = flags.get_int("threads", 0);
+    if (threads > 0) util::set_num_threads(static_cast<int>(threads));
     if (flags.positional().empty()) {
       std::fprintf(stderr,
                    "usage: qsnc <train|quantize|eval|deploy|cost> [flags]\n"
