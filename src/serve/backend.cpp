@@ -1,0 +1,119 @@
+#include "serve/backend.h"
+
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace qsnc::serve {
+
+int64_t check_batch_shape(const nn::Tensor& batch, const nn::Shape& chw) {
+  const nn::Shape& s = batch.shape();
+  if (s.size() != 4 || s[1] != chw[0] || s[2] != chw[1] || s[3] != chw[2]) {
+    throw std::invalid_argument(
+        "Backend: batch shape " + nn::shape_to_string(s) +
+        " does not match expected [N, " + std::to_string(chw[0]) + ", " +
+        std::to_string(chw[1]) + ", " + std::to_string(chw[2]) + "]");
+  }
+  return s[0];
+}
+
+// ---------------------------------------------------------------------------
+// Fp32Backend
+// ---------------------------------------------------------------------------
+
+Fp32Backend::Fp32Backend(nn::Network& net, nn::Shape input_chw,
+                         float input_scale)
+    : net_(net), input_chw_(std::move(input_chw)),
+      input_scale_(input_scale) {}
+
+std::vector<int64_t> Fp32Backend::infer_batch(const nn::Tensor& batch) {
+  check_batch_shape(batch, input_chw_);
+  nn::Tensor scaled = batch;
+  if (input_scale_ != 1.0f) scaled *= input_scale_;
+  return net_.predict(scaled);
+}
+
+// ---------------------------------------------------------------------------
+// QuantBackend
+// ---------------------------------------------------------------------------
+
+QuantBackend::QuantBackend(nn::Network& net, nn::Shape input_chw, int bits)
+    : net_(net), input_chw_(std::move(input_chw)), bits_(bits),
+      input_scale_(std::min(
+          16.0f, static_cast<float>(core::signal_max(bits)))),
+      quantizer_(std::make_unique<core::IntegerSignalQuantizer>(bits)) {
+  net_.set_signal_quantizer(quantizer_.get());
+}
+
+QuantBackend::~QuantBackend() { net_.set_signal_quantizer(nullptr); }
+
+std::vector<int64_t> QuantBackend::infer_batch(const nn::Tensor& batch) {
+  check_batch_shape(batch, input_chw_);
+  nn::Tensor encoded = batch;
+  encoded *= input_scale_;
+  for (int64_t i = 0; i < encoded.numel(); ++i) {
+    encoded[i] = core::quantize_input_signal(encoded[i], bits_);
+  }
+  return net_.predict(encoded);
+}
+
+// ---------------------------------------------------------------------------
+// SncBackend
+// ---------------------------------------------------------------------------
+
+SncBackend::SncBackend(nn::Network& net, nn::Shape input_chw,
+                       const snc::SncConfig& config, int replicas)
+    : input_chw_(std::move(input_chw)) {
+  int n = replicas > 0 ? replicas : util::num_threads();
+  if (n < 1) n = 1;
+  replicas_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Same network, same config (including the seed): every replica's
+    // programmed conductances are identical, so which replica serves an
+    // image never changes the prediction.
+    replicas_.push_back(
+        std::make_unique<snc::SncSystem>(net, input_chw_, config));
+    free_.push_back(replicas_.back().get());
+  }
+}
+
+snc::SncSystem* SncBackend::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !free_.empty(); });
+  snc::SncSystem* system = free_.back();
+  free_.pop_back();
+  return system;
+}
+
+void SncBackend::release(snc::SncSystem* system) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(system);
+  }
+  cv_.notify_one();
+}
+
+std::vector<int64_t> SncBackend::infer_batch(const nn::Tensor& batch) {
+  const int64_t n = check_batch_shape(batch, input_chw_);
+  const int64_t image_numel =
+      input_chw_[0] * input_chw_[1] * input_chw_[2];
+  std::vector<int64_t> predictions(static_cast<size_t>(n), -1);
+  util::parallel_for(0, n, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      nn::Tensor image(input_chw_);
+      const float* src = batch.data() + i * image_numel;
+      std::copy(src, src + image_numel, image.data());
+      snc::SncSystem* system = acquire();
+      try {
+        predictions[static_cast<size_t>(i)] = system->infer(image);
+      } catch (...) {
+        release(system);
+        throw;
+      }
+      release(system);
+    }
+  });
+  return predictions;
+}
+
+}  // namespace qsnc::serve

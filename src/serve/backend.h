@@ -1,0 +1,127 @@
+// Pluggable inference backends for the serving runtime.
+//
+// A Backend answers one question — "class predictions for this image
+// batch" — behind which the three execution paths of the reproduction sit:
+//
+//  * fp32  — plain float Network::forward at the training input scale.
+//  * quant — the paper's deployed M-bit path: inputs are encoded like the
+//            SNC input encoder would (scale, round, clamp) and inter-layer
+//            signals run through the attached IntegerSignalQuantizer.
+//  * snc   — full spike-level execution on SncSystem. infer() is per-image
+//            and stateful, so the backend keeps a pool of identically
+//            programmed replica systems and fans a batch out over the
+//            process thread pool, one replica per in-flight image.
+//
+// Contracts: infer_batch takes [N, C, H, W] pixels in [0, 1] and returns N
+// predictions in order. A Backend instance is driven by one batcher thread
+// at a time (the MicroBatcher is its only caller); it may parallelize
+// internally. Backends never mutate their Network between calls, so
+// results are deterministic for a given checkpoint.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fixed_point.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "snc/snc_system.h"
+
+namespace qsnc::serve {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Backend kind name ("fp32" | "quant" | "snc"), for reports.
+  virtual const std::string& kind() const = 0;
+
+  /// Per-image input shape [C, H, W] this backend expects.
+  virtual const nn::Shape& input_shape() const = 0;
+
+  /// Class predictions for a [N, C, H, W] batch with pixels in [0, 1].
+  /// Throws std::invalid_argument on a shape mismatch.
+  virtual std::vector<int64_t> infer_batch(const nn::Tensor& batch) = 0;
+};
+
+/// Float forward pass at a fixed input scale (the signal-unit convention —
+/// see core/qat_pipeline.h).
+class Fp32Backend final : public Backend {
+ public:
+  Fp32Backend(nn::Network& net, nn::Shape input_chw,
+              float input_scale = 16.0f);
+
+  const std::string& kind() const override { return kind_; }
+  const nn::Shape& input_shape() const override { return input_chw_; }
+  std::vector<int64_t> infer_batch(const nn::Tensor& batch) override;
+
+ private:
+  std::string kind_ = "fp32";
+  nn::Network& net_;
+  nn::Shape input_chw_;
+  float input_scale_;
+};
+
+/// Fake-quant integer path: attaches an M-bit IntegerSignalQuantizer to
+/// the network for its lifetime and encodes inputs to the same grid.
+/// Matches `qsnc eval --bits M` / core::evaluate_accuracy(..., bits).
+class QuantBackend final : public Backend {
+ public:
+  QuantBackend(nn::Network& net, nn::Shape input_chw, int bits);
+  ~QuantBackend() override;
+
+  const std::string& kind() const override { return kind_; }
+  const nn::Shape& input_shape() const override { return input_chw_; }
+  std::vector<int64_t> infer_batch(const nn::Tensor& batch) override;
+
+  int bits() const { return bits_; }
+
+ private:
+  std::string kind_ = "quant";
+  nn::Network& net_;
+  nn::Shape input_chw_;
+  int bits_;
+  float input_scale_;
+  std::unique_ptr<core::IntegerSignalQuantizer> quantizer_;
+};
+
+/// Spike-level execution on a pool of identically programmed SncSystem
+/// replicas. Single-image inferences fan out over util::parallel_for; each
+/// in-flight image checks a replica out of a free list (blocking until one
+/// frees when the pool is oversubscribed — never deadlocks, since every
+/// checkout is returned at the end of its chunk).
+class SncBackend final : public Backend {
+ public:
+  /// Builds `replicas` systems programmed from `net` (replicas <= 0 picks
+  /// the thread-pool size). `net` must already be BN-folded and weight-
+  /// clustered per `config` (see ModelRegistry, which prepares it).
+  SncBackend(nn::Network& net, nn::Shape input_chw,
+             const snc::SncConfig& config, int replicas = 0);
+
+  const std::string& kind() const override { return kind_; }
+  const nn::Shape& input_shape() const override { return input_chw_; }
+  std::vector<int64_t> infer_batch(const nn::Tensor& batch) override;
+
+  size_t replica_count() const { return replicas_.size(); }
+
+ private:
+  snc::SncSystem* acquire();
+  void release(snc::SncSystem* system);
+
+  std::string kind_ = "snc";
+  nn::Shape input_chw_;
+  std::vector<std::unique_ptr<snc::SncSystem>> replicas_;
+  std::vector<snc::SncSystem*> free_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Throws std::invalid_argument unless `batch` is [N, C, H, W] matching
+/// the per-image shape. Returns N.
+int64_t check_batch_shape(const nn::Tensor& batch, const nn::Shape& chw);
+
+}  // namespace qsnc::serve

@@ -1,0 +1,141 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "report/table.h"
+
+namespace qsnc::serve {
+
+LatencyHistogram::LatencyHistogram() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+}
+
+int LatencyHistogram::bucket_of(uint64_t micros) {
+  // Bucket i holds samples in [2^i, 2^{i+1}) us; bucket 0 also takes 0.
+  int b = 0;
+  while (micros > 1 && b < kBuckets - 1) {
+    micros >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void LatencyHistogram::record(uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[bucket_of(micros)];
+  ++count_;
+  max_us_ = std::max(max_us_, micros);
+  sum_us_ += static_cast<double>(micros);
+}
+
+uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t LatencyHistogram::max_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_us_;
+}
+
+double LatencyHistogram::mean_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_us_ / static_cast<double>(count_) : 0.0;
+}
+
+uint64_t LatencyHistogram::percentile_us(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const uint64_t before = seen;
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= target) {
+      // Linear interpolation inside [lo, hi) by rank; clamp to max_us_ so
+      // the top bucket does not report far beyond any observed sample.
+      const uint64_t lo = b == 0 ? 0 : (uint64_t{1} << b);
+      const uint64_t hi = uint64_t{1} << (b + 1);
+      const double frac =
+          (target - static_cast<double>(before)) /
+          static_cast<double>(buckets_[b]);
+      const uint64_t v =
+          lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+      return std::min(v, max_us_);
+    }
+  }
+  return max_us_;
+}
+
+void ModelMetrics::on_complete(uint64_t latency_us) {
+  latency_.record(latency_us);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  const Clock::time_point now = Clock::now();
+  if (!saw_first_) {
+    saw_first_ = true;
+    first_ = now;
+  }
+  last_ = now;
+}
+
+void ModelMetrics::on_reject() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ModelMetrics::on_error() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++errors_;
+}
+
+void ModelMetrics::on_batch(size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  (void)batch_size;
+}
+
+ModelStatsSnapshot ModelMetrics::snapshot() const {
+  ModelStatsSnapshot s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.errors = errors_;
+    s.batches = batches_;
+    s.mean_batch = batches_ > 0 ? static_cast<double>(completed_) /
+                                      static_cast<double>(batches_)
+                                : 0.0;
+    if (saw_first_ && last_ > first_) {
+      const double secs =
+          std::chrono::duration<double>(last_ - first_).count();
+      s.qps = secs > 0.0 ? static_cast<double>(completed_) / secs : 0.0;
+    }
+  }
+  s.p50_us = latency_.percentile_us(50.0);
+  s.p95_us = latency_.percentile_us(95.0);
+  s.p99_us = latency_.percentile_us(99.0);
+  s.max_us = latency_.max_us();
+  s.mean_us = latency_.mean_us();
+  return s;
+}
+
+std::string render_stats(const std::vector<ModelStatsSnapshot>& stats) {
+  report::Table t({"model", "backend", "ok", "rej", "err", "batches",
+                   "avg batch", "QPS", "p50 us", "p95 us", "p99 us",
+                   "max us", "queue"});
+  for (const ModelStatsSnapshot& s : stats) {
+    t.add_row({s.model, s.backend, std::to_string(s.completed),
+               std::to_string(s.rejected), std::to_string(s.errors),
+               std::to_string(s.batches), report::fmt(s.mean_batch, 2),
+               report::fmt(s.qps, 1), std::to_string(s.p50_us),
+               std::to_string(s.p95_us), std::to_string(s.p99_us),
+               std::to_string(s.max_us), std::to_string(s.queue_depth)});
+  }
+  return t.to_string();
+}
+
+}  // namespace qsnc::serve

@@ -1,0 +1,198 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace qsnc::serve {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+MicroBatcher::MicroBatcher(Backend& backend, const BatchOptions& options)
+    : backend_(backend), options_(options),
+      ema_batch_us_(static_cast<uint64_t>(
+          std::max<int64_t>(options.batch_timeout_us, 1))) {
+  if (options_.max_batch < 1 || options_.queue_capacity < 1 ||
+      options_.batch_timeout_us < 0) {
+    throw std::invalid_argument(
+        "MicroBatcher: max_batch and queue_capacity must be >= 1, "
+        "batch_timeout_us >= 0");
+  }
+  worker_ = std::thread([this] { loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { drain(); }
+
+uint64_t MicroBatcher::retry_hint_us(size_t depth) const {
+  // Time to drain `depth` queued requests at the observed batch cadence,
+  // plus one batch window for the retry itself.
+  const uint64_t batches_ahead =
+      depth / static_cast<size_t>(options_.max_batch) + 1;
+  return batches_ahead * ema_batch_us_.load(std::memory_order_relaxed) +
+         static_cast<uint64_t>(options_.batch_timeout_us);
+}
+
+std::future<Response> MicroBatcher::submit(nn::Tensor image) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+
+  const nn::Shape& chw = backend_.input_shape();
+  if (image.shape() != chw) {
+    metrics_.on_error();
+    Response r;
+    r.status = Status::kError;
+    r.error = "image shape " + nn::shape_to_string(image.shape()) +
+              " does not match model input " + nn::shape_to_string(chw);
+    promise.set_value(std::move(r));
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      Response r;
+      r.status = Status::kShutdown;
+      r.error = "server draining";
+      promise.set_value(std::move(r));
+      return future;
+    }
+    if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+      metrics_.on_reject();
+      Response r;
+      r.status = Status::kRejected;
+      r.retry_after_us = retry_hint_us(queue_.size());
+      r.error = "queue full";
+      promise.set_value(std::move(r));
+      return future;
+    }
+    Pending p;
+    p.image = std::move(image);
+    p.promise = std::move(promise);
+    p.enqueued = Clock::now();
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void MicroBatcher::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Batch window: wait for more requests up to the deadline, unless the
+    // batch fills or the server starts draining (then flush immediately).
+    if (static_cast<int>(queue_.size()) < options_.max_batch &&
+        !stopping_ && options_.batch_timeout_us > 0) {
+      const Clock::time_point deadline =
+          Clock::now() + std::chrono::microseconds(options_.batch_timeout_us);
+      cv_.wait_until(lock, deadline, [&] {
+        return stopping_ ||
+               static_cast<int>(queue_.size()) >= options_.max_batch;
+      });
+    }
+    std::vector<Pending> batch;
+    const size_t take =
+        std::min(queue_.size(), static_cast<size_t>(options_.max_batch));
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    execute(batch);
+    lock.lock();
+  }
+}
+
+void MicroBatcher::execute(std::vector<Pending>& batch) {
+  const Clock::time_point started = Clock::now();
+  const size_t n = batch.size();
+  const nn::Shape& chw = backend_.input_shape();
+  const int64_t image_numel = chw[0] * chw[1] * chw[2];
+
+  nn::Tensor batched(
+      {static_cast<int64_t>(n), chw[0], chw[1], chw[2]});
+  for (size_t i = 0; i < n; ++i) {
+    const nn::Tensor& img = batch[i].image;
+    std::copy(img.data(), img.data() + image_numel,
+              batched.data() + static_cast<int64_t>(i) * image_numel);
+  }
+
+  metrics_.on_batch(n);
+  std::vector<int64_t> predictions;
+  std::string error;
+  try {
+    predictions = backend_.infer_batch(batched);
+    if (predictions.size() != n) {
+      error = "backend returned " + std::to_string(predictions.size()) +
+              " predictions for a batch of " + std::to_string(n);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  const Clock::time_point done = Clock::now();
+  const uint64_t batch_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(done - started)
+          .count());
+  // EMA with alpha = 1/4: smooth enough for a retry hint, adapts in a few
+  // batches after a load shift.
+  const uint64_t prev = ema_batch_us_.load(std::memory_order_relaxed);
+  ema_batch_us_.store(prev - prev / 4 + batch_us / 4,
+                      std::memory_order_relaxed);
+
+  for (size_t i = 0; i < n; ++i) {
+    Response r;
+    if (error.empty()) {
+      r.status = Status::kOk;
+      r.prediction = predictions[i];
+      r.latency_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              done - batch[i].enqueued)
+              .count());
+      r.batch_size = static_cast<uint32_t>(n);
+      metrics_.on_complete(r.latency_us);
+    } else {
+      r.status = Status::kError;
+      r.error = error;
+      r.batch_size = static_cast<uint32_t>(n);
+      metrics_.on_error();
+    }
+    batch[i].promise.set_value(std::move(r));
+  }
+}
+
+void MicroBatcher::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (worker_.joinable()) worker_.join();
+}
+
+size_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ModelStatsSnapshot MicroBatcher::stats() const {
+  ModelStatsSnapshot s = metrics_.snapshot();
+  s.backend = backend_.kind();
+  s.queue_depth = queue_depth();
+  return s;
+}
+
+}  // namespace qsnc::serve

@@ -1,0 +1,119 @@
+// Dynamic micro-batching over a bounded request queue.
+//
+// Producers (socket connection handlers, in-process clients, load
+// generators) submit single images; one batcher thread per model coalesces
+// them into backend calls:
+//
+//   submit() --> [bounded queue] --> batcher thread --> Backend::infer_batch
+//
+// Coalescing rule: once the queue is non-empty the batcher opens a batch
+// window; it closes when either `max_batch` requests are collected or
+// `batch_timeout_us` has elapsed since the window opened, whichever comes
+// first. An idle server therefore adds at most one timeout of latency to a
+// lone request, and a busy one amortizes the full per-batch fixed costs
+// across max_batch requests.
+//
+// Backpressure: the queue is bounded at `queue_capacity`. When full,
+// submit() NEVER blocks — it completes the request immediately with
+// Status::kRejected and a retry_after_us hint derived from the observed
+// batch latency and current depth. Callers (the socket server, loadgen)
+// surface the hint to clients.
+//
+// Shutdown: drain() stops admission (further submits complete with
+// kShutdown), processes every request already accepted, then joins the
+// batcher thread — zero accepted requests are ever dropped. The destructor
+// drains implicitly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "serve/backend.h"
+#include "serve/metrics.h"
+
+namespace qsnc::serve {
+
+struct BatchOptions {
+  int max_batch = 8;
+  int64_t batch_timeout_us = 2000;
+  int queue_capacity = 256;
+};
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kRejected = 1,  // bounded queue full; retry after retry_after_us
+  kShutdown = 2,  // server draining; request was not accepted
+  kError = 3,     // bad shape, unknown model, or backend failure
+};
+
+const char* status_name(Status status);
+
+struct Response {
+  Status status = Status::kError;
+  int64_t prediction = -1;
+  uint64_t latency_us = 0;     // enqueue -> completion (kOk only)
+  uint64_t retry_after_us = 0; // backpressure hint (kRejected only)
+  uint32_t batch_size = 0;     // size of the batch this request rode in
+  std::string error;           // human-readable detail (kError only)
+};
+
+class MicroBatcher {
+ public:
+  /// Starts the batcher thread. `backend` must outlive the batcher and is
+  /// called only from that thread.
+  MicroBatcher(Backend& backend, const BatchOptions& options);
+  ~MicroBatcher();  // drains
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one [C, H, W] image. Never blocks: the returned future is
+  /// resolved by the batcher thread (kOk / kError), or immediately on
+  /// rejection (kRejected / kShutdown / shape kError).
+  std::future<Response> submit(nn::Tensor image);
+
+  /// Stops admission, completes all accepted requests, joins the thread.
+  /// Idempotent.
+  void drain();
+
+  size_t queue_depth() const;
+  const BatchOptions& options() const { return options_; }
+
+  /// Counters + latency percentiles; queue_depth is filled in.
+  ModelStatsSnapshot stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    nn::Tensor image;
+    std::promise<Response> promise;
+    Clock::time_point enqueued;
+  };
+
+  void loop();
+  void execute(std::vector<Pending>& batch);
+  uint64_t retry_hint_us(size_t depth) const;
+
+  Backend& backend_;
+  BatchOptions options_;
+  ModelMetrics metrics_;
+  std::atomic<uint64_t> ema_batch_us_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::mutex join_mu_;  // serializes concurrent drain() calls
+  std::thread worker_;
+};
+
+}  // namespace qsnc::serve

@@ -1,0 +1,158 @@
+#include "serve/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/bn_folding.h"
+#include "core/weight_clustering.h"
+#include "models/model_zoo.h"
+#include "nn/rng.h"
+#include "nn/serialize.h"
+
+namespace qsnc::serve {
+
+namespace {
+
+struct Architecture {
+  nn::Network (*factory)(nn::Rng&);
+  nn::Shape input_chw;
+};
+
+Architecture resolve_architecture(const std::string& name) {
+  if (name == "lenet") return {models::make_lenet, {1, 28, 28}};
+  if (name == "lenet-mini") return {models::make_lenet_mini, {1, 28, 28}};
+  if (name == "alexnet") return {models::make_alexnet, {3, 32, 32}};
+  if (name == "alexnet-mini") {
+    return {models::make_alexnet_mini, {3, 32, 32}};
+  }
+  if (name == "resnet") return {models::make_resnet, {3, 32, 32}};
+  if (name == "resnet-mini") return {models::make_resnet_mini, {3, 32, 32}};
+  throw std::invalid_argument(
+      "ModelRegistry: unknown architecture '" + name +
+      "' (lenet[-mini]|alexnet[-mini]|resnet[-mini])");
+}
+
+}  // namespace
+
+BackendKind parse_backend_kind(const std::string& name) {
+  if (name == "fp32") return BackendKind::kFp32;
+  if (name == "quant") return BackendKind::kQuant;
+  if (name == "snc") return BackendKind::kSnc;
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (fp32|quant|snc)");
+}
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kFp32: return "fp32";
+    case BackendKind::kQuant: return "quant";
+    case BackendKind::kSnc: return "snc";
+  }
+  return "?";
+}
+
+nn::Shape architecture_input_shape(const std::string& architecture) {
+  return resolve_architecture(architecture).input_chw;
+}
+
+struct ModelRegistry::Entry {
+  ModelConfig config;
+  nn::Shape input_chw;
+  std::unique_ptr<nn::Network> net;
+  std::unique_ptr<Backend> backend;
+};
+
+ModelRegistry::ModelRegistry() = default;
+ModelRegistry::~ModelRegistry() = default;
+
+Backend& ModelRegistry::add(const std::string& name,
+                            const ModelConfig& config) {
+  if (entries_.count(name) > 0) {
+    throw std::invalid_argument("ModelRegistry: duplicate model '" + name +
+                                "'");
+  }
+  const Architecture arch = resolve_architecture(config.architecture);
+
+  auto entry = std::make_unique<Entry>();
+  entry->config = config;
+  entry->input_chw = arch.input_chw;
+
+  nn::Rng rng(config.init_seed);
+  entry->net = std::make_unique<nn::Network>(arch.factory(rng));
+  if (!config.state_path.empty()) {
+    nn::load_state(*entry->net, config.state_path);
+  }
+
+  switch (config.backend) {
+    case BackendKind::kFp32:
+      entry->backend = std::make_unique<Fp32Backend>(
+          *entry->net, entry->input_chw);
+      break;
+    case BackendKind::kQuant:
+      entry->backend = std::make_unique<QuantBackend>(
+          *entry->net, entry->input_chw, config.bits);
+      break;
+    case BackendKind::kSnc: {
+      // Deployment order (see core/bn_folding.h): fold, cluster, program.
+      core::fold_batchnorm(*entry->net);
+      core::WeightClusterConfig wc;
+      wc.bits = config.bits;
+      const auto results =
+          core::apply_weight_clustering(*entry->net, wc);
+      snc::SncConfig snc_cfg;
+      snc_cfg.signal_bits = config.bits;
+      snc_cfg.weight_bits = config.bits;
+      snc_cfg.weight_scales.clear();
+      for (const auto& r : results) {
+        snc_cfg.weight_scales.push_back(r.scale);
+      }
+      snc_cfg.input_scale = std::min(
+          16.0f, static_cast<float>(core::signal_max(config.bits)));
+      entry->backend = std::make_unique<SncBackend>(
+          *entry->net, entry->input_chw, snc_cfg, config.snc_replicas);
+      break;
+    }
+  }
+
+  Backend& backend = *entry->backend;
+  entries_[name] = std::move(entry);
+  return backend;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const ModelRegistry::Entry& ModelRegistry::entry(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ModelRegistry: unknown model '" + name +
+                                "'");
+  }
+  return *it->second;
+}
+
+Backend& ModelRegistry::backend(const std::string& name) const {
+  return *entry(name).backend;
+}
+
+const ModelConfig& ModelRegistry::config(const std::string& name) const {
+  return entry(name).config;
+}
+
+const nn::Shape& ModelRegistry::input_shape(const std::string& name) const {
+  return entry(name).input_chw;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    (void)e;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace qsnc::serve

@@ -1,0 +1,79 @@
+// Named-model registry for the serving runtime.
+//
+// A registry entry owns everything one served model needs: the Network
+// built from a model-zoo architecture (optionally restored from a
+// checkpoint), any deployment transforms its backend requires (BN folding
+// + weight clustering for the spike path), and the Backend instance that
+// executes batches. Once add() returns, the entry is immutable — serving
+// never retrains, requantizes, or reprograms — which is what makes the
+// lock-free read path of the batchers sound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "serve/backend.h"
+
+namespace qsnc::serve {
+
+enum class BackendKind { kFp32, kQuant, kSnc };
+
+/// Parses "fp32" | "quant" | "snc"; throws std::invalid_argument otherwise.
+BackendKind parse_backend_kind(const std::string& name);
+const char* backend_kind_name(BackendKind kind);
+
+/// Per-image input shape [C, H, W] of a model-zoo architecture name
+/// (lenet[-mini] | alexnet[-mini] | resnet[-mini]); throws on unknown.
+nn::Shape architecture_input_shape(const std::string& architecture);
+
+struct ModelConfig {
+  /// Model-zoo architecture: lenet[-mini] | alexnet[-mini] | resnet[-mini].
+  std::string architecture = "lenet-mini";
+  /// Optional nn::save_state checkpoint to restore; empty serves the
+  /// deterministic fresh initialization from `init_seed` (useful for load
+  /// tests and demos — predictions are still reproducible).
+  std::string state_path;
+  BackendKind backend = BackendKind::kFp32;
+  /// Signal bits (quant, snc) and weight bits (snc).
+  int bits = 4;
+  uint64_t init_seed = 1;
+  /// SncSystem replica count for the snc backend; <= 0 uses the thread
+  /// pool size.
+  int snc_replicas = 0;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry();
+  ~ModelRegistry();
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Builds and registers a model under `name`. For kQuant the network
+  /// gets a signal quantizer; for kSnc it is BN-folded, weight-clustered
+  /// to the N-bit grid, and programmed into SncSystem replicas. Throws
+  /// std::invalid_argument on duplicate names, unknown architectures, or
+  /// checkpoint/shape mismatches.
+  Backend& add(const std::string& name, const ModelConfig& config);
+
+  bool contains(const std::string& name) const;
+
+  /// Throws std::invalid_argument when `name` is not registered.
+  Backend& backend(const std::string& name) const;
+  const ModelConfig& config(const std::string& name) const;
+  const nn::Shape& input_shape(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry;
+  const Entry& entry(const std::string& name) const;
+
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace qsnc::serve

@@ -1,0 +1,218 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace qsnc::serve {
+
+namespace {
+
+// Little-endian scalar writers/readers over a byte vector. The repo's
+// serializer (nn/serialize) makes the same host-is-little-endian
+// assumption; a cursor-based reader keeps every decode bounds-checked.
+
+template <typename T>
+void put(std::vector<uint8_t>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+struct Cursor {
+  const std::vector<uint8_t>& buf;
+  size_t at = 0;
+
+  template <typename T>
+  T take(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (buf.size() - at < sizeof(T)) {
+      throw ProtocolError(std::string("protocol: truncated frame at ") +
+                          what);
+    }
+    T v;
+    std::memcpy(&v, buf.data() + at, sizeof(T));
+    at += sizeof(T);
+    return v;
+  }
+
+  std::string take_string(size_t n, const char* what) {
+    if (buf.size() - at < n) {
+      throw ProtocolError(std::string("protocol: truncated frame at ") +
+                          what);
+    }
+    std::string s(reinterpret_cast<const char*>(buf.data() + at), n);
+    at += n;
+    return s;
+  }
+
+  void done(const char* what) {
+    if (at != buf.size()) {
+      throw ProtocolError(std::string("protocol: ") +
+                          std::to_string(buf.size() - at) +
+                          " trailing bytes in " + what);
+    }
+  }
+};
+
+std::vector<uint8_t> finish_frame(MsgType type,
+                                  std::vector<uint8_t> body) {
+  const uint64_t payload = body.size() + 1;  // + type tag
+  if (payload > kMaxFrameBytes) {
+    throw ProtocolError("protocol: frame exceeds kMaxFrameBytes");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(4 + payload);
+  put<uint32_t>(out, static_cast<uint32_t>(payload));
+  put<uint8_t>(out, static_cast<uint8_t>(type));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_infer_request(const InferRequest& request) {
+  if (request.model.size() > UINT16_MAX) {
+    throw ProtocolError("protocol: model name too long");
+  }
+  const nn::Shape& shape = request.image.shape();
+  if (shape.size() > kMaxTensorRank) {
+    throw ProtocolError("protocol: tensor rank > kMaxTensorRank");
+  }
+  std::vector<uint8_t> body;
+  put<uint64_t>(body, request.id);
+  put<uint16_t>(body, static_cast<uint16_t>(request.model.size()));
+  body.insert(body.end(), request.model.begin(), request.model.end());
+  put<uint8_t>(body, static_cast<uint8_t>(shape.size()));
+  for (int64_t d : shape) {
+    if (d < 0 || d > UINT32_MAX) {
+      throw ProtocolError("protocol: dimension out of range");
+    }
+    put<uint32_t>(body, static_cast<uint32_t>(d));
+  }
+  const int64_t numel = request.image.numel();
+  const size_t at = body.size();
+  body.resize(at + static_cast<size_t>(numel) * sizeof(float));
+  std::memcpy(body.data() + at, request.image.data(),
+              static_cast<size_t>(numel) * sizeof(float));
+  return finish_frame(MsgType::kInferRequest, std::move(body));
+}
+
+InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  InferRequest request;
+  request.id = c.take<uint64_t>("id");
+  const uint16_t model_len = c.take<uint16_t>("model_len");
+  request.model = c.take_string(model_len, "model");
+  const uint8_t rank = c.take<uint8_t>("rank");
+  if (rank > kMaxTensorRank) {
+    throw ProtocolError("protocol: tensor rank > kMaxTensorRank");
+  }
+  nn::Shape shape;
+  uint64_t numel = 1;
+  for (int i = 0; i < rank; ++i) {
+    const uint32_t d = c.take<uint32_t>("dim");
+    shape.push_back(static_cast<int64_t>(d));
+    numel *= d;
+  }
+  if (numel * sizeof(float) > kMaxFrameBytes) {
+    throw ProtocolError("protocol: tensor larger than frame limit");
+  }
+  std::vector<float> data(static_cast<size_t>(numel));
+  if (body.size() - c.at < numel * sizeof(float)) {
+    throw ProtocolError("protocol: truncated frame at tensor data");
+  }
+  std::memcpy(data.data(), body.data() + c.at, numel * sizeof(float));
+  c.at += numel * sizeof(float);
+  c.done("InferRequest");
+  request.image = nn::Tensor(std::move(shape), std::move(data));
+  return request;
+}
+
+std::vector<uint8_t> encode_infer_response(const InferResponse& response) {
+  const Response& r = response.response;
+  if (r.error.size() > UINT16_MAX) {
+    throw ProtocolError("protocol: error string too long");
+  }
+  std::vector<uint8_t> body;
+  put<uint64_t>(body, response.id);
+  put<uint8_t>(body, static_cast<uint8_t>(r.status));
+  put<int64_t>(body, r.prediction);
+  put<uint64_t>(body, r.latency_us);
+  put<uint64_t>(body, r.retry_after_us);
+  put<uint32_t>(body, r.batch_size);
+  put<uint16_t>(body, static_cast<uint16_t>(r.error.size()));
+  body.insert(body.end(), r.error.begin(), r.error.end());
+  return finish_frame(MsgType::kInferResponse, std::move(body));
+}
+
+InferResponse decode_infer_response(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  InferResponse response;
+  response.id = c.take<uint64_t>("id");
+  const uint8_t status = c.take<uint8_t>("status");
+  if (status > static_cast<uint8_t>(Status::kError)) {
+    throw ProtocolError("protocol: unknown status code");
+  }
+  response.response.status = static_cast<Status>(status);
+  response.response.prediction = c.take<int64_t>("prediction");
+  response.response.latency_us = c.take<uint64_t>("latency_us");
+  response.response.retry_after_us = c.take<uint64_t>("retry_after_us");
+  response.response.batch_size = c.take<uint32_t>("batch_size");
+  const uint16_t error_len = c.take<uint16_t>("error_len");
+  response.response.error = c.take_string(error_len, "error");
+  c.done("InferResponse");
+  return response;
+}
+
+std::vector<uint8_t> encode_stats_request() {
+  return finish_frame(MsgType::kStatsRequest, {});
+}
+
+std::vector<uint8_t> encode_stats_response(const std::string& text) {
+  std::vector<uint8_t> body;
+  put<uint32_t>(body, static_cast<uint32_t>(text.size()));
+  body.insert(body.end(), text.begin(), text.end());
+  return finish_frame(MsgType::kStatsResponse, std::move(body));
+}
+
+std::string decode_stats_response(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  const uint32_t len = c.take<uint32_t>("text_len");
+  std::string text = c.take_string(len, "text");
+  c.done("StatsResponse");
+  return text;
+}
+
+void FrameReader::feed(const uint8_t* data, size_t n) {
+  // Compact the buffer once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameReader::next() {
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  uint32_t payload = 0;
+  std::memcpy(&payload, buf_.data() + consumed_, 4);
+  if (payload == 0) throw ProtocolError("protocol: zero-length frame");
+  if (payload > kMaxFrameBytes) {
+    throw ProtocolError("protocol: frame length " +
+                        std::to_string(payload) + " exceeds limit");
+  }
+  if (avail < 4 + static_cast<size_t>(payload)) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<MsgType>(buf_[consumed_ + 4]);
+  frame.body.assign(buf_.begin() + static_cast<ptrdiff_t>(consumed_ + 5),
+                    buf_.begin() +
+                        static_cast<ptrdiff_t>(consumed_ + 4 + payload));
+  consumed_ += 4 + payload;
+  return frame;
+}
+
+}  // namespace qsnc::serve

@@ -1,0 +1,92 @@
+// Length-prefixed binary wire protocol of the serving front-end.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32 payload_len | u8 type | payload[payload_len - 1]
+//
+// i.e. payload_len counts the type byte plus the body. Messages:
+//
+//   kInferRequest  (1): u64 id | u16 model_len | model bytes |
+//                       u8 rank | u32 dim[rank] | f32 data[numel]
+//   kInferResponse (2): u64 id | u8 status | i64 prediction |
+//                       u64 latency_us | u64 retry_after_us |
+//                       u32 batch_size | u16 error_len | error bytes
+//   kStatsRequest  (3): (empty body)
+//   kStatsResponse (4): u32 text_len | text bytes
+//
+// Decoders throw ProtocolError on truncated bodies, oversized frames
+// (> kMaxFrameBytes — a corrupt length prefix must not allocate
+// gigabytes), absurd ranks, or length/numel mismatches. The FrameReader
+// is incremental so socket handlers can feed arbitrary read() chunks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "serve/micro_batcher.h"
+
+namespace qsnc::serve {
+
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Hard cap on one frame's payload (length prefix included in checks).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+constexpr int kMaxTensorRank = 8;
+
+enum class MsgType : uint8_t {
+  kInferRequest = 1,
+  kInferResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+};
+
+struct InferRequest {
+  uint64_t id = 0;
+  std::string model;
+  nn::Tensor image;  // [C, H, W]
+};
+
+struct InferResponse {
+  uint64_t id = 0;
+  Response response;
+};
+
+/// One decoded frame: the type tag plus the raw body (tag stripped).
+struct Frame {
+  MsgType type;
+  std::vector<uint8_t> body;
+};
+
+std::vector<uint8_t> encode_infer_request(const InferRequest& request);
+std::vector<uint8_t> encode_infer_response(const InferResponse& response);
+std::vector<uint8_t> encode_stats_request();
+std::vector<uint8_t> encode_stats_response(const std::string& text);
+
+InferRequest decode_infer_request(const std::vector<uint8_t>& body);
+InferResponse decode_infer_response(const std::vector<uint8_t>& body);
+std::string decode_stats_response(const std::vector<uint8_t>& body);
+
+/// Incremental frame splitter over a byte stream.
+class FrameReader {
+ public:
+  void feed(const uint8_t* data, size_t n);
+
+  /// Next complete frame, or nullopt when more bytes are needed. Throws
+  /// ProtocolError on an oversized or zero-length frame.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace qsnc::serve

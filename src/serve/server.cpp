@@ -1,0 +1,333 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+namespace qsnc::serve {
+
+// ---------------------------------------------------------------------------
+// ServeCore
+// ---------------------------------------------------------------------------
+
+ServeCore::ServeCore(const ModelRegistry& registry,
+                     const BatchOptions& options)
+    : registry_(registry) {
+  for (const std::string& name : registry.names()) {
+    batchers_[name] =
+        std::make_unique<MicroBatcher>(registry.backend(name), options);
+  }
+}
+
+ServeCore::~ServeCore() { drain(); }
+
+std::future<Response> ServeCore::infer_async(const std::string& model,
+                                             nn::Tensor image) {
+  const auto it = batchers_.find(model);
+  if (it == batchers_.end()) {
+    std::promise<Response> promise;
+    Response r;
+    r.status = Status::kError;
+    r.error = "unknown model '" + model + "'";
+    promise.set_value(std::move(r));
+    return promise.get_future();
+  }
+  return it->second->submit(std::move(image));
+}
+
+Response ServeCore::infer(const std::string& model, nn::Tensor image) {
+  return infer_async(model, std::move(image)).get();
+}
+
+void ServeCore::drain() {
+  for (auto& [name, batcher] : batchers_) {
+    (void)name;
+    batcher->drain();
+  }
+}
+
+MicroBatcher& ServeCore::batcher(const std::string& model) {
+  const auto it = batchers_.find(model);
+  if (it == batchers_.end()) {
+    throw std::invalid_argument("ServeCore: unknown model '" + model + "'");
+  }
+  return *it->second;
+}
+
+std::vector<ModelStatsSnapshot> ServeCore::stats() const {
+  std::vector<ModelStatsSnapshot> out;
+  out.reserve(batchers_.size());
+  for (const auto& [name, batcher] : batchers_) {
+    ModelStatsSnapshot s = batcher->stats();
+    s.model = name;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string ServeCore::stats_report() const { return render_stats(stats()); }
+
+// ---------------------------------------------------------------------------
+// Socket plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void send_all(int fd, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void on_stop_signal(int) { g_signal_stop = 1; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketServer
+// ---------------------------------------------------------------------------
+
+struct SocketServer::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> finished{false};
+};
+
+SocketServer::SocketServer(ServeCore& core, std::string socket_path)
+    : core_(core), socket_path_(std::move(socket_path)) {
+  const sockaddr_un addr = make_address(socket_path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(socket_path_.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen on " + socket_path_ + ": " + err);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (stopping_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    ++connections_accepted_;
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(connection));
+    }
+    reap_finished();
+  }
+}
+
+void SocketServer::reap_finished() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load()) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::handle_connection(Connection* connection) {
+  FrameReader reader;
+  uint8_t buf[64 * 1024];
+  try {
+    for (;;) {
+      const ssize_t n = ::recv(connection->fd, buf, sizeof(buf), 0);
+      if (n == 0) break;  // EOF (client done, or stop() half-closed us)
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      reader.feed(buf, static_cast<size_t>(n));
+      while (auto frame = reader.next()) {
+        if (frame->type == MsgType::kInferRequest) {
+          InferRequest request = decode_infer_request(frame->body);
+          InferResponse response;
+          response.id = request.id;
+          response.response =
+              core_.infer(request.model, std::move(request.image));
+          send_all(connection->fd, encode_infer_response(response));
+        } else if (frame->type == MsgType::kStatsRequest) {
+          send_all(connection->fd,
+                   encode_stats_response(core_.stats_report()));
+        } else {
+          throw ProtocolError("unexpected message type");
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed frame or broken pipe: drop the connection. The socket is
+    // closed by the reaper; in-process state is untouched.
+  }
+  connection->finished.store(true);
+}
+
+void SocketServer::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+  // 1. No new connections.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(socket_path_.c_str());
+  // 2. Half-close every connection for reading: a handler blocked in
+  //    recv() sees EOF; one mid-request still writes its response.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) {
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+  // 3. Wait for handlers, then complete everything already accepted.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& connection : connections_) {
+      if (connection->thread.joinable()) connection->thread.join();
+      ::close(connection->fd);
+    }
+    connections_.clear();
+  }
+  core_.drain();
+}
+
+void SocketServer::run_until_signal() {
+  g_signal_stop = 0;
+  struct sigaction action{};
+  action.sa_handler = on_stop_signal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int{};
+  struct sigaction old_term{};
+  ::sigaction(SIGINT, &action, &old_int);
+  ::sigaction(SIGTERM, &action, &old_term);
+  while (!g_signal_stop && !stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  stop();
+}
+
+// ---------------------------------------------------------------------------
+// SocketClient
+// ---------------------------------------------------------------------------
+
+SocketClient::SocketClient(const std::string& socket_path) {
+  const sockaddr_un addr = make_address(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect to " + socket_path + ": " + err);
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame SocketClient::roundtrip(const std::vector<uint8_t>& frame) {
+  send_all(fd_, frame);
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    if (auto f = reader_.next()) return *f;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      throw std::runtime_error("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("recv: ") +
+                               std::strerror(errno));
+    }
+    reader_.feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Response SocketClient::infer(const std::string& model,
+                             const nn::Tensor& image) {
+  InferRequest request;
+  request.id = next_id_++;
+  request.model = model;
+  request.image = image;
+  const Frame frame = roundtrip(encode_infer_request(request));
+  if (frame.type != MsgType::kInferResponse) {
+    throw std::runtime_error("unexpected response type");
+  }
+  InferResponse response = decode_infer_response(frame.body);
+  if (response.id != request.id) {
+    throw std::runtime_error("response id mismatch");
+  }
+  return std::move(response.response);
+}
+
+std::string SocketClient::stats() {
+  const Frame frame = roundtrip(encode_stats_request());
+  if (frame.type != MsgType::kStatsResponse) {
+    throw std::runtime_error("unexpected response type");
+  }
+  return decode_stats_response(frame.body);
+}
+
+}  // namespace qsnc::serve

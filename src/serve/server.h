@@ -1,0 +1,146 @@
+// Serving front-ends: the in-process core/client and the unix-domain-
+// socket server.
+//
+//   ServeCore     — registry + one MicroBatcher per model + aggregated
+//                   stats. This is the whole serving data plane; both
+//                   front-ends are thin shells around it.
+//   ServeClient   — in-process client facade (tests, benches, loadgen
+//                   --in-process) with sync and async submission.
+//   SocketServer  — AF_UNIX/SOCK_STREAM listener speaking the protocol.h
+//                   framing. One handler thread per connection; each
+//                   connection is a synchronous request/response stream,
+//                   so client-side concurrency = number of connections.
+//   SocketClient  — blocking client for one connection (loadgen threads
+//                   each own one).
+//
+// Shutdown discipline (the "zero dropped on shutdown" contract):
+// SocketServer::stop() first closes the listener (no new connections),
+// then half-closes every connection for reading — a handler mid-request
+// still writes its response — joins the handlers, and finally drains the
+// batchers, which completes every accepted request before the threads
+// exit. run_until_signal() wires SIGINT/SIGTERM to exactly this sequence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+
+namespace qsnc::serve {
+
+class ServeCore {
+ public:
+  /// Creates one MicroBatcher per model currently in `registry` (register
+  /// models first). `registry` must outlive the core.
+  ServeCore(const ModelRegistry& registry, const BatchOptions& options);
+  ~ServeCore();  // drains
+
+  /// Never blocks; unknown models resolve immediately with kError.
+  std::future<Response> infer_async(const std::string& model,
+                                    nn::Tensor image);
+  /// Blocking convenience around infer_async.
+  Response infer(const std::string& model, nn::Tensor image);
+
+  /// Stops admission and completes all accepted requests. Idempotent.
+  void drain();
+
+  const ModelRegistry& registry() const { return registry_; }
+  MicroBatcher& batcher(const std::string& model);
+
+  std::vector<ModelStatsSnapshot> stats() const;
+  std::string stats_report() const;
+
+ private:
+  const ModelRegistry& registry_;
+  std::map<std::string, std::unique_ptr<MicroBatcher>> batchers_;
+};
+
+/// In-process client used by tests and the load generator.
+class ServeClient {
+ public:
+  explicit ServeClient(ServeCore& core) : core_(core) {}
+
+  Response infer(const std::string& model, nn::Tensor image) {
+    return core_.infer(model, std::move(image));
+  }
+  std::future<Response> infer_async(const std::string& model,
+                                    nn::Tensor image) {
+    return core_.infer_async(model, std::move(image));
+  }
+  std::string stats() const { return core_.stats_report(); }
+
+ private:
+  ServeCore& core_;
+};
+
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (unlinking a stale socket file
+  /// first) and starts the accept thread. Throws std::runtime_error on
+  /// bind/listen failure.
+  SocketServer(ServeCore& core, std::string socket_path);
+  ~SocketServer();  // stops
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Graceful shutdown; see the header comment. Idempotent.
+  void stop();
+
+  /// Serves until SIGINT/SIGTERM, then stop()s. Installs its handlers for
+  /// the call's duration; only one instance may run this at a time.
+  void run_until_signal();
+
+  /// Connections accepted so far (diagnostics).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
+
+ private:
+  struct Connection;
+  void accept_loop();
+  void handle_connection(Connection* connection);
+  void reap_finished();
+
+  ServeCore& core_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes concurrent stop() calls
+  bool stopped_ = false;
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+class SocketClient {
+ public:
+  /// Connects to a SocketServer. Throws std::runtime_error on failure.
+  explicit SocketClient(const std::string& socket_path);
+  ~SocketClient();
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  /// Blocking request/response. Throws std::runtime_error if the server
+  /// closes the connection mid-request.
+  Response infer(const std::string& model, const nn::Tensor& image);
+
+  /// Server-rendered stats table.
+  std::string stats();
+
+ private:
+  Frame roundtrip(const std::vector<uint8_t>& frame);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace qsnc::serve

@@ -1,10 +1,20 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace qsnc::util {
 
-Flags::Flags(int argc, const char* const* argv) {
+namespace {
+
+bool is_boolean_spelling(const std::string& v) {
+  return v == "true" || v == "false" || v == "1" || v == "0";
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv,
+             const std::vector<std::string>& boolean_keys) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -22,10 +32,19 @@ Flags::Flags(int argc, const char* const* argv) {
     const size_t eq = body.find('=');
     if (eq != std::string::npos) {
       values_[body.substr(0, eq)] = body.substr(eq + 1);
-    } else if (i + 1 < argc &&
-               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      continue;
+    }
+    const bool declared_boolean =
+        std::find(boolean_keys.begin(), boolean_keys.end(), body) !=
+        boolean_keys.end();
+    const bool next_is_value =
+        i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+        (!declared_boolean || is_boolean_spelling(argv[i + 1]));
+    if (next_is_value) {
       // "--key value"; a following token is the value unless it is itself
-      // a --flag. Negative numbers ("-0.5") are therefore fine as values.
+      // a --flag, or `key` is a declared boolean and the token is not a
+      // boolean spelling ("--verbose mymodel" must not eat the
+      // positional). Negative numbers ("-0.5") are fine as values.
       values_[body] = argv[i + 1];
       ++i;
     } else {

@@ -14,7 +14,15 @@ class Flags {
  public:
   /// Parses argv[1..). Throws std::invalid_argument on a malformed flag
   /// (anything starting with "-" that is not "--key[=value]").
-  Flags(int argc, const char* const* argv);
+  ///
+  /// `boolean_keys` declares flags that never consume a following
+  /// positional token as their value: "--verbose mymodel" keeps "mymodel"
+  /// positional when "verbose" is declared boolean. The boolean spellings
+  /// true/false/1/0 are still consumed ("--verbose false mymodel"), so
+  /// explicit values keep working. Undeclared flags keep the greedy
+  /// historical behavior: any following non-flag token is the value.
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& boolean_keys = {});
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -1,0 +1,89 @@
+// Batched-vs-single forward equivalence: Network::forward on a batch of N
+// must BIT-MATCH the N single-image forwards concatenated. This is the
+// correctness precondition for the serving runtime's dynamic micro-batcher
+// (serve/micro_batcher.h): coalescing requests into one forward call must
+// never change any individual answer. Exact float equality on purpose —
+// allclose would hide order-dependent accumulation sneaking into a kernel.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "nn/network.h"
+#include "nn/rng.h"
+#include "nn/tensor.h"
+
+namespace qsnc::nn {
+namespace {
+
+Tensor random_batch(const Shape& chw, int64_t n, uint64_t seed) {
+  Tensor batch({n, chw[0], chw[1], chw[2]});
+  Rng rng(seed);
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    batch[i] = rng.uniform(0.0f, 16.0f);  // signal-unit input convention
+  }
+  return batch;
+}
+
+Tensor single_image(const Tensor& batch, int64_t index) {
+  const Shape& s = batch.shape();
+  const int64_t numel = s[1] * s[2] * s[3];
+  Tensor image({1, s[1], s[2], s[3]});
+  const float* src = batch.data() + index * numel;
+  std::copy(src, src + numel, image.data());
+  return image;
+}
+
+void expect_bitwise_batch_equivalence(Network& net, const Shape& chw,
+                                      int64_t n, uint64_t seed) {
+  const Tensor batch = random_batch(chw, n, seed);
+  const Tensor batched_out = net.forward(batch, /*train=*/false);
+  ASSERT_EQ(batched_out.dim(0), n);
+  const int64_t out_numel = batched_out.numel() / n;
+
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor single_out = net.forward(single_image(batch, i), false);
+    ASSERT_EQ(single_out.numel(), out_numel) << "image " << i;
+    for (int64_t j = 0; j < out_numel; ++j) {
+      // Bitwise: EXPECT_EQ on floats, not EXPECT_NEAR.
+      ASSERT_EQ(batched_out[i * out_numel + j], single_out[j])
+          << "image " << i << " logit " << j;
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, LenetMini) {
+  Rng rng(7);
+  Network net = models::make_lenet_mini(rng);
+  expect_bitwise_batch_equivalence(net, {1, 28, 28}, 5, 11);
+}
+
+TEST(BatchEquivalenceTest, AlexnetMini) {
+  Rng rng(7);
+  Network net = models::make_alexnet_mini(rng);
+  expect_bitwise_batch_equivalence(net, {3, 32, 32}, 4, 13);
+}
+
+// ResNet covers residual composites and (unfolded) batch-norm inference
+// statistics in the batched path.
+TEST(BatchEquivalenceTest, ResnetMini) {
+  Rng rng(7);
+  Network net = models::make_resnet_mini(rng);
+  expect_bitwise_batch_equivalence(net, {3, 32, 32}, 3, 17);
+}
+
+// Predictions (argmax) must agree too — that is what serving returns.
+TEST(BatchEquivalenceTest, PredictMatchesSinglePredicts) {
+  Rng rng(3);
+  Network net = models::make_lenet_mini(rng);
+  const Tensor batch = random_batch({1, 28, 28}, 8, 23);
+  const std::vector<int64_t> batched = net.predict(batch);
+  ASSERT_EQ(batched.size(), 8u);
+  for (int64_t i = 0; i < 8; ++i) {
+    const std::vector<int64_t> single =
+        net.predict(single_image(batch, i));
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(batched[static_cast<size_t>(i)], single[0]) << "image " << i;
+  }
+}
+
+}  // namespace
+}  // namespace qsnc::nn

@@ -1,0 +1,161 @@
+// Wire-protocol framing: round trips, incremental (byte-dribble) reads,
+// and rejection of malformed, truncated, and oversized frames.
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+
+namespace qsnc::serve {
+namespace {
+
+nn::Tensor sample_image() {
+  nn::Tensor t({2, 3, 3});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(i) * 0.25f;
+  }
+  return t;
+}
+
+TEST(ProtocolTest, InferRequestRoundTrip) {
+  InferRequest request;
+  request.id = 42;
+  request.model = "lenet-mini";
+  request.image = sample_image();
+
+  const std::vector<uint8_t> wire = encode_infer_request(request);
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kInferRequest);
+
+  const InferRequest decoded = decode_infer_request(frame->body);
+  EXPECT_EQ(decoded.id, 42u);
+  EXPECT_EQ(decoded.model, "lenet-mini");
+  ASSERT_EQ(decoded.image.shape(), request.image.shape());
+  for (int64_t i = 0; i < decoded.image.numel(); ++i) {
+    EXPECT_EQ(decoded.image[i], request.image[i]);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ProtocolTest, InferResponseRoundTrip) {
+  InferResponse response;
+  response.id = 7;
+  response.response.status = Status::kRejected;
+  response.response.prediction = -1;
+  response.response.latency_us = 1234;
+  response.response.retry_after_us = 5678;
+  response.response.batch_size = 3;
+  response.response.error = "queue full";
+
+  const std::vector<uint8_t> wire = encode_infer_response(response);
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, MsgType::kInferResponse);
+  const InferResponse decoded = decode_infer_response(frame->body);
+  EXPECT_EQ(decoded.id, 7u);
+  EXPECT_EQ(decoded.response.status, Status::kRejected);
+  EXPECT_EQ(decoded.response.retry_after_us, 5678u);
+  EXPECT_EQ(decoded.response.batch_size, 3u);
+  EXPECT_EQ(decoded.response.error, "queue full");
+}
+
+TEST(ProtocolTest, StatsRoundTrip) {
+  const std::string text = "model  QPS\nm      123.4\n";
+  const std::vector<uint8_t> wire = encode_stats_response(text);
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, MsgType::kStatsResponse);
+  EXPECT_EQ(decode_stats_response(frame->body), text);
+}
+
+TEST(ProtocolTest, ByteDribbleReassembles) {
+  InferRequest request;
+  request.id = 1;
+  request.model = "m";
+  request.image = sample_image();
+  const std::vector<uint8_t> wire = encode_infer_request(request);
+
+  FrameReader reader;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    // One byte at a time; the frame must complete exactly at the end.
+    EXPECT_FALSE(reader.next().has_value());
+    reader.feed(&wire[i], 1);
+  }
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(decode_infer_request(frame->body).model, "m");
+}
+
+TEST(ProtocolTest, MultipleFramesInOneFeed) {
+  std::vector<uint8_t> wire = encode_stats_request();
+  const std::vector<uint8_t> second = encode_stats_response("x");
+  wire.insert(wire.end(), second.begin(), second.end());
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  ASSERT_EQ(reader.next()->type, MsgType::kStatsRequest);
+  ASSERT_EQ(reader.next()->type, MsgType::kStatsResponse);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ProtocolTest, OversizedFrameThrows) {
+  // A corrupt length prefix claiming a 1 GB payload must throw, not
+  // allocate.
+  std::vector<uint8_t> wire = {0x00, 0x00, 0x00, 0x40, 0x01};  // 2^30
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(ProtocolTest, ZeroLengthFrameThrows) {
+  std::vector<uint8_t> wire = {0x00, 0x00, 0x00, 0x00};
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(ProtocolTest, TruncatedBodiesThrow) {
+  InferRequest request;
+  request.id = 1;
+  request.model = "lenet";
+  request.image = sample_image();
+  const std::vector<uint8_t> wire = encode_infer_request(request);
+  // Drop the length prefix and type tag, then truncate the body at
+  // several points: every cut must throw, never read out of bounds.
+  const std::vector<uint8_t> body(wire.begin() + 5, wire.end());
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{9}, body.size() - 3}) {
+    const std::vector<uint8_t> truncated(body.begin(),
+                                         body.begin() +
+                                             static_cast<ptrdiff_t>(cut));
+    EXPECT_THROW(decode_infer_request(truncated), ProtocolError)
+        << "cut at " << cut;
+  }
+  EXPECT_THROW(decode_infer_response(body), ProtocolError);
+}
+
+TEST(ProtocolTest, TrailingBytesThrow) {
+  InferResponse response;
+  response.id = 1;
+  response.response.status = Status::kOk;
+  std::vector<uint8_t> wire = encode_infer_response(response);
+  std::vector<uint8_t> body(wire.begin() + 5, wire.end());
+  body.push_back(0xAB);
+  EXPECT_THROW(decode_infer_response(body), ProtocolError);
+}
+
+TEST(ProtocolTest, UnknownStatusCodeThrows) {
+  InferResponse response;
+  response.id = 1;
+  response.response.status = Status::kOk;
+  const std::vector<uint8_t> wire = encode_infer_response(response);
+  std::vector<uint8_t> body(wire.begin() + 5, wire.end());
+  body[8] = 200;  // status byte right after the u64 id
+  EXPECT_THROW(decode_infer_response(body), ProtocolError);
+}
+
+}  // namespace
+}  // namespace qsnc::serve

@@ -1,0 +1,202 @@
+// ModelRegistry + backend correctness: serving through the full
+// queue -> batcher -> backend pipeline must return bit-identical
+// predictions to the direct execution path for all three backends
+// (ISSUE 2 acceptance). The "direct" references rebuild the same network
+// from the same seed, replaying exactly the transforms the registry
+// applies.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/bn_folding.h"
+#include "core/fixed_point.h"
+#include "core/weight_clustering.h"
+#include "models/model_zoo.h"
+#include "nn/network.h"
+#include "nn/rng.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+
+namespace qsnc::serve {
+namespace {
+
+constexpr uint64_t kSeed = 21;
+constexpr int kBits = 4;
+constexpr int kImages = 12;
+
+std::vector<nn::Tensor> test_images(const nn::Shape& chw, int n) {
+  nn::Rng rng(555);
+  std::vector<nn::Tensor> images;
+  for (int i = 0; i < n; ++i) {
+    nn::Tensor t(chw);
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      t[j] = rng.uniform(0.0f, 1.0f);
+    }
+    images.push_back(std::move(t));
+  }
+  return images;
+}
+
+nn::Tensor as_batch(const std::vector<nn::Tensor>& images) {
+  const nn::Shape& chw = images[0].shape();
+  nn::Tensor batch({static_cast<int64_t>(images.size()), chw[0], chw[1],
+                    chw[2]});
+  const int64_t numel = images[0].numel();
+  for (size_t i = 0; i < images.size(); ++i) {
+    std::copy(images[i].data(), images[i].data() + numel,
+              batch.data() + static_cast<int64_t>(i) * numel);
+  }
+  return batch;
+}
+
+/// Serves all images concurrently so real multi-request batches form.
+std::vector<int64_t> serve_predictions(ServeCore& core,
+                                       const std::string& model,
+                                       const std::vector<nn::Tensor>& imgs) {
+  ServeClient client(core);
+  std::vector<std::future<Response>> futures;
+  for (const nn::Tensor& img : imgs) {
+    futures.push_back(client.infer_async(model, img));
+  }
+  std::vector<int64_t> out;
+  bool saw_multi_batch = false;
+  for (auto& f : futures) {
+    Response r = f.get();
+    EXPECT_EQ(r.status, Status::kOk) << r.error;
+    if (r.batch_size > 1) saw_multi_batch = true;
+    out.push_back(r.prediction);
+  }
+  EXPECT_TRUE(saw_multi_batch)
+      << "async burst should have produced at least one multi-image batch";
+  return out;
+}
+
+TEST(RegistryBackendTest, Fp32MatchesDirectForward) {
+  ModelRegistry registry;
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.backend = BackendKind::kFp32;
+  cfg.init_seed = kSeed;
+  registry.add("m", cfg);
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.batch_timeout_us = 20000;  // wide window: the async burst must
+                                  // coalesce even under sanitizers
+  ServeCore core(registry, opts);
+
+  const auto images = test_images({1, 28, 28}, kImages);
+  const std::vector<int64_t> served =
+      serve_predictions(core, "m", images);
+
+  // Direct reference: same architecture + seed, scaled input, predict.
+  nn::Rng rng(kSeed);
+  nn::Network net = models::make_lenet_mini(rng);
+  nn::Tensor batch = as_batch(images);
+  batch *= 16.0f;
+  const std::vector<int64_t> direct = net.predict(batch);
+  EXPECT_EQ(served, direct);
+}
+
+TEST(RegistryBackendTest, QuantMatchesDirectFakeQuantPath) {
+  ModelRegistry registry;
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.backend = BackendKind::kQuant;
+  cfg.bits = kBits;
+  cfg.init_seed = kSeed;
+  registry.add("m", cfg);
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.batch_timeout_us = 20000;  // wide window: the async burst must
+                                  // coalesce even under sanitizers
+  ServeCore core(registry, opts);
+
+  const auto images = test_images({1, 28, 28}, kImages);
+  const std::vector<int64_t> served =
+      serve_predictions(core, "m", images);
+
+  // Direct reference: quantizer attached, SNC-style input encoding.
+  nn::Rng rng(kSeed);
+  nn::Network net = models::make_lenet_mini(rng);
+  core::IntegerSignalQuantizer quantizer(kBits);
+  net.set_signal_quantizer(&quantizer);
+  nn::Tensor batch = as_batch(images);
+  const float scale =
+      std::min(16.0f, static_cast<float>(core::signal_max(kBits)));
+  batch *= scale;
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    batch[i] = core::quantize_input_signal(batch[i], kBits);
+  }
+  const std::vector<int64_t> direct = net.predict(batch);
+  net.set_signal_quantizer(nullptr);
+  EXPECT_EQ(served, direct);
+}
+
+TEST(RegistryBackendTest, SncMatchesDirectSpikeInference) {
+  ModelRegistry registry;
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.backend = BackendKind::kSnc;
+  cfg.bits = kBits;
+  cfg.init_seed = kSeed;
+  cfg.snc_replicas = 2;  // exercise the replica pool
+  registry.add("m", cfg);
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.batch_timeout_us = 20000;  // wide window: the async burst must
+                                  // coalesce even under sanitizers
+  ServeCore core(registry, opts);
+
+  const auto images = test_images({1, 28, 28}, 6);
+  const std::vector<int64_t> served =
+      serve_predictions(core, "m", images);
+
+  // Direct reference: fold, cluster, program one SncSystem, infer per
+  // image — the deployment recipe from core/bn_folding.h.
+  nn::Rng rng(kSeed);
+  nn::Network net = models::make_lenet_mini(rng);
+  core::fold_batchnorm(net);
+  core::WeightClusterConfig wc;
+  wc.bits = kBits;
+  const auto results = core::apply_weight_clustering(net, wc);
+  snc::SncConfig snc_cfg;
+  snc_cfg.signal_bits = kBits;
+  snc_cfg.weight_bits = kBits;
+  snc_cfg.weight_scales.clear();
+  for (const auto& r : results) snc_cfg.weight_scales.push_back(r.scale);
+  snc_cfg.input_scale =
+      std::min(16.0f, static_cast<float>(core::signal_max(kBits)));
+  snc::SncSystem system(net, {1, 28, 28}, snc_cfg);
+  std::vector<int64_t> direct;
+  for (const nn::Tensor& img : images) direct.push_back(system.infer(img));
+  EXPECT_EQ(served, direct);
+}
+
+TEST(RegistryBackendTest, RegistryValidation) {
+  ModelRegistry registry;
+  EXPECT_THROW(registry.backend("nope"), std::invalid_argument);
+  ModelConfig cfg;
+  cfg.architecture = "not-a-model";
+  EXPECT_THROW(registry.add("m", cfg), std::invalid_argument);
+  cfg.architecture = "lenet-mini";
+  registry.add("m", cfg);
+  EXPECT_THROW(registry.add("m", cfg), std::invalid_argument);
+  EXPECT_TRUE(registry.contains("m"));
+  EXPECT_EQ(registry.input_shape("m"), (nn::Shape{1, 28, 28}));
+  EXPECT_THROW(parse_backend_kind("tpu"), std::invalid_argument);
+}
+
+TEST(RegistryBackendTest, UnknownModelInferIsImmediateError) {
+  ModelRegistry registry;
+  ModelConfig cfg;
+  registry.add("m", cfg);
+  ServeCore core(registry, BatchOptions{});
+  nn::Tensor img({1, 28, 28});
+  const Response r = core.infer("ghost", img);
+  EXPECT_EQ(r.status, Status::kError);
+  EXPECT_NE(r.error.find("unknown model"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsnc::serve

@@ -10,6 +10,12 @@ Flags make(std::vector<const char*> args) {
   return Flags(static_cast<int>(args.size()), args.data());
 }
 
+Flags make_with_bools(std::vector<const char*> args,
+                      const std::vector<std::string>& boolean_keys) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()), args.data(), boolean_keys);
+}
+
 TEST(FlagsTest, KeyValuePairs) {
   Flags f = make({"--model", "lenet", "--epochs", "12"});
   EXPECT_EQ(f.get("model", ""), "lenet");
@@ -71,6 +77,51 @@ TEST(FlagsTest, MalformedThrows) {
   EXPECT_THROW(g.get_double("n", 0), std::invalid_argument);
   Flags h = make({"--n=maybe"});
   EXPECT_THROW(h.get_bool("n", false), std::invalid_argument);
+}
+
+// Historical (undeclared-flag) behavior, kept on purpose: a bare flag
+// greedily eats a following non-flag token as its value, so the
+// positional disappears and get_bool throws on the stolen value. Tools
+// with boolean flags must declare them (next test).
+TEST(FlagsTest, UndeclaredBareFlagEatsFollowingPositional) {
+  Flags f = make({"serve", "--verbose", "mymodel"});
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "serve");
+  EXPECT_EQ(f.get("verbose", ""), "mymodel");
+  EXPECT_THROW(f.get_bool("verbose", false), std::invalid_argument);
+}
+
+TEST(FlagsTest, DeclaredBooleanKeepsFollowingPositional) {
+  Flags f = make_with_bools({"serve", "--verbose", "mymodel"}, {"verbose"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "serve");
+  EXPECT_EQ(f.positional()[1], "mymodel");
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(FlagsTest, DeclaredBooleanStillConsumesBooleanSpellings) {
+  Flags f = make_with_bools({"--verbose", "false", "mymodel"}, {"verbose"});
+  EXPECT_FALSE(f.get_bool("verbose", true));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "mymodel");
+
+  Flags g = make_with_bools({"--verbose", "1"}, {"verbose"});
+  EXPECT_TRUE(g.get_bool("verbose", false));
+
+  Flags h = make_with_bools({"--verbose", "0"}, {"verbose"});
+  EXPECT_FALSE(h.get_bool("verbose", true));
+}
+
+TEST(FlagsTest, DeclaredBooleanEqualsFormUnchanged) {
+  Flags f = make_with_bools({"--verbose=false", "mymodel"}, {"verbose"});
+  EXPECT_FALSE(f.get_bool("verbose", true));
+  ASSERT_EQ(f.positional().size(), 1u);
+}
+
+TEST(FlagsTest, DeclaredBooleanAtEndOfArgv) {
+  Flags f = make_with_bools({"serve", "--verbose"}, {"verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  ASSERT_EQ(f.positional().size(), 1u);
 }
 
 TEST(FlagsTest, UnusedTracksUntouchedKeys) {

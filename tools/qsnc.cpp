@@ -8,15 +8,29 @@
 //   qsnc deploy --model M --state state.bin --bits M [--images N]
 //               (spike-level SNC inference; weights must be on the grid)
 //   qsnc cost   --model M [--signal-bits M] [--weight-bits N] [--crossbar t]
+//   qsnc serve  --model lenet-mini [--backend fp32|quant|snc] [--state f]
+//               [--bits M] [--max-batch B] [--batch-timeout-us T]
+//               [--queue-cap Q] [--socket /tmp/qsnc-serve.sock]
+//               (long-lived inference server; SIGINT drains and exits)
+//   qsnc loadgen --model lenet-mini [--socket path] [--requests N]
+//               [--concurrency C] [--no-retry]
+//               (closed-loop load generator against a running server)
 //
 // Every command accepts --threads N to size the thread pool (overrides the
 // QSNC_THREADS environment variable; default: hardware concurrency).
+// Unknown flags are a hard error (exit 2) so a typo like --max-bacth can
+// never silently configure a load test.
 //
 // Models train/evaluate on the built-in synthetic datasets (set
 // QSNC_MNIST_DIR / QSNC_CIFAR_DIR for the real ones, as in the benches).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/fixed_point.h"
 #include "core/metrics.h"
@@ -29,6 +43,8 @@
 #include "models/model_zoo.h"
 #include "nn/serialize.h"
 #include "report/table.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
 #include "snc/cost_model.h"
 #include "snc/snc_system.h"
 #include "util/flags.h"
@@ -97,10 +113,15 @@ core::TrainConfig base_config(const ModelChoice& model) {
   return cfg;
 }
 
+// A misspelled flag must never silently fall back to a default (imagine a
+// load test running with --max-bacth ignored): unknown flags are fatal.
 void check_unused(const util::Flags& flags) {
-  for (const std::string& key : flags.unused()) {
-    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  const std::vector<std::string> unused = flags.unused();
+  if (unused.empty()) return;
+  for (const std::string& key : unused) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
   }
+  std::exit(2);
 }
 
 int cmd_train(const util::Flags& flags) {
@@ -278,17 +299,178 @@ int cmd_cost(const util::Flags& flags) {
   return 0;
 }
 
+serve::ModelConfig serve_model_config(const util::Flags& flags) {
+  serve::ModelConfig cfg;
+  cfg.architecture = flags.get("model", "lenet-mini");
+  cfg.state_path = flags.get("state", "");
+  cfg.backend = serve::parse_backend_kind(flags.get("backend", "fp32"));
+  cfg.bits = static_cast<int>(flags.get_int("bits", 4));
+  cfg.init_seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+  cfg.snc_replicas = static_cast<int>(flags.get_int("snc-replicas", 0));
+  return cfg;
+}
+
+serve::BatchOptions serve_batch_options(const util::Flags& flags) {
+  serve::BatchOptions opts;
+  opts.max_batch = static_cast<int>(flags.get_int("max-batch", 8));
+  opts.batch_timeout_us = flags.get_int("batch-timeout-us", 2000);
+  opts.queue_capacity = static_cast<int>(flags.get_int("queue-cap", 256));
+  return opts;
+}
+
+int cmd_serve(const util::Flags& flags) {
+  const serve::ModelConfig cfg = serve_model_config(flags);
+  const serve::BatchOptions opts = serve_batch_options(flags);
+  const std::string socket = flags.get("socket", "/tmp/qsnc-serve.sock");
+  check_unused(flags);
+
+  serve::ModelRegistry registry;
+  registry.add(cfg.architecture, cfg);
+  serve::ServeCore core(registry, opts);
+  serve::SocketServer server(core, socket);
+  const std::string state_note = cfg.state_path.empty()
+                                     ? ", fresh init"
+                                     : ", state " + cfg.state_path;
+  std::printf("serving %s (%s backend%s) on %s\n"
+              "  max-batch %d, batch-timeout %lld us, queue-cap %d; "
+              "Ctrl-C drains and exits\n",
+              cfg.architecture.c_str(),
+              serve::backend_kind_name(cfg.backend), state_note.c_str(),
+              socket.c_str(), opts.max_batch,
+              static_cast<long long>(opts.batch_timeout_us),
+              opts.queue_capacity);
+  server.run_until_signal();
+  std::printf("drained; final stats:\n%s", core.stats_report().c_str());
+  return 0;
+}
+
+int cmd_loadgen(const util::Flags& flags) {
+  const std::string socket = flags.get("socket", "/tmp/qsnc-serve.sock");
+  const std::string model = flags.get("model", "lenet-mini");
+  const int64_t requests = flags.get_int("requests", 200);
+  const int concurrency =
+      std::max(1, static_cast<int>(flags.get_int("concurrency", 4)));
+  const bool no_retry = flags.get_bool("no-retry", false);
+  const int64_t max_retries = flags.get_int("max-retries", 64);
+  check_unused(flags);
+
+  const nn::Shape chw = serve::architecture_input_shape(model);
+
+  struct WorkerResult {
+    int64_t ok = 0, retries = 0, dropped = 0, errors = 0;
+    std::vector<uint64_t> latencies_us;
+  };
+  std::vector<WorkerResult> results(static_cast<size_t>(concurrency));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& result = results[static_cast<size_t>(w)];
+      try {
+        serve::SocketClient client(socket);
+        nn::Rng rng(1000 + static_cast<uint64_t>(w));
+        const int64_t mine =
+            requests / concurrency + (w < requests % concurrency ? 1 : 0);
+        for (int64_t i = 0; i < mine; ++i) {
+          nn::Tensor image(chw);
+          for (int64_t j = 0; j < image.numel(); ++j) {
+            image[j] = rng.uniform(0.0f, 1.0f);
+          }
+          int64_t attempts = 0;
+          for (;;) {
+            const auto s0 = std::chrono::steady_clock::now();
+            const serve::Response r = client.infer(model, image);
+            if (r.status == serve::Status::kOk) {
+              const auto s1 = std::chrono::steady_clock::now();
+              result.latencies_us.push_back(static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      s1 - s0)
+                      .count()));
+              ++result.ok;
+              break;
+            }
+            if (r.status == serve::Status::kRejected && !no_retry &&
+                attempts++ < max_retries) {
+              ++result.retries;
+              // Honor the server's backpressure hint, capped so a wild
+              // estimate cannot stall the generator.
+              std::this_thread::sleep_for(std::chrono::microseconds(
+                  std::min<uint64_t>(r.retry_after_us, 100000)));
+              continue;
+            }
+            if (r.status == serve::Status::kRejected) {
+              ++result.dropped;
+            } else {
+              ++result.errors;
+              std::fprintf(stderr, "request failed (%s): %s\n",
+                           serve::status_name(r.status), r.error.c_str());
+            }
+            break;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "worker %d: %s\n", w, e.what());
+        ++result.errors;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.ok += r.ok;
+    total.retries += r.retries;
+    total.dropped += r.dropped;
+    total.errors += r.errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              r.latencies_us.begin(),
+                              r.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const auto pct = [&](double p) -> uint64_t {
+    if (total.latencies_us.empty()) return 0;
+    const size_t idx = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(total.latencies_us.size() - 1));
+    return total.latencies_us[idx];
+  };
+  report::Table t({"requests", "ok", "retries", "dropped", "errors",
+                   "wall s", "QPS", "p50 us", "p95 us", "p99 us"});
+  t.add_row({std::to_string(requests), std::to_string(total.ok),
+             std::to_string(total.retries), std::to_string(total.dropped),
+             std::to_string(total.errors), report::fmt(wall, 2),
+             report::fmt(wall > 0 ? static_cast<double>(total.ok) / wall
+                                  : 0.0,
+                         1),
+             std::to_string(pct(50)), std::to_string(pct(95)),
+             std::to_string(pct(99))});
+  std::printf("%s", t.to_string().c_str());
+  try {
+    serve::SocketClient client(socket);
+    std::printf("server-side stats:\n%s", client.stats().c_str());
+  } catch (const std::exception&) {
+    // Server may already be gone; client-side numbers stand alone.
+  }
+  return total.dropped > 0 || total.errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const util::Flags flags(argc, argv);
+    // Boolean flags must be declared so "--nc lenet" style argv never eats
+    // a positional (see util/flags.h).
+    const util::Flags flags(argc, argv, {"nc", "no-retry"});
     const int64_t threads = flags.get_int("threads", 0);
     if (threads > 0) util::set_num_threads(static_cast<int>(threads));
     if (flags.positional().empty()) {
-      std::fprintf(stderr,
-                   "usage: qsnc <train|quantize|eval|deploy|cost> [flags]\n"
-                   "see the header of tools/qsnc.cpp for details\n");
+      std::fprintf(
+          stderr,
+          "usage: qsnc <train|quantize|eval|deploy|cost|serve|loadgen> "
+          "[flags]\n"
+          "see the header of tools/qsnc.cpp for details\n");
       return 2;
     }
     const std::string& cmd = flags.positional()[0];
@@ -297,6 +479,8 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(flags);
     if (cmd == "deploy") return cmd_deploy(flags);
     if (cmd == "cost") return cmd_cost(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "loadgen") return cmd_loadgen(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {
