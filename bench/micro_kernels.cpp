@@ -194,7 +194,16 @@ double time_best(Fn&& fn, int reps) {
   return best;
 }
 
+// QSNC_BENCH_SMOKE=1 shrinks the sweep to tiny shapes and two thread
+// counts so CI can exercise the code path in seconds; reported numbers
+// are then meaningless as benchmarks.
+bool smoke_mode() {
+  const char* v = std::getenv("QSNC_BENCH_SMOKE");
+  return v != nullptr && v[0] == '1';
+}
+
 std::vector<int> sweep_thread_counts() {
+  if (smoke_mode()) return {1, 2};
   std::vector<int> counts = {1, 2, 4, util::ThreadPool::default_threads()};
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
@@ -218,7 +227,9 @@ void run_thread_sweep() {
     }
   };
 
-  for (int64_t n : {256, 384}) {
+  const std::vector<int64_t> gemm_sizes =
+      smoke_mode() ? std::vector<int64_t>{64} : std::vector<int64_t>{256, 384};
+  for (int64_t n : gemm_sizes) {
     const auto a = random_vec(n * n, 1);
     const auto b = random_vec(n * n, 2);
     std::vector<float> c(static_cast<size_t>(n * n));
@@ -228,7 +239,8 @@ void run_thread_sweep() {
   }
 
   {
-    const int64_t batch = 8, ic = 16, oc = 32, hw = 32, k = 3;
+    const int64_t batch = smoke_mode() ? 1 : 8, ic = 16, oc = 32,
+                  hw = smoke_mode() ? 8 : 32, k = 3;
     nn::Rng rng(4);
     nn::Conv2d conv(ic, oc, k, 1, 1, rng);
     nn::Tensor x({batch, ic, hw, hw});

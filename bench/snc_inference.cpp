@@ -1,0 +1,272 @@
+// SNC inference engine benchmark: event-driven vs dense-reference
+// execution of the spiking simulator on the model zoo.
+//
+// For each model (lenet / alexnet / resnet minis) and each integration
+// mode (ideal, online) the same images run through two identically
+// programmed SncSystems that differ only in SncConfig::engine. The bench
+// verifies the predictions match bit-for-bit, then reports images/sec for
+// both engines plus the activity counters that explain the gap: per-image
+// input events vs dense row drives (the O(nnz) work reduction, immune to
+// timer noise) and — in online mode — the fraction of window slots that
+// actually carried spikes, fed into the discrete-event timing simulator
+// to estimate what an event-driven slot sequencer buys in hardware.
+//
+// Writes BENCH_snc.json (override with QSNC_BENCH_OUT).
+// Flags: --images N (ideal-mode images per model, default 8)
+//        --online-images N (online-mode images per model, default 2)
+//        --models csv (default lenet,alexnet,resnet)
+//        --threads N (default 1: single-thread timing)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/bn_folding.h"
+#include "core/fixed_point.h"
+#include "core/weight_clustering.h"
+#include "models/model_zoo.h"
+#include "snc/snc_system.h"
+#include "snc/timing_sim.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+using namespace qsnc;
+
+namespace {
+
+struct ModelCase {
+  std::string name;
+  nn::Network net;
+  nn::Shape input;
+  data::DatasetPtr images;
+};
+
+struct EngineRun {
+  double seconds = 0.0;
+  double images_per_sec = 0.0;
+  std::vector<int64_t> predictions;
+  snc::SncStats totals;  // stage entries summed over images
+  int64_t images = 0;
+};
+
+struct ModeResult {
+  std::string model;
+  std::string mode;
+  int64_t images = 0;
+  EngineRun event;
+  EngineRun dense;
+  double speedup = 0.0;
+  bool predictions_match = false;
+  double input_sparsity = 0.0;
+  double events_per_image = 0.0;
+  double dense_drives_per_image = 0.0;
+  double spikes_per_image = 0.0;
+  double occupied_slot_fraction = 0.0;  // online mode only
+  double timing_speedup = 0.0;          // online mode only
+};
+
+EngineRun run_engine(nn::Network& net, const ModelCase& model,
+                     const snc::SncConfig& cfg, int64_t images) {
+  snc::SncSystem system(net, model.input, cfg);
+  EngineRun run;
+  run.images = images;
+  snc::SncStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < images; ++i) {
+    const data::Sample s = model.images->get(i);
+    run.predictions.push_back(system.infer(s.image, &stats));
+    if (run.totals.stage.size() < stats.stage.size()) {
+      run.totals.stage.resize(stats.stage.size());
+    }
+    run.totals.total_spikes += stats.total_spikes;
+    run.totals.window_slots = stats.window_slots;
+    for (size_t st = 0; st < stats.stage.size(); ++st) {
+      run.totals.stage[st].rows = stats.stage[st].rows;
+      run.totals.stage[st].cols = stats.stage[st].cols;
+      run.totals.stage[st].positions += stats.stage[st].positions;
+      run.totals.stage[st].input_events += stats.stage[st].input_events;
+      run.totals.stage[st].spikes += stats.stage[st].spikes;
+      run.totals.stage[st].occupied_slots += stats.stage[st].occupied_slots;
+    }
+  }
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  run.images_per_sec =
+      run.seconds > 0.0 ? static_cast<double>(images) / run.seconds : 0.0;
+  return run;
+}
+
+ModeResult run_mode(const ModelCase& model, nn::Network& net,
+                    snc::SncConfig cfg, snc::IntegrationMode mode,
+                    int64_t images) {
+  cfg.mode = mode;
+  const bool online = mode == snc::IntegrationMode::kOnline;
+
+  ModeResult result;
+  result.model = model.name;
+  result.mode = online ? "online" : "ideal";
+  result.images = images;
+
+  cfg.engine = snc::SncEngine::kEventDriven;
+  result.event = run_engine(net, model, cfg, images);
+  cfg.engine = snc::SncEngine::kDenseReference;
+  result.dense = run_engine(net, model, cfg, images);
+
+  result.predictions_match =
+      result.event.predictions == result.dense.predictions;
+  result.speedup = result.event.images_per_sec > 0.0 &&
+                           result.dense.images_per_sec > 0.0
+                       ? result.event.images_per_sec /
+                             result.dense.images_per_sec
+                       : 0.0;
+  const double inv = 1.0 / static_cast<double>(images);
+  result.input_sparsity = result.event.totals.input_sparsity();
+  result.events_per_image =
+      static_cast<double>(result.event.totals.input_events()) * inv;
+  result.dense_drives_per_image =
+      static_cast<double>(result.event.totals.dense_row_drives()) * inv;
+  result.spikes_per_image =
+      static_cast<double>(result.event.totals.total_spikes) * inv;
+
+  if (online) {
+    // Slot occupancy over every (stage, position) window, feeding the
+    // timing simulator: an event-driven sequencer only issues slots that
+    // carry at least one spike.
+    const int64_t T = result.event.totals.window_slots;
+    int64_t occupied = 0;
+    int64_t windows = 0;
+    for (const snc::SncStageStats& st : result.event.totals.stage) {
+      occupied += st.occupied_slots;
+      windows += st.positions;
+    }
+    result.occupied_slot_fraction =
+        windows > 0 ? static_cast<double>(occupied) /
+                          static_cast<double>(windows * T)
+                    : 0.0;
+    const int64_t layers =
+        static_cast<int64_t>(result.event.totals.stage.size());
+    const int64_t active = static_cast<int64_t>(
+        result.occupied_slot_fraction * static_cast<double>(T) + 0.999);
+    const snc::TimingResult dense_t = snc::simulate_window(layers, T);
+    const snc::TimingResult event_t =
+        snc::simulate_window(layers, T, {}, active);
+    result.timing_speedup = dense_t.period_ns / event_t.period_ns;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int64_t ideal_images = flags.get_int("images", 8);
+  const int64_t online_images = flags.get_int("online-images", 2);
+  const std::string models_csv = flags.get("models", "lenet,alexnet,resnet");
+  const int threads = static_cast<int>(flags.get_int("threads", 1));
+  util::set_num_threads(threads);
+
+  const int bits = 4;
+  std::vector<ModelCase> models;
+  {
+    const bench::Workload mnist = bench::mnist_workload();
+    const bench::Workload cifar = bench::cifar_workload();
+    if (models_csv.find("lenet") != std::string::npos) {
+      nn::Rng rng(9);
+      models.push_back(
+          {"lenet", models::make_lenet_mini(rng), {1, 28, 28}, mnist.test});
+    }
+    if (models_csv.find("alexnet") != std::string::npos) {
+      nn::Rng rng(9);
+      models.push_back({"alexnet", models::make_alexnet_mini(rng),
+                        {3, 32, 32}, cifar.test});
+    }
+    if (models_csv.find("resnet") != std::string::npos) {
+      nn::Rng rng(9);
+      models.push_back({"resnet", models::make_resnet_mini(rng),
+                        {3, 32, 32}, cifar.test});
+    }
+  }
+
+  std::vector<ModeResult> results;
+  bool all_match = true;
+  for (ModelCase& model : models) {
+    core::fold_batchnorm(model.net);
+    core::WeightClusterConfig wc;
+    wc.bits = bits;
+    const auto wcr = core::apply_weight_clustering(model.net, wc);
+
+    snc::SncConfig cfg;
+    cfg.signal_bits = bits;
+    cfg.weight_bits = bits;
+    cfg.weight_scales.clear();
+    for (const auto& r : wcr) cfg.weight_scales.push_back(r.scale);
+    cfg.input_scale = std::min(
+        16.0f, static_cast<float>(core::signal_max(bits)));
+
+    for (snc::IntegrationMode mode :
+         {snc::IntegrationMode::kIdealIntegration,
+          snc::IntegrationMode::kOnline}) {
+      const bool online = mode == snc::IntegrationMode::kOnline;
+      const int64_t n = online ? online_images : ideal_images;
+      std::printf("running %-8s %-6s x%lld ...\n", model.name.c_str(),
+                  online ? "online" : "ideal", static_cast<long long>(n));
+      std::fflush(stdout);
+      results.push_back(run_mode(model, model.net, cfg, mode, n));
+      if (!results.back().predictions_match) all_match = false;
+    }
+  }
+
+  const char* env = std::getenv("QSNC_BENCH_OUT");
+  const std::string path = env ? env : "BENCH_snc.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "snc_inference: cannot open %s for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"threads\": %d,\n  \"results\": [\n", threads);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"mode\": \"%s\", \"images\": %lld, "
+        "\"images_per_sec_event\": %.5g, \"images_per_sec_dense\": %.5g, "
+        "\"speedup_vs_dense\": %.4g, \"predictions_match\": %s, "
+        "\"input_sparsity\": %.4f, \"events_per_image\": %.1f, "
+        "\"dense_row_drives_per_image\": %.1f, \"spikes_per_image\": %.1f, "
+        "\"occupied_slot_fraction\": %.4f, \"timing_speedup\": %.4g}%s\n",
+        r.model.c_str(), r.mode.c_str(), static_cast<long long>(r.images),
+        r.event.images_per_sec, r.dense.images_per_sec, r.speedup,
+        r.predictions_match ? "true" : "false", r.input_sparsity,
+        r.events_per_image, r.dense_drives_per_image, r.spikes_per_image,
+        r.occupied_slot_fraction, r.timing_speedup,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("\n== SNC inference: event-driven vs dense (threads=%d) ==\n",
+              threads);
+  std::printf("%-8s %-6s %6s %10s %10s %8s %9s %7s %10s\n", "model", "mode",
+              "images", "ev img/s", "dn img/s", "speedup", "sparsity",
+              "match", "slot-occ");
+  for (const ModeResult& r : results) {
+    std::printf("%-8s %-6s %6lld %10.2f %10.2f %7.2fx %8.1f%% %7s %9.1f%%\n",
+                r.model.c_str(), r.mode.c_str(),
+                static_cast<long long>(r.images), r.event.images_per_sec,
+                r.dense.images_per_sec, r.speedup,
+                100.0 * r.input_sparsity,
+                r.predictions_match ? "yes" : "NO",
+                100.0 * r.occupied_slot_fraction);
+  }
+  std::printf("wrote %s\n", path.c_str());
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "snc_inference: engines disagree on predictions!\n");
+    return 1;
+  }
+  return 0;
+}

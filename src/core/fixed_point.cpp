@@ -44,6 +44,10 @@ int64_t weight_grid_index(float w, int bits, float scale) {
   return std::clamp(k, -kmax, kmax);
 }
 
+int64_t round_half_up(double v) {
+  return static_cast<int64_t>(std::floor(v + 0.5));
+}
+
 float quantize_input_signal(float x, int bits) {
   const float max_v = static_cast<float>(signal_max(bits));
   return std::clamp(std::round(x), 0.0f, max_v);

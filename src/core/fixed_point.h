@@ -59,4 +59,10 @@ constexpr int64_t weight_grid_levels(int bits) {
 /// analog pixel intensities to spike counts.
 float quantize_input_signal(float x, int bits);
 
+/// Rounds to the nearest integer with ties going up (the SNC counter
+/// convention: a column sum of exactly x.5 level units digitizes to x+1,
+/// matching std::round for positive values but not for negative halves,
+/// where std::round goes away from zero).
+int64_t round_half_up(double v);
+
 }  // namespace qsnc::core

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "report/table.h"
 #include "util/thread_pool.h"
 
 namespace qsnc::serve {
@@ -104,16 +105,63 @@ std::vector<int64_t> SncBackend::infer_batch(const nn::Tensor& batch) {
       const float* src = batch.data() + i * image_numel;
       std::copy(src, src + image_numel, image.data());
       snc::SncSystem* system = acquire();
+      snc::SncStats stats;
       try {
-        predictions[static_cast<size_t>(i)] = system->infer(image);
+        predictions[static_cast<size_t>(i)] = system->infer(image, &stats);
       } catch (...) {
         release(system);
         throw;
       }
       release(system);
+      fold_stats(stats);
     }
   });
   return predictions;
+}
+
+void SncBackend::fold_stats(const snc::SncStats& stats) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (totals_.stage.size() < stats.stage.size()) {
+    totals_.stage.resize(stats.stage.size());
+  }
+  totals_.total_spikes += stats.total_spikes;
+  totals_.window_slots = stats.window_slots;
+  totals_.layers = stats.layers;
+  for (size_t s = 0; s < stats.stage.size(); ++s) {
+    snc::SncStageStats& acc = totals_.stage[s];
+    const snc::SncStageStats& st = stats.stage[s];
+    acc.rows = st.rows;
+    acc.cols = st.cols;
+    acc.positions += st.positions;
+    acc.input_events += st.input_events;
+    acc.spikes += st.spikes;
+    acc.occupied_slots += st.occupied_slots;
+  }
+  ++stat_images_;
+}
+
+snc::SncStats SncBackend::activity_totals(int64_t* images) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (images != nullptr) *images = stat_images_;
+  return totals_;
+}
+
+std::string SncBackend::activity_report() const {
+  int64_t images = 0;
+  const snc::SncStats totals = activity_totals(&images);
+  if (images == 0) return std::string();
+  report::Table table({"stage", "rows", "cols", "events/img", "sparsity",
+                       "spikes/img"});
+  const double inv = 1.0 / static_cast<double>(images);
+  for (size_t s = 0; s < totals.stage.size(); ++s) {
+    const snc::SncStageStats& st = totals.stage[s];
+    table.add_row({std::to_string(s), std::to_string(st.rows),
+                   std::to_string(st.cols),
+                   report::fmt(static_cast<double>(st.input_events) * inv, 1),
+                   report::pct(st.input_sparsity(), 1),
+                   report::fmt(static_cast<double>(st.spikes) * inv, 1)});
+  }
+  return table.to_string();
 }
 
 }  // namespace qsnc::serve

@@ -46,6 +46,11 @@ class Backend {
   /// Class predictions for a [N, C, H, W] batch with pixels in [0, 1].
   /// Throws std::invalid_argument on a shape mismatch.
   virtual std::vector<int64_t> infer_batch(const nn::Tensor& batch) = 0;
+
+  /// Optional backend-specific activity report appended to the serving
+  /// stats table (e.g. the snc backend's per-stage spike/sparsity
+  /// counters). Empty when the backend has nothing to add.
+  virtual std::string activity_report() const { return std::string(); }
 };
 
 /// Float forward pass at a fixed input scale (the signal-unit convention —
@@ -106,11 +111,20 @@ class SncBackend final : public Backend {
   const nn::Shape& input_shape() const override { return input_chw_; }
   std::vector<int64_t> infer_batch(const nn::Tensor& batch) override;
 
+  /// Per-stage spike / input-sparsity table aggregated over every image
+  /// served so far (empty before the first inference).
+  std::string activity_report() const override;
+
+  /// Aggregate activity over all served images (stage entries summed
+  /// elementwise); `images` is the number of inferences folded in.
+  snc::SncStats activity_totals(int64_t* images = nullptr) const;
+
   size_t replica_count() const { return replicas_.size(); }
 
  private:
   snc::SncSystem* acquire();
   void release(snc::SncSystem* system);
+  void fold_stats(const snc::SncStats& stats);
 
   std::string kind_ = "snc";
   nn::Shape input_chw_;
@@ -118,6 +132,10 @@ class SncBackend final : public Backend {
   std::vector<snc::SncSystem*> free_;
   std::mutex mu_;
   std::condition_variable cv_;
+
+  mutable std::mutex stats_mu_;
+  snc::SncStats totals_;      // stage-wise sums over all served images
+  int64_t stat_images_ = 0;
 };
 
 /// Throws std::invalid_argument unless `batch` is [N, C, H, W] matching

@@ -108,6 +108,9 @@ Backend& ModelRegistry::add(const std::string& name,
       }
       snc_cfg.input_scale = std::min(
           16.0f, static_cast<float>(core::signal_max(config.bits)));
+      snc_cfg.engine = config.snc_dense_reference
+                           ? snc::SncEngine::kDenseReference
+                           : snc::SncEngine::kEventDriven;
       entry->backend = std::make_unique<SncBackend>(
           *entry->net, entry->input_chw, snc_cfg, config.snc_replicas);
       break;

@@ -44,6 +44,10 @@ struct ModelConfig {
   /// SncSystem replica count for the snc backend; <= 0 uses the thread
   /// pool size.
   int snc_replicas = 0;
+  /// Run the snc backend on the dense reference engine instead of the
+  /// event-driven one (bit-identical outputs; used by equivalence benches
+  /// to measure what zero-skipping buys end to end).
+  bool snc_dense_reference = false;
 };
 
 class ModelRegistry {

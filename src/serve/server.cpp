@@ -72,7 +72,19 @@ std::vector<ModelStatsSnapshot> ServeCore::stats() const {
   return out;
 }
 
-std::string ServeCore::stats_report() const { return render_stats(stats()); }
+std::string ServeCore::stats_report() const {
+  std::string out = render_stats(stats());
+  // Backend activity appendices (e.g. per-stage spike/sparsity counters
+  // from the snc spiking engine).
+  for (const auto& [name, batcher] : batchers_) {
+    (void)batcher;
+    const std::string activity = registry_.backend(name).activity_report();
+    if (!activity.empty()) {
+      out += "\n" + name + " activity:\n" + activity;
+    }
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Socket plumbing

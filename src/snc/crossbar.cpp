@@ -19,7 +19,19 @@ Crossbar::Crossbar(int64_t rows, int64_t cols, const MemristorConfig& config)
     : rows_(rows),
       cols_(cols),
       config_(config),
-      g_(checked_cells(rows, cols), g_min(config)) {}
+      g_(checked_cells(rows, cols), g_min(config)) {
+  if (config_.wire_resistance_ohm > 0.0) {
+    geff_.resize(g_.size());
+    for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t c = 0; c < cols_; ++c) bake_effective(r, c);
+    }
+  }
+}
+
+void Crossbar::bake_effective(int64_t r, int64_t c) {
+  if (geff_.empty()) return;
+  geff_[static_cast<size_t>(index(r, c))] = effective_conductance(r, c);
+}
 
 void Crossbar::program_cell(int64_t r, int64_t c, int64_t level,
                             int64_t max_level, nn::Rng* rng) {
@@ -30,10 +42,12 @@ void Crossbar::program_cell(int64_t r, int64_t c, int64_t level,
     // Fabrication defects override programming entirely.
     if (config_.stuck_off_rate > 0.0 && rng->bernoulli(config_.stuck_off_rate)) {
       g_[static_cast<size_t>(index(r, c))] = g_min(config_);
+      bake_effective(r, c);
       return;
     }
     if (config_.stuck_on_rate > 0.0 && rng->bernoulli(config_.stuck_on_rate)) {
       g_[static_cast<size_t>(index(r, c))] = g_max(config_);
+      bake_effective(r, c);
       return;
     }
   }
@@ -44,6 +58,7 @@ void Crossbar::program_cell(int64_t r, int64_t c, int64_t level,
     g = std::clamp(g, g_min(config_), g_max(config_));
   }
   g_[static_cast<size_t>(index(r, c))] = g;
+  bake_effective(r, c);
 }
 
 double Crossbar::conductance(int64_t r, int64_t c) const {
@@ -61,22 +76,40 @@ double Crossbar::effective_conductance(int64_t r, int64_t c) const {
   return g / (1.0 + g * config_.wire_resistance_ohm * segments);
 }
 
+void Crossbar::read_columns_into(const double* volts,
+                                 double* currents) const {
+  std::fill(currents, currents + cols_, 0.0);
+  const double* panel = effective_panel();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double v = volts[static_cast<size_t>(r)];
+    if (v == 0.0) continue;
+    const double* row = panel + r * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      currents[static_cast<size_t>(c)] += v * row[c];
+    }
+  }
+}
+
+void Crossbar::read_columns_spiking_into(const uint8_t* spikes, double v_read,
+                                         double* currents) const {
+  std::fill(currents, currents + cols_, 0.0);
+  const double* panel = effective_panel();
+  for (int64_t r = 0; r < rows_; ++r) {
+    if (spikes[static_cast<size_t>(r)] == 0) continue;
+    const double* row = panel + r * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      currents[static_cast<size_t>(c)] += v_read * row[c];
+    }
+  }
+}
+
 std::vector<double> Crossbar::read_columns(
     const std::vector<double>& volts) const {
   if (static_cast<int64_t>(volts.size()) != rows_) {
     throw std::invalid_argument("Crossbar::read_columns: bad voltage count");
   }
-  std::vector<double> currents(static_cast<size_t>(cols_), 0.0);
-  const bool ideal_wires = config_.wire_resistance_ohm <= 0.0;
-  for (int64_t r = 0; r < rows_; ++r) {
-    const double v = volts[static_cast<size_t>(r)];
-    if (v == 0.0) continue;
-    const double* row = g_.data() + r * cols_;
-    for (int64_t c = 0; c < cols_; ++c) {
-      currents[static_cast<size_t>(c)] +=
-          v * (ideal_wires ? row[c] : effective_conductance(r, c));
-    }
-  }
+  std::vector<double> currents(static_cast<size_t>(cols_));
+  read_columns_into(volts.data(), currents.data());
   return currents;
 }
 
@@ -86,16 +119,8 @@ std::vector<double> Crossbar::read_columns_spiking(
     throw std::invalid_argument(
         "Crossbar::read_columns_spiking: bad spike count");
   }
-  std::vector<double> currents(static_cast<size_t>(cols_), 0.0);
-  const bool ideal_wires = config_.wire_resistance_ohm <= 0.0;
-  for (int64_t r = 0; r < rows_; ++r) {
-    if (spikes[static_cast<size_t>(r)] == 0) continue;
-    const double* row = g_.data() + r * cols_;
-    for (int64_t c = 0; c < cols_; ++c) {
-      currents[static_cast<size_t>(c)] +=
-          v_read * (ideal_wires ? row[c] : effective_conductance(r, c));
-    }
-  }
+  std::vector<double> currents(static_cast<size_t>(cols_));
+  read_columns_spiking_into(spikes.data(), v_read, currents.data());
   return currents;
 }
 
@@ -105,7 +130,17 @@ DifferentialCrossbar::DifferentialCrossbar(int64_t rows, int64_t cols,
       cols_(cols),
       config_(config),
       plus_(rows, cols, config),
-      minus_(rows, cols, config) {}
+      minus_(rows, cols, config),
+      panel_(checked_cells(rows, cols) * 2) {
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      panel_[static_cast<size_t>((r * cols_ + c) * 2)] =
+          plus_.effective_conductance(r, c);
+      panel_[static_cast<size_t>((r * cols_ + c) * 2 + 1)] =
+          minus_.effective_conductance(r, c);
+    }
+  }
+}
 
 void DifferentialCrossbar::program_cell(int64_t r, int64_t c,
                                         int64_t signed_level,
@@ -117,6 +152,21 @@ void DifferentialCrossbar::program_cell(int64_t r, int64_t c,
   } else {
     plus_.program_cell(r, c, 0, max_level, rng);
     minus_.program_cell(r, c, magnitude, max_level, rng);
+  }
+  panel_[static_cast<size_t>((r * cols_ + c) * 2)] =
+      plus_.effective_conductance(r, c);
+  panel_[static_cast<size_t>((r * cols_ + c) * 2 + 1)] =
+      minus_.effective_conductance(r, c);
+}
+
+void DifferentialCrossbar::accumulate_rows(const int32_t* rows,
+                                           const double* drives, int64_t n,
+                                           double* acc) const {
+  const int64_t width = 2 * cols_;
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = drives[i];
+    const double* row = panel_.data() + static_cast<int64_t>(rows[i]) * width;
+    for (int64_t c = 0; c < width; ++c) acc[c] += v * row[c];
   }
 }
 

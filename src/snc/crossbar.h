@@ -4,6 +4,13 @@
 // currents  I_c = sum_r V_r * G[r][c]  for the word-line voltages V_r. A
 // *signed* weight matrix uses two physical arrays (positive and negative
 // cells); the differential column current is what the IFC integrates.
+//
+// Read-side performance model: inference never re-evaluates the wire
+// model. Every program_cell() bakes the cell's *effective* conductance
+// (IR-drop applied once) into a packed row-major panel, and the `_into`
+// read APIs accumulate straight out of that panel into caller-owned
+// buffers — no allocation, no per-access conductance math. The
+// vector-returning reads remain as thin wrappers for tests and benches.
 #pragma once
 
 #include <cstdint>
@@ -33,21 +40,42 @@ class Crossbar {
   /// conductance() when the config has ideal wires).
   double effective_conductance(int64_t r, int64_t c) const;
 
+  /// Packed row-major [rows x cols] panel of effective conductances,
+  /// baked at program time. With ideal wires this aliases the raw
+  /// conductance array (no extra memory).
+  const double* effective_panel() const {
+    return geff_.empty() ? g_.data() : geff_.data();
+  }
+
+  /// Column currents accumulated into `currents` (size cols(), caller
+  /// allocated; overwritten). Rows with zero voltage draw no current and
+  /// are skipped, in ascending row order — the accumulation order every
+  /// other read path reproduces.
+  void read_columns_into(const double* volts, double* currents) const;
+
+  /// Spiking-read variant: rows with spike[r] != 0 are driven at `v_read`,
+  /// the rest are grounded.
+  void read_columns_spiking_into(const uint8_t* spikes, double v_read,
+                                 double* currents) const;
+
   /// Column currents (amps) for word-line voltages `volts` (size rows()).
+  /// Allocating wrapper over read_columns_into.
   std::vector<double> read_columns(const std::vector<double>& volts) const;
 
   /// Column currents when word lines carry binary spikes at `v_read`:
-  /// rows with spike[r] != 0 are driven, the rest are grounded.
+  /// allocating wrapper over read_columns_spiking_into.
   std::vector<double> read_columns_spiking(const std::vector<uint8_t>& spikes,
                                            double v_read) const;
 
  private:
   int64_t index(int64_t r, int64_t c) const { return r * cols_ + c; }
+  void bake_effective(int64_t r, int64_t c);
 
   int64_t rows_;
   int64_t cols_;
   MemristorConfig config_;
-  std::vector<double> g_;  // row-major conductances
+  std::vector<double> g_;     // row-major conductances
+  std::vector<double> geff_;  // wire-model panel; empty when wires ideal
 };
 
 /// A differential pair of crossbars realizing a signed weight block.
@@ -64,6 +92,21 @@ class DifferentialCrossbar {
 
   void program_cell(int64_t r, int64_t c, int64_t signed_level,
                     int64_t max_level, nn::Rng* rng = nullptr);
+
+  /// Packed interleaved effective-conductance panel [rows x 2*cols]: the
+  /// plus cell of logical column c at 2c, the minus cell at 2c+1. One
+  /// cache-friendly row pass feeds both accumulators while preserving the
+  /// per-array accumulation order (plus and minus sums each see rows in
+  /// ascending order, exactly like separate reads of plus()/minus()).
+  const double* packed_panel() const { return panel_.data(); }
+
+  /// Accumulates `n` row drives (strictly ascending row indices, voltage
+  /// per row) into `acc`, an interleaved buffer of 2*cols() entries
+  /// (plus current at 2c, minus at 2c+1). `acc` is NOT zeroed here, so
+  /// callers can fold multiple event lists into one read. Allocation-free:
+  /// this is the event-driven inference engine's only crossbar access.
+  void accumulate_rows(const int32_t* rows, const double* drives, int64_t n,
+                       double* acc) const;
 
   /// Differential column currents I_plus - I_minus for binary spikes.
   std::vector<double> read_columns_spiking(const std::vector<uint8_t>& spikes,
@@ -82,6 +125,7 @@ class DifferentialCrossbar {
   MemristorConfig config_;
   Crossbar plus_;
   Crossbar minus_;
+  std::vector<double> panel_;  // interleaved plus/minus effective panel
 };
 
 }  // namespace qsnc::snc

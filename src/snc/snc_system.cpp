@@ -1,6 +1,7 @@
 #include "snc/snc_system.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -39,6 +40,12 @@ struct SncSystem::Stage {
   float step = 0.0f;     // weight units per grid level (scale / 2^N)
   bool rectify = false;  // followed by ReLU: clamp + M-bit counter ceiling
 
+  // Event-engine im2col tap table (conv stages): taps[pos * rows + r] is
+  // the flat input index of receptive-field tap r at output position pos,
+  // or -1 where the tap falls in the zero padding. Precomputed once at
+  // construction so the gather is a table walk with no bounds arithmetic.
+  std::vector<int32_t> taps;
+
   // Residual plumbing (pad-identity shortcuts). A save_skip stage latches
   // its *input* signal into the skip register before executing; an
   // add_skip stage adds the (subsampled, zero-channel-padded) register to
@@ -53,13 +60,24 @@ struct SncSystem::Stage {
   bool final_readout = false;
 };
 
-namespace {
-
-int64_t round_half_up(double v) {
-  return static_cast<int64_t>(std::floor(v + 0.5));
+int64_t SncStats::input_events() const {
+  int64_t total = 0;
+  for (const SncStageStats& s : stage) total += s.input_events;
+  return total;
 }
 
-}  // namespace
+int64_t SncStats::dense_row_drives() const {
+  int64_t total = 0;
+  for (const SncStageStats& s : stage) total += s.dense_row_drives();
+  return total;
+}
+
+double SncStats::input_sparsity() const {
+  const int64_t dense = dense_row_drives();
+  return dense > 0 ? 1.0 - static_cast<double>(input_events()) /
+                               static_cast<double>(dense)
+                   : 0.0;
+}
 
 SncSystem::~SncSystem() = default;
 
@@ -116,6 +134,32 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
     }
   };
 
+  // Bakes the im2col tap index table for a conv stage's current geometry.
+  auto build_tap_table = [](Stage& stage) {
+    const int64_t rows = stage.in_c * stage.kernel * stage.kernel;
+    const int64_t positions = stage.out_h * stage.out_w;
+    stage.taps.assign(static_cast<size_t>(positions * rows), -1);
+    for (int64_t pos = 0; pos < positions; ++pos) {
+      const int64_t oy = pos / stage.out_w;
+      const int64_t ox = pos % stage.out_w;
+      int32_t* row = stage.taps.data() + pos * rows;
+      int64_t r = 0;
+      for (int64_t ic = 0; ic < stage.in_c; ++ic) {
+        for (int64_t ky = 0; ky < stage.kernel; ++ky) {
+          for (int64_t kx = 0; kx < stage.kernel; ++kx, ++r) {
+            const int64_t iy = oy * stage.stride - stage.pad + ky;
+            const int64_t ix = ox * stage.stride - stage.pad + kx;
+            if (iy >= 0 && iy < stage.in_h && ix >= 0 && ix < stage.in_w) {
+              row[r] = static_cast<int32_t>((ic * stage.in_h + iy) *
+                                                stage.in_w +
+                                            ix);
+            }
+          }
+        }
+      }
+    }
+  };
+
   // Emits a crossbar stage for one convolution given the running geometry.
   auto make_conv_stage = [&](nn::Conv2d& conv) {
     auto stage = std::make_unique<Stage>();
@@ -133,6 +177,7 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
         nn::conv_out_extent(w, conv.kernel(), conv.stride(), conv.pad());
     const int64_t rows = conv.in_channels() * conv.kernel() * conv.kernel();
     program_matrix(conv.weight().value, rows, conv.out_channels(), *stage);
+    build_tap_table(*stage);
     stage->bias.assign(static_cast<size_t>(conv.out_channels()), 0.0f);
     if (conv.uses_bias()) {
       for (int64_t j = 0; j < conv.out_channels(); ++j) {
@@ -259,6 +304,13 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
     }
   }
 
+  for (const auto& stage : stages_) {
+    if (stage->kind == Stage::Kind::kConv ||
+        stage->kind == Stage::Kind::kDense) {
+      ++crossbar_stage_count_;
+    }
+  }
+
   // The network's last crossbar stage carries the classification logits:
   // if it is unrectified (no trailing ReLU), read it out analog.
   for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
@@ -273,7 +325,27 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
 }
 
 std::vector<int64_t> SncSystem::run_crossbar_stage(
-    const Stage& stage, const std::vector<int64_t>& input, SncStats* stats) {
+    const Stage& stage, const std::vector<int64_t>& input,
+    SncStageStats* stats) {
+  const bool is_conv = stage.kind == Stage::Kind::kConv;
+  if (stats != nullptr) {
+    stats->rows = stage.xbar->rows();
+    stats->cols = stage.xbar->cols();
+    stats->positions = is_conv ? stage.out_h * stage.out_w : 1;
+  }
+  return config_.engine == SncEngine::kDenseReference
+             ? run_crossbar_stage_dense(stage, input, stats)
+             : run_crossbar_stage_event(stage, input, stats);
+}
+
+// The pre-event-engine simulator, preserved verbatim as the bit-identical
+// reference: every row of every crossbar is driven at every position
+// through the allocating vector read APIs. Activity statistics are
+// counted the same way as in the event engine (they describe the signals,
+// not the execution strategy).
+std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
+    const Stage& stage, const std::vector<int64_t>& input,
+    SncStageStats* stats) {
   const int64_t T = window_slots(config_.signal_bits);
   const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
   const float step = stage.step;
@@ -292,6 +364,8 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
 
   std::vector<int64_t> output(
       static_cast<size_t>(stage.out_c * positions), 0);
+  std::atomic<int64_t> event_count{0};
+  std::atomic<int64_t> occupied_count{0};
 
   // Each position is one independent crossbar evaluation of the Eq-1
   // mapped layer: crossbar state is read-only during inference and every
@@ -302,6 +376,8 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
   auto run_positions = [&](int64_t p0, int64_t p1) {
     std::vector<double> volts(static_cast<size_t>(rows));
     std::vector<int64_t> field(static_cast<size_t>(rows));
+    int64_t chunk_events = 0;
+    int64_t chunk_occupied = 0;
     for (int64_t pos = p0; pos < p1; ++pos) {
     // Gather the integer receptive field (im2col order: c, ky, kx).
     if (is_conv) {
@@ -326,6 +402,9 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
         field[static_cast<size_t>(r)] = input[static_cast<size_t>(r)];
       }
     }
+    for (int64_t r = 0; r < rows; ++r) {
+      if (field[static_cast<size_t>(r)] != 0) ++chunk_events;
+    }
 
     if (config_.mode == IntegrationMode::kIdealIntegration &&
         !config_.stochastic_coding) {
@@ -345,7 +424,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
             dg;
         const double y = static_cast<double>(step) * level_sum +
                          static_cast<double>(stage.bias[static_cast<size_t>(col)]);
-        int64_t count = round_half_up(y);
+        int64_t count = core::round_half_up(y);
         if (stage.rectify) count = std::clamp<int64_t>(count, 0, T);
         output[static_cast<size_t>(col * positions + pos)] = count;
         if (stage.final_readout) {
@@ -381,10 +460,13 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
       }
       std::vector<uint8_t> slot_spikes(static_cast<size_t>(rows));
       for (int64_t t = 0; t < T; ++t) {
+        bool any_spike = false;
         for (int64_t r = 0; r < rows; ++r) {
           slot_spikes[static_cast<size_t>(r)] =
               trains[static_cast<size_t>(r)][static_cast<size_t>(t)];
+          if (slot_spikes[static_cast<size_t>(r)] != 0) any_spike = true;
         }
+        if (any_spike) ++chunk_occupied;
         const std::vector<double> plus =
             stage.xbar->plus().read_columns_spiking(slot_spikes, 1.0);
         const std::vector<double> minus =
@@ -419,7 +501,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
                     m2[static_cast<size_t>(col)]) /
                    dg) +
               static_cast<double>(stage.bias[static_cast<size_t>(col)]);
-          count = round_half_up(y);
+          count = core::round_half_up(y);
           if (stage.final_readout) {
             analog_readout_[static_cast<size_t>(col)] = y;
           }
@@ -428,6 +510,8 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
       }
     }
     }
+    event_count.fetch_add(chunk_events, std::memory_order_relaxed);
+    occupied_count.fetch_add(chunk_occupied, std::memory_order_relaxed);
   };
   if (!config_.stochastic_coding && !stage.final_readout) {
     util::parallel_for(0, positions, 0, run_positions);
@@ -436,11 +520,206 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
   }
 
   if (stats != nullptr) {
-    ++stats->layers;
+    stats->input_events = event_count.load(std::memory_order_relaxed);
+    stats->occupied_slots = occupied_count.load(std::memory_order_relaxed);
     // add_skip stages report spikes after the digital skip add (see
     // infer); raw pre-add counts are not what crosses the boundary.
     if (!stage.add_skip) {
-      for (int64_t v : output) stats->total_spikes += std::max<int64_t>(v, 0);
+      for (int64_t v : output) stats->spikes += std::max<int64_t>(v, 0);
+    }
+  }
+  return output;
+}
+
+// The event-driven engine. Per position it gathers the receptive field as
+// a sparse (row, value) event list through the precomputed tap table,
+// folds the events into interleaved plus/minus column sums straight out
+// of the crossbar's packed effective-conductance panel, and — in slot
+// modes — encodes spike trains only for the rows that can fire. Work is
+// O(nnz x cols) per read instead of O(rows x cols), and the loop performs
+// no allocations (scratch lives per parallel chunk). Every accumulation
+// order matches the dense reference, so results are bit-identical.
+std::vector<int64_t> SncSystem::run_crossbar_stage_event(
+    const Stage& stage, const std::vector<int64_t>& input,
+    SncStageStats* stats) {
+  const int64_t T = window_slots(config_.signal_bits);
+  const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
+  const float step = stage.step;
+  const double dg = (g_max(config_.device) - g_min(config_.device)) /
+                    static_cast<double>(kmax);
+
+  const int64_t rows = stage.xbar->rows();
+  const int64_t cols = stage.xbar->cols();
+  const bool is_conv = stage.kind == Stage::Kind::kConv;
+  const int64_t positions = is_conv ? stage.out_h * stage.out_w : 1;
+  const bool slot_mode = config_.mode != IntegrationMode::kIdealIntegration ||
+                         config_.stochastic_coding;
+  if (stage.final_readout) {
+    analog_readout_.assign(static_cast<size_t>(cols), 0.0);
+  }
+
+  std::vector<int64_t> output(
+      static_cast<size_t>(stage.out_c * positions), 0);
+  std::atomic<int64_t> event_count{0};
+  std::atomic<int64_t> occupied_count{0};
+  const double* panel = stage.xbar->packed_panel();
+  const int64_t width = 2 * cols;
+
+  // Same fan-out contract as the dense reference: positions parallelize
+  // on deterministic non-readout stages; chunk boundaries are shape-only.
+  auto run_positions = [&](int64_t p0, int64_t p1) {
+    // Per-chunk scratch: the position/slot loops below never allocate.
+    std::vector<int32_t> event_rows(static_cast<size_t>(rows));
+    std::vector<double> event_vals(static_cast<size_t>(rows));
+    std::vector<double> acc(static_cast<size_t>(width));
+    std::vector<uint8_t> trains;     // event-major [nnz x T], slot modes
+    std::vector<IntegrateFire> units;
+    std::vector<SpikeCounter> counters;
+    if (slot_mode) {
+      trains.resize(static_cast<size_t>(rows * T));
+      units.assign(static_cast<size_t>(cols), IntegrateFire(1.0));
+      counters.assign(static_cast<size_t>(cols),
+                      SpikeCounter(config_.signal_bits));
+    }
+    int64_t chunk_events = 0;
+    int64_t chunk_occupied = 0;
+
+    for (int64_t pos = p0; pos < p1; ++pos) {
+      // Gather nonzero receptive-field taps as (row, value) events. In
+      // slot modes the spike train of each event row is encoded in the
+      // same pass; stochastic coding still consumes a full window of
+      // draws for zero rows so the shared RNG stream stays aligned with
+      // the dense reference (which encodes every row).
+      const int32_t* taps =
+          is_conv ? stage.taps.data() + pos * rows : nullptr;
+      int64_t nnz = 0;
+      for (int64_t r = 0; r < rows; ++r) {
+        int64_t v;
+        if (is_conv) {
+          const int32_t tap = taps[r];
+          v = tap >= 0 ? input[static_cast<size_t>(tap)] : 0;
+        } else {
+          v = input[static_cast<size_t>(r)];
+        }
+        if (slot_mode && config_.stochastic_coding) {
+          rate_encode_stochastic_into(v, config_.signal_bits, rng_,
+                                      trains.data() + nnz * T);
+        } else if (slot_mode && v != 0) {
+          rate_encode_into(v, config_.signal_bits, trains.data() + nnz * T);
+        }
+        if (v != 0) {
+          event_rows[static_cast<size_t>(nnz)] = static_cast<int32_t>(r);
+          event_vals[static_cast<size_t>(nnz)] = static_cast<double>(v);
+          ++nnz;
+        }
+      }
+      chunk_events += nnz;
+
+      if (!slot_mode) {
+        // Collapsed ideal read: one value-weighted accumulate over the
+        // event rows (ascending), interleaved plus/minus.
+        std::fill(acc.begin(), acc.end(), 0.0);
+        stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
+                                    nnz, acc.data());
+        for (int64_t col = 0; col < cols; ++col) {
+          const double level_sum =
+              (acc[static_cast<size_t>(2 * col)] -
+               acc[static_cast<size_t>(2 * col + 1)]) /
+              dg;
+          const double y =
+              static_cast<double>(step) * level_sum +
+              static_cast<double>(stage.bias[static_cast<size_t>(col)]);
+          int64_t count = core::round_half_up(y);
+          if (stage.rectify) count = std::clamp<int64_t>(count, 0, T);
+          output[static_cast<size_t>(col * positions + pos)] = count;
+          if (stage.final_readout) {
+            analog_readout_[static_cast<size_t>(col)] = y;
+          }
+        }
+        continue;
+      }
+
+      // Slot-by-slot spiking execution. Membrane preload as in the dense
+      // reference; each slot reduces to the event rows whose train fires
+      // in that slot. A slot in which no event fires deposits exactly
+      // zero charge in every IFC, so it is skipped outright.
+      for (int64_t col = 0; col < cols; ++col) {
+        units[static_cast<size_t>(col)].reset();
+        counters[static_cast<size_t>(col)].reset();
+        const int64_t preload_fires =
+            units[static_cast<size_t>(col)].integrate(
+                static_cast<double>(stage.bias[static_cast<size_t>(col)]) +
+                0.5);
+        counters[static_cast<size_t>(col)].count(preload_fires);
+      }
+      for (int64_t t = 0; t < T; ++t) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        bool any_spike = false;
+        for (int64_t e = 0; e < nnz; ++e) {
+          if (trains[static_cast<size_t>(e * T + t)] == 0) continue;
+          any_spike = true;
+          const double* row =
+              panel + static_cast<int64_t>(
+                          event_rows[static_cast<size_t>(e)]) *
+                          width;
+          for (int64_t k = 0; k < width; ++k) {
+            acc[static_cast<size_t>(k)] += row[k];
+          }
+        }
+        if (!any_spike) continue;
+        ++chunk_occupied;
+        for (int64_t col = 0; col < cols; ++col) {
+          const double level_sum =
+              (acc[static_cast<size_t>(2 * col)] -
+               acc[static_cast<size_t>(2 * col + 1)]) /
+              dg;
+          const int64_t fired = units[static_cast<size_t>(col)].integrate(
+              static_cast<double>(step) * level_sum);
+          counters[static_cast<size_t>(col)].count(fired);
+        }
+      }
+      if (!stage.rectify) {
+        // Non-rectified stages (final readout / pre-skip-add raw counts)
+        // re-derive the wide digital count from the collapsed ideal read,
+        // exactly like the dense reference — but with one event
+        // accumulate for all columns instead of a dense read per column.
+        std::fill(acc.begin(), acc.end(), 0.0);
+        stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
+                                    nnz, acc.data());
+        for (int64_t col = 0; col < cols; ++col) {
+          const double y =
+              static_cast<double>(step) *
+                  ((acc[static_cast<size_t>(2 * col)] -
+                    acc[static_cast<size_t>(2 * col + 1)]) /
+                   dg) +
+              static_cast<double>(stage.bias[static_cast<size_t>(col)]);
+          output[static_cast<size_t>(col * positions + pos)] =
+              core::round_half_up(y);
+          if (stage.final_readout) {
+            analog_readout_[static_cast<size_t>(col)] = y;
+          }
+        }
+      } else {
+        for (int64_t col = 0; col < cols; ++col) {
+          output[static_cast<size_t>(col * positions + pos)] =
+              counters[static_cast<size_t>(col)].value();
+        }
+      }
+    }
+    event_count.fetch_add(chunk_events, std::memory_order_relaxed);
+    occupied_count.fetch_add(chunk_occupied, std::memory_order_relaxed);
+  };
+  if (!config_.stochastic_coding && !stage.final_readout) {
+    util::parallel_for(0, positions, 0, run_positions);
+  } else {
+    run_positions(0, positions);
+  }
+
+  if (stats != nullptr) {
+    stats->input_events = event_count.load(std::memory_order_relaxed);
+    stats->occupied_slots = occupied_count.load(std::memory_order_relaxed);
+    if (!stage.add_skip) {
+      for (int64_t v : output) stats->spikes += std::max<int64_t>(v, 0);
     }
   }
   return output;
@@ -456,6 +735,7 @@ int64_t SncSystem::infer(const nn::Tensor& image, SncStats* stats) {
   if (stats != nullptr) {
     *stats = SncStats{};
     stats->window_slots = T;
+    stats->stage.assign(crossbar_stage_count_, SncStageStats{});
   }
 
   // Input encoder: pixel -> signal units -> M-bit spike count.
@@ -468,17 +748,26 @@ int64_t SncSystem::infer(const nn::Tensor& image, SncStats* stats) {
   }
 
   std::vector<int64_t> skip;  // residual shortcut register
+  size_t xbar_idx = 0;
   for (const auto& stage : stages_) {
     switch (stage->kind) {
       case Stage::Kind::kConv:
       case Stage::Kind::kDense: {
+        SncStageStats* st =
+            stats != nullptr ? &stats->stage[xbar_idx] : nullptr;
+        ++xbar_idx;
         if (stage->save_skip) skip = signal;
-        signal = run_crossbar_stage(*stage, signal, stats);
+        signal = run_crossbar_stage(*stage, signal, st);
+        if (stats != nullptr) {
+          ++stats->layers;
+          if (!stage->add_skip) stats->total_spikes += st->spikes;
+        }
         if (stage->add_skip) {
           // Digital skip add (pad-identity shortcut): subsample spatially,
           // zero-pad new channels, then rectify to the counter ceiling.
           const int64_t in_h = stage->out_h * stage->skip_stride;
           const int64_t in_w = stage->out_w * stage->skip_stride;
+          int64_t post_add_spikes = 0;
           for (int64_t oc = 0; oc < stage->out_c; ++oc) {
             for (int64_t y = 0; y < stage->out_h; ++y) {
               for (int64_t x = 0; x < stage->out_w; ++x) {
@@ -492,9 +781,13 @@ int64_t SncSystem::infer(const nn::Tensor& image, SncStats* stats) {
                 v = std::clamp<int64_t>(v, 0, T);
                 signal[static_cast<size_t>(
                     (oc * stage->out_h + y) * stage->out_w + x)] = v;
-                if (stats != nullptr) stats->total_spikes += v;
+                post_add_spikes += v;
               }
             }
+          }
+          if (stats != nullptr) {
+            st->spikes = post_add_spikes;
+            stats->total_spikes += post_add_spikes;
           }
         }
         break;

@@ -44,6 +44,23 @@ namespace qsnc::snc {
 
 enum class IntegrationMode { kIdealIntegration, kOnline };
 
+/// Inference engine selection.
+///  * kEventDriven — the production hot path: each stage's differential
+///    effective conductances are baked into a packed panel at programming
+///    time, receptive fields are gathered as sparse (row, value) event
+///    lists through precomputed im2col tap tables, and column sums
+///    accumulate only over nonzero rows — O(nnz x cols) per position
+///    instead of O(rows x cols), with zero allocations in the loop. In
+///    hardware terms: a zero signal emits zero spikes and draws no
+///    crossbar current (Eq 3's convergence is what makes signals sparse).
+///  * kDenseReference — the pre-event-engine simulator, kept as the
+///    bit-identical reference the equivalence tests and benches compare
+///    against: every row of every crossbar is driven at every position.
+/// Both engines produce bit-identical outputs, logits, and activity
+/// statistics for any config (the accumulation order per column is the
+/// same ascending-row order; zero rows contribute nothing either way).
+enum class SncEngine { kEventDriven, kDenseReference };
+
 struct SncConfig {
   int signal_bits = 4;  // M
   int weight_bits = 4;  // N
@@ -56,8 +73,41 @@ struct SncConfig {
   float input_scale = 16.0f;  // pixel -> signal-unit scale before encoding
   IntegrationMode mode = IntegrationMode::kIdealIntegration;
   bool stochastic_coding = false;  // Bernoulli instead of deterministic
+  SncEngine engine = SncEngine::kEventDriven;
   MemristorConfig device;
   uint64_t seed = 7;  // programming variation + stochastic coding draws
+};
+
+/// Per-crossbar-stage activity counters for one inference. These are
+/// properties of the *signals*, not of the engine that executed them, so
+/// both engines report identical numbers (pinned by the equivalence
+/// tests); the event engine's work is proportional to `input_events`,
+/// the dense engine's to `dense_row_drives()`.
+struct SncStageStats {
+  int64_t rows = 0;       // crossbar rows (receptive-field taps)
+  int64_t cols = 0;       // crossbar columns (output channels)
+  int64_t positions = 0;  // spatial evaluations (out_h * out_w, 1 for FC)
+  /// Nonzero-signal row drives gathered across all positions — the rows
+  /// that actually emit spikes / draw crossbar current.
+  int64_t input_events = 0;
+  /// Output spikes leaving the stage (post skip-add for residual tails).
+  int64_t spikes = 0;
+  /// (position, slot) pairs in which at least one row spiked; only
+  /// counted by the slot-by-slot paths (online mode or stochastic
+  /// coding), 0 in collapsed ideal reads.
+  int64_t occupied_slots = 0;
+
+  /// Row drives a dense engine performs for this stage.
+  int64_t dense_row_drives() const { return rows * positions; }
+  /// Fraction of row drives skipped by the event engine: zero signals in
+  /// the receptive fields (1.0 = all-zero input, 0.0 = fully dense).
+  double input_sparsity() const {
+    const int64_t dense = dense_row_drives();
+    return dense > 0
+               ? 1.0 - static_cast<double>(input_events) /
+                           static_cast<double>(dense)
+               : 0.0;
+  }
 };
 
 /// Per-inference activity statistics.
@@ -65,6 +115,15 @@ struct SncStats {
   int64_t total_spikes = 0;   // spikes transported across all boundaries
   int64_t window_slots = 0;   // T
   int64_t layers = 0;         // crossbar-backed stages executed
+  /// Per-stage activity, one entry per crossbar-backed stage in network
+  /// order (filled whenever stats are requested, by either engine).
+  std::vector<SncStageStats> stage;
+
+  /// Totals over all crossbar stages.
+  int64_t input_events() const;
+  int64_t dense_row_drives() const;
+  /// Overall fraction of row drives the event engine skips.
+  double input_sparsity() const;
 };
 
 class SncSystem {
@@ -97,11 +156,20 @@ class SncSystem {
 
   std::vector<int64_t> run_crossbar_stage(const Stage& stage,
                                           const std::vector<int64_t>& input,
-                                          SncStats* stats);
+                                          SncStageStats* stats);
+  /// The pre-event-engine simulator (SncEngine::kDenseReference).
+  std::vector<int64_t> run_crossbar_stage_dense(
+      const Stage& stage, const std::vector<int64_t>& input,
+      SncStageStats* stats);
+  /// The event-driven engine (SncEngine::kEventDriven).
+  std::vector<int64_t> run_crossbar_stage_event(
+      const Stage& stage, const std::vector<int64_t>& input,
+      SncStageStats* stats);
 
   SncConfig config_;
   nn::Shape input_chw_;
   std::vector<std::unique_ptr<Stage>> stages_;
+  size_t crossbar_stage_count_ = 0;
   std::vector<double> last_logits_;
   std::vector<double> analog_readout_;  // filled by the final stage
   nn::Rng rng_;

@@ -5,30 +5,40 @@
 
 namespace qsnc::snc {
 
-std::vector<uint8_t> rate_encode(int64_t value, int bits) {
+void rate_encode_into(int64_t value, int bits, uint8_t* train) {
   const int64_t slots = window_slots(bits);
   const int64_t n = std::clamp<int64_t>(value, 0, slots);
-  std::vector<uint8_t> train(static_cast<size_t>(slots), 0);
-  if (n == 0) return train;
+  std::fill(train, train + slots, uint8_t{0});
+  if (n == 0) return;
   // Evenly spread spikes: slot k fires when floor((k+1)*n/T) increments.
   int64_t fired = 0;
   for (int64_t k = 0; k < slots; ++k) {
     const int64_t target = (k + 1) * n / slots;
     if (target > fired) {
-      train[static_cast<size_t>(k)] = 1;
+      train[k] = 1;
       fired = target;
     }
   }
+}
+
+void rate_encode_stochastic_into(int64_t value, int bits, nn::Rng& rng,
+                                 uint8_t* train) {
+  const int64_t slots = window_slots(bits);
+  const int64_t n = std::clamp<int64_t>(value, 0, slots);
+  const double p = static_cast<double>(n) / static_cast<double>(slots);
+  for (int64_t k = 0; k < slots; ++k) train[k] = rng.bernoulli(p) ? 1 : 0;
+}
+
+std::vector<uint8_t> rate_encode(int64_t value, int bits) {
+  std::vector<uint8_t> train(static_cast<size_t>(window_slots(bits)));
+  rate_encode_into(value, bits, train.data());
   return train;
 }
 
 std::vector<uint8_t> rate_encode_stochastic(int64_t value, int bits,
                                             nn::Rng& rng) {
-  const int64_t slots = window_slots(bits);
-  const int64_t n = std::clamp<int64_t>(value, 0, slots);
-  const double p = static_cast<double>(n) / static_cast<double>(slots);
-  std::vector<uint8_t> train(static_cast<size_t>(slots), 0);
-  for (auto& s : train) s = rng.bernoulli(p) ? 1 : 0;
+  std::vector<uint8_t> train(static_cast<size_t>(window_slots(bits)));
+  rate_encode_stochastic_into(value, bits, rng, train.data());
   return train;
 }
 

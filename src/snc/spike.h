@@ -28,6 +28,16 @@ std::vector<uint8_t> rate_encode(int64_t value, int bits);
 std::vector<uint8_t> rate_encode_stochastic(int64_t value, int bits,
                                             nn::Rng& rng);
 
+/// Allocation-free encoders for the inference hot loop: write the train
+/// into caller-owned storage of `window_slots(bits)` slots. The vector
+/// variants above are thin wrappers. The stochastic form consumes exactly
+/// `window_slots(bits)` RNG draws for every value — including zero — so a
+/// caller that encodes only the rows it needs keeps the stream aligned
+/// with one that encodes everything.
+void rate_encode_into(int64_t value, int bits, uint8_t* train);
+void rate_encode_stochastic_into(int64_t value, int bits, nn::Rng& rng,
+                                 uint8_t* train);
+
 /// Counts spikes back into an integer (the Counter block).
 int64_t rate_decode(const std::vector<uint8_t>& spikes);
 

@@ -24,13 +24,26 @@ struct Event {
 }  // namespace
 
 TimingResult simulate_window(int64_t layers, int64_t window_slots,
-                             const TimingConfig& config) {
+                             const TimingConfig& config,
+                             int64_t active_slots) {
   if (layers <= 0 || window_slots <= 0) {
     throw std::invalid_argument("simulate_window: non-positive extent");
+  }
+  // Event-driven sequencer: skipped (all-quiet) slots never enter the
+  // schedule, so the grid shrinks to the active slots; the wave order of
+  // the remaining slots is unchanged.
+  if (active_slots >= 0) {
+    window_slots = std::min(active_slots, window_slots);
   }
 
   TimingResult result;
   result.stage_busy_ns.assign(static_cast<size_t>(layers), 0.0);
+  if (window_slots == 0) {
+    // Nothing spiked: the window is pure setup/readout.
+    result.period_ns = static_cast<double>(layers) * config.t_setup_ns;
+    result.speed_mhz = 1e3 / result.period_ns;
+    return result;
+  }
 
   // stage_free[l]: earliest time stage l can accept new work.
   // slot_done[s]:  time slot s drained from the last stage.
@@ -94,7 +107,8 @@ std::vector<TimingResult> simulate_windows(
         for (int64_t s = s0; s < s1; ++s) {
           const WindowSpec& spec = specs[static_cast<size_t>(s)];
           results[static_cast<size_t>(s)] =
-              simulate_window(spec.layers, spec.window_slots, spec.config);
+              simulate_window(spec.layers, spec.window_slots, spec.config,
+                              spec.active_slots);
         }
       });
   return results;

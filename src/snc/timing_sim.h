@@ -42,14 +42,24 @@ struct TimingResult {
 
 /// Simulates one spike window of `window_slots` slots through `layers`
 /// pipeline stages under the given discipline.
+///
+/// `active_slots` models an event-driven sequencer: only slots in which at
+/// least one input row actually spikes are issued through the pipeline;
+/// empty slots are skipped for free (no propagation, no IFC settle). Pass
+/// -1 (default) for a dense sequencer that issues every slot, or the
+/// measured `SncStageStats::occupied_slots` fraction of the window to ask
+/// what slot-skipping buys. Values are clamped to [0, window_slots]; an
+/// all-quiet window (0) still pays the per-stage setup/readout time.
 TimingResult simulate_window(int64_t layers, int64_t window_slots,
-                             const TimingConfig& config = {});
+                             const TimingConfig& config = {},
+                             int64_t active_slots = -1);
 
 /// One independent window simulation in a batch (e.g. a per-crossbar or
 /// per-model sweep point).
 struct WindowSpec {
   int64_t layers = 1;
   int64_t window_slots = 1;
+  int64_t active_slots = -1;  // -1: dense sequencer (all slots issued)
   TimingConfig config;
 };
 

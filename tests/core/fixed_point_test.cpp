@@ -107,5 +107,25 @@ TEST(InputSignalTest, QuantizesLikeEncoder) {
   EXPECT_FLOAT_EQ(quantize_input_signal(9.0f, 3), 7.0f);
 }
 
+TEST(RoundHalfUpTest, TiesGoUp) {
+  EXPECT_EQ(round_half_up(0.5), 1);
+  EXPECT_EQ(round_half_up(1.5), 2);
+  EXPECT_EQ(round_half_up(2.5), 3);
+  // std::llround would give -1 and -2 here; the SNC counter convention
+  // (floor(v + 0.5)) sends negative halves up toward zero instead.
+  EXPECT_EQ(round_half_up(-0.5), 0);
+  EXPECT_EQ(round_half_up(-1.5), -1);
+}
+
+TEST(RoundHalfUpTest, NonTiesMatchNearest) {
+  EXPECT_EQ(round_half_up(0.0), 0);
+  EXPECT_EQ(round_half_up(0.49), 0);
+  EXPECT_EQ(round_half_up(0.51), 1);
+  EXPECT_EQ(round_half_up(-0.49), 0);
+  EXPECT_EQ(round_half_up(-0.51), -1);
+  EXPECT_EQ(round_half_up(7.0), 7);
+  EXPECT_EQ(round_half_up(-7.0), -7);
+}
+
 }  // namespace
 }  // namespace qsnc::core

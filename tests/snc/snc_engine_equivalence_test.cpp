@@ -1,0 +1,226 @@
+// Event-driven vs dense-reference engine equivalence.
+//
+// The event engine (SncEngine::kEventDriven) must be bit-identical to the
+// dense reference on every supported configuration: same predictions,
+// same analog logits (exact double equality — the accumulation order per
+// column is identical), and the same activity statistics (which describe
+// the signals, not the execution strategy). The matrix covers all three
+// model-zoo networks x {ideal, online} integration x {deterministic,
+// stochastic} coding, plus the all-zero and all-saturated worst-case
+// signals where the event list is empty / fully dense.
+//
+// Deterministic variants run positions through the thread pool, so this
+// test carries the `tsan` label (registered via qsnc_tsan_test).
+#include "snc/snc_system.h"
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/bn_folding.h"
+#include "core/fixed_point.h"
+#include "core/weight_clustering.h"
+#include "gtest/gtest.h"
+#include "models/model_zoo.h"
+#include "nn/rng.h"
+
+namespace qsnc {
+namespace {
+
+struct ModelSpec {
+  const char* name;
+  std::function<nn::Network(nn::Rng&)> factory;
+  nn::Shape input;
+};
+
+std::vector<ModelSpec> model_specs() {
+  return {
+      {"lenet", models::make_lenet_mini, {1, 28, 28}},
+      {"alexnet", models::make_alexnet_mini, {3, 32, 32}},
+      {"resnet", models::make_resnet_mini, {3, 32, 32}},
+  };
+}
+
+snc::SncConfig deploy_config(nn::Network& net, int bits) {
+  core::fold_batchnorm(net);
+  core::WeightClusterConfig wc;
+  wc.bits = bits;
+  const auto results = core::apply_weight_clustering(net, wc);
+  snc::SncConfig cfg;
+  cfg.signal_bits = bits;
+  cfg.weight_bits = bits;
+  cfg.weight_scales.clear();
+  for (const auto& r : results) cfg.weight_scales.push_back(r.scale);
+  cfg.input_scale =
+      std::min(16.0f, static_cast<float>(core::signal_max(bits)));
+  return cfg;
+}
+
+nn::Tensor random_image(const nn::Shape& chw, uint64_t seed) {
+  nn::Tensor image(chw);
+  nn::Rng rng(seed);
+  for (int64_t i = 0; i < image.numel(); ++i) {
+    image[i] = rng.uniform(0.0f, 1.0f);
+  }
+  return image;
+}
+
+void expect_stats_equal(const snc::SncStats& event,
+                        const snc::SncStats& dense, const std::string& ctx) {
+  EXPECT_EQ(event.total_spikes, dense.total_spikes) << ctx;
+  EXPECT_EQ(event.window_slots, dense.window_slots) << ctx;
+  EXPECT_EQ(event.layers, dense.layers) << ctx;
+  ASSERT_EQ(event.stage.size(), dense.stage.size()) << ctx;
+  for (size_t s = 0; s < event.stage.size(); ++s) {
+    const std::string stage_ctx = ctx + " stage " + std::to_string(s);
+    EXPECT_EQ(event.stage[s].rows, dense.stage[s].rows) << stage_ctx;
+    EXPECT_EQ(event.stage[s].cols, dense.stage[s].cols) << stage_ctx;
+    EXPECT_EQ(event.stage[s].positions, dense.stage[s].positions)
+        << stage_ctx;
+    EXPECT_EQ(event.stage[s].input_events, dense.stage[s].input_events)
+        << stage_ctx;
+    EXPECT_EQ(event.stage[s].spikes, dense.stage[s].spikes) << stage_ctx;
+    EXPECT_EQ(event.stage[s].occupied_slots, dense.stage[s].occupied_slots)
+        << stage_ctx;
+  }
+}
+
+// Runs `images` through both engines (separate, identically configured
+// systems so stochastic draws see the same RNG stream) and asserts
+// bitwise-equal predictions, logits, and statistics.
+void check_equivalence(const ModelSpec& spec, snc::IntegrationMode mode,
+                       bool stochastic,
+                       const std::vector<nn::Tensor>& images) {
+  const int bits = 4;
+  nn::Rng rng_a(3);
+  nn::Network net_a = spec.factory(rng_a);
+  snc::SncConfig cfg = deploy_config(net_a, bits);
+  cfg.mode = mode;
+  cfg.stochastic_coding = stochastic;
+
+  cfg.engine = snc::SncEngine::kEventDriven;
+  snc::SncSystem event_system(net_a, spec.input, cfg);
+
+  nn::Rng rng_b(3);
+  nn::Network net_b = spec.factory(rng_b);
+  snc::SncConfig cfg_b = deploy_config(net_b, bits);
+  cfg_b.mode = mode;
+  cfg_b.stochastic_coding = stochastic;
+  cfg_b.engine = snc::SncEngine::kDenseReference;
+  snc::SncSystem dense_system(net_b, spec.input, cfg_b);
+
+  const std::string base_ctx =
+      std::string(spec.name) +
+      (mode == snc::IntegrationMode::kOnline ? " online" : " ideal") +
+      (stochastic ? " stochastic" : " deterministic");
+  for (size_t i = 0; i < images.size(); ++i) {
+    const std::string ctx = base_ctx + " image " + std::to_string(i);
+    snc::SncStats event_stats;
+    snc::SncStats dense_stats;
+    const int64_t event_pred =
+        event_system.infer(images[i], &event_stats);
+    const int64_t dense_pred =
+        dense_system.infer(images[i], &dense_stats);
+    EXPECT_EQ(event_pred, dense_pred) << ctx;
+    ASSERT_EQ(event_system.last_logits().size(),
+              dense_system.last_logits().size())
+        << ctx;
+    for (size_t j = 0; j < event_system.last_logits().size(); ++j) {
+      // Exact double equality: the engines must accumulate in the same
+      // order, not merely approximate one another.
+      EXPECT_EQ(event_system.last_logits()[j],
+                dense_system.last_logits()[j])
+          << ctx << " logit " << j;
+    }
+    expect_stats_equal(event_stats, dense_stats, ctx);
+  }
+}
+
+TEST(SncEngineEquivalenceTest, ModelZooIdealDeterministic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_equivalence(spec, snc::IntegrationMode::kIdealIntegration, false,
+                      {random_image(spec.input, 21),
+                       random_image(spec.input, 22)});
+  }
+}
+
+TEST(SncEngineEquivalenceTest, ModelZooOnlineDeterministic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_equivalence(spec, snc::IntegrationMode::kOnline, false,
+                      {random_image(spec.input, 23)});
+  }
+}
+
+TEST(SncEngineEquivalenceTest, ModelZooIdealStochastic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_equivalence(spec, snc::IntegrationMode::kIdealIntegration, true,
+                      {random_image(spec.input, 24)});
+  }
+}
+
+TEST(SncEngineEquivalenceTest, ModelZooOnlineStochastic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_equivalence(spec, snc::IntegrationMode::kOnline, true,
+                      {random_image(spec.input, 25)});
+  }
+}
+
+// Worst-case signals. All-zero: the event list is empty at the first
+// stage (the engine must still produce the bias-driven outputs and pay
+// zero row drives). All-saturated: every input row is an event, so the
+// event engine degenerates to dense work yet must stay bit-identical.
+TEST(SncEngineEquivalenceTest, AllZeroImage) {
+  for (const ModelSpec& spec : model_specs()) {
+    nn::Tensor zero(spec.input);  // zero-initialized
+    for (snc::IntegrationMode mode :
+         {snc::IntegrationMode::kIdealIntegration,
+          snc::IntegrationMode::kOnline}) {
+      check_equivalence(spec, mode, false, {zero});
+    }
+  }
+}
+
+TEST(SncEngineEquivalenceTest, AllSaturatedImage) {
+  for (const ModelSpec& spec : model_specs()) {
+    nn::Tensor ones(spec.input, 1.0f);
+    for (snc::IntegrationMode mode :
+         {snc::IntegrationMode::kIdealIntegration,
+          snc::IntegrationMode::kOnline}) {
+      check_equivalence(spec, mode, false, {ones});
+    }
+  }
+}
+
+TEST(SncEngineEquivalenceTest, AllZeroImageDrivesNoFirstStageRows) {
+  const ModelSpec spec = model_specs().front();  // lenet
+  nn::Rng rng(3);
+  nn::Network net = spec.factory(rng);
+  snc::SncConfig cfg = deploy_config(net, 4);
+  snc::SncSystem system(net, spec.input, cfg);
+  snc::SncStats stats;
+  system.infer(nn::Tensor(spec.input), &stats);
+  ASSERT_FALSE(stats.stage.empty());
+  EXPECT_EQ(stats.stage[0].input_events, 0);
+  EXPECT_DOUBLE_EQ(stats.stage[0].input_sparsity(), 1.0);
+  EXPECT_GT(stats.dense_row_drives(), 0);
+}
+
+TEST(SncEngineEquivalenceTest, StatsExposeWorkReduction) {
+  const ModelSpec spec = model_specs().front();  // lenet
+  nn::Rng rng(3);
+  nn::Network net = spec.factory(rng);
+  snc::SncConfig cfg = deploy_config(net, 4);
+  snc::SncSystem system(net, spec.input, cfg);
+  snc::SncStats stats;
+  system.infer(random_image(spec.input, 40), &stats);
+  // ReLU + quantization make hidden signals sparse (Eq 3 convergence), so
+  // the event engine must be doing strictly less row-drive work.
+  EXPECT_GT(stats.input_events(), 0);
+  EXPECT_LT(stats.input_events(), stats.dense_row_drives());
+  EXPECT_GT(stats.input_sparsity(), 0.0);
+  EXPECT_LT(stats.input_sparsity(), 1.0);
+}
+
+}  // namespace
+}  // namespace qsnc

@@ -98,5 +98,49 @@ TEST(TimingSimTest, InvalidArgsThrow) {
   EXPECT_THROW(simulate_window(4, 0, {}), std::invalid_argument);
 }
 
+TEST(TimingSimTest, ActiveSlotsDefaultIsDense) {
+  const TimingResult dense = simulate_window(5, 15, {});
+  const TimingResult all_active = simulate_window(5, 15, {}, 15);
+  EXPECT_EQ(dense.events, all_active.events);
+  EXPECT_DOUBLE_EQ(dense.period_ns, all_active.period_ns);
+}
+
+TEST(TimingSimTest, ActiveSlotsShrinkTheWindow) {
+  // An event-driven sequencer issuing only 5 of 15 slots behaves exactly
+  // like a dense 5-slot window: skipped slots cost nothing.
+  const TimingResult sparse = simulate_window(5, 15, {}, 5);
+  const TimingResult small = simulate_window(5, 5, {});
+  EXPECT_EQ(sparse.events, small.events);
+  EXPECT_DOUBLE_EQ(sparse.period_ns, small.period_ns);
+  EXPECT_LT(sparse.period_ns, simulate_window(5, 15, {}).period_ns);
+}
+
+TEST(TimingSimTest, ActiveSlotsClampToWindow) {
+  const TimingResult dense = simulate_window(3, 7, {});
+  const TimingResult over = simulate_window(3, 7, {}, 100);
+  EXPECT_DOUBLE_EQ(dense.period_ns, over.period_ns);
+}
+
+TEST(TimingSimTest, AllQuietWindowIsPureSetup) {
+  const TimingConfig cfg;
+  const TimingResult r = simulate_window(4, 15, cfg, 0);
+  EXPECT_EQ(r.events, 0);
+  EXPECT_DOUBLE_EQ(r.period_ns, 4 * cfg.t_setup_ns);
+  EXPECT_GT(r.speed_mhz, 0.0);
+}
+
+TEST(TimingSimTest, BatchHonorsActiveSlots) {
+  std::vector<WindowSpec> specs(3);
+  specs[0] = {5, 15, -1, {}};
+  specs[1] = {5, 15, 5, {}};
+  specs[2] = {5, 15, 0, {}};
+  const std::vector<TimingResult> results = simulate_windows(specs);
+  EXPECT_DOUBLE_EQ(results[0].period_ns, simulate_window(5, 15, {}).period_ns);
+  EXPECT_DOUBLE_EQ(results[1].period_ns,
+                   simulate_window(5, 15, {}, 5).period_ns);
+  EXPECT_DOUBLE_EQ(results[2].period_ns,
+                   simulate_window(5, 15, {}, 0).period_ns);
+}
+
 }  // namespace
 }  // namespace qsnc::snc

@@ -233,6 +233,7 @@ int cmd_deploy(const util::Flags& flags) {
   if (in.empty()) throw std::invalid_argument("deploy needs --state");
   const int bits = static_cast<int>(flags.get_int("bits", 4));
   const int64_t images = flags.get_int("images", 50);
+  const bool dense_reference = flags.get_bool("dense-reference", false);
   check_unused(flags);
 
   nn::Rng rng(1);
@@ -252,25 +253,53 @@ int cmd_deploy(const util::Flags& flags) {
   for (const auto& r : wcr) cfg.weight_scales.push_back(r.scale);
   cfg.input_scale =
       std::min(16.0f, static_cast<float>(core::signal_max(bits)));
+  cfg.engine = dense_reference ? snc::SncEngine::kDenseReference
+                               : snc::SncEngine::kEventDriven;
   snc::SncSystem system(net, model.input, cfg);
 
   auto test_set = load_dataset(model, std::max<int64_t>(images, 50), 999,
                                false);
   int64_t correct = 0;
   snc::SncStats stats;
+  snc::SncStats totals;
   int64_t total_spikes = 0;
   for (int64_t i = 0; i < images; ++i) {
     const data::Sample s = test_set->get(i);
     if (system.infer(s.image, &stats) == s.label) ++correct;
     total_spikes += stats.total_spikes;
+    if (totals.stage.size() < stats.stage.size()) {
+      totals.stage.resize(stats.stage.size());
+    }
+    for (size_t st = 0; st < stats.stage.size(); ++st) {
+      totals.stage[st].rows = stats.stage[st].rows;
+      totals.stage[st].cols = stats.stage[st].cols;
+      totals.stage[st].positions += stats.stage[st].positions;
+      totals.stage[st].input_events += stats.stage[st].input_events;
+      totals.stage[st].spikes += stats.stage[st].spikes;
+      totals.stage[st].occupied_slots += stats.stage[st].occupied_slots;
+    }
   }
-  std::printf("SNC inference: %lld/%lld correct, window %lld slots, "
-              "avg %.0f spikes/image\n",
+  std::printf("SNC inference (%s engine): %lld/%lld correct, window %lld "
+              "slots, avg %.0f spikes/image\n",
+              dense_reference ? "dense-reference" : "event-driven",
               static_cast<long long>(correct),
               static_cast<long long>(images),
               static_cast<long long>(stats.window_slots),
               static_cast<double>(total_spikes) /
                   static_cast<double>(images));
+  report::Table activity({"stage", "rows", "cols", "events/img", "sparsity",
+                          "spikes/img"});
+  const double inv = 1.0 / static_cast<double>(images);
+  for (size_t st = 0; st < totals.stage.size(); ++st) {
+    const snc::SncStageStats& sg = totals.stage[st];
+    activity.add_row(
+        {std::to_string(st), std::to_string(sg.rows),
+         std::to_string(sg.cols),
+         report::fmt(static_cast<double>(sg.input_events) * inv, 1),
+         report::pct(sg.input_sparsity(), 1),
+         report::fmt(static_cast<double>(sg.spikes) * inv, 1)});
+  }
+  std::printf("%s", activity.to_string().c_str());
   return 0;
 }
 
@@ -307,6 +336,7 @@ serve::ModelConfig serve_model_config(const util::Flags& flags) {
   cfg.bits = static_cast<int>(flags.get_int("bits", 4));
   cfg.init_seed = static_cast<uint64_t>(flags.get_int("seed", 1));
   cfg.snc_replicas = static_cast<int>(flags.get_int("snc-replicas", 0));
+  cfg.snc_dense_reference = flags.get_bool("snc-dense-reference", false);
   return cfg;
 }
 
@@ -462,7 +492,9 @@ int main(int argc, char** argv) {
   try {
     // Boolean flags must be declared so "--nc lenet" style argv never eats
     // a positional (see util/flags.h).
-    const util::Flags flags(argc, argv, {"nc", "no-retry"});
+    const util::Flags flags(
+        argc, argv, {"nc", "no-retry", "dense-reference",
+                     "snc-dense-reference"});
     const int64_t threads = flags.get_int("threads", 0);
     if (threads > 0) util::set_num_threads(static_cast<int>(threads));
     if (flags.positional().empty()) {
