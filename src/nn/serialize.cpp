@@ -1,17 +1,25 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 
 #include "nn/layers/batchnorm.h"
+#include "util/crc32.h"
 
 namespace qsnc::nn {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x51534e43;  // "QSNC"
-constexpr uint32_t kVersion = 1;
+// v1: magic | version | payload.
+// v2: magic | version | crc32(payload) | payload — truncation and bit
+// flips are rejected before any tensor data is trusted. The payload
+// layout (u32 count, then per-tensor u32 rank | i64 dims | f32 data) is
+// identical in both versions, so v1 files remain readable.
+constexpr uint32_t kVersion = 2;
 
 // Collects pointers to every state tensor in deterministic order:
 // leaf params first (network order), then BN running stats (network order).
@@ -28,6 +36,70 @@ std::vector<Tensor*> state_tensors(Network& net) {
     });
   }
   return out;
+}
+
+void append_bytes(std::vector<uint8_t>& buf, const void* data, size_t n) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  buf.insert(buf.end(), bytes, bytes + n);
+}
+
+/// Sequential little-endian reader over an in-memory payload with
+/// hard bounds checks — a corrupt length can never read out of range.
+class PayloadReader {
+ public:
+  PayloadReader(const std::vector<uint8_t>& buf, const std::string& path)
+      : buf_(buf), path_(path) {}
+
+  uint32_t read_u32() {
+    uint32_t v = 0;
+    read_raw(&v, sizeof(v));
+    return v;
+  }
+
+  int64_t read_i64() {
+    int64_t v = 0;
+    read_raw(&v, sizeof(v));
+    return v;
+  }
+
+  void read_raw(void* dst, size_t n) {
+    if (n > buf_.size() - pos_) {
+      throw std::runtime_error("load_state: truncated file " + path_);
+    }
+    std::memcpy(dst, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  const std::string& path_;
+  size_t pos_ = 0;
+};
+
+NetworkState parse_payload(const std::vector<uint8_t>& payload,
+                           const std::string& path) {
+  PayloadReader reader(payload, path);
+  const uint32_t count = reader.read_u32();
+  NetworkState state;
+  state.tensors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t rank = reader.read_u32();
+    if (rank > 8) {
+      throw std::runtime_error("load_state: corrupt tensor rank in " + path);
+    }
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) shape[d] = reader.read_i64();
+    Tensor t(shape);
+    reader.read_raw(t.data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float));
+    state.tensors.push_back(std::move(t));
+  }
+  if (!reader.exhausted()) {
+    throw std::runtime_error("load_state: trailing bytes in " + path);
+  }
+  return state;
 }
 
 }  // namespace
@@ -57,22 +129,30 @@ void save_state(Network& net, const std::string& path) {
   if (!f) throw std::runtime_error("save_state: cannot open " + path);
 
   const NetworkState state = snapshot(net);
+  std::vector<uint8_t> payload;
+  auto append_u32 = [&payload](uint32_t v) {
+    append_bytes(payload, &v, sizeof(v));
+  };
+  auto append_i64 = [&payload](int64_t v) {
+    append_bytes(payload, &v, sizeof(v));
+  };
+
+  append_u32(static_cast<uint32_t>(state.tensors.size()));
+  for (const Tensor& t : state.tensors) {
+    append_u32(static_cast<uint32_t>(t.rank()));
+    for (int64_t d : t.shape()) append_i64(d);
+    append_bytes(payload, t.data(),
+                 static_cast<size_t>(t.numel()) * sizeof(float));
+  }
+
   auto write_u32 = [&f](uint32_t v) {
     f.write(reinterpret_cast<const char*>(&v), sizeof(v));
   };
-  auto write_i64 = [&f](int64_t v) {
-    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-
   write_u32(kMagic);
   write_u32(kVersion);
-  write_u32(static_cast<uint32_t>(state.tensors.size()));
-  for (const Tensor& t : state.tensors) {
-    write_u32(static_cast<uint32_t>(t.rank()));
-    for (int64_t d : t.shape()) write_i64(d);
-    f.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  }
+  write_u32(util::crc32(payload.data(), payload.size()));
+  f.write(reinterpret_cast<const char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
   if (!f) throw std::runtime_error("save_state: write failed for " + path);
 }
 
@@ -80,37 +160,32 @@ void load_state(Network& net, const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("load_state: cannot open " + path);
 
-  auto read_u32 = [&f]() {
+  auto read_u32 = [&f, &path]() {
     uint32_t v = 0;
     f.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  auto read_i64 = [&f]() {
-    int64_t v = 0;
-    f.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!f) throw std::runtime_error("load_state: truncated file " + path);
     return v;
   };
 
   if (read_u32() != kMagic) {
     throw std::runtime_error("load_state: bad magic in " + path);
   }
-  if (read_u32() != kVersion) {
-    throw std::runtime_error("load_state: unsupported version in " + path);
+  const uint32_t version = read_u32();
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("load_state: unsupported version " +
+                             std::to_string(version) + " in " + path);
   }
-  const uint32_t count = read_u32();
-  NetworkState state;
-  state.tensors.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    const uint32_t rank = read_u32();
-    Shape shape(rank);
-    for (uint32_t d = 0; d < rank; ++d) shape[d] = read_i64();
-    Tensor t(shape);
-    f.read(reinterpret_cast<char*>(t.data()),
-           static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    state.tensors.push_back(std::move(t));
+  uint32_t expected_crc = 0;
+  if (version == 2) expected_crc = read_u32();
+
+  std::vector<uint8_t> payload(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  if (version == 2 &&
+      util::crc32(payload.data(), payload.size()) != expected_crc) {
+    throw std::runtime_error(
+        "load_state: checksum mismatch (corrupt checkpoint) in " + path);
   }
-  if (!f) throw std::runtime_error("load_state: truncated file " + path);
-  restore(net, state);
+  restore(net, parse_payload(payload, path));
 }
 
 }  // namespace qsnc::nn

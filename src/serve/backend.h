@@ -51,6 +51,12 @@ class Backend {
   /// stats table (e.g. the snc backend's per-stage spike/sparsity
   /// counters). Empty when the backend has nothing to add.
   virtual std::string activity_report() const { return std::string(); }
+
+  /// True when the most recent infer_batch was served in a degraded mode
+  /// (e.g. the snc backend falling back to its quant path because too many
+  /// replicas are quarantined). Only meaningful between infer_batch calls
+  /// from the single batcher thread that drives this backend.
+  virtual bool last_batch_degraded() const { return false; }
 };
 
 /// Float forward pass at a fixed input scale (the signal-unit convention —
@@ -94,6 +100,42 @@ class QuantBackend final : public Backend {
   std::unique_ptr<core::IntegerSignalQuantizer> quantizer_;
 };
 
+/// Replica health monitoring knobs for the snc backend. Disabled by
+/// default; when enabled, infer_batch periodically runs a deterministic
+/// canary batch through every replica and compares predictions against an
+/// ideal-device reference system. A deviating replica is reprogrammed (up
+/// to max_reprogram_attempts) and quarantined — removed from the free list,
+/// so no request is ever served from it — when it keeps deviating. When
+/// the healthy fraction drops below min_healthy_fraction the backend
+/// degrades gracefully: batches run on the quant fallback path and
+/// last_batch_degraded() turns true.
+struct ReplicaHealthConfig {
+  bool enabled = false;
+  int check_interval_batches = 16;  // canary every N infer_batch calls
+  int canary_images = 2;            // canary batch size
+  uint64_t canary_seed = 12345;     // deterministic canary pixels
+  double min_healthy_fraction = 0.5;
+  int max_reprogram_attempts = 1;   // reprograms before quarantine
+  /// Derive replica i's SncConfig::seed as stream_seed(seed, i) so
+  /// replicas draw *independent* device faults (fault diversity). Off by
+  /// default: identical seeds keep every replica bit-identical, so which
+  /// replica serves an image never changes the prediction.
+  bool per_replica_seeds = false;
+};
+
+/// Point-in-time view of the snc backend's replica-health counters.
+struct ReplicaHealthSnapshot {
+  bool enabled = false;
+  int64_t replicas = 0;
+  int64_t healthy = 0;
+  int64_t quarantined = 0;
+  int64_t canary_runs = 0;          // per-replica canary evaluations
+  int64_t quarantine_events = 0;
+  int64_t reprogram_attempts = 0;
+  int64_t recoveries = 0;           // reprograms that restored health
+  int64_t degraded_batches = 0;     // batches served on the fallback
+};
+
 /// Spike-level execution on a pool of identically programmed SncSystem
 /// replicas. Single-image inferences fan out over util::parallel_for; each
 /// in-flight image checks a replica out of a free list (blocking until one
@@ -105,33 +147,61 @@ class SncBackend final : public Backend {
   /// the thread-pool size). `net` must already be BN-folded and weight-
   /// clustered per `config` (see ModelRegistry, which prepares it).
   SncBackend(nn::Network& net, nn::Shape input_chw,
-             const snc::SncConfig& config, int replicas = 0);
+             const snc::SncConfig& config, int replicas = 0,
+             const ReplicaHealthConfig& health = {});
 
   const std::string& kind() const override { return kind_; }
   const nn::Shape& input_shape() const override { return input_chw_; }
   std::vector<int64_t> infer_batch(const nn::Tensor& batch) override;
 
   /// Per-stage spike / input-sparsity table aggregated over every image
-  /// served so far (empty before the first inference).
+  /// served so far (empty before the first inference), plus the replica
+  /// health and fault-recovery counters when health monitoring is on.
   std::string activity_report() const override;
+  bool last_batch_degraded() const override { return last_degraded_; }
 
   /// Aggregate activity over all served images (stage entries summed
   /// elementwise); `images` is the number of inferences folded in.
   snc::SncStats activity_totals(int64_t* images = nullptr) const;
 
   size_t replica_count() const { return replicas_.size(); }
+  ReplicaHealthSnapshot health_snapshot() const;
+
+  /// Direct replica access for tests (fault injection via advance_time /
+  /// set_defect). Do not call while a batch is in flight.
+  snc::SncSystem& replica(size_t i) { return *replicas_.at(i); }
 
  private:
   snc::SncSystem* acquire();
   void release(snc::SncSystem* system);
   void fold_stats(const snc::SncStats& stats);
+  std::vector<int64_t> canary_predictions(snc::SncSystem& system) const;
+  void run_health_check();
+  void rebuild_free_list();
+  std::vector<int64_t> infer_fallback(const nn::Tensor& batch);
 
   std::string kind_ = "snc";
+  nn::Network& net_;
   nn::Shape input_chw_;
+  std::vector<snc::SncConfig> replica_configs_;
   std::vector<std::unique_ptr<snc::SncSystem>> replicas_;
   std::vector<snc::SncSystem*> free_;
   std::mutex mu_;
   std::condition_variable cv_;
+
+  // Health state. Mutated only from the single batcher thread while every
+  // replica is idle (infer_batch entry), so no extra locking beyond mu_
+  // for the free-list swap.
+  ReplicaHealthConfig health_;
+  std::vector<nn::Tensor> canary_;
+  std::vector<int64_t> canary_reference_;
+  std::vector<bool> quarantined_;
+  std::vector<int> reprogram_attempts_;
+  int batches_since_check_ = 0;
+  bool last_degraded_ = false;
+  std::unique_ptr<QuantBackend> fallback_;
+  mutable std::mutex health_mu_;
+  ReplicaHealthSnapshot health_counters_;
 
   mutable std::mutex stats_mu_;
   snc::SncStats totals_;      // stage-wise sums over all served images

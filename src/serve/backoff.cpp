@@ -1,0 +1,51 @@
+#include "serve/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qsnc::serve {
+
+namespace {
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Backoff::Backoff(const BackoffConfig& config) : config_(config) {
+  if (config_.base_us == 0 || config_.max_us < config_.base_us) {
+    throw std::invalid_argument(
+        "Backoff: need 0 < base_us <= max_us");
+  }
+  if (config_.multiplier < 1.0) {
+    throw std::invalid_argument("Backoff: multiplier must be >= 1");
+  }
+}
+
+uint64_t Backoff::delay_us(int attempt) const {
+  if (attempt < 0) throw std::invalid_argument("Backoff: negative attempt");
+  const double raw = static_cast<double>(config_.base_us) *
+                     std::pow(config_.multiplier, attempt);
+  const double capped =
+      std::min(raw, static_cast<double>(config_.max_us));
+  // 53 high-quality bits → uniform [0, 1), mapped to [0.5, 1.0).
+  const uint64_t bits = splitmix64(
+      config_.seed ^ (static_cast<uint64_t>(attempt) + 1) *
+                         0x9E3779B97F4A7C15ull);
+  const double unit =
+      static_cast<double>(bits >> 11) * 0x1.0p-53;
+  const double jitter = 0.5 + 0.5 * unit;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(capped * jitter));
+}
+
+uint64_t Backoff::delay_us(int attempt, uint64_t server_hint_us) const {
+  return std::max(delay_us(attempt),
+                  std::min(server_hint_us, config_.max_us));
+}
+
+}  // namespace qsnc::serve

@@ -1,0 +1,40 @@
+// Deterministic exponential backoff for retrying kRejected requests.
+//
+// The schedule is base_us * multiplier^attempt, capped at max_us, scaled
+// by a jitter factor in [0.5, 1.0) derived from SplitMix64 over
+// (seed, attempt). Jitter de-synchronizes clients that were rejected by
+// the same full queue, so they do not all retry in lockstep; deriving it
+// from the seed keeps every schedule reproducible — two clients with the
+// same seed sleep the same sequence, which is what the unit tests and
+// the deterministic load generator need.
+#pragma once
+
+#include <cstdint>
+
+namespace qsnc::serve {
+
+struct BackoffConfig {
+  uint64_t base_us = 1000;     ///< delay before the first retry (pre-jitter)
+  uint64_t max_us = 100000;    ///< hard cap on any single delay
+  double multiplier = 2.0;     ///< exponential growth per attempt
+  uint64_t seed = 1;           ///< jitter stream; same seed → same schedule
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffConfig& config = {});
+
+  /// Delay for the zero-based `attempt`, a pure function of
+  /// (config, attempt): jitter * min(base * multiplier^attempt, max).
+  uint64_t delay_us(int attempt) const;
+
+  /// Combines the schedule with the server's retry_after_us hint: the
+  /// larger of the two, so an overloaded server can slow clients further
+  /// but a wild hint can never exceed max_us.
+  uint64_t delay_us(int attempt, uint64_t server_hint_us) const;
+
+ private:
+  BackoffConfig config_;
+};
+
+}  // namespace qsnc::serve

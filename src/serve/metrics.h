@@ -49,6 +49,8 @@ struct ModelStatsSnapshot {
   uint64_t completed = 0;
   uint64_t rejected = 0;   // backpressure rejections
   uint64_t errors = 0;     // backend exceptions / shape mismatches
+  uint64_t deadline_exceeded = 0;  // expired before execution
+  uint64_t degraded = 0;   // requests served in a degraded backend mode
   uint64_t batches = 0;    // backend invocations
   double mean_batch = 0.0; // completed / batches
   double qps = 0.0;        // completed / seconds since first completion
@@ -66,6 +68,8 @@ class ModelMetrics {
   void on_complete(uint64_t latency_us);
   void on_reject();
   void on_error();
+  void on_deadline_exceeded();
+  void on_degraded();
   void on_batch(size_t batch_size);
 
   /// Snapshot with the latency percentiles filled in. `model`/`backend`
@@ -80,6 +84,8 @@ class ModelMetrics {
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;
   uint64_t errors_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t degraded_ = 0;
   uint64_t batches_ = 0;
   bool saw_first_ = false;
   Clock::time_point first_;

@@ -11,6 +11,7 @@ const char* status_name(Status status) {
     case Status::kRejected: return "rejected";
     case Status::kShutdown: return "shutdown";
     case Status::kError: return "error";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "?";
 }
@@ -39,7 +40,8 @@ uint64_t MicroBatcher::retry_hint_us(size_t depth) const {
          static_cast<uint64_t>(options_.batch_timeout_us);
 }
 
-std::future<Response> MicroBatcher::submit(nn::Tensor image) {
+std::future<Response> MicroBatcher::submit(nn::Tensor image,
+                                           uint64_t deadline_us) {
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
 
@@ -76,6 +78,7 @@ std::future<Response> MicroBatcher::submit(nn::Tensor image) {
     p.image = std::move(image);
     p.promise = std::move(promise);
     p.enqueued = Clock::now();
+    p.deadline_us = deadline_us;
     queue_.push_back(std::move(p));
   }
   cv_.notify_one();
@@ -101,16 +104,37 @@ void MicroBatcher::loop() {
                static_cast<int>(queue_.size()) >= options_.max_batch;
       });
     }
+    // Batch formation: expired requests are resolved with a structured
+    // kDeadlineExceeded instead of burning backend time on an answer the
+    // client has already given up on; they do not occupy batch slots.
     std::vector<Pending> batch;
-    const size_t take =
-        std::min(queue_.size(), static_cast<size_t>(options_.max_batch));
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+    std::vector<Pending> expired;
+    const Clock::time_point now = Clock::now();
+    while (!queue_.empty() &&
+           batch.size() < static_cast<size_t>(options_.max_batch)) {
+      Pending p = std::move(queue_.front());
       queue_.pop_front();
+      if (p.deadline_us > 0 &&
+          now - p.enqueued >= std::chrono::microseconds(p.deadline_us)) {
+        expired.push_back(std::move(p));
+      } else {
+        batch.push_back(std::move(p));
+      }
     }
     lock.unlock();
-    execute(batch);
+    for (Pending& p : expired) {
+      metrics_.on_deadline_exceeded();
+      Response r;
+      r.status = Status::kDeadlineExceeded;
+      r.latency_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - p.enqueued)
+              .count());
+      r.error = "deadline of " + std::to_string(p.deadline_us) +
+                " us expired before execution";
+      p.promise.set_value(std::move(r));
+    }
+    if (!batch.empty()) execute(batch);
     lock.lock();
   }
 }
@@ -132,8 +156,10 @@ void MicroBatcher::execute(std::vector<Pending>& batch) {
   metrics_.on_batch(n);
   std::vector<int64_t> predictions;
   std::string error;
+  bool degraded = false;
   try {
     predictions = backend_.infer_batch(batched);
+    degraded = backend_.last_batch_degraded();
     if (predictions.size() != n) {
       error = "backend returned " + std::to_string(predictions.size()) +
               " predictions for a batch of " + std::to_string(n);
@@ -162,7 +188,9 @@ void MicroBatcher::execute(std::vector<Pending>& batch) {
               done - batch[i].enqueued)
               .count());
       r.batch_size = static_cast<uint32_t>(n);
+      r.degraded = degraded;
       metrics_.on_complete(r.latency_us);
+      if (degraded) metrics_.on_degraded();
     } else {
       r.status = Status::kError;
       r.error = error;

@@ -53,6 +53,7 @@ enum class Status : uint8_t {
   kRejected = 1,  // bounded queue full; retry after retry_after_us
   kShutdown = 2,  // server draining; request was not accepted
   kError = 3,     // bad shape, unknown model, or backend failure
+  kDeadlineExceeded = 4,  // per-request deadline expired before execution
 };
 
 const char* status_name(Status status);
@@ -63,6 +64,9 @@ struct Response {
   uint64_t latency_us = 0;     // enqueue -> completion (kOk only)
   uint64_t retry_after_us = 0; // backpressure hint (kRejected only)
   uint32_t batch_size = 0;     // size of the batch this request rode in
+  /// True when the batch was served in a degraded backend mode (e.g. the
+  /// snc backend's quant fallback after replica quarantines).
+  bool degraded = false;
   std::string error;           // human-readable detail (kError only)
 };
 
@@ -78,7 +82,13 @@ class MicroBatcher {
   /// Enqueues one [C, H, W] image. Never blocks: the returned future is
   /// resolved by the batcher thread (kOk / kError), or immediately on
   /// rejection (kRejected / kShutdown / shape kError).
-  std::future<Response> submit(nn::Tensor image);
+  ///
+  /// `deadline_us` > 0 is a per-request latency budget measured from
+  /// enqueue: a request still queued when its budget expires is resolved
+  /// with kDeadlineExceeded at batch-formation time instead of being
+  /// executed (structured rejection — the client knows its answer would
+  /// have arrived too late). 0 means no deadline.
+  std::future<Response> submit(nn::Tensor image, uint64_t deadline_us = 0);
 
   /// Stops admission, completes all accepted requests, joins the thread.
   /// Idempotent.
@@ -97,6 +107,7 @@ class MicroBatcher {
     nn::Tensor image;
     std::promise<Response> promise;
     Clock::time_point enqueued;
+    uint64_t deadline_us = 0;  // latency budget from enqueue; 0 = none
   };
 
   void loop();

@@ -111,8 +111,15 @@ Backend& ModelRegistry::add(const std::string& name,
       snc_cfg.engine = config.snc_dense_reference
                            ? snc::SncEngine::kDenseReference
                            : snc::SncEngine::kEventDriven;
+      snc_cfg.seed = config.snc_seed;
+      snc_cfg.device.variation_sigma = config.snc_variation_sigma;
+      snc_cfg.device.stuck_on_rate = config.snc_stuck_on_rate;
+      snc_cfg.device.stuck_off_rate = config.snc_stuck_off_rate;
+      snc_cfg.recovery.write_verify = config.snc_write_verify;
+      snc_cfg.recovery.spare_cols = config.snc_spare_cols;
       entry->backend = std::make_unique<SncBackend>(
-          *entry->net, entry->input_chw, snc_cfg, config.snc_replicas);
+          *entry->net, entry->input_chw, snc_cfg, config.snc_replicas,
+          config.snc_health);
       break;
     }
   }

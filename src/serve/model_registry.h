@@ -48,6 +48,22 @@ struct ModelConfig {
   /// event-driven one (bit-identical outputs; used by equivalence benches
   /// to measure what zero-skipping buys end to end).
   bool snc_dense_reference = false;
+
+  // --- snc device non-idealities + fault recovery ----------------------
+  /// Programming-variation / stuck-fault rates injected into every
+  /// replica's devices (0 = ideal devices, the historical behavior).
+  double snc_variation_sigma = 0.0;
+  double snc_stuck_on_rate = 0.0;
+  double snc_stuck_off_rate = 0.0;
+  /// Closed-loop write-verify programming with differential compensation.
+  bool snc_write_verify = false;
+  /// Spare columns per crossbar for fault-aware remapping.
+  int64_t snc_spare_cols = 0;
+  /// Master seed for device draws (per-replica streams when
+  /// snc_health.per_replica_seeds is set).
+  uint64_t snc_seed = 7;
+  /// Replica canary / quarantine / quant-fallback monitoring.
+  ReplicaHealthConfig snc_health;
 };
 
 class ModelRegistry {

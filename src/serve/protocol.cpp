@@ -81,6 +81,7 @@ std::vector<uint8_t> encode_infer_request(const InferRequest& request) {
   }
   std::vector<uint8_t> body;
   put<uint64_t>(body, request.id);
+  put<uint64_t>(body, request.deadline_us);
   put<uint16_t>(body, static_cast<uint16_t>(request.model.size()));
   body.insert(body.end(), request.model.begin(), request.model.end());
   put<uint8_t>(body, static_cast<uint8_t>(shape.size()));
@@ -102,6 +103,7 @@ InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
   Cursor c{body};
   InferRequest request;
   request.id = c.take<uint64_t>("id");
+  request.deadline_us = c.take<uint64_t>("deadline_us");
   const uint16_t model_len = c.take<uint16_t>("model_len");
   request.model = c.take_string(model_len, "model");
   const uint8_t rank = c.take<uint8_t>("rank");
@@ -137,6 +139,7 @@ std::vector<uint8_t> encode_infer_response(const InferResponse& response) {
   std::vector<uint8_t> body;
   put<uint64_t>(body, response.id);
   put<uint8_t>(body, static_cast<uint8_t>(r.status));
+  put<uint8_t>(body, r.degraded ? 1 : 0);
   put<int64_t>(body, r.prediction);
   put<uint64_t>(body, r.latency_us);
   put<uint64_t>(body, r.retry_after_us);
@@ -151,10 +154,11 @@ InferResponse decode_infer_response(const std::vector<uint8_t>& body) {
   InferResponse response;
   response.id = c.take<uint64_t>("id");
   const uint8_t status = c.take<uint8_t>("status");
-  if (status > static_cast<uint8_t>(Status::kError)) {
+  if (status > static_cast<uint8_t>(Status::kDeadlineExceeded)) {
     throw ProtocolError("protocol: unknown status code");
   }
   response.response.status = static_cast<Status>(status);
+  response.response.degraded = c.take<uint8_t>("degraded") != 0;
   response.response.prediction = c.take<int64_t>("prediction");
   response.response.latency_us = c.take<uint64_t>("latency_us");
   response.response.retry_after_us = c.take<uint64_t>("retry_after_us");

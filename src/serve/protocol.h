@@ -6,11 +6,13 @@
 //
 // i.e. payload_len counts the type byte plus the body. Messages:
 //
-//   kInferRequest  (1): u64 id | u16 model_len | model bytes |
-//                       u8 rank | u32 dim[rank] | f32 data[numel]
-//   kInferResponse (2): u64 id | u8 status | i64 prediction |
-//                       u64 latency_us | u64 retry_after_us |
-//                       u32 batch_size | u16 error_len | error bytes
+//   kInferRequest  (1): u64 id | u64 deadline_us | u16 model_len |
+//                       model bytes | u8 rank | u32 dim[rank] |
+//                       f32 data[numel]
+//   kInferResponse (2): u64 id | u8 status | u8 degraded |
+//                       i64 prediction | u64 latency_us |
+//                       u64 retry_after_us | u32 batch_size |
+//                       u16 error_len | error bytes
 //   kStatsRequest  (3): (empty body)
 //   kStatsResponse (4): u32 text_len | text bytes
 //
@@ -48,6 +50,7 @@ enum class MsgType : uint8_t {
 
 struct InferRequest {
   uint64_t id = 0;
+  uint64_t deadline_us = 0;  // latency budget from enqueue; 0 = none
   std::string model;
   nn::Tensor image;  // [C, H, W]
 };

@@ -29,7 +29,8 @@ ServeCore::ServeCore(const ModelRegistry& registry,
 ServeCore::~ServeCore() { drain(); }
 
 std::future<Response> ServeCore::infer_async(const std::string& model,
-                                             nn::Tensor image) {
+                                             nn::Tensor image,
+                                             uint64_t deadline_us) {
   const auto it = batchers_.find(model);
   if (it == batchers_.end()) {
     std::promise<Response> promise;
@@ -39,11 +40,12 @@ std::future<Response> ServeCore::infer_async(const std::string& model,
     promise.set_value(std::move(r));
     return promise.get_future();
   }
-  return it->second->submit(std::move(image));
+  return it->second->submit(std::move(image), deadline_us);
 }
 
-Response ServeCore::infer(const std::string& model, nn::Tensor image) {
-  return infer_async(model, std::move(image)).get();
+Response ServeCore::infer(const std::string& model, nn::Tensor image,
+                          uint64_t deadline_us) {
+  return infer_async(model, std::move(image), deadline_us).get();
 }
 
 void ServeCore::drain() {
@@ -205,8 +207,8 @@ void SocketServer::handle_connection(Connection* connection) {
           InferRequest request = decode_infer_request(frame->body);
           InferResponse response;
           response.id = request.id;
-          response.response =
-              core_.infer(request.model, std::move(request.image));
+          response.response = core_.infer(
+              request.model, std::move(request.image), request.deadline_us);
           send_all(connection->fd, encode_infer_response(response));
         } else if (frame->type == MsgType::kStatsRequest) {
           send_all(connection->fd,
@@ -318,9 +320,11 @@ Frame SocketClient::roundtrip(const std::vector<uint8_t>& frame) {
 }
 
 Response SocketClient::infer(const std::string& model,
-                             const nn::Tensor& image) {
+                             const nn::Tensor& image,
+                             uint64_t deadline_us) {
   InferRequest request;
   request.id = next_id_++;
+  request.deadline_us = deadline_us;
   request.model = model;
   request.image = image;
   const Frame frame = roundtrip(encode_infer_request(request));

@@ -43,10 +43,14 @@ class ServeCore {
   ~ServeCore();  // drains
 
   /// Never blocks; unknown models resolve immediately with kError.
+  /// `deadline_us` > 0 is a per-request latency budget (see
+  /// MicroBatcher::submit); 0 means no deadline.
   std::future<Response> infer_async(const std::string& model,
-                                    nn::Tensor image);
+                                    nn::Tensor image,
+                                    uint64_t deadline_us = 0);
   /// Blocking convenience around infer_async.
-  Response infer(const std::string& model, nn::Tensor image);
+  Response infer(const std::string& model, nn::Tensor image,
+                 uint64_t deadline_us = 0);
 
   /// Stops admission and completes all accepted requests. Idempotent.
   void drain();
@@ -67,12 +71,14 @@ class ServeClient {
  public:
   explicit ServeClient(ServeCore& core) : core_(core) {}
 
-  Response infer(const std::string& model, nn::Tensor image) {
-    return core_.infer(model, std::move(image));
+  Response infer(const std::string& model, nn::Tensor image,
+                 uint64_t deadline_us = 0) {
+    return core_.infer(model, std::move(image), deadline_us);
   }
   std::future<Response> infer_async(const std::string& model,
-                                    nn::Tensor image) {
-    return core_.infer_async(model, std::move(image));
+                                    nn::Tensor image,
+                                    uint64_t deadline_us = 0) {
+    return core_.infer_async(model, std::move(image), deadline_us);
   }
   std::string stats() const { return core_.stats_report(); }
 
@@ -129,8 +135,11 @@ class SocketClient {
   SocketClient& operator=(const SocketClient&) = delete;
 
   /// Blocking request/response. Throws std::runtime_error if the server
-  /// closes the connection mid-request.
-  Response infer(const std::string& model, const nn::Tensor& image);
+  /// closes the connection mid-request. `deadline_us` > 0 bounds how long
+  /// the request may wait server-side before a structured
+  /// kDeadlineExceeded rejection.
+  Response infer(const std::string& model, const nn::Tensor& image,
+                 uint64_t deadline_us = 0);
 
   /// Server-rendered stats table.
   std::string stats();

@@ -62,6 +62,29 @@ SystemCost evaluate_cost(const ModelMapping& mapping, int signal_bits,
   return cost;
 }
 
+RefreshOverhead evaluate_refresh(const ModelMapping& mapping, int signal_bits,
+                                 int weight_bits, double interval_windows,
+                                 const CostParams& cost_params,
+                                 const ProgrammingParams& prog_params) {
+  if (interval_windows <= 0.0) {
+    throw std::invalid_argument(
+        "evaluate_refresh: non-positive refresh interval");
+  }
+  const SystemCost cost =
+      evaluate_cost(mapping, signal_bits, weight_bits, cost_params);
+  const ProgrammingCost prog =
+      evaluate_programming(mapping, weight_bits, prog_params);
+
+  RefreshOverhead o;
+  o.refresh_time_ms = prog.time_ms;
+  // One window period in ms: speed_mhz = 1e3 / period_ns.
+  const double period_ms = 1e-3 / cost.speed_mhz;
+  o.interval_ms = interval_windows * period_ms;
+  o.duty = o.refresh_time_ms / (o.refresh_time_ms + o.interval_ms);
+  o.effective_speed_mhz = cost.speed_mhz * (1.0 - o.duty);
+  return o;
+}
+
 CostComparison compare_cost(const SystemCost& baseline,
                             const SystemCost& proposed) {
   CostComparison cmp;

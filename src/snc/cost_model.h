@@ -35,6 +35,7 @@
 #include <cstdint>
 
 #include "snc/mapper.h"
+#include "snc/programming.h"
 
 namespace qsnc::snc {
 
@@ -76,6 +77,25 @@ int weight_slices(int weight_bits, int device_bits);
 /// (M) and weight (N) bit widths.
 SystemCost evaluate_cost(const ModelMapping& mapping, int signal_bits,
                          int weight_bits, const CostParams& params = {});
+
+/// Duty-cycle cost of periodic conductance-refresh (retention-drift
+/// mitigation). Every `interval_windows` inference windows the system
+/// pauses to reprogram drifted cells; the refresh itself is priced by the
+/// programming model (full reprogram — a worst-case bound, since the
+/// scheduler skips in-tolerance stages).
+struct RefreshOverhead {
+  double refresh_time_ms = 0.0;       // one refresh pass
+  double interval_ms = 0.0;           // inference time between refreshes
+  double duty = 0.0;                  // refresh / (refresh + interval)
+  double effective_speed_mhz = 0.0;   // speed * (1 - duty)
+};
+
+/// Prices a refresh-every-`interval_windows` schedule against the mapped
+/// model's inference speed at the given bit widths.
+RefreshOverhead evaluate_refresh(const ModelMapping& mapping, int signal_bits,
+                                 int weight_bits, double interval_windows,
+                                 const CostParams& cost_params = {},
+                                 const ProgrammingParams& prog_params = {});
 
 /// Convenience: speedup / saving percentages between a baseline and a
 /// proposed design point.

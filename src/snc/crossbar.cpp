@@ -38,7 +38,20 @@ void Crossbar::program_cell(int64_t r, int64_t c, int64_t level,
   if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
     throw std::out_of_range("Crossbar::program_cell: cell out of range");
   }
-  if (rng != nullptr) {
+  if (!defects_.empty()) {
+    // Static-map mode: the fault is a property of the cell, not the write.
+    const DefectKind kind = defects_[static_cast<size_t>(index(r, c))];
+    if (kind == DefectKind::kStuckOff) {
+      g_[static_cast<size_t>(index(r, c))] = g_min(config_);
+      bake_effective(r, c);
+      return;
+    }
+    if (kind == DefectKind::kStuckOn) {
+      g_[static_cast<size_t>(index(r, c))] = g_max(config_);
+      bake_effective(r, c);
+      return;
+    }
+  } else if (rng != nullptr) {
     // Fabrication defects override programming entirely.
     if (config_.stuck_off_rate > 0.0 && rng->bernoulli(config_.stuck_off_rate)) {
       g_[static_cast<size_t>(index(r, c))] = g_min(config_);
@@ -59,6 +72,71 @@ void Crossbar::program_cell(int64_t r, int64_t c, int64_t level,
   }
   g_[static_cast<size_t>(index(r, c))] = g;
   bake_effective(r, c);
+}
+
+void Crossbar::draw_defect_map(nn::Rng& rng) {
+  defects_.assign(g_.size(), DefectKind::kNone);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      DefectKind kind = DefectKind::kNone;
+      if (config_.stuck_off_rate > 0.0 &&
+          rng.bernoulli(config_.stuck_off_rate)) {
+        kind = DefectKind::kStuckOff;
+      } else if (config_.stuck_on_rate > 0.0 &&
+                 rng.bernoulli(config_.stuck_on_rate)) {
+        kind = DefectKind::kStuckOn;
+      }
+      if (kind != DefectKind::kNone) set_defect(r, c, kind);
+    }
+  }
+}
+
+void Crossbar::set_defect(int64_t r, int64_t c, DefectKind kind) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("Crossbar::set_defect: cell out of range");
+  }
+  if (defects_.empty()) defects_.assign(g_.size(), DefectKind::kNone);
+  defects_[static_cast<size_t>(index(r, c))] = kind;
+  if (kind == DefectKind::kStuckOff) {
+    g_[static_cast<size_t>(index(r, c))] = g_min(config_);
+  } else if (kind == DefectKind::kStuckOn) {
+    g_[static_cast<size_t>(index(r, c))] = g_max(config_);
+  }
+  bake_effective(r, c);
+}
+
+DefectKind Crossbar::defect(int64_t r, int64_t c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+    throw std::out_of_range("Crossbar::defect: cell out of range");
+  }
+  if (defects_.empty()) return DefectKind::kNone;
+  return defects_[static_cast<size_t>(index(r, c))];
+}
+
+int64_t Crossbar::defect_count() const {
+  int64_t n = 0;
+  for (const DefectKind kind : defects_) {
+    if (kind != DefectKind::kNone) ++n;
+  }
+  return n;
+}
+
+void Crossbar::apply_drift(double dt, double rate, double sigma,
+                           uint64_t seed) {
+  if (dt <= 0.0 || rate <= 0.0) return;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      const size_t i = static_cast<size_t>(index(r, c));
+      if (!defects_.empty() && defects_[i] != DefectKind::kNone) continue;
+      double lambda = rate;
+      if (sigma > 0.0) {
+        nn::Rng cell_rng(nn::Rng::stream_seed(seed, static_cast<uint64_t>(i)));
+        lambda *= std::exp(sigma * cell_rng.normal(0.0f, 1.0f));
+      }
+      g_[i] = drift_conductance(g_[i], lambda, dt, config_);
+      bake_effective(r, c);
+    }
+  }
 }
 
 double Crossbar::conductance(int64_t r, int64_t c) const {
@@ -125,38 +203,118 @@ std::vector<double> Crossbar::read_columns_spiking(
 }
 
 DifferentialCrossbar::DifferentialCrossbar(int64_t rows, int64_t cols,
-                                           const MemristorConfig& config)
+                                           const MemristorConfig& config,
+                                           int64_t spare_cols)
     : rows_(rows),
       cols_(cols),
+      spare_cols_(spare_cols),
       config_(config),
-      plus_(rows, cols, config),
-      minus_(rows, cols, config),
-      panel_(checked_cells(rows, cols) * 2) {
-  for (int64_t r = 0; r < rows_; ++r) {
-    for (int64_t c = 0; c < cols_; ++c) {
-      panel_[static_cast<size_t>((r * cols_ + c) * 2)] =
-          plus_.effective_conductance(r, c);
-      panel_[static_cast<size_t>((r * cols_ + c) * 2 + 1)] =
-          minus_.effective_conductance(r, c);
-    }
+      plus_(rows, cols + spare_cols, config),
+      minus_(rows, cols + spare_cols, config),
+      panel_(checked_cells(rows, cols) * 2),
+      col_map_(static_cast<size_t>(cols)) {
+  if (spare_cols < 0) {
+    throw std::invalid_argument("DifferentialCrossbar: negative spare_cols");
   }
+  for (int64_t c = 0; c < cols_; ++c) col_map_[static_cast<size_t>(c)] = c;
+  for (int64_t c = 0; c < cols_; ++c) sync_panel_column(c);
+}
+
+int64_t DifferentialCrossbar::physical_column(int64_t c) const {
+  if (c < 0 || c >= cols_) {
+    throw std::out_of_range("DifferentialCrossbar: logical column OOR");
+  }
+  return col_map_[static_cast<size_t>(c)];
+}
+
+void DifferentialCrossbar::sync_panel_column(int64_t c) {
+  const int64_t pc = physical_column(c);
+  for (int64_t r = 0; r < rows_; ++r) {
+    panel_[static_cast<size_t>((r * cols_ + c) * 2)] =
+        plus_.effective_conductance(r, pc);
+    panel_[static_cast<size_t>((r * cols_ + c) * 2 + 1)] =
+        minus_.effective_conductance(r, pc);
+  }
+}
+
+int64_t DifferentialCrossbar::claim_spare() {
+  if (spares_used_ >= spare_cols_) return -1;
+  return cols_ + spares_used_++;
+}
+
+void DifferentialCrossbar::bind_column(int64_t c, int64_t phys_c) {
+  if (c < 0 || c >= cols_) {
+    throw std::out_of_range("DifferentialCrossbar: logical column OOR");
+  }
+  if (phys_c < 0 || phys_c >= cols_ + spare_cols_) {
+    throw std::out_of_range("DifferentialCrossbar: physical column OOR");
+  }
+  col_map_[static_cast<size_t>(c)] = phys_c;
+  sync_panel_column(c);
+}
+
+int64_t DifferentialCrossbar::remapped_cols() const {
+  int64_t n = 0;
+  for (int64_t c = 0; c < cols_; ++c) {
+    if (col_map_[static_cast<size_t>(c)] != c) ++n;
+  }
+  return n;
 }
 
 void DifferentialCrossbar::program_cell(int64_t r, int64_t c,
                                         int64_t signed_level,
                                         int64_t max_level, nn::Rng* rng) {
   const int64_t magnitude = signed_level >= 0 ? signed_level : -signed_level;
+  const int64_t pc = physical_column(c);
   if (signed_level >= 0) {
-    plus_.program_cell(r, c, magnitude, max_level, rng);
-    minus_.program_cell(r, c, 0, max_level, rng);
+    plus_.program_cell(r, pc, magnitude, max_level, rng);
+    minus_.program_cell(r, pc, 0, max_level, rng);
   } else {
-    plus_.program_cell(r, c, 0, max_level, rng);
-    minus_.program_cell(r, c, magnitude, max_level, rng);
+    plus_.program_cell(r, pc, 0, max_level, rng);
+    minus_.program_cell(r, pc, magnitude, max_level, rng);
   }
   panel_[static_cast<size_t>((r * cols_ + c) * 2)] =
-      plus_.effective_conductance(r, c);
+      plus_.effective_conductance(r, pc);
   panel_[static_cast<size_t>((r * cols_ + c) * 2 + 1)] =
-      minus_.effective_conductance(r, c);
+      minus_.effective_conductance(r, pc);
+}
+
+void DifferentialCrossbar::program_array_cell(bool minus_array, int64_t r,
+                                              int64_t phys_c, int64_t level,
+                                              int64_t max_level,
+                                              nn::Rng* rng) {
+  Crossbar& array = minus_array ? minus_ : plus_;
+  array.program_cell(r, phys_c, level, max_level, rng);
+}
+
+double DifferentialCrossbar::array_effective(bool minus_array, int64_t r,
+                                             int64_t phys_c) const {
+  const Crossbar& array = minus_array ? minus_ : plus_;
+  return array.effective_conductance(r, phys_c);
+}
+
+void DifferentialCrossbar::draw_defect_maps(nn::Rng& rng) {
+  plus_.draw_defect_map(rng);
+  minus_.draw_defect_map(rng);
+  for (int64_t c = 0; c < cols_; ++c) sync_panel_column(c);
+}
+
+void DifferentialCrossbar::set_defect(int64_t r, int64_t c, bool minus_array,
+                                      DefectKind kind) {
+  const int64_t pc = physical_column(c);
+  if (minus_array) {
+    minus_.set_defect(r, pc, kind);
+  } else {
+    plus_.set_defect(r, pc, kind);
+  }
+  sync_panel_column(c);
+}
+
+void DifferentialCrossbar::apply_drift(double dt, double rate, double sigma,
+                                       uint64_t seed) {
+  plus_.apply_drift(dt, rate, sigma, nn::Rng::stream_seed(seed, 1));
+  minus_.apply_drift(dt, rate, sigma, nn::Rng::stream_seed(seed, 2));
+  for (int64_t c = 0; c < cols_; ++c) sync_panel_column(c);
 }
 
 void DifferentialCrossbar::accumulate_rows(const int32_t* rows,
@@ -170,19 +328,74 @@ void DifferentialCrossbar::accumulate_rows(const int32_t* rows,
   }
 }
 
+void DifferentialCrossbar::read_logical_columns(
+    const std::vector<double>& volts, std::vector<double>& plus_out,
+    std::vector<double>& minus_out) const {
+  if (static_cast<int64_t>(volts.size()) != rows_) {
+    throw std::invalid_argument(
+        "DifferentialCrossbar::read_logical_columns: bad voltage count");
+  }
+  plus_out.assign(static_cast<size_t>(cols_), 0.0);
+  minus_out.assign(static_cast<size_t>(cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double v = volts[static_cast<size_t>(r)];
+    if (v == 0.0) continue;
+    const double* row = panel_.data() + r * 2 * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      plus_out[static_cast<size_t>(c)] += v * row[2 * c];
+      minus_out[static_cast<size_t>(c)] += v * row[2 * c + 1];
+    }
+  }
+}
+
+void DifferentialCrossbar::read_logical_columns_spiking(
+    const std::vector<uint8_t>& spikes, double v_read,
+    std::vector<double>& plus_out, std::vector<double>& minus_out) const {
+  if (static_cast<int64_t>(spikes.size()) != rows_) {
+    throw std::invalid_argument(
+        "DifferentialCrossbar::read_logical_columns_spiking: bad spike "
+        "count");
+  }
+  plus_out.assign(static_cast<size_t>(cols_), 0.0);
+  minus_out.assign(static_cast<size_t>(cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    if (spikes[static_cast<size_t>(r)] == 0) continue;
+    const double* row = panel_.data() + r * 2 * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      plus_out[static_cast<size_t>(c)] += v_read * row[2 * c];
+      minus_out[static_cast<size_t>(c)] += v_read * row[2 * c + 1];
+    }
+  }
+}
+
 std::vector<double> DifferentialCrossbar::read_columns_spiking(
     const std::vector<uint8_t>& spikes, double v_read) const {
-  std::vector<double> ip = plus_.read_columns_spiking(spikes, v_read);
-  const std::vector<double> im = minus_.read_columns_spiking(spikes, v_read);
+  if (static_cast<int64_t>(spikes.size()) != rows_) {
+    throw std::invalid_argument(
+        "DifferentialCrossbar::read_columns_spiking: bad spike count");
+  }
+  // Reads through the logical panel so remapped columns see their spare;
+  // per-array sums keep the ascending-row accumulation order.
+  std::vector<double> ip(static_cast<size_t>(cols_), 0.0);
+  std::vector<double> im(static_cast<size_t>(cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    if (spikes[static_cast<size_t>(r)] == 0) continue;
+    const double* row = panel_.data() + r * 2 * cols_;
+    for (int64_t c = 0; c < cols_; ++c) {
+      ip[static_cast<size_t>(c)] += v_read * row[2 * c];
+      im[static_cast<size_t>(c)] += v_read * row[2 * c + 1];
+    }
+  }
   for (size_t c = 0; c < ip.size(); ++c) ip[c] -= im[c];
   return ip;
 }
 
 int64_t DifferentialCrossbar::read_level(int64_t r, int64_t c,
                                          int64_t max_level) const {
-  const int64_t kp = nearest_level(plus_.conductance(r, c), max_level,
+  const int64_t pc = physical_column(c);
+  const int64_t kp = nearest_level(plus_.conductance(r, pc), max_level,
                                    config_);
-  const int64_t km = nearest_level(minus_.conductance(r, c), max_level,
+  const int64_t km = nearest_level(minus_.conductance(r, pc), max_level,
                                    config_);
   return kp - km;
 }

@@ -21,6 +21,10 @@
 
 namespace qsnc::snc {
 
+/// Static per-cell fabrication state. kStuckOff cells read g_min and
+/// kStuckOn cells read g_max no matter what is programmed.
+enum class DefectKind : uint8_t { kNone = 0, kStuckOff = 1, kStuckOn = 2 };
+
 /// One physical conductance array.
 class Crossbar {
  public:
@@ -28,11 +32,39 @@ class Crossbar {
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
+  const MemristorConfig& device() const { return config_; }
 
   /// Programs the cell at (r, c) to the given magnitude level of an N-bit
   /// grid. Pass `rng` to draw programming variation per the device config.
+  ///
+  /// Defect semantics: without a defect map (legacy passive-injection
+  /// mode), stuck-cell outcomes are drawn per call from `rng` at the
+  /// config rates. Once draw_defect_map()/set_defect() has installed a
+  /// static map, stuck cells are pinned by the map, no defect draws are
+  /// made, and retries against the same cell see the same fault — the
+  /// property closed-loop write-verify depends on.
   void program_cell(int64_t r, int64_t c, int64_t level, int64_t max_level,
                     nn::Rng* rng = nullptr);
+
+  /// Draws the static defect map from the config rates, one bernoulli pair
+  /// per cell in row-major order (deterministic given the rng state), and
+  /// pins already-stuck cells to their defect conductance.
+  void draw_defect_map(nn::Rng& rng);
+
+  /// Test/faultsim hook: forces one cell's defect (installs an all-kNone
+  /// map first when absent).
+  void set_defect(int64_t r, int64_t c, DefectKind kind);
+
+  DefectKind defect(int64_t r, int64_t c) const;
+  bool has_defect_map() const { return !defects_.empty(); }
+  int64_t defect_count() const;
+
+  /// Retention drift: every non-stuck cell decays toward g_min over `dt`
+  /// inference windows with a per-cell lognormal rate
+  /// lambda_i = rate * exp(sigma * z_i), where z_i is re-derived from
+  /// nn::Rng::stream(seed, i) — repeated calls with the same seed drift
+  /// the same cells at the same rates (determinism across refresh cycles).
+  void apply_drift(double dt, double rate, double sigma, uint64_t seed);
 
   double conductance(int64_t r, int64_t c) const;
 
@@ -76,22 +108,79 @@ class Crossbar {
   MemristorConfig config_;
   std::vector<double> g_;     // row-major conductances
   std::vector<double> geff_;  // wire-model panel; empty when wires ideal
+  std::vector<DefectKind> defects_;  // static map; empty = legacy draws
 };
 
 /// A differential pair of crossbars realizing a signed weight block.
 /// Weight levels k in [-max_level, +max_level]: positive k programs the
 /// plus array, negative k the minus array; the other cell stays at level 0
 /// (g_min leakage), and the differential current cancels the common leak.
+///
+/// Fault-aware remapping: the pair may reserve `spare_cols` extra physical
+/// columns. Logical columns route to physical columns through an output
+/// mux (col_map); rebinding a faulty logical column onto a spare only
+/// rewrites panel entries, so the event-engine hot path (accumulate_rows
+/// over the logical panel) is untouched by remapping.
 class DifferentialCrossbar {
  public:
   DifferentialCrossbar(int64_t rows, int64_t cols,
-                       const MemristorConfig& config);
+                       const MemristorConfig& config, int64_t spare_cols = 0);
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
+  int64_t spare_cols() const { return spare_cols_; }
+  int64_t spare_cols_left() const { return spare_cols_ - spares_used_; }
+  const MemristorConfig& device() const { return config_; }
 
   void program_cell(int64_t r, int64_t c, int64_t signed_level,
                     int64_t max_level, nn::Rng* rng = nullptr);
+
+  /// Programs one array's cell at a *physical* column without touching the
+  /// logical panel (used by the write-verify controller to retry a single
+  /// deviant cell or pre-program an unbound spare). Call
+  /// sync_panel_column() when the owning logical column is bound.
+  void program_array_cell(bool minus_array, int64_t r, int64_t phys_c,
+                          int64_t level, int64_t max_level,
+                          nn::Rng* rng = nullptr);
+
+  /// Effective conductance of one array's cell at a physical column — the
+  /// verify read of the write-verify loop.
+  double array_effective(bool minus_array, int64_t r, int64_t phys_c) const;
+
+  /// Draws static defect maps for both arrays (plus first, then minus).
+  void draw_defect_maps(nn::Rng& rng);
+
+  /// Test/faultsim hook: forces the defect of one array's cell at the
+  /// physical column currently backing logical column c.
+  void set_defect(int64_t r, int64_t c, bool minus_array, DefectKind kind);
+
+  int64_t defect_count() const {
+    return plus_.defect_count() + minus_.defect_count();
+  }
+
+  /// Physical column currently backing logical column c.
+  int64_t physical_column(int64_t c) const;
+
+  /// Claims the next unused spare physical column (ascending order);
+  /// returns -1 when the budget is exhausted. The claim is permanent even
+  /// if the caller decides not to bind it (a trial-programmed spare has
+  /// been written and is no longer pristine).
+  int64_t claim_spare();
+
+  /// Routes logical column c to physical column phys_c and refreshes the
+  /// panel entries from it.
+  void bind_column(int64_t c, int64_t phys_c);
+
+  /// Number of logical columns not on their home physical column.
+  int64_t remapped_cols() const;
+
+  /// Re-reads both panel entries of logical column c (all rows) from its
+  /// mapped physical column.
+  void sync_panel_column(int64_t c);
+
+  /// Retention drift over `dt` windows on both arrays (independent
+  /// per-array streams derived from `seed`), then a full panel resync.
+  void apply_drift(double dt, double rate, double sigma, uint64_t seed);
 
   /// Packed interleaved effective-conductance panel [rows x 2*cols]: the
   /// plus cell of logical column c at 2c, the minus cell at 2c+1. One
@@ -112,6 +201,19 @@ class DifferentialCrossbar {
   std::vector<double> read_columns_spiking(const std::vector<uint8_t>& spikes,
                                            double v_read) const;
 
+  /// Per-array logical-column currents through the column map (panel
+  /// reads, so remapped columns see their spare). Each output holds
+  /// cols() entries; accumulation is the same ascending-row order as
+  /// reading the plus()/minus() arrays directly — bit-identical to the
+  /// historical dense-reference reads for an identity mapping.
+  void read_logical_columns(const std::vector<double>& volts,
+                            std::vector<double>& plus_out,
+                            std::vector<double>& minus_out) const;
+  void read_logical_columns_spiking(const std::vector<uint8_t>& spikes,
+                                    double v_read,
+                                    std::vector<double>& plus_out,
+                                    std::vector<double>& minus_out) const;
+
   /// Signed level read back from the pair (ideal devices round-trip
   /// exactly; with variation this is the nearest level).
   int64_t read_level(int64_t r, int64_t c, int64_t max_level) const;
@@ -121,11 +223,14 @@ class DifferentialCrossbar {
 
  private:
   int64_t rows_;
-  int64_t cols_;
+  int64_t cols_;        // logical columns (panel width / 2)
+  int64_t spare_cols_;  // extra physical columns reserved for remapping
+  int64_t spares_used_ = 0;
   MemristorConfig config_;
   Crossbar plus_;
   Crossbar minus_;
-  std::vector<double> panel_;  // interleaved plus/minus effective panel
+  std::vector<double> panel_;    // interleaved plus/minus effective panel
+  std::vector<int64_t> col_map_;  // logical -> physical column
 };
 
 }  // namespace qsnc::snc

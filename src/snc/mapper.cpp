@@ -26,16 +26,24 @@ int64_t ModelMapping::total_cols() const {
   return n;
 }
 
-int64_t crossbars_for(int64_t rows, int64_t cols, int64_t t) {
+int64_t crossbars_for(int64_t rows, int64_t cols, int64_t t,
+                      int64_t spare_cols) {
   if (rows <= 0 || cols <= 0 || t <= 0) {
     throw std::invalid_argument("crossbars_for: non-positive extent");
   }
+  if (spare_cols < 0 || spare_cols >= t) {
+    throw std::invalid_argument(
+        "crossbars_for: spare_cols must leave a usable column");
+  }
   const auto ceil_div = [](int64_t a, int64_t b) { return (a + b - 1) / b; };
-  return ceil_div(cols, t) * ceil_div(rows, t);  // Eq 1
+  // Spares eat into each tile's column extent, so a faulty-column budget
+  // shows up as extra tiles along the column axis.
+  return ceil_div(cols, t - spare_cols) * ceil_div(rows, t);  // Eq 1
 }
 
 ModelMapping map_network(nn::Network& net, const std::string& model_name,
-                         const nn::Shape& input_chw, int64_t crossbar_size) {
+                         const nn::Shape& input_chw, int64_t crossbar_size,
+                         int64_t spare_cols) {
   if (input_chw.size() != 3) {
     throw std::invalid_argument("map_network: input shape must be [C,H,W]");
   }
@@ -47,6 +55,7 @@ ModelMapping map_network(nn::Network& net, const std::string& model_name,
   ModelMapping mapping;
   mapping.model = model_name;
   mapping.crossbar_size = crossbar_size;
+  mapping.spare_cols = spare_cols;
 
   int conv_index = 0;
   int fc_index = 0;
@@ -68,7 +77,8 @@ ModelMapping map_network(nn::Network& net, const std::string& model_name,
         lm.desc = desc;
         lm.rows = desc.kernel * desc.kernel * desc.in_channels;
         lm.cols = desc.filters;
-        lm.crossbars = crossbars_for(lm.rows, lm.cols, crossbar_size);
+        lm.crossbars =
+            crossbars_for(lm.rows, lm.cols, crossbar_size, spare_cols);
         mapping.layers.push_back(lm);
       } else if (auto* fc = dynamic_cast<nn::Dense*>(l)) {
         LayerDesc desc;
@@ -83,7 +93,8 @@ ModelMapping map_network(nn::Network& net, const std::string& model_name,
         lm.desc = desc;
         lm.rows = desc.in_channels;
         lm.cols = desc.filters;
-        lm.crossbars = crossbars_for(lm.rows, lm.cols, crossbar_size);
+        lm.crossbars =
+            crossbars_for(lm.rows, lm.cols, crossbar_size, spare_cols);
         mapping.layers.push_back(lm);
       }
     });

@@ -43,6 +43,8 @@ struct LayerMapping {
 struct ModelMapping {
   std::string model;
   int64_t crossbar_size = 32;  // t
+  /// Spare columns reserved per tile for fault remapping (0 = none).
+  int64_t spare_cols = 0;
   std::vector<LayerMapping> layers;
 
   int64_t total_crossbars() const;
@@ -51,13 +53,19 @@ struct ModelMapping {
   int64_t layer_count() const { return static_cast<int64_t>(layers.size()); }
 };
 
-/// Eq 1 for one layer.
-int64_t crossbars_for(int64_t rows, int64_t cols, int64_t t);
+/// Eq 1 for one layer. `spare_cols` columns per tile are reserved for
+/// fault remapping, shrinking the usable column extent to t - spare_cols
+/// (the area overhead of sparing; must leave at least one usable column).
+int64_t crossbars_for(int64_t rows, int64_t cols, int64_t t,
+                      int64_t spare_cols = 0);
 
 /// Extracts the weight-bearing layers (Conv2d at any nesting depth, Dense)
 /// of `net` in forward order and tiles each onto t x t crossbars. The
 /// input image shape [C, H, W] is needed to track conv output extents.
+/// `spare_cols` reserves fault-remapping spares per tile (see
+/// crossbars_for).
 ModelMapping map_network(nn::Network& net, const std::string& model_name,
-                         const nn::Shape& input_chw, int64_t crossbar_size);
+                         const nn::Shape& input_chw, int64_t crossbar_size,
+                         int64_t spare_cols = 0);
 
 }  // namespace qsnc::snc

@@ -36,6 +36,20 @@ int64_t nearest_level(double g, int64_t max_level,
   return std::clamp<int64_t>(k, 0, max_level);
 }
 
+double fractional_level(double g, int64_t max_level,
+                        const MemristorConfig& config) {
+  const double lo = g_min(config);
+  const double hi = g_max(config);
+  const double t = (g - lo) / (hi - lo) * static_cast<double>(max_level);
+  return std::clamp(t, 0.0, static_cast<double>(max_level));
+}
+
+double drift_conductance(double g, double lambda, double dt,
+                         const MemristorConfig& config) {
+  const double lo = g_min(config);
+  return lo + (g - lo) * std::exp(-lambda * dt);
+}
+
 void Memristor::program(int64_t level, int64_t max_level, nn::Rng* rng) {
   double g = level_conductance(level, max_level, config_);
   if (config_.variation_sigma > 0.0 && rng != nullptr) {

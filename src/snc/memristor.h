@@ -73,4 +73,18 @@ double level_conductance(int64_t level, int64_t max_level,
 int64_t nearest_level(double g, int64_t max_level,
                       const MemristorConfig& config);
 
+/// Real-valued inverse mapping: the fractional grid level whose ideal
+/// conductance equals `g`, clamped to [0, max_level]. The write-verify
+/// controller measures programming error in these units (a cell within
+/// +/-0.5 of its target level reads back correctly).
+double fractional_level(double g, int64_t max_level,
+                        const MemristorConfig& config);
+
+/// Retention drift: a programmed conductance relaxes toward g_min as
+/// g(t) = g_min + (g0 - g_min) * exp(-lambda * dt)  (lambda in 1/window,
+/// dt in inference windows). Per-cell lambda draws are lognormal around a
+/// nominal rate, mirroring published retention spreads.
+double drift_conductance(double g, double lambda, double dt,
+                         const MemristorConfig& config);
+
 }  // namespace qsnc::snc

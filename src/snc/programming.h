@@ -22,7 +22,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "nn/rng.h"
+#include "snc/crossbar.h"
 #include "snc/mapper.h"
 
 namespace qsnc::snc {
@@ -53,5 +56,71 @@ double pulses_per_cell(int weight_bits, const ProgrammingParams& params);
 ProgrammingCost evaluate_programming(const ModelMapping& mapping,
                                      int weight_bits,
                                      const ProgrammingParams& params = {});
+
+// ---------------------------------------------------------------------------
+// Closed-loop write-verify programming.
+//
+// The analytic model above prices the *expected* write-verify loop; the
+// controller below actually runs it against a DifferentialCrossbar: program,
+// read back the effective conductance, retry while the differential level
+// error exceeds the tolerance. Cells that exhaust the retry budget are
+// faults; the controller first tries *differential compensation* (reprogram
+// the healthy partner cell so the pair's difference still lands on the
+// target level — a stuck-on plus cell at level p is cancelled by minus at
+// clamp(round(p) - k)), and columns whose residual fault count still
+// exceeds a threshold are remapped onto spare physical columns.
+
+struct WriteVerifyConfig {
+  /// Accept a cell when |achieved - target| differential level error is at
+  /// most this (0.45 ~ "reads back to the right level with margin").
+  double tolerance_levels = 0.45;
+  /// Extra program attempts per array cell after the first write.
+  int max_retries = 3;
+  /// Remap a logical column onto a spare when its residual (uncompensated)
+  /// fault count reaches this. 0 disables remapping.
+  int remap_fault_threshold = 1;
+};
+
+/// Counters from one programming pass (aggregate with add()). residual
+/// faults describe the final state; the other counters describe activity,
+/// so a remapped column's pre-remap faults stay counted as detected.
+struct FaultReport {
+  int64_t cells = 0;             // differential pairs programmed
+  int64_t write_retries = 0;     // extra program attempts beyond the first
+  int64_t faults_detected = 0;   // pairs that exhausted the retry budget
+  int64_t faults_compensated = 0;  // ...recovered by partner compensation
+  int64_t residual_faults = 0;   // pairs still off-target after recovery
+  int64_t remapped_cols = 0;     // logical columns rerouted onto spares
+  int64_t spare_cols_left = 0;   // unclaimed spares after the pass
+  int64_t refreshes = 0;         // drift-refresh reprogram passes
+
+  void add(const FaultReport& other);
+};
+
+/// Verified programming of one logical column (signed levels[rows]) at its
+/// current physical mapping. Used for initial programming and for drift
+/// refresh (which must reprogram *through* the existing remap table).
+FaultReport program_column_verified(DifferentialCrossbar& xbar,
+                                    int64_t logical_col,
+                                    const int64_t* levels, int64_t max_level,
+                                    const WriteVerifyConfig& wv,
+                                    nn::Rng& rng);
+
+/// Verified programming of a full signed level matrix
+/// (levels[col * rows + r], the SncSystem weight layout), followed by a
+/// remap pass: columns with >= remap_fault_threshold residual faults are
+/// trial-programmed onto spares (worst column first) and rebound when the
+/// spare is cleaner. Deterministic given the rng state.
+FaultReport program_verified(DifferentialCrossbar& xbar,
+                             const std::vector<int64_t>& levels,
+                             int64_t max_level, const WriteVerifyConfig& wv,
+                             nn::Rng& rng);
+
+/// Worst |achieved - target| differential level error over the logical
+/// cells of `xbar` (levels[col * rows + r]) — the refresh scheduler's
+/// drift monitor read.
+double worst_level_error(const DifferentialCrossbar& xbar,
+                         const std::vector<int64_t>& levels,
+                         int64_t max_level);
 
 }  // namespace qsnc::snc

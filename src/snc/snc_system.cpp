@@ -40,6 +40,12 @@ struct SncSystem::Stage {
   float step = 0.0f;     // weight units per grid level (scale / 2^N)
   bool rectify = false;  // followed by ReLU: clamp + M-bit counter ceiling
 
+  // Fault-recovery state (only populated when recovery is enabled): the
+  // programming pass counters and the signed level matrix
+  // (levels[col * rows + r]) kept so drift refresh can reprogram.
+  FaultReport fault;
+  std::vector<int64_t> levels;
+
   // Event-engine im2col tap table (conv stages): taps[pos * rows + r] is
   // the flat input index of receptive-field tap r at output position pos,
   // or -1 where the tap falls in the zero padding. Precomputed once at
@@ -111,8 +117,13 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
         scale_for_stage(xbar_index++) /
         static_cast<float>(int64_t{1} << config_.weight_bits);
     stage.step = step;
-    stage.xbar = std::make_unique<DifferentialCrossbar>(rows, cols,
-                                                        config_.device);
+    const FaultRecoveryConfig& rec = config_.recovery;
+    stage.xbar = std::make_unique<DifferentialCrossbar>(
+        rows, cols, config_.device, rec.enabled() ? rec.spare_cols : 0);
+    const bool nonideal = config_.device.variation_sigma > 0.0 ||
+                          config_.device.stuck_off_rate > 0.0 ||
+                          config_.device.stuck_on_rate > 0.0;
+    std::vector<int64_t> levels(static_cast<size_t>(rows * cols));
     for (int64_t r = 0; r < rows; ++r) {
       for (int64_t col = 0; col < cols; ++col) {
         // Weight layout: conv OIHW / dense [out, in] both expose
@@ -126,12 +137,42 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
               "SncSystem: weight off the cluster grid; run "
               "apply_weight_clustering first");
         }
-        const bool nonideal = config_.device.variation_sigma > 0.0 ||
-                              config_.device.stuck_off_rate > 0.0 ||
-                              config_.device.stuck_on_rate > 0.0;
-        stage.xbar->program_cell(r, col, k, kmax, nonideal ? &rng_ : nullptr);
+        levels[static_cast<size_t>(col * rows + r)] = k;
       }
     }
+    if (!rec.enabled()) {
+      // Legacy passive-injection path: per-write defect draws from the
+      // shared rng stream, byte-identical to the pre-recovery simulator.
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t col = 0; col < cols; ++col) {
+          stage.xbar->program_cell(r, col,
+                                   levels[static_cast<size_t>(col * rows + r)],
+                                   kmax, nonideal ? &rng_ : nullptr);
+        }
+      }
+      return;
+    }
+    // Recovery mode: faults become a static per-cell property first, then
+    // programming runs against the persistent map.
+    stage.xbar->draw_defect_maps(rng_);
+    if (rec.write_verify) {
+      WriteVerifyConfig wv;
+      wv.tolerance_levels = rec.tolerance_levels;
+      wv.max_retries = rec.max_write_retries;
+      wv.remap_fault_threshold = rec.remap_fault_threshold;
+      stage.fault = program_verified(*stage.xbar, levels, kmax, wv, rng_);
+    } else {
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t col = 0; col < cols; ++col) {
+          stage.xbar->program_cell(r, col,
+                                   levels[static_cast<size_t>(col * rows + r)],
+                                   kmax, nonideal ? &rng_ : nullptr);
+        }
+      }
+      stage.fault.cells = rows * cols;
+      stage.fault.spare_cols_left = stage.xbar->spare_cols_left();
+    }
+    stage.levels = std::move(levels);
   };
 
   // Bakes the im2col tap index table for a conv stage's current geometry.
@@ -332,6 +373,14 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
     stats->rows = stage.xbar->rows();
     stats->cols = stage.xbar->cols();
     stats->positions = is_conv ? stage.out_h * stage.out_w : 1;
+    // Programming-time fault counters: engine-independent by construction
+    // (programming happened once, before any engine ran).
+    stats->write_retries = stage.fault.write_retries;
+    stats->faults_detected = stage.fault.faults_detected;
+    stats->faults_compensated = stage.fault.faults_compensated;
+    stats->residual_faults = stage.fault.residual_faults;
+    stats->remapped_cols = stage.fault.remapped_cols;
+    stats->refreshes = stage.fault.refreshes;
   }
   return config_.engine == SncEngine::kDenseReference
              ? run_crossbar_stage_dense(stage, input, stats)
@@ -415,9 +464,9 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
         volts[static_cast<size_t>(r)] =
             static_cast<double>(field[static_cast<size_t>(r)]);
       }
-      const std::vector<double> minus =
-          stage.xbar->minus().read_columns(volts);
-      const std::vector<double> plus = stage.xbar->plus().read_columns(volts);
+      std::vector<double> plus;
+      std::vector<double> minus;
+      stage.xbar->read_logical_columns(volts, plus, minus);
       for (int64_t col = 0; col < cols; ++col) {
         const double level_sum =
             (plus[static_cast<size_t>(col)] - minus[static_cast<size_t>(col)]) /
@@ -467,10 +516,10 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
           if (slot_spikes[static_cast<size_t>(r)] != 0) any_spike = true;
         }
         if (any_spike) ++chunk_occupied;
-        const std::vector<double> plus =
-            stage.xbar->plus().read_columns_spiking(slot_spikes, 1.0);
-        const std::vector<double> minus =
-            stage.xbar->minus().read_columns_spiking(slot_spikes, 1.0);
+        std::vector<double> plus;
+        std::vector<double> minus;
+        stage.xbar->read_logical_columns_spiking(slot_spikes, 1.0, plus,
+                                                 minus);
         for (int64_t col = 0; col < cols; ++col) {
           const double level_sum = (plus[static_cast<size_t>(col)] -
                                     minus[static_cast<size_t>(col)]) /
@@ -492,9 +541,9 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
             volts[static_cast<size_t>(r)] =
                 static_cast<double>(field[static_cast<size_t>(r)]);
           }
-          const std::vector<double> p2 = stage.xbar->plus().read_columns(volts);
-          const std::vector<double> m2 =
-              stage.xbar->minus().read_columns(volts);
+          std::vector<double> p2;
+          std::vector<double> m2;
+          stage.xbar->read_logical_columns(volts, p2, m2);
           const double y =
               static_cast<double>(step) *
                   ((p2[static_cast<size_t>(col)] -
@@ -889,6 +938,87 @@ float SncSystem::read_back_weight(size_t layer, int64_t row,
     ++idx;
   }
   throw std::out_of_range("SncSystem::read_back_weight: no such layer");
+}
+
+FaultReport SncSystem::fault_report() const {
+  FaultReport total;
+  for (const auto& stage : stages_) {
+    if (stage->xbar) total.add(stage->fault);
+  }
+  return total;
+}
+
+void SncSystem::advance_time(double windows) {
+  if (windows <= 0.0) return;
+  const FaultRecoveryConfig& rec = config_.recovery;
+  elapsed_windows_ += windows;
+  if (rec.drift_rate_per_window <= 0.0) return;
+  size_t xbar_index = 0;
+  for (auto& stage : stages_) {
+    if (!stage->xbar) continue;
+    // Per-stage drift stream: re-derivable from the config seed so the
+    // same cells always carry the same decay rates.
+    stage->xbar->apply_drift(
+        windows, rec.drift_rate_per_window, rec.drift_sigma,
+        nn::Rng::stream_seed(config_.seed,
+                             0xD21F7000u + static_cast<uint64_t>(xbar_index)));
+    ++xbar_index;
+  }
+  windows_since_refresh_ += windows;
+  if (rec.refresh_interval_windows > 0.0 &&
+      windows_since_refresh_ >= rec.refresh_interval_windows) {
+    refresh();
+    windows_since_refresh_ = 0.0;
+  }
+}
+
+int64_t SncSystem::refresh() {
+  const FaultRecoveryConfig& rec = config_.recovery;
+  const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
+  const bool nonideal = config_.device.variation_sigma > 0.0 ||
+                        config_.device.stuck_off_rate > 0.0 ||
+                        config_.device.stuck_on_rate > 0.0;
+  WriteVerifyConfig wv;
+  wv.tolerance_levels = rec.tolerance_levels;
+  wv.max_retries = rec.max_write_retries;
+  wv.remap_fault_threshold = rec.remap_fault_threshold;
+  int64_t refreshed = 0;
+  for (auto& stage : stages_) {
+    if (!stage->xbar || stage->levels.empty()) continue;
+    if (worst_level_error(*stage->xbar, stage->levels, kmax) <=
+        rec.refresh_tolerance_levels) {
+      continue;
+    }
+    ++refreshed;
+    ++stage->fault.refreshes;
+    const int64_t rows = stage->xbar->rows();
+    const int64_t cols = stage->xbar->cols();
+    if (rec.write_verify) {
+      // Reprogram through the existing remap table (column granularity so
+      // already-assigned spares keep their bindings).
+      int64_t residual = 0;
+      for (int64_t c = 0; c < cols; ++c) {
+        const FaultReport pass = program_column_verified(
+            *stage->xbar, c, stage->levels.data() + c * rows, kmax, wv,
+            rng_);
+        stage->fault.cells += pass.cells;
+        stage->fault.write_retries += pass.write_retries;
+        stage->fault.faults_detected += pass.faults_detected;
+        stage->fault.faults_compensated += pass.faults_compensated;
+        residual += pass.residual_faults;
+      }
+      stage->fault.residual_faults = residual;
+    } else {
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+          stage->xbar->program_cell(
+              r, c, stage->levels[static_cast<size_t>(c * rows + r)], kmax,
+              nonideal ? &rng_ : nullptr);
+        }
+      }
+    }
+  }
+  return refreshed;
 }
 
 }  // namespace qsnc::snc

@@ -38,6 +38,7 @@
 #include "nn/network.h"
 #include "snc/crossbar.h"
 #include "snc/mapper.h"
+#include "snc/programming.h"
 #include "snc/spike.h"
 
 namespace qsnc::snc {
@@ -61,6 +62,38 @@ enum class IntegrationMode { kIdealIntegration, kOnline };
 /// same ascending-row order; zero rows contribute nothing either way).
 enum class SncEngine { kEventDriven, kDenseReference };
 
+/// Closed-loop fault-recovery knobs. All off by default: the legacy
+/// passive-injection deployment (per-write defect draws, no verify) is
+/// byte-identical when enabled() is false. When any knob is on, each
+/// crossbar draws a *static* per-cell defect map at construction (stuck
+/// faults persist across retries and refreshes, as on real hardware) and
+/// keeps its programmed level matrix so drift refresh can reprogram.
+struct FaultRecoveryConfig {
+  /// Closed-loop write-verify programming with differential compensation
+  /// and (when spare_cols > 0) fault-aware column remapping.
+  bool write_verify = false;
+  double tolerance_levels = 0.45;  // accept |err| <= this many levels
+  int max_write_retries = 3;       // extra attempts per array cell
+  /// Spare physical columns per crossbar reserved for remapping.
+  int64_t spare_cols = 0;
+  /// Remap a column once it holds this many residual faults (0 = never).
+  int remap_fault_threshold = 1;
+
+  /// Retention drift: nominal conductance decay rate per inference window
+  /// (lognormal per-cell spread drift_sigma), applied by advance_time().
+  double drift_rate_per_window = 0.0;
+  double drift_sigma = 0.0;
+  /// Auto-refresh cadence in windows (0 = only explicit refresh() calls).
+  double refresh_interval_windows = 0.0;
+  /// A refresh pass reprograms a crossbar only when its worst readback
+  /// error exceeds this many levels.
+  double refresh_tolerance_levels = 0.45;
+
+  bool enabled() const {
+    return write_verify || spare_cols > 0 || drift_rate_per_window > 0.0;
+  }
+};
+
 struct SncConfig {
   int signal_bits = 4;  // M
   int weight_bits = 4;  // N
@@ -75,6 +108,7 @@ struct SncConfig {
   bool stochastic_coding = false;  // Bernoulli instead of deterministic
   SncEngine engine = SncEngine::kEventDriven;
   MemristorConfig device;
+  FaultRecoveryConfig recovery;
   uint64_t seed = 7;  // programming variation + stochastic coding draws
 };
 
@@ -96,6 +130,16 @@ struct SncStageStats {
   /// counted by the slot-by-slot paths (online mode or stochastic
   /// coding), 0 in collapsed ideal reads.
   int64_t occupied_slots = 0;
+
+  // Fault-tolerance counters. These are programming-time facts about the
+  // stage's crossbar (engine-independent, identical for both engines);
+  // all zero when FaultRecoveryConfig is disabled.
+  int64_t write_retries = 0;      // extra write-verify attempts
+  int64_t faults_detected = 0;    // pairs that exhausted the retry budget
+  int64_t faults_compensated = 0;  // recovered via partner compensation
+  int64_t residual_faults = 0;    // still off-target after recovery
+  int64_t remapped_cols = 0;      // logical columns routed onto spares
+  int64_t refreshes = 0;          // drift-refresh reprogram passes
 
   /// Row drives a dense engine performs for this stage.
   int64_t dense_row_drives() const { return rows * positions; }
@@ -151,6 +195,26 @@ class SncSystem {
   size_t stage_count() const { return stages_.size(); }
   const SncConfig& config() const { return config_; }
 
+  /// Aggregate fault-tolerance counters over all crossbar stages (all
+  /// zero when recovery is disabled).
+  FaultReport fault_report() const;
+
+  /// Advances simulated retention time by `windows` inference windows:
+  /// applies conductance drift to every crossbar and, when an auto-refresh
+  /// interval is configured, runs due refresh passes. No-op without a
+  /// drift rate. Deterministic given SncConfig::seed and the call
+  /// sequence.
+  void advance_time(double windows);
+
+  /// Drift refresh: reprograms every crossbar stage whose worst readback
+  /// level error exceeds recovery.refresh_tolerance_levels (write-verify
+  /// reprogramming through the existing remap table when enabled).
+  /// Returns the number of stages reprogrammed.
+  int64_t refresh();
+
+  /// Simulated windows elapsed via advance_time().
+  double elapsed_windows() const { return elapsed_windows_; }
+
  private:
   struct Stage;
 
@@ -172,6 +236,8 @@ class SncSystem {
   size_t crossbar_stage_count_ = 0;
   std::vector<double> last_logits_;
   std::vector<double> analog_readout_;  // filled by the final stage
+  double elapsed_windows_ = 0.0;
+  double windows_since_refresh_ = 0.0;
   nn::Rng rng_;
 };
 

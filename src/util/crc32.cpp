@@ -1,0 +1,44 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace qsnc::util {
+
+namespace {
+
+std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& table() {
+  static const std::array<uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  const auto& t = table();
+  uint32_t c = state_;
+  for (size_t i = 0; i < size; ++i) {
+    c = t[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+uint32_t crc32(const void* data, size_t size) {
+  Crc32 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace qsnc::util

@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Used for checkpoint integrity in nn/serialize: the v2 on-disk format
+// stores crc32(payload) in its header so truncation and bit flips are
+// detected before any tensor data is trusted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qsnc::util {
+
+/// Incremental CRC-32. Feed any number of chunks via update(), then read
+/// the digest with value(). A default-constructed instance over zero
+/// bytes yields 0.
+class Crc32 {
+ public:
+  void update(const void* data, size_t size);
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience: CRC-32 of a single buffer.
+uint32_t crc32(const void* data, size_t size);
+
+}  // namespace qsnc::util

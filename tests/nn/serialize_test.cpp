@@ -109,6 +109,126 @@ TEST(SerializeTest, LoadMissingFileThrows) {
   EXPECT_THROW(load_state(net, "/nonexistent/qsnc.bin"), std::runtime_error);
 }
 
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(f)),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SerializeTest, BitFlippedCheckpointFailsChecksum) {
+  Rng rng(56);
+  Network net = make_net(rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qsnc_bitflip.bin").string();
+  save_state(net, path);
+
+  const std::vector<char> good = read_file(path);
+  // Flip one bit in every region past the 12-byte header (count, dims,
+  // tensor data): each corruption must be caught by the checksum, with
+  // an error message that names the cause.
+  for (size_t pos : {size_t{12}, size_t{20}, good.size() / 2,
+                     good.size() - 1}) {
+    std::vector<char> bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    write_file(path, bad);
+    try {
+      load_state(net, path);
+      FAIL() << "bit flip at " << pos << " not detected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedCheckpointThrows) {
+  Rng rng(57);
+  Network net = make_net(rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qsnc_truncated.bin")
+          .string();
+  save_state(net, path);
+
+  const std::vector<char> good = read_file(path);
+  // Cut inside the header, inside the dims, and inside the tensor data:
+  // all must throw cleanly, never read past the end.
+  for (size_t cut : {size_t{2}, size_t{6}, size_t{13}, size_t{25},
+                     good.size() - 4}) {
+    write_file(path, std::vector<char>(good.begin(),
+                                       good.begin() +
+                                           static_cast<ptrdiff_t>(cut)));
+    EXPECT_THROW(load_state(net, path), std::runtime_error)
+        << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LegacyV1CheckpointStillLoads) {
+  Rng rng(58);
+  Network net = make_net(rng);
+  Tensor x({2, 1, 4, 4});
+  randomize(x, rng);
+  net.forward(x, true);
+  const Tensor before = net.forward(x, false);
+
+  // Hand-write the v1 format: magic | version=1 | payload, no checksum.
+  const NetworkState state = snapshot(net);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qsnc_legacy_v1.bin")
+          .string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    auto put_u32 = [&f](uint32_t v) {
+      f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put_u32(0x51534e43);
+    put_u32(1);
+    put_u32(static_cast<uint32_t>(state.tensors.size()));
+    for (const Tensor& t : state.tensors) {
+      put_u32(static_cast<uint32_t>(t.rank()));
+      for (int64_t d : t.shape()) {
+        f.write(reinterpret_cast<const char*>(&d), sizeof(d));
+      }
+      f.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    }
+  }
+
+  Rng rng2(58);
+  Network net2 = make_net(rng2);
+  for (Param* p : net2.params()) p->value.fill(0.0f);
+  load_state(net2, path);
+  EXPECT_TRUE(net2.forward(x, false).allclose(before));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, UnsupportedVersionThrows) {
+  Rng rng(59);
+  Network net = make_net(rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qsnc_future_version.bin")
+          .string();
+  save_state(net, path);
+  std::vector<char> bytes = read_file(path);
+  bytes[4] = 99;  // version field right after the magic
+  write_file(path, bytes);
+  try {
+    load_state(net, path);
+    FAIL() << "future version not rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, LoadCorruptMagicThrows) {
   Rng rng(55);
   Network net = make_net(rng);

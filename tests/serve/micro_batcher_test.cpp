@@ -243,5 +243,70 @@ TEST(MicroBatcherTest, ManyProducersAllComplete) {
   EXPECT_GE(stats.p99_us, stats.p50_us);
 }
 
+TEST(MicroBatcherTest, ExpiredDeadlineIsStructuredRejection) {
+  FakeBackend backend(/*gated=*/true);
+  BatchOptions opts;
+  opts.max_batch = 1;
+  opts.batch_timeout_us = 0;
+  MicroBatcher batcher(backend, opts);
+
+  // Request A occupies the backend; B waits in the queue with a 1 us
+  // budget that is long gone by the time A's batch completes and B's
+  // batch forms.
+  std::future<Response> a = batcher.submit(image_with_value(3.0f));
+  backend.wait_until_blocked();
+  std::future<Response> b =
+      batcher.submit(image_with_value(4.0f), /*deadline_us=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  backend.release();
+
+  EXPECT_EQ(a.get().status, Status::kOk);
+  const Response rb = b.get();
+  EXPECT_EQ(rb.status, Status::kDeadlineExceeded);
+  EXPECT_NE(rb.error.find("deadline"), std::string::npos);
+  EXPECT_GT(rb.latency_us, 0u);
+  // The expired request never reached the backend.
+  for (int64_t n : backend.batch_sizes()) EXPECT_EQ(n, 1);
+  EXPECT_EQ(batcher.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(batcher.stats().completed, 1u);
+}
+
+TEST(MicroBatcherTest, GenerousAndZeroDeadlinesComplete) {
+  FakeBackend backend;
+  BatchOptions opts;
+  opts.max_batch = 2;
+  opts.batch_timeout_us = 100;
+  MicroBatcher batcher(backend, opts);
+  std::future<Response> none = batcher.submit(image_with_value(1.0f));
+  std::future<Response> generous =
+      batcher.submit(image_with_value(2.0f), /*deadline_us=*/60'000'000);
+  EXPECT_EQ(none.get().status, Status::kOk);
+  EXPECT_EQ(generous.get().status, Status::kOk);
+  EXPECT_EQ(batcher.stats().deadline_exceeded, 0u);
+}
+
+TEST(MicroBatcherTest, DegradedFlagPropagatesToResponses) {
+  class Degraded final : public Backend {
+   public:
+    const std::string& kind() const override { return kind_; }
+    const nn::Shape& input_shape() const override { return shape_; }
+    std::vector<int64_t> infer_batch(const nn::Tensor& batch) override {
+      return std::vector<int64_t>(static_cast<size_t>(batch.dim(0)), 9);
+    }
+    bool last_batch_degraded() const override { return true; }
+
+   private:
+    std::string kind_ = "fake";
+    nn::Shape shape_ = {1, 2, 2};
+  };
+  Degraded backend;
+  MicroBatcher batcher(backend, BatchOptions{});
+  const Response r = batcher.submit(image_with_value(1.0f)).get();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.prediction, 9);
+  EXPECT_EQ(batcher.stats().degraded, 1u);
+}
+
 }  // namespace
 }  // namespace qsnc::serve

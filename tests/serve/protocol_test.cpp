@@ -18,6 +18,7 @@ nn::Tensor sample_image() {
 TEST(ProtocolTest, InferRequestRoundTrip) {
   InferRequest request;
   request.id = 42;
+  request.deadline_us = 250000;
   request.model = "lenet-mini";
   request.image = sample_image();
 
@@ -30,6 +31,7 @@ TEST(ProtocolTest, InferRequestRoundTrip) {
 
   const InferRequest decoded = decode_infer_request(frame->body);
   EXPECT_EQ(decoded.id, 42u);
+  EXPECT_EQ(decoded.deadline_us, 250000u);
   EXPECT_EQ(decoded.model, "lenet-mini");
   ASSERT_EQ(decoded.image.shape(), request.image.shape());
   for (int64_t i = 0; i < decoded.image.numel(); ++i) {
@@ -60,6 +62,36 @@ TEST(ProtocolTest, InferResponseRoundTrip) {
   EXPECT_EQ(decoded.response.retry_after_us, 5678u);
   EXPECT_EQ(decoded.response.batch_size, 3u);
   EXPECT_EQ(decoded.response.error, "queue full");
+  EXPECT_FALSE(decoded.response.degraded);
+}
+
+TEST(ProtocolTest, DegradedFlagAndDeadlineStatusRoundTrip) {
+  InferResponse response;
+  response.id = 9;
+  response.response.status = Status::kDeadlineExceeded;
+  response.response.degraded = true;
+  response.response.error = "deadline of 10 us expired before execution";
+
+  const std::vector<uint8_t> wire = encode_infer_response(response);
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  const InferResponse decoded = decode_infer_response(frame->body);
+  EXPECT_EQ(decoded.response.status, Status::kDeadlineExceeded);
+  EXPECT_TRUE(decoded.response.degraded);
+  EXPECT_EQ(decoded.response.error, response.response.error);
+}
+
+TEST(ProtocolTest, ZeroDeadlineMeansNone) {
+  InferRequest request;
+  request.id = 1;
+  request.model = "m";
+  request.image = sample_image();
+  const std::vector<uint8_t> wire = encode_infer_request(request);
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_EQ(decode_infer_request(reader.next()->body).deadline_us, 0u);
 }
 
 TEST(ProtocolTest, StatsRoundTrip) {

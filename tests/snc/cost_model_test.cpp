@@ -85,6 +85,29 @@ TEST(CostModelTest, EmptyMappingThrows) {
   EXPECT_THROW(evaluate_cost(empty, 4, 4), std::invalid_argument);
 }
 
+TEST(CostModelTest, RefreshDutyShrinksWithLongerInterval) {
+  const ModelMapping m = lenet_mapping();
+  const RefreshOverhead frequent = evaluate_refresh(m, 4, 4, 1e6);
+  const RefreshOverhead rare = evaluate_refresh(m, 4, 4, 1e9);
+  EXPECT_GT(frequent.duty, rare.duty);
+  EXPECT_LT(frequent.effective_speed_mhz, rare.effective_speed_mhz);
+  // Duty is a proper fraction and effective speed never exceeds raw speed.
+  const SystemCost raw = evaluate_cost(m, 4, 4);
+  EXPECT_GT(rare.duty, 0.0);
+  EXPECT_LT(frequent.duty, 1.0);
+  EXPECT_LE(rare.effective_speed_mhz, raw.speed_mhz);
+  // Consistency: effective = raw * (1 - duty).
+  EXPECT_NEAR(rare.effective_speed_mhz, raw.speed_mhz * (1.0 - rare.duty),
+              1e-9);
+}
+
+TEST(CostModelTest, RefreshTimeMatchesProgrammingModel) {
+  const ModelMapping m = lenet_mapping();
+  const RefreshOverhead o = evaluate_refresh(m, 4, 4, 1e6);
+  EXPECT_DOUBLE_EQ(o.refresh_time_ms, evaluate_programming(m, 4).time_ms);
+  EXPECT_THROW(evaluate_refresh(m, 4, 4, 0.0), std::invalid_argument);
+}
+
 class CostMonotonicity : public ::testing::TestWithParam<int> {};
 
 TEST_P(CostMonotonicity, FewerSignalBitsNeverSlower) {

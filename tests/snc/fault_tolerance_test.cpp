@@ -1,0 +1,354 @@
+// Closed-loop fault tolerance: write-verify programming, differential
+// compensation, spare-column remapping, and retention drift + refresh.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/bn_folding.h"
+#include "core/fixed_point.h"
+#include "core/weight_clustering.h"
+#include "models/model_zoo.h"
+#include "nn/rng.h"
+#include "snc/crossbar.h"
+#include "snc/programming.h"
+#include "snc/snc_system.h"
+
+namespace qsnc::snc {
+namespace {
+
+constexpr int64_t kImageHW = 28;
+
+/// Clustered model-zoo lenet + the matching deploy config (grid-aligned
+/// weights are a precondition of SncSystem).
+nn::Network make_deployable_lenet(uint64_t seed, SncConfig& config) {
+  nn::Rng rng(seed);
+  nn::Network net = models::make_lenet_mini(rng);
+  core::fold_batchnorm(net);
+  core::WeightClusterConfig wc;
+  wc.bits = config.weight_bits;
+  const auto results = core::apply_weight_clustering(net, wc);
+  config.weight_scales.clear();
+  for (const auto& r : results) config.weight_scales.push_back(r.scale);
+  config.input_scale = std::min(
+      16.0f, static_cast<float>(core::signal_max(config.signal_bits)));
+  return net;
+}
+
+nn::Tensor random_image(uint64_t seed) {
+  nn::Tensor image({1, kImageHW, kImageHW});
+  nn::Rng pix(seed);
+  for (int64_t i = 0; i < image.numel(); ++i) {
+    image[i] = pix.uniform(0.0f, 1.0f);
+  }
+  return image;
+}
+
+std::vector<int64_t> make_levels(int64_t rows, int64_t cols, int64_t kmax) {
+  // Deterministic small signed levels, like clustered weights.
+  std::vector<int64_t> levels(static_cast<size_t>(rows * cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    for (int64_t r = 0; r < rows; ++r) {
+      levels[static_cast<size_t>(c * rows + r)] = ((r + 2 * c) % (2 * kmax + 1)) - kmax;
+    }
+  }
+  return levels;
+}
+
+TEST(WriteVerifyTest, IdealDevicesProgramFirstTry) {
+  MemristorConfig cfg;
+  DifferentialCrossbar xbar(8, 4, cfg);
+  nn::Rng rng(1);
+  const int64_t kmax = 8;
+  const auto levels = make_levels(8, 4, kmax);
+  const FaultReport report =
+      program_verified(xbar, levels, kmax, WriteVerifyConfig{}, rng);
+  EXPECT_EQ(report.cells, 32);
+  EXPECT_EQ(report.write_retries, 0);
+  EXPECT_EQ(report.faults_detected, 0);
+  EXPECT_EQ(report.residual_faults, 0);
+  EXPECT_LT(worst_level_error(xbar, levels, kmax), 1e-9);
+  // Programmed levels round-trip exactly.
+  for (int64_t c = 0; c < 4; ++c) {
+    for (int64_t r = 0; r < 8; ++r) {
+      EXPECT_EQ(xbar.read_level(r, c, kmax),
+                levels[static_cast<size_t>(c * 8 + r)]);
+    }
+  }
+}
+
+TEST(WriteVerifyTest, CompensatesStuckOnCellThroughPartner) {
+  MemristorConfig cfg;
+  DifferentialCrossbar xbar(4, 2, cfg);
+  const int64_t kmax = 8;
+  // Target k = +2 at (1, 0); plus cell stuck at g_max (level 8). The
+  // controller should re-aim minus to 8 - 2 = 6 so the pair still reads 2.
+  xbar.set_defect(1, 0, /*minus_array=*/false, DefectKind::kStuckOn);
+  nn::Rng rng(1);
+  std::vector<int64_t> levels(8, 0);
+  levels[0 * 4 + 1] = 2;
+  const FaultReport report =
+      program_verified(xbar, levels, kmax, WriteVerifyConfig{}, rng);
+  EXPECT_EQ(report.faults_detected, 1);
+  EXPECT_EQ(report.faults_compensated, 1);
+  EXPECT_EQ(report.residual_faults, 0);
+  EXPECT_EQ(xbar.read_level(1, 0, kmax), 2);
+  EXPECT_LT(worst_level_error(xbar, levels, kmax), 0.5);
+}
+
+TEST(WriteVerifyTest, StuckFaultPersistsAcrossRetries) {
+  MemristorConfig cfg;
+  Crossbar xbar(2, 2, cfg);
+  xbar.set_defect(0, 0, DefectKind::kStuckOff);
+  nn::Rng rng(3);
+  // Retrying the same write against a mapped defect never helps: the cell
+  // reads g_min regardless of the target level, on every attempt.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    xbar.program_cell(0, 0, 8, 8, &rng);
+    EXPECT_DOUBLE_EQ(xbar.conductance(0, 0), g_min(cfg));
+  }
+}
+
+TEST(WriteVerifyTest, DoubleStuckPairRemapsOntoSpare) {
+  MemristorConfig cfg;
+  const int64_t kmax = 8;
+  DifferentialCrossbar xbar(4, 2, cfg, /*spare_cols=*/1);
+  // Both cells of pair (2, 1) pinned: compensation has no healthy partner,
+  // so the column must reroute to the spare.
+  xbar.set_defect(2, 1, /*minus_array=*/false, DefectKind::kStuckOn);
+  xbar.set_defect(2, 1, /*minus_array=*/true, DefectKind::kStuckOn);
+  nn::Rng rng(1);
+  auto levels = make_levels(4, 2, kmax);
+  levels[1 * 4 + 2] = -3;
+  const FaultReport report =
+      program_verified(xbar, levels, kmax, WriteVerifyConfig{}, rng);
+  EXPECT_EQ(report.remapped_cols, 1);
+  EXPECT_EQ(report.residual_faults, 0);
+  EXPECT_EQ(report.spare_cols_left, 0);
+  EXPECT_EQ(xbar.physical_column(1), 2);  // home cols are 0..1, spare is 2
+  EXPECT_EQ(xbar.remapped_cols(), 1);
+  EXPECT_LT(worst_level_error(xbar, levels, kmax), 0.5);
+  // The logical panel reads come from the spare now.
+  EXPECT_EQ(xbar.read_level(2, 1, kmax), -3);
+}
+
+TEST(WriteVerifyTest, ResidualFaultRecordedWhenSparesExhausted) {
+  MemristorConfig cfg;
+  const int64_t kmax = 8;
+  DifferentialCrossbar xbar(4, 2, cfg, /*spare_cols=*/0);
+  xbar.set_defect(2, 1, /*minus_array=*/false, DefectKind::kStuckOn);
+  xbar.set_defect(2, 1, /*minus_array=*/true, DefectKind::kStuckOn);
+  nn::Rng rng(1);
+  std::vector<int64_t> levels(8, 0);
+  levels[1 * 4 + 2] = -3;
+  const FaultReport report =
+      program_verified(xbar, levels, kmax, WriteVerifyConfig{}, rng);
+  EXPECT_EQ(report.remapped_cols, 0);
+  EXPECT_EQ(report.faults_detected, 1);
+  EXPECT_EQ(report.residual_faults, 1);
+}
+
+TEST(DriftTest, ConductanceDecaysTowardGmin) {
+  MemristorConfig cfg;
+  Crossbar xbar(2, 2, cfg);
+  xbar.program_cell(0, 0, 8, 8);
+  const double g0 = xbar.conductance(0, 0);
+  xbar.apply_drift(/*dt=*/10.0, /*rate=*/0.01, /*sigma=*/0.0, /*seed=*/1);
+  const double g1 = xbar.conductance(0, 0);
+  EXPECT_LT(g1, g0);
+  EXPECT_GT(g1, g_min(cfg));
+  EXPECT_NEAR(g1, g_min(cfg) + (g0 - g_min(cfg)) * std::exp(-0.1), 1e-15);
+}
+
+TEST(DriftTest, DriftIsDeterministicInSeed) {
+  MemristorConfig cfg;
+  Crossbar a(4, 4, cfg);
+  Crossbar b(4, 4, cfg);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      a.program_cell(r, c, (r + c) % 9, 8);
+      b.program_cell(r, c, (r + c) % 9, 8);
+    }
+  }
+  a.apply_drift(5.0, 0.01, 0.5, 42);
+  b.apply_drift(5.0, 0.01, 0.5, 42);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(a.conductance(r, c), b.conductance(r, c));
+    }
+  }
+}
+
+SncConfig drifting_config() {
+  SncConfig config;
+  config.recovery.write_verify = true;
+  config.recovery.drift_rate_per_window = 0.002;
+  config.recovery.drift_sigma = 0.3;
+  return config;
+}
+
+TEST(DriftTest, RefreshRestoresDriftedSystem) {
+  SncConfig config = drifting_config();
+  nn::Network net = make_deployable_lenet(5, config);
+  SncSystem system(net, {1, kImageHW, kImageHW}, config);
+
+  EXPECT_EQ(system.refresh(), 0);  // freshly programmed: nothing to do
+
+  system.advance_time(400.0);
+  EXPECT_DOUBLE_EQ(system.elapsed_windows(), 400.0);
+  // Enough decay to push at least one stage past the refresh tolerance.
+  const int64_t refreshed = system.refresh();
+  EXPECT_GT(refreshed, 0);
+  EXPECT_GT(system.fault_report().refreshes, 0);
+  // Reprogrammed: a second refresh right away finds nothing to do.
+  EXPECT_EQ(system.refresh(), 0);
+}
+
+TEST(DriftTest, AutoRefreshFiresOnSchedule) {
+  SncConfig config = drifting_config();
+  config.recovery.refresh_interval_windows = 100.0;
+  nn::Network net = make_deployable_lenet(5, config);
+  SncSystem system(net, {1, kImageHW, kImageHW}, config);
+  system.advance_time(400.0);  // crosses the interval: refresh runs inline
+  EXPECT_GT(system.fault_report().refreshes, 0);
+}
+
+TEST(FaultToleranceSystemTest, RecoveryIsDeterministicInSeed) {
+  SncConfig config;
+  config.device.stuck_on_rate = 0.02;
+  config.device.stuck_off_rate = 0.01;
+  config.device.variation_sigma = 0.02;
+  config.recovery.write_verify = true;
+  config.recovery.spare_cols = 2;
+  nn::Network net_a = make_deployable_lenet(5, config);
+  nn::Network net_b = make_deployable_lenet(5, config);
+  SncSystem a(net_a, {1, kImageHW, kImageHW}, config);
+  SncSystem b(net_b, {1, kImageHW, kImageHW}, config);
+
+  const FaultReport ra = a.fault_report();
+  const FaultReport rb = b.fault_report();
+  EXPECT_EQ(ra.faults_detected, rb.faults_detected);
+  EXPECT_EQ(ra.faults_compensated, rb.faults_compensated);
+  EXPECT_EQ(ra.residual_faults, rb.residual_faults);
+  EXPECT_EQ(ra.remapped_cols, rb.remapped_cols);
+  EXPECT_EQ(ra.write_retries, rb.write_retries);
+  EXPECT_GT(ra.faults_detected, 0);
+}
+
+TEST(FaultToleranceSystemTest, FaultMapsIdenticalAcrossEngines) {
+  // Identical seeds must yield identical fault maps and recovery actions
+  // whether inference later runs event-driven or dense — programming
+  // happens before either engine is selected.
+  for (const bool stochastic : {false, true}) {
+    SncConfig config;
+    config.device.stuck_on_rate = 0.02;
+    config.recovery.write_verify = true;
+    config.recovery.spare_cols = 1;
+    config.stochastic_coding = stochastic;
+    nn::Network net_a = make_deployable_lenet(9, config);
+    nn::Network net_b = make_deployable_lenet(9, config);
+    config.engine = SncEngine::kEventDriven;
+    SncSystem event_system(net_a, {1, kImageHW, kImageHW}, config);
+    config.engine = SncEngine::kDenseReference;
+    SncSystem dense_system(net_b, {1, kImageHW, kImageHW}, config);
+
+    const nn::Tensor image = random_image(3);
+    SncStats event_stats;
+    SncStats dense_stats;
+    const int64_t event_pred = event_system.infer(image, &event_stats);
+    const int64_t dense_pred = dense_system.infer(image, &dense_stats);
+    EXPECT_EQ(event_pred, dense_pred);
+    ASSERT_EQ(event_stats.stage.size(), dense_stats.stage.size());
+    for (size_t s = 0; s < event_stats.stage.size(); ++s) {
+      EXPECT_EQ(event_stats.stage[s].faults_detected,
+                dense_stats.stage[s].faults_detected);
+      EXPECT_EQ(event_stats.stage[s].faults_compensated,
+                dense_stats.stage[s].faults_compensated);
+      EXPECT_EQ(event_stats.stage[s].residual_faults,
+                dense_stats.stage[s].residual_faults);
+      EXPECT_EQ(event_stats.stage[s].remapped_cols,
+                dense_stats.stage[s].remapped_cols);
+      EXPECT_EQ(event_stats.stage[s].write_retries,
+                dense_stats.stage[s].write_retries);
+      EXPECT_EQ(event_stats.stage[s].spikes, dense_stats.stage[s].spikes);
+    }
+  }
+}
+
+TEST(FaultToleranceSystemTest, LegacyPathUnchangedWhenRecoveryDisabled) {
+  // SncConfig{} with default recovery must reproduce the pre-recovery
+  // simulator draw-for-draw: same rng stream, same programmed state.
+  SncConfig config;
+  config.device.variation_sigma = 0.05;
+  config.device.stuck_on_rate = 0.01;
+  nn::Network net_a = make_deployable_lenet(5, config);
+  nn::Network net_b = make_deployable_lenet(5, config);
+  SncSystem sys(net_a, {1, kImageHW, kImageHW}, config);
+  SncSystem sys2(net_b, {1, kImageHW, kImageHW}, config);
+  const nn::Tensor image = random_image(3);
+  EXPECT_EQ(sys.infer(image), sys2.infer(image));
+  const FaultReport report = sys.fault_report();
+  EXPECT_EQ(report.cells, 0);  // no recovery bookkeeping in legacy mode
+  EXPECT_EQ(report.faults_detected, 0);
+}
+
+TEST(FaultToleranceSystemTest, AgreementDegradesMonotonicallyInStuckRate) {
+  // Property: prediction agreement with the fault-free system is
+  // non-increasing (within a seed-noise tolerance) as the stuck-on rate
+  // grows — more defective cells can only corrupt more columns. Agreement
+  // over random images stands in for labelled accuracy here.
+  SncConfig base;
+  nn::Network net = make_deployable_lenet(11, base);
+  constexpr int kImages = 12;
+  std::vector<nn::Tensor> images;
+  std::vector<int64_t> clean_predictions;
+  {
+    SncSystem clean(net, {1, kImageHW, kImageHW}, base);
+    for (int i = 0; i < kImages; ++i) {
+      images.push_back(random_image(400 + static_cast<uint64_t>(i)));
+      clean_predictions.push_back(clean.infer(images.back()));
+    }
+  }
+
+  const auto agreement = [&](double rate, bool recovered) {
+    double total = 0.0;
+    const int seeds = 3;
+    for (int s = 0; s < seeds; ++s) {
+      SncConfig cfg = base;
+      cfg.device.stuck_on_rate = rate;
+      cfg.seed = 7 + static_cast<uint64_t>(s);
+      if (recovered) {
+        cfg.recovery.write_verify = true;
+        cfg.recovery.spare_cols = 2;
+      }
+      SncSystem sys(net, {1, kImageHW, kImageHW}, cfg);
+      int match = 0;
+      for (int i = 0; i < kImages; ++i) {
+        if (sys.infer(images[static_cast<size_t>(i)]) ==
+            clean_predictions[static_cast<size_t>(i)]) {
+          ++match;
+        }
+      }
+      total += static_cast<double>(match) / kImages;
+    }
+    return total / seeds;
+  };
+
+  const double rates[] = {0.0, 0.02, 0.06, 0.15};
+  constexpr double kTolerance = 0.15;  // 3 seeds x 12 images is noisy
+  double prev = 2.0;
+  for (double rate : rates) {
+    const double a = agreement(rate, /*recovered=*/false);
+    if (rate == 0.0) {
+      EXPECT_EQ(a, 1.0);  // no faults: byte-identical
+    }
+    EXPECT_LE(a, prev + kTolerance) << "rate " << rate;
+    prev = std::min(prev, a);
+  }
+  // And the closed loop is the cure: at 2% stuck-on, recovery must agree
+  // with the fault-free system strictly better than passive injection.
+  EXPECT_GT(agreement(0.02, true), agreement(0.02, false));
+}
+
+}  // namespace
+}  // namespace qsnc::snc

@@ -104,5 +104,38 @@ TEST(MapperTest, BadInputShapeThrows) {
   EXPECT_THROW(map_network(net, "x", {28, 28}, 32), std::invalid_argument);
 }
 
+TEST(MapperTest, SpareColumnsShrinkUsableTileWidth) {
+  // 64 columns fit in 2 tiles of 32, but reserving 2 spares per tile
+  // leaves 30 usable columns -> 3 column tiles.
+  EXPECT_EQ(crossbars_for(32, 64, 32), 2);
+  EXPECT_EQ(crossbars_for(32, 64, 32, 2), 3);
+  // Sparing never reduces the tile count.
+  for (int64_t s = 0; s < 8; ++s) {
+    EXPECT_GE(crossbars_for(100, 100, 32, s + 1),
+              crossbars_for(100, 100, 32, s));
+  }
+}
+
+TEST(MapperTest, SpareColumnsMustLeaveUsableColumn) {
+  EXPECT_THROW(crossbars_for(32, 32, 32, 32), std::invalid_argument);
+  EXPECT_THROW(crossbars_for(32, 32, 32, -1), std::invalid_argument);
+}
+
+TEST(MapperTest, MapNetworkPropagatesSpareBudget) {
+  nn::Rng rng(1);
+  nn::Network net = models::make_lenet(rng);
+  const ModelMapping plain = map_network(net, "Lenet", {1, 28, 28}, 32);
+  nn::Rng rng2(1);
+  nn::Network net2 = models::make_lenet(rng2);
+  const ModelMapping spared = map_network(net2, "Lenet", {1, 28, 28}, 32, 4);
+  EXPECT_EQ(spared.spare_cols, 4);
+  EXPECT_GE(spared.total_crossbars(), plain.total_crossbars());
+  for (size_t i = 0; i < plain.layers.size(); ++i) {
+    EXPECT_EQ(spared.layers[i].crossbars,
+              crossbars_for(plain.layers[i].rows, plain.layers[i].cols, 32,
+                            4));
+  }
+}
+
 }  // namespace
 }  // namespace qsnc::snc

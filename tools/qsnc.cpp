@@ -6,15 +6,29 @@
 //               (Weight Clustering onto the N-bit grid)
 //   qsnc eval   --model M --state state.bin [--bits M] [--test-size N]
 //   qsnc deploy --model M --state state.bin --bits M [--images N]
-//               (spike-level SNC inference; weights must be on the grid)
+//               [--stuck-on R] [--stuck-off R] [--variation S]
+//               [--write-verify] [--spare-cols K] [--snc-seed S]
+//               (spike-level SNC inference; weights must be on the grid;
+//               fault flags inject defects and enable closed-loop recovery)
+//   qsnc faultsim --model M [--state f] [--bits M] [--images N]
+//               [--rates csv] [--spares csv] [--seeds K]
+//               (stuck-on rate x spare budget sweep: passive vs recovered
+//               accuracy; trains a small model when --state is omitted)
 //   qsnc cost   --model M [--signal-bits M] [--weight-bits N] [--crossbar t]
 //   qsnc serve  --model lenet-mini [--backend fp32|quant|snc] [--state f]
 //               [--bits M] [--max-batch B] [--batch-timeout-us T]
 //               [--queue-cap Q] [--socket /tmp/qsnc-serve.sock]
-//               (long-lived inference server; SIGINT drains and exits)
+//               [--snc-replicas R] [--snc-stuck-on R] [--snc-stuck-off R]
+//               [--snc-variation S] [--snc-write-verify] [--snc-spare-cols K]
+//               [--health] [--health-interval B] [--health-canaries N]
+//               [--health-min-fraction F] [--health-reprogram A]
+//               [--health-per-replica-seeds]
+//               (long-lived inference server; SIGINT drains and exits;
+//               --health enables canary checks + quarantine + quant fallback)
 //   qsnc loadgen --model lenet-mini [--socket path] [--requests N]
-//               [--concurrency C] [--no-retry]
-//               (closed-loop load generator against a running server)
+//               [--concurrency C] [--no-retry] [--deadline-us D]
+//               (closed-loop load generator against a running server;
+//               rejected requests retry with jittered exponential backoff)
 //
 // Every command accepts --threads N to size the thread pool (overrides the
 // QSNC_THREADS environment variable; default: hardware concurrency).
@@ -43,6 +57,7 @@
 #include "models/model_zoo.h"
 #include "nn/serialize.h"
 #include "report/table.h"
+#include "serve/backoff.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 #include "snc/cost_model.h"
@@ -234,6 +249,13 @@ int cmd_deploy(const util::Flags& flags) {
   const int bits = static_cast<int>(flags.get_int("bits", 4));
   const int64_t images = flags.get_int("images", 50);
   const bool dense_reference = flags.get_bool("dense-reference", false);
+  const double stuck_on = flags.get_double("stuck-on", 0.0);
+  const double stuck_off = flags.get_double("stuck-off", 0.0);
+  const double variation = flags.get_double("variation", 0.0);
+  const bool write_verify = flags.get_bool("write-verify", false);
+  const int64_t spare_cols = flags.get_int("spare-cols", 0);
+  const uint64_t snc_seed =
+      static_cast<uint64_t>(flags.get_int("snc-seed", 7));
   check_unused(flags);
 
   nn::Rng rng(1);
@@ -255,6 +277,12 @@ int cmd_deploy(const util::Flags& flags) {
       std::min(16.0f, static_cast<float>(core::signal_max(bits)));
   cfg.engine = dense_reference ? snc::SncEngine::kDenseReference
                                : snc::SncEngine::kEventDriven;
+  cfg.seed = snc_seed;
+  cfg.device.stuck_on_rate = stuck_on;
+  cfg.device.stuck_off_rate = stuck_off;
+  cfg.device.variation_sigma = variation;
+  cfg.recovery.write_verify = write_verify;
+  cfg.recovery.spare_cols = spare_cols;
   snc::SncSystem system(net, model.input, cfg);
 
   auto test_set = load_dataset(model, std::max<int64_t>(images, 50), 999,
@@ -300,6 +328,133 @@ int cmd_deploy(const util::Flags& flags) {
          report::fmt(static_cast<double>(sg.spikes) * inv, 1)});
   }
   std::printf("%s", activity.to_string().c_str());
+  if (cfg.recovery.enabled()) {
+    const snc::FaultReport fr = system.fault_report();
+    report::Table faults({"cells", "retries", "detected", "compensated",
+                          "residual", "remapped", "spares left",
+                          "refreshes"});
+    faults.add_row({std::to_string(fr.cells),
+                    std::to_string(fr.write_retries),
+                    std::to_string(fr.faults_detected),
+                    std::to_string(fr.faults_compensated),
+                    std::to_string(fr.residual_faults),
+                    std::to_string(fr.remapped_cols),
+                    std::to_string(fr.spare_cols_left),
+                    std::to_string(fr.refreshes)});
+    std::printf("fault recovery:\n%s", faults.to_string().c_str());
+  }
+  return 0;
+}
+
+/// Parses "0.01,0.02,0.05" into doubles (throws on junk).
+std::vector<double> parse_double_list(const std::string& csv) {
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t end = csv.find(',', pos);
+    if (end == std::string::npos) end = csv.size();
+    out.push_back(std::stod(csv.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty list '" + csv + "'");
+  return out;
+}
+
+int cmd_faultsim(const util::Flags& flags) {
+  const ModelChoice model = resolve_model(flags.get("model", "lenet"));
+  const std::string in = flags.get("state", "");
+  const int bits = static_cast<int>(flags.get_int("bits", 4));
+  const int64_t images = flags.get_int("images", 60);
+  const std::vector<double> rates =
+      parse_double_list(flags.get("rates", "0.01,0.02,0.05"));
+  const std::vector<double> spares =
+      parse_double_list(flags.get("spares", "0,2,4"));
+  const int seeds = std::max(1, static_cast<int>(flags.get_int("seeds", 3)));
+  const int64_t train_size = flags.get_int("train-size", 800);
+  const int epochs = static_cast<int>(flags.get_int("epochs", 4));
+  check_unused(flags);
+
+  nn::Rng rng(1);
+  nn::Network net = model.factory(rng);
+  float input_scale =
+      std::min(16.0f, static_cast<float>(core::signal_max(bits)));
+  if (!in.empty()) {
+    nn::load_state(net, in);
+  } else {
+    // No checkpoint: train a small quantization-aware model so the sweep
+    // has a real accuracy signal to degrade.
+    core::TrainConfig tcfg = base_config(model);
+    tcfg.epochs = epochs;
+    tcfg.input_scale = input_scale;
+    std::printf("no --state: training %s for %d epochs on synthetic data\n",
+                model.name.c_str(), epochs);
+    core::NeuronConvergenceRegularizer reg(bits, 0.1f);
+    core::train(net, *load_dataset(model, train_size, 1, true), tcfg, &reg,
+                bits, std::max(0, epochs - 2));
+    input_scale = tcfg.input_scale;
+  }
+  core::WeightClusterConfig wc;
+  wc.bits = bits;
+  const auto wcr = core::apply_weight_clustering(net, wc);
+
+  snc::SncConfig base;
+  base.signal_bits = bits;
+  base.weight_bits = bits;
+  base.weight_scales.clear();
+  for (const auto& r : wcr) base.weight_scales.push_back(r.scale);
+  base.input_scale = input_scale;
+
+  auto test_set = load_dataset(model, std::max<int64_t>(images, 50), 999,
+                               false);
+  const auto accuracy = [&](const snc::SncConfig& cfg,
+                            snc::FaultReport* fr) {
+    double acc = 0.0;
+    snc::FaultReport total;
+    for (int s = 0; s < seeds; ++s) {
+      snc::SncConfig seeded = cfg;
+      seeded.seed = 7 + static_cast<uint64_t>(s);
+      snc::SncSystem sys(net, model.input, seeded);
+      total.add(sys.fault_report());
+      int64_t correct = 0;
+      for (int64_t i = 0; i < images; ++i) {
+        const data::Sample sample = test_set->get(i);
+        if (sys.infer(sample.image) == sample.label) ++correct;
+      }
+      acc += static_cast<double>(correct) / static_cast<double>(images);
+    }
+    if (fr != nullptr) *fr = total;
+    return acc / seeds;
+  };
+
+  snc::SncConfig clean = base;
+  const double fault_free = accuracy(clean, nullptr);
+  std::printf("fault-free accuracy: %s (%lld images x %d seeds)\n",
+              report::pct(fault_free).c_str(),
+              static_cast<long long>(images), seeds);
+
+  report::Table t({"stuck-on", "spares", "passive", "recovered",
+                   "reclaimed pp", "residual", "remapped"});
+  for (double rate : rates) {
+    snc::SncConfig passive_cfg = base;
+    passive_cfg.device.stuck_on_rate = rate;
+    const double passive = accuracy(passive_cfg, nullptr);
+    for (double spare : spares) {
+      snc::SncConfig rec_cfg = passive_cfg;
+      rec_cfg.recovery.write_verify = true;
+      rec_cfg.recovery.spare_cols = static_cast<int64_t>(spare);
+      snc::FaultReport fr;
+      const double recovered = accuracy(rec_cfg, &fr);
+      t.add_row({report::fmt(rate, 3),
+                 std::to_string(static_cast<int64_t>(spare)),
+                 report::pct(passive), report::pct(recovered),
+                 report::fmt((recovered - passive) * 100.0, 1),
+                 std::to_string(fr.residual_faults / seeds),
+                 std::to_string(fr.remapped_cols / seeds)});
+    }
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("passive = defect injection only; recovered = write-verify + "
+              "differential compensation + spare-column remap.\n");
   return 0;
 }
 
@@ -337,6 +492,23 @@ serve::ModelConfig serve_model_config(const util::Flags& flags) {
   cfg.init_seed = static_cast<uint64_t>(flags.get_int("seed", 1));
   cfg.snc_replicas = static_cast<int>(flags.get_int("snc-replicas", 0));
   cfg.snc_dense_reference = flags.get_bool("snc-dense-reference", false);
+  cfg.snc_variation_sigma = flags.get_double("snc-variation", 0.0);
+  cfg.snc_stuck_on_rate = flags.get_double("snc-stuck-on", 0.0);
+  cfg.snc_stuck_off_rate = flags.get_double("snc-stuck-off", 0.0);
+  cfg.snc_write_verify = flags.get_bool("snc-write-verify", false);
+  cfg.snc_spare_cols = flags.get_int("snc-spare-cols", 0);
+  cfg.snc_seed = static_cast<uint64_t>(flags.get_int("snc-seed", 7));
+  cfg.snc_health.enabled = flags.get_bool("health", false);
+  cfg.snc_health.check_interval_batches =
+      static_cast<int>(flags.get_int("health-interval", 16));
+  cfg.snc_health.canary_images =
+      static_cast<int>(flags.get_int("health-canaries", 2));
+  cfg.snc_health.min_healthy_fraction =
+      flags.get_double("health-min-fraction", 0.5);
+  cfg.snc_health.max_reprogram_attempts =
+      static_cast<int>(flags.get_int("health-reprogram", 1));
+  cfg.snc_health.per_replica_seeds =
+      flags.get_bool("health-per-replica-seeds", false);
   return cfg;
 }
 
@@ -382,6 +554,8 @@ int cmd_loadgen(const util::Flags& flags) {
       std::max(1, static_cast<int>(flags.get_int("concurrency", 4)));
   const bool no_retry = flags.get_bool("no-retry", false);
   const int64_t max_retries = flags.get_int("max-retries", 64);
+  const uint64_t deadline_us =
+      static_cast<uint64_t>(flags.get_int("deadline-us", 0));
   check_unused(flags);
 
   const nn::Shape chw = serve::architecture_input_shape(model);
@@ -398,6 +572,9 @@ int cmd_loadgen(const util::Flags& flags) {
       WorkerResult& result = results[static_cast<size_t>(w)];
       try {
         serve::SocketClient client(socket);
+        serve::BackoffConfig backoff_cfg;
+        backoff_cfg.seed = 1000 + static_cast<uint64_t>(w);
+        const serve::Backoff backoff(backoff_cfg);
         nn::Rng rng(1000 + static_cast<uint64_t>(w));
         const int64_t mine =
             requests / concurrency + (w < requests % concurrency ? 1 : 0);
@@ -409,7 +586,8 @@ int cmd_loadgen(const util::Flags& flags) {
           int64_t attempts = 0;
           for (;;) {
             const auto s0 = std::chrono::steady_clock::now();
-            const serve::Response r = client.infer(model, image);
+            const serve::Response r =
+                client.infer(model, image, deadline_us);
             if (r.status == serve::Status::kOk) {
               const auto s1 = std::chrono::steady_clock::now();
               result.latencies_us.push_back(static_cast<uint64_t>(
@@ -420,12 +598,15 @@ int cmd_loadgen(const util::Flags& flags) {
               break;
             }
             if (r.status == serve::Status::kRejected && !no_retry &&
-                attempts++ < max_retries) {
+                attempts < max_retries) {
               ++result.retries;
-              // Honor the server's backpressure hint, capped so a wild
-              // estimate cannot stall the generator.
+              // Exponential backoff with deterministic per-worker jitter,
+              // floored by the server's backpressure hint (capped so a
+              // wild estimate cannot stall the generator).
               std::this_thread::sleep_for(std::chrono::microseconds(
-                  std::min<uint64_t>(r.retry_after_us, 100000)));
+                  backoff.delay_us(static_cast<int>(attempts),
+                                   r.retry_after_us)));
+              ++attempts;
               continue;
             }
             if (r.status == serve::Status::kRejected) {
@@ -494,13 +675,16 @@ int main(int argc, char** argv) {
     // a positional (see util/flags.h).
     const util::Flags flags(
         argc, argv, {"nc", "no-retry", "dense-reference",
-                     "snc-dense-reference"});
+                     "snc-dense-reference", "write-verify",
+                     "snc-write-verify", "health",
+                     "health-per-replica-seeds"});
     const int64_t threads = flags.get_int("threads", 0);
     if (threads > 0) util::set_num_threads(static_cast<int>(threads));
     if (flags.positional().empty()) {
       std::fprintf(
           stderr,
-          "usage: qsnc <train|quantize|eval|deploy|cost|serve|loadgen> "
+          "usage: qsnc "
+          "<train|quantize|eval|deploy|faultsim|cost|serve|loadgen> "
           "[flags]\n"
           "see the header of tools/qsnc.cpp for details\n");
       return 2;
@@ -510,6 +694,7 @@ int main(int argc, char** argv) {
     if (cmd == "quantize") return cmd_quantize(flags);
     if (cmd == "eval") return cmd_eval(flags);
     if (cmd == "deploy") return cmd_deploy(flags);
+    if (cmd == "faultsim") return cmd_faultsim(flags);
     if (cmd == "cost") return cmd_cost(flags);
     if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "loadgen") return cmd_loadgen(flags);
