@@ -1,0 +1,273 @@
+// Overload behavior under open-loop offered load: probe the serving
+// capacity of an in-process lenet-mini core, then offer 1x/2x/4x that
+// rate on a fixed arrival schedule (no retries, no adaptation) with a
+// 6:3:1 interactive:batch:canary priority mix and CoDel-style shedding
+// enabled. Reports goodput, shed/reject counts, and completion-latency
+// percentiles per multiplier — the shape to look for is goodput holding
+// near capacity past 1x while batch (then canary) traffic absorbs the
+// sheds and interactive p99 stays bounded. Writes BENCH_overload.json
+// (override with QSNC_BENCH_OUT).
+//
+// Flags: --seconds S (per point, default 2), --probe-requests N
+//        (default 2000), --max-rate R (schedule cap, default 50000).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/rng.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace qsnc;
+using Clock = std::chrono::steady_clock;
+
+serve::ModelConfig model_config() {
+  serve::ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.backend = serve::BackendKind::kFp32;
+  cfg.init_seed = 9;
+  return cfg;
+}
+
+std::vector<nn::Tensor> make_images(int n) {
+  nn::Rng rng(77);
+  std::vector<nn::Tensor> images;
+  for (int i = 0; i < n; ++i) {
+    nn::Tensor t({1, 28, 28});
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      t[j] = rng.uniform(0.0f, 1.0f);
+    }
+    images.push_back(std::move(t));
+  }
+  return images;
+}
+
+/// Closed-loop capacity probe: hammer the core with a few producer
+/// threads and read the sustained completion rate off the stats.
+double probe_capacity(int requests) {
+  serve::ModelRegistry registry;
+  registry.add("m", model_config());
+  serve::BatchOptions opts;
+  opts.max_batch = 8;
+  opts.batch_timeout_us = 200;
+  opts.queue_capacity = 1024;
+  serve::ServeCore core(registry, opts);
+  const auto images = make_images(32);
+
+  const int producers = 4;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = p; i < requests; i += producers) {
+        (void)core.infer("m", images[static_cast<size_t>(i) %
+                                     images.size()]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return seconds > 0 ? requests / seconds : 0.0;
+}
+
+struct ClassCounts {
+  uint64_t ok = 0, shed = 0, rejected = 0, errors = 0;
+};
+
+struct OverloadPoint {
+  double multiplier = 0.0;
+  double offered_qps = 0.0;
+  uint64_t sent = 0;
+  ClassCounts per[serve::kNumPriorities];
+  ClassCounts total;
+  double seconds = 0.0;
+  double goodput_qps = 0.0;
+  uint64_t p50_us = 0, p99_us = 0;
+};
+
+serve::Priority priority_of(uint64_t i) {
+  const uint64_t r = i % 10;  // 6:3:1 interactive:batch:canary
+  if (r < 6) return serve::Priority::kInteractive;
+  if (r < 9) return serve::Priority::kBatch;
+  return serve::Priority::kCanary;
+}
+
+OverloadPoint run_point(double multiplier, double rate, double seconds) {
+  serve::ModelRegistry registry;
+  registry.add("m", model_config());
+  serve::BatchOptions opts;
+  opts.max_batch = 8;
+  opts.batch_timeout_us = 200;
+  opts.queue_capacity = 4096;
+  opts.admission.delay_target_us = 5000;
+  opts.admission.delay_window_us = 20000;
+  serve::ServeCore core(registry, opts);
+  const auto images = make_images(32);
+
+  const uint64_t n = static_cast<uint64_t>(rate * seconds);
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(n);
+  // Single scheduler thread, fixed arrival schedule t_i = i/rate.
+  // infer_async never blocks, so the offered rate does not adapt to the
+  // server's state — a true open loop.
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::microseconds(
+                    static_cast<int64_t>(static_cast<double>(i) * 1e6 /
+                                         rate)));
+    futures.push_back(core.infer_async(
+        "m", images[static_cast<size_t>(i) % images.size()], 0,
+        priority_of(i)));
+  }
+
+  OverloadPoint point;
+  point.multiplier = multiplier;
+  point.offered_qps = rate;
+  point.sent = n;
+  std::vector<uint64_t> ok_latencies;
+  for (uint64_t i = 0; i < n; ++i) {
+    const serve::Response r = futures[i].get();
+    ClassCounts& cls = point.per[static_cast<size_t>(priority_of(i))];
+    switch (r.status) {
+      case serve::Status::kOk:
+        ++cls.ok;
+        ok_latencies.push_back(r.latency_us);
+        break;
+      case serve::Status::kShedded:
+        ++cls.shed;
+        break;
+      case serve::Status::kRejected:
+        ++cls.rejected;
+        break;
+      default:
+        ++cls.errors;
+        break;
+    }
+  }
+  point.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  core.drain();
+  for (const ClassCounts& cls : point.per) {
+    point.total.ok += cls.ok;
+    point.total.shed += cls.shed;
+    point.total.rejected += cls.rejected;
+    point.total.errors += cls.errors;
+  }
+  point.goodput_qps =
+      point.seconds > 0
+          ? static_cast<double>(point.total.ok) / point.seconds
+          : 0.0;
+  std::sort(ok_latencies.begin(), ok_latencies.end());
+  const auto pct = [&](double p) -> uint64_t {
+    if (ok_latencies.empty()) return 0;
+    return ok_latencies[static_cast<size_t>(
+        p / 100.0 * static_cast<double>(ok_latencies.size() - 1))];
+  };
+  point.p50_us = pct(50);
+  point.p99_us = pct(99);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const double seconds = flags.get_double("seconds", 2.0);
+  const int probe_requests = static_cast<int>(
+      flags.get_int("probe-requests", 2000));
+  const double max_rate = flags.get_double("max-rate", 50000.0);
+
+  std::printf("probing capacity (%d closed-loop requests) ...\n",
+              probe_requests);
+  std::fflush(stdout);
+  const double capacity = probe_capacity(probe_requests);
+  std::printf("capacity ~%.0f QPS\n", capacity);
+
+  std::vector<OverloadPoint> points;
+  for (double multiplier : {1.0, 2.0, 4.0}) {
+    const double rate = std::min(capacity * multiplier, max_rate);
+    std::printf("offering %.1fx capacity (%.0f QPS) for %.1fs ...\n",
+                multiplier, rate, seconds);
+    std::fflush(stdout);
+    points.push_back(run_point(multiplier, rate, seconds));
+  }
+
+  const char* env = std::getenv("QSNC_BENCH_OUT");
+  const std::string path = env ? env : "BENCH_overload.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "overload: cannot open %s for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"model\": \"lenet-mini\",\n"
+               "  \"capacity_qps\": %.5g,\n  \"results\": [\n",
+               capacity);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const OverloadPoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"multiplier\": %g, \"offered_qps\": %.5g, \"sent\": %llu, "
+        "\"ok\": %llu, \"shed\": %llu, \"rejected\": %llu, "
+        "\"errors\": %llu, \"goodput_qps\": %.5g, \"p50_us\": %llu, "
+        "\"p99_us\": %llu,\n"
+        "     \"per_class\": {"
+        "\"interactive\": {\"ok\": %llu, \"shed\": %llu}, "
+        "\"batch\": {\"ok\": %llu, \"shed\": %llu}, "
+        "\"canary\": {\"ok\": %llu, \"shed\": %llu}}}%s\n",
+        p.multiplier, p.offered_qps,
+        static_cast<unsigned long long>(p.sent),
+        static_cast<unsigned long long>(p.total.ok),
+        static_cast<unsigned long long>(p.total.shed),
+        static_cast<unsigned long long>(p.total.rejected),
+        static_cast<unsigned long long>(p.total.errors), p.goodput_qps,
+        static_cast<unsigned long long>(p.p50_us),
+        static_cast<unsigned long long>(p.p99_us),
+        static_cast<unsigned long long>(
+            p.per[static_cast<size_t>(serve::Priority::kInteractive)].ok),
+        static_cast<unsigned long long>(
+            p.per[static_cast<size_t>(serve::Priority::kInteractive)]
+                .shed),
+        static_cast<unsigned long long>(
+            p.per[static_cast<size_t>(serve::Priority::kBatch)].ok),
+        static_cast<unsigned long long>(
+            p.per[static_cast<size_t>(serve::Priority::kBatch)].shed),
+        static_cast<unsigned long long>(
+            p.per[static_cast<size_t>(serve::Priority::kCanary)].ok),
+        static_cast<unsigned long long>(
+            p.per[static_cast<size_t>(serve::Priority::kCanary)].shed),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::printf("\n== overload (lenet-mini, CoDel target 5ms) ==\n");
+  std::printf("%5s %11s %8s %8s %8s %8s %11s %8s %8s\n", "mult",
+              "offered", "sent", "ok", "shed", "rej", "goodput", "p50_us",
+              "p99_us");
+  for (const OverloadPoint& p : points) {
+    std::printf("%5.1f %11.0f %8llu %8llu %8llu %8llu %11.0f %8llu "
+                "%8llu\n",
+                p.multiplier, p.offered_qps,
+                static_cast<unsigned long long>(p.sent),
+                static_cast<unsigned long long>(p.total.ok),
+                static_cast<unsigned long long>(p.total.shed),
+                static_cast<unsigned long long>(p.total.rejected),
+                p.goodput_qps,
+                static_cast<unsigned long long>(p.p50_us),
+                static_cast<unsigned long long>(p.p99_us));
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qsnc::serve {
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kBatch: return "batch";
+    case Priority::kCanary: return "canary";
+    case Priority::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
+Priority parse_priority(const std::string& name) {
+  if (name == "batch") return Priority::kBatch;
+  if (name == "canary") return Priority::kCanary;
+  if (name == "interactive") return Priority::kInteractive;
+  throw std::invalid_argument("unknown priority '" + name +
+                              "' (batch|canary|interactive)");
+}
+
+CircuitBreaker::CircuitBreaker(int threshold, int64_t open_us)
+    : threshold_(threshold), open_us_(open_us) {
+  if (threshold > 0 && open_us <= 0) {
+    throw std::invalid_argument(
+        "CircuitBreaker: breaker_open_us must be > 0 when enabled");
+  }
+}
+
+bool CircuitBreaker::allow(int64_t now_us) {
+  if (threshold_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us - opened_at_us_ < open_us_) return false;
+      state_ = State::kHalfOpen;
+      probe_inflight_ = true;  // this caller is the probe
+      return true;
+    case State::kHalfOpen:
+      if (probe_inflight_) return false;  // one probe at a time
+      probe_inflight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  if (threshold_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_inflight_ = false;
+}
+
+void CircuitBreaker::on_failure(int64_t now_us) {
+  if (threshold_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen || consecutive_failures_ >= threshold_) {
+    state_ = State::kOpen;
+    opened_at_us_ = now_us;
+    probe_inflight_ = false;
+  }
+}
+
+void CircuitBreaker::release_probe() {
+  if (threshold_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) probe_inflight_ = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::retry_after_us(int64_t now_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kOpen) return 0;
+  return std::max<int64_t>(0, open_us_ - (now_us - opened_at_us_));
+}
+
+void select_sheds(const int64_t depths[kNumPriorities], int64_t allowed,
+                  int64_t sheds[kNumPriorities]) {
+  int64_t total = 0;
+  for (int c = 0; c < kNumPriorities; ++c) {
+    sheds[c] = 0;
+    total += depths[c];
+  }
+  int64_t excess = std::max<int64_t>(0, total - std::max<int64_t>(allowed, 0));
+  for (int c = 0; c < kNumPriorities && excess > 0; ++c) {
+    sheds[c] = std::min(depths[c], excess);
+    excess -= sheds[c];
+  }
+}
+
+}  // namespace qsnc::serve

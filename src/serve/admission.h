@@ -1,0 +1,126 @@
+// Overload protection for the serving data plane: priority classes,
+// CoDel-style queue-delay shedding, and a per-backend circuit breaker.
+//
+// Priority ladder (shed lowest first):
+//
+//   kBatch       (0) — offline/bulk traffic; first to go under overload.
+//   kCanary      (1) — monitoring probes; kept over batch so operators
+//                      retain visibility into a loaded server, but shed
+//                      before any user-facing request.
+//   kInteractive (2) — user traffic; shed only when nothing lower is left.
+//
+// Shedding (CoDel-style): the MicroBatcher observes the batch-formation
+// delay of the oldest queued request. When that delay exceeds
+// `delay_target_us` continuously for `delay_window_us`, the batcher enters
+// shed mode and trims the queue to `allowed_depth()` — the number of
+// requests serveable within one target at the observed batch cadence —
+// resolving the trimmed requests with Status::kShedded and a
+// retry_after_us hint. Requests are trimmed strictly lowest-priority-first
+// (oldest first within a class), which makes the shed set a pure function
+// of the queue contents: bit-deterministic, and pinned by
+// tests/serve/admission_test.cpp.
+//
+// Circuit breaker: `breaker_threshold` consecutive backend failures open
+// the breaker; while open, submits fail fast with kShedded instead of
+// queueing work a broken backend cannot serve. After `breaker_open_us` the
+// breaker goes half-open and admits exactly one probe request; the probe's
+// batch outcome closes the breaker or re-opens it for another full timer.
+// Time is passed in as microseconds so the schedule is a deterministic
+// function of (failures, clock) and unit-testable with synthetic clocks.
+//
+// All knobs default to "off" (0), so a MicroBatcher built with default
+// AdmissionOptions behaves exactly like the pre-overload-protection one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace qsnc::serve {
+
+enum class Priority : uint8_t {
+  kBatch = 0,
+  kCanary = 1,
+  kInteractive = 2,
+};
+
+constexpr int kNumPriorities = 3;
+
+const char* priority_name(Priority priority);
+
+/// Parses "batch" | "canary" | "interactive"; throws std::invalid_argument
+/// otherwise.
+Priority parse_priority(const std::string& name);
+
+struct AdmissionOptions {
+  /// Max requests in flight (queued + executing) per model; further
+  /// submits are shed. 0 = unlimited.
+  int max_concurrency = 0;
+  /// CoDel delay target: sustained batch-formation delay above this for
+  /// `delay_window_us` triggers shedding. 0 = shedding off.
+  int64_t delay_target_us = 0;
+  /// How long the delay must stay above target before shedding starts.
+  int64_t delay_window_us = 100000;
+  /// Consecutive backend failures that open the circuit breaker.
+  /// 0 = breaker off.
+  int breaker_threshold = 0;
+  /// How long the breaker stays open before the half-open probe.
+  int64_t breaker_open_us = 200000;
+};
+
+/// Consecutive-failure circuit breaker with a deterministic reopen timer.
+/// Thread-safe: submit paths call allow(), the batcher thread reports
+/// outcomes.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// threshold <= 0 disables the breaker (allow() is always true).
+  CircuitBreaker(int threshold, int64_t open_us);
+
+  /// True when a request may be admitted at `now_us` (any monotonic
+  /// microsecond clock). An open breaker whose timer has elapsed
+  /// transitions to half-open and admits exactly one probe.
+  bool allow(int64_t now_us);
+
+  /// Backend served a batch successfully: closes from any state.
+  void on_success();
+
+  /// Backend failed a batch at `now_us`: counts toward the threshold; a
+  /// half-open probe failure re-opens immediately.
+  void on_failure(int64_t now_us);
+
+  /// Frees the half-open probe slot without reporting an outcome. The
+  /// batcher calls this when a round resolves requests without executing
+  /// any batch (all shed or deadline-expired), so a probe that was itself
+  /// shed can never wedge the breaker in half-open forever.
+  void release_probe();
+
+  State state() const;
+
+  /// Microseconds until the next half-open probe (0 when not open) — the
+  /// retry_after_us hint for fast-failed requests.
+  int64_t retry_after_us(int64_t now_us) const;
+
+ private:
+  const int threshold_;
+  const int64_t open_us_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int64_t opened_at_us_ = 0;
+  bool probe_inflight_ = false;
+};
+
+/// Pure shed-set selection: given per-class queue depths and the allowed
+/// total depth, returns how many requests to shed from each class,
+/// lowest-priority-first. Exposed for the property test; the MicroBatcher
+/// applies the same function to its live queues.
+///
+/// `depths[c]` is the number of queued requests of priority class c;
+/// writes the per-class shed counts into `sheds[c]`.
+void select_sheds(const int64_t depths[kNumPriorities], int64_t allowed,
+                  int64_t sheds[kNumPriorities]);
+
+}  // namespace qsnc::serve

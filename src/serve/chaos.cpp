@@ -1,0 +1,177 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/rng.h"
+#include "report/table.h"
+
+namespace qsnc::serve {
+
+namespace {
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ChaosConfig chaos_profile(const std::string& name, uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.seed = seed;
+  if (name == "none") return cfg;
+  if (name == "torn") {
+    cfg.write_torn_rate = 0.3;
+    cfg.write_stall_rate = 0.5;
+    cfg.read_stall_rate = 0.1;
+    cfg.disconnect_rate = 0.02;
+    cfg.io_stall_us = 2000;
+    return cfg;
+  }
+  if (name == "backend") {
+    cfg.backend_error_rate = 0.05;
+    cfg.backend_latency_rate = 0.2;
+    cfg.backend_latency_us = 5000;
+    return cfg;
+  }
+  if (name == "queue") {
+    cfg.queue_spike_rate = 0.2;
+    cfg.queue_spike_us = 5000;
+    return cfg;
+  }
+  if (name == "soak") {
+    cfg.write_torn_rate = 0.2;
+    cfg.write_stall_rate = 0.3;
+    cfg.read_stall_rate = 0.05;
+    cfg.disconnect_rate = 0.01;
+    cfg.io_stall_us = 1000;
+    cfg.queue_spike_rate = 0.1;
+    cfg.queue_spike_us = 2000;
+    cfg.backend_error_rate = 0.03;
+    cfg.backend_latency_rate = 0.1;
+    cfg.backend_latency_us = 2000;
+    return cfg;
+  }
+  throw std::invalid_argument("unknown chaos profile '" + name +
+                              "' (none|torn|backend|queue|soak)");
+}
+
+ChaosInjector::ChaosInjector(const ChaosConfig& config) : config_(config) {
+  for (uint64_t s = 0; s < kNumSites; ++s) {
+    site_seed_[s] = nn::Rng::stream_seed(config_.seed, s);
+    site_counter_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+double ChaosInjector::draw(Site site) {
+  const uint64_t n =
+      site_counter_[site].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t bits = splitmix64(site_seed_[site] ^ n);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+uint64_t ChaosInjector::draw_int(Site site, uint64_t bound) {
+  if (bound == 0) return 0;
+  const uint64_t n =
+      site_counter_[site].fetch_add(1, std::memory_order_relaxed);
+  return 1 + splitmix64(site_seed_[site] ^ n) % bound;
+}
+
+uint64_t ChaosInjector::read_stall_us() {
+  if (config_.read_stall_rate <= 0.0 ||
+      draw(kReadStall) >= config_.read_stall_rate) {
+    return 0;
+  }
+  read_stalls_.fetch_add(1, std::memory_order_relaxed);
+  return config_.io_stall_us;
+}
+
+WritePlan ChaosInjector::plan_write(size_t n) {
+  WritePlan plan;
+  const bool torn = config_.write_torn_rate > 0.0 && n > 1 &&
+                    draw(kWriteTorn) < config_.write_torn_rate;
+  if (!torn) {
+    plan.chunks.push_back(n);
+  } else {
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    // Tear into chunks of 1..max(n/4, 1) bytes so a frame is delivered in
+    // at least ~4 pieces — exactly the arbitrary-read-boundary case the
+    // incremental FrameReader must absorb.
+    size_t remaining = n;
+    const uint64_t max_chunk = std::max<uint64_t>(n / 4, 1);
+    while (remaining > 0) {
+      const size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(draw_int(kChunkSize, max_chunk), remaining));
+      plan.chunks.push_back(chunk);
+      remaining -= chunk;
+    }
+    if (config_.write_stall_rate > 0.0 &&
+        draw(kWriteStall) < config_.write_stall_rate) {
+      write_stalls_.fetch_add(1, std::memory_order_relaxed);
+      plan.inter_chunk_stall_us = config_.io_stall_us;
+    }
+  }
+  if (config_.disconnect_rate > 0.0 && plan.chunks.size() > 1 &&
+      draw(kDisconnect) < config_.disconnect_rate) {
+    disconnects_.fetch_add(1, std::memory_order_relaxed);
+    plan.disconnect_after_first = true;
+  }
+  return plan;
+}
+
+uint64_t ChaosInjector::queue_spike_us() {
+  if (config_.queue_spike_rate <= 0.0 ||
+      draw(kQueueSpike) >= config_.queue_spike_rate) {
+    return 0;
+  }
+  queue_spikes_.fetch_add(1, std::memory_order_relaxed);
+  return config_.queue_spike_us;
+}
+
+uint64_t ChaosInjector::backend_latency_us() {
+  if (config_.backend_latency_rate <= 0.0 ||
+      draw(kBackendLatency) >= config_.backend_latency_rate) {
+    return 0;
+  }
+  backend_latency_.fetch_add(1, std::memory_order_relaxed);
+  return config_.backend_latency_us;
+}
+
+bool ChaosInjector::backend_error() {
+  if (config_.backend_error_rate <= 0.0 ||
+      draw(kBackendError) >= config_.backend_error_rate) {
+    return false;
+  }
+  backend_errors_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ChaosStats ChaosInjector::stats() const {
+  ChaosStats s;
+  s.read_stalls = read_stalls_.load(std::memory_order_relaxed);
+  s.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+  s.write_stalls = write_stalls_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.queue_spikes = queue_spikes_.load(std::memory_order_relaxed);
+  s.backend_errors = backend_errors_.load(std::memory_order_relaxed);
+  s.backend_latency = backend_latency_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string ChaosInjector::report() const {
+  const ChaosStats s = stats();
+  report::Table t({"read stalls", "torn writes", "write stalls",
+                   "disconnects", "queue spikes", "backend errs",
+                   "backend lat"});
+  t.add_row({std::to_string(s.read_stalls), std::to_string(s.torn_writes),
+             std::to_string(s.write_stalls), std::to_string(s.disconnects),
+             std::to_string(s.queue_spikes),
+             std::to_string(s.backend_errors),
+             std::to_string(s.backend_latency)});
+  return t.to_string();
+}
+
+}  // namespace qsnc::serve

@@ -1,0 +1,145 @@
+// Deterministic chaos injection for the serving stack.
+//
+// A ChaosInjector is a seeded fault source with one SplitMix64 stream per
+// hook site (like the per-crossbar fault maps of src/snc: same seed, same
+// fault sequence). Hook points:
+//
+//   socket read   — injected stalls before recv (slow-network emulation).
+//   socket write  — torn frames (responses split into small chunks with
+//                   stalls between them), plus mid-frame disconnects
+//                   (connection closed after a partial write).
+//   queue         — latency spikes in the batcher loop before execution.
+//   backend       — injected infer_batch errors (which drive the circuit
+//                   breaker) and latency spikes.
+//
+// Each site draws from its own counter-mode stream
+// splitmix64(stream_seed(seed, site) ^ counter++), so the decision
+// sequence at a site is a pure function of (seed, draw index) — two runs
+// with the same seed and the same per-site draw order inject the same
+// faults. Sites never share a stream, so adding draws at one site cannot
+// shift another site's sequence.
+//
+// Everything is off at rate 0; a null ChaosInjector* everywhere means no
+// chaos code runs on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsnc::serve {
+
+struct ChaosConfig {
+  uint64_t seed = 42;
+  // Socket I/O.
+  double read_stall_rate = 0.0;    ///< P(stall before a server-side recv)
+  double write_torn_rate = 0.0;    ///< P(response write torn into chunks)
+  double write_stall_rate = 0.0;   ///< P(stall between torn chunks)
+  double disconnect_rate = 0.0;    ///< P(close connection mid-frame write)
+  uint64_t io_stall_us = 2000;     ///< duration of injected I/O stalls
+  // Queue.
+  double queue_spike_rate = 0.0;   ///< P(batcher sleeps before a batch)
+  uint64_t queue_spike_us = 5000;
+  // Backend.
+  double backend_error_rate = 0.0;   ///< P(infer_batch fails, injected)
+  double backend_latency_rate = 0.0; ///< P(extra latency before the call)
+  uint64_t backend_latency_us = 5000;
+
+  bool any_enabled() const {
+    return read_stall_rate > 0 || write_torn_rate > 0 ||
+           write_stall_rate > 0 || disconnect_rate > 0 ||
+           queue_spike_rate > 0 || backend_error_rate > 0 ||
+           backend_latency_rate > 0;
+  }
+};
+
+/// Named presets for `qsnc serve --chaos-profile`:
+///   "none"    — all rates zero.
+///   "torn"    — torn frames + read/write stalls + rare disconnects.
+///   "backend" — injected backend errors + latency spikes.
+///   "queue"   — batcher latency spikes.
+///   "soak"    — everything at moderate rates (the CI soak profile).
+/// Throws std::invalid_argument on an unknown name.
+ChaosConfig chaos_profile(const std::string& name, uint64_t seed);
+
+/// Per-site injected-fault counters (diagnostics; printed after a soak).
+struct ChaosStats {
+  uint64_t read_stalls = 0;
+  uint64_t torn_writes = 0;
+  uint64_t write_stalls = 0;
+  uint64_t disconnects = 0;
+  uint64_t queue_spikes = 0;
+  uint64_t backend_errors = 0;
+  uint64_t backend_latency = 0;
+};
+
+/// How a server-side write should be delivered.
+struct WritePlan {
+  /// Chunk sizes summing to the full write (a single chunk when the frame
+  /// is not torn).
+  std::vector<size_t> chunks;
+  /// Sleep this long before each chunk after the first (torn frames only).
+  uint64_t inter_chunk_stall_us = 0;
+  /// Close the connection after sending `chunks[0]` (mid-frame
+  /// disconnect). The remaining chunks are not sent.
+  bool disconnect_after_first = false;
+};
+
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(const ChaosConfig& config);
+
+  const ChaosConfig& config() const { return config_; }
+
+  /// Stall duration (us) to sleep before a server-side recv; 0 = none.
+  uint64_t read_stall_us();
+
+  /// Delivery plan for an `n`-byte server-side write.
+  WritePlan plan_write(size_t n);
+
+  /// Stall duration (us) to sleep before executing a batch; 0 = none.
+  uint64_t queue_spike_us();
+
+  /// Extra latency (us) to sleep before calling the backend; 0 = none.
+  uint64_t backend_latency_us();
+
+  /// True when this batch's backend call should fail with an injected
+  /// error instead of running.
+  bool backend_error();
+
+  ChaosStats stats() const;
+  std::string report() const;
+
+ private:
+  enum Site : uint64_t {
+    kReadStall = 0,
+    kWriteTorn,
+    kWriteStall,
+    kDisconnect,
+    kQueueSpike,
+    kBackendError,
+    kBackendLatency,
+    kChunkSize,
+    kNumSites,
+  };
+
+  /// Uniform [0, 1) draw from `site`'s stream.
+  double draw(Site site);
+  /// Uniform integer in [1, bound] from `site`'s stream.
+  uint64_t draw_int(Site site, uint64_t bound);
+
+  ChaosConfig config_;
+  uint64_t site_seed_[kNumSites];
+  std::atomic<uint64_t> site_counter_[kNumSites];
+
+  std::atomic<uint64_t> read_stalls_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> write_stalls_{0};
+  std::atomic<uint64_t> disconnects_{0};
+  std::atomic<uint64_t> queue_spikes_{0};
+  std::atomic<uint64_t> backend_errors_{0};
+  std::atomic<uint64_t> backend_latency_{0};
+};
+
+}  // namespace qsnc::serve

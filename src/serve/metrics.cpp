@@ -102,6 +102,16 @@ void ModelMetrics::on_degraded() {
   ++degraded_;
 }
 
+void ModelMetrics::on_shed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
+void ModelMetrics::on_breaker_shed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++breaker_shed_;
+}
+
 void ModelMetrics::on_batch(size_t batch_size) {
   std::lock_guard<std::mutex> lock(mu_);
   ++batches_;
@@ -117,6 +127,8 @@ ModelStatsSnapshot ModelMetrics::snapshot() const {
     s.errors = errors_;
     s.deadline_exceeded = deadline_exceeded_;
     s.degraded = degraded_;
+    s.shed = shed_;
+    s.breaker_shed = breaker_shed_;
     s.batches = batches_;
     s.mean_batch = batches_ > 0 ? static_cast<double>(completed_) /
                                       static_cast<double>(batches_)
@@ -137,13 +149,14 @@ ModelStatsSnapshot ModelMetrics::snapshot() const {
 
 std::string render_stats(const std::vector<ModelStatsSnapshot>& stats) {
   report::Table t({"model", "backend", "ok", "rej", "err", "ddl", "degr",
-                   "batches", "avg batch", "QPS", "p50 us", "p95 us",
-                   "p99 us", "max us", "queue"});
+                   "shed", "brk", "batches", "avg batch", "QPS", "p50 us",
+                   "p95 us", "p99 us", "max us", "queue"});
   for (const ModelStatsSnapshot& s : stats) {
     t.add_row({s.model, s.backend, std::to_string(s.completed),
                std::to_string(s.rejected), std::to_string(s.errors),
                std::to_string(s.deadline_exceeded),
-               std::to_string(s.degraded),
+               std::to_string(s.degraded), std::to_string(s.shed),
+               std::to_string(s.breaker_shed),
                std::to_string(s.batches), report::fmt(s.mean_batch, 2),
                report::fmt(s.qps, 1), std::to_string(s.p50_us),
                std::to_string(s.p95_us), std::to_string(s.p99_us),

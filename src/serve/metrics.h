@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/admission.h"
+
 namespace qsnc::serve {
 
 /// Log2-bucketed latency histogram over microseconds.
@@ -51,6 +53,9 @@ struct ModelStatsSnapshot {
   uint64_t errors = 0;     // backend exceptions / shape mismatches
   uint64_t deadline_exceeded = 0;  // expired before execution
   uint64_t degraded = 0;   // requests served in a degraded backend mode
+  uint64_t shed = 0;       // overload sheds (CoDel + concurrency limit)
+  uint64_t breaker_shed = 0;  // fast fails while the breaker was open
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
   uint64_t batches = 0;    // backend invocations
   double mean_batch = 0.0; // completed / batches
   double qps = 0.0;        // completed / seconds since first completion
@@ -70,6 +75,8 @@ class ModelMetrics {
   void on_error();
   void on_deadline_exceeded();
   void on_degraded();
+  void on_shed();
+  void on_breaker_shed();
   void on_batch(size_t batch_size);
 
   /// Snapshot with the latency percentiles filled in. `model`/`backend`
@@ -86,6 +93,8 @@ class ModelMetrics {
   uint64_t errors_ = 0;
   uint64_t deadline_exceeded_ = 0;
   uint64_t degraded_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t breaker_shed_ = 0;
   uint64_t batches_ = 0;
   bool saw_first_ = false;
   Clock::time_point first_;

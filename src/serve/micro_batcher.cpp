@@ -12,12 +12,15 @@ const char* status_name(Status status) {
     case Status::kShutdown: return "shutdown";
     case Status::kError: return "error";
     case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kShedded: return "shedded";
   }
   return "?";
 }
 
 MicroBatcher::MicroBatcher(Backend& backend, const BatchOptions& options)
     : backend_(backend), options_(options),
+      breaker_(options.admission.breaker_threshold,
+               options.admission.breaker_open_us),
       ema_batch_us_(static_cast<uint64_t>(
           std::max<int64_t>(options.batch_timeout_us, 1))) {
   if (options_.max_batch < 1 || options_.queue_capacity < 1 ||
@@ -31,6 +34,12 @@ MicroBatcher::MicroBatcher(Backend& backend, const BatchOptions& options)
 
 MicroBatcher::~MicroBatcher() { drain(); }
 
+int64_t MicroBatcher::to_us(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
 uint64_t MicroBatcher::retry_hint_us(size_t depth) const {
   // Time to drain `depth` queued requests at the observed batch cadence,
   // plus one batch window for the retry itself.
@@ -40,8 +49,24 @@ uint64_t MicroBatcher::retry_hint_us(size_t depth) const {
          static_cast<uint64_t>(options_.batch_timeout_us);
 }
 
+size_t MicroBatcher::total_queued() const {
+  size_t total = 0;
+  for (int c = 0; c < kNumPriorities; ++c) total += queue_[c].size();
+  return total;
+}
+
+int64_t MicroBatcher::allowed_depth() const {
+  const uint64_t ema =
+      std::max<uint64_t>(ema_batch_us_.load(std::memory_order_relaxed), 1);
+  const int64_t batches_within_target =
+      options_.admission.delay_target_us / static_cast<int64_t>(ema);
+  return std::max<int64_t>(options_.max_batch,
+                           batches_within_target * options_.max_batch);
+}
+
 std::future<Response> MicroBatcher::submit(nn::Tensor image,
-                                           uint64_t deadline_us) {
+                                           uint64_t deadline_us,
+                                           Priority priority) {
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
 
@@ -65,12 +90,39 @@ std::future<Response> MicroBatcher::submit(nn::Tensor image,
       promise.set_value(std::move(r));
       return future;
     }
-    if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+    const size_t depth = total_queued();
+    const AdmissionOptions& adm = options_.admission;
+    if (adm.max_concurrency > 0 &&
+        in_flight_.load(std::memory_order_relaxed) >= adm.max_concurrency) {
+      metrics_.on_shed();
+      Response r;
+      r.status = Status::kShedded;
+      r.retry_after_us = retry_hint_us(depth);
+      r.error = "admission: concurrency limit (" +
+                std::to_string(adm.max_concurrency) + ") reached";
+      promise.set_value(std::move(r));
+      return future;
+    }
+    if (depth >= static_cast<size_t>(options_.queue_capacity)) {
       metrics_.on_reject();
       Response r;
       r.status = Status::kRejected;
-      r.retry_after_us = retry_hint_us(queue_.size());
+      r.retry_after_us = retry_hint_us(depth);
       r.error = "queue full";
+      promise.set_value(std::move(r));
+      return future;
+    }
+    // Breaker last: a fast fail only when the request would otherwise be
+    // accepted, so a consumed half-open probe slot is never wasted on a
+    // request the queue would have rejected anyway.
+    const int64_t now_us = to_us(Clock::now());
+    if (!breaker_.allow(now_us)) {
+      metrics_.on_breaker_shed();
+      Response r;
+      r.status = Status::kShedded;
+      r.retry_after_us =
+          static_cast<uint64_t>(breaker_.retry_after_us(now_us));
+      r.error = "circuit breaker open (backend failing)";
       promise.set_value(std::move(r));
       return future;
     }
@@ -79,7 +131,9 @@ std::future<Response> MicroBatcher::submit(nn::Tensor image,
     p.promise = std::move(promise);
     p.enqueued = Clock::now();
     p.deadline_us = deadline_us;
-    queue_.push_back(std::move(p));
+    p.priority = priority;
+    queue_[static_cast<int>(priority)].push_back(std::move(p));
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_one();
   return future;
@@ -88,42 +142,106 @@ std::future<Response> MicroBatcher::submit(nn::Tensor image,
 void MicroBatcher::loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    cv_.wait(lock, [&] { return stopping_ || total_queued() > 0; });
+    if (total_queued() == 0) {
       if (stopping_) return;
       continue;
     }
     // Batch window: wait for more requests up to the deadline, unless the
     // batch fills or the server starts draining (then flush immediately).
-    if (static_cast<int>(queue_.size()) < options_.max_batch &&
+    if (total_queued() < static_cast<size_t>(options_.max_batch) &&
         !stopping_ && options_.batch_timeout_us > 0) {
       const Clock::time_point deadline =
           Clock::now() + std::chrono::microseconds(options_.batch_timeout_us);
       cv_.wait_until(lock, deadline, [&] {
         return stopping_ ||
-               static_cast<int>(queue_.size()) >= options_.max_batch;
+               total_queued() >= static_cast<size_t>(options_.max_batch);
       });
     }
-    // Batch formation: expired requests are resolved with a structured
-    // kDeadlineExceeded instead of burning backend time on an answer the
-    // client has already given up on; they do not occupy batch slots.
-    std::vector<Pending> batch;
-    std::vector<Pending> expired;
     const Clock::time_point now = Clock::now();
-    while (!queue_.empty() &&
-           batch.size() < static_cast<size_t>(options_.max_batch)) {
-      Pending p = std::move(queue_.front());
-      queue_.pop_front();
-      if (p.deadline_us > 0 &&
-          now - p.enqueued >= std::chrono::microseconds(p.deadline_us)) {
-        expired.push_back(std::move(p));
+
+    // CoDel-style shed-mode state machine: the controlled signal is the
+    // wait of the oldest queued request. Sustained time above the target
+    // turns shedding on; any dip below turns it off.
+    const AdmissionOptions& adm = options_.admission;
+    if (adm.delay_target_us > 0) {
+      Clock::time_point oldest = now;
+      for (int c = 0; c < kNumPriorities; ++c) {
+        if (!queue_[c].empty()) {
+          oldest = std::min(oldest, queue_[c].front().enqueued);
+        }
+      }
+      const int64_t delay_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(now - oldest)
+              .count();
+      if (delay_us > adm.delay_target_us) {
+        if (!above_target_) {
+          above_target_ = true;
+          above_since_ = now;
+        } else if (now - above_since_ >=
+                   std::chrono::microseconds(adm.delay_window_us)) {
+          shedding_ = true;
+        }
       } else {
-        batch.push_back(std::move(p));
+        above_target_ = false;
+        shedding_ = false;
       }
     }
+
+    // Shed: trim the queues to what one delay target's worth of batches
+    // can serve, strictly lowest-priority-first, oldest first within a
+    // class. The shed set is a pure function of the queue contents and the
+    // observed batch cadence (see serve/admission.h).
+    std::vector<Pending> shed;
+    if (shedding_) {
+      int64_t depths[kNumPriorities];
+      int64_t sheds[kNumPriorities];
+      for (int c = 0; c < kNumPriorities; ++c) {
+        depths[c] = static_cast<int64_t>(queue_[c].size());
+      }
+      select_sheds(depths, allowed_depth(), sheds);
+      for (int c = 0; c < kNumPriorities; ++c) {
+        for (int64_t i = 0; i < sheds[c]; ++i) {
+          shed.push_back(std::move(queue_[c].front()));
+          queue_[c].pop_front();
+        }
+      }
+    }
+
+    // Batch formation: highest priority first, FIFO within a class.
+    // Expired requests are resolved with a structured kDeadlineExceeded
+    // instead of burning backend time on an answer the client has already
+    // given up on; they do not occupy batch slots.
+    std::vector<Pending> batch;
+    std::vector<Pending> expired;
+    for (int c = kNumPriorities - 1; c >= 0; --c) {
+      while (!queue_[c].empty() &&
+             batch.size() < static_cast<size_t>(options_.max_batch)) {
+        Pending p = std::move(queue_[c].front());
+        queue_[c].pop_front();
+        if (p.deadline_us > 0 &&
+            now - p.enqueued >= std::chrono::microseconds(p.deadline_us)) {
+          expired.push_back(std::move(p));
+        } else {
+          batch.push_back(std::move(p));
+        }
+      }
+    }
+    const size_t depth_after = total_queued();
     lock.unlock();
+    for (Pending& p : shed) {
+      metrics_.on_shed();
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      Response r;
+      r.status = Status::kShedded;
+      r.retry_after_us = retry_hint_us(depth_after);
+      r.error = "shed: queue delay over target (priority " +
+                std::string(priority_name(p.priority)) + ")";
+      p.promise.set_value(std::move(r));
+    }
     for (Pending& p : expired) {
       metrics_.on_deadline_exceeded();
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
       Response r;
       r.status = Status::kDeadlineExceeded;
       r.latency_us = static_cast<uint64_t>(
@@ -134,7 +252,19 @@ void MicroBatcher::loop() {
                 " us expired before execution";
       p.promise.set_value(std::move(r));
     }
-    if (!batch.empty()) execute(batch);
+    if (batch.empty()) {
+      // A round that resolved work without executing anything must not
+      // leave a consumed half-open probe slot behind.
+      breaker_.release_probe();
+    } else {
+      if (options_.chaos != nullptr) {
+        const uint64_t spike = options_.chaos->queue_spike_us();
+        if (spike > 0 && !stopping_) {
+          std::this_thread::sleep_for(std::chrono::microseconds(spike));
+        }
+      }
+      execute(batch);
+    }
     lock.lock();
   }
 }
@@ -158,6 +288,15 @@ void MicroBatcher::execute(std::vector<Pending>& batch) {
   std::string error;
   bool degraded = false;
   try {
+    if (options_.chaos != nullptr) {
+      const uint64_t lat = options_.chaos->backend_latency_us();
+      if (lat > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(lat));
+      }
+      if (options_.chaos->backend_error()) {
+        throw std::runtime_error("chaos: injected backend error");
+      }
+    }
     predictions = backend_.infer_batch(batched);
     degraded = backend_.last_batch_degraded();
     if (predictions.size() != n) {
@@ -169,6 +308,13 @@ void MicroBatcher::execute(std::vector<Pending>& batch) {
   }
 
   const Clock::time_point done = Clock::now();
+  // Injected and real backend failures alike count toward the breaker
+  // threshold; a served batch closes it from any state.
+  if (error.empty()) {
+    breaker_.on_success();
+  } else {
+    breaker_.on_failure(to_us(done));
+  }
   const uint64_t batch_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(done - started)
           .count());
@@ -197,6 +343,7 @@ void MicroBatcher::execute(std::vector<Pending>& batch) {
       r.batch_size = static_cast<uint32_t>(n);
       metrics_.on_error();
     }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     batch[i].promise.set_value(std::move(r));
   }
 }
@@ -213,13 +360,14 @@ void MicroBatcher::drain() {
 
 size_t MicroBatcher::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return total_queued();
 }
 
 ModelStatsSnapshot MicroBatcher::stats() const {
   ModelStatsSnapshot s = metrics_.snapshot();
   s.backend = backend_.kind();
   s.queue_depth = queue_depth();
+  s.breaker_state = breaker_.state();
   return s;
 }
 

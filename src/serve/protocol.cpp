@@ -82,6 +82,7 @@ std::vector<uint8_t> encode_infer_request(const InferRequest& request) {
   std::vector<uint8_t> body;
   put<uint64_t>(body, request.id);
   put<uint64_t>(body, request.deadline_us);
+  put<uint8_t>(body, static_cast<uint8_t>(request.priority));
   put<uint16_t>(body, static_cast<uint16_t>(request.model.size()));
   body.insert(body.end(), request.model.begin(), request.model.end());
   put<uint8_t>(body, static_cast<uint8_t>(shape.size()));
@@ -104,6 +105,11 @@ InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
   InferRequest request;
   request.id = c.take<uint64_t>("id");
   request.deadline_us = c.take<uint64_t>("deadline_us");
+  const uint8_t priority = c.take<uint8_t>("priority");
+  if (priority >= kNumPriorities) {
+    throw ProtocolError("protocol: unknown priority class");
+  }
+  request.priority = static_cast<Priority>(priority);
   const uint16_t model_len = c.take<uint16_t>("model_len");
   request.model = c.take_string(model_len, "model");
   const uint8_t rank = c.take<uint8_t>("rank");
@@ -116,9 +122,12 @@ InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
     const uint32_t d = c.take<uint32_t>("dim");
     shape.push_back(static_cast<int64_t>(d));
     numel *= d;
-  }
-  if (numel * sizeof(float) > kMaxFrameBytes) {
-    throw ProtocolError("protocol: tensor larger than frame limit");
+    // Bound every partial product: numel stays <= 16M before each multiply
+    // by a <= 2^32 dim, so the u64 product cannot wrap and sneak a huge
+    // allocation past this check.
+    if (numel > kMaxFrameBytes / sizeof(float)) {
+      throw ProtocolError("protocol: tensor larger than frame limit");
+    }
   }
   std::vector<float> data(static_cast<size_t>(numel));
   if (body.size() - c.at < numel * sizeof(float)) {
@@ -154,7 +163,7 @@ InferResponse decode_infer_response(const std::vector<uint8_t>& body) {
   InferResponse response;
   response.id = c.take<uint64_t>("id");
   const uint8_t status = c.take<uint8_t>("status");
-  if (status > static_cast<uint8_t>(Status::kDeadlineExceeded)) {
+  if (status > static_cast<uint8_t>(Status::kShedded)) {
     throw ProtocolError("protocol: unknown status code");
   }
   response.response.status = static_cast<Status>(status);
@@ -195,6 +204,11 @@ void FrameReader::feed(const uint8_t* data, size_t n) {
     buf_.erase(buf_.begin(),
                buf_.begin() + static_cast<ptrdiff_t>(consumed_));
     consumed_ = 0;
+  }
+  if (buf_.size() - consumed_ + n > kMaxBufferedBytes) {
+    throw ProtocolError(
+        "protocol: peer exceeded the frame buffer limit "
+        "(pipelined frames faster than they were consumed)");
   }
   buf_.insert(buf_.end(), data, data + n);
 }

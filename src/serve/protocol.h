@@ -4,11 +4,13 @@
 //
 //   u32 payload_len | u8 type | payload[payload_len - 1]
 //
-// i.e. payload_len counts the type byte plus the body. Messages:
+// i.e. payload_len counts the type byte plus the body. Messages
+// (protocol version 3 — v2 added deadline_us/degraded, v3 adds the
+// request priority byte and the kShedded status code):
 //
-//   kInferRequest  (1): u64 id | u64 deadline_us | u16 model_len |
-//                       model bytes | u8 rank | u32 dim[rank] |
-//                       f32 data[numel]
+//   kInferRequest  (1): u64 id | u64 deadline_us | u8 priority |
+//                       u16 model_len | model bytes | u8 rank |
+//                       u32 dim[rank] | f32 data[numel]
 //   kInferResponse (2): u64 id | u8 status | u8 degraded |
 //                       i64 prediction | u64 latency_us |
 //                       u64 retry_after_us | u32 batch_size |
@@ -18,8 +20,11 @@
 //
 // Decoders throw ProtocolError on truncated bodies, oversized frames
 // (> kMaxFrameBytes — a corrupt length prefix must not allocate
-// gigabytes), absurd ranks, or length/numel mismatches. The FrameReader
-// is incremental so socket handlers can feed arbitrary read() chunks.
+// gigabytes), absurd ranks, length/numel mismatches, or out-of-range
+// priority/status codes. The FrameReader is incremental so socket
+// handlers can feed arbitrary read() chunks, and bounds its buffer at
+// kMaxBufferedBytes so a frame-spamming peer cannot grow server memory
+// without limit.
 #pragma once
 
 #include <cstdint>
@@ -37,9 +42,20 @@ struct ProtocolError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Wire protocol revision implemented by this library (both ends of the
+/// unix socket are built from this repo; the constant documents the
+/// lineage: 1 = initial, 2 = deadline_us/degraded, 3 = priority/kShedded).
+constexpr int kProtocolVersion = 3;
+
 /// Hard cap on one frame's payload (length prefix included in checks).
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
 constexpr int kMaxTensorRank = 8;
+
+/// Cap on bytes a FrameReader may hold (one max frame plus read slack):
+/// a peer that pipelines frames faster than they are consumed gets a
+/// ProtocolError instead of an unbounded buffer.
+constexpr size_t kMaxBufferedBytes =
+    static_cast<size_t>(kMaxFrameBytes) + (256u << 10);
 
 enum class MsgType : uint8_t {
   kInferRequest = 1,
@@ -51,6 +67,7 @@ enum class MsgType : uint8_t {
 struct InferRequest {
   uint64_t id = 0;
   uint64_t deadline_us = 0;  // latency budget from enqueue; 0 = none
+  Priority priority = Priority::kInteractive;
   std::string model;
   nn::Tensor image;  // [C, H, W]
 };

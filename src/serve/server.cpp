@@ -30,7 +30,8 @@ ServeCore::~ServeCore() { drain(); }
 
 std::future<Response> ServeCore::infer_async(const std::string& model,
                                              nn::Tensor image,
-                                             uint64_t deadline_us) {
+                                             uint64_t deadline_us,
+                                             Priority priority) {
   const auto it = batchers_.find(model);
   if (it == batchers_.end()) {
     std::promise<Response> promise;
@@ -40,12 +41,12 @@ std::future<Response> ServeCore::infer_async(const std::string& model,
     promise.set_value(std::move(r));
     return promise.get_future();
   }
-  return it->second->submit(std::move(image), deadline_us);
+  return it->second->submit(std::move(image), deadline_us, priority);
 }
 
 Response ServeCore::infer(const std::string& model, nn::Tensor image,
-                          uint64_t deadline_us) {
-  return infer_async(model, std::move(image), deadline_us).get();
+                          uint64_t deadline_us, Priority priority) {
+  return infer_async(model, std::move(image), deadline_us, priority).get();
 }
 
 void ServeCore::drain() {
@@ -94,6 +95,12 @@ std::string ServeCore::stats_report() const {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+constexpr int kPollTickMs = 100;
+
+/// Blocking send used by the client (and by the server before the
+/// options-aware path existed). Loops until everything is written.
 void send_all(int fd, const std::vector<uint8_t>& bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
@@ -134,8 +141,9 @@ struct SocketServer::Connection {
   std::atomic<bool> finished{false};
 };
 
-SocketServer::SocketServer(ServeCore& core, std::string socket_path)
-    : core_(core), socket_path_(std::move(socket_path)) {
+SocketServer::SocketServer(ServeCore& core, std::string socket_path,
+                           const SocketServerOptions& options)
+    : core_(core), socket_path_(std::move(socket_path)), options_(options) {
   const sockaddr_un addr = make_address(socket_path_);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -161,10 +169,26 @@ void SocketServer::accept_loop() {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (stopping_.load()) break;
+    // Join finished handlers on every tick (not just on new connections),
+    // so deadline-reaped connections release their threads promptly.
+    reap_finished();
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     ++connections_accepted_;
+    size_t live = 0;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      live = connections_.size();
+    }
+    if (options_.max_connections > 0 &&
+        live >= static_cast<size_t>(options_.max_connections)) {
+      // Connection-level load shedding: better an immediate close the
+      // client can see than an unbounded handler-thread pile-up.
+      ++connections_rejected_;
+      ::close(fd);
+      continue;
+    }
     auto connection = std::make_unique<Connection>();
     Connection* raw = connection.get();
     raw->fd = fd;
@@ -173,7 +197,6 @@ void SocketServer::accept_loop() {
       std::lock_guard<std::mutex> lock(connections_mu_);
       connections_.push_back(std::move(connection));
     }
-    reap_finished();
   }
 }
 
@@ -190,33 +213,113 @@ void SocketServer::reap_finished() {
   }
 }
 
+bool SocketServer::send_frame(Connection* connection,
+                              const std::vector<uint8_t>& bytes) {
+  WritePlan plan;
+  if (options_.chaos != nullptr) {
+    plan = options_.chaos->plan_write(bytes.size());
+  } else {
+    plan.chunks.push_back(bytes.size());
+  }
+  const Clock::time_point started = Clock::now();
+  size_t offset = 0;
+  for (size_t ci = 0; ci < plan.chunks.size(); ++ci) {
+    if (ci > 0 && plan.inter_chunk_stall_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(plan.inter_chunk_stall_us));
+    }
+    size_t remaining = plan.chunks[ci];
+    while (remaining > 0) {
+      const ssize_t n =
+          ::send(connection->fd, bytes.data() + offset, remaining,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        offset += static_cast<size_t>(n);
+        remaining -= static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        return false;  // peer gone
+      }
+      // Peer is not draining its socket: wait for writability under the
+      // write deadline so a stalled reader cannot park this thread (and
+      // with it, shutdown) forever.
+      if (options_.write_timeout_ms > 0 &&
+          Clock::now() - started >=
+              std::chrono::milliseconds(options_.write_timeout_ms)) {
+        ++connections_reaped_;
+        return false;
+      }
+      pollfd pfd{connection->fd, POLLOUT, 0};
+      ::poll(&pfd, 1, kPollTickMs);
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) return false;
+    }
+    if (plan.disconnect_after_first) return false;  // injected mid-frame cut
+  }
+  return true;
+}
+
 void SocketServer::handle_connection(Connection* connection) {
   FrameReader reader;
   uint8_t buf[64 * 1024];
+  Clock::time_point last_activity = Clock::now();
   try {
     for (;;) {
+      pollfd pfd{connection->fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, kPollTickMs);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0) {
+        // Deadline tick: a peer stalled mid-frame gets the (short) read
+        // deadline; a quiet connection with no partial frame gets the
+        // (long) idle deadline.
+        const bool mid_frame = reader.buffered() > 0;
+        const int64_t limit_ms =
+            mid_frame ? options_.read_timeout_ms : options_.idle_timeout_ms;
+        if (limit_ms > 0 &&
+            Clock::now() - last_activity >=
+                std::chrono::milliseconds(limit_ms)) {
+          ++connections_reaped_;
+          break;
+        }
+        continue;
+      }
+      if (options_.chaos != nullptr) {
+        const uint64_t stall = options_.chaos->read_stall_us();
+        if (stall > 0 && !stopping_.load()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(stall));
+        }
+      }
       const ssize_t n = ::recv(connection->fd, buf, sizeof(buf), 0);
       if (n == 0) break;  // EOF (client done, or stop() half-closed us)
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
       }
+      last_activity = Clock::now();
       reader.feed(buf, static_cast<size_t>(n));
+      bool drop = false;
       while (auto frame = reader.next()) {
         if (frame->type == MsgType::kInferRequest) {
           InferRequest request = decode_infer_request(frame->body);
           InferResponse response;
           response.id = request.id;
-          response.response = core_.infer(
-              request.model, std::move(request.image), request.deadline_us);
-          send_all(connection->fd, encode_infer_response(response));
+          response.response =
+              core_.infer(request.model, std::move(request.image),
+                          request.deadline_us, request.priority);
+          drop = !send_frame(connection, encode_infer_response(response));
         } else if (frame->type == MsgType::kStatsRequest) {
-          send_all(connection->fd,
-                   encode_stats_response(core_.stats_report()));
+          drop = !send_frame(connection,
+                             encode_stats_response(core_.stats_report()));
         } else {
           throw ProtocolError("unexpected message type");
         }
+        if (drop) break;
       }
+      if (drop) break;
     }
   } catch (const std::exception&) {
     // Malformed frame or broken pipe: drop the connection. The socket is
@@ -241,7 +344,8 @@ void SocketServer::stop() {
   }
   ::unlink(socket_path_.c_str());
   // 2. Half-close every connection for reading: a handler blocked in
-  //    recv() sees EOF; one mid-request still writes its response.
+  //    poll/recv sees EOF; one mid-request still writes its response
+  //    (bounded by write_timeout_ms against a stalled reader).
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     for (auto& connection : connections_) {
@@ -321,10 +425,11 @@ Frame SocketClient::roundtrip(const std::vector<uint8_t>& frame) {
 
 Response SocketClient::infer(const std::string& model,
                              const nn::Tensor& image,
-                             uint64_t deadline_us) {
+                             uint64_t deadline_us, Priority priority) {
   InferRequest request;
   request.id = next_id_++;
   request.deadline_us = deadline_us;
+  request.priority = priority;
   request.model = model;
   request.image = image;
   const Frame frame = roundtrip(encode_infer_request(request));
@@ -340,10 +445,9 @@ Response SocketClient::infer(const std::string& model,
 
 std::string SocketClient::stats() {
   const Frame frame = roundtrip(encode_stats_request());
-  if (frame.type != MsgType::kStatsResponse) {
-    throw std::runtime_error("unexpected response type");
-  }
-  return decode_stats_response(frame.body);
+  return frame.type == MsgType::kStatsResponse
+             ? decode_stats_response(frame.body)
+             : throw std::runtime_error("unexpected response type");
 }
 
 }  // namespace qsnc::serve

@@ -13,12 +13,25 @@
 //   SocketClient  — blocking client for one connection (loadgen threads
 //                   each own one).
 //
+// Slow-client defense (SocketServerOptions): every connection runs under
+// read/write deadlines so one stalled or malicious peer can never wedge a
+// handler thread — a peer that stalls mid-frame is reaped at
+// read_timeout_ms, a connection with no traffic at idle_timeout_ms, and a
+// peer that stops reading its responses is cut off at write_timeout_ms
+// (sends are non-blocking + poll, never an unbounded blocking send). The
+// FrameReader additionally bounds per-connection buffered bytes
+// (protocol.h kMaxBufferedBytes), and max_connections caps handler
+// threads: excess connections are accepted and immediately closed. The
+// chaos injector (when set) perturbs this path with torn frames, stalls,
+// and mid-frame disconnects — see serve/chaos.h.
+//
 // Shutdown discipline (the "zero dropped on shutdown" contract):
 // SocketServer::stop() first closes the listener (no new connections),
 // then half-closes every connection for reading — a handler mid-request
-// still writes its response — joins the handlers, and finally drains the
-// batchers, which completes every accepted request before the threads
-// exit. run_until_signal() wires SIGINT/SIGTERM to exactly this sequence.
+// still writes its response (bounded by write_timeout_ms) — joins the
+// handlers, and finally drains the batchers, which completes every
+// accepted request before the threads exit. run_until_signal() wires
+// SIGINT/SIGTERM to exactly this sequence.
 #pragma once
 
 #include <atomic>
@@ -29,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/chaos.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
@@ -38,19 +52,22 @@ namespace qsnc::serve {
 class ServeCore {
  public:
   /// Creates one MicroBatcher per model currently in `registry` (register
-  /// models first). `registry` must outlive the core.
+  /// models first). `registry` must outlive the core; so must
+  /// `options.chaos` when set.
   ServeCore(const ModelRegistry& registry, const BatchOptions& options);
   ~ServeCore();  // drains
 
   /// Never blocks; unknown models resolve immediately with kError.
   /// `deadline_us` > 0 is a per-request latency budget (see
-  /// MicroBatcher::submit); 0 means no deadline.
-  std::future<Response> infer_async(const std::string& model,
-                                    nn::Tensor image,
-                                    uint64_t deadline_us = 0);
+  /// MicroBatcher::submit); 0 means no deadline. `priority` orders both
+  /// service and overload shedding (serve/admission.h).
+  std::future<Response> infer_async(
+      const std::string& model, nn::Tensor image, uint64_t deadline_us = 0,
+      Priority priority = Priority::kInteractive);
   /// Blocking convenience around infer_async.
   Response infer(const std::string& model, nn::Tensor image,
-                 uint64_t deadline_us = 0);
+                 uint64_t deadline_us = 0,
+                 Priority priority = Priority::kInteractive);
 
   /// Stops admission and completes all accepted requests. Idempotent.
   void drain();
@@ -72,13 +89,15 @@ class ServeClient {
   explicit ServeClient(ServeCore& core) : core_(core) {}
 
   Response infer(const std::string& model, nn::Tensor image,
-                 uint64_t deadline_us = 0) {
-    return core_.infer(model, std::move(image), deadline_us);
+                 uint64_t deadline_us = 0,
+                 Priority priority = Priority::kInteractive) {
+    return core_.infer(model, std::move(image), deadline_us, priority);
   }
-  std::future<Response> infer_async(const std::string& model,
-                                    nn::Tensor image,
-                                    uint64_t deadline_us = 0) {
-    return core_.infer_async(model, std::move(image), deadline_us);
+  std::future<Response> infer_async(
+      const std::string& model, nn::Tensor image, uint64_t deadline_us = 0,
+      Priority priority = Priority::kInteractive) {
+    return core_.infer_async(model, std::move(image), deadline_us,
+                             priority);
   }
   std::string stats() const { return core_.stats_report(); }
 
@@ -86,12 +105,32 @@ class ServeClient {
   ServeCore& core_;
 };
 
+struct SocketServerOptions {
+  /// Reap a connection stalled mid-frame (partial frame buffered, no new
+  /// bytes) after this long. 0 = never.
+  int64_t read_timeout_ms = 5000;
+  /// Reap a connection with no buffered partial frame and no traffic
+  /// after this long. 0 = never.
+  int64_t idle_timeout_ms = 60000;
+  /// Abort a response write that cannot make progress (peer not reading)
+  /// after this long. 0 = never (not recommended: an unbounded send can
+  /// stall shutdown on one dead peer).
+  int64_t write_timeout_ms = 5000;
+  /// Max simultaneous connections; excess ones are accepted and
+  /// immediately closed. 0 = unlimited.
+  int max_connections = 256;
+  /// Socket-level fault injector (torn frames, stalls, mid-frame
+  /// disconnects); not owned, may be null. Must outlive the server.
+  ChaosInjector* chaos = nullptr;
+};
+
 class SocketServer {
  public:
   /// Binds and listens on `socket_path` (unlinking a stale socket file
   /// first) and starts the accept thread. Throws std::runtime_error on
   /// bind/listen failure.
-  SocketServer(ServeCore& core, std::string socket_path);
+  SocketServer(ServeCore& core, std::string socket_path,
+               const SocketServerOptions& options = {});
   ~SocketServer();  // stops
 
   const std::string& socket_path() const { return socket_path_; }
@@ -107,20 +146,34 @@ class SocketServer {
   uint64_t connections_accepted() const {
     return connections_accepted_.load();
   }
+  /// Connections reaped by a read/idle/write deadline (diagnostics).
+  uint64_t connections_reaped() const { return connections_reaped_.load(); }
+  /// Connections refused because max_connections was reached.
+  uint64_t connections_rejected() const {
+    return connections_rejected_.load();
+  }
 
  private:
   struct Connection;
   void accept_loop();
   void handle_connection(Connection* connection);
   void reap_finished();
+  /// Sends one encoded frame under the write deadline and the chaos write
+  /// plan. Returns false when the connection should be dropped (write
+  /// deadline hit, peer gone, or injected mid-frame disconnect).
+  bool send_frame(Connection* connection,
+                  const std::vector<uint8_t>& bytes);
 
   ServeCore& core_;
   std::string socket_path_;
+  SocketServerOptions options_;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;  // serializes concurrent stop() calls
   bool stopped_ = false;
   std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_reaped_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
   std::thread accept_thread_;
   std::mutex connections_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
@@ -137,9 +190,11 @@ class SocketClient {
   /// Blocking request/response. Throws std::runtime_error if the server
   /// closes the connection mid-request. `deadline_us` > 0 bounds how long
   /// the request may wait server-side before a structured
-  /// kDeadlineExceeded rejection.
+  /// kDeadlineExceeded rejection; `priority` is the request's admission
+  /// class.
   Response infer(const std::string& model, const nn::Tensor& image,
-                 uint64_t deadline_us = 0);
+                 uint64_t deadline_us = 0,
+                 Priority priority = Priority::kInteractive);
 
   /// Server-rendered stats table.
   std::string stats();

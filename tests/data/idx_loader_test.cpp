@@ -2,14 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 namespace qsnc::data {
 namespace {
 
 namespace fs = std::filesystem;
+
+// ctest runs each TEST_F as its own process in parallel; a shared fixture
+// directory lets one process's TearDown delete another's files mid-test.
+// PID + counter makes every test instance's directory unique.
+fs::path unique_test_dir() {
+  static std::atomic<uint64_t> counter{0};
+  return fs::temp_directory_path() /
+         ("qsnc_idx_test-" + std::to_string(::getpid()) + "-" +
+          std::to_string(counter.fetch_add(1)));
+}
 
 void write_be32(std::ofstream& f, uint32_t v) {
   const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
@@ -22,7 +36,7 @@ void write_be32(std::ofstream& f, uint32_t v) {
 class IdxLoaderTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "qsnc_idx_test";
+    dir_ = unique_test_dir();
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

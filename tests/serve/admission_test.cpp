@@ -1,0 +1,372 @@
+// Overload-protection contracts: circuit-breaker state machine on a
+// synthetic clock, the pure shed-set selector, and the end-to-end
+// shedding-order property — lowest-priority-first, bit-deterministic,
+// zero accepted requests dropped — driven through a gated fake backend so
+// shed decisions depend only on queue contents, never on scheduling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/micro_batcher.h"
+
+namespace qsnc::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker on a synthetic microsecond clock
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker b(/*threshold=*/3, /*open_us=*/1000);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow(0));
+  b.on_failure(10);
+  b.on_failure(20);
+  EXPECT_TRUE(b.allow(25));  // 2 failures < threshold: still closed
+  b.on_failure(30);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(b.allow(40));
+  EXPECT_EQ(b.retry_after_us(40), 990);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker b(3, 1000);
+  b.on_failure(10);
+  b.on_failure(20);
+  b.on_success();  // streak broken
+  b.on_failure(30);
+  b.on_failure(40);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow(50));
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker b(1, 1000);
+  b.on_failure(0);
+  EXPECT_FALSE(b.allow(999));  // timer not yet elapsed
+  EXPECT_TRUE(b.allow(1000));  // the probe
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(b.allow(1001));  // second caller is not admitted
+  b.on_success();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow(1002));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAFullTimer) {
+  CircuitBreaker b(1, 1000);
+  b.on_failure(0);
+  EXPECT_TRUE(b.allow(1000));
+  b.on_failure(1100);  // probe failed
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(b.allow(2000));  // timer restarts at the probe failure
+  EXPECT_TRUE(b.allow(2100));
+}
+
+TEST(CircuitBreakerTest, ReleaseProbeFreesTheSlotWithoutAnOutcome) {
+  CircuitBreaker b(1, 1000);
+  b.on_failure(0);
+  EXPECT_TRUE(b.allow(1000));   // probe admitted...
+  EXPECT_FALSE(b.allow(1001));  // ...slot taken...
+  b.release_probe();            // ...but the probe was shed, not executed
+  EXPECT_TRUE(b.allow(1002));   // next request becomes the probe
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDisablesEverything) {
+  CircuitBreaker b(0, 0);
+  for (int i = 0; i < 10; ++i) b.on_failure(i);
+  EXPECT_TRUE(b.allow(100));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.retry_after_us(100), 0);
+}
+
+// ---------------------------------------------------------------------------
+// select_sheds: the pure shed-set function
+// ---------------------------------------------------------------------------
+
+TEST(SelectShedsTest, NoExcessMeansNoSheds) {
+  const int64_t depths[kNumPriorities] = {2, 3, 4};
+  int64_t sheds[kNumPriorities];
+  select_sheds(depths, /*allowed=*/9, sheds);
+  EXPECT_EQ(sheds[0], 0);
+  EXPECT_EQ(sheds[1], 0);
+  EXPECT_EQ(sheds[2], 0);
+}
+
+TEST(SelectShedsTest, ShedsLowestClassFirst) {
+  const int64_t depths[kNumPriorities] = {5, 5, 5};
+  int64_t sheds[kNumPriorities];
+  select_sheds(depths, /*allowed=*/12, sheds);  // excess 3
+  EXPECT_EQ(sheds[static_cast<int>(Priority::kBatch)], 3);
+  EXPECT_EQ(sheds[static_cast<int>(Priority::kCanary)], 0);
+  EXPECT_EQ(sheds[static_cast<int>(Priority::kInteractive)], 0);
+}
+
+TEST(SelectShedsTest, SpillsIntoHigherClassesOnlyWhenLowerIsExhausted) {
+  const int64_t depths[kNumPriorities] = {2, 3, 6};
+  int64_t sheds[kNumPriorities];
+  select_sheds(depths, /*allowed=*/4, sheds);  // excess 7
+  EXPECT_EQ(sheds[static_cast<int>(Priority::kBatch)], 2);
+  EXPECT_EQ(sheds[static_cast<int>(Priority::kCanary)], 3);
+  EXPECT_EQ(sheds[static_cast<int>(Priority::kInteractive)], 2);
+}
+
+TEST(SelectShedsTest, NeverShedsMoreThanQueuedAndHandlesZeroAllowed) {
+  const int64_t depths[kNumPriorities] = {1, 0, 2};
+  int64_t sheds[kNumPriorities];
+  select_sheds(depths, /*allowed=*/0, sheds);
+  EXPECT_EQ(sheds[0], 1);
+  EXPECT_EQ(sheds[1], 0);
+  EXPECT_EQ(sheds[2], 2);
+  select_sheds(depths, /*allowed=*/-5, sheds);  // clamped like 0
+  EXPECT_EQ(sheds[0] + sheds[1] + sheds[2], 3);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end shedding through the MicroBatcher
+// ---------------------------------------------------------------------------
+
+// Predicts floor(first pixel); when gated, infer_batch blocks until
+// release() so tests can pile requests up behind a known in-flight batch.
+class FakeBackend final : public Backend {
+ public:
+  explicit FakeBackend(bool gated = false) : gated_(gated) {}
+
+  const std::string& kind() const override { return kind_; }
+  const nn::Shape& input_shape() const override { return shape_; }
+
+  std::vector<int64_t> infer_batch(const nn::Tensor& batch) override {
+    if (gated_) {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++blocked_batches_;
+      cv_blocked_.notify_all();
+      cv_.wait(lock, [&] { return open_; });
+    }
+    if (fail_.load()) throw std::runtime_error("backend down");
+    const int64_t n = batch.dim(0);
+    const int64_t numel = batch.numel() / n;
+    std::vector<int64_t> out;
+    for (int64_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<int64_t>(batch[i * numel]));
+    }
+    return out;
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void wait_until_blocked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_blocked_.wait(lock, [&] { return blocked_batches_ > 0; });
+  }
+
+  void set_fail(bool fail) { fail_.store(fail); }
+
+ private:
+  std::string kind_ = "fake";
+  nn::Shape shape_ = {1, 2, 2};
+  bool gated_;
+  std::atomic<bool> fail_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable cv_blocked_;
+  bool open_ = false;
+  int blocked_batches_ = 0;
+};
+
+nn::Tensor image_with_value(float v) {
+  nn::Tensor t({1, 2, 2});
+  t.fill(v);
+  return t;
+}
+
+struct ShedOutcome {
+  std::set<int> shed_ids;
+  std::set<int> ok_ids;
+};
+
+// The workload: ids 0..23 interleaved over the three classes, enqueued
+// while the backend is gated behind a sacrificial request, so the whole
+// mix is queued (and well over the delay target) before the batcher makes
+// any shed decision. Shed sets are then a pure function of queue contents.
+Priority scenario_priority(int id) {
+  return static_cast<Priority>(id % kNumPriorities);
+}
+
+ShedOutcome run_shed_scenario() {
+  FakeBackend backend(/*gated=*/true);
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.batch_timeout_us = 0;
+  opts.queue_capacity = 256;
+  opts.admission.delay_target_us = 1000;
+  opts.admission.delay_window_us = 0;
+  MicroBatcher batcher(backend, opts);
+
+  std::future<Response> gate =
+      batcher.submit(image_with_value(100.0f));
+  backend.wait_until_blocked();
+
+  constexpr int kRequests = 24;
+  std::vector<std::future<Response>> futures;
+  for (int id = 0; id < kRequests; ++id) {
+    futures.push_back(batcher.submit(
+        image_with_value(static_cast<float>(id)), /*deadline_us=*/0,
+        scenario_priority(id)));
+  }
+  // Everything queued is now far older than the 1 ms delay target.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  backend.release();
+
+  EXPECT_EQ(gate.get().status, Status::kOk);
+  ShedOutcome outcome;
+  for (int id = 0; id < kRequests; ++id) {
+    // EXPECT (not ASSERT): gtest fatal assertions need a void-returning
+    // function. A dropped future still fails via the id-count invariant.
+    const std::future_status ready =
+        futures[static_cast<size_t>(id)].wait_for(std::chrono::seconds(10));
+    EXPECT_EQ(ready, std::future_status::ready)
+        << "request " << id << " was dropped";
+    if (ready != std::future_status::ready) continue;
+    const Response r = futures[static_cast<size_t>(id)].get();
+    if (r.status == Status::kOk) {
+      outcome.ok_ids.insert(id);
+    } else {
+      EXPECT_EQ(r.status, Status::kShedded) << "request " << id;
+      EXPECT_GT(r.retry_after_us, 0u);
+      EXPECT_NE(r.error.find("shed"), std::string::npos);
+      outcome.shed_ids.insert(id);
+    }
+  }
+  return outcome;
+}
+
+TEST(SheddingPropertyTest, ShedsLowestPriorityFirstAndDropsNothing) {
+  const ShedOutcome outcome = run_shed_scenario();
+  // Every request resolved one way or the other.
+  EXPECT_EQ(outcome.shed_ids.size() + outcome.ok_ids.size(), 24u);
+  EXPECT_FALSE(outcome.shed_ids.empty());  // overload really shed
+  EXPECT_FALSE(outcome.ok_ids.empty());    // and really served
+  // Ladder invariant: a shed request in class c implies every request of
+  // every lower class was also shed (served lower-class alongside shed
+  // higher-class would be an inversion).
+  int highest_shed = -1;
+  for (int id : outcome.shed_ids) {
+    highest_shed =
+        std::max(highest_shed, static_cast<int>(scenario_priority(id)));
+  }
+  for (int id = 0; id < 24; ++id) {
+    if (static_cast<int>(scenario_priority(id)) < highest_shed) {
+      EXPECT_TRUE(outcome.shed_ids.count(id))
+          << "request " << id << " (class below the shed watermark) "
+          << "was served while a higher class was shed";
+    }
+  }
+}
+
+TEST(SheddingPropertyTest, ShedSetIsDeterministic) {
+  const ShedOutcome a = run_shed_scenario();
+  const ShedOutcome b = run_shed_scenario();
+  EXPECT_EQ(a.shed_ids, b.shed_ids);
+  EXPECT_EQ(a.ok_ids, b.ok_ids);
+}
+
+TEST(AdmissionTest, ConcurrencyLimitShedsAtSubmit) {
+  FakeBackend backend(/*gated=*/true);
+  BatchOptions opts;
+  opts.max_batch = 1;
+  opts.batch_timeout_us = 0;
+  opts.admission.max_concurrency = 2;
+  MicroBatcher batcher(backend, opts);
+
+  std::future<Response> a = batcher.submit(image_with_value(1.0f));
+  backend.wait_until_blocked();
+  std::future<Response> b = batcher.submit(image_with_value(2.0f));
+  // in-flight = 2 (one executing, one queued): the third is shed now.
+  std::future<Response> c = batcher.submit(image_with_value(3.0f));
+  ASSERT_EQ(c.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  const Response rc = c.get();
+  EXPECT_EQ(rc.status, Status::kShedded);
+  EXPECT_GT(rc.retry_after_us, 0u);
+  EXPECT_NE(rc.error.find("concurrency"), std::string::npos);
+
+  backend.release();
+  EXPECT_EQ(a.get().status, Status::kOk);
+  EXPECT_EQ(b.get().status, Status::kOk);
+  EXPECT_EQ(batcher.stats().shed, 1u);
+}
+
+TEST(AdmissionTest, BreakerOpensOnBackendFailuresThenRecovers) {
+  FakeBackend backend;
+  backend.set_fail(true);
+  BatchOptions opts;
+  opts.max_batch = 1;
+  opts.batch_timeout_us = 0;
+  opts.admission.breaker_threshold = 2;
+  // Generous timer so a descheduled test process cannot slip past the
+  // open window and turn the expected fast-fail into a probe.
+  opts.admission.breaker_open_us = 200000;  // 200 ms
+  MicroBatcher batcher(backend, opts);
+
+  EXPECT_EQ(batcher.submit(image_with_value(1.0f)).get().status,
+            Status::kError);
+  EXPECT_EQ(batcher.submit(image_with_value(2.0f)).get().status,
+            Status::kError);
+  EXPECT_EQ(batcher.breaker_state(), CircuitBreaker::State::kOpen);
+
+  // Fast fail while open: resolved immediately with a retry hint.
+  const Response shed = batcher.submit(image_with_value(3.0f)).get();
+  EXPECT_EQ(shed.status, Status::kShedded);
+  EXPECT_NE(shed.error.find("breaker"), std::string::npos);
+  EXPECT_EQ(batcher.stats().breaker_shed, 1u);
+
+  // Backend heals; after the open timer the probe closes the breaker and
+  // traffic flows again.
+  backend.set_fail(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(batcher.submit(image_with_value(4.0f)).get().status,
+            Status::kOk);
+  EXPECT_EQ(batcher.breaker_state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(batcher.submit(image_with_value(5.0f)).get().status,
+            Status::kOk);
+}
+
+TEST(AdmissionTest, PriorityNamesRoundTrip) {
+  for (int c = 0; c < kNumPriorities; ++c) {
+    const Priority p = static_cast<Priority>(c);
+    EXPECT_EQ(parse_priority(priority_name(p)), p);
+  }
+  EXPECT_THROW(parse_priority("vip"), std::invalid_argument);
+}
+
+TEST(AdmissionTest, DefaultOptionsPreserveHistoricalBehavior) {
+  // All-zero admission options: no sheds, no breaker, just the bounded
+  // queue — the exact pre-overload-protection contract.
+  FakeBackend backend;
+  BatchOptions opts;
+  MicroBatcher batcher(backend, opts);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(batcher.submit(image_with_value(1.0f)).get().status,
+              Status::kOk);
+  }
+  const ModelStatsSnapshot s = batcher.stats();
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.breaker_shed, 0u);
+  EXPECT_EQ(s.breaker_state, CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace qsnc::serve

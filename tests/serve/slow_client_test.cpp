@@ -1,0 +1,251 @@
+// Slow-client defense: one stalled, malicious, or dead peer must never
+// wedge the serving drain path. Covers the read deadline (half a frame
+// then silence), the idle deadline, the write deadline (a peer that
+// pipelines requests but never reads responses — the case that used to
+// block send() forever and with it stop()), the connection cap, and
+// SIGINT-driven drain with a stalled peer attached.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace qsnc::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/qsnc-slow-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// True once recv() reports EOF (the server closed this connection),
+/// polling up to `ms`.
+bool reaped_within_ms(int fd, int ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(ms);
+  uint8_t buf[256];
+  while (Clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) > 0) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n == 0) return true;
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        return true;  // reset also counts as "server cut us off"
+      }
+    }
+  }
+  return false;
+}
+
+nn::Tensor test_image() {
+  nn::Tensor t({1, 28, 28});
+  t.fill(0.25f);
+  return t;
+}
+
+class SlowClientFixture : public ::testing::Test {
+ protected:
+  void start(const char* tag, const SocketServerOptions& options) {
+    ModelConfig cfg;
+    cfg.architecture = "lenet-mini";
+    cfg.backend = BackendKind::kFp32;
+    cfg.init_seed = 5;
+    registry_.add("lenet-mini", cfg);
+    BatchOptions opts;
+    opts.max_batch = 4;
+    opts.batch_timeout_us = 500;
+    core_ = std::make_unique<ServeCore>(registry_, opts);
+    path_ = temp_socket_path(tag);
+    server_ = std::make_unique<SocketServer>(*core_, path_, options);
+  }
+
+  ModelRegistry registry_;
+  std::unique_ptr<ServeCore> core_;
+  std::unique_ptr<SocketServer> server_;
+  std::string path_;
+};
+
+TEST_F(SlowClientFixture, HalfFrameStallIsReapedWhileGoodClientsProceed) {
+  SocketServerOptions options;
+  options.read_timeout_ms = 200;
+  options.idle_timeout_ms = 60000;
+  start("halfframe", options);
+
+  // The attacker: a length prefix promising a frame that never arrives.
+  const int stalled = raw_connect(path_);
+  const uint32_t promised = 1024;
+  uint8_t partial[6];
+  std::memcpy(partial, &promised, 4);
+  partial[4] = 1;  // kInferRequest type tag
+  partial[5] = 0;  // one body byte, then silence
+  ASSERT_EQ(::send(stalled, partial, sizeof(partial), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(partial)));
+
+  // A well-behaved client keeps getting answers while the stall ages out.
+  SocketClient good(path_);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(good.infer("lenet-mini", test_image()).status, Status::kOk);
+  }
+
+  EXPECT_TRUE(reaped_within_ms(stalled, 5000));
+  EXPECT_GE(server_->connections_reaped(), 1u);
+  // And the good client is still alive afterwards.
+  EXPECT_EQ(good.infer("lenet-mini", test_image()).status, Status::kOk);
+  ::close(stalled);
+  server_->stop();
+}
+
+TEST_F(SlowClientFixture, IdleConnectionIsReapedOnTheIdleDeadline) {
+  SocketServerOptions options;
+  options.read_timeout_ms = 60000;
+  options.idle_timeout_ms = 200;  // idle reap, not mid-frame reap
+  start("idle", options);
+
+  const int idle = raw_connect(path_);
+  EXPECT_TRUE(reaped_within_ms(idle, 5000));
+  EXPECT_GE(server_->connections_reaped(), 1u);
+  ::close(idle);
+  server_->stop();
+}
+
+TEST_F(SlowClientFixture, NonReadingPeerHitsWriteDeadlineAndStopIsBounded) {
+  SocketServerOptions options;
+  options.read_timeout_ms = 60000;
+  options.idle_timeout_ms = 60000;
+  options.write_timeout_ms = 300;
+  start("noread", options);
+
+  // The attacker pipelines stats requests but never reads a byte of the
+  // responses: the server's socket buffer fills and every further write
+  // stalls. Before write deadlines existed, this blocked the handler in
+  // send() forever — and stop() behind it.
+  const int hog = raw_connect(path_);
+  const std::vector<uint8_t> stats_frame = encode_stats_request();
+  int sent_frames = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const ssize_t n = ::send(hog, stats_frame.data(), stats_frame.size(),
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n <= 0) break;  // our own buffer is full: plenty in flight
+    ++sent_frames;
+  }
+  ASSERT_GT(sent_frames, 100);
+
+  // The server must cut the hog loose at the write deadline...
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::seconds(10);
+  while (server_->connections_reaped() == 0 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(server_->connections_reaped(), 1u);
+
+  // ...while good traffic flows and shutdown stays prompt.
+  SocketClient good(path_);
+  EXPECT_EQ(good.infer("lenet-mini", test_image()).status, Status::kOk);
+  const Clock::time_point stop_start = Clock::now();
+  server_->stop();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(
+                Clock::now() - stop_start)
+                .count(),
+            10);
+  ::close(hog);
+}
+
+TEST_F(SlowClientFixture, ConnectionCapRejectsTheExcessConnection) {
+  SocketServerOptions options;
+  options.max_connections = 2;
+  start("cap", options);
+
+  // Two live connections, each proven registered by a served request.
+  SocketClient a(path_);
+  SocketClient b(path_);
+  EXPECT_EQ(a.infer("lenet-mini", test_image()).status, Status::kOk);
+  EXPECT_EQ(b.infer("lenet-mini", test_image()).status, Status::kOk);
+
+  // The third is accepted and immediately closed.
+  const int excess = raw_connect(path_);
+  EXPECT_TRUE(reaped_within_ms(excess, 5000));
+  EXPECT_EQ(server_->connections_rejected(), 1u);
+  ::close(excess);
+
+  // The two under the cap still work.
+  EXPECT_EQ(a.infer("lenet-mini", test_image()).status, Status::kOk);
+  server_->stop();
+}
+
+TEST_F(SlowClientFixture, SigintDrainsAndTerminatesWithAStalledPeer) {
+  SocketServerOptions options;
+  options.read_timeout_ms = 60000;  // the stall outlives the whole test:
+                                    // only stop() can clear it
+  options.idle_timeout_ms = 60000;
+  options.write_timeout_ms = 500;
+  start("sigint", options);
+
+  const int stalled = raw_connect(path_);
+  const uint32_t promised = 512;
+  uint8_t partial[5];
+  std::memcpy(partial, &promised, 4);
+  partial[4] = 1;
+  ASSERT_EQ(::send(stalled, partial, sizeof(partial), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(partial)));
+
+  std::atomic<bool> returned{false};
+  std::thread serving([&] {
+    server_->run_until_signal();
+    returned.store(true);
+  });
+  // Wait until run_until_signal has installed its SIGINT handler before
+  // raising, so the signal cannot hit the default disposition.
+  for (int i = 0; i < 500; ++i) {
+    struct sigaction current {};
+    ::sigaction(SIGINT, nullptr, &current);
+    if (current.sa_handler != SIG_DFL && current.sa_handler != SIG_IGN) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  SocketClient good(path_);
+  EXPECT_EQ(good.infer("lenet-mini", test_image()).status, Status::kOk);
+
+  ::raise(SIGINT);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::seconds(10);
+  while (!returned.load() && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(returned.load())
+      << "SIGINT drain hung behind the stalled peer";
+  serving.join();
+  ::close(stalled);
+}
+
+}  // namespace
+}  // namespace qsnc::serve

@@ -23,12 +23,28 @@
 //               [--health] [--health-interval B] [--health-canaries N]
 //               [--health-min-fraction F] [--health-reprogram A]
 //               [--health-per-replica-seeds]
+//               [--max-concurrency C] [--delay-target-us T]
+//               [--delay-window-us W] [--breaker-threshold K]
+//               [--breaker-open-ms T]
+//               [--read-timeout-ms T] [--write-timeout-ms T]
+//               [--idle-timeout-ms T] [--max-connections C]
+//               [--chaos-profile none|torn|backend|queue|soak]
+//               [--chaos-seed S]
 //               (long-lived inference server; SIGINT drains and exits;
-//               --health enables canary checks + quarantine + quant fallback)
+//               --health enables canary checks + quarantine + quant
+//               fallback; --delay-target-us enables CoDel-style overload
+//               shedding, --breaker-threshold the per-backend circuit
+//               breaker; --chaos-profile injects deterministic seeded
+//               faults for resilience testing, reported at shutdown)
 //   qsnc loadgen --model lenet-mini [--socket path] [--requests N]
 //               [--concurrency C] [--no-retry] [--deadline-us D]
-//               (closed-loop load generator against a running server;
-//               rejected requests retry with jittered exponential backoff)
+//               [--priority interactive|canary|batch|mix]
+//               [--open-loop --rate R]
+//               (load generator against a running server; closed-loop by
+//               default with rejected/shedded requests retrying under
+//               jittered exponential backoff honoring server hints;
+//               --open-loop sends on a fixed deterministic schedule of R
+//               requests/s with no retries, the overload-probing mode)
 //
 // Every command accepts --threads N to size the thread pool (overrides the
 // QSNC_THREADS environment variable; default: hardware concurrency).
@@ -41,6 +57,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -58,6 +75,7 @@
 #include "nn/serialize.h"
 #include "report/table.h"
 #include "serve/backoff.h"
+#include "serve/chaos.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 #include "snc/cost_model.h"
@@ -517,19 +535,52 @@ serve::BatchOptions serve_batch_options(const util::Flags& flags) {
   opts.max_batch = static_cast<int>(flags.get_int("max-batch", 8));
   opts.batch_timeout_us = flags.get_int("batch-timeout-us", 2000);
   opts.queue_capacity = static_cast<int>(flags.get_int("queue-cap", 256));
+  opts.admission.max_concurrency =
+      static_cast<int>(flags.get_int("max-concurrency", 0));
+  opts.admission.delay_target_us = flags.get_int("delay-target-us", 0);
+  opts.admission.delay_window_us =
+      flags.get_int("delay-window-us", opts.admission.delay_window_us);
+  opts.admission.breaker_threshold =
+      static_cast<int>(flags.get_int("breaker-threshold", 0));
+  opts.admission.breaker_open_us =
+      flags.get_int("breaker-open-ms",
+                    opts.admission.breaker_open_us / 1000) *
+      1000;
   return opts;
 }
 
 int cmd_serve(const util::Flags& flags) {
   const serve::ModelConfig cfg = serve_model_config(flags);
-  const serve::BatchOptions opts = serve_batch_options(flags);
+  serve::BatchOptions opts = serve_batch_options(flags);
   const std::string socket = flags.get("socket", "/tmp/qsnc-serve.sock");
+  const std::string chaos_name = flags.get("chaos-profile", "none");
+  const uint64_t chaos_seed =
+      static_cast<uint64_t>(flags.get_int("chaos-seed", 42));
+  serve::SocketServerOptions sopts;
+  sopts.read_timeout_ms =
+      flags.get_int("read-timeout-ms", sopts.read_timeout_ms);
+  sopts.write_timeout_ms =
+      flags.get_int("write-timeout-ms", sopts.write_timeout_ms);
+  sopts.idle_timeout_ms =
+      flags.get_int("idle-timeout-ms", sopts.idle_timeout_ms);
+  sopts.max_connections =
+      static_cast<int>(flags.get_int("max-connections",
+                                     sopts.max_connections));
   check_unused(flags);
+
+  const serve::ChaosConfig chaos_cfg =
+      serve::chaos_profile(chaos_name, chaos_seed);
+  std::unique_ptr<serve::ChaosInjector> chaos;
+  if (chaos_cfg.any_enabled()) {
+    chaos = std::make_unique<serve::ChaosInjector>(chaos_cfg);
+    opts.chaos = chaos.get();
+    sopts.chaos = chaos.get();
+  }
 
   serve::ModelRegistry registry;
   registry.add(cfg.architecture, cfg);
   serve::ServeCore core(registry, opts);
-  serve::SocketServer server(core, socket);
+  serve::SocketServer server(core, socket, sopts);
   const std::string state_note = cfg.state_path.empty()
                                      ? ", fresh init"
                                      : ", state " + cfg.state_path;
@@ -541,8 +592,35 @@ int cmd_serve(const util::Flags& flags) {
               socket.c_str(), opts.max_batch,
               static_cast<long long>(opts.batch_timeout_us),
               opts.queue_capacity);
+  if (opts.admission.delay_target_us > 0 ||
+      opts.admission.max_concurrency > 0 ||
+      opts.admission.breaker_threshold > 0) {
+    std::printf("  overload: max-concurrency %d, delay target %lld us "
+                "(window %lld us), breaker %d failures / %lld ms open\n",
+                opts.admission.max_concurrency,
+                static_cast<long long>(opts.admission.delay_target_us),
+                static_cast<long long>(opts.admission.delay_window_us),
+                opts.admission.breaker_threshold,
+                static_cast<long long>(opts.admission.breaker_open_us /
+                                       1000));
+  }
+  if (chaos) {
+    std::printf("  chaos: profile %s, seed %llu\n", chaos_name.c_str(),
+                static_cast<unsigned long long>(chaos_seed));
+  }
   server.run_until_signal();
   std::printf("drained; final stats:\n%s", core.stats_report().c_str());
+  if (chaos) {
+    std::printf("chaos injections (profile %s, seed %llu):\n%s",
+                chaos_name.c_str(),
+                static_cast<unsigned long long>(chaos_seed),
+                chaos->report().c_str());
+  }
+  std::printf("connections: %llu accepted, %llu reaped, %llu rejected\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(server.connections_reaped()),
+              static_cast<unsigned long long>(
+                  server.connections_rejected()));
   return 0;
 }
 
@@ -553,16 +631,51 @@ int cmd_loadgen(const util::Flags& flags) {
   const int concurrency =
       std::max(1, static_cast<int>(flags.get_int("concurrency", 4)));
   const bool no_retry = flags.get_bool("no-retry", false);
+  const bool open_loop = flags.get_bool("open-loop", false);
+  const double rate = flags.get_double("rate", 0.0);
+  const std::string priority_spec = flags.get("priority", "interactive");
   const int64_t max_retries = flags.get_int("max-retries", 64);
   const uint64_t deadline_us =
       static_cast<uint64_t>(flags.get_int("deadline-us", 0));
   check_unused(flags);
+  if (open_loop && rate <= 0.0) {
+    throw std::invalid_argument("--open-loop needs --rate > 0");
+  }
+
+  // Request i's priority is a pure function of i, so a given
+  // (requests, priority) pair always produces the same workload.
+  const bool mix = priority_spec == "mix";
+  const serve::Priority fixed_priority =
+      mix ? serve::Priority::kInteractive
+          : serve::parse_priority(priority_spec);
+  const auto priority_of = [&](int64_t i) {
+    if (!mix) return fixed_priority;
+    const int64_t r = i % 10;  // 6:3:1 interactive:batch:canary
+    if (r < 6) return serve::Priority::kInteractive;
+    if (r < 9) return serve::Priority::kBatch;
+    return serve::Priority::kCanary;
+  };
 
   const nn::Shape chw = serve::architecture_input_shape(model);
 
-  struct WorkerResult {
-    int64_t ok = 0, retries = 0, dropped = 0, errors = 0;
+  struct ClassResult {
+    int64_t sent = 0, ok = 0, retries = 0, shed = 0, dropped = 0,
+            errors = 0;
     std::vector<uint64_t> latencies_us;
+
+    void absorb(const ClassResult& r) {
+      sent += r.sent;
+      ok += r.ok;
+      retries += r.retries;
+      shed += r.shed;
+      dropped += r.dropped;
+      errors += r.errors;
+      latencies_us.insert(latencies_us.end(), r.latencies_us.begin(),
+                          r.latencies_us.end());
+    }
+  };
+  struct WorkerResult {
+    ClassResult per[serve::kNumPriorities];
   };
   std::vector<WorkerResult> results(static_cast<size_t>(concurrency));
   const auto t0 = std::chrono::steady_clock::now();
@@ -576,30 +689,45 @@ int cmd_loadgen(const util::Flags& flags) {
         backoff_cfg.seed = 1000 + static_cast<uint64_t>(w);
         const serve::Backoff backoff(backoff_cfg);
         nn::Rng rng(1000 + static_cast<uint64_t>(w));
-        const int64_t mine =
-            requests / concurrency + (w < requests % concurrency ? 1 : 0);
-        for (int64_t i = 0; i < mine; ++i) {
+        // Workers take the strided slice i = w, w+C, ... so the open-loop
+        // arrival time of every request, t0 + i/rate, is fixed by i alone.
+        for (int64_t i = w; i < requests; i += concurrency) {
+          const serve::Priority priority = priority_of(i);
+          ClassResult& cls =
+              result.per[static_cast<size_t>(priority)];
+          if (open_loop) {
+            std::this_thread::sleep_until(
+                t0 + std::chrono::microseconds(static_cast<int64_t>(
+                         static_cast<double>(i) * 1e6 / rate)));
+          }
           nn::Tensor image(chw);
           for (int64_t j = 0; j < image.numel(); ++j) {
             image[j] = rng.uniform(0.0f, 1.0f);
           }
+          ++cls.sent;
           int64_t attempts = 0;
           for (;;) {
             const auto s0 = std::chrono::steady_clock::now();
             const serve::Response r =
-                client.infer(model, image, deadline_us);
+                client.infer(model, image, deadline_us, priority);
             if (r.status == serve::Status::kOk) {
               const auto s1 = std::chrono::steady_clock::now();
-              result.latencies_us.push_back(static_cast<uint64_t>(
+              cls.latencies_us.push_back(static_cast<uint64_t>(
                   std::chrono::duration_cast<std::chrono::microseconds>(
                       s1 - s0)
                       .count()));
-              ++result.ok;
+              ++cls.ok;
               break;
             }
-            if (r.status == serve::Status::kRejected && !no_retry &&
+            const bool backpressure =
+                r.status == serve::Status::kRejected ||
+                r.status == serve::Status::kShedded;
+            if (r.status == serve::Status::kShedded) ++cls.shed;
+            // Open loop never retries: the point is to measure what the
+            // server does at a fixed offered rate, not to adapt to it.
+            if (backpressure && !no_retry && !open_loop &&
                 attempts < max_retries) {
-              ++result.retries;
+              ++cls.retries;
               // Exponential backoff with deterministic per-worker jitter,
               // floored by the server's backpressure hint (capped so a
               // wild estimate cannot stall the generator).
@@ -609,10 +737,10 @@ int cmd_loadgen(const util::Flags& flags) {
               ++attempts;
               continue;
             }
-            if (r.status == serve::Status::kRejected) {
-              ++result.dropped;
+            if (backpressure) {
+              ++cls.dropped;
             } else {
-              ++result.errors;
+              ++cls.errors;
               std::fprintf(stderr, "request failed (%s): %s\n",
                            serve::status_name(r.status), r.error.c_str());
             }
@@ -621,7 +749,8 @@ int cmd_loadgen(const util::Flags& flags) {
         }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "worker %d: %s\n", w, e.what());
-        ++result.errors;
+        ++result.per[static_cast<size_t>(serve::Priority::kInteractive)]
+              .errors;
       }
     });
   }
@@ -630,41 +759,58 @@ int cmd_loadgen(const util::Flags& flags) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  WorkerResult total;
+  ClassResult per[serve::kNumPriorities];
+  ClassResult total;
   for (const WorkerResult& r : results) {
-    total.ok += r.ok;
-    total.retries += r.retries;
-    total.dropped += r.dropped;
-    total.errors += r.errors;
-    total.latencies_us.insert(total.latencies_us.end(),
-                              r.latencies_us.begin(),
-                              r.latencies_us.end());
+    for (int c = 0; c < serve::kNumPriorities; ++c) {
+      per[c].absorb(r.per[c]);
+      total.absorb(r.per[c]);
+    }
+  }
+  const auto pct = [](std::vector<uint64_t>& v, double p) -> uint64_t {
+    if (v.empty()) return 0;
+    const size_t idx = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(v.size() - 1));
+    return v[idx];
+  };
+  report::Table t({"class", "sent", "ok", "retries", "shed", "dropped",
+                   "errors", "p50 us", "p95 us", "p99 us"});
+  for (int c = serve::kNumPriorities - 1; c >= 0; --c) {
+    ClassResult& r = per[c];
+    if (r.sent == 0) continue;
+    std::sort(r.latencies_us.begin(), r.latencies_us.end());
+    t.add_row({serve::priority_name(static_cast<serve::Priority>(c)),
+               std::to_string(r.sent), std::to_string(r.ok),
+               std::to_string(r.retries), std::to_string(r.shed),
+               std::to_string(r.dropped), std::to_string(r.errors),
+               std::to_string(pct(r.latencies_us, 50)),
+               std::to_string(pct(r.latencies_us, 95)),
+               std::to_string(pct(r.latencies_us, 99))});
   }
   std::sort(total.latencies_us.begin(), total.latencies_us.end());
-  const auto pct = [&](double p) -> uint64_t {
-    if (total.latencies_us.empty()) return 0;
-    const size_t idx = static_cast<size_t>(
-        p / 100.0 * static_cast<double>(total.latencies_us.size() - 1));
-    return total.latencies_us[idx];
-  };
-  report::Table t({"requests", "ok", "retries", "dropped", "errors",
-                   "wall s", "QPS", "p50 us", "p95 us", "p99 us"});
-  t.add_row({std::to_string(requests), std::to_string(total.ok),
-             std::to_string(total.retries), std::to_string(total.dropped),
-             std::to_string(total.errors), report::fmt(wall, 2),
-             report::fmt(wall > 0 ? static_cast<double>(total.ok) / wall
-                                  : 0.0,
-                         1),
-             std::to_string(pct(50)), std::to_string(pct(95)),
-             std::to_string(pct(99))});
+  t.add_row({"total", std::to_string(total.sent),
+             std::to_string(total.ok), std::to_string(total.retries),
+             std::to_string(total.shed), std::to_string(total.dropped),
+             std::to_string(total.errors),
+             std::to_string(pct(total.latencies_us, 50)),
+             std::to_string(pct(total.latencies_us, 95)),
+             std::to_string(pct(total.latencies_us, 99))});
   std::printf("%s", t.to_string().c_str());
+  std::printf("wall %.2fs, goodput %.1f QPS%s\n", wall,
+              wall > 0 ? static_cast<double>(total.ok) / wall : 0.0,
+              open_loop
+                  ? (", offered " + report::fmt(rate, 1) + " QPS").c_str()
+                  : "");
   try {
     serve::SocketClient client(socket);
     std::printf("server-side stats:\n%s", client.stats().c_str());
   } catch (const std::exception&) {
     // Server may already be gone; client-side numbers stand alone.
   }
-  return total.dropped > 0 || total.errors > 0 ? 1 : 0;
+  // Shedded/rejected responses in open loop are the server working as
+  // intended, not a failure of the run.
+  if (total.errors > 0) return 1;
+  return !open_loop && total.dropped > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -674,7 +820,7 @@ int main(int argc, char** argv) {
     // Boolean flags must be declared so "--nc lenet" style argv never eats
     // a positional (see util/flags.h).
     const util::Flags flags(
-        argc, argv, {"nc", "no-retry", "dense-reference",
+        argc, argv, {"nc", "no-retry", "open-loop", "dense-reference",
                      "snc-dense-reference", "write-verify",
                      "snc-write-verify", "health",
                      "health-per-replica-seeds"});
