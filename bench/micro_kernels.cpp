@@ -1,14 +1,23 @@
 // Kernel-level micro-benchmarks (google-benchmark): GEMM, im2col,
 // convolution forward, crossbar reads, quantizers, spike coding.
 //
-// In addition to the google-benchmark suite, main() runs a thread-scaling
-// sweep over {1, 2, 4, hw_max} threads for the GEMM and conv hot paths and
-// writes GFLOP/s plus speedup-vs-1-thread to BENCH_kernels.json (override
-// the path with QSNC_BENCH_OUT).
+// In addition to the google-benchmark suite, main() runs two sweeps and
+// writes them to BENCH_kernels.json (override the path with
+// QSNC_BENCH_OUT):
+//  * a kernel-dispatch sweep over the model-zoo GEMM shapes comparing the
+//    scalar reference, AVX2, and integer (igemm) paths at one thread, with
+//    speedup-vs-matching-scalar per row;
+//  * a thread-scaling sweep over {1, 2, 4, hw_max} threads for the GEMM
+//    and conv hot paths, with speedup-vs-1-thread per row.
+// QSNC_REQUIRE_SIMD=1 makes the binary exit nonzero when the AVX2 kernels
+// are not active (CI uses this to catch a silent scalar fallback on an
+// AVX2 runner).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,9 +26,11 @@
 #include "core/fixed_point.h"
 #include "core/weight_clustering.h"
 #include "nn/gemm.h"
+#include "nn/igemm.h"
 #include "nn/im2col.h"
 #include "nn/layers/conv2d.h"
 #include "nn/rng.h"
+#include "nn/simd.h"
 #include "nn/tensor.h"
 #include "snc/crossbar.h"
 #include "snc/spike.h"
@@ -210,10 +221,76 @@ std::vector<int> sweep_thread_counts() {
   return counts;
 }
 
-void run_thread_sweep() {
+// Kernel-dispatch sweep at one thread: fp32 scalar vs AVX2 vs integer
+// GEMM over the model-zoo shapes (conv im2col matrices and dense heads).
+// speedup is vs the matching scalar row, so the fp32 SIMD rows carry the
+// headline ">= 3x" acceptance number and the igemm rows the integer-path
+// gain.
+void run_dispatch_sweep(std::vector<SweepRow>& rows) {
+  struct GemmShape {
+    int64_t m, k, n;
+    const char* tag;
+  };
+  const std::vector<GemmShape> shapes =
+      smoke_mode()
+          ? std::vector<GemmShape>{{6, 25, 784, "lenet_conv1"},
+                                   {64, 300, 16, "dense_head"}}
+          : std::vector<GemmShape>{{6, 25, 784, "lenet_conv1"},
+                                   {12, 150, 100, "lenet_conv2"},
+                                   {64, 288, 64, "alexnet_conv3"},
+                                   {64, 300, 16, "dense_head"},
+                                   {128, 96, 64, "wide_batch"},
+                                   {256, 256, 256, "square_256"}};
+  const int prev = util::num_threads();
+  util::set_num_threads(1);  // isolate ISA dispatch from threading
+  const int reps = smoke_mode() ? 2 : 5;
+
+  for (const GemmShape& s : shapes) {
+    const auto a = random_vec(s.m * s.k, 1);
+    const auto b = random_vec(s.k * s.n, 2);
+    std::vector<float> c(static_cast<size_t>(s.m * s.n));
+    std::vector<int16_t> ia(a.size()), ib(b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ia[i] = static_cast<int16_t>(std::lround(a[i] * 15.0f));
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      ib[i] = static_cast<int16_t>(std::lround(b[i] * 7.0f));
+    }
+    std::vector<int32_t> ic(static_cast<size_t>(s.m * s.n));
+    const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
+
+    auto timed = [&](bool force_scalar, auto&& run) {
+      const bool prev_force = nn::simd::set_force_scalar(force_scalar);
+      run();  // warm-up
+      const double seconds = time_best(run, reps);
+      nn::simd::set_force_scalar(prev_force);
+      return seconds;
+    };
+    auto fp32 = [&] { nn::gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n); };
+    auto integer = [&] {
+      nn::igemm(ia.data(), ib.data(), ic.data(), s.m, s.k, s.n);
+    };
+    const double fp32_scalar = timed(true, fp32);
+    const double fp32_simd = timed(false, fp32);
+    const double int_scalar = timed(true, integer);
+    const double int_simd = timed(false, integer);
+
+    const std::string tag = s.tag;
+    rows.push_back({"gemm_fp32_scalar_" + tag, 1, fp32_scalar,
+                    flops / fp32_scalar / 1e9, 1.0});
+    rows.push_back({"gemm_fp32_simd_" + tag, 1, fp32_simd,
+                    flops / fp32_simd / 1e9, fp32_scalar / fp32_simd});
+    rows.push_back({"igemm_scalar_" + tag, 1, int_scalar,
+                    flops / int_scalar / 1e9, 1.0});
+    rows.push_back({"igemm_simd_" + tag, 1, int_simd,
+                    flops / int_simd / 1e9, int_scalar / int_simd});
+  }
+  util::set_num_threads(prev);
+}
+
+void run_thread_sweep(std::vector<SweepRow>& rows) {
   const int prev = util::num_threads();
   const std::vector<int> counts = sweep_thread_counts();
-  std::vector<SweepRow> rows;
 
   auto sweep = [&](const std::string& kernel, double flops, auto&& run) {
     double base_seconds = 0.0;
@@ -254,7 +331,9 @@ void run_thread_sweep() {
   }
 
   util::set_num_threads(prev);
+}
 
+void emit_rows(const std::vector<SweepRow>& rows) {
   const char* env = std::getenv("QSNC_BENCH_OUT");
   const std::string path = env ? env : "BENCH_kernels.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -263,8 +342,11 @@ void run_thread_sweep() {
                  path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"hardware_threads\": %d,\n  \"results\": [\n",
-               util::ThreadPool::default_threads());
+  std::fprintf(f,
+               "{\n  \"hardware_threads\": %d,\n  \"avx2\": %s,\n"
+               "  \"results\": [\n",
+               util::ThreadPool::default_threads(),
+               nn::simd::use_avx2() ? "true" : "false");
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(f,
@@ -276,11 +358,12 @@ void run_thread_sweep() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 
-  std::printf("\n== thread-scaling sweep (best of 3) ==\n");
-  std::printf("%-24s %8s %12s %10s %9s\n", "kernel", "threads", "seconds",
+  std::printf("\n== kernel sweeps (avx2 %s) ==\n",
+              nn::simd::use_avx2() ? "on" : "off");
+  std::printf("%-30s %8s %12s %10s %9s\n", "kernel", "threads", "seconds",
               "GFLOP/s", "speedup");
   for (const SweepRow& r : rows) {
-    std::printf("%-24s %8d %12.6f %10.2f %8.2fx\n", r.kernel.c_str(),
+    std::printf("%-30s %8d %12.6f %10.2f %8.2fx\n", r.kernel.c_str(),
                 r.threads, r.seconds, r.gflops, r.speedup);
   }
   std::printf("wrote %s\n", path.c_str());
@@ -289,10 +372,23 @@ void run_thread_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* require_simd = std::getenv("QSNC_REQUIRE_SIMD");
+  if (require_simd != nullptr && require_simd[0] == '1' &&
+      !nn::simd::use_avx2()) {
+    std::fprintf(stderr,
+                 "QSNC_REQUIRE_SIMD=1 but the AVX2 kernels are inactive "
+                 "(cpu_has_avx2=%d, env_forced_scalar=%d)\n",
+                 nn::simd::cpu_has_avx2() ? 1 : 0,
+                 nn::simd::env_forced_scalar() ? 1 : 0);
+    return 1;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_thread_sweep();
+  std::vector<SweepRow> rows;
+  run_dispatch_sweep(rows);
+  run_thread_sweep(rows);
+  emit_rows(rows);
   return 0;
 }

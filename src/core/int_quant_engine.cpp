@@ -1,0 +1,352 @@
+#include "core/int_quant_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "core/dynamic_fixed_point.h"
+#include "nn/im2col.h"
+#include "nn/layers/batchnorm.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/dropout.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/pool.h"
+#include "nn/layers/relu.h"
+#include "util/thread_pool.h"
+
+namespace qsnc::core {
+
+namespace {
+
+// Per-thread scratch for the conv hot loop, mirroring Conv2d::forward's
+// reuse pattern (never allocates inside the batch loop after warm-up).
+thread_local std::vector<float> tl_cols;
+thread_local util::aligned_vector<int16_t> tl_icols;
+thread_local util::aligned_vector<int32_t> tl_iacc;
+
+// Recovers the integer representation w = w_int * 2^-fl of a weight tensor,
+// choosing fl with the dynamic-fixed-point rule (choose_fraction_bits) at
+// the smallest total width whose grid reproduces every weight *exactly*
+// (checked per element: w_int * step == w in fp32). Returns false when no
+// width up to 16 bits is exact — i.e. the weights are not on a dyadic grid
+// and the integer engine cannot be bit-faithful.
+bool quantize_weights_exact(const float* w, int64_t count, int16_t* wq,
+                            float* step_out, int32_t* abs_max_int_out) {
+  float abs_max = 0.0f;
+  for (int64_t i = 0; i < count; ++i) {
+    abs_max = std::max(abs_max, std::fabs(w[i]));
+  }
+  if (abs_max == 0.0f) {
+    std::fill(wq, wq + count, int16_t{0});
+    *step_out = 1.0f;
+    *abs_max_int_out = 0;
+    return true;
+  }
+  for (int total_bits = 2; total_bits <= 16; ++total_bits) {
+    const int fl = choose_fraction_bits(abs_max, total_bits);
+    const float step = std::ldexp(1.0f, -fl);
+    bool exact = true;
+    int32_t max_int = 0;
+    for (int64_t i = 0; i < count; ++i) {
+      // Division and multiplication by a power of two are exact in fp32,
+      // so `r * step == w[i]` holds iff w[i] sits on the 2^-fl grid.
+      const float r = std::round(w[i] / step);
+      if (!(std::fabs(r) <= 32767.0f) || r * step != w[i]) {
+        exact = false;
+        break;
+      }
+      wq[i] = static_cast<int16_t>(r);
+      max_int = std::max(max_int, std::abs(static_cast<int32_t>(r)));
+    }
+    if (exact) {
+      *step_out = step;
+      *abs_max_int_out = max_int;
+      return true;
+    }
+  }
+  return false;
+}
+
+// The fp32-exactness budget: every partial sum of the float GEMM must stay
+// an exactly representable integer multiple of the weight grid step.
+bool dot_product_exact(int64_t signal_peak, int32_t abs_max_int,
+                       int64_t k_dim) {
+  return signal_peak * int64_t{abs_max_int} * k_dim < (int64_t{1} << 24);
+}
+
+}  // namespace
+
+IntQuantEngine::IntQuantEngine(int signal_bits, std::vector<Op> ops,
+                               size_t crossbars)
+    : signal_bits_(signal_bits),
+      quantizer_(signal_bits),
+      ops_(std::move(ops)),
+      crossbar_layers_(crossbars) {}
+
+std::unique_ptr<IntQuantEngine> IntQuantEngine::build(
+    nn::Network& net, const nn::Shape& input_chw, int signal_bits) {
+  if (signal_bits < 1 || signal_bits > 15) return nullptr;  // int16 signals
+  if (input_chw.size() != 3) return nullptr;
+  const int64_t signal_peak = signal_max(signal_bits);
+
+  // Signals are integer-valued at the network input and after every
+  // quantized ReLU; between a crossbar layer and the next ReLU they are
+  // arbitrary floats. Crossbar layers are only compilable on the integer
+  // side of that boundary.
+  enum class Domain { kInt, kFloat };
+  Domain domain = Domain::kInt;
+  nn::Shape shape = input_chw;  // per-image activation shape
+
+  std::vector<Op> ops;
+  size_t crossbars = 0;
+  for (size_t i = 0; i < net.size(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      if (domain != Domain::kInt || shape.size() != 3 ||
+          shape[0] != conv->in_channels()) {
+        return nullptr;
+      }
+      Op op;
+      op.kind = OpKind::kConv;
+      op.in_c = shape[0];
+      op.in_h = shape[1];
+      op.in_w = shape[2];
+      op.kernel = conv->kernel();
+      op.stride = conv->stride();
+      op.pad = conv->pad();
+      op.out_c = conv->out_channels();
+      op.out_h = nn::conv_out_extent(op.in_h, op.kernel, op.stride, op.pad);
+      op.out_w = nn::conv_out_extent(op.in_w, op.kernel, op.stride, op.pad);
+      if (op.out_h <= 0 || op.out_w <= 0) return nullptr;
+      const int64_t patch = op.in_c * op.kernel * op.kernel;
+      const nn::Tensor& w = conv->weight().value;  // OIHW == [out_c x patch]
+      op.wq.resize(static_cast<size_t>(w.numel()));
+      int32_t max_int = 0;
+      if (!quantize_weights_exact(w.data(), w.numel(), op.wq.data(), &op.step,
+                                  &max_int) ||
+          !dot_product_exact(signal_peak, max_int, patch)) {
+        return nullptr;
+      }
+      op.use_bias = conv->uses_bias();
+      const nn::Tensor& b = conv->bias().value;
+      op.bias.assign(b.data(), b.data() + b.numel());
+      shape = {op.out_c, op.out_h, op.out_w};
+      domain = Domain::kFloat;
+      ops.push_back(std::move(op));
+      ++crossbars;
+    } else if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
+      if (domain != Domain::kInt || shape.size() != 1 ||
+          shape[0] != dense->in_features()) {
+        return nullptr;
+      }
+      Op op;
+      op.kind = OpKind::kDense;
+      op.in_features = dense->in_features();
+      op.out_features = dense->out_features();
+      const nn::Tensor& w = dense->weight().value;  // [out x in]
+      util::aligned_vector<int16_t> wq(static_cast<size_t>(w.numel()));
+      int32_t max_int = 0;
+      if (!quantize_weights_exact(w.data(), w.numel(), wq.data(), &op.step,
+                                  &max_int) ||
+          !dot_product_exact(signal_peak, max_int, op.in_features)) {
+        return nullptr;
+      }
+      // igemm_prepacked computes x * B, so pack B = W^T [in x out].
+      util::aligned_vector<int16_t> wt(
+          static_cast<size_t>(op.in_features * op.out_features));
+      for (int64_t kk = 0; kk < op.in_features; ++kk) {
+        for (int64_t j = 0; j < op.out_features; ++j) {
+          wt[static_cast<size_t>(kk * op.out_features + j)] =
+              wq[static_cast<size_t>(j * op.in_features + kk)];
+        }
+      }
+      op.wq_packed =
+          nn::IGemmPackedB(wt.data(), op.in_features, op.out_features);
+      op.use_bias = dense->params().size() == 2;  // bias listed iff enabled
+      const nn::Tensor& b = dense->bias().value;
+      op.bias.assign(b.data(), b.data() + b.numel());
+      shape = {op.out_features};
+      domain = Domain::kFloat;
+      ops.push_back(std::move(op));
+      ++crossbars;
+    } else if (dynamic_cast<nn::ReLU*>(&layer) != nullptr) {
+      Op op;
+      op.kind = OpKind::kReLU;
+      ops.push_back(std::move(op));
+      domain = Domain::kInt;  // ReLU + M-bit rounding restores integers
+    } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+      if (shape.size() != 3) return nullptr;
+      Op op;
+      op.kind = OpKind::kMaxPool;
+      op.in_c = shape[0];
+      op.in_h = shape[1];
+      op.in_w = shape[2];
+      op.kernel = pool->kernel();
+      op.stride = pool->stride();
+      op.out_h = nn::conv_out_extent(op.in_h, op.kernel, op.stride, 0);
+      op.out_w = nn::conv_out_extent(op.in_w, op.kernel, op.stride, 0);
+      if (op.out_h <= 0 || op.out_w <= 0) return nullptr;
+      shape = {op.in_c, op.out_h, op.out_w};
+      ops.push_back(std::move(op));
+    } else if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
+      if (shape.size() != 3) return nullptr;
+      Op op;
+      op.kind = OpKind::kFlatten;
+      op.in_features = shape[0] * shape[1] * shape[2];
+      shape = {op.in_features};
+      ops.push_back(std::move(op));
+    } else if (dynamic_cast<nn::Dropout*>(&layer) != nullptr) {
+      // Inference dropout returns its input unchanged; no op needed.
+    } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
+      // Only the exact inference identity (scale 1, shift 0 bitwise, e.g.
+      // after BN folding's reset_to_identity) is bit-transparent.
+      if (shape.size() != 3 || shape[0] != bn->channels()) return nullptr;
+      for (int64_t c = 0; c < bn->channels(); ++c) {
+        float scale = 0.0f, shift = 0.0f;
+        bn->inference_affine(c, &scale, &shift);
+        if (scale != 1.0f || shift != 0.0f) return nullptr;
+      }
+    } else {
+      return nullptr;  // unsupported layer type
+    }
+  }
+  if (crossbars == 0) return nullptr;  // nothing to accelerate
+  return std::unique_ptr<IntQuantEngine>(
+      new IntQuantEngine(signal_bits, std::move(ops), crossbars));
+}
+
+nn::Tensor IntQuantEngine::forward(const nn::Tensor& encoded) const {
+  if (encoded.rank() != 4) {
+    throw std::invalid_argument(
+        "IntQuantEngine::forward: expected [N, C, H, W], got " +
+        nn::shape_to_string(encoded.shape()));
+  }
+  const int64_t n = encoded.dim(0);
+  nn::Tensor act = encoded;
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kConv: {
+        const int64_t patch = op.in_c * op.kernel * op.kernel;
+        const int64_t out_hw = op.out_h * op.out_w;
+        const int64_t image_numel = op.in_c * op.in_h * op.in_w;
+        nn::Tensor out({n, op.out_c, op.out_h, op.out_w});
+        util::parallel_for(0, n, 1, [&](int64_t n0, int64_t n1) {
+          std::vector<float>& cols = tl_cols;
+          util::aligned_vector<int16_t>& icols = tl_icols;
+          util::aligned_vector<int32_t>& iacc = tl_iacc;
+          cols.resize(static_cast<size_t>(patch * out_hw));
+          icols.resize(static_cast<size_t>(patch * out_hw));
+          iacc.resize(static_cast<size_t>(op.out_c * out_hw));
+          for (int64_t img = n0; img < n1; ++img) {
+            nn::im2col(act.data() + img * image_numel, op.in_c, op.in_h,
+                       op.in_w, op.kernel, op.kernel, op.stride, op.pad,
+                       cols.data());
+            for (size_t i = 0; i < icols.size(); ++i) {
+              icols[i] = static_cast<int16_t>(cols[i]);
+            }
+            nn::igemm(op.wq.data(), icols.data(), iacc.data(), op.out_c,
+                      patch, out_hw);
+            float* out_img = out.data() + img * op.out_c * out_hw;
+            for (int64_t oc = 0; oc < op.out_c; ++oc) {
+              const float b = op.bias[static_cast<size_t>(oc)];
+              const int32_t* acc_row = iacc.data() + oc * out_hw;
+              float* out_row = out_img + oc * out_hw;
+              for (int64_t i = 0; i < out_hw; ++i) {
+                float y = static_cast<float>(acc_row[i]) * op.step;
+                if (op.use_bias) y += b;
+                out_row[i] = y;
+              }
+            }
+          }
+        });
+        act = std::move(out);
+        break;
+      }
+      case OpKind::kDense: {
+        const int64_t in = op.in_features;
+        const int64_t out_f = op.out_features;
+        util::aligned_vector<int16_t> ix(static_cast<size_t>(n * in));
+        for (size_t i = 0; i < ix.size(); ++i) {
+          ix[i] = static_cast<int16_t>(act[static_cast<int64_t>(i)]);
+        }
+        util::aligned_vector<int32_t> iacc(static_cast<size_t>(n * out_f));
+        nn::igemm_prepacked(ix.data(), op.wq_packed, iacc.data(), n);
+        nn::Tensor out({n, out_f});
+        for (int64_t row = 0; row < n; ++row) {
+          const int32_t* acc_row = iacc.data() + row * out_f;
+          float* out_row = out.data() + row * out_f;
+          for (int64_t j = 0; j < out_f; ++j) {
+            float y = static_cast<float>(acc_row[j]) * op.step;
+            if (op.use_bias) y += op.bias[static_cast<size_t>(j)];
+            out_row[j] = y;
+          }
+        }
+        act = std::move(out);
+        break;
+      }
+      case OpKind::kReLU: {
+        for (int64_t i = 0; i < act.numel(); ++i) {
+          const float v = act[i] > 0.0f ? act[i] : 0.0f;
+          act[i] = quantizer_.apply(v);
+        }
+        break;
+      }
+      case OpKind::kMaxPool: {
+        // Same loop structure and comparison as MaxPool2d::forward so
+        // results (including tie handling) are bit-identical.
+        nn::Tensor out({n, op.in_c, op.out_h, op.out_w});
+        int64_t out_idx = 0;
+        for (int64_t img = 0; img < n; ++img) {
+          for (int64_t c = 0; c < op.in_c; ++c) {
+            const float* plane =
+                act.data() + (img * op.in_c + c) * op.in_h * op.in_w;
+            for (int64_t oy = 0; oy < op.out_h; ++oy) {
+              for (int64_t ox = 0; ox < op.out_w; ++ox, ++out_idx) {
+                float best = -std::numeric_limits<float>::infinity();
+                for (int64_t ky = 0; ky < op.kernel; ++ky) {
+                  const int64_t iy = oy * op.stride + ky;
+                  if (iy >= op.in_h) break;
+                  for (int64_t kx = 0; kx < op.kernel; ++kx) {
+                    const int64_t ix2 = ox * op.stride + kx;
+                    if (ix2 >= op.in_w) break;
+                    const float v = plane[iy * op.in_w + ix2];
+                    if (v > best) best = v;
+                  }
+                }
+                out[out_idx] = best;
+              }
+            }
+          }
+        }
+        act = std::move(out);
+        break;
+      }
+      case OpKind::kFlatten: {
+        act = act.reshape({n, op.in_features});
+        break;
+      }
+    }
+  }
+  return act;
+}
+
+std::vector<int64_t> IntQuantEngine::predict(const nn::Tensor& encoded) const {
+  const nn::Tensor logits = forward(encoded);
+  const int64_t n = logits.dim(0);
+  const int64_t k = logits.dim(1);
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    int64_t best = 0;
+    for (int64_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    labels[static_cast<size_t>(i)] = best;
+  }
+  return labels;
+}
+
+}  // namespace qsnc::core

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <vector>
 
+#include "nn/gemm_kernels.h"
+#include "nn/simd.h"
+#include "util/aligned.h"
 #include "util/thread_pool.h"
 
 namespace qsnc::nn {
@@ -11,10 +14,12 @@ namespace qsnc::nn {
 namespace {
 // Block extents chosen so one A-panel + one B-panel fit comfortably in L1/L2
 // on typical x86 cores. The i-k-j loop order keeps the innermost loop a
-// contiguous SAXPY over C and B rows, which GCC auto-vectorizes.
-constexpr int64_t kBlockM = 64;
-constexpr int64_t kBlockK = 128;
-constexpr int64_t kBlockN = 256;
+// contiguous SAXPY over C and B rows, which GCC auto-vectorizes. The SIMD
+// micro-kernels share the same extents (gemm_kernels.h); kBlockK in
+// particular is part of gemm_a_bt_acc's numeric contract.
+constexpr int64_t kBlockM = kernels::kBlockM;
+constexpr int64_t kBlockK = kernels::kBlockK;
+constexpr int64_t kBlockN = kernels::kBlockN;
 
 // Minimum FLOP count (2*m*k*n) before a kernel fans out to the pool;
 // below this the fork/join overhead dominates the multiply itself.
@@ -24,6 +29,16 @@ constexpr int64_t kParallelMinFlops = int64_t{1} << 18;
 // own copy, so concurrent M-chunks share no mutable state and the panel
 // rows sit contiguously for the SAXPY sweep.
 thread_local std::vector<float> tl_pack;
+
+// Per-thread 64-byte-aligned panel for the SIMD path. Packed once per call
+// on the calling thread before any fan-out; workers only read it.
+thread_local util::aligned_vector<float> tl_simd_panel;
+
+float* simd_panel(int64_t k, int64_t n) {
+  tl_simd_panel.resize(
+      static_cast<size_t>(kernels::gemm_panel_floats(k, n)));
+  return tl_simd_panel.data();
+}
 
 // Rows [i0, i1) of C += A*B under the shared blocking. The per-(i, j)
 // accumulation order (k ascending) is independent of the row partition, so
@@ -64,6 +79,18 @@ void gemm_acc_rows(const float* a, const float* b, float* c, int64_t k,
 
 void gemm_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
               int64_t n) {
+  if (simd::use_avx2()) {
+    float* bp = simd_panel(k, n);
+    kernels::pack_b_panel(b, k, n, bp);
+    if (2 * m * k * n < kParallelMinFlops) {
+      kernels::avx2_gemm_acc_rows(a, bp, c, k, n, 0, m);
+      return;
+    }
+    util::parallel_for(0, m, kBlockM, [&](int64_t i0, int64_t i1) {
+      kernels::avx2_gemm_acc_rows(a, bp, c, k, n, i0, i1);
+    });
+    return;
+  }
   if (2 * m * k * n < kParallelMinFlops) {
     gemm_acc_rows(a, b, c, k, n, 0, m);
     return;
@@ -75,6 +102,21 @@ void gemm_acc(const float* a, const float* b, float* c, int64_t m, int64_t k,
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n) {
+  if (simd::use_avx2()) {
+    float* bp = simd_panel(k, n);
+    kernels::pack_b_panel(b, k, n, bp);
+    if (2 * m * k * n < kParallelMinFlops) {
+      std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+      kernels::avx2_gemm_acc_rows(a, bp, c, k, n, 0, m);
+      return;
+    }
+    util::parallel_for(0, m, kBlockM, [&](int64_t i0, int64_t i1) {
+      std::memset(c + i0 * n, 0,
+                  static_cast<size_t>((i1 - i0) * n) * sizeof(float));
+      kernels::avx2_gemm_acc_rows(a, bp, c, k, n, i0, i1);
+    });
+    return;
+  }
   if (2 * m * k * n < kParallelMinFlops) {
     std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
     gemm_acc_rows(a, b, c, k, n, 0, m);
@@ -99,9 +141,24 @@ void gemm_at_b_acc(const float* a, const float* b, float* c, int64_t m,
   //  * narrow M over a deep K (e.g. a small dense head's dW): too few rows
   //    to spread, so split K into fixed kBlockK chunks accumulated into
   //    private C buffers and combined by a deterministic tree reduction.
+  // The SIMD kernel mirrors the scalar per-(i, j) term order of whichever
+  // path is taken, so the dispatch below is orthogonal to the path choice.
+  const bool use_simd = simd::use_avx2();
   const bool split_k =
       m < 32 && k >= 2 * kBlockK && m * n <= (int64_t{1} << 18);
   if (!split_k) {
+    if (use_simd) {
+      float* bp = simd_panel(k, n);
+      kernels::pack_b_panel(b, k, n, bp);
+      if (2 * m * k * n < kParallelMinFlops) {
+        kernels::avx2_gemm_at_b_acc_rows(a, bp, c, m, k, n, 0, m);
+        return;
+      }
+      util::parallel_for(0, m, kBlockM / 4, [&](int64_t i0, int64_t i1) {
+        kernels::avx2_gemm_at_b_acc_rows(a, bp, c, m, k, n, i0, i1);
+      });
+      return;
+    }
     auto rows = [&](int64_t i0, int64_t i1) {
       for (int64_t kk = 0; kk < k; ++kk) {
         const float* arow = a + kk * m;
@@ -132,6 +189,16 @@ void gemm_at_b_acc(const float* a, const float* b, float* c, int64_t m,
       float* pc = partials.data() + ch * csize;
       const int64_t kb = ch * kBlockK;
       const int64_t ke = std::min(kb + kBlockK, k);
+      if (use_simd) {
+        // Each chunk packs its own k-slice of B; the per-(i, j) term order
+        // inside the chunk matches the scalar loop below, and the
+        // cross-chunk combine is the same tree reduction either way.
+        float* bp = simd_panel(ke - kb, n);
+        kernels::pack_b_panel(b + kb * n, ke - kb, n, bp);
+        kernels::avx2_gemm_at_b_acc_rows(a + kb * m, bp, pc, m, ke - kb, n,
+                                         0, m);
+        continue;
+      }
       for (int64_t kk = kb; kk < ke; ++kk) {
         const float* arow = a + kk * m;
         const float* brow = b + kk * n;
@@ -170,6 +237,18 @@ void gemm_a_bt_acc(const float* a, const float* b, float* c, int64_t m,
   // shared extents so one A-panel plus the kBlockN B rows it dots against
   // stay cache-resident; per (i, j) the k-blocks accumulate in ascending
   // order regardless of the row partition (bit-identical at any pool size).
+  if (simd::use_avx2()) {
+    float* bp = simd_panel(k, n);
+    kernels::pack_bt_panel(b, k, n, bp);
+    if (2 * m * k * n < kParallelMinFlops) {
+      kernels::avx2_gemm_a_bt_acc_rows(a, bp, c, k, n, 0, m);
+      return;
+    }
+    util::parallel_for(0, m, kBlockM, [&](int64_t i0, int64_t i1) {
+      kernels::avx2_gemm_a_bt_acc_rows(a, bp, c, k, n, i0, i1);
+    });
+    return;
+  }
   auto rows = [&](int64_t i0, int64_t i1) {
     for (int64_t ib = i0; ib < i1; ib += kBlockM) {
       const int64_t ie = std::min(ib + kBlockM, i1);

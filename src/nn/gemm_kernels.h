@@ -1,0 +1,92 @@
+// Internal interface between the GEMM entry points (gemm.cpp / igemm.cpp)
+// and the AVX2 micro-kernel translation units (gemm_avx2.cpp /
+// igemm_avx2.cpp), which are the only files compiled with -mavx2.
+//
+// Bit-exactness contract (fp32): every kernel here must reproduce the
+// scalar reference loops in gemm.cpp bit-for-bit —
+//   * separate multiply and add, never FMA (the scalar TUs are compiled
+//     without -mfma, so contraction would change the rounding);
+//   * per output element (i, j) the k terms accumulate in ascending order,
+//     with the same per-variant k-block accumulator structure;
+//   * the zero-skip test (`a == 0.0f` skips a k term) matches per variant:
+//     present in gemm/gemm_acc and gemm_at_b_acc, absent in gemm_a_bt_acc.
+// Vectorizing across j keeps each j lane's term sequence identical to the
+// scalar loop, so the only change is how many (i, j) cells advance per
+// instruction. Integer kernels are exact, so any schedule is bit-equal.
+#pragma once
+
+#include <cstdint>
+
+namespace qsnc::nn::kernels {
+
+// Cache-block extents shared by the scalar reference and the SIMD path.
+// gemm_a_bt_acc's per-(i, j) accumulator resets at kBlockK boundaries, so
+// the constant is part of the numeric contract, not just a tuning knob.
+inline constexpr int64_t kBlockM = 64;
+inline constexpr int64_t kBlockK = 128;
+inline constexpr int64_t kBlockN = 256;
+
+// Register tile of the fp32 micro-kernels: kMR C rows by kNR C columns
+// (two 8-float vectors) held in ymm registers.
+inline constexpr int64_t kMR = 4;
+inline constexpr int64_t kNR = 16;
+
+/// Floats in a packed B panel for a k-deep, n-wide operand: kNR-wide column
+/// tiles (the last zero-padded), each storing k consecutive rows of kNR
+/// lanes. Both pack functions below emit this layout.
+int64_t gemm_panel_floats(int64_t k, int64_t n);
+
+/// Packs row-major B[k x n] into tile-major layout:
+///   panel[(j / kNR) * k * kNR + kk * kNR + (j % kNR)] = b[kk * n + j]
+/// Padded lanes are zero. `panel` must be 64-byte aligned.
+void pack_b_panel(const float* b, int64_t k, int64_t n, float* panel);
+
+/// Same layout from a transposed operand B stored [n x k] (gemm_a_bt_acc):
+///   panel[(j / kNR) * k * kNR + kk * kNR + (j % kNR)] = b[j * k + kk].
+void pack_bt_panel(const float* b, int64_t k, int64_t n, float* panel);
+
+/// Rows [i0, i1) of C[. x n] += A[. x k] * B[k x n] (A row-major, B from
+/// pack_b_panel), bit-identical to gemm_acc_rows in gemm.cpp.
+void avx2_gemm_acc_rows(const float* a, const float* b_panel, float* c,
+                        int64_t k, int64_t n, int64_t i0, int64_t i1);
+
+/// Rows [i0, i1) of C[m x n] += A^T * B with A stored [k x m] and B from
+/// pack_b_panel, bit-identical to the wide-M path of gemm_at_b_acc (also
+/// reused for one split-k chunk by shifting a/b to the chunk's k range).
+void avx2_gemm_at_b_acc_rows(const float* a, const float* b_panel, float* c,
+                             int64_t m, int64_t k, int64_t n, int64_t i0,
+                             int64_t i1);
+
+/// Rows [i0, i1) of C[. x n] += A * B^T with B stored [n x k], reading B
+/// from the pack_bt_panel layout; bit-identical to the gemm_a_bt_acc
+/// reference (fresh accumulator per kBlockK block, no zero-skip).
+void avx2_gemm_a_bt_acc_rows(const float* a, const float* bt_panel, float* c,
+                             int64_t k, int64_t n, int64_t i0, int64_t i1);
+
+// ---- integer kernels (exact int32 accumulation; no rounding concerns) ----
+
+// Integer register tile: kIMR C rows by kINR int32 accumulator lanes
+// (two 8-lane vectors); B is packed in k-pairs for vpmaddwd.
+inline constexpr int64_t kIMR = 4;
+inline constexpr int64_t kINR = 16;
+
+/// Size in int16 of the packed B panel for a [k x n] int16 operand.
+int64_t ib_panel_int16s(int64_t k, int64_t n);
+
+/// Packs int16 B [k x n] for vpmaddwd: kINR-wide column tiles, k rounded up
+/// to pairs, each 32-bit lane holding (b[kk][j], b[kk+1][j]); zero-padded.
+void pack_ib_panel(const int16_t* b, int64_t k, int64_t n, int16_t* panel);
+
+/// Rows [i0, i1) of C[. x n] (int32) += A[. x k] (int16) * B, with B read
+/// from the pack_ib_panel layout. Caller guarantees no int32 overflow:
+/// max|A| * max|B| * k < 2^31.
+void avx2_igemm_acc_rows(const int16_t* a, const int16_t* b_panel, int32_t* c,
+                         int64_t k, int64_t n, int64_t i0, int64_t i1);
+
+/// acc[c] += vals[e] * panel[rows[e] * cols + c] over all events e — the
+/// integer row-drive combine of the SNC event engine.
+void avx2_iaccumulate_rows(const int32_t* rows, const int32_t* vals,
+                           int64_t n_events, const int16_t* panel,
+                           int64_t cols, int32_t* acc);
+
+}  // namespace qsnc::nn::kernels

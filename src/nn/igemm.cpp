@@ -1,0 +1,107 @@
+#include "nn/igemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/gemm_kernels.h"
+#include "nn/simd.h"
+#include "util/thread_pool.h"
+
+namespace qsnc::nn {
+
+namespace {
+
+// Same fan-out economics as the fp32 kernels: below this MAC count the
+// fork/join overhead dominates.
+constexpr int64_t kParallelMinMacs = int64_t{1} << 17;
+
+// Per-thread AVX2 B panel for the unpacked entry points.
+thread_local util::aligned_vector<int16_t> tl_ipanel;
+
+const int16_t* pack_ib(const int16_t* b, int64_t k, int64_t n) {
+  tl_ipanel.resize(static_cast<size_t>(kernels::ib_panel_int16s(k, n)));
+  kernels::pack_ib_panel(b, k, n, tl_ipanel.data());
+  return tl_ipanel.data();
+}
+
+// Scalar reference: plain triple loop; the j-inner form auto-vectorizes
+// acceptably and integer math makes every ordering equivalent.
+void igemm_acc_rows_scalar(const int16_t* a, const int16_t* b, int32_t* c,
+                           int64_t k, int64_t n, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const int16_t* arow = a + i * k;
+    int32_t* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const int32_t av = arow[kk];
+      if (av == 0) continue;  // quantized signals are sparse
+      const int16_t* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * static_cast<int32_t>(brow[j]);
+      }
+    }
+  }
+}
+
+void igemm_acc_dispatch(const int16_t* a, const int16_t* b_raw,
+                        const int16_t* b_panel, int32_t* c, int64_t m,
+                        int64_t k, int64_t n) {
+  const bool use_simd = simd::use_avx2();
+  auto rows = [&](int64_t i0, int64_t i1) {
+    if (use_simd) {
+      kernels::avx2_igemm_acc_rows(a, b_panel, c, k, n, i0, i1);
+    } else {
+      igemm_acc_rows_scalar(a, b_raw, c, k, n, i0, i1);
+    }
+  };
+  if (m * k * n < kParallelMinMacs) {
+    rows(0, m);
+    return;
+  }
+  util::parallel_for(0, m, 16, rows);
+}
+
+}  // namespace
+
+void igemm_acc(const int16_t* a, const int16_t* b, int32_t* c, int64_t m,
+               int64_t k, int64_t n) {
+  const int16_t* panel = simd::use_avx2() ? pack_ib(b, k, n) : nullptr;
+  igemm_acc_dispatch(a, b, panel, c, m, k, n);
+}
+
+void igemm(const int16_t* a, const int16_t* b, int32_t* c, int64_t m,
+           int64_t k, int64_t n) {
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(int32_t));
+  igemm_acc(a, b, c, m, k, n);
+}
+
+IGemmPackedB::IGemmPackedB(const int16_t* b, int64_t k, int64_t n)
+    : k_(k),
+      n_(n),
+      raw_(b, b + static_cast<size_t>(k * n)),
+      panel_(static_cast<size_t>(kernels::ib_panel_int16s(k, n))) {
+  kernels::pack_ib_panel(b, k, n, panel_.data());
+}
+
+void igemm_prepacked(const int16_t* a, const IGemmPackedB& b, int32_t* c,
+                     int64_t m) {
+  std::memset(c, 0, static_cast<size_t>(m * b.n()) * sizeof(int32_t));
+  igemm_acc_dispatch(a, b.raw(), b.panel(), c, m, b.k(), b.n());
+}
+
+void iaccumulate_rows(const int32_t* rows, const int32_t* vals,
+                      int64_t n_events, const int16_t* panel, int64_t cols,
+                      int32_t* acc) {
+  if (simd::use_avx2()) {
+    kernels::avx2_iaccumulate_rows(rows, vals, n_events, panel, cols, acc);
+    return;
+  }
+  for (int64_t e = 0; e < n_events; ++e) {
+    const int32_t v = vals[e];
+    const int16_t* row = panel + rows[e] * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      acc[j] += v * static_cast<int32_t>(row[j]);
+    }
+  }
+}
+
+}  // namespace qsnc::nn

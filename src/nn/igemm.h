@@ -1,0 +1,64 @@
+// True integer GEMM for the quantized serving paths.
+//
+// The paper's deployment arithmetic is M-bit unsigned spike-count signals
+// against N-bit fixed-point weights; both fit int16 with room to spare, so
+// the product sums are computed exactly in int32 accumulators and
+// requantized once at the end by the caller (core/int_quant_engine.*, the
+// SNC row drives). Integer accumulation is associative, so — unlike the
+// fp32 kernels — every schedule (scalar, AVX2 vpmaddwd, any thread count)
+// is bit-identical by construction; tests still pin it.
+//
+// Overflow contract (checked by callers via the dynamic-fixed-point rules
+// in core/dynamic_fixed_point.h): max|A| * max|B| * k < 2^31.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace qsnc::nn {
+
+/// C[m x n] (int32) = A[m x k] (int16) * B[k x n] (int16), row-major.
+void igemm(const int16_t* a, const int16_t* b, int32_t* c, int64_t m,
+           int64_t k, int64_t n);
+
+/// C[m x n] += A[m x k] * B[k x n].
+void igemm_acc(const int16_t* a, const int16_t* b, int32_t* c, int64_t m,
+               int64_t k, int64_t n);
+
+/// B operand packed once and reused across calls (static layer weights).
+/// Keeps both the raw row-major copy (scalar path) and the vpmaddwd panel
+/// (AVX2 path), so dispatch may flip per call without repacking.
+class IGemmPackedB {
+ public:
+  IGemmPackedB() = default;
+
+  /// Packs row-major B[k x n].
+  IGemmPackedB(const int16_t* b, int64_t k, int64_t n);
+
+  int64_t k() const { return k_; }
+  int64_t n() const { return n_; }
+  bool empty() const { return k_ == 0 && n_ == 0; }
+
+  const int16_t* raw() const { return raw_.data(); }
+  const int16_t* panel() const { return panel_.data(); }
+
+ private:
+  int64_t k_ = 0;
+  int64_t n_ = 0;
+  util::aligned_vector<int16_t> raw_;
+  util::aligned_vector<int16_t> panel_;
+};
+
+/// C[m x n] = A[m x k] * B using a prepacked right operand.
+void igemm_prepacked(const int16_t* a, const IGemmPackedB& b, int32_t* c,
+                     int64_t m);
+
+/// acc[c] += vals[e] * panel[rows[e] * cols + c] for every event e — the
+/// integer form of the SNC packed-panel row drive (crossbar.h). vals carry
+/// spike counts, panel the signed weight levels; exact in int32.
+void iaccumulate_rows(const int32_t* rows, const int32_t* vals,
+                      int64_t n_events, const int16_t* panel, int64_t cols,
+                      int32_t* acc);
+
+}  // namespace qsnc::nn

@@ -1,0 +1,158 @@
+// AVX2 integer micro-kernels (vpmaddwd), compiled with -mavx2 like
+// gemm_avx2.cpp. Each vpmaddwd multiplies 16 int16 pairs and sums adjacent
+// products into 8 int32 lanes — two k steps per instruction — so B is
+// packed with consecutive k pairs interleaved per column (pack_ib_panel).
+// int32 accumulation is exact under the caller's overflow contract, so the
+// SIMD schedule is bit-identical to the scalar reference with no rounding
+// analysis needed.
+#include "nn/gemm_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace qsnc::nn::kernels {
+
+namespace {
+inline int64_t k_pairs(int64_t k) { return (k + 1) / 2; }
+}  // namespace
+
+int64_t ib_panel_int16s(int64_t k, int64_t n) {
+  const int64_t tiles = (n + kINR - 1) / kINR;
+  return std::max<int64_t>(int64_t{1},
+                           tiles * std::max<int64_t>(k_pairs(k), 1) * 2 * kINR);
+}
+
+void pack_ib_panel(const int16_t* b, int64_t k, int64_t n, int16_t* panel) {
+  const int64_t kp = k_pairs(k);
+  for (int64_t jt = 0; jt * kINR < n; ++jt) {
+    const int64_t j0 = jt * kINR;
+    int16_t* tile = panel + jt * kp * 2 * kINR;
+    for (int64_t p = 0; p < kp; ++p) {
+      const int64_t k0 = 2 * p;
+      int16_t* dst = tile + p * 2 * kINR;
+      for (int64_t jj = 0; jj < kINR; ++jj) {
+        const int64_t j = j0 + jj;
+        const bool live = j < n;
+        dst[jj * 2 + 0] = live ? b[k0 * n + j] : int16_t{0};
+        dst[jj * 2 + 1] =
+            (live && k0 + 1 < k) ? b[(k0 + 1) * n + j] : int16_t{0};
+      }
+    }
+  }
+}
+
+#if defined(__AVX2__)
+
+namespace {
+
+// Broadcasts the int16 pair (lo, hi) into every 32-bit lane.
+inline __m256i pair_bcast(int16_t lo, int16_t hi) {
+  const uint32_t u = static_cast<uint32_t>(static_cast<uint16_t>(lo)) |
+                     (static_cast<uint32_t>(static_cast<uint16_t>(hi)) << 16);
+  return _mm256_set1_epi32(static_cast<int32_t>(u));
+}
+
+// C(rows x 16) += A * B-tile over all k pairs. arow[r] points at A row r;
+// jw <= kINR live output lanes.
+inline void imkNx16(const int16_t* const* arow, int64_t rows,
+                    const int16_t* bt, int64_t k, int32_t* const* crow,
+                    int64_t jw) {
+  __m256i acc[kIMR][2];
+  for (int64_t r = 0; r < rows; ++r) {
+    acc[r][0] = _mm256_setzero_si256();
+    acc[r][1] = _mm256_setzero_si256();
+  }
+  const int64_t kp = k_pairs(k);
+  for (int64_t p = 0; p < kp; ++p) {
+    const __m256i b0 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(bt + p * 2 * kINR));
+    const __m256i b1 = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(bt + p * 2 * kINR + kINR));
+    const int64_t k0 = 2 * p;
+    const bool has_hi = k0 + 1 < k;
+    for (int64_t r = 0; r < rows; ++r) {
+      const int16_t a0 = arow[r][k0];
+      const int16_t a1 = has_hi ? arow[r][k0 + 1] : int16_t{0};
+      if (a0 == 0 && a1 == 0) continue;  // spike-count signals are sparse
+      const __m256i v = pair_bcast(a0, a1);
+      acc[r][0] = _mm256_add_epi32(acc[r][0], _mm256_madd_epi16(v, b0));
+      acc[r][1] = _mm256_add_epi32(acc[r][1], _mm256_madd_epi16(v, b1));
+    }
+  }
+  if (jw == kINR) {
+    for (int64_t r = 0; r < rows; ++r) {
+      __m256i* c0 = reinterpret_cast<__m256i*>(crow[r]);
+      __m256i* c1 = reinterpret_cast<__m256i*>(crow[r] + 8);
+      _mm256_storeu_si256(
+          c0, _mm256_add_epi32(_mm256_loadu_si256(c0), acc[r][0]));
+      _mm256_storeu_si256(
+          c1, _mm256_add_epi32(_mm256_loadu_si256(c1), acc[r][1]));
+    }
+  } else {
+    alignas(64) int32_t abuf[kINR];
+    for (int64_t r = 0; r < rows; ++r) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(abuf), acc[r][0]);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(abuf + 8), acc[r][1]);
+      for (int64_t j = 0; j < jw; ++j) crow[r][j] += abuf[j];
+    }
+  }
+}
+
+}  // namespace
+
+void avx2_igemm_acc_rows(const int16_t* a, const int16_t* b_panel, int32_t* c,
+                         int64_t k, int64_t n, int64_t i0, int64_t i1) {
+  const int64_t kp = std::max<int64_t>(k_pairs(k), 1);
+  const int64_t tiles = (n + kINR - 1) / kINR;
+  const int16_t* arow[kIMR];
+  int32_t* crow[kIMR];
+  for (int64_t ib = i0; ib < i1; ib += kIMR) {
+    const int64_t rows = std::min(kIMR, i1 - ib);
+    for (int64_t jt = 0; jt < tiles; ++jt) {
+      const int64_t j0 = jt * kINR;
+      const int64_t jw = std::min(kINR, n - j0);
+      for (int64_t r = 0; r < rows; ++r) {
+        arow[r] = a + (ib + r) * k;
+        crow[r] = c + (ib + r) * n + j0;
+      }
+      imkNx16(arow, rows, b_panel + jt * kp * 2 * kINR, k, crow, jw);
+    }
+  }
+}
+
+void avx2_iaccumulate_rows(const int32_t* rows, const int32_t* vals,
+                           int64_t n_events, const int16_t* panel,
+                           int64_t cols, int32_t* acc) {
+  const int64_t c8 = cols & ~int64_t{7};
+  for (int64_t e = 0; e < n_events; ++e) {
+    const int32_t v = vals[e];
+    if (v == 0) continue;
+    const int16_t* row = panel + rows[e] * cols;
+    const __m256i vv = _mm256_set1_epi32(v);
+    int64_t j = 0;
+    for (; j < c8; j += 8) {
+      const __m256i w = _mm256_cvtepi16_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + j)));
+      __m256i* ap = reinterpret_cast<__m256i*>(acc + j);
+      _mm256_storeu_si256(
+          ap, _mm256_add_epi32(_mm256_loadu_si256(ap),
+                               _mm256_mullo_epi32(w, vv)));
+    }
+    for (; j < cols; ++j) acc[j] += v * static_cast<int32_t>(row[j]);
+  }
+}
+
+#else  // !__AVX2__ — stubs; dispatch never selects these without AVX2.
+
+void avx2_igemm_acc_rows(const int16_t*, const int16_t*, int32_t*, int64_t,
+                         int64_t, int64_t, int64_t) {}
+void avx2_iaccumulate_rows(const int32_t*, const int32_t*, int64_t,
+                           const int16_t*, int64_t, int32_t*) {}
+
+#endif  // __AVX2__
+
+}  // namespace qsnc::nn::kernels

@@ -1,0 +1,33 @@
+// Runtime ISA dispatch for the kernel layer.
+//
+// The SIMD micro-kernels in gemm_avx2.cpp / igemm_avx2.cpp are compiled in
+// their own translation units with -mavx2 and selected here at runtime via
+// CPUID, so the library still runs (on the scalar reference path) on any
+// x86-64. Two overrides force the scalar path:
+//   * QSNC_FORCE_SCALAR=1 in the environment (read once, at first dispatch);
+//   * set_force_scalar(true), the programmatic knob the equivalence tests
+//     flip to compare both paths inside one process.
+// The scalar loops are the semantic reference: a SIMD kernel must produce
+// bit-identical fp32 results (no FMA contraction, same per-element
+// accumulation order, same zero-skip tests), so dispatch never changes bits
+// — only speed.
+#pragma once
+
+namespace qsnc::nn::simd {
+
+/// True when the CPU supports AVX2 *and* the AVX2 kernels were compiled in.
+bool cpu_has_avx2();
+
+/// True when kernels should take the AVX2 path: cpu_has_avx2() and neither
+/// override is active.
+bool use_avx2();
+
+/// Programmatic scalar override (test hook); returns the previous value.
+/// Layered on top of the environment knob: clearing it does not undo
+/// QSNC_FORCE_SCALAR=1.
+bool set_force_scalar(bool force);
+
+/// True when QSNC_FORCE_SCALAR=1 was set in the environment at first use.
+bool env_forced_scalar();
+
+}  // namespace qsnc::nn::simd

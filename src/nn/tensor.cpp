@@ -35,14 +35,19 @@ Tensor::Tensor(Shape shape)
 Tensor::Tensor(Shape shape, float value)
     : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
-  if (static_cast<int64_t>(data_.size()) != shape_numel(shape_)) {
-    throw std::invalid_argument("Tensor: values size " +
-                                std::to_string(data_.size()) +
+namespace {
+void check_values_size(size_t size, const Shape& shape) {
+  if (static_cast<int64_t>(size) != shape_numel(shape)) {
+    throw std::invalid_argument("Tensor: values size " + std::to_string(size) +
                                 " does not match shape " +
-                                shape_to_string(shape_));
+                                shape_to_string(shape));
   }
+}
+}  // namespace
+
+Tensor::Tensor(Shape shape, const std::vector<float>& values)
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
+  check_values_size(data_.size(), shape_);
 }
 
 Tensor Tensor::from_vector(std::vector<float> values) {

@@ -13,10 +13,16 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.h"
+
 namespace qsnc::nn {
 
 /// Shape of a tensor: a short list of non-negative extents.
 using Shape = std::vector<int64_t>;
+
+/// Backing storage of a Tensor: data() is 64-byte aligned so packed kernel
+/// panels and aligned SIMD loads are safe on any tensor buffer.
+using FloatBuffer = util::aligned_vector<float>;
 
 /// Returns the number of elements implied by a shape (1 for rank-0).
 int64_t shape_numel(const Shape& shape);
@@ -37,8 +43,9 @@ class Tensor {
   /// Tensor of the given shape filled with `value`.
   Tensor(Shape shape, float value);
 
-  /// Tensor of the given shape adopting `values` (size must match).
-  Tensor(Shape shape, std::vector<float> values);
+  /// Tensor of the given shape copying `values` into aligned storage
+  /// (size must match).
+  Tensor(Shape shape, const std::vector<float>& values);
 
   /// Convenience 1-D constructor: Tensor::vector({1.f, 2.f}).
   static Tensor from_vector(std::vector<float> values);
@@ -53,8 +60,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  FloatBuffer& vec() { return data_; }
+  const FloatBuffer& vec() const { return data_; }
 
   /// Flat element access with bounds checking in debug builds.
   float& operator[](int64_t i);
@@ -105,7 +112,7 @@ class Tensor {
   void check_index(int64_t i) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 }  // namespace qsnc::nn

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/fixed_point.h"
+#include "core/int_quant_engine.h"
 #include "nn/network.h"
 #include "nn/tensor.h"
 #include "snc/snc_system.h"
@@ -80,6 +81,14 @@ class Fp32Backend final : public Backend {
 /// Fake-quant integer path: attaches an M-bit IntegerSignalQuantizer to
 /// the network for its lifetime and encodes inputs to the same grid.
 /// Matches `qsnc eval --bits M` / core::evaluate_accuracy(..., bits).
+///
+/// When the deployed weights sit exactly on a dyadic fixed-point grid
+/// (e.g. after weight clustering), the backend compiles the network into a
+/// core::IntQuantEngine at construction and serves batches through the
+/// true-integer GEMM path instead of fp32 — provably bit-identical
+/// predictions (see int_quant_engine.h), no float multiplies in the hot
+/// loop. Networks that fail the engine's exactness checks keep the float
+/// path unchanged. Set QSNC_QUANT_INT=0 to force the float path.
 class QuantBackend final : public Backend {
  public:
   QuantBackend(nn::Network& net, nn::Shape input_chw, int bits);
@@ -91,6 +100,9 @@ class QuantBackend final : public Backend {
 
   int bits() const { return bits_; }
 
+  /// True when batches are served by the integer engine.
+  bool integer_engine_active() const { return engine_ != nullptr; }
+
  private:
   std::string kind_ = "quant";
   nn::Network& net_;
@@ -98,6 +110,7 @@ class QuantBackend final : public Backend {
   int bits_;
   float input_scale_;
   std::unique_ptr<core::IntegerSignalQuantizer> quantizer_;
+  std::unique_ptr<core::IntQuantEngine> engine_;
 };
 
 /// Replica health monitoring knobs for the snc backend. Disabled by

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/bn_folding.h"
 #include "core/fixed_point.h"
+#include "nn/igemm.h"
 #include "nn/im2col.h"
 #include "nn/layers/conv2d.h"
 #include "nn/layers/dense.h"
@@ -45,6 +47,12 @@ struct SncSystem::Stage {
   // (levels[col * rows + r]) kept so drift refresh can reprogram.
   FaultReport fault;
   std::vector<int64_t> levels;
+
+  // Integer row drives (SncConfig::integer_row_drives on an ideal device):
+  // the signed level matrix transposed to the packed-panel orientation
+  // (ilevels[r * cols + c]) so nn::iaccumulate_rows can replace the analog
+  // conductance read. Empty when the stage runs the analog path.
+  util::aligned_vector<int16_t> ilevels;
 
   // Event-engine im2col tap table (conv stages): taps[pos * rows + r] is
   // the flat input index of receptive-field tap r at output position pos,
@@ -102,6 +110,15 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
   bool flattened = false;
   size_t xbar_index = 0;
 
+  // Integer row drives are only exact on an ideal device with no retention
+  // drift (see SncConfig::integer_row_drives); levels must also fit int16.
+  const bool integer_drives =
+      config.integer_row_drives && config.device.variation_sigma == 0.0 &&
+      config.device.stuck_off_rate == 0.0 &&
+      config.device.stuck_on_rate == 0.0 &&
+      config.device.wire_resistance_ohm == 0.0 &&
+      config.recovery.drift_rate_per_window == 0.0 && kmax <= 32767;
+
   auto scale_for_stage = [&](size_t idx) {
     if (config_.weight_scales.size() == 1) return config_.weight_scales[0];
     if (idx >= config_.weight_scales.size()) {
@@ -138,6 +155,21 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
               "apply_weight_clustering first");
         }
         levels[static_cast<size_t>(col * rows + r)] = k;
+      }
+    }
+    // Bake the int16 level panel for integer row drives, unless the
+    // worst-case column sum (every row firing T spikes at the extreme
+    // level) could overflow the int32 accumulator.
+    if (integer_drives &&
+        (int64_t{1} << config_.signal_bits) * kmax * rows <
+            std::numeric_limits<int32_t>::max()) {
+      stage.ilevels.resize(static_cast<size_t>(rows * cols));
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t col = 0; col < cols; ++col) {
+          stage.ilevels[static_cast<size_t>(r * cols + col)] =
+              static_cast<int16_t>(
+                  levels[static_cast<size_t>(col * rows + r)]);
+        }
       }
     }
     if (!rec.enabled()) {
@@ -616,10 +648,17 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
 
   // Same fan-out contract as the dense reference: positions parallelize
   // on deterministic non-readout stages; chunk boundaries are shape-only.
+  // Integer row drives: exact spike-count x level accumulation in int32
+  // via the packed int16 level panel (see SncConfig::integer_row_drives).
+  const bool integer_drives = !stage.ilevels.empty();
+
   auto run_positions = [&](int64_t p0, int64_t p1) {
     // Per-chunk scratch: the position/slot loops below never allocate.
     std::vector<int32_t> event_rows(static_cast<size_t>(rows));
     std::vector<double> event_vals(static_cast<size_t>(rows));
+    std::vector<int32_t> event_ivals(
+        integer_drives ? static_cast<size_t>(rows) : 0);
+    std::vector<int32_t> iacc(integer_drives ? static_cast<size_t>(cols) : 0);
     std::vector<double> acc(static_cast<size_t>(width));
     std::vector<uint8_t> trains;     // event-major [nnz x T], slot modes
     std::vector<IntegrateFire> units;
@@ -659,6 +698,9 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
         if (v != 0) {
           event_rows[static_cast<size_t>(nnz)] = static_cast<int32_t>(r);
           event_vals[static_cast<size_t>(nnz)] = static_cast<double>(v);
+          if (integer_drives) {
+            event_ivals[static_cast<size_t>(nnz)] = static_cast<int32_t>(v);
+          }
           ++nnz;
         }
       }
@@ -666,15 +708,25 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
 
       if (!slot_mode) {
         // Collapsed ideal read: one value-weighted accumulate over the
-        // event rows (ascending), interleaved plus/minus.
-        std::fill(acc.begin(), acc.end(), 0.0);
-        stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
-                                    nnz, acc.data());
+        // event rows (ascending), interleaved plus/minus. With integer
+        // drives the spike-count x level sum is computed exactly in int32
+        // instead of reconstructing it from conductances.
+        if (integer_drives) {
+          std::fill(iacc.begin(), iacc.end(), 0);
+          nn::iaccumulate_rows(event_rows.data(), event_ivals.data(), nnz,
+                               stage.ilevels.data(), cols, iacc.data());
+        } else {
+          std::fill(acc.begin(), acc.end(), 0.0);
+          stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
+                                      nnz, acc.data());
+        }
         for (int64_t col = 0; col < cols; ++col) {
           const double level_sum =
-              (acc[static_cast<size_t>(2 * col)] -
-               acc[static_cast<size_t>(2 * col + 1)]) /
-              dg;
+              integer_drives
+                  ? static_cast<double>(iacc[static_cast<size_t>(col)])
+                  : (acc[static_cast<size_t>(2 * col)] -
+                     acc[static_cast<size_t>(2 * col + 1)]) /
+                        dg;
           const double y =
               static_cast<double>(step) * level_sum +
               static_cast<double>(stage.bias[static_cast<size_t>(col)]);
@@ -732,15 +784,24 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
         // re-derive the wide digital count from the collapsed ideal read,
         // exactly like the dense reference — but with one event
         // accumulate for all columns instead of a dense read per column.
-        std::fill(acc.begin(), acc.end(), 0.0);
-        stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
-                                    nnz, acc.data());
+        if (integer_drives) {
+          std::fill(iacc.begin(), iacc.end(), 0);
+          nn::iaccumulate_rows(event_rows.data(), event_ivals.data(), nnz,
+                               stage.ilevels.data(), cols, iacc.data());
+        } else {
+          std::fill(acc.begin(), acc.end(), 0.0);
+          stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
+                                      nnz, acc.data());
+        }
         for (int64_t col = 0; col < cols; ++col) {
+          const double level_sum =
+              integer_drives
+                  ? static_cast<double>(iacc[static_cast<size_t>(col)])
+                  : (acc[static_cast<size_t>(2 * col)] -
+                     acc[static_cast<size_t>(2 * col + 1)]) /
+                        dg;
           const double y =
-              static_cast<double>(step) *
-                  ((acc[static_cast<size_t>(2 * col)] -
-                    acc[static_cast<size_t>(2 * col + 1)]) /
-                   dg) +
+              static_cast<double>(step) * level_sum +
               static_cast<double>(stage.bias[static_cast<size_t>(col)]);
           output[static_cast<size_t>(col * positions + pos)] =
               core::round_half_up(y);
@@ -938,6 +999,14 @@ float SncSystem::read_back_weight(size_t layer, int64_t row,
     ++idx;
   }
   throw std::out_of_range("SncSystem::read_back_weight: no such layer");
+}
+
+size_t SncSystem::integer_drive_stage_count() const {
+  size_t count = 0;
+  for (const auto& stage : stages_) {
+    if (!stage->ilevels.empty()) ++count;
+  }
+  return count;
 }
 
 FaultReport SncSystem::fault_report() const {

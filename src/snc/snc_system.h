@@ -59,7 +59,11 @@ enum class IntegrationMode { kIdealIntegration, kOnline };
 ///    against: every row of every crossbar is driven at every position.
 /// Both engines produce bit-identical outputs, logits, and activity
 /// statistics for any config (the accumulation order per column is the
-/// same ascending-row order; zero rows contribute nothing either way).
+/// same ascending-row order; zero rows contribute nothing either way) —
+/// except under `integer_row_drives`, an event-engine-only fast path
+/// whose final float conversion can differ from the analog read by
+/// double-precision epsilon (predictions and stats still match; see the
+/// flag's comment below).
 enum class SncEngine { kEventDriven, kDenseReference };
 
 /// Closed-loop fault-recovery knobs. All off by default: the legacy
@@ -107,6 +111,19 @@ struct SncConfig {
   IntegrationMode mode = IntegrationMode::kIdealIntegration;
   bool stochastic_coding = false;  // Bernoulli instead of deterministic
   SncEngine engine = SncEngine::kEventDriven;
+  /// Integer row drives (event engine only): when the device model is
+  /// ideal — no programming variation, no stuck cells, ideal wires, no
+  /// retention drift — a collapsed ideal read per column is exactly
+  /// sum(signal * level), so the engine accumulates spike counts against
+  /// the signed int16 level panel with nn::iaccumulate_rows instead of
+  /// driving the double-precision conductance panel, skipping the analog
+  /// round trip entirely. The integer sum is exact; only the final
+  /// y = step * sum + bias float rounding can differ from the analog
+  /// reconstruction by double-precision epsilon, so predictions match and
+  /// logits agree to ~1e-9 relative. Ignored (analog path kept) when the
+  /// device is non-ideal, under drift recovery, or when a stage's
+  /// worst-case dot product could overflow int32.
+  bool integer_row_drives = false;
   MemristorConfig device;
   FaultRecoveryConfig recovery;
   uint64_t seed = 7;  // programming variation + stochastic coding draws
@@ -194,6 +211,11 @@ class SncSystem {
 
   size_t stage_count() const { return stages_.size(); }
   const SncConfig& config() const { return config_; }
+
+  /// Number of crossbar stages holding an integer level panel — nonzero
+  /// only when SncConfig::integer_row_drives is on and the stage passed
+  /// the ideal-device and int32-overflow eligibility checks.
+  size_t integer_drive_stage_count() const;
 
   /// Aggregate fault-tolerance counters over all crossbar stages (all
   /// zero when recovery is disabled).

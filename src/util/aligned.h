@@ -1,0 +1,58 @@
+// 64-byte-aligned allocation for tensors and packed kernel panels.
+//
+// The SIMD micro-kernels load packed A/B panels with aligned 256-bit moves
+// and the tensors they read from should never straddle a cache line at
+// element 0, so every bulk float buffer in qsnc allocates on a cache-line
+// boundary. The allocator wraps the C++17 aligned operator new, which the
+// sanitizer builds instrument like any other allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace qsnc::util {
+
+/// Cache line / packed-panel alignment used by the kernel layer.
+inline constexpr std::size_t kPanelAlignment = 64;
+
+/// Minimal C++17 allocator handing out storage aligned to `Alignment`.
+template <typename T, std::size_t Alignment = kPanelAlignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T),
+                "alignment must not be weaker than the natural one");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace qsnc::util

@@ -1,0 +1,226 @@
+#include "core/int_quant_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/fixed_point.h"
+#include "nn/layers/conv2d.h"
+#include "nn/layers/dense.h"
+#include "nn/layers/flatten.h"
+#include "nn/layers/pool.h"
+#include "nn/layers/relu.h"
+#include "nn/network.h"
+#include "nn/rng.h"
+#include "nn/simd.h"
+#include "nn/tensor.h"
+#include "serve/backend.h"
+#include "util/thread_pool.h"
+
+namespace qsnc::core {
+namespace {
+
+constexpr int kBits = 4;
+const nn::Shape kInputShape{1, 12, 12};
+
+// Conv -> ReLU -> Pool -> Conv -> ReLU -> Flatten -> Dense with every
+// weight snapped to the dyadic 1/16 grid, which is what the deployed
+// fixed-point models look like and what the engine's exactness checks
+// require. Biases stay arbitrary floats — the epilogue adds them in fp32
+// either way.
+nn::Network make_dyadic_net(uint64_t seed) {
+  nn::Rng rng(seed);
+  nn::Network net;
+  net.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::MaxPool2d>(2, 2);
+  net.emplace<nn::Conv2d>(4, 6, 3, 1, 0, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(96, 10, rng);
+  for (nn::Param* p : net.params()) {
+    if (p->value.shape().size() >= 2) {
+      for (int64_t i = 0; i < p->value.numel(); ++i) {
+        p->value[i] = std::round(p->value[i] * 16.0f) / 16.0f;
+      }
+    } else {
+      for (int64_t i = 0; i < p->value.numel(); ++i) {
+        p->value[i] = rng.uniform(-0.5f, 0.5f);
+      }
+    }
+  }
+  return net;
+}
+
+// Pixel batch in [0, 1], encoded the way QuantBackend encodes before
+// handing to either execution path.
+nn::Tensor random_pixels(int64_t n, uint64_t seed) {
+  nn::Rng rng(seed);
+  nn::Tensor batch({n, kInputShape[0], kInputShape[1], kInputShape[2]});
+  for (int64_t i = 0; i < batch.numel(); ++i) batch[i] = rng.uniform();
+  return batch;
+}
+
+nn::Tensor encode(const nn::Tensor& pixels) {
+  const float scale =
+      std::min(16.0f, static_cast<float>(signal_max(kBits)));
+  nn::Tensor encoded = pixels;
+  encoded *= scale;
+  for (int64_t i = 0; i < encoded.numel(); ++i) {
+    encoded[i] = quantize_input_signal(encoded[i], kBits);
+  }
+  return encoded;
+}
+
+void expect_bitwise_equal(const nn::Tensor& a, const nn::Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "logit " << i << " diverged";
+    // Same bits, not just same value: rule out -0.0 vs +0.0 drift in the
+    // bias/ReLU epilogue.
+    ASSERT_EQ(std::signbit(a[i]), std::signbit(b[i])) << "sign bit " << i;
+  }
+}
+
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force)
+      : prev_(nn::simd::set_force_scalar(force)) {}
+  ~ForceScalarGuard() { nn::simd::set_force_scalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(IntQuantEngineTest, CompilesDyadicNet) {
+  nn::Network net = make_dyadic_net(11);
+  auto engine = IntQuantEngine::build(net, kInputShape, kBits);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->signal_bits(), kBits);
+  EXPECT_EQ(engine->crossbar_layers(), 3u);
+}
+
+TEST(IntQuantEngineTest, LogitsBitIdenticalToFakeQuantFloatPath) {
+  nn::Network net = make_dyadic_net(23);
+  auto engine = IntQuantEngine::build(net, kInputShape, kBits);
+  ASSERT_NE(engine, nullptr);
+
+  const nn::Tensor encoded = encode(random_pixels(5, 99));
+
+  IntegerSignalQuantizer quantizer(kBits);
+  net.set_signal_quantizer(&quantizer);
+  const nn::Tensor want = net.forward(encoded, false);
+  net.set_signal_quantizer(nullptr);
+
+  const nn::Tensor got = engine->forward(encoded);
+  expect_bitwise_equal(got, want);
+}
+
+TEST(IntQuantEngineTest, PredictMatchesNetworkArgmaxIncludingTies) {
+  nn::Network net = make_dyadic_net(31);
+  auto engine = IntQuantEngine::build(net, kInputShape, kBits);
+  ASSERT_NE(engine, nullptr);
+
+  const nn::Tensor encoded = encode(random_pixels(8, 5));
+
+  IntegerSignalQuantizer quantizer(kBits);
+  net.set_signal_quantizer(&quantizer);
+  const std::vector<int64_t> want = net.predict(encoded);
+  net.set_signal_quantizer(nullptr);
+
+  EXPECT_EQ(engine->predict(encoded), want);
+}
+
+TEST(IntQuantEngineTest, RejectsUnclusteredFloatWeights) {
+  // He-normal floats are essentially never exact multiples of a dyadic
+  // step, so the exactness proof does not apply and build() must decline.
+  nn::Rng rng(7);
+  nn::Network net;
+  net.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(4 * 12 * 12, 10, rng);
+  EXPECT_EQ(IntQuantEngine::build(net, kInputShape, kBits), nullptr);
+}
+
+TEST(IntQuantEngineTest, RejectsUnsupportedLayerTypes) {
+  nn::Rng rng(7);
+  // AvgPool emits fractional averages between crossbar layers, which the
+  // integer domain tracking does not model.
+  nn::Network with_avg;
+  with_avg.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);
+  for (nn::Param* p : with_avg.params()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = std::round(p->value[i] * 16.0f) / 16.0f;
+    }
+  }
+  with_avg.emplace<nn::ReLU>();
+  with_avg.emplace<nn::AvgPool2d>(2, 2);
+  with_avg.emplace<nn::Flatten>();
+  with_avg.emplace<nn::Dense>(4 * 6 * 6, 10, rng);
+  EXPECT_EQ(IntQuantEngine::build(with_avg, kInputShape, kBits), nullptr);
+}
+
+TEST(IntQuantEngineTest, RejectsOutOfRangeSignalBits) {
+  nn::Network net = make_dyadic_net(11);
+  EXPECT_EQ(IntQuantEngine::build(net, kInputShape, 0), nullptr);
+  EXPECT_EQ(IntQuantEngine::build(net, kInputShape, 16), nullptr);
+}
+
+TEST(IntQuantEngineTest, BitIdenticalAcrossThreadCountsAndDispatch) {
+  nn::Network net = make_dyadic_net(47);
+  auto engine = IntQuantEngine::build(net, kInputShape, kBits);
+  ASSERT_NE(engine, nullptr);
+  const nn::Tensor encoded = encode(random_pixels(6, 13));
+
+  const int original = util::num_threads();
+  util::set_num_threads(1);
+  const nn::Tensor reference = engine->forward(encoded);
+  for (int threads : {1, 2, 8}) {
+    util::set_num_threads(threads);
+    expect_bitwise_equal(engine->forward(encoded), reference);
+    ForceScalarGuard guard(true);
+    expect_bitwise_equal(engine->forward(encoded), reference);
+  }
+  util::set_num_threads(original);
+}
+
+// QuantBackend must serve identical predictions whether the integer
+// engine is active or disabled via QSNC_QUANT_INT=0 — the engine is a
+// pure execution-path swap, never a behavior change.
+TEST(IntQuantEngineTest, QuantBackendPathSwapIsInvisible) {
+  const nn::Tensor pixels = random_pixels(7, 21);
+
+  nn::Network net_int = make_dyadic_net(59);
+  serve::QuantBackend with_engine(net_int, kInputShape, kBits);
+  EXPECT_TRUE(with_engine.integer_engine_active());
+  const std::vector<int64_t> got = with_engine.infer_batch(pixels);
+
+  ASSERT_EQ(setenv("QSNC_QUANT_INT", "0", 1), 0);
+  nn::Network net_float = make_dyadic_net(59);
+  serve::QuantBackend without_engine(net_float, kInputShape, kBits);
+  ASSERT_EQ(unsetenv("QSNC_QUANT_INT"), 0);
+  EXPECT_FALSE(without_engine.integer_engine_active());
+
+  EXPECT_EQ(got, without_engine.infer_batch(pixels));
+}
+
+TEST(IntQuantEngineTest, QuantBackendStaysOnFloatPathForFloatWeights) {
+  nn::Rng rng(3);
+  nn::Network net;
+  net.emplace<nn::Conv2d>(1, 4, 3, 1, 1, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(4 * 12 * 12, 10, rng);
+  serve::QuantBackend backend(net, kInputShape, kBits);
+  EXPECT_FALSE(backend.integer_engine_active());
+  // Still serves correctly shaped predictions through the float path.
+  const auto preds = backend.infer_batch(random_pixels(3, 1));
+  EXPECT_EQ(preds.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qsnc::core

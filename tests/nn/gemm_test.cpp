@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "nn/rng.h"
+#include "nn/simd.h"
 
 namespace qsnc::nn {
 namespace {
@@ -119,6 +121,124 @@ TEST(GemmTest, ABtMatchesExplicitTranspose) {
   gemm_a_bt_acc(a.data(), b_t.data(), got.data(), m, k, n);
   naive_gemm(a.data(), b.data(), want.data(), m, k, n);
   for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar bit-exactness.
+//
+// The AVX2 micro-kernels must reproduce the scalar reference loops
+// bit-for-bit (gemm_kernels.h documents why that is possible). Each case
+// below runs every GEMM variant twice — once with the scalar path forced,
+// once with normal dispatch — and memcmps the outputs. On hosts without
+// AVX2 (or under QSNC_FORCE_SCALAR=1; see the *_forced_scalar ctest
+// registration) both runs take the scalar path and the comparison is
+// trivially exact, so the suite is portable.
+// ---------------------------------------------------------------------------
+
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force) : prev_(simd::set_force_scalar(force)) {}
+  ~ForceScalarGuard() { simd::set_force_scalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+void expect_bits_equal(const std::vector<float>& a,
+                       const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(float)), 0)
+        << what << " diverges at element " << i << ": " << a[i] << " vs "
+        << b[i];
+  }
+}
+
+// Degenerate and odd extents: empty, single, primes off the 4x16 register
+// block and the 128/256 cache blocks, plus representative zoo-like shapes.
+class GemmSimdExactTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmSimdExactTest, AllVariantsMatchScalarBitExactly) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 131071 + k * 8191 + n * 31 + 1);
+  auto a = random_vec(m * k, rng);
+  auto at = random_vec(k * m, rng);
+  auto b = random_vec(k * n, rng);
+  auto bt = random_vec(n * k, rng);
+  const auto c0 = random_vec(m * n, rng);
+  // Zero out a third of A so the zero-skip branches are exercised.
+  for (size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
+  for (size_t i = 0; i < at.size(); i += 3) at[i] = 0.0f;
+
+  struct Variant {
+    const char* name;
+    void (*fn)(const float*, const float*, float*, int64_t, int64_t, int64_t);
+    const float* a;
+    const float* b;
+    bool overwrite;
+  };
+  const Variant variants[] = {
+      {"gemm", &gemm, a.data(), b.data(), true},
+      {"gemm_acc", &gemm_acc, a.data(), b.data(), false},
+      {"gemm_at_b_acc", &gemm_at_b_acc, at.data(), b.data(), false},
+      {"gemm_a_bt_acc", &gemm_a_bt_acc, a.data(), bt.data(), false},
+  };
+  for (const Variant& v : variants) {
+    std::vector<float> scalar_c = c0;
+    {
+      ForceScalarGuard guard(true);
+      v.fn(v.a, v.b, scalar_c.data(), m, k, n);
+    }
+    std::vector<float> simd_c = c0;
+    v.fn(v.a, v.b, simd_c.data(), m, k, n);
+    expect_bits_equal(scalar_c, simd_c, v.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegenerateAndOddShapes, GemmSimdExactTest,
+    ::testing::Values(GemmShape{0, 0, 0}, GemmShape{0, 5, 3},
+                      GemmShape{5, 0, 3}, GemmShape{5, 3, 0},
+                      GemmShape{1, 1, 1}, GemmShape{1, 7, 1},
+                      GemmShape{7, 1, 13}, GemmShape{3, 5, 7},
+                      GemmShape{5, 129, 33}, GemmShape{13, 131, 17},
+                      GemmShape{31, 257, 47}, GemmShape{67, 97, 101},
+                      GemmShape{97, 193, 259}),
+    [](const ::testing::TestParamInfo<GemmShape>& info) {
+      return "m" + std::to_string(info.param.m) + "_k" +
+             std::to_string(info.param.k) + "_n" + std::to_string(info.param.n);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelZooShapes, GemmSimdExactTest,
+    ::testing::Values(GemmShape{6, 25, 784},    // lenet conv1 im2col
+                      GemmShape{12, 150, 100},  // lenet conv2 im2col
+                      GemmShape{64, 288, 64},   // alexnet conv3 im2col
+                      GemmShape{64, 300, 16},   // dense head batch
+                      GemmShape{8, 512, 33},    // split-k dW shape
+                      GemmShape{128, 96, 64}),  // wide-M dW shape
+    [](const ::testing::TestParamInfo<GemmShape>& info) {
+      return "m" + std::to_string(info.param.m) + "_k" +
+             std::to_string(info.param.k) + "_n" + std::to_string(info.param.n);
+    });
+
+TEST(GemmSimdDispatchTest, EnvForcedScalarDisablesAvx2) {
+  if (simd::env_forced_scalar()) {
+    EXPECT_FALSE(simd::use_avx2());
+  } else if (simd::cpu_has_avx2()) {
+    EXPECT_TRUE(simd::use_avx2());
+  } else {
+    EXPECT_FALSE(simd::use_avx2());
+  }
+}
+
+TEST(GemmSimdDispatchTest, ForceScalarOverrideWinsAndRestores) {
+  const bool before = simd::use_avx2();
+  {
+    ForceScalarGuard guard(true);
+    EXPECT_FALSE(simd::use_avx2());
+  }
+  EXPECT_EQ(simd::use_avx2(), before);
 }
 
 }  // namespace

@@ -1,0 +1,226 @@
+#include "nn/igemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "nn/rng.h"
+#include "nn/simd.h"
+
+namespace qsnc::nn {
+namespace {
+
+// Reference triple loop, accumulating onto existing C.
+void naive_igemm_acc(const int16_t* a, const int16_t* b, int32_t* c,
+                     int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const int32_t av = a[i * k + kk];
+      if (av == 0) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * static_cast<int32_t>(b[kk * n + j]);
+      }
+    }
+  }
+}
+
+std::vector<int16_t> random_i16(int64_t n, int16_t max_abs, Rng& rng) {
+  std::vector<int16_t> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<int16_t>(std::lround(
+        rng.uniform(-static_cast<float>(max_abs),
+                    static_cast<float>(max_abs))));
+  }
+  return v;
+}
+
+std::vector<int32_t> random_i32(int64_t n, int32_t max_abs, Rng& rng) {
+  std::vector<int32_t> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    x = static_cast<int32_t>(std::lround(
+        rng.uniform(-static_cast<float>(max_abs),
+                    static_cast<float>(max_abs))));
+  }
+  return v;
+}
+
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force)
+      : prev_(simd::set_force_scalar(force)) {}
+  ~ForceScalarGuard() { simd::set_force_scalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+struct IGemmShape {
+  int64_t m, k, n;
+};
+
+// Degenerate / odd extents plus quant-serving zoo shapes. Magnitudes are
+// capped at 64 so the largest dot product (64 * 64 * 769) stays far below
+// the int32 overflow contract.
+class IGemmShapeTest : public ::testing::TestWithParam<IGemmShape> {};
+
+TEST_P(IGemmShapeTest, MatchesNaiveAndScalarBitExact) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 7919 + k * 37 + n + 3);
+  auto a = random_i16(m * k, 64, rng);
+  const auto b = random_i16(k * n, 64, rng);
+  const auto c0 = random_i32(m * n, 1000, rng);
+  // Zero a third of A to exercise the zero-skip path.
+  for (size_t i = 0; i < a.size(); i += 3) a[i] = 0;
+
+  // igemm_acc vs the naive reference.
+  std::vector<int32_t> want = c0;
+  naive_igemm_acc(a.data(), b.data(), want.data(), m, k, n);
+  std::vector<int32_t> got = c0;
+  igemm_acc(a.data(), b.data(), got.data(), m, k, n);
+  EXPECT_EQ(got, want) << "igemm_acc";
+
+  // igemm overwrites C.
+  std::vector<int32_t> from_zero(static_cast<size_t>(m * n), 0);
+  naive_igemm_acc(a.data(), b.data(), from_zero.data(), m, k, n);
+  std::vector<int32_t> overwrite = c0;  // garbage that must be ignored
+  igemm(a.data(), b.data(), overwrite.data(), m, k, n);
+  EXPECT_EQ(overwrite, from_zero) << "igemm";
+
+  // SIMD dispatch must be bit-identical to the forced scalar path.
+  std::vector<int32_t> scalar_c = c0;
+  {
+    ForceScalarGuard guard(true);
+    igemm_acc(a.data(), b.data(), scalar_c.data(), m, k, n);
+  }
+  std::vector<int32_t> simd_c = c0;
+  igemm_acc(a.data(), b.data(), simd_c.data(), m, k, n);
+  EXPECT_EQ(simd_c, scalar_c) << "scalar/simd divergence";
+
+  // Prepacked B agrees with the unpacked entry point on both paths.
+  IGemmPackedB packed(b.data(), k, n);
+  EXPECT_EQ(packed.k(), k);
+  EXPECT_EQ(packed.n(), n);
+  std::vector<int32_t> pre(static_cast<size_t>(m * n), -1);
+  igemm_prepacked(a.data(), packed, pre.data(), m);
+  EXPECT_EQ(pre, from_zero) << "igemm_prepacked";
+  {
+    ForceScalarGuard guard(true);
+    std::vector<int32_t> pre_scalar(static_cast<size_t>(m * n), -1);
+    igemm_prepacked(a.data(), packed, pre_scalar.data(), m);
+    EXPECT_EQ(pre_scalar, from_zero) << "igemm_prepacked scalar";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegenerateAndOddShapes, IGemmShapeTest,
+    ::testing::Values(IGemmShape{0, 0, 0}, IGemmShape{0, 5, 3},
+                      IGemmShape{5, 0, 3}, IGemmShape{5, 3, 0},
+                      IGemmShape{1, 1, 1}, IGemmShape{1, 7, 1},
+                      IGemmShape{7, 1, 13}, IGemmShape{3, 5, 7},
+                      IGemmShape{5, 129, 33}, IGemmShape{13, 131, 17},
+                      IGemmShape{31, 257, 47}, IGemmShape{67, 97, 101}),
+    [](const ::testing::TestParamInfo<IGemmShape>& info) {
+      return "m" + std::to_string(info.param.m) + "_k" +
+             std::to_string(info.param.k) + "_n" + std::to_string(info.param.n);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelZooShapes, IGemmShapeTest,
+    ::testing::Values(IGemmShape{6, 25, 784},    // lenet conv1 im2col
+                      IGemmShape{12, 150, 100},  // lenet conv2 im2col
+                      IGemmShape{64, 288, 64},   // alexnet conv3 im2col
+                      IGemmShape{64, 300, 16},   // dense head batch
+                      IGemmShape{128, 96, 64}),
+    [](const ::testing::TestParamInfo<IGemmShape>& info) {
+      return "m" + std::to_string(info.param.m) + "_k" +
+             std::to_string(info.param.k) + "_n" + std::to_string(info.param.n);
+    });
+
+TEST(IGemmTest, TinyKnownResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<int16_t> a{1, 2, 3, 4};
+  const std::vector<int16_t> b{5, 6, 7, 8};
+  std::vector<int32_t> c(4, 99);
+  igemm(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<int32_t>{19, 22, 43, 50}));
+}
+
+TEST(IGemmTest, HandlesExtremeInt16ValuesWithinContract) {
+  // max|A| * max|B| * k = 32767 * 32767 * 2 < 2^31: the accumulator must
+  // not saturate or wrap even at full int16 range when k is small.
+  const std::vector<int16_t> a{32767, -32768};
+  const std::vector<int16_t> b{32767, -32768, -32768, 32767};
+  std::vector<int32_t> c(2, 0);
+  igemm(a.data(), b.data(), c.data(), 1, 2, 2);
+  EXPECT_EQ(c[0], 32767 * 32767 + (-32768) * (-32768));
+  EXPECT_EQ(c[1], 32767 * (-32768) + (-32768) * 32767);
+}
+
+TEST(IGemmTest, MostlySparseSignalsStayExact) {
+  // Quant-serving signals are mostly zero after ReLU + M-bit rounding;
+  // the zero-skip fast path must not change results.
+  Rng rng(77);
+  const int64_t m = 24, k = 96, n = 40;
+  auto a = random_i16(m * k, 15, rng);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i % 5 != 0) a[i] = 0;  // 80% sparse
+  }
+  const auto b = random_i16(k * n, 8, rng);
+  std::vector<int32_t> want(static_cast<size_t>(m * n), 0);
+  naive_igemm_acc(a.data(), b.data(), want.data(), m, k, n);
+  std::vector<int32_t> got(static_cast<size_t>(m * n), 0);
+  igemm(a.data(), b.data(), got.data(), m, k, n);
+  EXPECT_EQ(got, want);
+}
+
+TEST(IAccumulateRowsTest, MatchesNaiveAndScalarBitExact) {
+  Rng rng(91);
+  const int64_t rows = 150, cols = 37;
+  const auto panel = random_i16(rows * cols, 8, rng);
+
+  // Sparse event list over ~half the rows, spike counts in [1, 15].
+  std::vector<int32_t> event_rows;
+  std::vector<int32_t> event_vals;
+  for (int64_t r = 0; r < rows; ++r) {
+    if (r % 2 == 1 && r % 7 != 0) continue;
+    event_rows.push_back(static_cast<int32_t>(r));
+    event_vals.push_back(
+        static_cast<int32_t>(std::lround(rng.uniform(1.0f, 15.0f))));
+  }
+  const int64_t nnz = static_cast<int64_t>(event_rows.size());
+
+  std::vector<int32_t> want(static_cast<size_t>(cols), 5);
+  for (int64_t e = 0; e < nnz; ++e) {
+    for (int64_t c = 0; c < cols; ++c) {
+      want[static_cast<size_t>(c)] +=
+          event_vals[static_cast<size_t>(e)] *
+          static_cast<int32_t>(
+              panel[event_rows[static_cast<size_t>(e)] * cols + c]);
+    }
+  }
+
+  std::vector<int32_t> got(static_cast<size_t>(cols), 5);
+  iaccumulate_rows(event_rows.data(), event_vals.data(), nnz, panel.data(),
+                   cols, got.data());
+  EXPECT_EQ(got, want);
+
+  std::vector<int32_t> scalar(static_cast<size_t>(cols), 5);
+  {
+    ForceScalarGuard guard(true);
+    iaccumulate_rows(event_rows.data(), event_vals.data(), nnz, panel.data(),
+                     cols, scalar.data());
+  }
+  EXPECT_EQ(scalar, want);
+}
+
+TEST(IAccumulateRowsTest, EmptyEventListLeavesAccumulatorUntouched) {
+  const std::vector<int16_t> panel(4 * 3, 7);
+  std::vector<int32_t> acc{1, 2, 3};
+  iaccumulate_rows(nullptr, nullptr, 0, panel.data(), 3, acc.data());
+  EXPECT_EQ(acc, (std::vector<int32_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace qsnc::nn

@@ -7,6 +7,8 @@
 // and the prefetching batcher.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "data/batcher.h"
 #include "data/dataset.h"
 #include "nn/gemm.h"
+#include "nn/igemm.h"
 #include "nn/layers/conv2d.h"
 #include "nn/layers/dropout.h"
 #include "nn/rng.h"
@@ -35,8 +38,8 @@ std::vector<float> random_vec(int64_t n, Rng& rng) {
   return v;
 }
 
-void expect_bitwise_equal(const std::vector<float>& a,
-                          const std::vector<float>& b, const char* what) {
+template <typename VecA, typename VecB>
+void expect_bitwise_equal(const VecA& a, const VecB& b, const char* what) {
   ASSERT_EQ(a.size(), b.size()) << what;
   for (size_t i = 0; i < a.size(); ++i) {
     ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(float)), 0)
@@ -55,10 +58,10 @@ class ParallelEquivalenceTest : public ::testing::Test {
   template <typename Kernel>
   void check_invariant(Kernel&& kernel, const char* what) {
     util::set_num_threads(1);
-    const std::vector<float> reference = kernel();
+    const auto reference = kernel();
     for (int threads : kThreadCounts) {
       util::set_num_threads(threads);
-      const std::vector<float> got = kernel();
+      const auto got = kernel();
       expect_bitwise_equal(reference, got, what);
     }
   }
@@ -142,6 +145,35 @@ TEST_F(ParallelEquivalenceTest, GemmABtAcc) {
       "gemm_a_bt_acc");
 }
 
+TEST_F(ParallelEquivalenceTest, IGemm) {
+  // Integer accumulation is associative, so this holds by construction —
+  // pinned anyway so a future fixed-width blocking change can't break it.
+  Rng rng(16);
+  const int64_t m = 96, k = 160, n = 130;
+  std::vector<int16_t> a(static_cast<size_t>(m * k));
+  std::vector<int16_t> b(static_cast<size_t>(k * n));
+  for (auto& x : a) {
+    x = static_cast<int16_t>(std::lround(rng.uniform(-64.0f, 64.0f)));
+  }
+  for (auto& x : b) {
+    x = static_cast<int16_t>(std::lround(rng.uniform(-64.0f, 64.0f)));
+  }
+  util::set_num_threads(1);
+  std::vector<int32_t> reference(static_cast<size_t>(m * n));
+  nn::igemm(a.data(), b.data(), reference.data(), m, k, n);
+  for (int threads : kThreadCounts) {
+    util::set_num_threads(threads);
+    std::vector<int32_t> c(static_cast<size_t>(m * n), -7);
+    nn::igemm(a.data(), b.data(), c.data(), m, k, n);
+    EXPECT_EQ(c, reference) << threads << " threads";
+
+    nn::IGemmPackedB packed(b.data(), k, n);
+    std::vector<int32_t> pre(static_cast<size_t>(m * n), -7);
+    nn::igemm_prepacked(a.data(), packed, pre.data(), m);
+    EXPECT_EQ(pre, reference) << threads << " threads (prepacked)";
+  }
+}
+
 TEST_F(ParallelEquivalenceTest, Conv2dForwardAndBackward) {
   const int64_t batch = 6, ic = 3, oc = 8, hw = 14;
   Rng data_rng(21);
@@ -149,7 +181,7 @@ TEST_F(ParallelEquivalenceTest, Conv2dForwardAndBackward) {
   Tensor grad_out;  // shaped after the first forward
 
   struct Result {
-    std::vector<float> output, grad_input, wgrad, bgrad;
+    nn::FloatBuffer output, grad_input, wgrad, bgrad;
   };
   auto run = [&](int threads) {
     util::set_num_threads(threads);
@@ -223,14 +255,14 @@ TEST_F(ParallelEquivalenceTest, DropoutMaskIsThreadCountInvariant) {
     util::set_num_threads(threads);
     nn::Dropout drop(0.4f, /*seed=*/99);
     // Two rounds: the per-pass counter must also replay identically.
-    std::vector<float> out = drop.forward(input, /*train=*/true).vec();
-    const std::vector<float> second =
+    nn::FloatBuffer out = drop.forward(input, /*train=*/true).vec();
+    const nn::FloatBuffer second =
         drop.forward(input, /*train=*/true).vec();
     out.insert(out.end(), second.begin(), second.end());
     return out;
   };
 
-  const std::vector<float> reference = run(1);
+  const nn::FloatBuffer reference = run(1);
   for (int threads : kThreadCounts) {
     expect_bitwise_equal(reference, run(threads), "dropout masks");
   }

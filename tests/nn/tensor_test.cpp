@@ -44,6 +44,18 @@ TEST(TensorTest, FillConstructor) {
   for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
 }
 
+TEST(TensorTest, StorageIsCachePanelAligned) {
+  // Tensor storage backs the GEMM packing buffers, which assume 64-byte
+  // (cache line / aligned-load) panels — see util/aligned.h.
+  for (int64_t n : {1, 7, 64, 1000}) {
+    Tensor t({n});
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) %
+                  util::kPanelAlignment,
+              0u)
+        << "numel " << n;
+  }
+}
+
 TEST(TensorTest, AdoptValues) {
   Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
   EXPECT_EQ(t.at(0, 0), 1.0f);
