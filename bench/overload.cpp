@@ -8,20 +8,34 @@
 // sheds and interactive p99 stays bounded. Writes BENCH_overload.json
 // (override with QSNC_BENCH_OUT).
 //
+// A second section exercises the router front tier over a two-backend
+// TCP fleet: a mid-run backend stop (reroute row: retries and drops —
+// the drop count must be zero) and a chaos-slowed backend with hedging
+// off vs on (tail-latency row). Both land under the "router" key of
+// BENCH_overload.json.
+//
 // Flags: --seconds S (per point, default 2), --probe-requests N
-//        (default 2000), --max-rate R (schedule cap, default 50000).
+//        (default 2000), --max-rate R (schedule cap, default 50000),
+//        --router-requests N (reroute row, default 400),
+//        --hedge-requests N (hedging row, default 40).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "nn/rng.h"
+#include "router/hash_ring.h"
+#include "router/router_config.h"
+#include "router/router_server.h"
+#include "serve/chaos.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
+#include "serve/transport.h"
 #include "util/flags.h"
 
 namespace {
@@ -178,6 +192,130 @@ OverloadPoint run_point(double multiplier, double rate, double seconds) {
   return point;
 }
 
+// --- router fleet rows -----------------------------------------------------
+
+/// One in-process backend serving node on an ephemeral TCP port.
+struct FleetNode {
+  serve::ModelRegistry registry;
+  std::unique_ptr<serve::ServeCore> core;
+  std::unique_ptr<serve::SocketServer> server;
+
+  explicit FleetNode(serve::ChaosInjector* chaos = nullptr) {
+    registry.add("m", model_config());
+    serve::BatchOptions opts;
+    opts.max_batch = 8;
+    opts.batch_timeout_us = 200;
+    opts.queue_capacity = 1024;
+    opts.chaos = chaos;
+    core = std::make_unique<serve::ServeCore>(registry, opts);
+    server = std::make_unique<serve::SocketServer>(*core, "tcp:127.0.0.1:0");
+  }
+};
+
+router::RouterOptions fleet_options(const FleetNode& a, const FleetNode& b) {
+  router::RouterOptions options;
+  options.backends = {a.server->endpoint(), b.server->endpoint()};
+  options.listen = serve::parse_endpoint("tcp:127.0.0.1:0");
+  options.probe_interval_ms = 50;
+  options.probe_down_after = 2;
+  return options;
+}
+
+/// A session key whose ring owner is backend index `want`.
+std::string session_owned_by(const router::RouterOptions& options,
+                             size_t want) {
+  std::vector<std::string> labels;
+  for (const auto& ep : options.backends) labels.push_back(ep.str());
+  const router::HashRing ring(labels, options.vnodes);
+  for (int i = 0;; ++i) {
+    const std::string s = "s" + std::to_string(i);
+    if (ring.pick(router::route_hash("m", s)) == want) return s;
+  }
+}
+
+struct RerouteRow {
+  uint64_t requests = 0;
+  uint64_t retries = 0;
+  uint64_t dropped = 0;  // must be zero: the router's core contract
+  uint64_t rerouted = 0;
+};
+
+/// Closed-loop load through the router; one backend stops cold halfway.
+RerouteRow run_router_reroute(uint64_t requests) {
+  FleetNode a;
+  FleetNode b;
+  router::RouterServer router(fleet_options(a, b));
+  serve::SocketClient client(router.endpoint());
+  const auto images = make_images(32);
+
+  RerouteRow row;
+  row.requests = requests;
+  for (uint64_t i = 0; i < requests; ++i) {
+    if (i == requests / 2) b.server->stop();  // no drain visible to router
+    bool ok = false;
+    for (int attempt = 0; attempt < 20 && !ok; ++attempt) {
+      if (attempt > 0) ++row.retries;
+      const serve::Response r =
+          client.infer("m", images[static_cast<size_t>(i) % images.size()]);
+      ok = r.status == serve::Status::kOk;
+    }
+    if (!ok) ++row.dropped;
+  }
+  row.rerouted = router.router().rerouted();
+  return row;
+}
+
+struct HedgeRow {
+  uint64_t requests = 0;
+  uint64_t p99_unhedged_us = 0;
+  uint64_t p99_hedged_us = 0;
+  uint64_t hedged = 0;
+  uint64_t hedge_wins = 0;
+};
+
+/// Tail latency with every request pinned to a chaos-slowed backend,
+/// hedging off vs on (the duplicate lands on the fast backend).
+HedgeRow run_router_hedging(uint64_t requests) {
+  serve::ChaosConfig chaos_cfg;
+  chaos_cfg.backend_latency_rate = 1.0;
+  chaos_cfg.backend_latency_us = 20'000;
+  serve::ChaosInjector chaos(chaos_cfg);
+  FleetNode slow(&chaos);
+  FleetNode fast;
+  const auto images = make_images(32);
+
+  HedgeRow row;
+  row.requests = requests;
+  const auto run = [&](int64_t hedge_after_us) -> uint64_t {
+    router::RouterOptions options = fleet_options(slow, fast);
+    options.hedge_after_us = hedge_after_us;
+    router::RouterServer router(options);
+    const std::string session = session_owned_by(options, 0);
+    serve::SocketClient client(router.endpoint());
+    std::vector<uint64_t> latencies;
+    for (uint64_t i = 0; i < requests; ++i) {
+      const auto start = Clock::now();
+      (void)client.infer("m",
+                         images[static_cast<size_t>(i) % images.size()], 0,
+                         serve::Priority::kInteractive, session);
+      latencies.push_back(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - start)
+              .count()));
+    }
+    if (hedge_after_us > 0) {
+      row.hedged = router.router().hedged();
+      row.hedge_wins = router.router().hedge_wins();
+    }
+    std::sort(latencies.begin(), latencies.end());
+    return latencies[static_cast<size_t>(
+        0.99 * static_cast<double>(latencies.size() - 1))];
+  };
+  row.p99_unhedged_us = run(0);
+  row.p99_hedged_us = run(2'000);
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,6 +324,10 @@ int main(int argc, char** argv) {
   const int probe_requests = static_cast<int>(
       flags.get_int("probe-requests", 2000));
   const double max_rate = flags.get_double("max-rate", 50000.0);
+  const uint64_t router_requests = static_cast<uint64_t>(
+      flags.get_int("router-requests", 400));
+  const uint64_t hedge_requests = static_cast<uint64_t>(
+      flags.get_int("hedge-requests", 40));
 
   std::printf("probing capacity (%d closed-loop requests) ...\n",
               probe_requests);
@@ -201,6 +343,17 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     points.push_back(run_point(multiplier, rate, seconds));
   }
+
+  std::printf("router fleet: reroute row (%llu requests, one backend "
+              "stopped mid-run) ...\n",
+              static_cast<unsigned long long>(router_requests));
+  std::fflush(stdout);
+  const RerouteRow reroute = run_router_reroute(router_requests);
+  std::printf("router fleet: hedging row (%llu pinned requests, one "
+              "backend chaos-slowed 20ms) ...\n",
+              static_cast<unsigned long long>(hedge_requests));
+  std::fflush(stdout);
+  const HedgeRow hedge = run_router_hedging(hedge_requests);
 
   const char* env = std::getenv("QSNC_BENCH_OUT");
   const std::string path = env ? env : "BENCH_overload.json";
@@ -249,7 +402,23 @@ int main(int argc, char** argv) {
             p.per[static_cast<size_t>(serve::Priority::kCanary)].shed),
         i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(
+      f,
+      "  ],\n  \"router\": {\n"
+      "    \"reroute\": {\"requests\": %llu, \"retries\": %llu, "
+      "\"dropped\": %llu, \"rerouted\": %llu},\n"
+      "    \"hedging\": {\"requests\": %llu, \"p99_unhedged_us\": %llu, "
+      "\"p99_hedged_us\": %llu, \"hedged\": %llu, \"hedge_wins\": %llu}\n"
+      "  }\n}\n",
+      static_cast<unsigned long long>(reroute.requests),
+      static_cast<unsigned long long>(reroute.retries),
+      static_cast<unsigned long long>(reroute.dropped),
+      static_cast<unsigned long long>(reroute.rerouted),
+      static_cast<unsigned long long>(hedge.requests),
+      static_cast<unsigned long long>(hedge.p99_unhedged_us),
+      static_cast<unsigned long long>(hedge.p99_hedged_us),
+      static_cast<unsigned long long>(hedge.hedged),
+      static_cast<unsigned long long>(hedge.hedge_wins));
   std::fclose(f);
 
   std::printf("\n== overload (lenet-mini, CoDel target 5ms) ==\n");
@@ -268,6 +437,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(p.p50_us),
                 static_cast<unsigned long long>(p.p99_us));
   }
+  std::printf("\n== router fleet (2 TCP backends) ==\n");
+  std::printf("reroute: %llu requests, %llu retries, %llu dropped, "
+              "%llu rerouted%s\n",
+              static_cast<unsigned long long>(reroute.requests),
+              static_cast<unsigned long long>(reroute.retries),
+              static_cast<unsigned long long>(reroute.dropped),
+              static_cast<unsigned long long>(reroute.rerouted),
+              reroute.dropped == 0 ? " (zero-drop contract held)" : "");
+  std::printf("hedging: p99 %llu us -> %llu us (%llu hedges, %llu wins)\n",
+              static_cast<unsigned long long>(hedge.p99_unhedged_us),
+              static_cast<unsigned long long>(hedge.p99_hedged_us),
+              static_cast<unsigned long long>(hedge.hedged),
+              static_cast<unsigned long long>(hedge.hedge_wins));
   std::printf("wrote %s\n", path.c_str());
-  return 0;
+  return reroute.dropped == 0 ? 0 : 1;
 }

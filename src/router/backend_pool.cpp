@@ -1,0 +1,166 @@
+#include "router/backend_pool.h"
+
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace qsnc::router {
+
+using serve::Frame;
+using serve::MsgType;
+
+BackendPool::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+BackendPool::BackendPool(const RouterOptions& options) : options_(options) {
+  if (options.backends.empty()) {
+    throw std::invalid_argument("BackendPool: no backends configured");
+  }
+  for (const serve::Endpoint& ep : options.backends) {
+    backends_.push_back(std::make_unique<Backend>(
+        ep, options.breaker_threshold, options.breaker_open_ms * 1000));
+  }
+}
+
+BackendPool::~BackendPool() = default;
+
+BackendPool::Backend& BackendPool::backend(size_t i) const {
+  if (i >= backends_.size()) {
+    throw std::out_of_range("BackendPool: bad backend index");
+  }
+  return *backends_[i];
+}
+
+const serve::Endpoint& BackendPool::endpoint(size_t i) const {
+  return backend(i).endpoint;
+}
+
+std::vector<std::string> BackendPool::labels() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->endpoint.str());
+  return out;
+}
+
+std::unique_ptr<BackendPool::Conn> BackendPool::checkout(size_t i) {
+  Backend& b = backend(i);
+  {
+    std::lock_guard<std::mutex> lock(b.free_mu);
+    if (!b.free.empty()) {
+      auto conn = std::move(b.free.back());
+      b.free.pop_back();
+      return conn;
+    }
+  }
+  // Fresh connection: connect + version handshake as the router role, so
+  // a mixed-version fleet fails fast here instead of mis-decoding later.
+  auto conn = std::make_unique<Conn>();
+  try {
+    conn->fd = serve::connect_to(b.endpoint);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+  serve::Hello hello;
+  hello.role = serve::PeerRole::kRouter;
+  if (!serve::write_with_deadline(conn->fd, serve::encode_hello(hello),
+                                  options_.forward_timeout_ms)) {
+    return nullptr;
+  }
+  try {
+    const std::optional<Frame> ack = serve::read_frame_with_deadline(
+        conn->fd, conn->reader, options_.forward_timeout_ms);
+    if (!ack || ack->type != MsgType::kHelloAck) return nullptr;
+    const serve::HelloAck decoded = serve::decode_hello_ack(ack->body);
+    if (!decoded.accepted || decoded.version != serve::kProtocolVersion) {
+      return nullptr;
+    }
+  } catch (const serve::ProtocolError&) {
+    return nullptr;
+  }
+  return conn;
+}
+
+void BackendPool::checkin(size_t i, std::unique_ptr<Conn> conn) {
+  if (conn == nullptr || conn->fd < 0) return;
+  if (conn->reader.buffered() > 0) {
+    // Unconsumed bytes mean the stream state is suspect; don't pool it.
+    return;
+  }
+  Backend& b = backend(i);
+  std::lock_guard<std::mutex> lock(b.free_mu);
+  b.free.push_back(std::move(conn));
+}
+
+bool BackendPool::usable(size_t i, int64_t now_us) {
+  Backend& b = backend(i);
+  return b.up.load(std::memory_order_relaxed) && b.breaker.allow(now_us);
+}
+
+bool BackendPool::up(size_t i) const {
+  return backend(i).up.load(std::memory_order_relaxed);
+}
+
+void BackendPool::record_success(size_t i) {
+  backend(i).breaker.on_success();
+}
+
+void BackendPool::record_failure(size_t i, int64_t now_us) {
+  Backend& b = backend(i);
+  ++b.failures;
+  b.breaker.on_failure(now_us);
+}
+
+void BackendPool::record_probe(size_t i, bool ok, uint32_t queue_depth) {
+  Backend& b = backend(i);
+  if (ok) {
+    ++b.probes_ok;
+    b.consecutive_probe_failures.store(0, std::memory_order_relaxed);
+    b.last_queue_depth.store(queue_depth, std::memory_order_relaxed);
+    if (!b.up.exchange(true, std::memory_order_relaxed)) {
+      // Revived: drop pooled connections from before the outage.
+      std::lock_guard<std::mutex> lock(b.free_mu);
+      b.free.clear();
+    }
+  } else {
+    ++b.probes_failed;
+    const int consecutive =
+        b.consecutive_probe_failures.fetch_add(1, std::memory_order_relaxed) +
+        1;
+    if (consecutive >= options_.probe_down_after) {
+      b.up.store(false, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(b.free_mu);
+      b.free.clear();
+    }
+  }
+}
+
+void BackendPool::note_forward(size_t i) { ++backend(i).forwards; }
+void BackendPool::note_reroute_away(size_t i) {
+  ++backend(i).reroutes_away;
+}
+void BackendPool::note_hedge(size_t i) { ++backend(i).hedges; }
+
+std::vector<BackendSnapshot> BackendPool::stats() const {
+  std::vector<BackendSnapshot> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) {
+    BackendSnapshot s;
+    s.endpoint = b->endpoint.str();
+    s.up = b->up.load(std::memory_order_relaxed);
+    s.breaker = b->breaker.state();
+    s.forwards = b->forwards.load(std::memory_order_relaxed);
+    s.failures = b->failures.load(std::memory_order_relaxed);
+    s.reroutes_away = b->reroutes_away.load(std::memory_order_relaxed);
+    s.hedges = b->hedges.load(std::memory_order_relaxed);
+    s.probes_ok = b->probes_ok.load(std::memory_order_relaxed);
+    s.probes_failed = b->probes_failed.load(std::memory_order_relaxed);
+    s.consecutive_probe_failures =
+        b->consecutive_probe_failures.load(std::memory_order_relaxed);
+    s.last_queue_depth = b->last_queue_depth.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace qsnc::router

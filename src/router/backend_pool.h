@@ -1,0 +1,126 @@
+// Endpoint registry + per-backend runtime state of the router tier.
+//
+// For every configured backend the pool tracks:
+//
+//   * a free-list of pooled connections (each a handshaken fd + its
+//     FrameReader) — connections are checked out for one forward or
+//     probe, checked back in on clean completion, and invalidated
+//     (closed) on any failure or deadline so a stale half-read response
+//     can never be attributed to a later request;
+//   * a CircuitBreaker (serve/admission.h) fed by forward outcomes, so a
+//     backend failing requests is skipped for breaker_open_ms at a time
+//     with deterministic half-open re-probes;
+//   * the health-prober verdict (up/down with a consecutive-failure
+//     counter) — see health_prober.h;
+//   * counters for the health table (forwards, failures, reroutes away,
+//     hedges, probe outcomes, last reported queue depth).
+//
+// Thread model: checkout/checkin/invalidate and all record_*/note_*
+// calls are thread-safe (connection handler threads + the prober call
+// in concurrently). A checked-out connection is owned exclusively by the
+// caller until checkin/invalidate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "router/router_config.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace qsnc::router {
+
+/// One backend row of the router health table.
+struct BackendSnapshot {
+  std::string endpoint;
+  bool up = true;
+  serve::CircuitBreaker::State breaker =
+      serve::CircuitBreaker::State::kClosed;
+  uint64_t forwards = 0;        // requests sent (incl. hedge duplicates)
+  uint64_t failures = 0;        // forward attempts that failed/timed out
+  uint64_t reroutes_away = 0;   // requests moved off this backend
+  uint64_t hedges = 0;          // hedge duplicates sent here
+  uint64_t probes_ok = 0;
+  uint64_t probes_failed = 0;
+  int consecutive_probe_failures = 0;
+  uint32_t last_queue_depth = 0;  // from the latest successful probe
+};
+
+class BackendPool {
+ public:
+  /// A pooled, handshaken connection to one backend.
+  struct Conn {
+    int fd = -1;
+    serve::FrameReader reader;
+    ~Conn();
+    Conn() = default;
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+  };
+
+  explicit BackendPool(const RouterOptions& options);
+  ~BackendPool();
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  size_t size() const { return backends_.size(); }
+  const serve::Endpoint& endpoint(size_t i) const;
+  /// Endpoint spellings, in order — the hash-ring labels.
+  std::vector<std::string> labels() const;
+
+  /// A connection to backend `i`: pooled if available, else freshly
+  /// connected + kHello-handshaken as PeerRole::kRouter. Returns nullptr
+  /// when connecting or handshaking fails (counts as a forward failure).
+  std::unique_ptr<Conn> checkout(size_t i);
+  /// Returns a cleanly-finished connection to the free list.
+  void checkin(size_t i, std::unique_ptr<Conn> conn);
+  /// Drops a connection whose stream state is unknown (failure, timeout,
+  /// mid-response abandon). The fd is closed by ~Conn.
+  static void invalidate(std::unique_ptr<Conn> conn) { conn.reset(); }
+
+  /// Is `i` worth trying now: prober says up AND its breaker admits.
+  bool usable(size_t i, int64_t now_us);
+  bool up(size_t i) const;
+
+  void record_success(size_t i);
+  void record_failure(size_t i, int64_t now_us);
+  /// Prober verdict; flips up/down per probe_down_after.
+  void record_probe(size_t i, bool ok, uint32_t queue_depth);
+  void note_forward(size_t i);
+  void note_reroute_away(size_t i);
+  void note_hedge(size_t i);
+
+  std::vector<BackendSnapshot> stats() const;
+
+ private:
+  struct Backend {
+    serve::Endpoint endpoint;
+    serve::CircuitBreaker breaker;
+    std::mutex free_mu;
+    std::vector<std::unique_ptr<Conn>> free;
+    std::atomic<bool> up{true};  // optimistic until the prober says no
+    std::atomic<int> consecutive_probe_failures{0};
+    std::atomic<uint64_t> forwards{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> reroutes_away{0};
+    std::atomic<uint64_t> hedges{0};
+    std::atomic<uint64_t> probes_ok{0};
+    std::atomic<uint64_t> probes_failed{0};
+    std::atomic<uint32_t> last_queue_depth{0};
+
+    Backend(const serve::Endpoint& ep, int threshold, int64_t open_us)
+        : endpoint(ep), breaker(threshold, open_us) {}
+  };
+
+  Backend& backend(size_t i) const;
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+}  // namespace qsnc::router

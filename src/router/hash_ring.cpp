@@ -1,0 +1,89 @@
+#include "router/hash_ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qsnc::router {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t fnv1a(uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: spreads FNV's weak low bits over the ring.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t route_hash(const std::string& model, const std::string& key) {
+  uint64_t h = fnv1a(kFnvOffset, model);
+  h ^= kFnvPrime;  // separator so ("ab","c") != ("a","bc")
+  h = fnv1a(h, key);
+  return mix(h);
+}
+
+HashRing::HashRing(const std::vector<std::string>& labels, int vnodes)
+    : num_nodes_(labels.size()) {
+  if (labels.empty()) {
+    throw std::invalid_argument("HashRing: empty node set");
+  }
+  if (vnodes < 1) {
+    throw std::invalid_argument("HashRing: vnodes must be >= 1");
+  }
+  ring_.reserve(labels.size() * static_cast<size_t>(vnodes));
+  for (size_t node = 0; node < labels.size(); ++node) {
+    uint64_t h = fnv1a(kFnvOffset, labels[node]);
+    for (int replica = 0; replica < vnodes; ++replica) {
+      // Chain the point positions off the label hash, never the index,
+      // so the same label always contributes the same points.
+      ring_.push_back({mix(h + static_cast<uint64_t>(replica)), node});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) {
+              // Tie-break on node so equal positions (vanishingly rare)
+              // still order deterministically.
+              return a.position != b.position ? a.position < b.position
+                                              : a.node < b.node;
+            });
+}
+
+size_t HashRing::pick(uint64_t hash) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const Point& p, uint64_t h) { return p.position < h; });
+  return it == ring_.end() ? ring_.front().node : it->node;
+}
+
+std::vector<size_t> HashRing::pick_n(uint64_t hash, size_t n) const {
+  n = std::min(n, num_nodes_);
+  std::vector<size_t> out;
+  std::vector<bool> seen(num_nodes_, false);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const Point& p, uint64_t h) { return p.position < h; });
+  for (size_t steps = 0; steps < ring_.size() && out.size() < n; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->node]) {
+      seen[it->node] = true;
+      out.push_back(it->node);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace qsnc::router

@@ -1,0 +1,68 @@
+#include "router/health_prober.h"
+
+#include <chrono>
+
+namespace qsnc::router {
+
+using serve::Frame;
+using serve::MsgType;
+
+HealthProber::HealthProber(BackendPool& pool, const RouterOptions& options)
+    : pool_(pool), options_(options) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+HealthProber::~HealthProber() { stop(); }
+
+void HealthProber::stop() {
+  stopping_.store(true);
+  cv_.notify_all();
+  std::lock_guard<std::mutex> lock(mu_);  // serialize concurrent stop()s
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthProber::loop() {
+  std::mutex wait_mu;
+  while (!stopping_.load()) {
+    for (size_t i = 0; i < pool_.size() && !stopping_.load(); ++i) {
+      bool ok = false;
+      try {
+        ok = probe_one(i);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      // probe_one records successes itself (it has the queue depth);
+      // only failures are recorded here.
+      if (!ok && !stopping_.load()) {
+        pool_.record_probe(i, false, 0);
+      }
+    }
+    ++sweeps_;
+    std::unique_lock<std::mutex> lock(wait_mu);
+    cv_.wait_for(lock,
+                 std::chrono::milliseconds(options_.probe_interval_ms),
+                 [this] { return stopping_.load(); });
+  }
+}
+
+bool HealthProber::probe_one(size_t i) {
+  auto conn = pool_.checkout(i);
+  if (conn == nullptr) return false;
+  serve::HealthProbe probe;
+  probe.nonce = next_nonce_.fetch_add(1);
+  if (!serve::write_with_deadline(conn->fd,
+                                  serve::encode_health_probe(probe),
+                                  options_.probe_timeout_ms)) {
+    return false;  // conn dies with scope
+  }
+  const std::optional<Frame> frame = serve::read_frame_with_deadline(
+      conn->fd, conn->reader, options_.probe_timeout_ms);
+  if (!frame || frame->type != MsgType::kHealthAck) return false;
+  const serve::HealthAck ack = serve::decode_health_ack(frame->body);
+  if (ack.nonce != probe.nonce || !ack.healthy) return false;
+  pool_.record_probe(i, true, ack.queue_depth);
+  pool_.checkin(i, std::move(conn));
+  return true;
+}
+
+}  // namespace qsnc::router

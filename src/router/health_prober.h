@@ -1,0 +1,52 @@
+// Background health prober of the router tier.
+//
+// One thread sweeps every backend each probe_interval_ms: checkout a
+// pooled connection, send kHealthProbe with a fresh nonce, wait up to
+// probe_timeout_ms for the matching kHealthAck. A good ack records the
+// backend's reported queue depth and (re)marks it up; a miss, nonce
+// mismatch, or transport failure counts one probe failure and the pool
+// flips the backend down after probe_down_after consecutive misses.
+// Probes share the forwarding connection pool, so a probe doubles as a
+// connection-warming touch on an idle backend.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "router/backend_pool.h"
+#include "router/router_config.h"
+
+namespace qsnc::router {
+
+class HealthProber {
+ public:
+  /// Starts the probe thread. `pool` must outlive the prober.
+  HealthProber(BackendPool& pool, const RouterOptions& options);
+  ~HealthProber();  // stops
+  HealthProber(const HealthProber&) = delete;
+  HealthProber& operator=(const HealthProber&) = delete;
+
+  /// Stops and joins the probe thread. Idempotent.
+  void stop();
+
+  /// Completed full sweeps (test synchronization: wait for the verdict
+  /// after killing a backend by watching this advance).
+  uint64_t sweeps() const { return sweeps_.load(); }
+
+ private:
+  void loop();
+  bool probe_one(size_t i);
+
+  BackendPool& pool_;
+  RouterOptions options_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> sweeps_{0};
+  std::atomic<uint64_t> next_nonce_{1};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace qsnc::router

@@ -1,0 +1,85 @@
+#include "router/hedging.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace qsnc::router {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kPollTickMs = 10;
+
+/// Drains readable bytes into the connection's reader and returns a
+/// complete frame if one formed. Sets `dead` on EOF/error/bad framing.
+std::optional<serve::Frame> pump(BackendPool::Conn& conn, bool& dead) {
+  uint8_t buf[64 * 1024];
+  const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), MSG_DONTWAIT);
+  if (n == 0) {
+    dead = true;
+    return std::nullopt;
+  }
+  if (n < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      dead = true;
+    }
+    return std::nullopt;
+  }
+  try {
+    conn.reader.feed(buf, static_cast<size_t>(n));
+    return conn.reader.next();
+  } catch (const serve::ProtocolError&) {
+    dead = true;
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+bool should_hedge(int64_t hedge_after_us, serve::Priority priority,
+                  size_t distinct_candidates) {
+  return hedge_after_us > 0 &&
+         priority == serve::Priority::kInteractive &&
+         distinct_candidates >= 2;
+}
+
+RaceResult race_frames(BackendPool::Conn& a, BackendPool::Conn& b,
+                       int64_t timeout_ms) {
+  const Clock::time_point started = Clock::now();
+  bool a_dead = false;
+  bool b_dead = false;
+  // A frame may already be buffered from the pre-hedge wait.
+  try {
+    if (auto f = a.reader.next()) return {std::move(f), 0};
+  } catch (const serve::ProtocolError&) {
+    a_dead = true;
+  }
+  for (;;) {
+    if (a_dead && b_dead) return {};
+    if (timeout_ms > 0 &&
+        Clock::now() - started >= std::chrono::milliseconds(timeout_ms)) {
+      return {};
+    }
+    pollfd pfds[2] = {{a.fd, POLLIN, 0}, {b.fd, POLLIN, 0}};
+    if (a_dead) pfds[0].fd = -1;  // poll ignores negative fds
+    if (b_dead) pfds[1].fd = -1;
+    const int ready = ::poll(pfds, 2, kPollTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return {};
+    }
+    if (ready == 0) continue;
+    if (!a_dead && (pfds[0].revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (auto f = pump(a, a_dead)) return {std::move(f), 0};
+    }
+    if (!b_dead && (pfds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (auto f = pump(b, b_dead)) return {std::move(f), 1};
+    }
+  }
+}
+
+}  // namespace qsnc::router

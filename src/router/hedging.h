@@ -1,0 +1,42 @@
+// Hedged-request policy and the first-response-wins race primitive.
+//
+// Hedging trades duplicate backend work for tail latency: when an
+// interactive request has no response after hedge_after_us, the router
+// sends a duplicate to the next ring candidate and takes whichever
+// response lands first. Inference is idempotent and side-effect free, so
+// the only cost is the duplicated compute — which is why the policy
+// restricts hedging to the interactive class (batch traffic cares about
+// throughput, and hedging it would double load exactly when the fleet is
+// busiest).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "router/backend_pool.h"
+#include "serve/micro_batcher.h"
+#include "serve/protocol.h"
+
+namespace qsnc::router {
+
+/// Should this request hedge? Requires hedging enabled
+/// (hedge_after_us > 0), interactive priority, and a distinct second
+/// candidate to hedge to.
+bool should_hedge(int64_t hedge_after_us, serve::Priority priority,
+                  size_t distinct_candidates);
+
+/// Outcome of racing two in-flight responses.
+struct RaceResult {
+  std::optional<serve::Frame> frame;
+  int winner = -1;  // 0 = a, 1 = b, -1 = neither answered in time
+};
+
+/// Polls both connections until either yields one complete frame or
+/// `timeout_ms` elapses. A side that EOFs, errors, or sends a malformed
+/// frame is dropped from the race; the other keeps running. Feeds each
+/// connection's FrameReader, so the loser's stream state is undefined
+/// afterwards — the caller must invalidate the losing connection.
+RaceResult race_frames(BackendPool::Conn& a, BackendPool::Conn& b,
+                       int64_t timeout_ms);
+
+}  // namespace qsnc::router

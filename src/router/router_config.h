@@ -1,0 +1,56 @@
+// Configuration of the router front tier (see router_server.h for the
+// architecture). Everything here is knobs; the defaults are tuned for a
+// small same-host fleet (the CI smoke topology) and err toward fast
+// failure detection over probe economy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace qsnc::router {
+
+struct RouterOptions {
+  /// Backend serving processes to balance over (any endpoint kind).
+  std::vector<serve::Endpoint> backends;
+
+  /// Virtual nodes per backend on the consistent-hash ring. More vnodes
+  /// = flatter load split and smaller remap steps on membership change,
+  /// at O(vnodes * backends * log) ring size.
+  int vnodes = 64;
+
+  // --- health probing ----------------------------------------------------
+  /// Cadence of the background kHealthProbe round over all backends.
+  int64_t probe_interval_ms = 200;
+  /// Per-probe response deadline; a probe that misses it counts failed.
+  int64_t probe_timeout_ms = 500;
+  /// Consecutive failed probes before a backend is marked down (routed
+  /// around until a probe succeeds again).
+  int probe_down_after = 2;
+
+  // --- forwarding --------------------------------------------------------
+  /// Per-attempt deadline on one backend answering one forwarded request.
+  /// A miss invalidates the pooled connection, feeds the backend's
+  /// breaker, and moves on to the next ring candidate.
+  int64_t forward_timeout_ms = 5000;
+
+  /// Hedging (interactive traffic only): when a forwarded request has no
+  /// response after this long, a duplicate is sent to the next ring
+  /// candidate and the first response wins. 0 disables hedging.
+  int64_t hedge_after_us = 0;
+
+  /// Per-backend circuit breaker (serve/admission.h): this many
+  /// consecutive forward failures open it for breaker_open_ms, during
+  /// which the backend is skipped except for the half-open probe.
+  int breaker_threshold = 3;
+  int64_t breaker_open_ms = 500;
+
+  /// Endpoint the router itself listens on.
+  serve::Endpoint listen;
+  /// Slow-client defenses of the router's own front listener.
+  serve::SocketServerOptions front;
+};
+
+}  // namespace qsnc::router

@@ -1,0 +1,286 @@
+#include "router/router_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "router/hedging.h"
+
+namespace qsnc::router {
+
+using serve::Frame;
+using serve::MsgType;
+
+namespace {
+
+int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+Router::Router(BackendPool& pool, const RouterOptions& options)
+    : pool_(pool), ring_(pool.labels(), options.vnodes), options_(options) {}
+
+bool Router::handle(const Frame& frame, serve::FrameSink& sink) {
+  switch (frame.type) {
+    case MsgType::kInferRequest:
+      return handle_infer(serve::decode_infer_request(frame.body), sink);
+    case MsgType::kForwardInfer:
+      // A router behind a router: re-route by the request alone.
+      return handle_infer(
+          serve::decode_forward_infer(frame.body).request, sink);
+    case MsgType::kStatsRequest:
+      return sink.send(serve::encode_stats_response(stats_report()));
+    case MsgType::kHello: {
+      const serve::Hello hello = serve::decode_hello(frame.body);
+      serve::HelloAck ack;
+      ack.version = serve::kProtocolVersion;
+      ack.accepted = hello.version == serve::kProtocolVersion;
+      return sink.send(serve::encode_hello_ack(ack));
+    }
+    case MsgType::kHealthProbe: {
+      const serve::HealthProbe probe =
+          serve::decode_health_probe(frame.body);
+      serve::HealthAck ack;
+      ack.nonce = probe.nonce;
+      ack.healthy = true;
+      ack.queue_depth = 0;  // the router holds no queue; backends do
+      return sink.send(serve::encode_health_ack(ack));
+    }
+    default:
+      throw serve::ProtocolError("unexpected message type");
+  }
+}
+
+bool Router::handle_infer(serve::InferRequest request,
+                          serve::FrameSink& sink) {
+  ++requests_;
+  // Sticky sessions pin to hash(model, session); sessionless requests
+  // spray over the ring with a counter so one hot model still uses the
+  // whole fleet.
+  const uint64_t rh =
+      request.session.empty()
+          ? route_hash(request.model,
+                       "\x01" + std::to_string(spread_.fetch_add(1)))
+          : route_hash(request.model, request.session);
+  const std::vector<size_t> candidates = ring_.pick_n(rh, pool_.size());
+
+  serve::ForwardedInfer forward;
+  forward.route_hash = rh;
+  forward.request = std::move(request);
+  const std::vector<uint8_t> wire = serve::encode_forward_infer(forward);
+
+  // Usable candidates first (ring order preserved); the rest still get a
+  // last-resort attempt in case the prober's verdict is stale.
+  std::vector<size_t> ordered;
+  ordered.reserve(candidates.size());
+  for (const size_t c : candidates) {
+    if (pool_.usable(c, now_us())) ordered.push_back(c);
+  }
+  const size_t usable = ordered.size();
+  for (const size_t c : candidates) {
+    if (std::find(ordered.begin(), ordered.end(), c) == ordered.end()) {
+      ordered.push_back(c);
+    }
+  }
+
+  const bool hedge = should_hedge(options_.hedge_after_us,
+                                  forward.request.priority, usable);
+  serve::InferResponse response;
+  for (size_t attempt = 0; attempt < ordered.size(); ++attempt) {
+    const size_t target = ordered[attempt];
+    // Hedge partner: the next usable candidate after this attempt.
+    const int partner =
+        hedge && attempt + 1 < usable ? static_cast<int>(ordered[attempt + 1])
+                                      : -1;
+    if (forward_attempt(target, partner, forward.request, wire, response)) {
+      if (attempt > 0) ++rerouted_;
+      return sink.send(serve::encode_infer_response(response));
+    }
+    pool_.note_reroute_away(target);
+  }
+
+  // Every backend failed: a structured error beats a hung client.
+  ++exhausted_;
+  response.id = forward.request.id;
+  response.response = serve::Response{};
+  response.response.status = serve::Status::kError;
+  response.response.error = "router: no backend available";
+  return sink.send(serve::encode_infer_response(response));
+}
+
+bool Router::forward_attempt(size_t backend, int hedge_backend,
+                             const serve::InferRequest& request,
+                             const std::vector<uint8_t>& wire,
+                             serve::InferResponse& response) {
+  auto validate = [&](const Frame& frame) -> bool {
+    if (frame.type != MsgType::kInferResponse) return false;
+    try {
+      serve::InferResponse decoded =
+          serve::decode_infer_response(frame.body);
+      if (decoded.id != request.id) return false;
+      response = std::move(decoded);
+      return true;
+    } catch (const serve::ProtocolError&) {
+      return false;
+    }
+  };
+
+  auto conn = pool_.checkout(backend);
+  if (conn == nullptr) {
+    pool_.record_failure(backend, now_us());
+    return false;
+  }
+  pool_.note_forward(backend);
+  if (!serve::write_with_deadline(conn->fd, wire,
+                                  options_.forward_timeout_ms)) {
+    pool_.record_failure(backend, now_us());
+    return false;  // conn closed with scope
+  }
+
+  // First wait: the full budget without hedging, else the hedge trigger.
+  const int64_t first_wait_ms =
+      hedge_backend < 0
+          ? options_.forward_timeout_ms
+          : std::max<int64_t>(1, options_.hedge_after_us / 1000);
+  std::optional<Frame> frame;
+  try {
+    frame = serve::read_frame_with_deadline(conn->fd, conn->reader,
+                                            first_wait_ms);
+  } catch (const serve::ProtocolError&) {
+    pool_.record_failure(backend, now_us());
+    return false;
+  }
+  if (frame) {
+    if (!validate(*frame)) {
+      pool_.record_failure(backend, now_us());
+      return false;
+    }
+    pool_.record_success(backend);
+    pool_.checkin(backend, std::move(conn));
+    return true;
+  }
+  if (hedge_backend < 0) {
+    pool_.record_failure(backend, now_us());  // full-budget timeout
+    return false;
+  }
+
+  // Primary is quiet past the hedge trigger: duplicate to the partner and
+  // race the two responses.
+  const size_t hb = static_cast<size_t>(hedge_backend);
+  auto hedge_conn = pool_.checkout(hb);
+  if (hedge_conn != nullptr) {
+    pool_.note_forward(hb);
+    pool_.note_hedge(hb);
+    ++hedged_;
+    if (!serve::write_with_deadline(hedge_conn->fd, wire,
+                                    options_.forward_timeout_ms)) {
+      hedge_conn.reset();
+    }
+  }
+  if (hedge_conn == nullptr) {
+    // Could not hedge after all: keep waiting on the primary alone.
+    try {
+      frame = serve::read_frame_with_deadline(conn->fd, conn->reader,
+                                              options_.forward_timeout_ms);
+    } catch (const serve::ProtocolError&) {
+      frame.reset();
+    }
+    if (frame && validate(*frame)) {
+      pool_.record_success(backend);
+      pool_.checkin(backend, std::move(conn));
+      return true;
+    }
+    pool_.record_failure(backend, now_us());
+    return false;
+  }
+
+  const RaceResult race =
+      race_frames(*conn, *hedge_conn, options_.forward_timeout_ms);
+  if (race.frame && validate(*race.frame)) {
+    const size_t winner = race.winner == 0 ? backend : hb;
+    if (race.winner == 1) ++hedge_wins_;
+    pool_.record_success(winner);
+    // The winner's connection is clean only if its reader is empty; the
+    // loser is mid-response and must be dropped either way.
+    if (race.winner == 0) {
+      pool_.checkin(backend, std::move(conn));
+    } else {
+      pool_.checkin(hb, std::move(hedge_conn));
+    }
+    return true;
+  }
+  // Neither answered in time.
+  pool_.record_failure(backend, now_us());
+  pool_.record_failure(hb, now_us());
+  return false;
+}
+
+std::string Router::stats_report() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "router: %llu requests, %llu rerouted, %llu hedged "
+                "(%llu hedge wins), %llu exhausted\n",
+                static_cast<unsigned long long>(requests_.load()),
+                static_cast<unsigned long long>(rerouted_.load()),
+                static_cast<unsigned long long>(hedged_.load()),
+                static_cast<unsigned long long>(hedge_wins_.load()),
+                static_cast<unsigned long long>(exhausted_.load()));
+  std::string out = line;
+  std::snprintf(line, sizeof(line), "%-28s %-4s %-8s %8s %6s %6s %6s %7s %7s %6s\n",
+                "backend", "up", "breaker", "fwd", "fail", "away",
+                "hedge", "p_ok", "p_fail", "depth");
+  out += line;
+  for (const BackendSnapshot& s : pool_.stats()) {
+    const char* breaker =
+        s.breaker == serve::CircuitBreaker::State::kClosed     ? "closed"
+        : s.breaker == serve::CircuitBreaker::State::kOpen     ? "open"
+                                                               : "half";
+    std::snprintf(
+        line, sizeof(line),
+        "%-28s %-4s %-8s %8llu %6llu %6llu %6llu %7llu %7llu %6u\n",
+        s.endpoint.c_str(), s.up ? "yes" : "NO", breaker,
+        static_cast<unsigned long long>(s.forwards),
+        static_cast<unsigned long long>(s.failures),
+        static_cast<unsigned long long>(s.reroutes_away),
+        static_cast<unsigned long long>(s.hedges),
+        static_cast<unsigned long long>(s.probes_ok),
+        static_cast<unsigned long long>(s.probes_failed),
+        s.last_queue_depth);
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RouterServer
+// ---------------------------------------------------------------------------
+
+RouterServer::RouterServer(const RouterOptions& options)
+    : pool_(options),
+      router_(pool_, options),
+      prober_(pool_, options) {
+  server_ = std::make_unique<serve::SocketServer>(router_, options.listen,
+                                                  options.front);
+}
+
+RouterServer::~RouterServer() { stop(); }
+
+void RouterServer::stop() {
+  if (server_ != nullptr) server_->stop();
+  prober_.stop();
+}
+
+void RouterServer::run_until_signal() {
+  server_->run_until_signal();
+  prober_.stop();
+}
+
+}  // namespace qsnc::router

@@ -1,0 +1,104 @@
+// The `qsnc router` front tier: one process that load-balances the wire
+// protocol over a fleet of backend serving processes.
+//
+//   clients ──> RouterServer ──> backend qsnc serve processes
+//
+// Routing: each kInferRequest hashes (model, session) onto a
+// consistent-hash ring over the configured backends — requests sharing a
+// session key stick to one backend; sessionless requests spread via a
+// per-router counter. The ring's clockwise walk gives every key a stable
+// fallback order: when the chosen backend is down (health prober), has
+// an open breaker, or fails/times out the forward, the router reroutes
+// to the next candidate — the client sees one response either way, so a
+// SIGKILLed backend costs latency, never an accepted-request drop. Only
+// when every backend fails does the client get a structured kError.
+//
+// Hedging (router_config.h hedge_after_us): interactive requests with a
+// quiet primary are duplicated to the next candidate and the first
+// response wins, cutting p99 when one backend is slow but alive.
+//
+// The router speaks the same protocol on both sides: clients need no
+// changes beyond the endpoint (SocketClient works unchanged), and
+// backends see kForwardInfer frames they execute exactly like direct
+// kInferRequests — responses are byte-identical to direct serving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "router/backend_pool.h"
+#include "router/hash_ring.h"
+#include "router/health_prober.h"
+#include "router/router_config.h"
+#include "serve/server.h"
+
+namespace qsnc::router {
+
+/// The routing FrameHandler: plug into a serve::SocketServer for the
+/// listening front. Thread-safe (called from connection handler threads).
+class Router : public serve::FrameHandler {
+ public:
+  /// `pool` must outlive the router.
+  Router(BackendPool& pool, const RouterOptions& options);
+
+  bool handle(const serve::Frame& frame, serve::FrameSink& sink) override;
+
+  /// Health table: per-backend up/breaker/forward/probe counters plus
+  /// router totals (answers kStatsRequest on the front socket).
+  std::string stats_report() const;
+
+  uint64_t requests() const { return requests_.load(); }
+  uint64_t rerouted() const { return rerouted_.load(); }
+  uint64_t hedged() const { return hedged_.load(); }
+  uint64_t hedge_wins() const { return hedge_wins_.load(); }
+  uint64_t exhausted() const { return exhausted_.load(); }
+
+ private:
+  bool handle_infer(serve::InferRequest request, serve::FrameSink& sink);
+  /// One forward attempt against `backend` (hedging to `hedge_backend`
+  /// when >= 0). Fills `response` and returns true on a valid response.
+  bool forward_attempt(size_t backend, int hedge_backend,
+                       const serve::InferRequest& request,
+                       const std::vector<uint8_t>& wire,
+                       serve::InferResponse& response);
+
+  BackendPool& pool_;
+  HashRing ring_;
+  RouterOptions options_;
+  std::atomic<uint64_t> spread_{0};  // sessionless spray counter
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rerouted_{0};
+  std::atomic<uint64_t> hedged_{0};
+  std::atomic<uint64_t> hedge_wins_{0};
+  std::atomic<uint64_t> exhausted_{0};
+};
+
+/// Process-level bundle: backend pool + prober + router + front listener.
+class RouterServer {
+ public:
+  /// Binds the front listener and starts probing. Throws on bind failure
+  /// or an empty backend list.
+  explicit RouterServer(const RouterOptions& options);
+  ~RouterServer();  // stops
+
+  /// Front endpoint actually bound (ephemeral tcp port resolved).
+  const serve::Endpoint& endpoint() const { return server_->endpoint(); }
+
+  Router& router() { return router_; }
+  BackendPool& pool() { return pool_; }
+  HealthProber& prober() { return prober_; }
+
+  void stop();
+  void run_until_signal();
+
+ private:
+  BackendPool pool_;
+  Router router_;
+  HealthProber prober_;
+  std::unique_ptr<serve::SocketServer> server_;
+};
+
+}  // namespace qsnc::router

@@ -58,8 +58,11 @@ nn::Shape architecture_input_shape(const std::string& architecture) {
 struct ModelRegistry::Entry {
   ModelConfig config;
   nn::Shape input_chw;
-  std::unique_ptr<nn::Network> net;
-  std::unique_ptr<Backend> backend;
+  // One network+backend pair per shard, all built from the same
+  // seed/checkpoint (Network caches forward state, so lanes cannot share
+  // one instance). nets[i] is the network behind backends[i].
+  std::vector<std::unique_ptr<nn::Network>> nets;
+  std::vector<std::unique_ptr<Backend>> backends;
 };
 
 ModelRegistry::ModelRegistry() = default;
@@ -71,60 +74,70 @@ Backend& ModelRegistry::add(const std::string& name,
     throw std::invalid_argument("ModelRegistry: duplicate model '" + name +
                                 "'");
   }
+  if (config.shards < 1) {
+    throw std::invalid_argument("ModelRegistry: model '" + name +
+                                "' needs shards >= 1");
+  }
   const Architecture arch = resolve_architecture(config.architecture);
 
   auto entry = std::make_unique<Entry>();
   entry->config = config;
   entry->input_chw = arch.input_chw;
 
-  nn::Rng rng(config.init_seed);
-  entry->net = std::make_unique<nn::Network>(arch.factory(rng));
-  if (!config.state_path.empty()) {
-    nn::load_state(*entry->net, config.state_path);
-  }
-
-  switch (config.backend) {
-    case BackendKind::kFp32:
-      entry->backend = std::make_unique<Fp32Backend>(
-          *entry->net, entry->input_chw);
-      break;
-    case BackendKind::kQuant:
-      entry->backend = std::make_unique<QuantBackend>(
-          *entry->net, entry->input_chw, config.bits);
-      break;
-    case BackendKind::kSnc: {
-      // Deployment order (see core/bn_folding.h): fold, cluster, program.
-      core::fold_batchnorm(*entry->net);
-      core::WeightClusterConfig wc;
-      wc.bits = config.bits;
-      const auto results =
-          core::apply_weight_clustering(*entry->net, wc);
-      snc::SncConfig snc_cfg;
-      snc_cfg.signal_bits = config.bits;
-      snc_cfg.weight_bits = config.bits;
-      snc_cfg.weight_scales.clear();
-      for (const auto& r : results) {
-        snc_cfg.weight_scales.push_back(r.scale);
-      }
-      snc_cfg.input_scale = std::min(
-          16.0f, static_cast<float>(core::signal_max(config.bits)));
-      snc_cfg.engine = config.snc_dense_reference
-                           ? snc::SncEngine::kDenseReference
-                           : snc::SncEngine::kEventDriven;
-      snc_cfg.seed = config.snc_seed;
-      snc_cfg.device.variation_sigma = config.snc_variation_sigma;
-      snc_cfg.device.stuck_on_rate = config.snc_stuck_on_rate;
-      snc_cfg.device.stuck_off_rate = config.snc_stuck_off_rate;
-      snc_cfg.recovery.write_verify = config.snc_write_verify;
-      snc_cfg.recovery.spare_cols = config.snc_spare_cols;
-      entry->backend = std::make_unique<SncBackend>(
-          *entry->net, entry->input_chw, snc_cfg, config.snc_replicas,
-          config.snc_health);
-      break;
+  // Every shard rebuilds from the same seed/checkpoint, so the pool is
+  // bit-identical by construction: which shard serves a request is
+  // unobservable in the prediction.
+  for (int shard = 0; shard < config.shards; ++shard) {
+    nn::Rng rng(config.init_seed);
+    auto net = std::make_unique<nn::Network>(arch.factory(rng));
+    if (!config.state_path.empty()) {
+      nn::load_state(*net, config.state_path);
     }
+
+    std::unique_ptr<Backend> backend;
+    switch (config.backend) {
+      case BackendKind::kFp32:
+        backend = std::make_unique<Fp32Backend>(*net, entry->input_chw);
+        break;
+      case BackendKind::kQuant:
+        backend = std::make_unique<QuantBackend>(*net, entry->input_chw,
+                                                 config.bits);
+        break;
+      case BackendKind::kSnc: {
+        // Deployment order (see core/bn_folding.h): fold, cluster, program.
+        core::fold_batchnorm(*net);
+        core::WeightClusterConfig wc;
+        wc.bits = config.bits;
+        const auto results = core::apply_weight_clustering(*net, wc);
+        snc::SncConfig snc_cfg;
+        snc_cfg.signal_bits = config.bits;
+        snc_cfg.weight_bits = config.bits;
+        snc_cfg.weight_scales.clear();
+        for (const auto& r : results) {
+          snc_cfg.weight_scales.push_back(r.scale);
+        }
+        snc_cfg.input_scale = std::min(
+            16.0f, static_cast<float>(core::signal_max(config.bits)));
+        snc_cfg.engine = config.snc_dense_reference
+                             ? snc::SncEngine::kDenseReference
+                             : snc::SncEngine::kEventDriven;
+        snc_cfg.seed = config.snc_seed;
+        snc_cfg.device.variation_sigma = config.snc_variation_sigma;
+        snc_cfg.device.stuck_on_rate = config.snc_stuck_on_rate;
+        snc_cfg.device.stuck_off_rate = config.snc_stuck_off_rate;
+        snc_cfg.recovery.write_verify = config.snc_write_verify;
+        snc_cfg.recovery.spare_cols = config.snc_spare_cols;
+        backend = std::make_unique<SncBackend>(*net, entry->input_chw,
+                                               snc_cfg, config.snc_replicas,
+                                               config.snc_health);
+        break;
+      }
+    }
+    entry->nets.push_back(std::move(net));
+    entry->backends.push_back(std::move(backend));
   }
 
-  Backend& backend = *entry->backend;
+  Backend& backend = *entry->backends.front();
   entries_[name] = std::move(entry);
   return backend;
 }
@@ -144,7 +157,21 @@ const ModelRegistry::Entry& ModelRegistry::entry(
 }
 
 Backend& ModelRegistry::backend(const std::string& name) const {
-  return *entry(name).backend;
+  return *entry(name).backends.front();
+}
+
+Backend& ModelRegistry::backend(const std::string& name,
+                                size_t shard) const {
+  const Entry& e = entry(name);
+  if (shard >= e.backends.size()) {
+    throw std::invalid_argument("ModelRegistry: model '" + name +
+                                "' has no shard " + std::to_string(shard));
+  }
+  return *e.backends[shard];
+}
+
+size_t ModelRegistry::num_shards(const std::string& name) const {
+  return entry(name).backends.size();
 }
 
 const ModelConfig& ModelRegistry::config(const std::string& name) const {

@@ -33,6 +33,12 @@ nn::Shape architecture_input_shape(const std::string& architecture);
 struct ModelConfig {
   /// Model-zoo architecture: lenet[-mini] | alexnet[-mini] | resnet[-mini].
   std::string architecture = "lenet-mini";
+  /// Shard-pool width: the registry builds this many independent
+  /// network+backend instances from the same seed/checkpoint, and
+  /// ServeCore runs one batcher lane per shard. Shards are bit-identical
+  /// by construction, so which lane serves a request is unobservable in
+  /// the prediction. Must be >= 1.
+  int shards = 1;
   /// Optional nn::save_state checkpoint to restore; empty serves the
   /// deterministic fresh initialization from `init_seed` (useful for load
   /// tests and demos — predictions are still reproducible).
@@ -83,7 +89,10 @@ class ModelRegistry {
   bool contains(const std::string& name) const;
 
   /// Throws std::invalid_argument when `name` is not registered.
+  /// The one-argument form is shard 0 (the pre-shard API).
   Backend& backend(const std::string& name) const;
+  Backend& backend(const std::string& name, size_t shard) const;
+  size_t num_shards(const std::string& name) const;
   const ModelConfig& config(const std::string& name) const;
   const nn::Shape& input_shape(const std::string& name) const;
 

@@ -71,18 +71,26 @@ std::vector<uint8_t> finish_frame(MsgType type,
 
 }  // namespace
 
-std::vector<uint8_t> encode_infer_request(const InferRequest& request) {
+namespace {
+
+/// Shared body writer for kInferRequest and the payload of kForwardInfer.
+void put_infer_request(std::vector<uint8_t>& body,
+                       const InferRequest& request) {
   if (request.model.size() > UINT16_MAX) {
     throw ProtocolError("protocol: model name too long");
+  }
+  if (request.session.size() > UINT16_MAX) {
+    throw ProtocolError("protocol: session key too long");
   }
   const nn::Shape& shape = request.image.shape();
   if (shape.size() > kMaxTensorRank) {
     throw ProtocolError("protocol: tensor rank > kMaxTensorRank");
   }
-  std::vector<uint8_t> body;
   put<uint64_t>(body, request.id);
   put<uint64_t>(body, request.deadline_us);
   put<uint8_t>(body, static_cast<uint8_t>(request.priority));
+  put<uint16_t>(body, static_cast<uint16_t>(request.session.size()));
+  body.insert(body.end(), request.session.begin(), request.session.end());
   put<uint16_t>(body, static_cast<uint16_t>(request.model.size()));
   body.insert(body.end(), request.model.begin(), request.model.end());
   put<uint8_t>(body, static_cast<uint8_t>(shape.size()));
@@ -97,11 +105,11 @@ std::vector<uint8_t> encode_infer_request(const InferRequest& request) {
   body.resize(at + static_cast<size_t>(numel) * sizeof(float));
   std::memcpy(body.data() + at, request.image.data(),
               static_cast<size_t>(numel) * sizeof(float));
-  return finish_frame(MsgType::kInferRequest, std::move(body));
 }
 
-InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
-  Cursor c{body};
+/// Shared body reader; the caller owns the trailing-bytes check so
+/// kForwardInfer can prepend its route hash.
+InferRequest take_infer_request(Cursor& c) {
   InferRequest request;
   request.id = c.take<uint64_t>("id");
   request.deadline_us = c.take<uint64_t>("deadline_us");
@@ -110,6 +118,8 @@ InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
     throw ProtocolError("protocol: unknown priority class");
   }
   request.priority = static_cast<Priority>(priority);
+  const uint16_t session_len = c.take<uint16_t>("session_len");
+  request.session = c.take_string(session_len, "session");
   const uint16_t model_len = c.take<uint16_t>("model_len");
   request.model = c.take_string(model_len, "model");
   const uint8_t rank = c.take<uint8_t>("rank");
@@ -130,13 +140,27 @@ InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
     }
   }
   std::vector<float> data(static_cast<size_t>(numel));
-  if (body.size() - c.at < numel * sizeof(float)) {
+  if (c.buf.size() - c.at < numel * sizeof(float)) {
     throw ProtocolError("protocol: truncated frame at tensor data");
   }
-  std::memcpy(data.data(), body.data() + c.at, numel * sizeof(float));
+  std::memcpy(data.data(), c.buf.data() + c.at, numel * sizeof(float));
   c.at += numel * sizeof(float);
-  c.done("InferRequest");
   request.image = nn::Tensor(std::move(shape), std::move(data));
+  return request;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_infer_request(const InferRequest& request) {
+  std::vector<uint8_t> body;
+  put_infer_request(body, request);
+  return finish_frame(MsgType::kInferRequest, std::move(body));
+}
+
+InferRequest decode_infer_request(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  InferRequest request = take_infer_request(c);
+  c.done("InferRequest");
   return request;
 }
 
@@ -195,6 +219,98 @@ std::string decode_stats_response(const std::vector<uint8_t>& body) {
   std::string text = c.take_string(len, "text");
   c.done("StatsResponse");
   return text;
+}
+
+std::vector<uint8_t> encode_hello(const Hello& hello) {
+  std::vector<uint8_t> body;
+  put<uint16_t>(body, hello.version);
+  put<uint8_t>(body, static_cast<uint8_t>(hello.role));
+  return finish_frame(MsgType::kHello, std::move(body));
+}
+
+Hello decode_hello(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  Hello hello;
+  hello.version = c.take<uint16_t>("version");
+  const uint8_t role = c.take<uint8_t>("role");
+  if (role > static_cast<uint8_t>(PeerRole::kRouter)) {
+    throw ProtocolError("protocol: unknown peer role");
+  }
+  hello.role = static_cast<PeerRole>(role);
+  c.done("Hello");
+  return hello;
+}
+
+std::vector<uint8_t> encode_hello_ack(const HelloAck& ack) {
+  std::vector<uint8_t> body;
+  put<uint16_t>(body, ack.version);
+  put<uint8_t>(body, ack.accepted ? 1 : 0);
+  return finish_frame(MsgType::kHelloAck, std::move(body));
+}
+
+HelloAck decode_hello_ack(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  HelloAck ack;
+  ack.version = c.take<uint16_t>("version");
+  const uint8_t accepted = c.take<uint8_t>("accepted");
+  if (accepted > 1) {
+    throw ProtocolError("protocol: accepted flag out of range");
+  }
+  ack.accepted = accepted != 0;
+  c.done("HelloAck");
+  return ack;
+}
+
+std::vector<uint8_t> encode_health_probe(const HealthProbe& probe) {
+  std::vector<uint8_t> body;
+  put<uint64_t>(body, probe.nonce);
+  return finish_frame(MsgType::kHealthProbe, std::move(body));
+}
+
+HealthProbe decode_health_probe(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  HealthProbe probe;
+  probe.nonce = c.take<uint64_t>("nonce");
+  c.done("HealthProbe");
+  return probe;
+}
+
+std::vector<uint8_t> encode_health_ack(const HealthAck& ack) {
+  std::vector<uint8_t> body;
+  put<uint64_t>(body, ack.nonce);
+  put<uint8_t>(body, ack.healthy ? 1 : 0);
+  put<uint32_t>(body, ack.queue_depth);
+  return finish_frame(MsgType::kHealthAck, std::move(body));
+}
+
+HealthAck decode_health_ack(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  HealthAck ack;
+  ack.nonce = c.take<uint64_t>("nonce");
+  const uint8_t healthy = c.take<uint8_t>("healthy");
+  if (healthy > 1) {
+    throw ProtocolError("protocol: healthy flag out of range");
+  }
+  ack.healthy = healthy != 0;
+  ack.queue_depth = c.take<uint32_t>("queue_depth");
+  c.done("HealthAck");
+  return ack;
+}
+
+std::vector<uint8_t> encode_forward_infer(const ForwardedInfer& forward) {
+  std::vector<uint8_t> body;
+  put<uint64_t>(body, forward.route_hash);
+  put_infer_request(body, forward.request);
+  return finish_frame(MsgType::kForwardInfer, std::move(body));
+}
+
+ForwardedInfer decode_forward_infer(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  ForwardedInfer forward;
+  forward.route_hash = c.take<uint64_t>("route_hash");
+  forward.request = take_infer_request(c);
+  c.done("ForwardInfer");
+  return forward;
 }
 
 void FrameReader::feed(const uint8_t* data, size_t n) {

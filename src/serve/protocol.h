@@ -5,10 +5,12 @@
 //   u32 payload_len | u8 type | payload[payload_len - 1]
 //
 // i.e. payload_len counts the type byte plus the body. Messages
-// (protocol version 3 — v2 added deadline_us/degraded, v3 adds the
-// request priority byte and the kShedded status code):
+// (protocol version 4 — v2 added deadline_us/degraded, v3 the request
+// priority byte and the kShedded status code, v4 the session key,
+// the hello handshake, health probes, and the router-forward frame):
 //
 //   kInferRequest  (1): u64 id | u64 deadline_us | u8 priority |
+//                       u16 session_len | session bytes |
 //                       u16 model_len | model bytes | u8 rank |
 //                       u32 dim[rank] | f32 data[numel]
 //   kInferResponse (2): u64 id | u8 status | u8 degraded |
@@ -17,6 +19,20 @@
 //                       u16 error_len | error bytes
 //   kStatsRequest  (3): (empty body)
 //   kStatsResponse (4): u32 text_len | text bytes
+//   kHello         (5): u16 version | u8 role (0 client, 1 router)
+//   kHelloAck      (6): u16 version | u8 accepted
+//   kHealthProbe   (7): u64 nonce
+//   kHealthAck     (8): u64 nonce | u8 healthy | u32 queue_depth
+//   kForwardInfer  (9): u64 route_hash | <kInferRequest body>
+//
+// The session key (v4) is an optional client-chosen affinity tag: the
+// router hashes (model, session) onto its consistent-hash ring so all
+// requests of one session land on the same backend (the hook for future
+// sticky streaming); backends carry it through untouched. kForwardInfer
+// is the router->backend spelling of an infer: the precomputed route
+// hash travels with the request so a backend (or a debug tap) can
+// attribute traffic to ring positions; backends execute it exactly like
+// kInferRequest and reply kInferResponse.
 //
 // Decoders throw ProtocolError on truncated bodies, oversized frames
 // (> kMaxFrameBytes — a corrupt length prefix must not allocate
@@ -43,9 +59,11 @@ struct ProtocolError : std::runtime_error {
 };
 
 /// Wire protocol revision implemented by this library (both ends of the
-/// unix socket are built from this repo; the constant documents the
-/// lineage: 1 = initial, 2 = deadline_us/degraded, 3 = priority/kShedded).
-constexpr int kProtocolVersion = 3;
+/// socket are built from this repo; the constant documents the lineage:
+/// 1 = initial, 2 = deadline_us/degraded, 3 = priority/kShedded,
+/// 4 = session key + hello/health/forward frames). The kHello handshake
+/// lets mixed-version fleets fail fast instead of mis-decoding.
+constexpr uint16_t kProtocolVersion = 4;
 
 /// Hard cap on one frame's payload (length prefix included in checks).
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
@@ -62,12 +80,22 @@ enum class MsgType : uint8_t {
   kInferResponse = 2,
   kStatsRequest = 3,
   kStatsResponse = 4,
+  kHello = 5,
+  kHelloAck = 6,
+  kHealthProbe = 7,
+  kHealthAck = 8,
+  kForwardInfer = 9,
 };
+
+enum class PeerRole : uint8_t { kClient = 0, kRouter = 1 };
 
 struct InferRequest {
   uint64_t id = 0;
   uint64_t deadline_us = 0;  // latency budget from enqueue; 0 = none
   Priority priority = Priority::kInteractive;
+  /// Optional affinity key: the router pins all requests sharing
+  /// (model, session) to one backend. Empty = no affinity (spread).
+  std::string session;
   std::string model;
   nn::Tensor image;  // [C, H, W]
 };
@@ -83,14 +111,50 @@ struct Frame {
   std::vector<uint8_t> body;
 };
 
+/// kHello / kHelloAck bodies (version negotiation at connect time).
+struct Hello {
+  uint16_t version = kProtocolVersion;
+  PeerRole role = PeerRole::kClient;
+};
+struct HelloAck {
+  uint16_t version = kProtocolVersion;
+  bool accepted = false;
+};
+
+/// kHealthProbe / kHealthAck bodies (router liveness + load probes).
+struct HealthProbe {
+  uint64_t nonce = 0;
+};
+struct HealthAck {
+  uint64_t nonce = 0;
+  bool healthy = false;
+  uint32_t queue_depth = 0;  // total queued requests across models
+};
+
+/// kForwardInfer body: the router->backend spelling of an infer.
+struct ForwardedInfer {
+  uint64_t route_hash = 0;  // ring position the router chose
+  InferRequest request;
+};
+
 std::vector<uint8_t> encode_infer_request(const InferRequest& request);
 std::vector<uint8_t> encode_infer_response(const InferResponse& response);
 std::vector<uint8_t> encode_stats_request();
 std::vector<uint8_t> encode_stats_response(const std::string& text);
+std::vector<uint8_t> encode_hello(const Hello& hello);
+std::vector<uint8_t> encode_hello_ack(const HelloAck& ack);
+std::vector<uint8_t> encode_health_probe(const HealthProbe& probe);
+std::vector<uint8_t> encode_health_ack(const HealthAck& ack);
+std::vector<uint8_t> encode_forward_infer(const ForwardedInfer& forward);
 
 InferRequest decode_infer_request(const std::vector<uint8_t>& body);
 InferResponse decode_infer_response(const std::vector<uint8_t>& body);
 std::string decode_stats_response(const std::vector<uint8_t>& body);
+Hello decode_hello(const std::vector<uint8_t>& body);
+HelloAck decode_hello_ack(const std::vector<uint8_t>& body);
+HealthProbe decode_health_probe(const std::vector<uint8_t>& body);
+HealthAck decode_health_ack(const std::vector<uint8_t>& body);
+ForwardedInfer decode_forward_infer(const std::vector<uint8_t>& body);
 
 /// Incremental frame splitter over a byte stream.
 class FrameReader {

@@ -2,7 +2,6 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -21,8 +20,13 @@ ServeCore::ServeCore(const ModelRegistry& registry,
                      const BatchOptions& options)
     : registry_(registry) {
   for (const std::string& name : registry.names()) {
-    batchers_[name] =
-        std::make_unique<MicroBatcher>(registry.backend(name), options);
+    auto lanes = std::make_unique<ModelLanes>();
+    const size_t shards = registry.num_shards(name);
+    for (size_t shard = 0; shard < shards; ++shard) {
+      lanes->lanes.push_back(std::make_unique<MicroBatcher>(
+          registry.backend(name, shard), options));
+    }
+    models_[name] = std::move(lanes);
   }
 }
 
@@ -32,8 +36,8 @@ std::future<Response> ServeCore::infer_async(const std::string& model,
                                              nn::Tensor image,
                                              uint64_t deadline_us,
                                              Priority priority) {
-  const auto it = batchers_.find(model);
-  if (it == batchers_.end()) {
+  const auto it = models_.find(model);
+  if (it == models_.end()) {
     std::promise<Response> promise;
     Response r;
     r.status = Status::kError;
@@ -41,7 +45,21 @@ std::future<Response> ServeCore::infer_async(const std::string& model,
     promise.set_value(std::move(r));
     return promise.get_future();
   }
-  return it->second->submit(std::move(image), deadline_us, priority);
+  ModelLanes& lanes = *it->second;
+  size_t pick = 0;
+  if (lanes.lanes.size() > 1) {
+    // Power-of-two-choices: compare the round-robin candidate against its
+    // successor, take the shorter queue (tie -> the candidate). Fully
+    // deterministic given the submission order, and enough to keep one
+    // slow lane from accumulating the whole backlog.
+    const size_t n = lanes.lanes.size();
+    const size_t a = lanes.rr.fetch_add(1, std::memory_order_relaxed) % n;
+    const size_t b = (a + 1) % n;
+    pick = lanes.lanes[b]->queue_depth() < lanes.lanes[a]->queue_depth()
+               ? b
+               : a;
+  }
+  return lanes.lanes[pick]->submit(std::move(image), deadline_us, priority);
 }
 
 Response ServeCore::infer(const std::string& model, nn::Tensor image,
@@ -50,27 +68,50 @@ Response ServeCore::infer(const std::string& model, nn::Tensor image,
 }
 
 void ServeCore::drain() {
-  for (auto& [name, batcher] : batchers_) {
+  for (auto& [name, lanes] : models_) {
     (void)name;
-    batcher->drain();
+    for (auto& lane : lanes->lanes) lane->drain();
   }
 }
 
-MicroBatcher& ServeCore::batcher(const std::string& model) {
-  const auto it = batchers_.find(model);
-  if (it == batchers_.end()) {
+MicroBatcher& ServeCore::batcher(const std::string& model, size_t lane) {
+  const auto it = models_.find(model);
+  if (it == models_.end()) {
     throw std::invalid_argument("ServeCore: unknown model '" + model + "'");
   }
-  return *it->second;
+  if (lane >= it->second->lanes.size()) {
+    throw std::invalid_argument("ServeCore: model '" + model +
+                                "' has no lane " + std::to_string(lane));
+  }
+  return *it->second->lanes[lane];
+}
+
+size_t ServeCore::num_lanes(const std::string& model) const {
+  const auto it = models_.find(model);
+  if (it == models_.end()) {
+    throw std::invalid_argument("ServeCore: unknown model '" + model + "'");
+  }
+  return it->second->lanes.size();
+}
+
+size_t ServeCore::total_queue_depth() const {
+  size_t total = 0;
+  for (const auto& [name, lanes] : models_) {
+    (void)name;
+    for (const auto& lane : lanes->lanes) total += lane->queue_depth();
+  }
+  return total;
 }
 
 std::vector<ModelStatsSnapshot> ServeCore::stats() const {
   std::vector<ModelStatsSnapshot> out;
-  out.reserve(batchers_.size());
-  for (const auto& [name, batcher] : batchers_) {
-    ModelStatsSnapshot s = batcher->stats();
-    s.model = name;
-    out.push_back(std::move(s));
+  for (const auto& [name, lanes] : models_) {
+    const bool sharded = lanes->lanes.size() > 1;
+    for (size_t i = 0; i < lanes->lanes.size(); ++i) {
+      ModelStatsSnapshot s = lanes->lanes[i]->stats();
+      s.model = sharded ? name + "#" + std::to_string(i) : name;
+      out.push_back(std::move(s));
+    }
   }
   return out;
 }
@@ -78,15 +119,67 @@ std::vector<ModelStatsSnapshot> ServeCore::stats() const {
 std::string ServeCore::stats_report() const {
   std::string out = render_stats(stats());
   // Backend activity appendices (e.g. per-stage spike/sparsity counters
-  // from the snc spiking engine).
-  for (const auto& [name, batcher] : batchers_) {
-    (void)batcher;
-    const std::string activity = registry_.backend(name).activity_report();
-    if (!activity.empty()) {
-      out += "\n" + name + " activity:\n" + activity;
+  // from the snc spiking engine), one per shard when sharded.
+  for (const auto& [name, lanes] : models_) {
+    const bool sharded = lanes->lanes.size() > 1;
+    for (size_t i = 0; i < lanes->lanes.size(); ++i) {
+      const std::string activity =
+          registry_.backend(name, i).activity_report();
+      if (activity.empty()) continue;
+      const std::string label =
+          sharded ? name + "#" + std::to_string(i) : name;
+      out += "\n" + label + " activity:\n" + activity;
     }
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// ServeFrameHandler
+// ---------------------------------------------------------------------------
+
+bool ServeFrameHandler::handle(const Frame& frame, FrameSink& sink) {
+  switch (frame.type) {
+    case MsgType::kInferRequest: {
+      InferRequest request = decode_infer_request(frame.body);
+      InferResponse response;
+      response.id = request.id;
+      response.response =
+          core_.infer(request.model, std::move(request.image),
+                      request.deadline_us, request.priority);
+      return sink.send(encode_infer_response(response));
+    }
+    case MsgType::kForwardInfer: {
+      // The router->backend spelling: same execution, same reply shape;
+      // the route hash is attribution metadata only.
+      ForwardedInfer forward = decode_forward_infer(frame.body);
+      InferResponse response;
+      response.id = forward.request.id;
+      response.response = core_.infer(
+          forward.request.model, std::move(forward.request.image),
+          forward.request.deadline_us, forward.request.priority);
+      return sink.send(encode_infer_response(response));
+    }
+    case MsgType::kStatsRequest:
+      return sink.send(encode_stats_response(core_.stats_report()));
+    case MsgType::kHello: {
+      const Hello hello = decode_hello(frame.body);
+      HelloAck ack;
+      ack.version = kProtocolVersion;
+      ack.accepted = hello.version == kProtocolVersion;
+      return sink.send(encode_hello_ack(ack));
+    }
+    case MsgType::kHealthProbe: {
+      const HealthProbe probe = decode_health_probe(frame.body);
+      HealthAck ack;
+      ack.nonce = probe.nonce;
+      ack.healthy = true;
+      ack.queue_depth = static_cast<uint32_t>(core_.total_queue_depth());
+      return sink.send(encode_health_ack(ack));
+    }
+    default:
+      throw ProtocolError("unexpected message type");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -99,8 +192,7 @@ using Clock = std::chrono::steady_clock;
 
 constexpr int kPollTickMs = 100;
 
-/// Blocking send used by the client (and by the server before the
-/// options-aware path existed). Loops until everything is written.
+/// Blocking send used by the client. Loops until everything is written.
 void send_all(int fd, const std::vector<uint8_t>& bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
@@ -113,16 +205,6 @@ void send_all(int fd, const std::vector<uint8_t>& bytes) {
     }
     sent += static_cast<size_t>(n);
   }
-}
-
-sockaddr_un make_address(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + path);
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
 }
 
 volatile std::sig_atomic_t g_signal_stop = 0;
@@ -141,28 +223,31 @@ struct SocketServer::Connection {
   std::atomic<bool> finished{false};
 };
 
-SocketServer::SocketServer(ServeCore& core, std::string socket_path,
+SocketServer::SocketServer(ServeCore& core,
+                           const std::string& endpoint_spec,
                            const SocketServerOptions& options)
-    : core_(core), socket_path_(std::move(socket_path)), options_(options) {
-  const sockaddr_un addr = make_address(socket_path_);
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("socket: ") +
-                             std::strerror(errno));
-  }
-  ::unlink(socket_path_.c_str());  // stale socket from a dead server
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("bind/listen on " + socket_path_ + ": " + err);
-  }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+    : owned_handler_(std::make_unique<ServeFrameHandler>(core)),
+      handler_(*owned_handler_),
+      endpoint_(parse_endpoint(endpoint_spec)),
+      options_(options) {
+  start();
+}
+
+SocketServer::SocketServer(FrameHandler& handler, const Endpoint& endpoint,
+                           const SocketServerOptions& options)
+    : handler_(handler), endpoint_(endpoint), options_(options) {
+  start();
 }
 
 SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  listen_fd_ = listen_on(endpoint_, 64);
+  // Resolve an ephemeral tcp port (port 0) to the kernel-assigned one so
+  // endpoint() is always connectable.
+  endpoint_ = local_endpoint(listen_fd_, endpoint_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
 
 void SocketServer::accept_loop() {
   while (!stopping_.load()) {
@@ -261,6 +346,18 @@ bool SocketServer::send_frame(Connection* connection,
 }
 
 void SocketServer::handle_connection(Connection* connection) {
+  // Local adapter handing this connection's send path to the handler.
+  struct Sink : FrameSink {
+    SocketServer* server;
+    Connection* connection;
+    bool send(const std::vector<uint8_t>& frame) override {
+      return server->send_frame(connection, frame);
+    }
+  };
+  Sink sink;
+  sink.server = this;
+  sink.connection = connection;
+
   FrameReader reader;
   uint8_t buf[64 * 1024];
   Clock::time_point last_activity = Clock::now();
@@ -303,21 +400,10 @@ void SocketServer::handle_connection(Connection* connection) {
       reader.feed(buf, static_cast<size_t>(n));
       bool drop = false;
       while (auto frame = reader.next()) {
-        if (frame->type == MsgType::kInferRequest) {
-          InferRequest request = decode_infer_request(frame->body);
-          InferResponse response;
-          response.id = request.id;
-          response.response =
-              core_.infer(request.model, std::move(request.image),
-                          request.deadline_us, request.priority);
-          drop = !send_frame(connection, encode_infer_response(response));
-        } else if (frame->type == MsgType::kStatsRequest) {
-          drop = !send_frame(connection,
-                             encode_stats_response(core_.stats_report()));
-        } else {
-          throw ProtocolError("unexpected message type");
+        if (!handler_.handle(*frame, sink)) {
+          drop = true;
+          break;
         }
-        if (drop) break;
       }
       if (drop) break;
     }
@@ -342,7 +428,9 @@ void SocketServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  ::unlink(socket_path_.c_str());
+  if (endpoint_.kind == EndpointKind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
   // 2. Half-close every connection for reading: a handler blocked in
   //    poll/recv sees EOF; one mid-request still writes its response
   //    (bounded by write_timeout_ms against a stalled reader).
@@ -352,7 +440,8 @@ void SocketServer::stop() {
       ::shutdown(connection->fd, SHUT_RD);
     }
   }
-  // 3. Wait for handlers, then complete everything already accepted.
+  // 3. Wait for handlers, then let the handler complete everything already
+  //    accepted (ServeCore drains; the router closes its backend pool).
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     for (auto& connection : connections_) {
@@ -361,7 +450,7 @@ void SocketServer::stop() {
     }
     connections_.clear();
   }
-  core_.drain();
+  handler_.on_stop();
 }
 
 void SocketServer::run_until_signal() {
@@ -385,21 +474,11 @@ void SocketServer::run_until_signal() {
 // SocketClient
 // ---------------------------------------------------------------------------
 
-SocketClient::SocketClient(const std::string& socket_path) {
-  const sockaddr_un addr = make_address(socket_path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("socket: ") +
-                             std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("connect to " + socket_path + ": " + err);
-  }
-}
+SocketClient::SocketClient(const std::string& endpoint_spec)
+    : SocketClient(parse_endpoint(endpoint_spec)) {}
+
+SocketClient::SocketClient(const Endpoint& endpoint)
+    : fd_(connect_to(endpoint)) {}
 
 SocketClient::~SocketClient() {
   if (fd_ >= 0) ::close(fd_);
@@ -424,12 +503,14 @@ Frame SocketClient::roundtrip(const std::vector<uint8_t>& frame) {
 }
 
 Response SocketClient::infer(const std::string& model,
-                             const nn::Tensor& image,
-                             uint64_t deadline_us, Priority priority) {
+                             const nn::Tensor& image, uint64_t deadline_us,
+                             Priority priority,
+                             const std::string& session) {
   InferRequest request;
   request.id = next_id_++;
   request.deadline_us = deadline_us;
   request.priority = priority;
+  request.session = session;
   request.model = model;
   request.image = image;
   const Frame frame = roundtrip(encode_infer_request(request));
@@ -441,6 +522,32 @@ Response SocketClient::infer(const std::string& model,
     throw std::runtime_error("response id mismatch");
   }
   return std::move(response.response);
+}
+
+bool SocketClient::handshake(PeerRole role) {
+  Hello hello;
+  hello.version = kProtocolVersion;
+  hello.role = role;
+  const Frame frame = roundtrip(encode_hello(hello));
+  if (frame.type != MsgType::kHelloAck) {
+    throw std::runtime_error("unexpected response type");
+  }
+  const HelloAck ack = decode_hello_ack(frame.body);
+  return ack.accepted && ack.version == kProtocolVersion;
+}
+
+HealthAck SocketClient::probe() {
+  HealthProbe probe;
+  probe.nonce = next_nonce_++;
+  const Frame frame = roundtrip(encode_health_probe(probe));
+  if (frame.type != MsgType::kHealthAck) {
+    throw std::runtime_error("unexpected response type");
+  }
+  const HealthAck ack = decode_health_ack(frame.body);
+  if (ack.nonce != probe.nonce) {
+    throw std::runtime_error("health ack nonce mismatch");
+  }
+  return ack;
 }
 
 std::string SocketClient::stats() {

@@ -1,17 +1,35 @@
-// Serving front-ends: the in-process core/client and the unix-domain-
-// socket server.
+// Serving front-ends: the in-process core/client and the socket server.
 //
-//   ServeCore     — registry + one MicroBatcher per model + aggregated
-//                   stats. This is the whole serving data plane; both
-//                   front-ends are thin shells around it.
+//   ServeCore     — registry + per-model shard pools (N MicroBatcher
+//                   lanes per model, each over its own identically-built
+//                   backend) + aggregated stats. This is the whole
+//                   serving data plane; both front-ends are thin shells
+//                   around it.
 //   ServeClient   — in-process client facade (tests, benches, loadgen
 //                   --in-process) with sync and async submission.
-//   SocketServer  — AF_UNIX/SOCK_STREAM listener speaking the protocol.h
-//                   framing. One handler thread per connection; each
-//                   connection is a synchronous request/response stream,
-//                   so client-side concurrency = number of connections.
+//   FrameHandler  — what a front-end does with each decoded frame. The
+//                   SocketServer owns transport concerns (framing,
+//                   deadlines, chaos, shutdown); the handler owns
+//                   semantics. ServeFrameHandler answers infer/stats/
+//                   hello/health against a ServeCore; the router tier
+//                   (src/router) plugs in its forwarding handler here.
+//   SocketServer  — listener speaking the protocol.h framing over a
+//                   unix or TCP endpoint (serve/transport.h). One
+//                   handler thread per connection; each connection is a
+//                   synchronous request/response stream, so client-side
+//                   concurrency = number of connections.
 //   SocketClient  — blocking client for one connection (loadgen threads
-//                   each own one).
+//                   each own one), over either transport.
+//
+// Shard pools: ModelConfig::shards > 1 gives a model N batcher+backend
+// lanes. Every lane is built from the same seed/checkpoint, so
+// predictions are bit-identical regardless of which lane serves a
+// request; ServeCore spreads submissions with deterministic
+// power-of-two-choices (round-robin candidate vs its successor, shorter
+// queue wins, tie -> lower index). The admission ladder (breaker,
+// concurrency cap, CoDel shedding) applies per lane with the same
+// options — the shared-ladder idiom generalized from the snc backend's
+// replica pool so fp32/quant backends shard too.
 //
 // Slow-client defense (SocketServerOptions): every connection runs under
 // read/write deadlines so one stalled or malicious peer can never wedge a
@@ -29,9 +47,10 @@
 // SocketServer::stop() first closes the listener (no new connections),
 // then half-closes every connection for reading — a handler mid-request
 // still writes its response (bounded by write_timeout_ms) — joins the
-// handlers, and finally drains the batchers, which completes every
-// accepted request before the threads exit. run_until_signal() wires
-// SIGINT/SIGTERM to exactly this sequence.
+// handlers, and finally tells the frame handler to stop (ServeCore
+// drains its batchers, completing every accepted request before the
+// threads exit). run_until_signal() wires SIGINT/SIGTERM to exactly this
+// sequence.
 #pragma once
 
 #include <atomic>
@@ -46,21 +65,23 @@
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
+#include "serve/transport.h"
 
 namespace qsnc::serve {
 
 class ServeCore {
  public:
-  /// Creates one MicroBatcher per model currently in `registry` (register
-  /// models first). `registry` must outlive the core; so must
-  /// `options.chaos` when set.
+  /// Creates one MicroBatcher lane per model shard currently in
+  /// `registry` (register models first). `registry` must outlive the
+  /// core; so must `options.chaos` when set.
   ServeCore(const ModelRegistry& registry, const BatchOptions& options);
   ~ServeCore();  // drains
 
   /// Never blocks; unknown models resolve immediately with kError.
   /// `deadline_us` > 0 is a per-request latency budget (see
   /// MicroBatcher::submit); 0 means no deadline. `priority` orders both
-  /// service and overload shedding (serve/admission.h).
+  /// service and overload shedding (serve/admission.h). Sharded models
+  /// spread over their lanes (power-of-two-choices, see header comment).
   std::future<Response> infer_async(
       const std::string& model, nn::Tensor image, uint64_t deadline_us = 0,
       Priority priority = Priority::kInteractive);
@@ -73,14 +94,29 @@ class ServeCore {
   void drain();
 
   const ModelRegistry& registry() const { return registry_; }
-  MicroBatcher& batcher(const std::string& model);
+  /// Lane accessors; the single-argument form is lane 0 (compatible with
+  /// the pre-shard API).
+  MicroBatcher& batcher(const std::string& model) {
+    return batcher(model, 0);
+  }
+  MicroBatcher& batcher(const std::string& model, size_t lane);
+  size_t num_lanes(const std::string& model) const;
+
+  /// Total queued requests across every model and lane (the load figure
+  /// reported in health acks).
+  size_t total_queue_depth() const;
 
   std::vector<ModelStatsSnapshot> stats() const;
   std::string stats_report() const;
 
  private:
+  struct ModelLanes {
+    std::vector<std::unique_ptr<MicroBatcher>> lanes;
+    std::atomic<uint64_t> rr{0};  // power-of-two-choices cursor
+  };
+
   const ModelRegistry& registry_;
-  std::map<std::string, std::unique_ptr<MicroBatcher>> batchers_;
+  std::map<std::string, std::unique_ptr<ModelLanes>> models_;
 };
 
 /// In-process client used by tests and the load generator.
@@ -100,6 +136,42 @@ class ServeClient {
                              priority);
   }
   std::string stats() const { return core_.stats_report(); }
+
+ private:
+  ServeCore& core_;
+};
+
+/// Per-connection send interface handed to FrameHandler::handle. send()
+/// returns false when the connection should be dropped (write deadline
+/// hit, peer gone, or injected mid-frame disconnect).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual bool send(const std::vector<uint8_t>& frame) = 0;
+};
+
+/// Semantics behind a SocketServer: one call per decoded frame. Return
+/// false (or let a ProtocolError escape) to drop the connection. Called
+/// concurrently from connection handler threads — implementations must
+/// be thread-safe.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+  virtual bool handle(const Frame& frame, FrameSink& sink) = 0;
+  /// Called exactly once from SocketServer::stop() after every
+  /// connection handler has been joined (the drain hook).
+  virtual void on_stop() {}
+};
+
+/// The serving-node handler: kInferRequest / kForwardInfer execute
+/// against the core, kStatsRequest renders the stats table, kHello
+/// negotiates the protocol version, kHealthProbe reports liveness and
+/// total queue depth.
+class ServeFrameHandler : public FrameHandler {
+ public:
+  explicit ServeFrameHandler(ServeCore& core) : core_(core) {}
+  bool handle(const Frame& frame, FrameSink& sink) override;
+  void on_stop() override { core_.drain(); }
 
  private:
   ServeCore& core_;
@@ -126,14 +198,25 @@ struct SocketServerOptions {
 
 class SocketServer {
  public:
-  /// Binds and listens on `socket_path` (unlinking a stale socket file
-  /// first) and starts the accept thread. Throws std::runtime_error on
+  /// Serve-node convenience: listens on `endpoint_spec` (any
+  /// parse_endpoint spelling) and answers with an internal
+  /// ServeFrameHandler over `core`. Throws std::runtime_error on
   /// bind/listen failure.
-  SocketServer(ServeCore& core, std::string socket_path,
+  SocketServer(ServeCore& core, const std::string& endpoint_spec,
                const SocketServerOptions& options = {});
+
+  /// Generic front-end: `handler` supplies the semantics (the router
+  /// tier uses this). `handler` must outlive the server.
+  SocketServer(FrameHandler& handler, const Endpoint& endpoint,
+               const SocketServerOptions& options = {});
+
   ~SocketServer();  // stops
 
-  const std::string& socket_path() const { return socket_path_; }
+  /// The endpoint actually bound — an ephemeral tcp port (port 0) is
+  /// resolved to the kernel-assigned one.
+  const Endpoint& endpoint() const { return endpoint_; }
+  /// Endpoint spelling (kept for the historical unix-path accessor).
+  std::string socket_path() const { return endpoint_.str(); }
 
   /// Graceful shutdown; see the header comment. Idempotent.
   void stop();
@@ -155,6 +238,7 @@ class SocketServer {
 
  private:
   struct Connection;
+  void start();
   void accept_loop();
   void handle_connection(Connection* connection);
   void reap_finished();
@@ -164,8 +248,9 @@ class SocketServer {
   bool send_frame(Connection* connection,
                   const std::vector<uint8_t>& bytes);
 
-  ServeCore& core_;
-  std::string socket_path_;
+  std::unique_ptr<ServeFrameHandler> owned_handler_;  // core-ctor only
+  FrameHandler& handler_;
+  Endpoint endpoint_;
   SocketServerOptions options_;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
@@ -181,8 +266,10 @@ class SocketServer {
 
 class SocketClient {
  public:
-  /// Connects to a SocketServer. Throws std::runtime_error on failure.
-  explicit SocketClient(const std::string& socket_path);
+  /// Connects to a server at `endpoint_spec` (any parse_endpoint
+  /// spelling). Throws std::runtime_error on failure.
+  explicit SocketClient(const std::string& endpoint_spec);
+  explicit SocketClient(const Endpoint& endpoint);
   ~SocketClient();
   SocketClient(const SocketClient&) = delete;
   SocketClient& operator=(const SocketClient&) = delete;
@@ -191,10 +278,20 @@ class SocketClient {
   /// closes the connection mid-request. `deadline_us` > 0 bounds how long
   /// the request may wait server-side before a structured
   /// kDeadlineExceeded rejection; `priority` is the request's admission
-  /// class.
+  /// class. `session` is the optional router affinity key (ignored by a
+  /// directly-addressed serving node).
   Response infer(const std::string& model, const nn::Tensor& image,
                  uint64_t deadline_us = 0,
-                 Priority priority = Priority::kInteractive);
+                 Priority priority = Priority::kInteractive,
+                 const std::string& session = std::string());
+
+  /// Protocol version handshake: true when the server accepted this
+  /// client's kProtocolVersion. Optional — clients of a same-build fleet
+  /// may skip it; the router always handshakes its backend connections.
+  bool handshake(PeerRole role = PeerRole::kClient);
+
+  /// Liveness probe; throws on transport failure or a nonce mismatch.
+  HealthAck probe();
 
   /// Server-rendered stats table.
   std::string stats();
@@ -204,6 +301,7 @@ class SocketClient {
 
   int fd_ = -1;
   uint64_t next_id_ = 1;
+  uint64_t next_nonce_ = 1;
   FrameReader reader_;
 };
 

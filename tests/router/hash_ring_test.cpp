@@ -1,0 +1,112 @@
+// Properties the router leans on: deterministic placement, stable
+// clockwise fallback order, minimal remap under membership churn, and a
+// roughly balanced key split.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "router/hash_ring.h"
+
+namespace qsnc::router {
+namespace {
+
+std::vector<std::string> fleet(int n) {
+  std::vector<std::string> labels;
+  for (int i = 0; i < n; ++i) {
+    labels.push_back("tcp:127.0.0.1:" + std::to_string(7601 + i));
+  }
+  return labels;
+}
+
+TEST(RouteHashTest, SeparatesModelAndKey) {
+  // (model, key) concatenation ambiguity must not collide: "ab"+"c" and
+  // "a"+"bc" are different routes.
+  EXPECT_NE(route_hash("ab", "c"), route_hash("a", "bc"));
+  EXPECT_NE(route_hash("m", ""), route_hash("", "m"));
+  // Deterministic across calls.
+  EXPECT_EQ(route_hash("lenet-mini", "s7"), route_hash("lenet-mini", "s7"));
+  // Distinct sessions spread.
+  EXPECT_NE(route_hash("lenet-mini", "s7"), route_hash("lenet-mini", "s8"));
+}
+
+TEST(HashRingTest, RejectsDegenerateConfigs) {
+  EXPECT_THROW(HashRing({}, 64), std::invalid_argument);
+  EXPECT_THROW(HashRing(fleet(2), 0), std::invalid_argument);
+}
+
+TEST(HashRingTest, PickIsDeterministicAndInRange) {
+  const HashRing a(fleet(4), 64);
+  const HashRing b(fleet(4), 64);
+  for (uint64_t k = 0; k < 500; ++k) {
+    const uint64_t h = route_hash("m", std::to_string(k));
+    const size_t owner = a.pick(h);
+    EXPECT_LT(owner, 4u);
+    EXPECT_EQ(owner, b.pick(h));
+  }
+}
+
+TEST(HashRingTest, PickNGivesDistinctNodesWithOwnerFirst) {
+  const HashRing ring(fleet(5), 64);
+  for (uint64_t k = 0; k < 200; ++k) {
+    const uint64_t h = route_hash("m", std::to_string(k));
+    const std::vector<size_t> cands = ring.pick_n(h, 3);
+    ASSERT_EQ(cands.size(), 3u);
+    EXPECT_EQ(cands[0], ring.pick(h));
+    EXPECT_EQ(std::set<size_t>(cands.begin(), cands.end()).size(), 3u);
+    // Asking for more than the fleet returns every node exactly once.
+    const std::vector<size_t> all = ring.pick_n(h, 99);
+    EXPECT_EQ(all.size(), 5u);
+    EXPECT_EQ(std::set<size_t>(all.begin(), all.end()).size(), 5u);
+    // The shorter list is a prefix of the longer one (stable order).
+    for (size_t i = 0; i < cands.size(); ++i) {
+      EXPECT_EQ(cands[i], all[i]);
+    }
+  }
+}
+
+TEST(HashRingTest, RemovingANodeOnlyRemapsItsOwnKeys) {
+  const auto labels = fleet(5);
+  const HashRing full(labels, 64);
+
+  // Drop node 2; survivors keep their labels (label-hashed points mean
+  // their ring positions are unchanged).
+  std::vector<std::string> reduced = labels;
+  reduced.erase(reduced.begin() + 2);
+  const HashRing shrunk(reduced, 64);
+
+  int moved_from_survivor = 0;
+  int keys_on_removed = 0;
+  for (uint64_t k = 0; k < 2000; ++k) {
+    const uint64_t h = route_hash("m", std::to_string(k));
+    const size_t before = full.pick(h);
+    const std::string& owner_after = reduced[shrunk.pick(h)];
+    if (before == 2) {
+      ++keys_on_removed;  // must remap somewhere; any survivor is fine
+    } else if (labels[before] != owner_after) {
+      ++moved_from_survivor;
+    }
+  }
+  EXPECT_GT(keys_on_removed, 0);  // node 2 owned a nonzero share
+  EXPECT_EQ(moved_from_survivor, 0);
+}
+
+TEST(HashRingTest, LoadIsRoughlyBalanced) {
+  const HashRing ring(fleet(4), 128);
+  std::map<size_t, int> counts;
+  const int kKeys = 8000;
+  for (int k = 0; k < kKeys; ++k) {
+    ++counts[ring.pick(route_hash("m", std::to_string(k)))];
+  }
+  ASSERT_EQ(counts.size(), 4u);  // every node owns some keys
+  for (const auto& [node, count] : counts) {
+    // Within a generous factor of the fair share (vnode variance).
+    EXPECT_GT(count, kKeys / 4 / 3) << "node " << node << " starved";
+    EXPECT_LT(count, kKeys / 4 * 3) << "node " << node << " overloaded";
+  }
+}
+
+}  // namespace
+}  // namespace qsnc::router

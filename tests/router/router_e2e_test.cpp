@@ -1,0 +1,251 @@
+// End-to-end router tier over in-process backend servers: bit-exact
+// passthrough, session stickiness, reroute-on-death with zero dropped
+// requests, and hedging around a chaos-slowed backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/rng.h"
+#include "router/hash_ring.h"
+#include "router/router_config.h"
+#include "router/router_server.h"
+#include "serve/chaos.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace qsnc::router {
+namespace {
+
+using serve::BatchOptions;
+using serve::Response;
+using serve::SocketClient;
+using serve::Status;
+
+/// One in-process backend serving node on an ephemeral TCP port.
+struct BackendNode {
+  serve::ModelRegistry registry;
+  std::unique_ptr<serve::ServeCore> core;
+  std::unique_ptr<serve::SocketServer> server;
+
+  explicit BackendNode(const BatchOptions& opts = default_opts()) {
+    serve::ModelConfig cfg;
+    cfg.architecture = "lenet-mini";
+    cfg.backend = serve::BackendKind::kFp32;
+    cfg.init_seed = 5;
+    registry.add("lenet-mini", cfg);
+    core = std::make_unique<serve::ServeCore>(registry, opts);
+    server = std::make_unique<serve::SocketServer>(*core, "tcp:127.0.0.1:0");
+  }
+
+  static BatchOptions default_opts() {
+    BatchOptions opts;
+    opts.max_batch = 4;
+    opts.batch_timeout_us = 500;
+    return opts;
+  }
+
+  const serve::Endpoint& endpoint() const { return server->endpoint(); }
+};
+
+std::vector<nn::Tensor> random_images(int n, uint64_t seed) {
+  nn::Rng rng(seed);
+  std::vector<nn::Tensor> images;
+  for (int i = 0; i < n; ++i) {
+    nn::Tensor t({1, 28, 28});
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      t[j] = rng.uniform(0.0f, 1.0f);
+    }
+    images.push_back(std::move(t));
+  }
+  return images;
+}
+
+RouterOptions fast_probe_options(
+    const std::vector<const BackendNode*>& nodes) {
+  RouterOptions options;
+  for (const BackendNode* node : nodes) {
+    options.backends.push_back(node->endpoint());
+  }
+  options.listen = serve::parse_endpoint("tcp:127.0.0.1:0");
+  options.probe_interval_ms = 50;
+  options.probe_timeout_ms = 250;
+  options.probe_down_after = 2;
+  options.forward_timeout_ms = 3000;
+  return options;
+}
+
+/// A session key whose ring owner is backend `want` (the ring is a pure
+/// function of (labels, vnodes), so the test can precompute ownership).
+std::string session_owned_by(const RouterOptions& options, size_t want) {
+  std::vector<std::string> labels;
+  for (const auto& ep : options.backends) labels.push_back(ep.str());
+  const HashRing ring(labels, options.vnodes);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string session = "s" + std::to_string(i);
+    if (ring.pick(route_hash("lenet-mini", session)) == want) {
+      return session;
+    }
+  }
+  ADD_FAILURE() << "no session hashed to backend " << want;
+  return "s0";
+}
+
+TEST(RouterE2ETest, PredictionsThroughRouterAreBitExact) {
+  BackendNode a;
+  BackendNode b;
+  RouterServer router(fast_probe_options({&a, &b}));
+
+  SocketClient client(router.endpoint());
+  const auto images = random_images(16, 123);
+  for (size_t i = 0; i < images.size(); ++i) {
+    const Response direct = a.core->infer("lenet-mini", images[i]);
+    ASSERT_EQ(direct.status, Status::kOk) << direct.error;
+    const Response routed = client.infer("lenet-mini", images[i]);
+    ASSERT_EQ(routed.status, Status::kOk) << routed.error;
+    EXPECT_EQ(routed.prediction, direct.prediction) << "image " << i;
+  }
+  EXPECT_EQ(router.router().requests(), images.size());
+  EXPECT_EQ(router.router().exhausted(), 0u);
+
+  // Sessionless requests spread: both backends saw traffic.
+  const auto stats = router.pool().stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GT(stats[0].forwards + stats[1].forwards, 0u);
+
+  // The front answers the stats protocol with the router health table.
+  const std::string table = client.stats();
+  EXPECT_NE(table.find("router:"), std::string::npos);
+  EXPECT_NE(table.find(a.endpoint().str()), std::string::npos);
+}
+
+TEST(RouterE2ETest, SessionsStickToOneBackend) {
+  BackendNode a;
+  BackendNode b;
+  const RouterOptions options = fast_probe_options({&a, &b});
+  RouterServer router(options);
+  const std::string session = session_owned_by(options, 1);
+
+  SocketClient client(router.endpoint());
+  const auto images = random_images(20, 7);
+  for (const auto& image : images) {
+    const Response r = client.infer("lenet-mini", image, /*deadline_us=*/0,
+                                    serve::Priority::kInteractive, session);
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+  }
+
+  const auto stats = router.pool().stats();
+  EXPECT_EQ(stats[1].forwards, images.size());
+  EXPECT_EQ(stats[0].forwards, 0u);
+  EXPECT_EQ(router.router().rerouted(), 0u);
+}
+
+TEST(RouterE2ETest, ReroutesAroundADeadBackendWithZeroDrops) {
+  BackendNode a;
+  BackendNode b;
+  RouterServer router(fast_probe_options({&a, &b}));
+  SocketClient client(router.endpoint());
+
+  const auto images = random_images(30, 55);
+  // Warm both backends.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(client.infer("lenet-mini", images[i]).status, Status::kOk);
+  }
+
+  // Kill backend b mid-fleet. Every subsequent request must still
+  // resolve kOk — a dead candidate costs a reroute, never a drop.
+  b.server->stop();
+  for (size_t i = 6; i < images.size(); ++i) {
+    const Response direct = a.core->infer("lenet-mini", images[i]);
+    const Response routed = client.infer("lenet-mini", images[i]);
+    ASSERT_EQ(routed.status, Status::kOk) << "request " << i << ": "
+                                          << routed.error;
+    EXPECT_EQ(routed.prediction, direct.prediction);
+  }
+  EXPECT_EQ(router.router().exhausted(), 0u);
+
+  // The prober marks the dead backend down (wait for its verdict), and
+  // the health table reflects the reroute.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (router.pool().up(1) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_FALSE(router.pool().up(1)) << "prober never marked backend down";
+  const auto stats = router.pool().stats();
+  EXPECT_GT(stats[1].probes_failed, 0u);
+  const std::string table = router.router().stats_report();
+  EXPECT_NE(table.find(" NO "), std::string::npos)  // the up column
+      << table;
+
+  // Once marked down, fresh traffic skips the corpse entirely: no new
+  // reroutes accumulate.
+  const uint64_t rerouted_before = router.router().rerouted();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(client.infer("lenet-mini", images[i]).status, Status::kOk);
+  }
+  EXPECT_EQ(router.router().rerouted(), rerouted_before);
+}
+
+TEST(RouterE2ETest, HedgingCutsTailLatencyOfASlowBackend) {
+  // Backend 0 is chaos-slowed: every batch sleeps 80ms before execution.
+  serve::ChaosConfig chaos_cfg;
+  chaos_cfg.backend_latency_rate = 1.0;
+  chaos_cfg.backend_latency_us = 80'000;
+  serve::ChaosInjector chaos(chaos_cfg);
+  BatchOptions slow_opts = BackendNode::default_opts();
+  slow_opts.chaos = &chaos;
+  BackendNode slow(slow_opts);
+  BackendNode fast;
+
+  // Two routers over the same fleet: hedging on vs off.
+  RouterOptions hedged_options = fast_probe_options({&slow, &fast});
+  hedged_options.hedge_after_us = 5'000;
+  RouterOptions unhedged_options = fast_probe_options({&slow, &fast});
+  RouterServer hedged(hedged_options);
+  RouterServer unhedged(unhedged_options);
+
+  // Pin every request to the slow backend so the hedge (next ring
+  // candidate = the fast one) is what saves the tail.
+  const std::string session = session_owned_by(hedged_options, 0);
+  const auto images = random_images(10, 2024);
+
+  auto run = [&](RouterServer& router) {
+    SocketClient client(router.endpoint());
+    std::vector<int64_t> latencies_us;
+    for (const auto& image : images) {
+      const auto start = std::chrono::steady_clock::now();
+      const Response r =
+          client.infer("lenet-mini", image, /*deadline_us=*/0,
+                       serve::Priority::kInteractive, session);
+      EXPECT_EQ(r.status, Status::kOk) << r.error;
+      latencies_us.push_back(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    return latencies_us;  // sorted; back() is the max ~ p99 at this n
+  };
+
+  const auto unhedged_lat = run(unhedged);
+  const auto hedged_lat = run(hedged);
+
+  // Without hedging every pinned request eats the injected 80ms.
+  EXPECT_GE(unhedged_lat.front(), 80'000);
+  // With hedging the duplicate on the fast backend wins the race; the
+  // whole distribution lands far below the injected latency.
+  EXPECT_LT(hedged_lat.back(), unhedged_lat.front());
+  EXPECT_GT(hedged.router().hedged(), 0u);
+  EXPECT_GT(hedged.router().hedge_wins(), 0u);
+  EXPECT_EQ(unhedged.router().hedged(), 0u);
+}
+
+}  // namespace
+}  // namespace qsnc::router

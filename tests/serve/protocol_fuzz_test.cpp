@@ -6,12 +6,16 @@
 // job runs this same binary to promote "no crash" to "no UB".
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "serve/protocol.h"
+#include "serve/transport.h"
 
 namespace qsnc::serve {
 namespace {
@@ -85,6 +89,47 @@ InferResponse valid_response() {
   return response;
 }
 
+ForwardedInfer valid_forward() {
+  ForwardedInfer forward;
+  forward.route_hash = 0xdeadbeefcafef00dULL;
+  forward.request = valid_request();
+  forward.request.session = "session-9";
+  return forward;
+}
+
+/// Dispatches a decoded frame to its body decoder, mirroring what the
+/// serving and router handlers do (unknown types drop the connection).
+void decode_by_type(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kInferRequest:
+      (void)decode_infer_request(frame.body);
+      break;
+    case MsgType::kInferResponse:
+      (void)decode_infer_response(frame.body);
+      break;
+    case MsgType::kStatsResponse:
+      (void)decode_stats_response(frame.body);
+      break;
+    case MsgType::kHello:
+      (void)decode_hello(frame.body);
+      break;
+    case MsgType::kHelloAck:
+      (void)decode_hello_ack(frame.body);
+      break;
+    case MsgType::kHealthProbe:
+      (void)decode_health_probe(frame.body);
+      break;
+    case MsgType::kHealthAck:
+      (void)decode_health_ack(frame.body);
+      break;
+    case MsgType::kForwardInfer:
+      (void)decode_forward_infer(frame.body);
+      break;
+    default:
+      break;
+  }
+}
+
 TEST(ProtocolFuzzTest, RandomBodiesNeverEscapeTheDecoders) {
   int decoded_ok = 0;
   for (uint64_t i = 0; i < 1500; ++i) {
@@ -99,6 +144,15 @@ TEST(ProtocolFuzzTest, RandomBodiesNeverEscapeTheDecoders) {
                         "decode_infer_response");
     only_protocol_error([&] { (void)decode_stats_response(body); },
                         "decode_stats_response");
+    only_protocol_error([&] { (void)decode_hello(body); }, "decode_hello");
+    only_protocol_error([&] { (void)decode_hello_ack(body); },
+                        "decode_hello_ack");
+    only_protocol_error([&] { (void)decode_health_probe(body); },
+                        "decode_health_probe");
+    only_protocol_error([&] { (void)decode_health_ack(body); },
+                        "decode_health_ack");
+    only_protocol_error([&] { (void)decode_forward_infer(body); },
+                        "decode_forward_infer");
   }
   // Pure noise parsing as a full InferRequest would be suspicious.
   EXPECT_EQ(decoded_ok, 0);
@@ -127,13 +181,58 @@ TEST(ProtocolFuzzTest, EveryTruncationOfAValidBodyIsAProtocolError) {
         << "cut at " << cut;
   }
   EXPECT_EQ(decode_infer_response(rbody).response.status, Status::kShedded);
+
+  // The v4 frames obey the same contract.
+  const std::vector<uint8_t> fframe = encode_forward_infer(valid_forward());
+  const std::vector<uint8_t> fbody(fframe.begin() + 5, fframe.end());
+  for (size_t cut = 0; cut < fbody.size(); ++cut) {
+    const std::vector<uint8_t> truncated(
+        fbody.begin(), fbody.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_THROW((void)decode_forward_infer(truncated), ProtocolError)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(decode_forward_infer(fbody).request.session, "session-9");
+
+  HealthAck ack;
+  ack.nonce = 42;
+  ack.healthy = true;
+  ack.queue_depth = 9;
+  const std::vector<uint8_t> aframe = encode_health_ack(ack);
+  const std::vector<uint8_t> abody(aframe.begin() + 5, aframe.end());
+  for (size_t cut = 0; cut < abody.size(); ++cut) {
+    const std::vector<uint8_t> truncated(
+        abody.begin(), abody.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_THROW((void)decode_health_ack(truncated), ProtocolError)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(decode_health_ack(abody).queue_depth, 9u);
+
+  const std::vector<uint8_t> hframe = encode_hello(Hello{});
+  const std::vector<uint8_t> hbody(hframe.begin() + 5, hframe.end());
+  for (size_t cut = 0; cut < hbody.size(); ++cut) {
+    const std::vector<uint8_t> truncated(
+        hbody.begin(), hbody.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_THROW((void)decode_hello(truncated), ProtocolError)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(decode_hello(hbody).version, kProtocolVersion);
 }
 
 TEST(ProtocolFuzzTest, MutatedValidFramesNeverEscape) {
-  const std::vector<uint8_t> frame = encode_infer_request(valid_request());
+  // One exemplar per frame family, including the v4 additions.
+  const std::vector<std::vector<uint8_t>> exemplars = {
+      encode_infer_request(valid_request()),
+      encode_infer_response(valid_response()),
+      encode_forward_infer(valid_forward()),
+      encode_hello(Hello{}),
+      encode_hello_ack(HelloAck{kProtocolVersion, true}),
+      encode_health_probe(HealthProbe{123}),
+      encode_health_ack(HealthAck{123, true, 7}),
+  };
   for (uint64_t i = 0; i < 1000; ++i) {
     FuzzRng rng(0x1000 + i);
-    std::vector<uint8_t> mutated = frame;
+    std::vector<uint8_t> mutated =
+        exemplars[static_cast<size_t>(rng.below(exemplars.size()))];
     const size_t flips = 1 + static_cast<size_t>(rng.below(8));
     for (size_t f = 0; f < flips; ++f) {
       mutated[static_cast<size_t>(rng.below(mutated.size()))] ^=
@@ -144,19 +243,7 @@ TEST(ProtocolFuzzTest, MutatedValidFramesNeverEscape) {
         [&] {
           reader.feed(mutated.data(), mutated.size());
           while (auto f = reader.next()) {
-            switch (f->type) {
-              case MsgType::kInferRequest:
-                (void)decode_infer_request(f->body);
-                break;
-              case MsgType::kInferResponse:
-                (void)decode_infer_response(f->body);
-                break;
-              case MsgType::kStatsResponse:
-                (void)decode_stats_response(f->body);
-                break;
-              default:
-                break;  // unknown type: the server drops the connection
-            }
+            decode_by_type(*f);
           }
         },
         "mutated frame");
@@ -217,6 +304,7 @@ TEST(ProtocolFuzzTest, OverflowingTensorDimsAreRejectedNotAllocated) {
   put_u(static_cast<uint64_t>(1));   // id
   put_u(static_cast<uint64_t>(0));   // deadline_us
   put_u(static_cast<uint8_t>(2));    // priority (interactive)
+  put_u(static_cast<uint16_t>(0));   // session_len (v4, empty)
   put_u(static_cast<uint16_t>(1));   // model_len
   body.push_back('m');
   put_u(static_cast<uint8_t>(2));    // rank
@@ -242,6 +330,62 @@ TEST(ProtocolFuzzTest, FrameReaderBoundsItsBufferAgainstPipelineSpam) {
         }
       },
       ProtocolError);
+}
+
+TEST(ProtocolFuzzTest, TcpLoopbackFramingObeysTheSameContract) {
+  // The framing contract must hold over a real TCP stream, where the
+  // kernel re-chunks writes arbitrarily: valid frames survive byte-exact,
+  // and garbage after them still only ever raises ProtocolError.
+  const Endpoint requested = parse_endpoint("tcp:127.0.0.1:0");
+  const int listen_fd = listen_on(requested, 4);
+  const Endpoint bound = local_endpoint(listen_fd, requested);
+  ASSERT_NE(bound.port, 0);
+  const int client = connect_to(bound);
+  const int server = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(server, 0);
+
+  const std::vector<uint8_t> request_frame =
+      encode_infer_request(valid_request());
+  const std::vector<uint8_t> forward_frame =
+      encode_forward_infer(valid_forward());
+  FuzzRng rng(0x7c9);
+  std::vector<uint8_t> garbage = rng.bytes(64);
+  garbage[4] = 200;  // certainly not a known MsgType
+
+  ASSERT_TRUE(write_with_deadline(client, request_frame, 2000));
+  ASSERT_TRUE(write_with_deadline(client, forward_frame, 2000));
+  ASSERT_TRUE(write_with_deadline(client, garbage, 2000));
+
+  FrameReader reader;
+  const std::optional<Frame> first =
+      read_frame_with_deadline(server, reader, 2000);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, MsgType::kInferRequest);
+  // Byte-exact: re-encoding the decoded request reproduces the frame.
+  EXPECT_EQ(encode_infer_request(decode_infer_request(first->body)),
+            request_frame);
+  const std::optional<Frame> second =
+      read_frame_with_deadline(server, reader, 2000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, MsgType::kForwardInfer);
+  EXPECT_EQ(encode_forward_infer(decode_forward_infer(second->body)),
+            forward_frame);
+  // The garbage tail: whatever happens, only ProtocolError may escape.
+  only_protocol_error(
+      [&] {
+        for (int i = 0; i < 4; ++i) {
+          if (auto f = read_frame_with_deadline(server, reader, 200)) {
+            decode_by_type(*f);
+          } else {
+            break;
+          }
+        }
+      },
+      "tcp garbage tail");
+
+  ::close(client);
+  ::close(server);
+  ::close(listen_fd);
 }
 
 TEST(ProtocolFuzzTest, PriorityAndStatusRangeChecks) {

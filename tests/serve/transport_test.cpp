@@ -1,0 +1,189 @@
+// Endpoint parsing plus the transport-independence guarantee: the same
+// ServeCore answering over unix and TCP listeners returns predictions
+// bit-identical to the direct in-process forward path, sharded or not —
+// the acceptance pin for the TCP transport and shard-pool work.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "nn/rng.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace qsnc::serve {
+namespace {
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/qsnc-transport-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+std::vector<nn::Tensor> random_images(int n, uint64_t seed) {
+  nn::Rng rng(seed);
+  std::vector<nn::Tensor> images;
+  for (int i = 0; i < n; ++i) {
+    nn::Tensor t({1, 28, 28});
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      t[j] = rng.uniform(0.0f, 1.0f);
+    }
+    images.push_back(std::move(t));
+  }
+  return images;
+}
+
+TEST(EndpointTest, ParsesTheThreeSpellings) {
+  const Endpoint u = parse_endpoint("unix:/tmp/a.sock");
+  EXPECT_EQ(u.kind, EndpointKind::kUnix);
+  EXPECT_EQ(u.path, "/tmp/a.sock");
+  EXPECT_EQ(u.str(), "unix:/tmp/a.sock");
+
+  const Endpoint bare = parse_endpoint("/tmp/b.sock");
+  EXPECT_EQ(bare.kind, EndpointKind::kUnix);
+  EXPECT_EQ(bare.path, "/tmp/b.sock");
+
+  const Endpoint t = parse_endpoint("tcp:127.0.0.1:7601");
+  EXPECT_EQ(t.kind, EndpointKind::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 7601);
+  EXPECT_EQ(t.str(), "tcp:127.0.0.1:7601");
+
+  // Port 0 = ephemeral, resolved at bind time.
+  EXPECT_EQ(parse_endpoint("tcp:localhost:0").port, 0);
+}
+
+TEST(EndpointTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_endpoint(""), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("unix:"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("tcp:hostonly"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("tcp::7601"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("tcp:h:"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("tcp:h:notaport"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("tcp:h:70000"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("http:h:80"), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint("relative/path"), std::invalid_argument);
+}
+
+TEST(EndpointTest, ParsesLists) {
+  const std::vector<Endpoint> eps =
+      parse_endpoint_list("tcp:127.0.0.1:1,unix:/a,/b");
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_EQ(eps[0].kind, EndpointKind::kTcp);
+  EXPECT_EQ(eps[1].path, "/a");
+  EXPECT_EQ(eps[2].path, "/b");
+  EXPECT_THROW(parse_endpoint_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_endpoint_list("tcp:a:1,junk"), std::invalid_argument);
+}
+
+TEST(TransportTest, ReadDeadlinesShorterThanThePollTickAreHonored) {
+  // A hedge trigger of a few ms must time out on schedule; the internal
+  // poll tick (tens of ms) must never mask a shorter deadline.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FrameReader reader;
+  const auto start = std::chrono::steady_clock::now();
+  const auto frame = read_frame_with_deadline(fds[0], reader, /*timeout_ms=*/2);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(frame.has_value());
+  EXPECT_LT(elapsed_ms, 40) << "deadline slept a full poll tick";
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(TransportTest, TcpAndUnixServingAreBitIdenticalToDirect) {
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.backend = BackendKind::kFp32;
+  cfg.init_seed = 5;
+  ModelRegistry registry;
+  registry.add("lenet-mini", cfg);
+  BatchOptions opts;
+  opts.max_batch = 4;
+  opts.batch_timeout_us = 500;
+  ServeCore core(registry, opts);
+
+  const std::string unix_path = temp_socket_path("bitexact");
+  SocketServer unix_server(core, "unix:" + unix_path);
+  SocketServer tcp_server(core, "tcp:127.0.0.1:0");
+  ASSERT_NE(tcp_server.endpoint().port, 0);  // ephemeral port resolved
+
+  // A second registry+core with a shard pool: shards are rebuilt from the
+  // same seed, so predictions must not depend on which lane serves.
+  ModelConfig sharded_cfg = cfg;
+  sharded_cfg.shards = 3;
+  ModelRegistry sharded_registry;
+  sharded_registry.add("lenet-mini", sharded_cfg);
+  ServeCore sharded_core(sharded_registry, opts);
+  ASSERT_EQ(sharded_core.num_lanes("lenet-mini"), 3u);
+
+  SocketClient unix_client("unix:" + unix_path);
+  SocketClient tcp_client(tcp_server.endpoint());
+
+  const auto images = random_images(12, 99);
+  for (size_t i = 0; i < images.size(); ++i) {
+    const Response direct = core.infer("lenet-mini", images[i]);
+    ASSERT_EQ(direct.status, Status::kOk) << direct.error;
+    const Response via_unix = unix_client.infer("lenet-mini", images[i]);
+    ASSERT_EQ(via_unix.status, Status::kOk) << via_unix.error;
+    const Response via_tcp = tcp_client.infer("lenet-mini", images[i]);
+    ASSERT_EQ(via_tcp.status, Status::kOk) << via_tcp.error;
+    const Response via_shard = sharded_core.infer("lenet-mini", images[i]);
+    ASSERT_EQ(via_shard.status, Status::kOk) << via_shard.error;
+
+    EXPECT_EQ(via_unix.prediction, direct.prediction) << "image " << i;
+    EXPECT_EQ(via_tcp.prediction, direct.prediction) << "image " << i;
+    EXPECT_EQ(via_shard.prediction, direct.prediction) << "image " << i;
+  }
+
+  // Sharded stats label lanes model#k.
+  const auto stats = sharded_core.stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].model, "lenet-mini#0");
+  EXPECT_EQ(stats[2].model, "lenet-mini#2");
+}
+
+TEST(TransportTest, HelloHandshakeAndHealthProbeOverTcp) {
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.backend = BackendKind::kFp32;
+  ModelRegistry registry;
+  registry.add("lenet-mini", cfg);
+  ServeCore core(registry, BatchOptions{});
+  SocketServer server(core, "tcp:127.0.0.1:0");
+
+  SocketClient client(server.endpoint());
+  EXPECT_TRUE(client.handshake());
+  EXPECT_TRUE(client.handshake(PeerRole::kRouter));
+  const HealthAck ack = client.probe();
+  EXPECT_TRUE(ack.healthy);
+  EXPECT_EQ(ack.queue_depth, 0u);
+
+  // A mismatched version must be refused (raw frames: SocketClient only
+  // speaks the current version).
+  const int fd = connect_to(server.endpoint());
+  Hello old_version;
+  old_version.version = 2;
+  ASSERT_TRUE(
+      write_with_deadline(fd, encode_hello(old_version), 2000));
+  FrameReader reader;
+  const std::optional<Frame> frame =
+      read_frame_with_deadline(fd, reader, 2000);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, MsgType::kHelloAck);
+  const HelloAck refused = decode_hello_ack(frame->body);
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.version, kProtocolVersion);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace qsnc::serve

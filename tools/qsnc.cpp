@@ -16,8 +16,10 @@
 //               accuracy; trains a small model when --state is omitted)
 //   qsnc cost   --model M [--signal-bits M] [--weight-bits N] [--crossbar t]
 //   qsnc serve  --model lenet-mini [--backend fp32|quant|snc] [--state f]
-//               [--bits M] [--max-batch B] [--batch-timeout-us T]
-//               [--queue-cap Q] [--socket /tmp/qsnc-serve.sock]
+//               [--bits M] [--shards N] [--max-batch B]
+//               [--batch-timeout-us T] [--queue-cap Q]
+//               [--listen unix:/tmp/qsnc-serve.sock|tcp:host:port]
+//               (--socket path is the historical alias for --listen)
 //               [--snc-replicas R] [--snc-stuck-on R] [--snc-stuck-off R]
 //               [--snc-variation S] [--snc-write-verify] [--snc-spare-cols K]
 //               [--health] [--health-interval B] [--health-canaries N]
@@ -35,11 +37,26 @@
 //               fallback; --delay-target-us enables CoDel-style overload
 //               shedding, --breaker-threshold the per-backend circuit
 //               breaker; --chaos-profile injects deterministic seeded
-//               faults for resilience testing, reported at shutdown)
-//   qsnc loadgen --model lenet-mini [--socket path] [--requests N]
+//               faults for resilience testing, reported at shutdown;
+//               --shards N runs N identical batcher+backend lanes)
+//   qsnc router --backends ep1,ep2,... [--listen tcp:host:port]
+//               [--vnodes V] [--probe-interval-ms T] [--probe-timeout-ms T]
+//               [--probe-down-after K] [--forward-timeout-ms T]
+//               [--hedge-after-us T] [--breaker-threshold K]
+//               [--breaker-open-ms T] [--read-timeout-ms T]
+//               [--write-timeout-ms T] [--idle-timeout-ms T]
+//               [--max-connections C]
+//               (front tier over a fleet of qsnc serve processes:
+//               consistent-hash routing on (model, session), health
+//               probing, automatic reroute around dead backends, and
+//               optional hedged requests for interactive traffic)
+//   qsnc loadgen --model lenet-mini [--connect endpoint] [--requests N]
 //               [--concurrency C] [--no-retry] [--deadline-us D]
 //               [--priority interactive|canary|batch|mix]
-//               [--open-loop --rate R]
+//               [--sessions K] [--open-loop --rate R]
+//               (--socket path is the historical alias for --connect;
+//               --sessions K tags request i with session key i%K so a
+//               router pins each session to one backend)
 //               (load generator against a running server; closed-loop by
 //               default with rejected/shedded requests retrying under
 //               jittered exponential backoff honoring server hints;
@@ -74,10 +91,13 @@
 #include "models/model_zoo.h"
 #include "nn/serialize.h"
 #include "report/table.h"
+#include "router/router_config.h"
+#include "router/router_server.h"
 #include "serve/backoff.h"
 #include "serve/chaos.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
+#include "serve/transport.h"
 #include "snc/cost_model.h"
 #include "snc/snc_system.h"
 #include "util/flags.h"
@@ -507,6 +527,7 @@ serve::ModelConfig serve_model_config(const util::Flags& flags) {
   cfg.state_path = flags.get("state", "");
   cfg.backend = serve::parse_backend_kind(flags.get("backend", "fp32"));
   cfg.bits = static_cast<int>(flags.get_int("bits", 4));
+  cfg.shards = static_cast<int>(flags.get_int("shards", 1));
   cfg.init_seed = static_cast<uint64_t>(flags.get_int("seed", 1));
   cfg.snc_replicas = static_cast<int>(flags.get_int("snc-replicas", 0));
   cfg.snc_dense_reference = flags.get_bool("snc-dense-reference", false);
@@ -552,7 +573,10 @@ serve::BatchOptions serve_batch_options(const util::Flags& flags) {
 int cmd_serve(const util::Flags& flags) {
   const serve::ModelConfig cfg = serve_model_config(flags);
   serve::BatchOptions opts = serve_batch_options(flags);
-  const std::string socket = flags.get("socket", "/tmp/qsnc-serve.sock");
+  // --listen takes any endpoint spelling; --socket is the historical
+  // unix-path alias (--listen wins when both are given).
+  const std::string socket =
+      flags.get("listen", flags.get("socket", "/tmp/qsnc-serve.sock"));
   const std::string chaos_name = flags.get("chaos-profile", "none");
   const uint64_t chaos_seed =
       static_cast<uint64_t>(flags.get_int("chaos-seed", 42));
@@ -589,7 +613,7 @@ int cmd_serve(const util::Flags& flags) {
               "Ctrl-C drains and exits\n",
               cfg.architecture.c_str(),
               serve::backend_kind_name(cfg.backend), state_note.c_str(),
-              socket.c_str(), opts.max_batch,
+              server.socket_path().c_str(), opts.max_batch,
               static_cast<long long>(opts.batch_timeout_us),
               opts.queue_capacity);
   if (opts.admission.delay_target_us > 0 ||
@@ -603,6 +627,10 @@ int cmd_serve(const util::Flags& flags) {
                 opts.admission.breaker_threshold,
                 static_cast<long long>(opts.admission.breaker_open_us /
                                        1000));
+  }
+  if (cfg.shards > 1) {
+    std::printf("  shards: %d identical batcher+backend lanes\n",
+                cfg.shards);
   }
   if (chaos) {
     std::printf("  chaos: profile %s, seed %llu\n", chaos_name.c_str(),
@@ -624,8 +652,66 @@ int cmd_serve(const util::Flags& flags) {
   return 0;
 }
 
+int cmd_router(const util::Flags& flags) {
+  const std::string backends_csv = flags.get("backends", "");
+  if (backends_csv.empty()) {
+    throw std::invalid_argument("router needs --backends ep1,ep2,...");
+  }
+  router::RouterOptions opts;
+  opts.backends = serve::parse_endpoint_list(backends_csv);
+  opts.listen =
+      serve::parse_endpoint(flags.get("listen", "tcp:127.0.0.1:7600"));
+  opts.vnodes = static_cast<int>(flags.get_int("vnodes", opts.vnodes));
+  opts.probe_interval_ms =
+      flags.get_int("probe-interval-ms", opts.probe_interval_ms);
+  opts.probe_timeout_ms =
+      flags.get_int("probe-timeout-ms", opts.probe_timeout_ms);
+  opts.probe_down_after = static_cast<int>(
+      flags.get_int("probe-down-after", opts.probe_down_after));
+  opts.forward_timeout_ms =
+      flags.get_int("forward-timeout-ms", opts.forward_timeout_ms);
+  opts.hedge_after_us = flags.get_int("hedge-after-us", 0);
+  opts.breaker_threshold = static_cast<int>(
+      flags.get_int("breaker-threshold", opts.breaker_threshold));
+  opts.breaker_open_ms =
+      flags.get_int("breaker-open-ms", opts.breaker_open_ms);
+  opts.front.read_timeout_ms =
+      flags.get_int("read-timeout-ms", opts.front.read_timeout_ms);
+  opts.front.write_timeout_ms =
+      flags.get_int("write-timeout-ms", opts.front.write_timeout_ms);
+  opts.front.idle_timeout_ms =
+      flags.get_int("idle-timeout-ms", opts.front.idle_timeout_ms);
+  opts.front.max_connections = static_cast<int>(
+      flags.get_int("max-connections", opts.front.max_connections));
+  check_unused(flags);
+
+  router::RouterServer server(opts);
+  std::printf("routing on %s over %zu backends:\n",
+              server.endpoint().str().c_str(), opts.backends.size());
+  for (const serve::Endpoint& ep : opts.backends) {
+    std::printf("  %s\n", ep.str().c_str());
+  }
+  const std::string hedge_note =
+      opts.hedge_after_us > 0
+          ? ", hedge after " + std::to_string(opts.hedge_after_us) + " us"
+          : "";
+  std::printf("  vnodes %d, probe every %lld ms (down after %d misses), "
+              "forward timeout %lld ms%s; Ctrl-C exits\n",
+              opts.vnodes, static_cast<long long>(opts.probe_interval_ms),
+              opts.probe_down_after,
+              static_cast<long long>(opts.forward_timeout_ms),
+              hedge_note.c_str());
+  server.run_until_signal();
+  std::printf("router health table:\n%s",
+              server.router().stats_report().c_str());
+  return 0;
+}
+
 int cmd_loadgen(const util::Flags& flags) {
-  const std::string socket = flags.get("socket", "/tmp/qsnc-serve.sock");
+  // --connect takes any endpoint spelling; --socket is the historical
+  // unix-path alias (--connect wins when both are given).
+  const std::string socket =
+      flags.get("connect", flags.get("socket", "/tmp/qsnc-serve.sock"));
   const std::string model = flags.get("model", "lenet-mini");
   const int64_t requests = flags.get_int("requests", 200);
   const int concurrency =
@@ -637,6 +723,7 @@ int cmd_loadgen(const util::Flags& flags) {
   const int64_t max_retries = flags.get_int("max-retries", 64);
   const uint64_t deadline_us =
       static_cast<uint64_t>(flags.get_int("deadline-us", 0));
+  const int64_t sessions = flags.get_int("sessions", 0);
   check_unused(flags);
   if (open_loop && rate <= 0.0) {
     throw std::invalid_argument("--open-loop needs --rate > 0");
@@ -705,11 +792,16 @@ int cmd_loadgen(const util::Flags& flags) {
             image[j] = rng.uniform(0.0f, 1.0f);
           }
           ++cls.sent;
+          // Session key: request i belongs to session i % K, so a router
+          // in the path pins each session to one backend.
+          const std::string session =
+              sessions > 0 ? "s" + std::to_string(i % sessions)
+                           : std::string();
           int64_t attempts = 0;
           for (;;) {
             const auto s0 = std::chrono::steady_clock::now();
             const serve::Response r =
-                client.infer(model, image, deadline_us, priority);
+                client.infer(model, image, deadline_us, priority, session);
             if (r.status == serve::Status::kOk) {
               const auto s1 = std::chrono::steady_clock::now();
               cls.latencies_us.push_back(static_cast<uint64_t>(
@@ -796,11 +888,11 @@ int cmd_loadgen(const util::Flags& flags) {
              std::to_string(pct(total.latencies_us, 95)),
              std::to_string(pct(total.latencies_us, 99))});
   std::printf("%s", t.to_string().c_str());
+  const std::string offered_note =
+      open_loop ? ", offered " + report::fmt(rate, 1) + " QPS" : "";
   std::printf("wall %.2fs, goodput %.1f QPS%s\n", wall,
               wall > 0 ? static_cast<double>(total.ok) / wall : 0.0,
-              open_loop
-                  ? (", offered " + report::fmt(rate, 1) + " QPS").c_str()
-                  : "");
+              offered_note.c_str());
   try {
     serve::SocketClient client(socket);
     std::printf("server-side stats:\n%s", client.stats().c_str());
@@ -830,7 +922,7 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: qsnc "
-          "<train|quantize|eval|deploy|faultsim|cost|serve|loadgen> "
+          "<train|quantize|eval|deploy|faultsim|cost|serve|router|loadgen> "
           "[flags]\n"
           "see the header of tools/qsnc.cpp for details\n");
       return 2;
@@ -843,6 +935,7 @@ int main(int argc, char** argv) {
     if (cmd == "faultsim") return cmd_faultsim(flags);
     if (cmd == "cost") return cmd_cost(flags);
     if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "router") return cmd_router(flags);
     if (cmd == "loadgen") return cmd_loadgen(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
