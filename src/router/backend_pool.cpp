@@ -92,9 +92,14 @@ void BackendPool::checkin(size_t i, std::unique_ptr<Conn> conn) {
   b.free.push_back(std::move(conn));
 }
 
-bool BackendPool::usable(size_t i, int64_t now_us) {
+bool BackendPool::usable(size_t i, int64_t now_us) const {
   Backend& b = backend(i);
-  return b.up.load(std::memory_order_relaxed) && b.breaker.allow(now_us);
+  return b.up.load(std::memory_order_relaxed) &&
+         b.breaker.would_allow(now_us);
+}
+
+bool BackendPool::admit(size_t i, int64_t now_us) {
+  return backend(i).breaker.allow(now_us);
 }
 
 bool BackendPool::up(size_t i) const {

@@ -83,9 +83,19 @@ class BackendPool {
   /// mid-response abandon). The fd is closed by ~Conn.
   static void invalidate(std::unique_ptr<Conn> conn) { conn.reset(); }
 
-  /// Is `i` worth trying now: prober says up AND its breaker admits.
-  bool usable(size_t i, int64_t now_us);
+  /// Is `i` worth trying now: prober says up AND its breaker would
+  /// admit. Non-mutating (breaker state and the half-open probe slot are
+  /// untouched), so it is safe to call for every candidate while ordering
+  /// without owing the breaker an outcome.
+  bool usable(size_t i, int64_t now_us) const;
   bool up(size_t i) const;
+
+  /// Drives `i`'s breaker state machine for one real forward attempt
+  /// (CircuitBreaker::allow — may consume the half-open probe slot). Call
+  /// exactly once immediately before forwarding, and always resolve it
+  /// with record_success/record_failure. The return value is advisory:
+  /// the router still attempts open-breaker backends as a last resort.
+  bool admit(size_t i, int64_t now_us);
 
   void record_success(size_t i);
   void record_failure(size_t i, int64_t now_us);

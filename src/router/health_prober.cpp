@@ -15,14 +15,19 @@ HealthProber::HealthProber(BackendPool& pool, const RouterOptions& options)
 HealthProber::~HealthProber() { stop(); }
 
 void HealthProber::stop() {
-  stopping_.store(true);
+  {
+    // stopping_ flips under mu_ — the same mutex the loop's wait holds
+    // while checking its predicate — so the notify cannot slip into the
+    // gap between the predicate check and the sleep and get lost.
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_.store(true);
+  }
   cv_.notify_all();
-  std::lock_guard<std::mutex> lock(mu_);  // serialize concurrent stop()s
+  std::lock_guard<std::mutex> lock(join_mu_);  // serialize concurrent stop()s
   if (thread_.joinable()) thread_.join();
 }
 
 void HealthProber::loop() {
-  std::mutex wait_mu;
   while (!stopping_.load()) {
     for (size_t i = 0; i < pool_.size() && !stopping_.load(); ++i) {
       bool ok = false;
@@ -38,7 +43,7 @@ void HealthProber::loop() {
       }
     }
     ++sweeps_;
-    std::unique_lock<std::mutex> lock(wait_mu);
+    std::unique_lock<std::mutex> lock(mu_);
     cv_.wait_for(lock,
                  std::chrono::milliseconds(options_.probe_interval_ms),
                  [this] { return stopping_.load(); });

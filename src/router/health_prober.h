@@ -44,7 +44,8 @@ class HealthProber {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> sweeps_{0};
   std::atomic<uint64_t> next_nonce_{1};
-  std::mutex mu_;
+  std::mutex mu_;        // guards the stop wakeup (cv_ waits under it)
+  std::mutex join_mu_;   // serializes concurrent stop()/join
   std::condition_variable cv_;
   std::thread thread_;
 };

@@ -133,6 +133,12 @@ bool Router::forward_attempt(size_t backend, int hedge_backend,
     }
   };
 
+  // Ordering used the non-mutating usable(); only a real attempt drives
+  // the breaker state machine. admit() may consume the half-open probe
+  // slot, and every path below resolves it via record_success/
+  // record_failure, so the slot can never leak. Its verdict is advisory:
+  // this backend was already chosen (usable or last-resort).
+  (void)pool_.admit(backend, now_us());
   auto conn = pool_.checkout(backend);
   if (conn == nullptr) {
     pool_.record_failure(backend, now_us());
@@ -182,6 +188,9 @@ bool Router::forward_attempt(size_t backend, int hedge_backend,
     ++hedged_;
     if (!serve::write_with_deadline(hedge_conn->fd, wire,
                                     options_.forward_timeout_ms)) {
+      // The duplicate never reached the hedge backend: charge its breaker
+      // and failure counter before falling back to the primary alone.
+      pool_.record_failure(hb, now_us());
       hedge_conn.reset();
     }
   }

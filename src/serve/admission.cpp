@@ -49,6 +49,20 @@ bool CircuitBreaker::allow(int64_t now_us) {
   return true;
 }
 
+bool CircuitBreaker::would_allow(int64_t now_us) const {
+  if (threshold_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return now_us - opened_at_us_ >= open_us_;
+    case State::kHalfOpen:
+      return !probe_inflight_;
+  }
+  return true;
+}
+
 void CircuitBreaker::on_success() {
   if (threshold_ <= 0) return;
   std::lock_guard<std::mutex> lock(mu_);

@@ -81,8 +81,18 @@ class CircuitBreaker {
 
   /// True when a request may be admitted at `now_us` (any monotonic
   /// microsecond clock). An open breaker whose timer has elapsed
-  /// transitions to half-open and admits exactly one probe.
+  /// transitions to half-open and admits exactly one probe. Every
+  /// admitted call MUST be resolved by on_success/on_failure (or
+  /// release_probe), else a consumed half-open probe slot wedges the
+  /// breaker; callers that only want to rank or filter candidates must
+  /// use would_allow() instead.
   bool allow(int64_t now_us);
+
+  /// Non-mutating preview of allow(): true when a call to allow() at
+  /// `now_us` would admit. Never transitions state or consumes the
+  /// half-open probe slot, so it is safe to call any number of times
+  /// (e.g. for candidate ordering) without reporting an outcome.
+  bool would_allow(int64_t now_us) const;
 
   /// Backend served a batch successfully: closes from any state.
   void on_success();

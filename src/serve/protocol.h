@@ -62,7 +62,11 @@ struct ProtocolError : std::runtime_error {
 /// socket are built from this repo; the constant documents the lineage:
 /// 1 = initial, 2 = deadline_us/degraded, 3 = priority/kShedded,
 /// 4 = session key + hello/health/forward frames). The kHello handshake
-/// lets mixed-version fleets fail fast instead of mis-decoding.
+/// is mandatory before infer-class frames (kInferRequest/kForwardInfer,
+/// whose layout changes across versions): servers drop un-handshaken
+/// infer frames with a ProtocolError, so mixed-version fleets fail fast
+/// instead of mis-decoding. Version-stable frames (kStatsRequest,
+/// kHealthProbe) are accepted without a handshake.
 constexpr uint16_t kProtocolVersion = 4;
 
 /// Hard cap on one frame's payload (length prefix included in checks).

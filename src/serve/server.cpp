@@ -361,6 +361,12 @@ void SocketServer::handle_connection(Connection* connection) {
   FrameReader reader;
   uint8_t buf[64 * 1024];
   Clock::time_point last_activity = Clock::now();
+  // Infer frames carry the version-sensitive request layout, so they are
+  // only accepted after this connection's kHello was accepted: a
+  // mixed-version peer fails fast (connection drop) instead of
+  // mis-decoding a v4 body with a v3 layout. Version-stable frames
+  // (stats, health probes) stay reachable without a handshake.
+  bool handshaken = false;
   try {
     for (;;) {
       pollfd pfd{connection->fd, POLLIN, 0};
@@ -400,6 +406,15 @@ void SocketServer::handle_connection(Connection* connection) {
       reader.feed(buf, static_cast<size_t>(n));
       bool drop = false;
       while (auto frame = reader.next()) {
+        if (!handshaken) {
+          if (frame->type == MsgType::kHello) {
+            handshaken =
+                decode_hello(frame->body).version == kProtocolVersion;
+          } else if (frame->type == MsgType::kInferRequest ||
+                     frame->type == MsgType::kForwardInfer) {
+            throw ProtocolError("infer frame before kHello handshake");
+          }
+        }
         if (!handler_.handle(*frame, sink)) {
           drop = true;
           break;
@@ -506,6 +521,11 @@ Response SocketClient::infer(const std::string& model,
                              const nn::Tensor& image, uint64_t deadline_us,
                              Priority priority,
                              const std::string& session) {
+  // Servers only accept infer frames on handshaken connections.
+  if (!handshaken_ && !handshake()) {
+    throw std::runtime_error("server refused protocol version " +
+                             std::to_string(kProtocolVersion));
+  }
   InferRequest request;
   request.id = next_id_++;
   request.deadline_us = deadline_us;
@@ -533,7 +553,8 @@ bool SocketClient::handshake(PeerRole role) {
     throw std::runtime_error("unexpected response type");
   }
   const HelloAck ack = decode_hello_ack(frame.body);
-  return ack.accepted && ack.version == kProtocolVersion;
+  handshaken_ = ack.accepted && ack.version == kProtocolVersion;
+  return handshaken_;
 }
 
 HealthAck SocketClient::probe() {

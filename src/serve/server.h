@@ -279,15 +279,18 @@ class SocketClient {
   /// the request may wait server-side before a structured
   /// kDeadlineExceeded rejection; `priority` is the request's admission
   /// class. `session` is the optional router affinity key (ignored by a
-  /// directly-addressed serving node).
+  /// directly-addressed serving node). Performs the kHello handshake
+  /// before the first request (servers reject un-handshaken infer
+  /// frames); throws std::runtime_error if the server refuses the
+  /// version.
   Response infer(const std::string& model, const nn::Tensor& image,
                  uint64_t deadline_us = 0,
                  Priority priority = Priority::kInteractive,
                  const std::string& session = std::string());
 
   /// Protocol version handshake: true when the server accepted this
-  /// client's kProtocolVersion. Optional — clients of a same-build fleet
-  /// may skip it; the router always handshakes its backend connections.
+  /// client's kProtocolVersion. infer() runs it implicitly on first use;
+  /// call it directly to probe version compatibility without inferring.
   bool handshake(PeerRole role = PeerRole::kClient);
 
   /// Liveness probe; throws on transport failure or a nonce mismatch.
@@ -302,6 +305,7 @@ class SocketClient {
   int fd_ = -1;
   uint64_t next_id_ = 1;
   uint64_t next_nonce_ = 1;
+  bool handshaken_ = false;
   FrameReader reader_;
 };
 

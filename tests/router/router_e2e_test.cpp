@@ -96,6 +96,38 @@ std::string session_owned_by(const RouterOptions& options, size_t want) {
   return "s0";
 }
 
+// Regression: candidate ordering polls usable() for every backend on
+// every request, and that poll must not consume the breaker's half-open
+// probe slot — otherwise a backend that tripped its breaker once is
+// permanently wedged out of the usable set (only reachable as a
+// last-resort) even though it recovered.
+TEST(BackendPoolTest, TrippedBreakerRejoinsDespiteRepeatedUsablePolls) {
+  RouterOptions options;
+  options.backends.push_back(serve::parse_endpoint("unix:/tmp/qsnc-bp-a"));
+  options.backends.push_back(serve::parse_endpoint("unix:/tmp/qsnc-bp-b"));
+  options.breaker_threshold = 1;
+  options.breaker_open_ms = 1;  // 1000us on the synthetic clock below
+  BackendPool pool(options);
+
+  pool.record_failure(0, /*now_us=*/0);
+  EXPECT_FALSE(pool.usable(0, 500));  // open, timer running
+  // Ordering-style polls after the open window: all true, none of them
+  // transitions the breaker or takes the probe slot.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.usable(0, 1000 + i));
+  }
+  EXPECT_EQ(pool.stats()[0].breaker, serve::CircuitBreaker::State::kOpen);
+  // The real forward attempt becomes the probe; its success closes the
+  // breaker and the backend is fully back.
+  EXPECT_TRUE(pool.admit(0, 2000));
+  EXPECT_EQ(pool.stats()[0].breaker,
+            serve::CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(pool.usable(0, 2001));  // probe slot held by the attempt
+  pool.record_success(0);
+  EXPECT_TRUE(pool.usable(0, 2002));
+  EXPECT_EQ(pool.stats()[0].breaker, serve::CircuitBreaker::State::kClosed);
+}
+
 TEST(RouterE2ETest, PredictionsThroughRouterAreBitExact) {
   BackendNode a;
   BackendNode b;

@@ -79,6 +79,25 @@ TEST(CircuitBreakerTest, ReleaseProbeFreesTheSlotWithoutAnOutcome) {
   EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
 }
 
+TEST(CircuitBreakerTest, WouldAllowNeverMutatesState) {
+  CircuitBreaker b(1, 1000);
+  b.on_failure(0);
+  EXPECT_FALSE(b.would_allow(999));  // open, timer running
+  // Any number of previews past the timer neither transitions to
+  // half-open nor consumes the probe slot (the router polls this for
+  // every candidate while ordering — a tripped backend must still rejoin
+  // via a real attempt afterwards).
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(b.would_allow(1000 + i));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(b.allow(1010));  // the real attempt is still the probe
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(b.would_allow(1011));  // slot taken: preview says so...
+  EXPECT_FALSE(b.allow(1011));        // ...and agrees with allow()
+  b.on_success();
+  EXPECT_TRUE(b.would_allow(1012));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+}
+
 TEST(CircuitBreakerTest, ZeroThresholdDisablesEverything) {
   CircuitBreaker b(0, 0);
   for (int i = 0; i < 10; ++i) b.on_failure(i);

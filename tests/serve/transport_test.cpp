@@ -185,5 +185,50 @@ TEST(TransportTest, HelloHandshakeAndHealthProbeOverTcp) {
   ::close(fd);
 }
 
+// Infer frames carry the version-sensitive request layout, so a server
+// must drop them on un-handshaken connections (fail fast) instead of
+// decoding what might be another version's bytes.
+TEST(TransportTest, InferBeforeHandshakeDropsTheConnection) {
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.backend = BackendKind::kFp32;
+  ModelRegistry registry;
+  registry.add("lenet-mini", cfg);
+  ServeCore core(registry, BatchOptions{});
+  SocketServer server(core, "tcp:127.0.0.1:0");
+
+  InferRequest request;
+  request.id = 1;
+  request.model = "lenet-mini";
+  request.image = nn::Tensor({1, 28, 28}, 0.5f);
+
+  // Raw infer with no kHello: no response, connection dropped.
+  const int fd = connect_to(server.endpoint());
+  ASSERT_TRUE(
+      write_with_deadline(fd, encode_infer_request(request), 2000));
+  FrameReader reader;
+  EXPECT_FALSE(read_frame_with_deadline(fd, reader, 2000).has_value());
+  ::close(fd);
+
+  // Version-stable frames stay reachable without a handshake.
+  const int probe_fd = connect_to(server.endpoint());
+  HealthProbe probe;
+  probe.nonce = 7;
+  ASSERT_TRUE(
+      write_with_deadline(probe_fd, encode_health_probe(probe), 2000));
+  FrameReader probe_reader;
+  const std::optional<Frame> ack =
+      read_frame_with_deadline(probe_fd, probe_reader, 2000);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, MsgType::kHealthAck);
+  ::close(probe_fd);
+
+  // SocketClient::infer handshakes implicitly, so it still round-trips.
+  SocketClient client(server.endpoint());
+  const Response response =
+      client.infer("lenet-mini", nn::Tensor({1, 28, 28}, 0.5f));
+  EXPECT_EQ(response.status, Status::kOk) << response.error;
+}
+
 }  // namespace
 }  // namespace qsnc::serve
