@@ -11,11 +11,22 @@
 // actually carried spikes, fed into the discrete-event timing simulator
 // to estimate what an event-driven slot sequencer buys in hardware.
 //
+// A second sweep measures the batch-native engine: the same images run
+// through SncSystem::infer_batch at B in {1, 2, 4, 8, 16} on both
+// engines, verifying predictions stay bit-identical to the per-image
+// loop at every B and reporting images/sec plus panel bytes streamed per
+// image (the union row pass amortizes each stage's conductance panel
+// across the batch, so bytes/image falls as B grows).
+//
 // Writes BENCH_snc.json (override with QSNC_BENCH_OUT).
 // Flags: --images N (ideal-mode images per model, default 8)
 //        --online-images N (online-mode images per model, default 2)
 //        --models csv (default lenet,alexnet,resnet)
+//        --batch-sizes csv (default 1,2,4,8,16; empty disables the sweep)
+//        --batch-images N (ideal-mode sweep images per B, default 16)
+//        --batch-online-images N (online-mode sweep images, default 4)
 //        --threads N (default 1: single-thread timing)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -99,6 +110,96 @@ EngineRun run_engine(nn::Network& net, const ModelCase& model,
   return run;
 }
 
+// One point of the batch-native sweep: model x mode x engine x B.
+struct BatchPoint {
+  std::string model;
+  std::string mode;
+  std::string engine;
+  int64_t batch = 0;
+  int64_t images = 0;
+  double images_per_sec = 0.0;
+  double panel_bytes_per_image = 0.0;
+  bool predictions_match = false;  // vs per-image infer() on this engine
+};
+
+std::vector<int64_t> parse_int_list(const std::string& csv) {
+  std::vector<int64_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t end = csv.find(',', pos);
+    if (end == std::string::npos) end = csv.size();
+    if (end > pos) out.push_back(std::stoll(csv.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+// Runs the batch-native sweep for one (model, mode, engine): a per-image
+// reference pass pins the expected predictions, then each batch size re-
+// runs the same images through infer_batch on a freshly programmed system
+// (construction is outside the timer; batch tensors are pre-assembled).
+void run_batch_sweep(const ModelCase& model, nn::Network& net,
+                     snc::SncConfig cfg, snc::IntegrationMode mode,
+                     const std::vector<int64_t>& sizes, int64_t images,
+                     std::vector<BatchPoint>& out) {
+  cfg.mode = mode;
+  const bool online = mode == snc::IntegrationMode::kOnline;
+  const int64_t chw = nn::shape_numel(model.input);
+
+  for (const bool dense : {false, true}) {
+    cfg.engine = dense ? snc::SncEngine::kDenseReference
+                       : snc::SncEngine::kEventDriven;
+    std::vector<int64_t> reference;
+    {
+      snc::SncSystem system(net, model.input, cfg);
+      for (int64_t i = 0; i < images; ++i) {
+        reference.push_back(system.infer(model.images->get(i).image));
+      }
+    }
+    for (const int64_t batch_size : sizes) {
+      if (batch_size < 1 || batch_size > images) continue;
+      std::vector<nn::Tensor> batches;
+      for (int64_t start = 0; start < images; start += batch_size) {
+        const int64_t b = std::min(batch_size, images - start);
+        nn::Tensor t({b, model.input[0], model.input[1], model.input[2]});
+        for (int64_t j = 0; j < b; ++j) {
+          const data::Sample s = model.images->get(start + j);
+          std::copy(s.image.data(), s.image.data() + chw,
+                    t.data() + j * chw);
+        }
+        batches.push_back(std::move(t));
+      }
+
+      snc::SncSystem system(net, model.input, cfg);
+      const int64_t bytes0 = system.panel_bytes_streamed();
+      std::vector<int64_t> preds;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const nn::Tensor& t : batches) {
+        const std::vector<int64_t> p = system.infer_batch(t);
+        preds.insert(preds.end(), p.begin(), p.end());
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+
+      BatchPoint point;
+      point.model = model.name;
+      point.mode = online ? "online" : "ideal";
+      point.engine = dense ? "dense" : "event";
+      point.batch = batch_size;
+      point.images = images;
+      point.images_per_sec =
+          seconds > 0.0 ? static_cast<double>(images) / seconds : 0.0;
+      point.panel_bytes_per_image =
+          static_cast<double>(system.panel_bytes_streamed() - bytes0) /
+          static_cast<double>(images);
+      point.predictions_match = preds == reference;
+      out.push_back(point);
+    }
+  }
+}
+
 ModeResult run_mode(const ModelCase& model, nn::Network& net,
                     snc::SncConfig cfg, snc::IntegrationMode mode,
                     int64_t images) {
@@ -164,6 +265,11 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const int64_t ideal_images = flags.get_int("images", 8);
   const int64_t online_images = flags.get_int("online-images", 2);
+  const std::vector<int64_t> batch_sizes =
+      parse_int_list(flags.get("batch-sizes", "1,2,4,8,16"));
+  const int64_t batch_images = flags.get_int("batch-images", 16);
+  const int64_t batch_online_images =
+      flags.get_int("batch-online-images", 4);
   const std::string models_csv = flags.get("models", "lenet,alexnet,resnet");
   const int threads = static_cast<int>(flags.get_int("threads", 1));
   util::set_num_threads(threads);
@@ -191,6 +297,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ModeResult> results;
+  std::vector<BatchPoint> batch_points;
   bool all_match = true;
   for (ModelCase& model : models) {
     core::fold_batchnorm(model.net);
@@ -216,7 +323,21 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       results.push_back(run_mode(model, model.net, cfg, mode, n));
       if (!results.back().predictions_match) all_match = false;
+
+      if (!batch_sizes.empty()) {
+        const int64_t sweep_images =
+            online ? batch_online_images : batch_images;
+        std::printf("running %-8s %-6s batch sweep x%lld ...\n",
+                    model.name.c_str(), online ? "online" : "ideal",
+                    static_cast<long long>(sweep_images));
+        std::fflush(stdout);
+        run_batch_sweep(model, model.net, cfg, mode, batch_sizes,
+                        sweep_images, batch_points);
+      }
     }
+  }
+  for (const BatchPoint& p : batch_points) {
+    if (!p.predictions_match) all_match = false;
   }
 
   const char* env = std::getenv("QSNC_BENCH_OUT");
@@ -245,6 +366,20 @@ int main(int argc, char** argv) {
         r.occupied_slot_fraction, r.timing_speedup,
         i + 1 < results.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"batch_sweep\": [\n");
+  for (size_t i = 0; i < batch_points.size(); ++i) {
+    const BatchPoint& p = batch_points[i];
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"mode\": \"%s\", \"engine\": \"%s\", "
+        "\"batch\": %lld, \"images\": %lld, \"images_per_sec\": %.5g, "
+        "\"panel_bytes_per_image\": %.5g, \"predictions_match\": %s}%s\n",
+        p.model.c_str(), p.mode.c_str(), p.engine.c_str(),
+        static_cast<long long>(p.batch), static_cast<long long>(p.images),
+        p.images_per_sec, p.panel_bytes_per_image,
+        p.predictions_match ? "true" : "false",
+        i + 1 < batch_points.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 
@@ -261,6 +396,19 @@ int main(int argc, char** argv) {
                 100.0 * r.input_sparsity,
                 r.predictions_match ? "yes" : "NO",
                 100.0 * r.occupied_slot_fraction);
+  }
+  if (!batch_points.empty()) {
+    std::printf("\n== batch-native sweep (panel bytes amortized over the "
+                "batch) ==\n");
+    std::printf("%-8s %-6s %-6s %6s %10s %14s %7s\n", "model", "mode",
+                "engine", "batch", "img/s", "panel MB/img", "match");
+    for (const BatchPoint& p : batch_points) {
+      std::printf("%-8s %-6s %-6s %6lld %10.2f %14.3f %7s\n",
+                  p.model.c_str(), p.mode.c_str(), p.engine.c_str(),
+                  static_cast<long long>(p.batch), p.images_per_sec,
+                  p.panel_bytes_per_image / (1024.0 * 1024.0),
+                  p.predictions_match ? "yes" : "NO");
+    }
   }
   std::printf("wrote %s\n", path.c_str());
   if (!all_match) {

@@ -89,4 +89,13 @@ void avx2_iaccumulate_rows(const int32_t* rows, const int32_t* vals,
                            int64_t n_events, const int16_t* panel,
                            int64_t cols, int32_t* acc);
 
+/// Batched integer row-drive combine: vals is event-major
+/// [n_events x batch], acc image-major [batch x cols]; each event's level
+/// row is widened to int32 once and reused across the batch. Exact int32
+/// accumulation, so any schedule matches the scalar reference.
+void avx2_iaccumulate_rows_batch(const int32_t* rows, const int32_t* vals,
+                                 int64_t n_events, int64_t batch,
+                                 const int16_t* panel, int64_t cols,
+                                 int32_t* acc);
+
 }  // namespace qsnc::nn::kernels

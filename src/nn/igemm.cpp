@@ -104,4 +104,26 @@ void iaccumulate_rows(const int32_t* rows, const int32_t* vals,
   }
 }
 
+void iaccumulate_rows_batch(const int32_t* rows, const int32_t* vals,
+                            int64_t n_events, int64_t batch,
+                            const int16_t* panel, int64_t cols,
+                            int32_t* acc) {
+  if (simd::use_avx2()) {
+    kernels::avx2_iaccumulate_rows_batch(rows, vals, n_events, batch, panel,
+                                         cols, acc);
+    return;
+  }
+  for (int64_t e = 0; e < n_events; ++e) {
+    const int16_t* row = panel + rows[e] * cols;
+    const int32_t* v = vals + e * batch;
+    for (int64_t b = 0; b < batch; ++b) {
+      if (v[b] == 0) continue;
+      int32_t* a = acc + b * cols;
+      for (int64_t j = 0; j < cols; ++j) {
+        a[j] += v[b] * static_cast<int32_t>(row[j]);
+      }
+    }
+  }
+}
+
 }  // namespace qsnc::nn

@@ -61,4 +61,12 @@ void iaccumulate_rows(const int32_t* rows, const int32_t* vals,
                       int64_t n_events, const int16_t* panel, int64_t cols,
                       int32_t* acc);
 
+/// Batched integer row drive: acc[b * cols + c] += vals[e * batch + b] *
+/// panel[rows[e] * cols + c] for every event e and image b. One pass over
+/// each event's level row serves the whole batch; exact in int32, so the
+/// result equals `batch` independent iaccumulate_rows calls bit for bit.
+void iaccumulate_rows_batch(const int32_t* rows, const int32_t* vals,
+                            int64_t n_events, int64_t batch,
+                            const int16_t* panel, int64_t cols, int32_t* acc);
+
 }  // namespace qsnc::nn

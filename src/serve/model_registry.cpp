@@ -127,9 +127,9 @@ Backend& ModelRegistry::add(const std::string& name,
         snc_cfg.device.stuck_off_rate = config.snc_stuck_off_rate;
         snc_cfg.recovery.write_verify = config.snc_write_verify;
         snc_cfg.recovery.spare_cols = config.snc_spare_cols;
-        backend = std::make_unique<SncBackend>(*net, entry->input_chw,
-                                               snc_cfg, config.snc_replicas,
-                                               config.snc_health);
+        backend = std::make_unique<SncBackend>(
+            *net, entry->input_chw, snc_cfg, config.snc_replicas,
+            config.snc_health, config.snc_batch_native);
         break;
       }
     }

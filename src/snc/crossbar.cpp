@@ -328,6 +328,44 @@ void DifferentialCrossbar::accumulate_rows(const int32_t* rows,
   }
 }
 
+void DifferentialCrossbar::accumulate_rows_batch(const int32_t* rows,
+                                                 const double* drives,
+                                                 int64_t n, int64_t batch,
+                                                 double* acc) const {
+  const int64_t width = 2 * cols_;
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = panel_.data() + static_cast<int64_t>(rows[i]) * width;
+    const double* dv = drives + i * batch;
+    // Two images per pass: the panel row is loaded once per register strip
+    // instead of once per image. The per-image update keeps the exact
+    // expression shape of accumulate_rows, so each (image, column) sum
+    // goes through the same arithmetic and stays bit-identical.
+    int64_t b = 0;
+    for (; b + 2 <= batch; b += 2) {
+      const double v0 = dv[b];
+      const double v1 = dv[b + 1];
+      double* a0 = acc + b * width;
+      double* a1 = a0 + width;
+      if (v0 != 0.0 && v1 != 0.0) {
+        for (int64_t c = 0; c < width; ++c) {
+          const double g = row[c];
+          a0[c] += v0 * g;
+          a1[c] += v1 * g;
+        }
+      } else if (v0 != 0.0) {
+        for (int64_t c = 0; c < width; ++c) a0[c] += v0 * row[c];
+      } else if (v1 != 0.0) {
+        for (int64_t c = 0; c < width; ++c) a1[c] += v1 * row[c];
+      }
+    }
+    if (b < batch && dv[b] != 0.0) {
+      const double v = dv[b];
+      double* a = acc + b * width;
+      for (int64_t c = 0; c < width; ++c) a[c] += v * row[c];
+    }
+  }
+}
+
 void DifferentialCrossbar::read_logical_columns(
     const std::vector<double>& volts, std::vector<double>& plus_out,
     std::vector<double>& minus_out) const {

@@ -197,6 +197,17 @@ class DifferentialCrossbar {
   void accumulate_rows(const int32_t* rows, const double* drives, int64_t n,
                        double* acc) const;
 
+  /// Batched form of accumulate_rows: one pass over each driven row's
+  /// panel serves `batch` images (a B-wide rank-1 update per event row).
+  /// `drives` is event-major [n x batch] (image b of event i at
+  /// i*batch + b), `acc` image-major [batch x 2*cols]. Zero drives are
+  /// skipped per image, so each image's per-column accumulation reduces
+  /// to exactly the sequence accumulate_rows would perform over that
+  /// image's own nonzero-event list — bit-identical, while the panel row
+  /// is streamed from memory once for the whole batch.
+  void accumulate_rows_batch(const int32_t* rows, const double* drives,
+                             int64_t n, int64_t batch, double* acc) const;
+
   /// Differential column currents I_plus - I_minus for binary spikes.
   std::vector<double> read_columns_spiking(const std::vector<uint8_t>& spikes,
                                            double v_read) const;

@@ -397,26 +397,40 @@ SncSystem::SncSystem(nn::Network& net, const nn::Shape& input_chw,
   }
 }
 
+namespace {
+// Fills the engine-independent dispatcher stats: geometry plus the
+// programming-time fault counters (programming happened once, before any
+// engine ran), identically for the single-image and batched paths.
+void fill_stage_header(const FaultReport& fault, int64_t rows, int64_t cols,
+                       int64_t positions, SncStageStats* stats) {
+  if (stats == nullptr) return;
+  stats->rows = rows;
+  stats->cols = cols;
+  stats->positions = positions;
+  stats->write_retries = fault.write_retries;
+  stats->faults_detected = fault.faults_detected;
+  stats->faults_compensated = fault.faults_compensated;
+  stats->residual_faults = fault.residual_faults;
+  stats->remapped_cols = fault.remapped_cols;
+  stats->refreshes = fault.refreshes;
+}
+}  // namespace
+
+nn::Rng SncSystem::next_coding_rng() {
+  return nn::Rng(
+      nn::Rng::stream_seed(config_.seed,
+                           kCodingStreamBase + coding_streams_issued_++));
+}
+
 std::vector<int64_t> SncSystem::run_crossbar_stage(
     const Stage& stage, const std::vector<int64_t>& input,
-    SncStageStats* stats) {
+    SncStageStats* stats, nn::Rng& coding_rng) {
   const bool is_conv = stage.kind == Stage::Kind::kConv;
-  if (stats != nullptr) {
-    stats->rows = stage.xbar->rows();
-    stats->cols = stage.xbar->cols();
-    stats->positions = is_conv ? stage.out_h * stage.out_w : 1;
-    // Programming-time fault counters: engine-independent by construction
-    // (programming happened once, before any engine ran).
-    stats->write_retries = stage.fault.write_retries;
-    stats->faults_detected = stage.fault.faults_detected;
-    stats->faults_compensated = stage.fault.faults_compensated;
-    stats->residual_faults = stage.fault.residual_faults;
-    stats->remapped_cols = stage.fault.remapped_cols;
-    stats->refreshes = stage.fault.refreshes;
-  }
+  fill_stage_header(stage.fault, stage.xbar->rows(), stage.xbar->cols(),
+                    is_conv ? stage.out_h * stage.out_w : 1, stats);
   return config_.engine == SncEngine::kDenseReference
-             ? run_crossbar_stage_dense(stage, input, stats)
-             : run_crossbar_stage_event(stage, input, stats);
+             ? run_crossbar_stage_dense(stage, input, stats, coding_rng)
+             : run_crossbar_stage_event(stage, input, stats, coding_rng);
 }
 
 // The pre-event-engine simulator, preserved verbatim as the bit-identical
@@ -426,7 +440,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage(
 // not the execution strategy).
 std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
     const Stage& stage, const std::vector<int64_t>& input,
-    SncStageStats* stats) {
+    SncStageStats* stats, nn::Rng& coding_rng) {
   const int64_t T = window_slots(config_.signal_bits);
   const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
   const float step = stage.step;
@@ -447,6 +461,8 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
       static_cast<size_t>(stage.out_c * positions), 0);
   std::atomic<int64_t> event_count{0};
   std::atomic<int64_t> occupied_count{0};
+  const int64_t width_bytes_analog =
+      2 * cols * static_cast<int64_t>(sizeof(double));
 
   // Each position is one independent crossbar evaluation of the Eq-1
   // mapped layer: crossbar state is read-only during inference and every
@@ -459,6 +475,9 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
     std::vector<int64_t> field(static_cast<size_t>(rows));
     int64_t chunk_events = 0;
     int64_t chunk_occupied = 0;
+    int64_t chunk_panel = 0;
+    const int64_t row_bytes =
+        width_bytes_analog;  // dense reference never runs integer drives
     for (int64_t pos = p0; pos < p1; ++pos) {
     // Gather the integer receptive field (im2col order: c, ky, kx).
     if (is_conv) {
@@ -483,9 +502,11 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
         field[static_cast<size_t>(r)] = input[static_cast<size_t>(r)];
       }
     }
+    int64_t pos_nnz = 0;
     for (int64_t r = 0; r < rows; ++r) {
-      if (field[static_cast<size_t>(r)] != 0) ++chunk_events;
+      if (field[static_cast<size_t>(r)] != 0) ++pos_nnz;
     }
+    chunk_events += pos_nnz;
 
     if (config_.mode == IntegrationMode::kIdealIntegration &&
         !config_.stochastic_coding) {
@@ -499,6 +520,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
       std::vector<double> plus;
       std::vector<double> minus;
       stage.xbar->read_logical_columns(volts, plus, minus);
+      chunk_panel += pos_nnz * row_bytes;
       for (int64_t col = 0; col < cols; ++col) {
         const double level_sum =
             (plus[static_cast<size_t>(col)] - minus[static_cast<size_t>(col)]) /
@@ -519,7 +541,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
         trains[static_cast<size_t>(r)] =
             config_.stochastic_coding
                 ? rate_encode_stochastic(field[static_cast<size_t>(r)],
-                                         config_.signal_bits, rng_)
+                                         config_.signal_bits, coding_rng)
                 : rate_encode(field[static_cast<size_t>(r)],
                               config_.signal_bits);
       }
@@ -542,12 +564,17 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
       std::vector<uint8_t> slot_spikes(static_cast<size_t>(rows));
       for (int64_t t = 0; t < T; ++t) {
         bool any_spike = false;
+        int64_t slot_fired = 0;
         for (int64_t r = 0; r < rows; ++r) {
           slot_spikes[static_cast<size_t>(r)] =
               trains[static_cast<size_t>(r)][static_cast<size_t>(t)];
-          if (slot_spikes[static_cast<size_t>(r)] != 0) any_spike = true;
+          if (slot_spikes[static_cast<size_t>(r)] != 0) {
+            any_spike = true;
+            ++slot_fired;
+          }
         }
         if (any_spike) ++chunk_occupied;
+        chunk_panel += slot_fired * row_bytes;
         std::vector<double> plus;
         std::vector<double> minus;
         stage.xbar->read_logical_columns_spiking(slot_spikes, 1.0, plus,
@@ -589,10 +616,12 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
         }
         output[static_cast<size_t>(col * positions + pos)] = count;
       }
+      if (!stage.rectify) chunk_panel += pos_nnz * row_bytes;
     }
     }
     event_count.fetch_add(chunk_events, std::memory_order_relaxed);
     occupied_count.fetch_add(chunk_occupied, std::memory_order_relaxed);
+    panel_bytes_.fetch_add(chunk_panel, std::memory_order_relaxed);
   };
   if (!config_.stochastic_coding && !stage.final_readout) {
     util::parallel_for(0, positions, 0, run_positions);
@@ -622,7 +651,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_dense(
 // order matches the dense reference, so results are bit-identical.
 std::vector<int64_t> SncSystem::run_crossbar_stage_event(
     const Stage& stage, const std::vector<int64_t>& input,
-    SncStageStats* stats) {
+    SncStageStats* stats, nn::Rng& coding_rng) {
   const int64_t T = window_slots(config_.signal_bits);
   const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
   const float step = stage.step;
@@ -651,6 +680,10 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
   // Integer row drives: exact spike-count x level accumulation in int32
   // via the packed int16 level panel (see SncConfig::integer_row_drives).
   const bool integer_drives = !stage.ilevels.empty();
+  const int64_t row_bytes =
+      integer_drives ? cols * static_cast<int64_t>(sizeof(int16_t))
+                     : width * static_cast<int64_t>(sizeof(double));
+  const int64_t slot_row_bytes = width * static_cast<int64_t>(sizeof(double));
 
   auto run_positions = [&](int64_t p0, int64_t p1) {
     // Per-chunk scratch: the position/slot loops below never allocate.
@@ -671,6 +704,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
     }
     int64_t chunk_events = 0;
     int64_t chunk_occupied = 0;
+    int64_t chunk_panel = 0;
 
     for (int64_t pos = p0; pos < p1; ++pos) {
       // Gather nonzero receptive-field taps as (row, value) events. In
@@ -690,7 +724,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
           v = input[static_cast<size_t>(r)];
         }
         if (slot_mode && config_.stochastic_coding) {
-          rate_encode_stochastic_into(v, config_.signal_bits, rng_,
+          rate_encode_stochastic_into(v, config_.signal_bits, coding_rng,
                                       trains.data() + nnz * T);
         } else if (slot_mode && v != 0) {
           rate_encode_into(v, config_.signal_bits, trains.data() + nnz * T);
@@ -720,6 +754,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
           stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
                                       nnz, acc.data());
         }
+        chunk_panel += nnz * row_bytes;
         for (int64_t col = 0; col < cols; ++col) {
           const double level_sum =
               integer_drives
@@ -759,6 +794,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
         for (int64_t e = 0; e < nnz; ++e) {
           if (trains[static_cast<size_t>(e * T + t)] == 0) continue;
           any_spike = true;
+          chunk_panel += slot_row_bytes;
           const double* row =
               panel + static_cast<int64_t>(
                           event_rows[static_cast<size_t>(e)]) *
@@ -793,6 +829,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
           stage.xbar->accumulate_rows(event_rows.data(), event_vals.data(),
                                       nnz, acc.data());
         }
+        chunk_panel += nnz * row_bytes;
         for (int64_t col = 0; col < cols; ++col) {
           const double level_sum =
               integer_drives
@@ -818,6 +855,7 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
     }
     event_count.fetch_add(chunk_events, std::memory_order_relaxed);
     occupied_count.fetch_add(chunk_occupied, std::memory_order_relaxed);
+    panel_bytes_.fetch_add(chunk_panel, std::memory_order_relaxed);
   };
   if (!config_.stochastic_coding && !stage.final_readout) {
     util::parallel_for(0, positions, 0, run_positions);
@@ -835,6 +873,120 @@ std::vector<int64_t> SncSystem::run_crossbar_stage_event(
   return output;
 }
 
+std::vector<int64_t> SncSystem::run_pool_stage(
+    const Stage& stage, const std::vector<int64_t>& signal) const {
+  switch (stage.kind) {
+    case Stage::Kind::kMaxPool: {
+      std::vector<int64_t> out(
+          static_cast<size_t>(stage.out_c * stage.out_h * stage.out_w));
+      for (int64_t ch = 0; ch < stage.in_c; ++ch) {
+        for (int64_t oy = 0; oy < stage.out_h; ++oy) {
+          for (int64_t ox = 0; ox < stage.out_w; ++ox) {
+            int64_t best = 0;
+            for (int64_t ky = 0; ky < stage.kernel; ++ky) {
+              for (int64_t kx = 0; kx < stage.kernel; ++kx) {
+                const int64_t iy = oy * stage.stride + ky;
+                const int64_t ix = ox * stage.stride + kx;
+                if (iy >= stage.in_h || ix >= stage.in_w) continue;
+                best = std::max(
+                    best, signal[static_cast<size_t>(
+                              (ch * stage.in_h + iy) * stage.in_w + ix)]);
+              }
+            }
+            out[static_cast<size_t>(
+                (ch * stage.out_h + oy) * stage.out_w + ox)] = best;
+          }
+        }
+      }
+      return out;
+    }
+    case Stage::Kind::kAvgPool: {
+      std::vector<int64_t> out(
+          static_cast<size_t>(stage.out_c * stage.out_h * stage.out_w));
+      const int64_t window = stage.kernel * stage.kernel;
+      for (int64_t ch = 0; ch < stage.in_c; ++ch) {
+        for (int64_t oy = 0; oy < stage.out_h; ++oy) {
+          for (int64_t ox = 0; ox < stage.out_w; ++ox) {
+            int64_t acc = 0;
+            for (int64_t ky = 0; ky < stage.kernel; ++ky) {
+              for (int64_t kx = 0; kx < stage.kernel; ++kx) {
+                const int64_t iy = oy * stage.stride + ky;
+                const int64_t ix = ox * stage.stride + kx;
+                if (iy >= stage.in_h || ix >= stage.in_w) continue;
+                acc += signal[static_cast<size_t>(
+                    (ch * stage.in_h + iy) * stage.in_w + ix)];
+              }
+            }
+            out[static_cast<size_t>(
+                (ch * stage.out_h + oy) * stage.out_w + ox)] =
+                (acc + window / 2) / window;  // digital rounded divide
+          }
+        }
+      }
+      return out;
+    }
+    case Stage::Kind::kGlobalAvgPool: {
+      std::vector<int64_t> out(static_cast<size_t>(stage.in_c));
+      const int64_t hw = stage.in_h * stage.in_w;
+      for (int64_t ch = 0; ch < stage.in_c; ++ch) {
+        int64_t acc = 0;
+        for (int64_t i = 0; i < hw; ++i) {
+          acc += signal[static_cast<size_t>(ch * hw + i)];
+        }
+        out[static_cast<size_t>(ch)] = (acc + hw / 2) / hw;
+      }
+      return out;
+    }
+    default:
+      throw std::logic_error("SncSystem::run_pool_stage: not a pool stage");
+  }
+}
+
+// Digital skip add (pad-identity shortcut): subsample spatially, zero-pad
+// new channels, then rectify to the counter ceiling.
+int64_t SncSystem::apply_skip_add(const Stage& stage,
+                                  std::vector<int64_t>& signal,
+                                  const std::vector<int64_t>& skip) const {
+  const int64_t T = window_slots(config_.signal_bits);
+  const int64_t in_h = stage.out_h * stage.skip_stride;
+  const int64_t in_w = stage.out_w * stage.skip_stride;
+  int64_t post_add_spikes = 0;
+  for (int64_t oc = 0; oc < stage.out_c; ++oc) {
+    for (int64_t y = 0; y < stage.out_h; ++y) {
+      for (int64_t x = 0; x < stage.out_w; ++x) {
+        int64_t v = signal[static_cast<size_t>(
+            (oc * stage.out_h + y) * stage.out_w + x)];
+        if (oc < stage.skip_in_c) {
+          v += skip[static_cast<size_t>(
+              (oc * in_h + y * stage.skip_stride) * in_w +
+              x * stage.skip_stride)];
+        }
+        v = std::clamp<int64_t>(v, 0, T);
+        signal[static_cast<size_t>(
+            (oc * stage.out_h + y) * stage.out_w + x)] = v;
+        post_add_spikes += v;
+      }
+    }
+  }
+  return post_add_spikes;
+}
+
+// Input encoder: pixel -> signal units -> M-bit spike count.
+std::vector<int64_t> SncSystem::encode_image(const float* pixels, int64_t n,
+                                             int64_t* total_spikes) const {
+  const int64_t T = window_slots(config_.signal_bits);
+  std::vector<int64_t> signal(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float scaled = pixels[i] * config_.input_scale;
+    signal[static_cast<size_t>(i)] = std::clamp<int64_t>(
+        static_cast<int64_t>(std::llround(scaled)), 0, T);
+    if (total_spikes != nullptr) {
+      *total_spikes += signal[static_cast<size_t>(i)];
+    }
+  }
+  return signal;
+}
+
 int64_t SncSystem::infer(const nn::Tensor& image, SncStats* stats) {
   if (image.rank() != 3 || image.dim(0) != input_chw_[0] ||
       image.dim(1) != input_chw_[1] || image.dim(2) != input_chw_[2]) {
@@ -847,125 +999,34 @@ int64_t SncSystem::infer(const nn::Tensor& image, SncStats* stats) {
     stats->window_slots = T;
     stats->stage.assign(crossbar_stage_count_, SncStageStats{});
   }
+  nn::Rng coding_rng = next_coding_rng();
 
-  // Input encoder: pixel -> signal units -> M-bit spike count.
-  std::vector<int64_t> signal(static_cast<size_t>(image.numel()));
-  for (int64_t i = 0; i < image.numel(); ++i) {
-    const float scaled = image[i] * config_.input_scale;
-    signal[static_cast<size_t>(i)] = std::clamp<int64_t>(
-        static_cast<int64_t>(std::llround(scaled)), 0, T);
-    if (stats != nullptr) stats->total_spikes += signal[static_cast<size_t>(i)];
-  }
+  std::vector<int64_t> signal =
+      encode_image(image.data(), image.numel(),
+                   stats != nullptr ? &stats->total_spikes : nullptr);
 
   std::vector<int64_t> skip;  // residual shortcut register
   size_t xbar_idx = 0;
   for (const auto& stage : stages_) {
-    switch (stage->kind) {
-      case Stage::Kind::kConv:
-      case Stage::Kind::kDense: {
-        SncStageStats* st =
-            stats != nullptr ? &stats->stage[xbar_idx] : nullptr;
-        ++xbar_idx;
-        if (stage->save_skip) skip = signal;
-        signal = run_crossbar_stage(*stage, signal, st);
+    if (stage->kind == Stage::Kind::kConv ||
+        stage->kind == Stage::Kind::kDense) {
+      SncStageStats* st = stats != nullptr ? &stats->stage[xbar_idx] : nullptr;
+      ++xbar_idx;
+      if (stage->save_skip) skip = signal;
+      signal = run_crossbar_stage(*stage, signal, st, coding_rng);
+      if (stats != nullptr) {
+        ++stats->layers;
+        if (!stage->add_skip) stats->total_spikes += st->spikes;
+      }
+      if (stage->add_skip) {
+        const int64_t post_add_spikes = apply_skip_add(*stage, signal, skip);
         if (stats != nullptr) {
-          ++stats->layers;
-          if (!stage->add_skip) stats->total_spikes += st->spikes;
+          st->spikes = post_add_spikes;
+          stats->total_spikes += post_add_spikes;
         }
-        if (stage->add_skip) {
-          // Digital skip add (pad-identity shortcut): subsample spatially,
-          // zero-pad new channels, then rectify to the counter ceiling.
-          const int64_t in_h = stage->out_h * stage->skip_stride;
-          const int64_t in_w = stage->out_w * stage->skip_stride;
-          int64_t post_add_spikes = 0;
-          for (int64_t oc = 0; oc < stage->out_c; ++oc) {
-            for (int64_t y = 0; y < stage->out_h; ++y) {
-              for (int64_t x = 0; x < stage->out_w; ++x) {
-                int64_t v = signal[static_cast<size_t>(
-                    (oc * stage->out_h + y) * stage->out_w + x)];
-                if (oc < stage->skip_in_c) {
-                  v += skip[static_cast<size_t>(
-                      (oc * in_h + y * stage->skip_stride) * in_w +
-                      x * stage->skip_stride)];
-                }
-                v = std::clamp<int64_t>(v, 0, T);
-                signal[static_cast<size_t>(
-                    (oc * stage->out_h + y) * stage->out_w + x)] = v;
-                post_add_spikes += v;
-              }
-            }
-          }
-          if (stats != nullptr) {
-            st->spikes = post_add_spikes;
-            stats->total_spikes += post_add_spikes;
-          }
-        }
-        break;
       }
-      case Stage::Kind::kMaxPool: {
-        std::vector<int64_t> out(static_cast<size_t>(
-            stage->out_c * stage->out_h * stage->out_w));
-        for (int64_t ch = 0; ch < stage->in_c; ++ch) {
-          for (int64_t oy = 0; oy < stage->out_h; ++oy) {
-            for (int64_t ox = 0; ox < stage->out_w; ++ox) {
-              int64_t best = 0;
-              for (int64_t ky = 0; ky < stage->kernel; ++ky) {
-                for (int64_t kx = 0; kx < stage->kernel; ++kx) {
-                  const int64_t iy = oy * stage->stride + ky;
-                  const int64_t ix = ox * stage->stride + kx;
-                  if (iy >= stage->in_h || ix >= stage->in_w) continue;
-                  best = std::max(
-                      best, signal[static_cast<size_t>(
-                                (ch * stage->in_h + iy) * stage->in_w + ix)]);
-                }
-              }
-              out[static_cast<size_t>(
-                  (ch * stage->out_h + oy) * stage->out_w + ox)] = best;
-            }
-          }
-        }
-        signal = std::move(out);
-        break;
-      }
-      case Stage::Kind::kAvgPool: {
-        std::vector<int64_t> out(static_cast<size_t>(
-            stage->out_c * stage->out_h * stage->out_w));
-        const int64_t window = stage->kernel * stage->kernel;
-        for (int64_t ch = 0; ch < stage->in_c; ++ch) {
-          for (int64_t oy = 0; oy < stage->out_h; ++oy) {
-            for (int64_t ox = 0; ox < stage->out_w; ++ox) {
-              int64_t acc = 0;
-              for (int64_t ky = 0; ky < stage->kernel; ++ky) {
-                for (int64_t kx = 0; kx < stage->kernel; ++kx) {
-                  const int64_t iy = oy * stage->stride + ky;
-                  const int64_t ix = ox * stage->stride + kx;
-                  if (iy >= stage->in_h || ix >= stage->in_w) continue;
-                  acc += signal[static_cast<size_t>(
-                      (ch * stage->in_h + iy) * stage->in_w + ix)];
-                }
-              }
-              out[static_cast<size_t>(
-                  (ch * stage->out_h + oy) * stage->out_w + ox)] =
-                  (acc + window / 2) / window;  // digital rounded divide
-            }
-          }
-        }
-        signal = std::move(out);
-        break;
-      }
-      case Stage::Kind::kGlobalAvgPool: {
-        std::vector<int64_t> out(static_cast<size_t>(stage->in_c));
-        const int64_t hw = stage->in_h * stage->in_w;
-        for (int64_t ch = 0; ch < stage->in_c; ++ch) {
-          int64_t acc = 0;
-          for (int64_t i = 0; i < hw; ++i) {
-            acc += signal[static_cast<size_t>(ch * hw + i)];
-          }
-          out[static_cast<size_t>(ch)] = (acc + hw / 2) / hw;
-        }
-        signal = std::move(out);
-        break;
-      }
+    } else {
+      signal = run_pool_stage(*stage, signal);
     }
   }
 
@@ -981,6 +1042,421 @@ int64_t SncSystem::infer(const nn::Tensor& image, SncStats* stats) {
     }
   }
   return best;
+}
+
+// The batch-native runner: one union event gather and one panel pass per
+// active row serve every image in the batch (a B-wide rank-1 update per
+// event row). Per-image accumulators, spike trains, IFC state, and
+// counters evolve exactly as in the single-image runners — each image's
+// per-column arithmetic is the identical sequence of identical operations
+// (zero drives are skipped per image; conductances are non-negative, so
+// skipping a zero contribution is bit-exact) — which makes logits,
+// predictions, and per-image stats bit-identical at every batch size.
+void SncSystem::run_crossbar_stage_batch(
+    const Stage& stage, const std::vector<std::vector<int64_t>>& inputs,
+    std::vector<std::vector<int64_t>>& outputs,
+    const std::vector<SncStageStats*>& stats,
+    std::vector<nn::Rng>& coding_rngs) {
+  const int64_t B = static_cast<int64_t>(inputs.size());
+  const int64_t T = window_slots(config_.signal_bits);
+  const int64_t kmax = int64_t{1} << (config_.weight_bits - 1);
+  const float step = stage.step;
+  const double dg = (g_max(config_.device) - g_min(config_.device)) /
+                    static_cast<double>(kmax);
+
+  const int64_t rows = stage.xbar->rows();
+  const int64_t cols = stage.xbar->cols();
+  const bool is_conv = stage.kind == Stage::Kind::kConv;
+  const int64_t positions = is_conv ? stage.out_h * stage.out_w : 1;
+  const bool slot_mode = config_.mode != IntegrationMode::kIdealIntegration ||
+                         config_.stochastic_coding;
+  // The dense reference drives every row at every position, the event
+  // engine only the union of nonzero rows; zero drives contribute nothing
+  // per image either way, so both reduce to the single-image sequences.
+  const bool dense_drive = config_.engine == SncEngine::kDenseReference;
+  // Integer drives are an event-engine path: the dense reference always
+  // reads the analog panel, so its batched form must as well.
+  const bool integer_drives = !stage.ilevels.empty() && !dense_drive;
+  const int64_t width = 2 * cols;
+  const double* panel = stage.xbar->packed_panel();
+  const int64_t row_bytes =
+      integer_drives ? cols * static_cast<int64_t>(sizeof(int16_t))
+                     : width * static_cast<int64_t>(sizeof(double));
+  const int64_t slot_row_bytes =
+      width * static_cast<int64_t>(sizeof(double));
+
+  for (int64_t b = 0; b < B; ++b) {
+    fill_stage_header(stage.fault, rows, cols, positions, stats[b]);
+    outputs[static_cast<size_t>(b)].assign(
+        static_cast<size_t>(stage.out_c * positions), 0);
+  }
+  if (stage.final_readout) {
+    batch_readout_.assign(static_cast<size_t>(B),
+                          std::vector<double>(static_cast<size_t>(cols), 0.0));
+  }
+
+  std::vector<std::atomic<int64_t>> event_count(static_cast<size_t>(B));
+  std::vector<std::atomic<int64_t>> occupied_count(static_cast<size_t>(B));
+  for (int64_t b = 0; b < B; ++b) {
+    event_count[static_cast<size_t>(b)].store(0, std::memory_order_relaxed);
+    occupied_count[static_cast<size_t>(b)].store(0, std::memory_order_relaxed);
+  }
+
+  auto run_positions = [&](int64_t p0, int64_t p1) {
+    // Per-chunk scratch sized once for the whole batch; the position and
+    // slot loops below never allocate.
+    std::vector<int32_t> event_rows(static_cast<size_t>(rows));
+    std::vector<double> event_vals(static_cast<size_t>(rows * B));
+    std::vector<int32_t> event_ivals(
+        integer_drives ? static_cast<size_t>(rows * B) : 0);
+    std::vector<int64_t> vrow(static_cast<size_t>(B));
+    std::vector<int32_t> iacc(integer_drives ? static_cast<size_t>(B * cols)
+                                             : 0);
+    std::vector<double> acc(static_cast<size_t>(B * width));
+    std::vector<uint8_t> trains;  // event-major [(u * B + b) x T]
+    std::vector<uint8_t> drain;   // discarded zero-row stochastic trains
+    std::vector<IntegrateFire> units;     // [b * cols + col]
+    std::vector<SpikeCounter> counters;   // [b * cols + col]
+    std::vector<uint8_t> img_any;
+    if (slot_mode) {
+      trains.resize(static_cast<size_t>(rows * B * T));
+      drain.resize(static_cast<size_t>(T));
+      units.assign(static_cast<size_t>(B * cols), IntegrateFire(1.0));
+      counters.assign(static_cast<size_t>(B * cols),
+                      SpikeCounter(config_.signal_bits));
+      img_any.resize(static_cast<size_t>(B));
+    }
+    std::vector<int64_t> chunk_events(static_cast<size_t>(B), 0);
+    std::vector<int64_t> chunk_occupied(static_cast<size_t>(B), 0);
+    int64_t chunk_panel = 0;
+
+    for (int64_t pos = p0; pos < p1; ++pos) {
+      // Union gather: the tap table is walked once per row for the whole
+      // batch. Stochastic coding consumes a full window of draws from
+      // every image's stream for every row (zero or not, driven or not),
+      // exactly like the single-image engines, so stream-per-image
+      // alignment holds regardless of batch composition.
+      const int32_t* taps =
+          is_conv ? stage.taps.data() + pos * rows : nullptr;
+      int64_t nu = 0;      // union rows driven this position
+      int64_t active = 0;  // union rows with at least one nonzero drive
+      for (int64_t r = 0; r < rows; ++r) {
+        const int32_t tap = is_conv ? taps[r] : static_cast<int32_t>(r);
+        bool any = false;
+        for (int64_t b = 0; b < B; ++b) {
+          const int64_t v =
+              tap >= 0 ? inputs[static_cast<size_t>(b)]
+                               [static_cast<size_t>(tap)]
+                       : 0;
+          vrow[static_cast<size_t>(b)] = v;
+          if (v != 0) {
+            any = true;
+            ++chunk_events[static_cast<size_t>(b)];
+          }
+        }
+        const bool drive = dense_drive || any;
+        if (any) ++active;
+        if (drive) {
+          event_rows[static_cast<size_t>(nu)] = static_cast<int32_t>(r);
+          double* dv = event_vals.data() + nu * B;
+          for (int64_t b = 0; b < B; ++b) {
+            dv[b] = static_cast<double>(vrow[static_cast<size_t>(b)]);
+          }
+          if (integer_drives) {
+            int32_t* iv = event_ivals.data() + nu * B;
+            for (int64_t b = 0; b < B; ++b) {
+              iv[b] = static_cast<int32_t>(vrow[static_cast<size_t>(b)]);
+            }
+          }
+        }
+        if (slot_mode) {
+          uint8_t* tr = drive ? trains.data() + nu * B * T : nullptr;
+          for (int64_t b = 0; b < B; ++b) {
+            if (config_.stochastic_coding) {
+              rate_encode_stochastic_into(
+                  vrow[static_cast<size_t>(b)], config_.signal_bits,
+                  coding_rngs[static_cast<size_t>(b)],
+                  drive ? tr + b * T : drain.data());
+            } else if (drive) {
+              rate_encode_into(vrow[static_cast<size_t>(b)],
+                               config_.signal_bits, tr + b * T);
+            }
+          }
+        }
+        if (drive) ++nu;
+      }
+
+      if (!slot_mode) {
+        // Collapsed ideal read: one B-wide value-weighted accumulate over
+        // the union rows (ascending), each panel row streamed once.
+        if (integer_drives) {
+          std::fill(iacc.begin(), iacc.end(), 0);
+          nn::iaccumulate_rows_batch(event_rows.data(), event_ivals.data(),
+                                     nu, B, stage.ilevels.data(), cols,
+                                     iacc.data());
+        } else {
+          std::fill(acc.begin(), acc.end(), 0.0);
+          stage.xbar->accumulate_rows_batch(event_rows.data(),
+                                            event_vals.data(), nu, B,
+                                            acc.data());
+        }
+        chunk_panel += active * row_bytes;
+        for (int64_t b = 0; b < B; ++b) {
+          const double* a = acc.data() + b * width;
+          const int32_t* ia =
+              integer_drives ? iacc.data() + b * cols : nullptr;
+          for (int64_t col = 0; col < cols; ++col) {
+            const double level_sum =
+                integer_drives ? static_cast<double>(ia[col])
+                               : (a[2 * col] - a[2 * col + 1]) / dg;
+            const double y =
+                static_cast<double>(step) * level_sum +
+                static_cast<double>(stage.bias[static_cast<size_t>(col)]);
+            int64_t count = core::round_half_up(y);
+            if (stage.rectify) count = std::clamp<int64_t>(count, 0, T);
+            outputs[static_cast<size_t>(b)]
+                   [static_cast<size_t>(col * positions + pos)] = count;
+            if (stage.final_readout) {
+              batch_readout_[static_cast<size_t>(b)]
+                            [static_cast<size_t>(col)] = y;
+            }
+          }
+        }
+        continue;
+      }
+
+      // Slot-by-slot spiking execution: per-image IFC banks, shared panel
+      // passes. A union row firing in slot t is streamed once and folded
+      // into every image whose train fires; an image with no firing event
+      // in a slot deposits zero charge and is skipped, exactly like the
+      // single-image engines.
+      for (int64_t b = 0; b < B; ++b) {
+        for (int64_t col = 0; col < cols; ++col) {
+          IntegrateFire& u = units[static_cast<size_t>(b * cols + col)];
+          SpikeCounter& cnt = counters[static_cast<size_t>(b * cols + col)];
+          u.reset();
+          cnt.reset();
+          const int64_t preload_fires = u.integrate(
+              static_cast<double>(stage.bias[static_cast<size_t>(col)]) +
+              0.5);
+          cnt.count(preload_fires);
+        }
+      }
+      for (int64_t t = 0; t < T; ++t) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        std::fill(img_any.begin(), img_any.end(), uint8_t{0});
+        bool any_spike = false;
+        for (int64_t e = 0; e < nu; ++e) {
+          const uint8_t* tr = trains.data() + e * B * T;
+          const double* row = nullptr;
+          for (int64_t b = 0; b < B; ++b) {
+            if (tr[b * T + t] == 0) continue;
+            if (row == nullptr) {
+              row = panel +
+                    static_cast<int64_t>(
+                        event_rows[static_cast<size_t>(e)]) *
+                        width;
+              chunk_panel += slot_row_bytes;
+              any_spike = true;
+            }
+            img_any[static_cast<size_t>(b)] = 1;
+            double* a = acc.data() + b * width;
+            for (int64_t k = 0; k < width; ++k) {
+              a[k] += row[k];
+            }
+          }
+        }
+        if (!any_spike) continue;
+        for (int64_t b = 0; b < B; ++b) {
+          if (img_any[static_cast<size_t>(b)] == 0) continue;
+          ++chunk_occupied[static_cast<size_t>(b)];
+          const double* a = acc.data() + b * width;
+          for (int64_t col = 0; col < cols; ++col) {
+            const double level_sum = (a[2 * col] - a[2 * col + 1]) / dg;
+            const int64_t fired =
+                units[static_cast<size_t>(b * cols + col)].integrate(
+                    static_cast<double>(step) * level_sum);
+            counters[static_cast<size_t>(b * cols + col)].count(fired);
+          }
+        }
+      }
+      if (!stage.rectify) {
+        // Re-derive the wide digital count from the collapsed ideal read,
+        // B-wide like the ideal path above.
+        if (integer_drives) {
+          std::fill(iacc.begin(), iacc.end(), 0);
+          nn::iaccumulate_rows_batch(event_rows.data(), event_ivals.data(),
+                                     nu, B, stage.ilevels.data(), cols,
+                                     iacc.data());
+        } else {
+          std::fill(acc.begin(), acc.end(), 0.0);
+          stage.xbar->accumulate_rows_batch(event_rows.data(),
+                                            event_vals.data(), nu, B,
+                                            acc.data());
+        }
+        chunk_panel += active * row_bytes;
+        for (int64_t b = 0; b < B; ++b) {
+          const double* a = acc.data() + b * width;
+          const int32_t* ia =
+              integer_drives ? iacc.data() + b * cols : nullptr;
+          for (int64_t col = 0; col < cols; ++col) {
+            const double level_sum =
+                integer_drives ? static_cast<double>(ia[col])
+                               : (a[2 * col] - a[2 * col + 1]) / dg;
+            const double y =
+                static_cast<double>(step) * level_sum +
+                static_cast<double>(stage.bias[static_cast<size_t>(col)]);
+            outputs[static_cast<size_t>(b)]
+                   [static_cast<size_t>(col * positions + pos)] =
+                core::round_half_up(y);
+            if (stage.final_readout) {
+              batch_readout_[static_cast<size_t>(b)]
+                            [static_cast<size_t>(col)] = y;
+            }
+          }
+        }
+      } else {
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t col = 0; col < cols; ++col) {
+            outputs[static_cast<size_t>(b)]
+                   [static_cast<size_t>(col * positions + pos)] =
+                counters[static_cast<size_t>(b * cols + col)].value();
+          }
+        }
+      }
+    }
+    for (int64_t b = 0; b < B; ++b) {
+      event_count[static_cast<size_t>(b)].fetch_add(
+          chunk_events[static_cast<size_t>(b)], std::memory_order_relaxed);
+      occupied_count[static_cast<size_t>(b)].fetch_add(
+          chunk_occupied[static_cast<size_t>(b)], std::memory_order_relaxed);
+    }
+    panel_bytes_.fetch_add(chunk_panel, std::memory_order_relaxed);
+  };
+  // Same fan-out contract as the single-image runners: positions
+  // parallelize on deterministic non-readout stages, chunk boundaries are
+  // shape-only, so the parallel schedule never affects results.
+  if (!config_.stochastic_coding && !stage.final_readout) {
+    util::parallel_for(0, positions, 0, run_positions);
+  } else {
+    run_positions(0, positions);
+  }
+
+  for (int64_t b = 0; b < B; ++b) {
+    SncStageStats* st = stats[static_cast<size_t>(b)];
+    if (st == nullptr) continue;
+    st->input_events =
+        event_count[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    st->occupied_slots = occupied_count[static_cast<size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (!stage.add_skip) {
+      for (int64_t v : outputs[static_cast<size_t>(b)]) {
+        st->spikes += std::max<int64_t>(v, 0);
+      }
+    }
+  }
+}
+
+std::vector<int64_t> SncSystem::infer_batch(const nn::Tensor& batch,
+                                            std::vector<SncStats>* stats) {
+  if (batch.rank() != 4 || batch.dim(1) != input_chw_[0] ||
+      batch.dim(2) != input_chw_[1] || batch.dim(3) != input_chw_[2]) {
+    throw std::invalid_argument(
+        "SncSystem::infer_batch: batch shape must be [B, C, H, W]");
+  }
+  const int64_t B = batch.dim(0);
+  const int64_t T = window_slots(config_.signal_bits);
+  last_batch_logits_.assign(static_cast<size_t>(B), {});
+  batch_readout_.clear();
+  if (stats != nullptr) {
+    stats->assign(static_cast<size_t>(B), SncStats{});
+    for (SncStats& s : *stats) {
+      s.window_slots = T;
+      s.stage.assign(crossbar_stage_count_, SncStageStats{});
+    }
+  }
+  std::vector<int64_t> preds;
+  if (B == 0) return preds;
+
+  // One coding stream per image, issued in image order — exactly the
+  // streams B consecutive infer() calls would draw.
+  std::vector<nn::Rng> coding_rngs;
+  coding_rngs.reserve(static_cast<size_t>(B));
+  for (int64_t b = 0; b < B; ++b) coding_rngs.push_back(next_coding_rng());
+
+  const int64_t chw = input_chw_[0] * input_chw_[1] * input_chw_[2];
+  std::vector<std::vector<int64_t>> signals(static_cast<size_t>(B));
+  for (int64_t b = 0; b < B; ++b) {
+    signals[static_cast<size_t>(b)] = encode_image(
+        batch.data() + b * chw, chw,
+        stats != nullptr ? &(*stats)[static_cast<size_t>(b)].total_spikes
+                         : nullptr);
+  }
+
+  std::vector<std::vector<int64_t>> skips(static_cast<size_t>(B));
+  size_t xbar_idx = 0;
+  for (const auto& stage : stages_) {
+    if (stage->kind == Stage::Kind::kConv ||
+        stage->kind == Stage::Kind::kDense) {
+      std::vector<SncStageStats*> st(static_cast<size_t>(B), nullptr);
+      if (stats != nullptr) {
+        for (int64_t b = 0; b < B; ++b) {
+          st[static_cast<size_t>(b)] =
+              &(*stats)[static_cast<size_t>(b)].stage[xbar_idx];
+        }
+      }
+      ++xbar_idx;
+      if (stage->save_skip) skips = signals;
+      std::vector<std::vector<int64_t>> outs(static_cast<size_t>(B));
+      run_crossbar_stage_batch(*stage, signals, outs, st, coding_rngs);
+      signals = std::move(outs);
+      for (int64_t b = 0; b < B && stats != nullptr; ++b) {
+        SncStats& s = (*stats)[static_cast<size_t>(b)];
+        ++s.layers;
+        if (!stage->add_skip) {
+          s.total_spikes += st[static_cast<size_t>(b)]->spikes;
+        }
+      }
+      if (stage->add_skip) {
+        for (int64_t b = 0; b < B; ++b) {
+          const int64_t post_add_spikes =
+              apply_skip_add(*stage, signals[static_cast<size_t>(b)],
+                             skips[static_cast<size_t>(b)]);
+          if (stats != nullptr) {
+            st[static_cast<size_t>(b)]->spikes = post_add_spikes;
+            (*stats)[static_cast<size_t>(b)].total_spikes += post_add_spikes;
+          }
+        }
+      }
+    } else {
+      for (int64_t b = 0; b < B; ++b) {
+        signals[static_cast<size_t>(b)] =
+            run_pool_stage(*stage, signals[static_cast<size_t>(b)]);
+      }
+    }
+  }
+
+  preds.assign(static_cast<size_t>(B), 0);
+  for (int64_t b = 0; b < B; ++b) {
+    std::vector<double>& logits = last_batch_logits_[static_cast<size_t>(b)];
+    if (!batch_readout_.empty()) {
+      logits = std::move(batch_readout_[static_cast<size_t>(b)]);
+    } else {
+      logits.assign(signals[static_cast<size_t>(b)].begin(),
+                    signals[static_cast<size_t>(b)].end());
+    }
+    int64_t best = 0;
+    for (size_t j = 1; j < logits.size(); ++j) {
+      if (logits[j] > logits[static_cast<size_t>(best)]) {
+        best = static_cast<int64_t>(j);
+      }
+    }
+    preds[static_cast<size_t>(b)] = best;
+  }
+  // Mirror what B sequential infer() calls leave behind for last_logits().
+  last_logits_ = last_batch_logits_.back();
+  batch_readout_.clear();
+  return preds;
 }
 
 float SncSystem::read_back_weight(size_t layer, int64_t row,

@@ -30,6 +30,7 @@
 //    accuracy this costs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -202,8 +203,38 @@ class SncSystem {
   /// sub-spike logit differences still resolve the argmax.
   int64_t infer(const nn::Tensor& image, SncStats* stats = nullptr);
 
+  /// Batch-native inference of a [B, C, H, W] image stack. Per crossbar
+  /// stage the engine builds the union event-row set across the batch and
+  /// makes ONE pass over each active row's packed conductance panel,
+  /// accumulating a B-wide rank-1 update into per-image column
+  /// accumulators — so the panel is streamed from memory once per batch
+  /// instead of once per image. Per-image spike trains, IFC state, slot
+  /// occupancy, stochastic-coding RNG streams, and stats are exactly what
+  /// B consecutive infer() calls produce: logits, predictions, and
+  /// per-image SncStats are bit-identical at every batch size, on both
+  /// engines and on the integer_row_drives path. Returns one predicted
+  /// class per image; `stats`, when non-null, is resized to B.
+  std::vector<int64_t> infer_batch(const nn::Tensor& batch,
+                                   std::vector<SncStats>* stats = nullptr);
+
   /// Output-layer analog charges (weight units) of the last infer() call.
   const std::vector<double>& last_logits() const { return last_logits_; }
+
+  /// Per-image output-layer charges of the last infer_batch() call.
+  const std::vector<std::vector<double>>& last_batch_logits() const {
+    return last_batch_logits_;
+  }
+
+  /// Cumulative conductance-panel bytes streamed by crossbar reads since
+  /// construction: each analog row pass counts 2*cols doubles, each
+  /// integer-level row pass cols int16s, identically in every engine (the
+  /// metric describes signal-driven panel traffic, like SncStageStats).
+  /// Batched inference streams each union event row once for the whole
+  /// batch, so bytes-per-image shrinking with batch size is exactly the
+  /// amortization the batch sweep bench reports.
+  int64_t panel_bytes_streamed() const {
+    return panel_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Reads a programmed weight back through the conductance domain
   /// (crossbar `layer`, logical row/col) — used by round-trip tests.
@@ -240,24 +271,63 @@ class SncSystem {
  private:
   struct Stage;
 
+  /// Stochastic coding draws from a per-inference stream: image k of the
+  /// system's lifetime (counting across infer() and infer_batch() calls
+  /// in order) draws from stream_seed(config.seed, kCodingStreamBase + k)
+  /// in both engines. Stream-per-image seeding is what keeps stochastic
+  /// results bit-identical regardless of how images are grouped into
+  /// batches. The base tag keeps coding streams disjoint from the drift
+  /// streams (0xD21F7000 + stage) and the raw programming seed.
+  static constexpr uint64_t kCodingStreamBase = uint64_t{1} << 40;
+  nn::Rng next_coding_rng();
+
   std::vector<int64_t> run_crossbar_stage(const Stage& stage,
                                           const std::vector<int64_t>& input,
-                                          SncStageStats* stats);
+                                          SncStageStats* stats,
+                                          nn::Rng& coding_rng);
   /// The pre-event-engine simulator (SncEngine::kDenseReference).
   std::vector<int64_t> run_crossbar_stage_dense(
       const Stage& stage, const std::vector<int64_t>& input,
-      SncStageStats* stats);
+      SncStageStats* stats, nn::Rng& coding_rng);
   /// The event-driven engine (SncEngine::kEventDriven).
   std::vector<int64_t> run_crossbar_stage_event(
       const Stage& stage, const std::vector<int64_t>& input,
-      SncStageStats* stats);
+      SncStageStats* stats, nn::Rng& coding_rng);
+  /// Batch-native runner for both engines: union event gather, one panel
+  /// pass per active row, per-image accumulators/IFCs/trains. Fills
+  /// outputs[b] and stats[b] (entries may be null); coding_rngs[b] is
+  /// image b's stochastic stream. Dense-reference configs drive every
+  /// row (the union is all rows); the event engine drives the union of
+  /// nonzero rows. Either way each image's per-column arithmetic is the
+  /// exact single-image sequence, so results are bit-identical.
+  void run_crossbar_stage_batch(const Stage& stage,
+                                const std::vector<std::vector<int64_t>>& inputs,
+                                std::vector<std::vector<int64_t>>& outputs,
+                                const std::vector<SncStageStats*>& stats,
+                                std::vector<nn::Rng>& coding_rngs);
+
+  /// Digital pool stages (shared verbatim by infer and infer_batch).
+  std::vector<int64_t> run_pool_stage(const Stage& stage,
+                                      const std::vector<int64_t>& input) const;
+  /// Digital pad-identity skip add in place; returns post-add spikes.
+  int64_t apply_skip_add(const Stage& stage, std::vector<int64_t>& signal,
+                         const std::vector<int64_t>& skip) const;
+  /// Pixel -> M-bit spike-count encoder for one image; adds the input
+  /// spikes to *total_spikes when non-null.
+  std::vector<int64_t> encode_image(const float* pixels, int64_t n,
+                                    int64_t* total_spikes) const;
 
   SncConfig config_;
   nn::Shape input_chw_;
   std::vector<std::unique_ptr<Stage>> stages_;
   size_t crossbar_stage_count_ = 0;
   std::vector<double> last_logits_;
+  std::vector<std::vector<double>> last_batch_logits_;
   std::vector<double> analog_readout_;  // filled by the final stage
+  /// Per-image final-stage charges of a batched run.
+  std::vector<std::vector<double>> batch_readout_;
+  std::atomic<int64_t> panel_bytes_{0};
+  uint64_t coding_streams_issued_ = 0;
   double elapsed_windows_ = 0.0;
   double windows_since_refresh_ = 0.0;
   nn::Rng rng_;

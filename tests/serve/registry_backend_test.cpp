@@ -173,6 +173,37 @@ TEST(RegistryBackendTest, SncMatchesDirectSpikeInference) {
   EXPECT_EQ(served, direct);
 }
 
+// Batch-native serving (one replica runs the whole window through
+// SncSystem::infer_batch) vs the per-image replica fan-out must be
+// bit-identical, and both must fold activity stats per image — a batched
+// window of 6 images counts as 6 images in activity_totals, not 1.
+TEST(RegistryBackendTest, SncBatchNativeMatchesFanOutAndFoldsPerImage) {
+  const auto images = test_images({1, 28, 28}, 6);
+  std::vector<int64_t> preds[2];
+  for (const bool batch_native : {false, true}) {
+    ModelRegistry registry;
+    ModelConfig cfg;
+    cfg.architecture = "lenet-mini";
+    cfg.backend = BackendKind::kSnc;
+    cfg.bits = kBits;
+    cfg.init_seed = kSeed;
+    cfg.snc_replicas = 2;
+    cfg.snc_batch_native = batch_native;
+    registry.add("m", cfg);
+    Backend& backend = registry.backend("m");
+    preds[batch_native ? 1 : 0] = backend.infer_batch(as_batch(images));
+
+    auto* snc = dynamic_cast<SncBackend*>(&backend);
+    ASSERT_NE(snc, nullptr);
+    int64_t folded = 0;
+    const snc::SncStats totals = snc->activity_totals(&folded);
+    EXPECT_EQ(folded, 6);
+    EXPECT_FALSE(totals.stage.empty());
+    EXPECT_GT(totals.total_spikes, 0);
+  }
+  EXPECT_EQ(preds[0], preds[1]);
+}
+
 TEST(RegistryBackendTest, RegistryValidation) {
   ModelRegistry registry;
   EXPECT_THROW(registry.backend("nope"), std::invalid_argument);

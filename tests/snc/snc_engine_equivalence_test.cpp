@@ -13,8 +13,10 @@
 // test carries the `tsan` label (registered via qsnc_tsan_test).
 #include "snc/snc_system.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -204,6 +206,210 @@ TEST(SncEngineEquivalenceTest, AllZeroImageDrivesNoFirstStageRows) {
   EXPECT_EQ(stats.stage[0].input_events, 0);
   EXPECT_DOUBLE_EQ(stats.stage[0].input_sparsity(), 1.0);
   EXPECT_GT(stats.dense_row_drives(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Batch-native engine equivalence: SncSystem::infer_batch must be
+// bit-identical to running the same images one at a time — same
+// predictions, same analog logits (exact double equality), and the same
+// per-image statistics — at every batch size, on both engines, with
+// deterministic and stochastic coding, and on the integer_row_drives
+// fast path. Stochastic coding draws a dedicated RNG stream per image
+// (stream-per-image seeding), which is what makes the guarantee hold
+// regardless of how images are grouped into batches.
+// ---------------------------------------------------------------------
+
+nn::Tensor stack_images(const std::vector<nn::Tensor>& images) {
+  const nn::Shape& chw = images.front().shape();
+  nn::Tensor batch({static_cast<int64_t>(images.size()), chw[0], chw[1],
+                    chw[2]});
+  const int64_t numel = images.front().numel();
+  for (size_t b = 0; b < images.size(); ++b) {
+    std::copy(images[b].data(), images[b].data() + numel,
+              batch.data() + static_cast<int64_t>(b) * numel);
+  }
+  return batch;
+}
+
+// Builds two identically configured systems, runs `images` one at a time
+// on the first and grouped per `batch_sizes` on the second, and asserts
+// per-image bitwise equality of predictions, logits, and stats.
+void check_batch_equivalence(const ModelSpec& spec, snc::IntegrationMode mode,
+                             bool stochastic, snc::SncEngine engine,
+                             bool integer_drives,
+                             const std::vector<nn::Tensor>& images,
+                             const std::vector<int64_t>& batch_sizes,
+                             const std::string& ctx_tag) {
+  const int bits = 4;
+  nn::Rng rng_a(3);
+  nn::Network net_a = spec.factory(rng_a);
+  snc::SncConfig cfg = deploy_config(net_a, bits);
+  cfg.mode = mode;
+  cfg.stochastic_coding = stochastic;
+  cfg.engine = engine;
+  cfg.integer_row_drives = integer_drives;
+  snc::SncSystem single_system(net_a, spec.input, cfg);
+
+  nn::Rng rng_b(3);
+  nn::Network net_b = spec.factory(rng_b);
+  snc::SncConfig cfg_b = deploy_config(net_b, bits);
+  cfg_b.mode = mode;
+  cfg_b.stochastic_coding = stochastic;
+  cfg_b.engine = engine;
+  cfg_b.integer_row_drives = integer_drives;
+  snc::SncSystem batch_system(net_b, spec.input, cfg_b);
+
+  std::vector<int64_t> single_preds;
+  std::vector<std::vector<double>> single_logits;
+  std::vector<snc::SncStats> single_stats;
+  for (const nn::Tensor& image : images) {
+    snc::SncStats stats;
+    single_preds.push_back(single_system.infer(image, &stats));
+    single_logits.push_back(single_system.last_logits());
+    single_stats.push_back(stats);
+  }
+
+  size_t next = 0;
+  for (const int64_t batch_size : batch_sizes) {
+    ASSERT_LE(next + static_cast<size_t>(batch_size), images.size())
+        << ctx_tag;
+    std::vector<nn::Tensor> group(
+        images.begin() + static_cast<int64_t>(next),
+        images.begin() + static_cast<int64_t>(next) + batch_size);
+    std::vector<snc::SncStats> batch_stats;
+    const std::vector<int64_t> preds =
+        batch_system.infer_batch(stack_images(group), &batch_stats);
+    ASSERT_EQ(preds.size(), static_cast<size_t>(batch_size)) << ctx_tag;
+    ASSERT_EQ(batch_stats.size(), static_cast<size_t>(batch_size))
+        << ctx_tag;
+    for (int64_t b = 0; b < batch_size; ++b) {
+      const size_t i = next + static_cast<size_t>(b);
+      const std::string ctx = ctx_tag + " image " + std::to_string(i) +
+                              " (batch " + std::to_string(batch_size) +
+                              " slot " + std::to_string(b) + ")";
+      EXPECT_EQ(preds[static_cast<size_t>(b)], single_preds[i]) << ctx;
+      const std::vector<double>& logits =
+          batch_system.last_batch_logits()[static_cast<size_t>(b)];
+      ASSERT_EQ(logits.size(), single_logits[i].size()) << ctx;
+      for (size_t j = 0; j < logits.size(); ++j) {
+        // Exact double equality: batching must not change the
+        // accumulation order within any column.
+        EXPECT_EQ(logits[j], single_logits[i][j]) << ctx << " logit " << j;
+      }
+      expect_stats_equal(batch_stats[static_cast<size_t>(b)],
+                         single_stats[i], ctx);
+    }
+    next += static_cast<size_t>(batch_size);
+  }
+  EXPECT_EQ(next, images.size()) << ctx_tag;
+}
+
+std::vector<nn::Tensor> image_run(const nn::Shape& chw, uint64_t seed0,
+                                  int64_t count) {
+  std::vector<nn::Tensor> images;
+  for (int64_t i = 0; i < count; ++i) {
+    images.push_back(random_image(chw, seed0 + static_cast<uint64_t>(i)));
+  }
+  return images;
+}
+
+// Each model-zoo net, deterministic coding, ideal integration, batch
+// sizes 1 / 3 / 8 against the same 12 images run singly.
+TEST(SncBatchEquivalenceTest, ModelZooIdealDeterministic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_batch_equivalence(
+        spec, snc::IntegrationMode::kIdealIntegration, false,
+        snc::SncEngine::kEventDriven, false, image_run(spec.input, 50, 12),
+        {1, 3, 8}, std::string(spec.name) + " ideal deterministic");
+  }
+}
+
+// Stochastic coding across the same batch-size matrix: per-image RNG
+// streams make grouping unobservable.
+TEST(SncBatchEquivalenceTest, ModelZooIdealStochastic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_batch_equivalence(
+        spec, snc::IntegrationMode::kIdealIntegration, true,
+        snc::SncEngine::kEventDriven, false, image_run(spec.input, 70, 12),
+        {1, 3, 8}, std::string(spec.name) + " ideal stochastic");
+  }
+}
+
+// Online (slot-by-slot) integration exercises the per-slot union pass and
+// the per-image IntegrateFire banks.
+TEST(SncBatchEquivalenceTest, ModelZooOnlineDeterministic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_batch_equivalence(
+        spec, snc::IntegrationMode::kOnline, false,
+        snc::SncEngine::kEventDriven, false, image_run(spec.input, 90, 4),
+        {1, 3}, std::string(spec.name) + " online deterministic");
+  }
+}
+
+TEST(SncBatchEquivalenceTest, ModelZooOnlineStochastic) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_batch_equivalence(
+        spec, snc::IntegrationMode::kOnline, true,
+        snc::SncEngine::kEventDriven, false, image_run(spec.input, 110, 4),
+        {1, 3}, std::string(spec.name) + " online stochastic");
+  }
+}
+
+// The dense reference engine runs the same unified batch runner with the
+// union forced to every row; it must stay bit-identical to per-image
+// dense execution too.
+TEST(SncBatchEquivalenceTest, DenseReferenceBatched) {
+  const ModelSpec spec = model_specs().front();  // lenet
+  for (snc::IntegrationMode mode :
+       {snc::IntegrationMode::kIdealIntegration,
+        snc::IntegrationMode::kOnline}) {
+    check_batch_equivalence(
+        spec, mode, false, snc::SncEngine::kDenseReference, false,
+        image_run(spec.input, 130, 4), {1, 3},
+        mode == snc::IntegrationMode::kOnline ? "dense online"
+                                              : "dense ideal");
+  }
+}
+
+// integer_row_drives routes collapsed accumulation through the int16
+// panel + int32 GEMM kernels (batched: iaccumulate_rows_batch); integer
+// accumulation is exact, so batching must again be unobservable.
+TEST(SncBatchEquivalenceTest, IntegerRowDrivesBatched) {
+  for (const ModelSpec& spec : model_specs()) {
+    check_batch_equivalence(
+        spec, snc::IntegrationMode::kIdealIntegration, false,
+        snc::SncEngine::kEventDriven, true, image_run(spec.input, 150, 12),
+        {1, 3, 8}, std::string(spec.name) + " integer ideal");
+  }
+}
+
+// Regression for stream-per-image seeding: the b-th image of any batch
+// must consume exactly the RNG stream that the b-th sequential infer()
+// would have, so re-grouping a stochastic run ({3, 2, 1} vs six singles)
+// changes nothing. A batch-scoped (rather than image-scoped) RNG would
+// fail this for every group after the first.
+TEST(SncBatchEquivalenceTest, StochasticStreamsFollowImageOrder) {
+  const ModelSpec spec = model_specs().front();  // lenet
+  check_batch_equivalence(
+      spec, snc::IntegrationMode::kIdealIntegration, true,
+      snc::SncEngine::kEventDriven, false, image_run(spec.input, 170, 6),
+      {3, 2, 1}, "stochastic regrouping");
+}
+
+// Shape contract: a batch whose trailing dims disagree with the model
+// input must throw, and an empty batch is a no-op returning no
+// predictions.
+TEST(SncBatchEquivalenceTest, RejectsBadBatchShapes) {
+  const ModelSpec spec = model_specs().front();  // lenet
+  nn::Rng rng(3);
+  nn::Network net = spec.factory(rng);
+  snc::SncConfig cfg = deploy_config(net, 4);
+  snc::SncSystem system(net, spec.input, cfg);
+  EXPECT_THROW(system.infer_batch(nn::Tensor({2, 1, 28, 27})),
+               std::invalid_argument);
+  EXPECT_THROW(system.infer_batch(nn::Tensor({1, 28, 28})),
+               std::invalid_argument);
+  EXPECT_TRUE(system.infer_batch(nn::Tensor({0, 1, 28, 28})).empty());
 }
 
 TEST(SncEngineEquivalenceTest, StatsExposeWorkReduction) {

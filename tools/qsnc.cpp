@@ -6,11 +6,13 @@
 //               (Weight Clustering onto the N-bit grid)
 //   qsnc eval   --model M --state state.bin [--bits M] [--test-size N]
 //   qsnc deploy --model M --state state.bin --bits M [--images N]
-//               [--stuck-on R] [--stuck-off R] [--variation S]
+//               [--batch B] [--stuck-on R] [--stuck-off R] [--variation S]
 //               [--write-verify] [--spare-cols K] [--snc-seed S]
 //               (spike-level SNC inference; weights must be on the grid;
-//               fault flags inject defects and enable closed-loop recovery)
-//   qsnc faultsim --model M [--state f] [--bits M] [--images N]
+//               fault flags inject defects and enable closed-loop recovery;
+//               --batch B runs the batch-native engine B images at a time,
+//               bit-identical to --batch 1)
+//   qsnc faultsim --model M [--state f] [--bits M] [--images N] [--batch B]
 //               [--rates csv] [--spares csv] [--seeds K]
 //               (stuck-on rate x spare budget sweep: passive vs recovered
 //               accuracy; trains a small model when --state is omitted)
@@ -20,7 +22,8 @@
 //               [--batch-timeout-us T] [--queue-cap Q]
 //               [--listen unix:/tmp/qsnc-serve.sock|tcp:host:port]
 //               (--socket path is the historical alias for --listen)
-//               [--snc-replicas R] [--snc-stuck-on R] [--snc-stuck-off R]
+//               [--snc-replicas R] [--snc-batch-native on|off]
+//               [--snc-stuck-on R] [--snc-stuck-off R]
 //               [--snc-variation S] [--snc-write-verify] [--snc-spare-cols K]
 //               [--health] [--health-interval B] [--health-canaries N]
 //               [--health-min-fraction F] [--health-reprogram A]
@@ -38,7 +41,11 @@
 //               shedding, --breaker-threshold the per-backend circuit
 //               breaker; --chaos-profile injects deterministic seeded
 //               faults for resilience testing, reported at shutdown;
-//               --shards N runs N identical batcher+backend lanes)
+//               --shards N runs N identical batcher+backend lanes;
+//               --snc-batch-native off restores the per-image replica
+//               fan-out for the snc backend — deployments with
+//               --health-per-replica-seeds always fan out, since fault
+//               diversity needs images spread across replica seeds)
 //   qsnc router --backends ep1,ep2,... [--listen tcp:host:port]
 //               [--vnodes V] [--probe-interval-ms T] [--probe-timeout-ms T]
 //               [--probe-down-after K] [--forward-timeout-ms T]
@@ -286,6 +293,8 @@ int cmd_deploy(const util::Flags& flags) {
   if (in.empty()) throw std::invalid_argument("deploy needs --state");
   const int bits = static_cast<int>(flags.get_int("bits", 4));
   const int64_t images = flags.get_int("images", 50);
+  const int64_t batch_size =
+      std::max<int64_t>(1, flags.get_int("batch", 8));
   const bool dense_reference = flags.get_bool("dense-reference", false);
   const double stuck_on = flags.get_double("stuck-on", 0.0);
   const double stuck_off = flags.get_double("stuck-off", 0.0);
@@ -325,32 +334,54 @@ int cmd_deploy(const util::Flags& flags) {
 
   auto test_set = load_dataset(model, std::max<int64_t>(images, 50), 999,
                                false);
+  const int64_t chw = nn::shape_numel(model.input);
   int64_t correct = 0;
-  snc::SncStats stats;
   snc::SncStats totals;
   int64_t total_spikes = 0;
-  for (int64_t i = 0; i < images; ++i) {
-    const data::Sample s = test_set->get(i);
-    if (system.infer(s.image, &stats) == s.label) ++correct;
-    total_spikes += stats.total_spikes;
-    if (totals.stage.size() < stats.stage.size()) {
-      totals.stage.resize(stats.stage.size());
+  int64_t window_slots = 0;
+  // Batch-native evaluation: B images share one pass over each stage's
+  // panel. Per-image stats fold exactly as the historical per-image loop
+  // did (infer_batch is bit-identical to B sequential infer calls).
+  for (int64_t start = 0; start < images; start += batch_size) {
+    const int64_t b = std::min(batch_size, images - start);
+    nn::Tensor batch({b, model.input[0], model.input[1], model.input[2]});
+    std::vector<int64_t> labels(static_cast<size_t>(b));
+    for (int64_t j = 0; j < b; ++j) {
+      const data::Sample s = test_set->get(start + j);
+      std::copy(s.image.data(), s.image.data() + chw,
+                batch.data() + j * chw);
+      labels[static_cast<size_t>(j)] = s.label;
     }
-    for (size_t st = 0; st < stats.stage.size(); ++st) {
-      totals.stage[st].rows = stats.stage[st].rows;
-      totals.stage[st].cols = stats.stage[st].cols;
-      totals.stage[st].positions += stats.stage[st].positions;
-      totals.stage[st].input_events += stats.stage[st].input_events;
-      totals.stage[st].spikes += stats.stage[st].spikes;
-      totals.stage[st].occupied_slots += stats.stage[st].occupied_slots;
+    std::vector<snc::SncStats> batch_stats;
+    const std::vector<int64_t> preds = system.infer_batch(batch,
+                                                          &batch_stats);
+    for (int64_t j = 0; j < b; ++j) {
+      const snc::SncStats& stats = batch_stats[static_cast<size_t>(j)];
+      if (preds[static_cast<size_t>(j)] == labels[static_cast<size_t>(j)]) {
+        ++correct;
+      }
+      total_spikes += stats.total_spikes;
+      window_slots = stats.window_slots;
+      if (totals.stage.size() < stats.stage.size()) {
+        totals.stage.resize(stats.stage.size());
+      }
+      for (size_t st = 0; st < stats.stage.size(); ++st) {
+        totals.stage[st].rows = stats.stage[st].rows;
+        totals.stage[st].cols = stats.stage[st].cols;
+        totals.stage[st].positions += stats.stage[st].positions;
+        totals.stage[st].input_events += stats.stage[st].input_events;
+        totals.stage[st].spikes += stats.stage[st].spikes;
+        totals.stage[st].occupied_slots += stats.stage[st].occupied_slots;
+      }
     }
   }
-  std::printf("SNC inference (%s engine): %lld/%lld correct, window %lld "
-              "slots, avg %.0f spikes/image\n",
+  std::printf("SNC inference (%s engine, batch %lld): %lld/%lld correct, "
+              "window %lld slots, avg %.0f spikes/image\n",
               dense_reference ? "dense-reference" : "event-driven",
+              static_cast<long long>(batch_size),
               static_cast<long long>(correct),
               static_cast<long long>(images),
-              static_cast<long long>(stats.window_slots),
+              static_cast<long long>(window_slots),
               static_cast<double>(total_spikes) /
                   static_cast<double>(images));
   report::Table activity({"stage", "rows", "cols", "events/img", "sparsity",
@@ -403,6 +434,8 @@ int cmd_faultsim(const util::Flags& flags) {
   const std::string in = flags.get("state", "");
   const int bits = static_cast<int>(flags.get_int("bits", 4));
   const int64_t images = flags.get_int("images", 60);
+  const int64_t batch_size =
+      std::max<int64_t>(1, flags.get_int("batch", 8));
   const std::vector<double> rates =
       parse_double_list(flags.get("rates", "0.01,0.02,0.05"));
   const std::vector<double> spares =
@@ -454,9 +487,25 @@ int cmd_faultsim(const util::Flags& flags) {
       snc::SncSystem sys(net, model.input, seeded);
       total.add(sys.fault_report());
       int64_t correct = 0;
-      for (int64_t i = 0; i < images; ++i) {
-        const data::Sample sample = test_set->get(i);
-        if (sys.infer(sample.image) == sample.label) ++correct;
+      const int64_t chw = nn::shape_numel(model.input);
+      for (int64_t start = 0; start < images; start += batch_size) {
+        const int64_t b = std::min(batch_size, images - start);
+        nn::Tensor batch(
+            {b, model.input[0], model.input[1], model.input[2]});
+        std::vector<int64_t> labels(static_cast<size_t>(b));
+        for (int64_t j = 0; j < b; ++j) {
+          const data::Sample sample = test_set->get(start + j);
+          std::copy(sample.image.data(), sample.image.data() + chw,
+                    batch.data() + j * chw);
+          labels[static_cast<size_t>(j)] = sample.label;
+        }
+        const std::vector<int64_t> preds = sys.infer_batch(batch);
+        for (int64_t j = 0; j < b; ++j) {
+          if (preds[static_cast<size_t>(j)] ==
+              labels[static_cast<size_t>(j)]) {
+            ++correct;
+          }
+        }
       }
       acc += static_cast<double>(correct) / static_cast<double>(images);
     }
@@ -531,6 +580,15 @@ serve::ModelConfig serve_model_config(const util::Flags& flags) {
   cfg.init_seed = static_cast<uint64_t>(flags.get_int("seed", 1));
   cfg.snc_replicas = static_cast<int>(flags.get_int("snc-replicas", 0));
   cfg.snc_dense_reference = flags.get_bool("snc-dense-reference", false);
+  const std::string batch_native = flags.get("snc-batch-native", "on");
+  if (batch_native == "on") {
+    cfg.snc_batch_native = true;
+  } else if (batch_native == "off") {
+    cfg.snc_batch_native = false;
+  } else {
+    throw std::invalid_argument("--snc-batch-native takes on|off, got '" +
+                                batch_native + "'");
+  }
   cfg.snc_variation_sigma = flags.get_double("snc-variation", 0.0);
   cfg.snc_stuck_on_rate = flags.get_double("snc-stuck-on", 0.0);
   cfg.snc_stuck_off_rate = flags.get_double("snc-stuck-off", 0.0);
