@@ -124,10 +124,7 @@ void restore(Network& net, const NetworkState& state) {
   }
 }
 
-void save_state(Network& net, const std::string& path) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("save_state: cannot open " + path);
-
+std::vector<uint8_t> save_state_bytes(Network& net) {
   const NetworkState state = snapshot(net);
   std::vector<uint8_t> payload;
   auto append_u32 = [&payload](uint32_t v) {
@@ -145,14 +142,61 @@ void save_state(Network& net, const std::string& path) {
                  static_cast<size_t>(t.numel()) * sizeof(float));
   }
 
-  auto write_u32 = [&f](uint32_t v) {
-    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  write_u32(kMagic);
-  write_u32(kVersion);
-  write_u32(util::crc32(payload.data(), payload.size()));
-  f.write(reinterpret_cast<const char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
+  std::vector<uint8_t> out;
+  out.reserve(12 + payload.size());
+  const uint32_t crc = util::crc32(payload.data(), payload.size());
+  append_bytes(out, &kMagic, sizeof(kMagic));
+  append_bytes(out, &kVersion, sizeof(kVersion));
+  append_bytes(out, &crc, sizeof(crc));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void load_state_bytes(Network& net, const std::vector<uint8_t>& bytes,
+                      const std::string& what) {
+  PayloadReader header(bytes, what);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  try {
+    header.read_raw(&magic, sizeof(magic));
+    header.read_raw(&version, sizeof(version));
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("load_state: truncated header in " + what);
+  }
+  if (magic != kMagic) {
+    throw std::runtime_error("load_state: bad magic in " + what);
+  }
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("load_state: unsupported version " +
+                             std::to_string(version) + " in " + what);
+  }
+  size_t payload_at = 8;
+  if (version == 2) {
+    uint32_t expected_crc = 0;
+    try {
+      header.read_raw(&expected_crc, sizeof(expected_crc));
+    } catch (const std::runtime_error&) {
+      throw std::runtime_error("load_state: truncated header in " + what);
+    }
+    payload_at = 12;
+    if (util::crc32(bytes.data() + payload_at,
+                    bytes.size() - payload_at) != expected_crc) {
+      throw std::runtime_error(
+          "load_state: checksum mismatch (corrupt checkpoint) in " + what);
+    }
+  }
+  const std::vector<uint8_t> payload(bytes.begin() +
+                                         static_cast<ptrdiff_t>(payload_at),
+                                     bytes.end());
+  restore(net, parse_payload(payload, what));
+}
+
+void save_state(Network& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_state: cannot open " + path);
+  const std::vector<uint8_t> bytes = save_state_bytes(net);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
   if (!f) throw std::runtime_error("save_state: write failed for " + path);
 }
 

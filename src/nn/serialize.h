@@ -33,4 +33,17 @@ void save_state(Network& net, const std::string& path);
 /// identical) network. Throws on I/O failure or shape mismatch.
 void load_state(Network& net, const std::string& path);
 
+/// The byte-for-byte image save_state writes (magic | version |
+/// crc32(payload) | payload), built in memory — what a checkpoint push
+/// over a socket carries.
+std::vector<uint8_t> save_state_bytes(Network& net);
+
+/// Restores state from an in-memory image in the save_state format.
+/// `what` labels error messages (e.g. the pushing peer). Magic, version,
+/// and CRC are validated before any tensor data is trusted; throws
+/// std::runtime_error (bad magic / version / checksum / truncation) or
+/// std::invalid_argument (shape mismatch) with the failure reason.
+void load_state_bytes(Network& net, const std::vector<uint8_t>& bytes,
+                      const std::string& what);
+
 }  // namespace qsnc::nn

@@ -117,7 +117,17 @@ void BackendPool::record_failure(size_t i, int64_t now_us) {
 }
 
 void BackendPool::record_probe(size_t i, bool ok, uint32_t queue_depth) {
+  record_probe(i, ok, queue_depth, {});
+}
+
+void BackendPool::record_probe(
+    size_t i, bool ok, uint32_t queue_depth,
+    const std::vector<serve::ModelVersionLabel>& versions) {
   Backend& b = backend(i);
+  if (ok && !versions.empty()) {
+    std::lock_guard<std::mutex> lock(b.versions_mu);
+    b.versions = versions;
+  }
   if (ok) {
     ++b.probes_ok;
     b.consecutive_probe_failures.store(0, std::memory_order_relaxed);
@@ -163,6 +173,10 @@ std::vector<BackendSnapshot> BackendPool::stats() const {
     s.consecutive_probe_failures =
         b->consecutive_probe_failures.load(std::memory_order_relaxed);
     s.last_queue_depth = b->last_queue_depth.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(b->versions_mu);
+      s.versions = b->versions;
+    }
     out.push_back(std::move(s));
   }
   return out;

@@ -49,6 +49,10 @@ struct BackendSnapshot {
   uint64_t probes_failed = 0;
   int consecutive_probe_failures = 0;
   uint32_t last_queue_depth = 0;  // from the latest successful probe
+  /// Per-base active-version labels from the latest successful probe
+  /// (protocol v5 health acks) — which version answers bare-name traffic
+  /// on this backend. Kept across probe failures (last-known).
+  std::vector<serve::ModelVersionLabel> versions;
 };
 
 class BackendPool {
@@ -99,8 +103,12 @@ class BackendPool {
 
   void record_success(size_t i);
   void record_failure(size_t i, int64_t now_us);
-  /// Prober verdict; flips up/down per probe_down_after.
+  /// Prober verdict; flips up/down per probe_down_after. The long form
+  /// also stores the backend's per-model active-version labels from the
+  /// health ack (the short form keeps the last-known labels).
   void record_probe(size_t i, bool ok, uint32_t queue_depth);
+  void record_probe(size_t i, bool ok, uint32_t queue_depth,
+                    const std::vector<serve::ModelVersionLabel>& versions);
   void note_forward(size_t i);
   void note_reroute_away(size_t i);
   void note_hedge(size_t i);
@@ -122,6 +130,8 @@ class BackendPool {
     std::atomic<uint64_t> probes_ok{0};
     std::atomic<uint64_t> probes_failed{0};
     std::atomic<uint32_t> last_queue_depth{0};
+    mutable std::mutex versions_mu;
+    std::vector<serve::ModelVersionLabel> versions;
 
     Backend(const serve::Endpoint& ep, int threshold, int64_t open_us)
         : endpoint(ep), breaker(threshold, open_us) {}

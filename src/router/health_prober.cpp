@@ -65,7 +65,7 @@ bool HealthProber::probe_one(size_t i) {
   if (!frame || frame->type != MsgType::kHealthAck) return false;
   const serve::HealthAck ack = serve::decode_health_ack(frame->body);
   if (ack.nonce != probe.nonce || !ack.healthy) return false;
-  pool_.record_probe(i, true, ack.queue_depth);
+  pool_.record_probe(i, true, ack.queue_depth, ack.versions);
   pool_.checkin(i, std::move(conn));
   return true;
 }

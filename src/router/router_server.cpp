@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "router/hedging.h"
+#include "serve/model_registry.h"
 
 namespace qsnc::router {
 
@@ -62,14 +63,17 @@ bool Router::handle(const Frame& frame, serve::FrameSink& sink) {
 bool Router::handle_infer(serve::InferRequest request,
                           serve::FrameSink& sink) {
   ++requests_;
-  // Sticky sessions pin to hash(model, session); sessionless requests
-  // spray over the ring with a counter so one hot model still uses the
-  // whole fleet.
+  // Sticky sessions pin to hash(base model, session); hashing the *base*
+  // (not the possibly-versioned spelling) means "lenet" and "lenet@v2"
+  // land on the same backend, and a version flip during a rollout never
+  // moves a sticky session. Sessionless requests spray over the ring
+  // with a counter so one hot model still uses the whole fleet.
+  const std::string base = serve::base_model_name(request.model);
   const uint64_t rh =
       request.session.empty()
-          ? route_hash(request.model,
+          ? route_hash(base,
                        "\x01" + std::to_string(spread_.fetch_add(1)))
-          : route_hash(request.model, request.session);
+          : route_hash(base, request.session);
   const std::vector<size_t> candidates = ring_.pick_n(rh, pool_.size());
 
   serve::ForwardedInfer forward;
@@ -254,7 +258,7 @@ std::string Router::stats_report() const {
                                                                : "half";
     std::snprintf(
         line, sizeof(line),
-        "%-28s %-4s %-8s %8llu %6llu %6llu %6llu %7llu %7llu %6u\n",
+        "%-28s %-4s %-8s %8llu %6llu %6llu %6llu %7llu %7llu %6u",
         s.endpoint.c_str(), s.up ? "yes" : "NO", breaker,
         static_cast<unsigned long long>(s.forwards),
         static_cast<unsigned long long>(s.failures),
@@ -264,6 +268,13 @@ std::string Router::stats_report() const {
         static_cast<unsigned long long>(s.probes_failed),
         s.last_queue_depth);
     out += line;
+    // Active-version labels from the latest health ack, e.g.
+    // "lenet-mini@v2" (bare bases print without the @).
+    for (const serve::ModelVersionLabel& label : s.versions) {
+      out += " " + label.model +
+             (label.version.empty() ? std::string() : "@" + label.version);
+    }
+    out += "\n";
   }
   return out;
 }

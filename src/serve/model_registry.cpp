@@ -1,5 +1,6 @@
 #include "serve/model_registry.h"
 
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -32,6 +33,23 @@ Architecture resolve_architecture(const std::string& name) {
       "' (lenet[-mini]|alexnet[-mini]|resnet[-mini])");
 }
 
+/// Registered names are "base[@version]": non-empty base, at most one
+/// '@', non-empty version when the '@' is present.
+void validate_name(const std::string& name) {
+  const auto [base, version] = split_versioned_name(name);
+  if (base.empty()) {
+    throw std::invalid_argument("ModelRegistry: empty model name");
+  }
+  if (name.find('@') != std::string::npos && version.empty()) {
+    throw std::invalid_argument("ModelRegistry: name '" + name +
+                                "' has an empty version");
+  }
+  if (version.find('@') != std::string::npos) {
+    throw std::invalid_argument("ModelRegistry: name '" + name +
+                                "' has more than one '@'");
+  }
+}
+
 }  // namespace
 
 BackendKind parse_backend_kind(const std::string& name) {
@@ -55,9 +73,31 @@ nn::Shape architecture_input_shape(const std::string& architecture) {
   return resolve_architecture(architecture).input_chw;
 }
 
+std::pair<std::string, std::string> split_versioned_name(
+    const std::string& name) {
+  const size_t at = name.find('@');
+  if (at == std::string::npos) return {name, std::string()};
+  return {name.substr(0, at), name.substr(at + 1)};
+}
+
+std::string base_model_name(const std::string& name) {
+  return split_versioned_name(name).first;
+}
+
+const char* version_state_name(VersionState state) {
+  switch (state) {
+    case VersionState::kActive: return "active";
+    case VersionState::kStandby: return "standby";
+    case VersionState::kShadow: return "shadow";
+    case VersionState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
 struct ModelRegistry::Entry {
   ModelConfig config;
   nn::Shape input_chw;
+  VersionState state = VersionState::kStandby;
   // One network+backend pair per shard, all built from the same
   // seed/checkpoint (Network caches forward state, so lanes cannot share
   // one instance). nets[i] is the network behind backends[i].
@@ -68,12 +108,9 @@ struct ModelRegistry::Entry {
 ModelRegistry::ModelRegistry() = default;
 ModelRegistry::~ModelRegistry() = default;
 
-Backend& ModelRegistry::add(const std::string& name,
-                            const ModelConfig& config) {
-  if (entries_.count(name) > 0) {
-    throw std::invalid_argument("ModelRegistry: duplicate model '" + name +
-                                "'");
-  }
+std::unique_ptr<ModelRegistry::Entry> ModelRegistry::build_entry(
+    const std::string& name, const ModelConfig& config,
+    const std::vector<uint8_t>* state_bytes) {
   if (config.shards < 1) {
     throw std::invalid_argument("ModelRegistry: model '" + name +
                                 "' needs shards >= 1");
@@ -90,7 +127,10 @@ Backend& ModelRegistry::add(const std::string& name,
   for (int shard = 0; shard < config.shards; ++shard) {
     nn::Rng rng(config.init_seed);
     auto net = std::make_unique<nn::Network>(arch.factory(rng));
-    if (!config.state_path.empty()) {
+    if (state_bytes != nullptr) {
+      nn::load_state_bytes(*net, *state_bytes,
+                           "checkpoint for '" + name + "'");
+    } else if (!config.state_path.empty()) {
       nn::load_state(*net, config.state_path);
     }
 
@@ -136,19 +176,151 @@ Backend& ModelRegistry::add(const std::string& name,
     entry->nets.push_back(std::move(net));
     entry->backends.push_back(std::move(backend));
   }
+  return entry;
+}
 
+Backend& ModelRegistry::insert_entry(const std::string& name,
+                                     std::unique_ptr<Entry> entry) {
+  const std::string base = base_model_name(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.count(name) > 0) {
+    throw std::invalid_argument("ModelRegistry: duplicate model '" + name +
+                                "' (versions are immutable; register a "
+                                "new version instead)");
+  }
+  // The first version of a base answers bare-name traffic; later ones
+  // register standby until a rollout promotes them.
+  if (active_.count(base) == 0) {
+    entry->state = VersionState::kActive;
+    active_[base] = name;
+  } else {
+    entry->state = VersionState::kStandby;
+  }
   Backend& backend = *entry->backends.front();
   entries_[name] = std::move(entry);
   return backend;
 }
 
+Backend& ModelRegistry::add(const std::string& name,
+                            const ModelConfig& config) {
+  validate_name(name);
+  {
+    // Cheap duplicate pre-check before the expensive build; insert_entry
+    // re-checks under the same lock that inserts.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (entries_.count(name) > 0) {
+      throw std::invalid_argument("ModelRegistry: duplicate model '" +
+                                  name + "'");
+    }
+  }
+  return insert_entry(name, build_entry(name, config, nullptr));
+}
+
+Backend& ModelRegistry::add_from_bytes(
+    const std::string& name, const ModelConfig& config,
+    const std::vector<uint8_t>& state_bytes) {
+  validate_name(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (entries_.count(name) > 0) {
+      throw std::invalid_argument("ModelRegistry: duplicate model '" +
+                                  name + "'");
+    }
+  }
+  // build_entry validates the checkpoint image (magic/version/CRC, then
+  // per-tensor decode) while constructing a free-standing entry: any
+  // failure throws here, before the registry is touched.
+  return insert_entry(name, build_entry(name, config, &state_bytes));
+}
+
+std::string ModelRegistry::resolve_locked(const std::string& name) const {
+  if (name.find('@') != std::string::npos) {
+    return entries_.count(name) > 0 ? name : std::string();
+  }
+  const auto it = active_.find(name);
+  return it != active_.end() ? it->second : std::string();
+}
+
+std::string ModelRegistry::resolve(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return resolve_locked(name);
+}
+
+void ModelRegistry::set_active(const std::string& base,
+                               const std::string& key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ModelRegistry: unknown version '" + key +
+                                "'");
+  }
+  if (base_model_name(key) != base) {
+    throw std::invalid_argument("ModelRegistry: version '" + key +
+                                "' does not belong to base '" + base + "'");
+  }
+  if (it->second->state == VersionState::kQuarantined) {
+    throw std::invalid_argument("ModelRegistry: version '" + key +
+                                "' is quarantined");
+  }
+  const auto active_it = active_.find(base);
+  if (active_it != active_.end() && active_it->second != key) {
+    entries_.at(active_it->second)->state = VersionState::kStandby;
+  }
+  it->second->state = VersionState::kActive;
+  active_[base] = key;
+}
+
+VersionState ModelRegistry::state(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entry(key).state;
+}
+
+void ModelRegistry::set_state(const std::string& key, VersionState state) {
+  if (state == VersionState::kActive) {
+    throw std::invalid_argument(
+        "ModelRegistry: use set_active to promote a version");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ModelRegistry: unknown version '" + key +
+                                "'");
+  }
+  if (it->second->state == VersionState::kActive) {
+    throw std::invalid_argument("ModelRegistry: version '" + key +
+                                "' is active; promote a replacement first");
+  }
+  it->second->state = state;
+}
+
+std::string ModelRegistry::active_key(const std::string& base) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = active_.find(base);
+  return it != active_.end() ? it->second : std::string();
+}
+
+std::vector<ModelVersionLabel> ModelRegistry::active_versions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<ModelVersionLabel> out;
+  out.reserve(active_.size());
+  for (const auto& [base, key] : active_) {
+    ModelVersionLabel label;
+    label.model = base;
+    label.version = split_versioned_name(key).second;
+    out.push_back(std::move(label));
+  }
+  return out;
+}
+
 bool ModelRegistry::contains(const std::string& name) const {
-  return entries_.count(name) > 0;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return !resolve_locked(name).empty();
 }
 
 const ModelRegistry::Entry& ModelRegistry::entry(
     const std::string& name) const {
-  const auto it = entries_.find(name);
+  const std::string key = resolve_locked(name);
+  const auto it = entries_.find(key.empty() ? name : key);
   if (it == entries_.end()) {
     throw std::invalid_argument("ModelRegistry: unknown model '" + name +
                                 "'");
@@ -157,11 +329,13 @@ const ModelRegistry::Entry& ModelRegistry::entry(
 }
 
 Backend& ModelRegistry::backend(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return *entry(name).backends.front();
 }
 
 Backend& ModelRegistry::backend(const std::string& name,
                                 size_t shard) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const Entry& e = entry(name);
   if (shard >= e.backends.size()) {
     throw std::invalid_argument("ModelRegistry: model '" + name +
@@ -171,18 +345,22 @@ Backend& ModelRegistry::backend(const std::string& name,
 }
 
 size_t ModelRegistry::num_shards(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return entry(name).backends.size();
 }
 
 const ModelConfig& ModelRegistry::config(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return entry(name).config;
 }
 
 const nn::Shape& ModelRegistry::input_shape(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return entry(name).input_chw;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {

@@ -276,10 +276,23 @@ HealthProbe decode_health_probe(const std::vector<uint8_t>& body) {
 }
 
 std::vector<uint8_t> encode_health_ack(const HealthAck& ack) {
+  if (ack.versions.size() > UINT16_MAX) {
+    throw ProtocolError("protocol: too many version labels");
+  }
   std::vector<uint8_t> body;
   put<uint64_t>(body, ack.nonce);
   put<uint8_t>(body, ack.healthy ? 1 : 0);
   put<uint32_t>(body, ack.queue_depth);
+  put<uint16_t>(body, static_cast<uint16_t>(ack.versions.size()));
+  for (const ModelVersionLabel& v : ack.versions) {
+    if (v.model.size() > UINT16_MAX || v.version.size() > UINT16_MAX) {
+      throw ProtocolError("protocol: version label too long");
+    }
+    put<uint16_t>(body, static_cast<uint16_t>(v.model.size()));
+    body.insert(body.end(), v.model.begin(), v.model.end());
+    put<uint16_t>(body, static_cast<uint16_t>(v.version.size()));
+    body.insert(body.end(), v.version.begin(), v.version.end());
+  }
   return finish_frame(MsgType::kHealthAck, std::move(body));
 }
 
@@ -293,6 +306,20 @@ HealthAck decode_health_ack(const std::vector<uint8_t>& body) {
   }
   ack.healthy = healthy != 0;
   ack.queue_depth = c.take<uint32_t>("queue_depth");
+  // v4 acks end here; the v5 version-label list is optional so mixed
+  // fleets interoperate during an upgrade.
+  if (c.at < c.buf.size()) {
+    const uint16_t count = c.take<uint16_t>("version_count");
+    ack.versions.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      ModelVersionLabel v;
+      const uint16_t model_len = c.take<uint16_t>("label_model_len");
+      v.model = c.take_string(model_len, "label_model");
+      const uint16_t version_len = c.take<uint16_t>("label_version_len");
+      v.version = c.take_string(version_len, "label_version");
+      ack.versions.push_back(std::move(v));
+    }
+  }
   c.done("HealthAck");
   return ack;
 }
@@ -311,6 +338,129 @@ ForwardedInfer decode_forward_infer(const std::vector<uint8_t>& body) {
   forward.request = take_infer_request(c);
   c.done("ForwardInfer");
   return forward;
+}
+
+namespace {
+
+/// Shared u16-length-prefixed string writer for the small control-frame
+/// fields (names, reasons, backend spellings).
+void put_short_string(std::vector<uint8_t>& body, const std::string& s,
+                      const char* what) {
+  if (s.size() > UINT16_MAX) {
+    throw ProtocolError(std::string("protocol: ") + what + " too long");
+  }
+  put<uint16_t>(body, static_cast<uint16_t>(s.size()));
+  body.insert(body.end(), s.begin(), s.end());
+}
+
+std::string take_short_string(Cursor& c, const char* what) {
+  const uint16_t len = c.take<uint16_t>(what);
+  return c.take_string(len, what);
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_load_version(const LoadVersionRequest& request) {
+  std::vector<uint8_t> body;
+  put_short_string(body, request.name, "name");
+  put_short_string(body, request.architecture, "architecture");
+  put_short_string(body, request.backend_kind, "backend");
+  put<uint8_t>(body, request.bits);
+  put<uint64_t>(body, request.init_seed);
+  put<uint64_t>(body, static_cast<uint64_t>(request.state.size()));
+  body.insert(body.end(), request.state.begin(), request.state.end());
+  return finish_frame(MsgType::kLoadVersion, std::move(body));
+}
+
+LoadVersionRequest decode_load_version(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  LoadVersionRequest request;
+  request.name = take_short_string(c, "name");
+  request.architecture = take_short_string(c, "architecture");
+  request.backend_kind = take_short_string(c, "backend");
+  request.bits = c.take<uint8_t>("bits");
+  request.init_seed = c.take<uint64_t>("init_seed");
+  const uint64_t state_len = c.take<uint64_t>("state_len");
+  // The frame itself is already bounded at kMaxFrameBytes; this check
+  // rejects a corrupt inner length before it can drive a huge resize.
+  if (state_len > c.buf.size() - c.at) {
+    throw ProtocolError("protocol: truncated frame at state");
+  }
+  request.state.assign(c.buf.begin() + static_cast<ptrdiff_t>(c.at),
+                       c.buf.begin() +
+                           static_cast<ptrdiff_t>(c.at + state_len));
+  c.at += static_cast<size_t>(state_len);
+  c.done("LoadVersion");
+  return request;
+}
+
+std::vector<uint8_t> encode_promote(const RolloutCommand& command) {
+  std::vector<uint8_t> body;
+  put_short_string(body, command.name, "name");
+  return finish_frame(MsgType::kPromote, std::move(body));
+}
+
+RolloutCommand decode_promote(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  RolloutCommand command;
+  command.name = take_short_string(c, "name");
+  c.done("Promote");
+  return command;
+}
+
+std::vector<uint8_t> encode_rollback(const RolloutCommand& command) {
+  std::vector<uint8_t> body;
+  put_short_string(body, command.name, "name");
+  put_short_string(body, command.reason, "reason");
+  return finish_frame(MsgType::kRollback, std::move(body));
+}
+
+RolloutCommand decode_rollback(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  RolloutCommand command;
+  command.name = take_short_string(c, "name");
+  command.reason = take_short_string(c, "reason");
+  c.done("Rollback");
+  return command;
+}
+
+std::vector<uint8_t> encode_rollout_status(const RolloutCommand& command) {
+  std::vector<uint8_t> body;
+  put_short_string(body, command.name, "name");
+  return finish_frame(MsgType::kRolloutStatus, std::move(body));
+}
+
+RolloutCommand decode_rollout_status(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  RolloutCommand command;
+  command.name = take_short_string(c, "name");
+  c.done("RolloutStatus");
+  return command;
+}
+
+std::vector<uint8_t> encode_rollout_reply(const RolloutReply& reply) {
+  if (reply.message.size() > UINT32_MAX) {
+    throw ProtocolError("protocol: reply message too long");
+  }
+  std::vector<uint8_t> body;
+  put<uint8_t>(body, reply.ok ? 1 : 0);
+  put<uint32_t>(body, static_cast<uint32_t>(reply.message.size()));
+  body.insert(body.end(), reply.message.begin(), reply.message.end());
+  return finish_frame(MsgType::kRolloutReply, std::move(body));
+}
+
+RolloutReply decode_rollout_reply(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  RolloutReply reply;
+  const uint8_t ok = c.take<uint8_t>("ok");
+  if (ok > 1) {
+    throw ProtocolError("protocol: ok flag out of range");
+  }
+  reply.ok = ok != 0;
+  const uint32_t message_len = c.take<uint32_t>("message_len");
+  reply.message = c.take_string(message_len, "message");
+  c.done("RolloutReply");
+  return reply;
 }
 
 void FrameReader::feed(const uint8_t* data, size_t n) {

@@ -5,9 +5,11 @@
 //   u32 payload_len | u8 type | payload[payload_len - 1]
 //
 // i.e. payload_len counts the type byte plus the body. Messages
-// (protocol version 4 — v2 added deadline_us/degraded, v3 the request
+// (protocol version 5 — v2 added deadline_us/degraded, v3 the request
 // priority byte and the kShedded status code, v4 the session key,
-// the hello handshake, health probes, and the router-forward frame):
+// the hello handshake, health probes, and the router-forward frame;
+// v5 the model-lifecycle control frames and the health-ack version
+// labels):
 //
 //   kInferRequest  (1): u64 id | u64 deadline_us | u8 priority |
 //                       u16 session_len | session bytes |
@@ -22,8 +24,19 @@
 //   kHello         (5): u16 version | u8 role (0 client, 1 router)
 //   kHelloAck      (6): u16 version | u8 accepted
 //   kHealthProbe   (7): u64 nonce
-//   kHealthAck     (8): u64 nonce | u8 healthy | u32 queue_depth
+//   kHealthAck     (8): u64 nonce | u8 healthy | u32 queue_depth |
+//                       [u16 count | count * (u16 model_len | model bytes |
+//                        u16 version_len | version bytes)]
 //   kForwardInfer  (9): u64 route_hash | <kInferRequest body>
+//   kLoadVersion  (10): u16 name_len | name bytes |
+//                       u16 arch_len | architecture bytes |
+//                       u16 backend_len | backend bytes | u8 bits |
+//                       u64 init_seed | u64 state_len | state bytes
+//   kPromote      (11): u16 name_len | name bytes
+//   kRollback     (12): u16 name_len | name bytes |
+//                       u16 reason_len | reason bytes
+//   kRolloutStatus(13): u16 name_len | name bytes (empty = all rollouts)
+//   kRolloutReply (14): u8 ok | u32 message_len | message bytes
 //
 // The session key (v4) is an optional client-chosen affinity tag: the
 // router hashes (model, session) onto its consistent-hash ring so all
@@ -33,6 +46,21 @@
 // hash travels with the request so a backend (or a debug tap) can
 // attribute traffic to ring positions; backends execute it exactly like
 // kInferRequest and reply kInferResponse.
+//
+// Model-lifecycle control frames (v5): kLoadVersion hot-loads a
+// versioned model ("lenet@v2") into a running server — `state` carries a
+// whole nn::save_state checkpoint image (magic/version/CRC validated
+// server-side before anything registers; state_len 0 means fresh
+// deterministic init from init_seed). kPromote / kRollback are the
+// operator overrides of the blue/green rollout controller, and
+// kRolloutStatus reads its report. All four are answered by
+// kRolloutReply: ok=0 carries the structured failure reason (corrupt
+// checkpoint, unknown version, bad state-machine transition) and leaves
+// server state untouched. Control frames change server state, so like
+// infer frames they require the kHello handshake first. The health-ack
+// version list (v5) is how the router tier learns each backend's
+// per-model active version; a v4-style ack without the trailing list
+// decodes as an empty list.
 //
 // Decoders throw ProtocolError on truncated bodies, oversized frames
 // (> kMaxFrameBytes — a corrupt length prefix must not allocate
@@ -61,13 +89,16 @@ struct ProtocolError : std::runtime_error {
 /// Wire protocol revision implemented by this library (both ends of the
 /// socket are built from this repo; the constant documents the lineage:
 /// 1 = initial, 2 = deadline_us/degraded, 3 = priority/kShedded,
-/// 4 = session key + hello/health/forward frames). The kHello handshake
-/// is mandatory before infer-class frames (kInferRequest/kForwardInfer,
-/// whose layout changes across versions): servers drop un-handshaken
-/// infer frames with a ProtocolError, so mixed-version fleets fail fast
-/// instead of mis-decoding. Version-stable frames (kStatsRequest,
-/// kHealthProbe) are accepted without a handshake.
-constexpr uint16_t kProtocolVersion = 4;
+/// 4 = session key + hello/health/forward frames, 5 = model-lifecycle
+/// control frames + health-ack version labels). The kHello handshake is
+/// mandatory before infer-class frames (kInferRequest/kForwardInfer,
+/// whose layout changes across versions) and before the state-changing
+/// control frames (kLoadVersion/kPromote/kRollback/kRolloutStatus):
+/// servers drop un-handshaken ones with a ProtocolError, so
+/// mixed-version fleets fail fast instead of mis-decoding.
+/// Version-stable frames (kStatsRequest, kHealthProbe) are accepted
+/// without a handshake.
+constexpr uint16_t kProtocolVersion = 5;
 
 /// Hard cap on one frame's payload (length prefix included in checks).
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
@@ -89,6 +120,11 @@ enum class MsgType : uint8_t {
   kHealthProbe = 7,
   kHealthAck = 8,
   kForwardInfer = 9,
+  kLoadVersion = 10,
+  kPromote = 11,
+  kRollback = 12,
+  kRolloutStatus = 13,
+  kRolloutReply = 14,
 };
 
 enum class PeerRole : uint8_t { kClient = 0, kRouter = 1 };
@@ -125,6 +161,18 @@ struct HelloAck {
   bool accepted = false;
 };
 
+/// One (base model, active version) label in a kHealthAck. An empty
+/// version means the base has no explicit version (pre-lifecycle
+/// registration).
+struct ModelVersionLabel {
+  std::string model;
+  std::string version;
+
+  bool operator==(const ModelVersionLabel& other) const {
+    return model == other.model && version == other.version;
+  }
+};
+
 /// kHealthProbe / kHealthAck bodies (router liveness + load probes).
 struct HealthProbe {
   uint64_t nonce = 0;
@@ -133,12 +181,46 @@ struct HealthAck {
   uint64_t nonce = 0;
   bool healthy = false;
   uint32_t queue_depth = 0;  // total queued requests across models
+  /// Per-base active-version labels (v5); empty when the peer predates
+  /// them or serves no versioned models.
+  std::vector<ModelVersionLabel> versions;
 };
 
 /// kForwardInfer body: the router->backend spelling of an infer.
 struct ForwardedInfer {
   uint64_t route_hash = 0;  // ring position the router chose
   InferRequest request;
+};
+
+/// kLoadVersion body: hot-load a versioned model into a running server.
+/// `state` is a whole nn::save_state checkpoint image (validated
+/// server-side); empty means fresh deterministic init from init_seed.
+/// `backend_kind` is the registry spelling ("fp32" | "quant" | "snc") —
+/// kept a string on the wire so the protocol stays decoupled from the
+/// registry enum; the server validates it at apply time.
+struct LoadVersionRequest {
+  std::string name;          // versioned name, e.g. "lenet-mini@v2"
+  std::string architecture;  // model-zoo architecture
+  std::string backend_kind;  // "fp32" | "quant" | "snc"
+  uint8_t bits = 4;
+  uint64_t init_seed = 1;
+  std::vector<uint8_t> state;
+};
+
+/// kPromote / kRollback / kRolloutStatus bodies. `reason` is only
+/// carried by kRollback (the operator's audit note); kRolloutStatus with
+/// an empty name reports every rollout.
+struct RolloutCommand {
+  std::string name;  // versioned name or base, per command semantics
+  std::string reason;
+};
+
+/// kRolloutReply body: the shared answer to every control frame. ok=0
+/// carries the structured failure reason and means server state was left
+/// untouched.
+struct RolloutReply {
+  bool ok = false;
+  std::string message;
 };
 
 std::vector<uint8_t> encode_infer_request(const InferRequest& request);
@@ -150,6 +232,11 @@ std::vector<uint8_t> encode_hello_ack(const HelloAck& ack);
 std::vector<uint8_t> encode_health_probe(const HealthProbe& probe);
 std::vector<uint8_t> encode_health_ack(const HealthAck& ack);
 std::vector<uint8_t> encode_forward_infer(const ForwardedInfer& forward);
+std::vector<uint8_t> encode_load_version(const LoadVersionRequest& request);
+std::vector<uint8_t> encode_promote(const RolloutCommand& command);
+std::vector<uint8_t> encode_rollback(const RolloutCommand& command);
+std::vector<uint8_t> encode_rollout_status(const RolloutCommand& command);
+std::vector<uint8_t> encode_rollout_reply(const RolloutReply& reply);
 
 InferRequest decode_infer_request(const std::vector<uint8_t>& body);
 InferResponse decode_infer_response(const std::vector<uint8_t>& body);
@@ -159,6 +246,11 @@ HelloAck decode_hello_ack(const std::vector<uint8_t>& body);
 HealthProbe decode_health_probe(const std::vector<uint8_t>& body);
 HealthAck decode_health_ack(const std::vector<uint8_t>& body);
 ForwardedInfer decode_forward_infer(const std::vector<uint8_t>& body);
+LoadVersionRequest decode_load_version(const std::vector<uint8_t>& body);
+RolloutCommand decode_promote(const std::vector<uint8_t>& body);
+RolloutCommand decode_rollback(const std::vector<uint8_t>& body);
+RolloutCommand decode_rollout_status(const std::vector<uint8_t>& body);
+RolloutReply decode_rollout_reply(const std::vector<uint8_t>& body);
 
 /// Incremental frame splitter over a byte stream.
 class FrameReader {

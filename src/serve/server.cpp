@@ -16,50 +16,99 @@ namespace qsnc::serve {
 // ServeCore
 // ---------------------------------------------------------------------------
 
-ServeCore::ServeCore(const ModelRegistry& registry,
-                     const BatchOptions& options)
-    : registry_(registry) {
+namespace {
+
+std::future<Response> error_future(const std::string& message) {
+  std::promise<Response> promise;
+  Response r;
+  r.status = Status::kError;
+  r.error = message;
+  promise.set_value(std::move(r));
+  return promise.get_future();
+}
+
+}  // namespace
+
+ServeCore::ServeCore(ModelRegistry& registry, const BatchOptions& options,
+                     const RolloutOptions& rollout_options)
+    : registry_(registry), batch_options_(options) {
   for (const std::string& name : registry.names()) {
-    auto lanes = std::make_unique<ModelLanes>();
-    const size_t shards = registry.num_shards(name);
-    for (size_t shard = 0; shard < shards; ++shard) {
-      lanes->lanes.push_back(std::make_unique<MicroBatcher>(
-          registry.backend(name, shard), options));
-    }
-    models_[name] = std::move(lanes);
+    add_model_locked(name);
   }
+  rollout_ = std::make_unique<RolloutController>(*this, rollout_options);
 }
 
 ServeCore::~ServeCore() { drain(); }
+
+void ServeCore::add_model_locked(const std::string& key) {
+  if (models_.count(key) != 0) return;
+  auto lanes = std::make_unique<ModelLanes>();
+  const size_t shards = registry_.num_shards(key);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    lanes->lanes.push_back(std::make_unique<MicroBatcher>(
+        registry_.backend(key, shard), batch_options_));
+  }
+  models_[key] = std::move(lanes);
+}
+
+void ServeCore::add_model(const std::string& key) {
+  std::unique_lock<std::shared_mutex> lock(models_mu_);
+  add_model_locked(key);
+}
+
+ServeCore::ModelLanes* ServeCore::find_lanes(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(models_mu_);
+  const auto it = models_.find(key);
+  // ModelLanes objects are heap-held and never erased, so the pointer
+  // stays valid after the lock drops; the map shape alone is guarded.
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::future<Response> ServeCore::submit_to(const std::string& key,
+                                           nn::Tensor image,
+                                           uint64_t deadline_us,
+                                           Priority priority) {
+  ModelLanes* lanes = find_lanes(key);
+  if (lanes == nullptr) {
+    return error_future("unknown model '" + key + "'");
+  }
+  size_t pick = 0;
+  if (lanes->lanes.size() > 1) {
+    // Power-of-two-choices: compare the round-robin candidate against its
+    // successor, take the shorter queue (tie -> the candidate). Fully
+    // deterministic given the submission order, and enough to keep one
+    // slow lane from accumulating the whole backlog.
+    const size_t n = lanes->lanes.size();
+    const size_t a = lanes->rr.fetch_add(1, std::memory_order_relaxed) % n;
+    const size_t b = (a + 1) % n;
+    pick = lanes->lanes[b]->queue_depth() < lanes->lanes[a]->queue_depth()
+               ? b
+               : a;
+  }
+  return lanes->lanes[pick]->submit(std::move(image), deadline_us, priority);
+}
 
 std::future<Response> ServeCore::infer_async(const std::string& model,
                                              nn::Tensor image,
                                              uint64_t deadline_us,
                                              Priority priority) {
-  const auto it = models_.find(model);
-  if (it == models_.end()) {
-    std::promise<Response> promise;
-    Response r;
-    r.status = Status::kError;
-    r.error = "unknown model '" + model + "'";
-    promise.set_value(std::move(r));
-    return promise.get_future();
+  const std::string key = registry_.resolve(model);
+  if (key.empty()) {
+    return error_future("unknown model '" + model + "'");
   }
-  ModelLanes& lanes = *it->second;
-  size_t pick = 0;
-  if (lanes.lanes.size() > 1) {
-    // Power-of-two-choices: compare the round-robin candidate against its
-    // successor, take the shorter queue (tie -> the candidate). Fully
-    // deterministic given the submission order, and enough to keep one
-    // slow lane from accumulating the whole backlog.
-    const size_t n = lanes.lanes.size();
-    const size_t a = lanes.rr.fetch_add(1, std::memory_order_relaxed) % n;
-    const size_t b = (a + 1) % n;
-    pick = lanes.lanes[b]->queue_depth() < lanes.lanes[a]->queue_depth()
-               ? b
-               : a;
+  // A quarantined (rolled-back) version refuses explicitly-pinned
+  // requests; bare names never resolve here because the active pointer
+  // moved off it at rollback time.
+  if (registry_.state(key) == VersionState::kQuarantined) {
+    return error_future("model version '" + key +
+                        "' is quarantined (rolled back)");
   }
-  return lanes.lanes[pick]->submit(std::move(image), deadline_us, priority);
+  if (rollout_ != nullptr) {
+    auto shadowed =
+        rollout_->maybe_shadow(key, image, deadline_us, priority);
+    if (shadowed.has_value()) return std::move(*shadowed);
+  }
+  return submit_to(key, std::move(image), deadline_us, priority);
 }
 
 Response ServeCore::infer(const std::string& model, nn::Tensor image,
@@ -67,7 +116,54 @@ Response ServeCore::infer(const std::string& model, nn::Tensor image,
   return infer_async(model, std::move(image), deadline_us, priority).get();
 }
 
+RolloutReply ServeCore::load_version(const LoadVersionRequest& request) {
+  const auto [base, version] = split_versioned_name(request.name);
+  (void)version;
+  const std::string active = registry_.active_key(base);
+  try {
+    // Inherit the blue config where the request doesn't override: a
+    // hot-load of "lenet@v2" keeps v1's shards and snc deployment knobs
+    // unless the operator says otherwise.
+    ModelConfig config =
+        active.empty() ? ModelConfig{} : registry_.config(active);
+    config.state_path.clear();
+    if (!request.architecture.empty()) {
+      config.architecture = request.architecture;
+    }
+    if (!request.backend_kind.empty()) {
+      config.backend = parse_backend_kind(request.backend_kind);
+    }
+    if (request.bits > 0) config.bits = request.bits;
+    config.init_seed = request.init_seed;
+    if (request.state.empty()) {
+      registry_.add(request.name, config);
+    } else {
+      registry_.add_from_bytes(request.name, config, request.state);
+    }
+  } catch (const std::exception& e) {
+    return {false, std::string("load: ") + e.what()};
+  }
+  add_model(request.name);
+  if (active.empty()) {
+    // First version of a new base: it registered active, no rollout.
+    return {true, "load: registered " + request.name +
+                      " (new base, now active)"};
+  }
+  const RolloutReply begun = rollout_->begin(request.name);
+  if (!begun.ok) {
+    // The load itself succeeded — the version sits registered standby,
+    // reachable by its explicit name — but no rollout started.
+    return {true, "load: registered " + request.name +
+                      " standby; rollout not started: " + begun.message};
+  }
+  return {true, "load: registered " + request.name + "; " + begun.message};
+}
+
 void ServeCore::drain() {
+  // Comparator first: it stops enqueueing green work and flushes its
+  // queued client promises (each resolves once the lanes drain below).
+  if (rollout_ != nullptr) rollout_->drain();
+  std::shared_lock<std::shared_mutex> lock(models_mu_);
   for (auto& [name, lanes] : models_) {
     (void)name;
     for (auto& lane : lanes->lanes) lane->drain();
@@ -75,26 +171,27 @@ void ServeCore::drain() {
 }
 
 MicroBatcher& ServeCore::batcher(const std::string& model, size_t lane) {
-  const auto it = models_.find(model);
-  if (it == models_.end()) {
+  ModelLanes* lanes = find_lanes(model);
+  if (lanes == nullptr) {
     throw std::invalid_argument("ServeCore: unknown model '" + model + "'");
   }
-  if (lane >= it->second->lanes.size()) {
+  if (lane >= lanes->lanes.size()) {
     throw std::invalid_argument("ServeCore: model '" + model +
                                 "' has no lane " + std::to_string(lane));
   }
-  return *it->second->lanes[lane];
+  return *lanes->lanes[lane];
 }
 
 size_t ServeCore::num_lanes(const std::string& model) const {
-  const auto it = models_.find(model);
-  if (it == models_.end()) {
+  ModelLanes* lanes = find_lanes(model);
+  if (lanes == nullptr) {
     throw std::invalid_argument("ServeCore: unknown model '" + model + "'");
   }
-  return it->second->lanes.size();
+  return lanes->lanes.size();
 }
 
 size_t ServeCore::total_queue_depth() const {
+  std::shared_lock<std::shared_mutex> lock(models_mu_);
   size_t total = 0;
   for (const auto& [name, lanes] : models_) {
     (void)name;
@@ -104,6 +201,7 @@ size_t ServeCore::total_queue_depth() const {
 }
 
 std::vector<ModelStatsSnapshot> ServeCore::stats() const {
+  std::shared_lock<std::shared_mutex> lock(models_mu_);
   std::vector<ModelStatsSnapshot> out;
   for (const auto& [name, lanes] : models_) {
     const bool sharded = lanes->lanes.size() > 1;
@@ -120,16 +218,23 @@ std::string ServeCore::stats_report() const {
   std::string out = render_stats(stats());
   // Backend activity appendices (e.g. per-stage spike/sparsity counters
   // from the snc spiking engine), one per shard when sharded.
-  for (const auto& [name, lanes] : models_) {
-    const bool sharded = lanes->lanes.size() > 1;
-    for (size_t i = 0; i < lanes->lanes.size(); ++i) {
-      const std::string activity =
-          registry_.backend(name, i).activity_report();
-      if (activity.empty()) continue;
-      const std::string label =
-          sharded ? name + "#" + std::to_string(i) : name;
-      out += "\n" + label + " activity:\n" + activity;
+  {
+    std::shared_lock<std::shared_mutex> lock(models_mu_);
+    for (const auto& [name, lanes] : models_) {
+      const bool sharded = lanes->lanes.size() > 1;
+      for (size_t i = 0; i < lanes->lanes.size(); ++i) {
+        const std::string activity =
+            registry_.backend(name, i).activity_report();
+        if (activity.empty()) continue;
+        const std::string label =
+            sharded ? name + "#" + std::to_string(i) : name;
+        out += "\n" + label + " activity:\n" + activity;
+      }
     }
+  }
+  if (rollout_ != nullptr) {
+    const std::string rollout_text = rollout_->status_text();
+    if (!rollout_text.empty()) out += "\n" + rollout_text;
   }
   return out;
 }
@@ -175,7 +280,34 @@ bool ServeFrameHandler::handle(const Frame& frame, FrameSink& sink) {
       ack.nonce = probe.nonce;
       ack.healthy = true;
       ack.queue_depth = static_cast<uint32_t>(core_.total_queue_depth());
+      ack.versions = core_.registry().active_versions();
       return sink.send(encode_health_ack(ack));
+    }
+    case MsgType::kLoadVersion: {
+      const LoadVersionRequest request = decode_load_version(frame.body);
+      return sink.send(encode_rollout_reply(core_.load_version(request)));
+    }
+    case MsgType::kPromote: {
+      const RolloutCommand command = decode_promote(frame.body);
+      return sink.send(
+          encode_rollout_reply(core_.rollout().promote(command.name)));
+    }
+    case MsgType::kRollback: {
+      const RolloutCommand command = decode_rollback(frame.body);
+      return sink.send(encode_rollout_reply(
+          core_.rollout().rollback(command.name, command.reason)));
+    }
+    case MsgType::kRolloutStatus: {
+      const RolloutCommand command = decode_rollout_status(frame.body);
+      RolloutReply reply;
+      reply.ok = true;
+      reply.message = core_.rollout().status_text(command.name);
+      if (reply.message.empty()) {
+        reply.message = command.name.empty()
+                            ? "no rollout in progress"
+                            : "no rollout for '" + command.name + "'";
+      }
+      return sink.send(encode_rollout_reply(reply));
     }
     default:
       throw ProtocolError("unexpected message type");
@@ -364,8 +496,10 @@ void SocketServer::handle_connection(Connection* connection) {
   // Infer frames carry the version-sensitive request layout, so they are
   // only accepted after this connection's kHello was accepted: a
   // mixed-version peer fails fast (connection drop) instead of
-  // mis-decoding a v4 body with a v3 layout. Version-stable frames
-  // (stats, health probes) stay reachable without a handshake.
+  // mis-decoding a v4 body with a v3 layout. The model-lifecycle control
+  // frames change server state, so they are gated the same way.
+  // Version-stable frames (stats, health probes) stay reachable without
+  // a handshake.
   bool handshaken = false;
   try {
     for (;;) {
@@ -413,6 +547,11 @@ void SocketServer::handle_connection(Connection* connection) {
           } else if (frame->type == MsgType::kInferRequest ||
                      frame->type == MsgType::kForwardInfer) {
             throw ProtocolError("infer frame before kHello handshake");
+          } else if (frame->type == MsgType::kLoadVersion ||
+                     frame->type == MsgType::kPromote ||
+                     frame->type == MsgType::kRollback ||
+                     frame->type == MsgType::kRolloutStatus) {
+            throw ProtocolError("control frame before kHello handshake");
           }
         }
         if (!handler_.handle(*frame, sink)) {
@@ -576,6 +715,44 @@ std::string SocketClient::stats() {
   return frame.type == MsgType::kStatsResponse
              ? decode_stats_response(frame.body)
              : throw std::runtime_error("unexpected response type");
+}
+
+RolloutReply SocketClient::control_roundtrip(
+    const std::vector<uint8_t>& bytes) {
+  // Control frames are handshake-gated server-side, exactly like infers.
+  if (!handshaken_ && !handshake()) {
+    throw std::runtime_error("server refused protocol version " +
+                             std::to_string(kProtocolVersion));
+  }
+  const Frame frame = roundtrip(bytes);
+  if (frame.type != MsgType::kRolloutReply) {
+    throw std::runtime_error("unexpected response type");
+  }
+  return decode_rollout_reply(frame.body);
+}
+
+RolloutReply SocketClient::load_version(const LoadVersionRequest& request) {
+  return control_roundtrip(encode_load_version(request));
+}
+
+RolloutReply SocketClient::promote(const std::string& name) {
+  RolloutCommand command;
+  command.name = name;
+  return control_roundtrip(encode_promote(command));
+}
+
+RolloutReply SocketClient::rollback(const std::string& name,
+                                    const std::string& reason) {
+  RolloutCommand command;
+  command.name = name;
+  command.reason = reason;
+  return control_roundtrip(encode_rollback(command));
+}
+
+RolloutReply SocketClient::rollout_status(const std::string& name) {
+  RolloutCommand command;
+  command.name = name;
+  return control_roundtrip(encode_rollout_status(command));
 }
 
 }  // namespace qsnc::serve

@@ -57,6 +57,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +66,7 @@
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
+#include "serve/rollout.h"
 #include "serve/transport.h"
 
 namespace qsnc::serve {
@@ -72,12 +74,18 @@ namespace qsnc::serve {
 class ServeCore {
  public:
   /// Creates one MicroBatcher lane per model shard currently in
-  /// `registry` (register models first). `registry` must outlive the
-  /// core; so must `options.chaos` when set.
-  ServeCore(const ModelRegistry& registry, const BatchOptions& options);
+  /// `registry` (register models first; hot-loaded versions join via
+  /// load_version/add_model). `registry` must outlive the core; so must
+  /// `options.chaos` when set. `rollout_options` tunes the blue/green
+  /// controller behind load_version (see serve/rollout.h).
+  ServeCore(ModelRegistry& registry, const BatchOptions& options,
+            const RolloutOptions& rollout_options = {});
   ~ServeCore();  // drains
 
-  /// Never blocks; unknown models resolve immediately with kError.
+  /// Never blocks; unknown models resolve immediately with kError, as do
+  /// explicit requests for a quarantined version. Bare names serve the
+  /// base's active version (resolved per request, so a promote flips new
+  /// traffic while admitted requests finish on their version).
   /// `deadline_us` > 0 is a per-request latency budget (see
   /// MicroBatcher::submit); 0 means no deadline. `priority` orders both
   /// service and overload shedding (serve/admission.h). Sharded models
@@ -90,10 +98,31 @@ class ServeCore {
                  uint64_t deadline_us = 0,
                  Priority priority = Priority::kInteractive);
 
-  /// Stops admission and completes all accepted requests. Idempotent.
+  /// Direct-to-version submission: `key` must be a registered registry
+  /// key; no resolve, no shadow hook (this is what the rollout controller
+  /// itself uses to reach blue and green).
+  std::future<Response> submit_to(const std::string& key, nn::Tensor image,
+                                  uint64_t deadline_us, Priority priority);
+
+  /// Builds batcher lanes for a version registered after construction
+  /// (the hot-load path). Idempotent for keys that already have lanes.
+  void add_model(const std::string& key);
+
+  /// The whole kLoadVersion apply step: registers the version from its
+  /// in-memory checkpoint (validated; a corrupt image fails structurally
+  /// with the registry untouched), builds its lanes, then either
+  /// activates it (first version of a new base) or starts a shadow
+  /// rollout against the base's active version.
+  RolloutReply load_version(const LoadVersionRequest& request);
+
+  /// Stops admission and completes all accepted requests (rollout
+  /// comparator first, then every lane). Idempotent.
   void drain();
 
   const ModelRegistry& registry() const { return registry_; }
+  ModelRegistry& registry() { return registry_; }
+  RolloutController& rollout() { return *rollout_; }
+
   /// Lane accessors; the single-argument form is lane 0 (compatible with
   /// the pre-shard API).
   MicroBatcher& batcher(const std::string& model) {
@@ -115,8 +144,16 @@ class ServeCore {
     std::atomic<uint64_t> rr{0};  // power-of-two-choices cursor
   };
 
-  const ModelRegistry& registry_;
+  void add_model_locked(const std::string& key);  // callers hold models_mu_
+  ModelLanes* find_lanes(const std::string& key) const;
+
+  ModelRegistry& registry_;
+  BatchOptions batch_options_;
+  /// Guards the models_ map shape (hot-loads add entries); lane pointers
+  /// are stable once inserted, so the submit path only holds this shared.
+  mutable std::shared_mutex models_mu_;
   std::map<std::string, std::unique_ptr<ModelLanes>> models_;
+  std::unique_ptr<RolloutController> rollout_;
 };
 
 /// In-process client used by tests and the load generator.
@@ -165,8 +202,12 @@ class FrameHandler {
 
 /// The serving-node handler: kInferRequest / kForwardInfer execute
 /// against the core, kStatsRequest renders the stats table, kHello
-/// negotiates the protocol version, kHealthProbe reports liveness and
-/// total queue depth.
+/// negotiates the protocol version, kHealthProbe reports liveness,
+/// total queue depth, and per-base active-version labels. The v5
+/// control frames (kLoadVersion / kPromote / kRollback /
+/// kRolloutStatus) drive the model lifecycle and always answer with a
+/// kRolloutReply — ok=0 carries the structured failure and means core
+/// state was untouched.
 class ServeFrameHandler : public FrameHandler {
  public:
   explicit ServeFrameHandler(ServeCore& core) : core_(core) {}
@@ -299,8 +340,21 @@ class SocketClient {
   /// Server-rendered stats table.
   std::string stats();
 
+  /// Model-lifecycle control requests (protocol v5). Each performs the
+  /// kHello handshake first if needed, and returns the server's
+  /// kRolloutReply verbatim — ok=false carries the structured failure
+  /// reason (corrupt checkpoint, unknown version, bad transition) and
+  /// means server state was left untouched. Throws std::runtime_error
+  /// only on transport failures.
+  RolloutReply load_version(const LoadVersionRequest& request);
+  RolloutReply promote(const std::string& name);
+  RolloutReply rollback(const std::string& name,
+                        const std::string& reason = std::string());
+  RolloutReply rollout_status(const std::string& name = std::string());
+
  private:
   Frame roundtrip(const std::vector<uint8_t>& frame);
+  RolloutReply control_roundtrip(const std::vector<uint8_t>& bytes);
 
   int fd_ = -1;
   uint64_t next_id_ = 1;

@@ -6,6 +6,7 @@
 // job runs this same binary to promote "no crash" to "no UB".
 #include <gtest/gtest.h>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "serve/protocol.h"
+#include "serve/server.h"
 #include "serve/transport.h"
 
 namespace qsnc::serve {
@@ -97,6 +99,26 @@ ForwardedInfer valid_forward() {
   return forward;
 }
 
+LoadVersionRequest valid_load() {
+  LoadVersionRequest load;
+  load.name = "lenet-mini@v2";
+  load.architecture = "lenet-mini";
+  load.backend_kind = "fp32";
+  load.bits = 4;
+  load.init_seed = 99;
+  load.state = {1, 2, 3, 4, 5, 6, 7, 8};
+  return load;
+}
+
+HealthAck valid_versioned_ack() {
+  HealthAck ack;
+  ack.nonce = 4242;
+  ack.healthy = true;
+  ack.queue_depth = 3;
+  ack.versions = {{"lenet-mini", "v2"}, {"alexnet-mini", ""}};
+  return ack;
+}
+
 /// Dispatches a decoded frame to its body decoder, mirroring what the
 /// serving and router handlers do (unknown types drop the connection).
 void decode_by_type(const Frame& frame) {
@@ -124,6 +146,21 @@ void decode_by_type(const Frame& frame) {
       break;
     case MsgType::kForwardInfer:
       (void)decode_forward_infer(frame.body);
+      break;
+    case MsgType::kLoadVersion:
+      (void)decode_load_version(frame.body);
+      break;
+    case MsgType::kPromote:
+      (void)decode_promote(frame.body);
+      break;
+    case MsgType::kRollback:
+      (void)decode_rollback(frame.body);
+      break;
+    case MsgType::kRolloutStatus:
+      (void)decode_rollout_status(frame.body);
+      break;
+    case MsgType::kRolloutReply:
+      (void)decode_rollout_reply(frame.body);
       break;
     default:
       break;
@@ -153,6 +190,16 @@ TEST(ProtocolFuzzTest, RandomBodiesNeverEscapeTheDecoders) {
                         "decode_health_ack");
     only_protocol_error([&] { (void)decode_forward_infer(body); },
                         "decode_forward_infer");
+    only_protocol_error([&] { (void)decode_load_version(body); },
+                        "decode_load_version");
+    only_protocol_error([&] { (void)decode_promote(body); },
+                        "decode_promote");
+    only_protocol_error([&] { (void)decode_rollback(body); },
+                        "decode_rollback");
+    only_protocol_error([&] { (void)decode_rollout_status(body); },
+                        "decode_rollout_status");
+    only_protocol_error([&] { (void)decode_rollout_reply(body); },
+                        "decode_rollout_reply");
   }
   // Pure noise parsing as a full InferRequest would be suspicious.
   EXPECT_EQ(decoded_ok, 0);
@@ -200,12 +247,21 @@ TEST(ProtocolFuzzTest, EveryTruncationOfAValidBodyIsAProtocolError) {
   const std::vector<uint8_t> aframe = encode_health_ack(ack);
   const std::vector<uint8_t> abody(aframe.begin() + 5, aframe.end());
   for (size_t cut = 0; cut < abody.size(); ++cut) {
+    // Cutting exactly before the v5 version list is legal: a v4-style
+    // ack without the trailing list decodes as an empty list.
+    if (cut == 8 + 1 + 4) continue;
     const std::vector<uint8_t> truncated(
         abody.begin(), abody.begin() + static_cast<ptrdiff_t>(cut));
     EXPECT_THROW((void)decode_health_ack(truncated), ProtocolError)
         << "cut at " << cut;
   }
   EXPECT_EQ(decode_health_ack(abody).queue_depth, 9u);
+  {
+    const std::vector<uint8_t> v4_style(abody.begin(), abody.begin() + 13);
+    const HealthAck compat = decode_health_ack(v4_style);
+    EXPECT_EQ(compat.queue_depth, 9u);
+    EXPECT_TRUE(compat.versions.empty());
+  }
 
   const std::vector<uint8_t> hframe = encode_hello(Hello{});
   const std::vector<uint8_t> hbody(hframe.begin() + 5, hframe.end());
@@ -228,6 +284,14 @@ TEST(ProtocolFuzzTest, MutatedValidFramesNeverEscape) {
       encode_hello_ack(HelloAck{kProtocolVersion, true}),
       encode_health_probe(HealthProbe{123}),
       encode_health_ack(HealthAck{123, true, 7}),
+      // The v5 model-lifecycle frames (mutations hit the version strings,
+      // the state length, and the checkpoint bytes alike).
+      encode_load_version(valid_load()),
+      encode_promote(RolloutCommand{"lenet-mini@v2", ""}),
+      encode_rollback(RolloutCommand{"lenet-mini@v2", "operator says no"}),
+      encode_rollout_status(RolloutCommand{"", ""}),
+      encode_rollout_reply(RolloutReply{true, "rollout: promoted"}),
+      encode_health_ack(valid_versioned_ack()),
   };
   for (uint64_t i = 0; i < 1000; ++i) {
     FuzzRng rng(0x1000 + i);
@@ -386,6 +450,109 @@ TEST(ProtocolFuzzTest, TcpLoopbackFramingObeysTheSameContract) {
   ::close(client);
   ::close(server);
   ::close(listen_fd);
+}
+
+TEST(ProtocolFuzzTest, EveryTruncationOfAV5FrameIsAProtocolError) {
+  const std::vector<std::vector<uint8_t>> frames = {
+      encode_load_version(valid_load()),
+      encode_promote(RolloutCommand{"lenet-mini@v2", ""}),
+      encode_rollback(RolloutCommand{"lenet-mini@v2", "divergence"}),
+      encode_rollout_status(RolloutCommand{"lenet-mini", ""}),
+      encode_rollout_reply(RolloutReply{false, "load: checksum mismatch"}),
+      encode_health_ack(valid_versioned_ack()),
+  };
+  for (const std::vector<uint8_t>& frame : frames) {
+    const std::vector<uint8_t> body(frame.begin() + 5, frame.end());
+    const MsgType type = static_cast<MsgType>(frame[4]);
+    for (size_t cut = 0; cut < body.size(); ++cut) {
+      const std::vector<uint8_t> truncated(
+          body.begin(), body.begin() + static_cast<ptrdiff_t>(cut));
+      // The health ack's trailing version list is the one legal
+      // truncation point (v4 compat: the list may be absent entirely).
+      if (type == MsgType::kHealthAck && cut == 8 + 1 + 4) continue;
+      Frame f{type, truncated};
+      EXPECT_THROW(decode_by_type(f), ProtocolError)
+          << "type " << static_cast<int>(type) << " cut at " << cut;
+    }
+    Frame whole{type, body};
+    decode_by_type(whole);  // the untruncated body must decode
+  }
+  // Round-trip spot checks on the untruncated bodies.
+  {
+    const std::vector<uint8_t> frame = encode_load_version(valid_load());
+    const std::vector<uint8_t> body(frame.begin() + 5, frame.end());
+    const LoadVersionRequest decoded = decode_load_version(body);
+    EXPECT_EQ(decoded.name, "lenet-mini@v2");
+    EXPECT_EQ(decoded.state, valid_load().state);
+  }
+  {
+    const std::vector<uint8_t> frame =
+        encode_health_ack(valid_versioned_ack());
+    const std::vector<uint8_t> body(frame.begin() + 5, frame.end());
+    EXPECT_EQ(decode_health_ack(body).versions,
+              valid_versioned_ack().versions);
+  }
+}
+
+TEST(ProtocolFuzzTest, MutatedVersionStringsNeverEscapeTheDecoders) {
+  // Concentrated fire on the string fields of the lifecycle frames: every
+  // byte of the name/reason regions xored through all 255 alternatives.
+  const std::vector<uint8_t> lframe = encode_load_version(valid_load());
+  const std::vector<uint8_t> rframe =
+      encode_rollback(RolloutCommand{"lenet-mini@v2", "why"});
+  for (const std::vector<uint8_t>* frame : {&lframe, &rframe}) {
+    for (size_t at = 5; at < frame->size(); ++at) {
+      for (uint64_t x = 1; x < 256; x += 37) {  // sampled, deterministic
+        std::vector<uint8_t> body(frame->begin() + 5, frame->end());
+        body[at - 5] ^= static_cast<uint8_t>(x);
+        const MsgType type = static_cast<MsgType>((*frame)[4]);
+        Frame f{type, body};
+        only_protocol_error([&] { decode_by_type(f); },
+                            "mutated version string");
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, UnhandshakenControlFramesDropTheConnection) {
+  // The handshake gate lives in SocketServer::handle_connection, so a
+  // no-op handler suffices: a control frame before kHello must raise
+  // ProtocolError server-side, observed here as a dropped connection.
+  struct NopHandler : FrameHandler {
+    bool handle(const Frame&, FrameSink&) override { return true; }
+  };
+  NopHandler handler;
+  SocketServer server(handler, parse_endpoint("tcp:127.0.0.1:0"),
+                      SocketServerOptions{});
+  const std::vector<std::vector<uint8_t>> control = {
+      encode_load_version(valid_load()),
+      encode_promote(RolloutCommand{"m@v2", ""}),
+      encode_rollback(RolloutCommand{"m@v2", "r"}),
+      encode_rollout_status(RolloutCommand{"", ""}),
+  };
+  for (const std::vector<uint8_t>& frame : control) {
+    const int fd = connect_to(server.endpoint());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(write_with_deadline(fd, frame, 2000));
+    // The server must close on us without answering.
+    uint8_t byte = 0;
+    pollfd pfd{fd, POLLIN, 0};
+    ASSERT_GT(::poll(&pfd, 1, 5000), 0);
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0) << "expected EOF, got a reply";
+    ::close(fd);
+  }
+  // Control: the same frame after a handshake is accepted (the no-op
+  // handler swallows it; the connection stays open).
+  {
+    const int fd = connect_to(server.endpoint());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(write_with_deadline(fd, encode_hello(Hello{}), 2000));
+    ASSERT_TRUE(write_with_deadline(
+        fd, encode_rollout_status(RolloutCommand{"", ""}), 2000));
+    pollfd pfd{fd, POLLIN, 0};
+    EXPECT_EQ(::poll(&pfd, 1, 300), 0) << "connection unexpectedly closed";
+    ::close(fd);
+  }
 }
 
 TEST(ProtocolFuzzTest, PriorityAndStatusRangeChecks) {

@@ -17,7 +17,8 @@
 //               (stuck-on rate x spare budget sweep: passive vs recovered
 //               accuracy; trains a small model when --state is omitted)
 //   qsnc cost   --model M [--signal-bits M] [--weight-bits N] [--crossbar t]
-//   qsnc serve  --model lenet-mini [--backend fp32|quant|snc] [--state f]
+//   qsnc serve  --model lenet-mini[@v1] [--backend fp32|quant|snc]
+//               [--state f]
 //               [--bits M] [--shards N] [--max-batch B]
 //               [--batch-timeout-us T] [--queue-cap Q]
 //               [--listen unix:/tmp/qsnc-serve.sock|tcp:host:port]
@@ -46,6 +47,27 @@
 //               fan-out for the snc backend — deployments with
 //               --health-per-replica-seeds always fan out, since fault
 //               diversity needs images spread across replica seeds)
+//               [--shadow-fraction F] [--rollout-observe N]
+//               [--max-divergence R] [--rollout-canary-rounds K]
+//               [--rollout-canaries N] [--rollout-canary-interval-ms T]
+//               [--rollout-manual]
+//               (blue/green rollout tuning for hot-loaded versions:
+//               shadow F of live traffic, auto-promote after N agreeing
+//               comparisons + K clean canary rounds, auto-rollback past
+//               divergence R; --rollout-manual observes only and waits
+//               for qsnc rollout promote/rollback)
+//   qsnc rollout <load|promote|rollback|status> [--connect endpoint]
+//               load: --model base@version [--state ckpt.bin]
+//                     [--arch A] [--backend fp32|quant|snc] [--bits M]
+//                     [--seed S]
+//               promote|rollback: [--model name] [--reason text]
+//               status: [--model name]
+//               (model-lifecycle control of a running qsnc serve: load
+//               hot-registers a CRC-checked checkpoint over the socket —
+//               no restart — and starts a blue/green shadow rollout
+//               against the active version; promote/rollback override
+//               the controller's auto decision; exit 0 on ok, 1 with the
+//               server's structured reason on refusal)
 //   qsnc router --backends ep1,ep2,... [--listen tcp:host:port]
 //               [--vnodes V] [--probe-interval-ms T] [--probe-timeout-ms T]
 //               [--probe-down-after K] [--forward-timeout-ms T]
@@ -57,7 +79,8 @@
 //               consistent-hash routing on (model, session), health
 //               probing, automatic reroute around dead backends, and
 //               optional hedged requests for interactive traffic)
-//   qsnc loadgen --model lenet-mini [--connect endpoint] [--requests N]
+//   qsnc loadgen --model lenet-mini[@v2] [--connect endpoint]
+//               [--requests N]
 //               [--concurrency C] [--no-retry] [--deadline-us D]
 //               [--priority interactive|canary|batch|mix]
 //               [--sessions K] [--open-loop --rate R]
@@ -81,6 +104,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -572,7 +597,10 @@ int cmd_cost(const util::Flags& flags) {
 
 serve::ModelConfig serve_model_config(const util::Flags& flags) {
   serve::ModelConfig cfg;
-  cfg.architecture = flags.get("model", "lenet-mini");
+  // --model may be versioned ("lenet-mini@v1"); the architecture is the
+  // base, the full spelling becomes the registry key in cmd_serve.
+  cfg.architecture =
+      serve::base_model_name(flags.get("model", "lenet-mini"));
   cfg.state_path = flags.get("state", "");
   cfg.backend = serve::parse_backend_kind(flags.get("backend", "fp32"));
   cfg.bits = static_cast<int>(flags.get_int("bits", 4));
@@ -629,8 +657,23 @@ serve::BatchOptions serve_batch_options(const util::Flags& flags) {
 }
 
 int cmd_serve(const util::Flags& flags) {
+  const std::string model_name = flags.get("model", "lenet-mini");
   const serve::ModelConfig cfg = serve_model_config(flags);
   serve::BatchOptions opts = serve_batch_options(flags);
+  serve::RolloutOptions rollout;
+  rollout.shadow_fraction =
+      flags.get_double("shadow-fraction", rollout.shadow_fraction);
+  rollout.observe_requests = static_cast<int>(
+      flags.get_int("rollout-observe", rollout.observe_requests));
+  rollout.max_divergence =
+      flags.get_double("max-divergence", rollout.max_divergence);
+  rollout.canary_rounds = static_cast<int>(
+      flags.get_int("rollout-canary-rounds", rollout.canary_rounds));
+  rollout.canary_images = static_cast<int>(
+      flags.get_int("rollout-canaries", rollout.canary_images));
+  rollout.canary_interval_ms = flags.get_int("rollout-canary-interval-ms",
+                                             rollout.canary_interval_ms);
+  rollout.auto_decide = !flags.get_bool("rollout-manual", false);
   // --listen takes any endpoint spelling; --socket is the historical
   // unix-path alias (--listen wins when both are given).
   const std::string socket =
@@ -660,8 +703,8 @@ int cmd_serve(const util::Flags& flags) {
   }
 
   serve::ModelRegistry registry;
-  registry.add(cfg.architecture, cfg);
-  serve::ServeCore core(registry, opts);
+  registry.add(model_name, cfg);
+  serve::ServeCore core(registry, opts, rollout);
   serve::SocketServer server(core, socket, sopts);
   const std::string state_note = cfg.state_path.empty()
                                      ? ", fresh init"
@@ -669,7 +712,7 @@ int cmd_serve(const util::Flags& flags) {
   std::printf("serving %s (%s backend%s) on %s\n"
               "  max-batch %d, batch-timeout %lld us, queue-cap %d; "
               "Ctrl-C drains and exits\n",
-              cfg.architecture.c_str(),
+              model_name.c_str(),
               serve::backend_kind_name(cfg.backend), state_note.c_str(),
               server.socket_path().c_str(), opts.max_batch,
               static_cast<long long>(opts.batch_timeout_us),
@@ -801,7 +844,11 @@ int cmd_loadgen(const util::Flags& flags) {
     return serve::Priority::kCanary;
   };
 
-  const nn::Shape chw = serve::architecture_input_shape(model);
+  // A versioned target ("lenet-mini@v2") shapes its images off the base
+  // architecture; the versioned spelling travels to the server, which
+  // pins that exact registry entry.
+  const nn::Shape chw =
+      serve::architecture_input_shape(serve::base_model_name(model));
 
   struct ClassResult {
     int64_t sent = 0, ok = 0, retries = 0, shed = 0, dropped = 0,
@@ -963,6 +1010,71 @@ int cmd_loadgen(const util::Flags& flags) {
   return !open_loop && total.dropped > 0 ? 1 : 0;
 }
 
+std::vector<uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("read failed on '" + path + "'");
+  }
+  return bytes;
+}
+
+int cmd_rollout(const util::Flags& flags) {
+  if (flags.positional().size() < 2) {
+    throw std::invalid_argument(
+        "rollout needs a verb: load|promote|rollback|status");
+  }
+  const std::string verb = flags.positional()[1];
+  const std::string socket =
+      flags.get("connect", flags.get("socket", "/tmp/qsnc-serve.sock"));
+  const std::string model = flags.get("model", "");
+  serve::RolloutReply reply;
+  if (verb == "load") {
+    if (model.empty()) {
+      throw std::invalid_argument(
+          "rollout load needs --model base@version");
+    }
+    serve::LoadVersionRequest request;
+    request.name = model;
+    request.architecture = flags.get("arch", "");
+    request.backend_kind = flags.get("backend", "");
+    request.bits = static_cast<uint8_t>(flags.get_int("bits", 0));
+    request.init_seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    const std::string state_path = flags.get("state", "");
+    if (!state_path.empty()) {
+      request.state = read_file_bytes(state_path);
+    }
+    check_unused(flags);
+    serve::SocketClient client(socket);
+    reply = client.load_version(request);
+  } else if (verb == "promote") {
+    check_unused(flags);
+    serve::SocketClient client(socket);
+    reply = client.promote(model);
+  } else if (verb == "rollback") {
+    const std::string reason = flags.get("reason", "");
+    check_unused(flags);
+    serve::SocketClient client(socket);
+    reply = client.rollback(model, reason);
+  } else if (verb == "status") {
+    check_unused(flags);
+    serve::SocketClient client(socket);
+    reply = client.rollout_status(model);
+  } else {
+    throw std::invalid_argument("unknown rollout verb '" + verb +
+                                "' (load|promote|rollback|status)");
+  }
+  std::printf("%s%s%s", reply.ok ? "" : "refused: ",
+              reply.message.c_str(),
+              reply.message.empty() || reply.message.back() == '\n' ? ""
+                                                                    : "\n");
+  return reply.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -973,15 +1085,15 @@ int main(int argc, char** argv) {
         argc, argv, {"nc", "no-retry", "open-loop", "dense-reference",
                      "snc-dense-reference", "write-verify",
                      "snc-write-verify", "health",
-                     "health-per-replica-seeds"});
+                     "health-per-replica-seeds", "rollout-manual"});
     const int64_t threads = flags.get_int("threads", 0);
     if (threads > 0) util::set_num_threads(static_cast<int>(threads));
     if (flags.positional().empty()) {
       std::fprintf(
           stderr,
           "usage: qsnc "
-          "<train|quantize|eval|deploy|faultsim|cost|serve|router|loadgen> "
-          "[flags]\n"
+          "<train|quantize|eval|deploy|faultsim|cost|serve|router|rollout|"
+          "loadgen> [flags]\n"
           "see the header of tools/qsnc.cpp for details\n");
       return 2;
     }
@@ -994,6 +1106,7 @@ int main(int argc, char** argv) {
     if (cmd == "cost") return cmd_cost(flags);
     if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "router") return cmd_router(flags);
+    if (cmd == "rollout") return cmd_rollout(flags);
     if (cmd == "loadgen") return cmd_loadgen(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
