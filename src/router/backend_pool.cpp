@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace qsnc::router {
@@ -116,6 +117,35 @@ void BackendPool::record_failure(size_t i, int64_t now_us) {
   b.breaker.on_failure(now_us);
 }
 
+bool BackendPool::take_retry_token(size_t i, int64_t now_us,
+                                   int64_t* retry_after_us) {
+  const double rate = options_.retry_tokens_per_sec;
+  if (rate <= 0.0) return true;  // budget off
+  Backend& b = backend(i);
+  std::lock_guard<std::mutex> lock(b.retry_mu);
+  if (b.retry_refill_us < 0) {
+    // First touch: start with a full bucket so a cold router is not
+    // stingier than a warm one.
+    b.retry_tokens = options_.retry_burst;
+    b.retry_refill_us = now_us;
+  } else if (now_us > b.retry_refill_us) {
+    const double accrued =
+        static_cast<double>(now_us - b.retry_refill_us) * rate / 1e6;
+    b.retry_tokens = std::min(options_.retry_burst, b.retry_tokens + accrued);
+    b.retry_refill_us = now_us;
+  }
+  if (b.retry_tokens >= 1.0) {
+    b.retry_tokens -= 1.0;
+    return true;
+  }
+  b.retry_sheds.fetch_add(1, std::memory_order_relaxed);
+  if (retry_after_us != nullptr) {
+    *retry_after_us =
+        static_cast<int64_t>((1.0 - b.retry_tokens) / rate * 1e6) + 1;
+  }
+  return false;
+}
+
 void BackendPool::record_probe(size_t i, bool ok, uint32_t queue_depth) {
   record_probe(i, ok, queue_depth, {});
 }
@@ -133,7 +163,11 @@ void BackendPool::record_probe(
     b.consecutive_probe_failures.store(0, std::memory_order_relaxed);
     b.last_queue_depth.store(queue_depth, std::memory_order_relaxed);
     if (!b.up.exchange(true, std::memory_order_relaxed)) {
-      // Revived: drop pooled connections from before the outage.
+      // Revived: drop pooled connections from before the outage, and
+      // reset the breaker — a successful probe is positive evidence the
+      // backend serves again, so holding it open for the remainder of
+      // its timer would only fast-fail live traffic.
+      b.breaker.reset();
       std::lock_guard<std::mutex> lock(b.free_mu);
       b.free.clear();
     }
@@ -170,6 +204,7 @@ std::vector<BackendSnapshot> BackendPool::stats() const {
     s.hedges = b->hedges.load(std::memory_order_relaxed);
     s.probes_ok = b->probes_ok.load(std::memory_order_relaxed);
     s.probes_failed = b->probes_failed.load(std::memory_order_relaxed);
+    s.retry_sheds = b->retry_sheds.load(std::memory_order_relaxed);
     s.consecutive_probe_failures =
         b->consecutive_probe_failures.load(std::memory_order_relaxed);
     s.last_queue_depth = b->last_queue_depth.load(std::memory_order_relaxed);

@@ -47,6 +47,7 @@ struct BackendSnapshot {
   uint64_t hedges = 0;          // hedge duplicates sent here
   uint64_t probes_ok = 0;
   uint64_t probes_failed = 0;
+  uint64_t retry_sheds = 0;     // reroutes refused by a dry retry budget
   int consecutive_probe_failures = 0;
   uint32_t last_queue_depth = 0;  // from the latest successful probe
   /// Per-base active-version labels from the latest successful probe
@@ -103,6 +104,15 @@ class BackendPool {
 
   void record_success(size_t i);
   void record_failure(size_t i, int64_t now_us);
+
+  /// Spends one of `i`'s retry-budget tokens (the cost of rerouting a
+  /// request away from it after a failed attempt). True when the budget
+  /// admits the reroute; false when the bucket is dry — the caller sheds
+  /// instead, and `*retry_after_us` (when non-null) is set to the time
+  /// until the next token accrues. Always true when retry_tokens_per_sec
+  /// is 0 (budget off). Thread-safe; time is injected for testability.
+  bool take_retry_token(size_t i, int64_t now_us,
+                        int64_t* retry_after_us = nullptr);
   /// Prober verdict; flips up/down per probe_down_after. The long form
   /// also stores the backend's per-model active-version labels from the
   /// health ack (the short form keeps the last-known labels).
@@ -129,7 +139,11 @@ class BackendPool {
     std::atomic<uint64_t> hedges{0};
     std::atomic<uint64_t> probes_ok{0};
     std::atomic<uint64_t> probes_failed{0};
+    std::atomic<uint64_t> retry_sheds{0};
     std::atomic<uint32_t> last_queue_depth{0};
+    std::mutex retry_mu;
+    double retry_tokens = 0.0;       // filled to burst at construction
+    int64_t retry_refill_us = -1;    // last refill time (-1 = never)
     mutable std::mutex versions_mu;
     std::vector<serve::ModelVersionLabel> versions;
 

@@ -47,6 +47,19 @@ struct RouterOptions {
   int breaker_threshold = 3;
   int64_t breaker_open_ms = 500;
 
+  /// Per-backend retry budget (token bucket): every reroute *away from* a
+  /// failed backend spends one of that backend's tokens, which refill
+  /// continuously at this rate. When a failing backend's bucket is dry
+  /// the request is shed (kShedded + retry_after_us = time to the next
+  /// token) instead of rerouted — bounding the traffic amplification a
+  /// flapping backend can impose on its neighbors to burst + rate extra
+  /// attempts per second. 0 disables the budget (every failure reroutes,
+  /// the historical behavior).
+  double retry_tokens_per_sec = 0.0;
+  /// Bucket capacity: how many reroutes may happen back-to-back before
+  /// the rate limit bites.
+  double retry_burst = 10.0;
+
   /// Endpoint the router itself listens on.
   serve::Endpoint listen;
   /// Slow-client defenses of the router's own front listener.

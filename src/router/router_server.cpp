@@ -63,6 +63,7 @@ bool Router::handle(const Frame& frame, serve::FrameSink& sink) {
 bool Router::handle_infer(serve::InferRequest request,
                           serve::FrameSink& sink) {
   ++requests_;
+  const int64_t arrival_us = now_us();
   // Sticky sessions pin to hash(base model, session); hashing the *base*
   // (not the possibly-versioned spelling) means "lenet" and "lenet@v2"
   // land on the same backend, and a version flip during a rollout never
@@ -79,7 +80,15 @@ bool Router::handle_infer(serve::InferRequest request,
   serve::ForwardedInfer forward;
   forward.route_hash = rh;
   forward.request = std::move(request);
-  const std::vector<uint8_t> wire = serve::encode_forward_infer(forward);
+  // The request's deadline_us is its latency budget from enqueue; the
+  // backend restarts that budget when it enqueues, so the router must
+  // hand over only what is left after its own elapsed time (encoded per
+  // attempt below). Deadline-less requests encode once here.
+  const uint64_t total_deadline_us = forward.request.deadline_us;
+  std::vector<uint8_t> wire;
+  if (total_deadline_us == 0) {
+    wire = serve::encode_forward_infer(forward);
+  }
 
   // Usable candidates first (ring order preserved); the rest still get a
   // last-resort attempt in case the prober's verdict is stale.
@@ -100,15 +109,56 @@ bool Router::handle_infer(serve::InferRequest request,
   serve::InferResponse response;
   for (size_t attempt = 0; attempt < ordered.size(); ++attempt) {
     const size_t target = ordered[attempt];
+    int64_t attempt_timeout_ms = options_.forward_timeout_ms;
+    if (total_deadline_us > 0) {
+      // Cross-hop deadline: decrement the router's own elapsed time from
+      // the budget before forwarding, so hops cannot stack full budgets.
+      // A spent budget answers kDeadlineExceeded instead of burning a
+      // backend slot on an answer the client has given up on.
+      const int64_t elapsed_us = now_us() - arrival_us;
+      const int64_t remaining_us =
+          static_cast<int64_t>(total_deadline_us) - elapsed_us;
+      if (remaining_us <= 0) {
+        ++deadline_exceeded_;
+        response.id = forward.request.id;
+        response.response = serve::Response{};
+        response.response.status = serve::Status::kDeadlineExceeded;
+        response.response.error = "router: deadline exhausted after " +
+                                  std::to_string(elapsed_us) + "us";
+        return sink.send(serve::encode_infer_response(response));
+      }
+      forward.request.deadline_us = static_cast<uint64_t>(remaining_us);
+      wire = serve::encode_forward_infer(forward);
+      attempt_timeout_ms = std::max<int64_t>(
+          1, std::min<int64_t>(attempt_timeout_ms, remaining_us / 1000));
+    }
     // Hedge partner: the next usable candidate after this attempt.
     const int partner =
         hedge && attempt + 1 < usable ? static_cast<int>(ordered[attempt + 1])
                                       : -1;
-    if (forward_attempt(target, partner, forward.request, wire, response)) {
+    if (forward_attempt(target, partner, forward.request, wire,
+                        attempt_timeout_ms, response)) {
       if (attempt > 0) ++rerouted_;
       return sink.send(serve::encode_infer_response(response));
     }
     pool_.note_reroute_away(target);
+    if (attempt + 1 < ordered.size()) {
+      // Moving on costs one of the *failing* backend's retry tokens: a
+      // flapping backend spends its own budget, and when it is dry the
+      // request sheds instead of amplifying load onto its neighbors.
+      int64_t retry_after_us = 0;
+      if (!pool_.take_retry_token(target, now_us(), &retry_after_us)) {
+        ++budget_shed_;
+        response.id = forward.request.id;
+        response.response = serve::Response{};
+        response.response.status = serve::Status::kShedded;
+        response.response.retry_after_us =
+            static_cast<uint64_t>(retry_after_us);
+        response.response.error = "router: retry budget exhausted for " +
+                                  pool_.endpoint(target).str();
+        return sink.send(serve::encode_infer_response(response));
+      }
+    }
   }
 
   // Every backend failed: a structured error beats a hung client.
@@ -123,6 +173,7 @@ bool Router::handle_infer(serve::InferRequest request,
 bool Router::forward_attempt(size_t backend, int hedge_backend,
                              const serve::InferRequest& request,
                              const std::vector<uint8_t>& wire,
+                             int64_t attempt_timeout_ms,
                              serve::InferResponse& response) {
   auto validate = [&](const Frame& frame) -> bool {
     if (frame.type != MsgType::kInferResponse) return false;
@@ -149,17 +200,19 @@ bool Router::forward_attempt(size_t backend, int hedge_backend,
     return false;
   }
   pool_.note_forward(backend);
-  if (!serve::write_with_deadline(conn->fd, wire,
-                                  options_.forward_timeout_ms)) {
+  if (!serve::write_with_deadline(conn->fd, wire, attempt_timeout_ms)) {
     pool_.record_failure(backend, now_us());
     return false;  // conn closed with scope
   }
 
-  // First wait: the full budget without hedging, else the hedge trigger.
+  // First wait: the full budget without hedging, else the hedge trigger
+  // (never beyond the attempt budget).
   const int64_t first_wait_ms =
       hedge_backend < 0
-          ? options_.forward_timeout_ms
-          : std::max<int64_t>(1, options_.hedge_after_us / 1000);
+          ? attempt_timeout_ms
+          : std::max<int64_t>(
+                1, std::min<int64_t>(options_.hedge_after_us / 1000,
+                                     attempt_timeout_ms));
   std::optional<Frame> frame;
   try {
     frame = serve::read_frame_with_deadline(conn->fd, conn->reader,
@@ -191,7 +244,7 @@ bool Router::forward_attempt(size_t backend, int hedge_backend,
     pool_.note_hedge(hb);
     ++hedged_;
     if (!serve::write_with_deadline(hedge_conn->fd, wire,
-                                    options_.forward_timeout_ms)) {
+                                    attempt_timeout_ms)) {
       // The duplicate never reached the hedge backend: charge its breaker
       // and failure counter before falling back to the primary alone.
       pool_.record_failure(hb, now_us());
@@ -202,7 +255,7 @@ bool Router::forward_attempt(size_t backend, int hedge_backend,
     // Could not hedge after all: keep waiting on the primary alone.
     try {
       frame = serve::read_frame_with_deadline(conn->fd, conn->reader,
-                                              options_.forward_timeout_ms);
+                                              attempt_timeout_ms);
     } catch (const serve::ProtocolError&) {
       frame.reset();
     }
@@ -216,7 +269,7 @@ bool Router::forward_attempt(size_t backend, int hedge_backend,
   }
 
   const RaceResult race =
-      race_frames(*conn, *hedge_conn, options_.forward_timeout_ms);
+      race_frames(*conn, *hedge_conn, attempt_timeout_ms);
   if (race.frame && validate(*race.frame)) {
     const size_t winner = race.winner == 0 ? backend : hb;
     if (race.winner == 1) ++hedge_wins_;
@@ -240,16 +293,20 @@ std::string Router::stats_report() const {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "router: %llu requests, %llu rerouted, %llu hedged "
-                "(%llu hedge wins), %llu exhausted\n",
+                "(%llu hedge wins), %llu exhausted, %llu deadline, "
+                "%llu budget-shed\n",
                 static_cast<unsigned long long>(requests_.load()),
                 static_cast<unsigned long long>(rerouted_.load()),
                 static_cast<unsigned long long>(hedged_.load()),
                 static_cast<unsigned long long>(hedge_wins_.load()),
-                static_cast<unsigned long long>(exhausted_.load()));
+                static_cast<unsigned long long>(exhausted_.load()),
+                static_cast<unsigned long long>(deadline_exceeded_.load()),
+                static_cast<unsigned long long>(budget_shed_.load()));
   std::string out = line;
-  std::snprintf(line, sizeof(line), "%-28s %-4s %-8s %8s %6s %6s %6s %7s %7s %6s\n",
+  std::snprintf(line, sizeof(line),
+                "%-28s %-4s %-8s %8s %6s %6s %6s %7s %7s %6s %6s\n",
                 "backend", "up", "breaker", "fwd", "fail", "away",
-                "hedge", "p_ok", "p_fail", "depth");
+                "hedge", "p_ok", "p_fail", "rshed", "depth");
   out += line;
   for (const BackendSnapshot& s : pool_.stats()) {
     const char* breaker =
@@ -258,7 +315,7 @@ std::string Router::stats_report() const {
                                                                : "half";
     std::snprintf(
         line, sizeof(line),
-        "%-28s %-4s %-8s %8llu %6llu %6llu %6llu %7llu %7llu %6u",
+        "%-28s %-4s %-8s %8llu %6llu %6llu %6llu %7llu %7llu %6llu %6u",
         s.endpoint.c_str(), s.up ? "yes" : "NO", breaker,
         static_cast<unsigned long long>(s.forwards),
         static_cast<unsigned long long>(s.failures),
@@ -266,6 +323,7 @@ std::string Router::stats_report() const {
         static_cast<unsigned long long>(s.hedges),
         static_cast<unsigned long long>(s.probes_ok),
         static_cast<unsigned long long>(s.probes_failed),
+        static_cast<unsigned long long>(s.retry_sheds),
         s.last_queue_depth);
     out += line;
     // Active-version labels from the latest health ack, e.g.

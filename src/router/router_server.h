@@ -55,14 +55,22 @@ class Router : public serve::FrameHandler {
   uint64_t hedged() const { return hedged_.load(); }
   uint64_t hedge_wins() const { return hedge_wins_.load(); }
   uint64_t exhausted() const { return exhausted_.load(); }
+  /// Requests answered kDeadlineExceeded because the cross-hop budget
+  /// was spent before (or between) forward attempts.
+  uint64_t deadline_exceeded() const { return deadline_exceeded_.load(); }
+  /// Requests shed because the failing backend's retry budget was dry.
+  uint64_t budget_shed() const { return budget_shed_.load(); }
 
  private:
   bool handle_infer(serve::InferRequest request, serve::FrameSink& sink);
   /// One forward attempt against `backend` (hedging to `hedge_backend`
-  /// when >= 0). Fills `response` and returns true on a valid response.
+  /// when >= 0) under `attempt_timeout_ms` (the forward timeout, already
+  /// clamped to the request's remaining cross-hop deadline). Fills
+  /// `response` and returns true on a valid response.
   bool forward_attempt(size_t backend, int hedge_backend,
                        const serve::InferRequest& request,
                        const std::vector<uint8_t>& wire,
+                       int64_t attempt_timeout_ms,
                        serve::InferResponse& response);
 
   BackendPool& pool_;
@@ -74,6 +82,8 @@ class Router : public serve::FrameHandler {
   std::atomic<uint64_t> hedged_{0};
   std::atomic<uint64_t> hedge_wins_{0};
   std::atomic<uint64_t> exhausted_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> budget_shed_{0};
 };
 
 /// Process-level bundle: backend pool + prober + router + front listener.

@@ -88,6 +88,14 @@ void CircuitBreaker::release_probe() {
   if (state_ == State::kHalfOpen) probe_inflight_ = false;
 }
 
+void CircuitBreaker::reset() {
+  if (threshold_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_inflight_ = false;
+}
+
 CircuitBreaker::State CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;

@@ -107,6 +107,13 @@ class CircuitBreaker {
   /// shed can never wedge the breaker in half-open forever.
   void release_probe();
 
+  /// Returns the breaker to kClosed and forgets the failure history, as
+  /// if freshly constructed. The router calls this when an out-of-band
+  /// health signal (a successful HealthProber probe) revives a backend:
+  /// an open breaker would otherwise keep fast-failing a node that is
+  /// demonstrably serving again until its own timer elapsed.
+  void reset();
+
   State state() const;
 
   /// Microseconds until the next half-open probe (0 when not open) — the

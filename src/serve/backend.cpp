@@ -192,6 +192,11 @@ void SncBackend::run_health_check() {
     if (!recovered) {
       quarantined_[i] = true;
       ++health_counters_.quarantine_events;
+      if (quarantine_hook_) {
+        quarantine_hook_(i, "canary deviation persisted after " +
+                                std::to_string(reprogram_attempts_[i]) +
+                                " reprogram attempt(s)");
+      }
     }
   }
   health_counters_.quarantined = 0;

@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -187,6 +188,15 @@ class SncBackend final : public Backend {
   size_t replica_count() const { return replicas_.size(); }
   ReplicaHealthSnapshot health_snapshot() const;
 
+  /// Invoked (from the batcher thread) whenever a replica is quarantined,
+  /// with the replica index and the structured reason — the serving
+  /// layer's durable state journal hooks here. Install before traffic
+  /// flows; at most one hook.
+  void set_quarantine_hook(
+      std::function<void(size_t, const std::string&)> hook) {
+    quarantine_hook_ = std::move(hook);
+  }
+
   /// Direct replica access for tests (fault injection via advance_time /
   /// set_defect). Do not call while a batch is in flight.
   snc::SncSystem& replica(size_t i) { return *replicas_.at(i); }
@@ -220,6 +230,7 @@ class SncBackend final : public Backend {
   std::vector<int> reprogram_attempts_;
   int batches_since_check_ = 0;
   bool last_degraded_ = false;
+  std::function<void(size_t, const std::string&)> quarantine_hook_;
   std::unique_ptr<QuantBackend> fallback_;
   mutable std::mutex health_mu_;
   ReplicaHealthSnapshot health_counters_;

@@ -140,6 +140,15 @@ uint64_t ChaosInjector::backend_latency_us() {
   return config_.backend_latency_us;
 }
 
+size_t ChaosInjector::journal_torn_len(size_t n) {
+  if (config_.journal_torn_rate <= 0.0 || n < 2 ||
+      draw(kJournalTorn) >= config_.journal_torn_rate) {
+    return 0;
+  }
+  journal_torn_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<size_t>(draw_int(kJournalTorn, n - 1));
+}
+
 bool ChaosInjector::backend_error() {
   if (config_.backend_error_rate <= 0.0 ||
       draw(kBackendError) >= config_.backend_error_rate) {
@@ -158,6 +167,7 @@ ChaosStats ChaosInjector::stats() const {
   s.queue_spikes = queue_spikes_.load(std::memory_order_relaxed);
   s.backend_errors = backend_errors_.load(std::memory_order_relaxed);
   s.backend_latency = backend_latency_.load(std::memory_order_relaxed);
+  s.journal_torn = journal_torn_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -165,12 +175,13 @@ std::string ChaosInjector::report() const {
   const ChaosStats s = stats();
   report::Table t({"read stalls", "torn writes", "write stalls",
                    "disconnects", "queue spikes", "backend errs",
-                   "backend lat"});
+                   "backend lat", "journal torn"});
   t.add_row({std::to_string(s.read_stalls), std::to_string(s.torn_writes),
              std::to_string(s.write_stalls), std::to_string(s.disconnects),
              std::to_string(s.queue_spikes),
              std::to_string(s.backend_errors),
-             std::to_string(s.backend_latency)});
+             std::to_string(s.backend_latency),
+             std::to_string(s.journal_torn)});
   return t.to_string();
 }
 

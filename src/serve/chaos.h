@@ -11,6 +11,9 @@
 //   queue         — latency spikes in the batcher loop before execution.
 //   backend       — injected infer_batch errors (which drive the circuit
 //                   breaker) and latency spikes.
+//   journal       — crash-during-append: a state-journal record is cut
+//                   mid-write (partial CRC / partial body), emulating a
+//                   process dying while holding a half-written record.
 //
 // Each site draws from its own counter-mode stream
 // splitmix64(stream_seed(seed, site) ^ counter++), so the decision
@@ -45,12 +48,14 @@ struct ChaosConfig {
   double backend_error_rate = 0.0;   ///< P(infer_batch fails, injected)
   double backend_latency_rate = 0.0; ///< P(extra latency before the call)
   uint64_t backend_latency_us = 5000;
+  // Journal.
+  double journal_torn_rate = 0.0;  ///< P(crash mid-append: torn record)
 
   bool any_enabled() const {
     return read_stall_rate > 0 || write_torn_rate > 0 ||
            write_stall_rate > 0 || disconnect_rate > 0 ||
            queue_spike_rate > 0 || backend_error_rate > 0 ||
-           backend_latency_rate > 0;
+           backend_latency_rate > 0 || journal_torn_rate > 0;
   }
 };
 
@@ -72,6 +77,7 @@ struct ChaosStats {
   uint64_t queue_spikes = 0;
   uint64_t backend_errors = 0;
   uint64_t backend_latency = 0;
+  uint64_t journal_torn = 0;
 };
 
 /// How a server-side write should be delivered.
@@ -108,6 +114,12 @@ class ChaosInjector {
   /// error instead of running.
   bool backend_error();
 
+  /// Crash-during-journal-append site: for an `n`-byte record write,
+  /// returns how many bytes actually land before the injected "crash"
+  /// (a value in [1, n-1], so the tail record is always torn, never
+  /// cleanly absent or cleanly present); 0 = no fault, write all of it.
+  size_t journal_torn_len(size_t n);
+
   ChaosStats stats() const;
   std::string report() const;
 
@@ -121,6 +133,9 @@ class ChaosInjector {
     kBackendError,
     kBackendLatency,
     kChunkSize,
+    // New sites append here so earlier sites' per-site stream seeds (a
+    // pure function of the enum value) never shift across revisions.
+    kJournalTorn,
     kNumSites,
   };
 
@@ -140,6 +155,7 @@ class ChaosInjector {
   std::atomic<uint64_t> queue_spikes_{0};
   std::atomic<uint64_t> backend_errors_{0};
   std::atomic<uint64_t> backend_latency_{0};
+  std::atomic<uint64_t> journal_torn_{0};
 };
 
 }  // namespace qsnc::serve

@@ -1,0 +1,436 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/crc32.h"
+
+namespace qsnc::serve {
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'Q', 'S', 'N', 'C', 'J', 'R', 'N', 'L'};
+constexpr size_t kHeaderBytes = sizeof(kJournalMagic) + sizeof(uint32_t);
+
+// Little-endian writers/readers, the protocol.cpp idiom applied to
+// journal bodies (protocol.cpp's helpers live in its own anonymous
+// namespace, so the journal carries its own copies).
+template <typename T>
+void put(std::vector<uint8_t>& out, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void put_short_string(std::vector<uint8_t>& out, const std::string& s) {
+  if (s.size() > UINT16_MAX) {
+    throw ProtocolError("journal: string too long");
+  }
+  put<uint16_t>(out, static_cast<uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Cursor {
+  const std::vector<uint8_t>& buf;
+  size_t at = 0;
+
+  template <typename T>
+  T take(const char* what) {
+    if (buf.size() - at < sizeof(T)) {
+      throw ProtocolError(std::string("journal: truncated ") + what);
+    }
+    T value = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      value |= static_cast<T>(buf[at + i]) << (8 * i);
+    }
+    at += sizeof(T);
+    return value;
+  }
+
+  std::string take_string(size_t n, const char* what) {
+    if (buf.size() - at < n) {
+      throw ProtocolError(std::string("journal: truncated ") + what);
+    }
+    std::string s(buf.begin() + static_cast<ptrdiff_t>(at),
+                  buf.begin() + static_cast<ptrdiff_t>(at + n));
+    at += n;
+    return s;
+  }
+
+  std::string take_short_string(const char* what) {
+    return take_string(take<uint16_t>(what), what);
+  }
+
+  void done(const char* what) {
+    if (at != buf.size()) {
+      throw ProtocolError(std::string("journal: trailing bytes in ") + what);
+    }
+  }
+};
+
+}  // namespace
+
+const char* journal_record_type_name(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::kLoadVersion: return "load-version";
+    case JournalRecordType::kPromote: return "promote";
+    case JournalRecordType::kRollback: return "rollback";
+    case JournalRecordType::kReplicaQuarantine: return "replica-quarantine";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> encode_journal_load_version(
+    const LoadVersionRequest& request) {
+  std::vector<uint8_t> out;
+  put_short_string(out, request.name);
+  put_short_string(out, request.architecture);
+  put_short_string(out, request.backend_kind);
+  put<uint8_t>(out, request.bits);
+  put<uint64_t>(out, request.init_seed);
+  put<uint64_t>(out, request.state.size());
+  out.insert(out.end(), request.state.begin(), request.state.end());
+  return out;
+}
+
+LoadVersionRequest decode_journal_load_version(
+    const std::vector<uint8_t>& payload) {
+  Cursor cur{payload};
+  LoadVersionRequest request;
+  request.name = cur.take_short_string("load name");
+  request.architecture = cur.take_short_string("load architecture");
+  request.backend_kind = cur.take_short_string("load backend");
+  request.bits = cur.take<uint8_t>("load bits");
+  request.init_seed = cur.take<uint64_t>("load seed");
+  const uint64_t state_len = cur.take<uint64_t>("load state length");
+  if (payload.size() - cur.at != state_len) {
+    throw ProtocolError("journal: load state length mismatch");
+  }
+  request.state.assign(payload.begin() + static_cast<ptrdiff_t>(cur.at),
+                       payload.end());
+  return request;
+}
+
+std::vector<uint8_t> encode_journal_promote(const JournalPromote& promote) {
+  std::vector<uint8_t> out;
+  put_short_string(out, promote.base);
+  put_short_string(out, promote.key);
+  return out;
+}
+
+JournalPromote decode_journal_promote(const std::vector<uint8_t>& payload) {
+  Cursor cur{payload};
+  JournalPromote promote;
+  promote.base = cur.take_short_string("promote base");
+  promote.key = cur.take_short_string("promote key");
+  cur.done("promote");
+  return promote;
+}
+
+std::vector<uint8_t> encode_journal_rollback(
+    const JournalRollback& rollback) {
+  std::vector<uint8_t> out;
+  put_short_string(out, rollback.key);
+  put_short_string(out, rollback.reason);
+  return out;
+}
+
+JournalRollback decode_journal_rollback(const std::vector<uint8_t>& payload) {
+  Cursor cur{payload};
+  JournalRollback rollback;
+  rollback.key = cur.take_short_string("rollback key");
+  rollback.reason = cur.take_short_string("rollback reason");
+  cur.done("rollback");
+  return rollback;
+}
+
+std::vector<uint8_t> encode_journal_replica_quarantine(
+    const JournalReplicaQuarantine& quarantine) {
+  std::vector<uint8_t> out;
+  put_short_string(out, quarantine.model);
+  put<uint32_t>(out, quarantine.replica);
+  put_short_string(out, quarantine.reason);
+  return out;
+}
+
+JournalReplicaQuarantine decode_journal_replica_quarantine(
+    const std::vector<uint8_t>& payload) {
+  Cursor cur{payload};
+  JournalReplicaQuarantine quarantine;
+  quarantine.model = cur.take_short_string("quarantine model");
+  quarantine.replica = cur.take<uint32_t>("quarantine replica");
+  quarantine.reason = cur.take_short_string("quarantine reason");
+  cur.done("replica quarantine");
+  return quarantine;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<uint8_t> header_bytes() {
+  std::vector<uint8_t> out(kJournalMagic, kJournalMagic + 8);
+  put<uint32_t>(out, kJournalFormatVersion);
+  return out;
+}
+
+std::vector<uint8_t> record_bytes(JournalRecordType type, uint64_t seq,
+                                  const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> body;
+  body.reserve(1 + 8 + payload.size());
+  put<uint8_t>(body, static_cast<uint8_t>(type));
+  put<uint64_t>(body, seq);
+  body.insert(body.end(), payload.begin(), payload.end());
+  std::vector<uint8_t> out;
+  out.reserve(8 + body.size());
+  put<uint32_t>(out, static_cast<uint32_t>(body.size()));
+  put<uint32_t>(out, util::crc32(body.data(), body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+bool valid_record_type(uint8_t type) {
+  return type >= static_cast<uint8_t>(JournalRecordType::kLoadVersion) &&
+         type <= static_cast<uint8_t>(JournalRecordType::kReplicaQuarantine);
+}
+
+}  // namespace
+
+Journal::Journal(const std::string& path, ChaosInjector* chaos)
+    : path_(path), chaos_(chaos) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size == 0) {
+    const std::vector<uint8_t> header = header_bytes();
+    if (!write_all_locked(header.data(), header.size())) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("journal: cannot write header to '" + path +
+                               "'");
+    }
+  } else {
+    // Appending to an existing file: refuse anything that is not a
+    // journal (a mis-typed path must not get records appended to it).
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kJournalMagic, sizeof(magic)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("journal: '" + path +
+                               "' exists but is not a journal file");
+    }
+    // Resume the seq counter past what is already recorded.
+    const JournalReplayResult replayed = replay(path);
+    for (const JournalRecord& record : replayed.records) {
+      next_seq_ = std::max(next_seq_, record.seq + 1);
+    }
+  }
+}
+
+Journal::~Journal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Journal::write_all_locked(const uint8_t* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Journal::append(JournalRecordType type,
+                     const std::vector<uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_ || fd_ < 0) return false;
+  std::vector<uint8_t> bytes = record_bytes(type, next_seq_, payload);
+  if (chaos_ != nullptr) {
+    const size_t torn = chaos_->journal_torn_len(bytes.size());
+    if (torn > 0) {
+      // Injected crash-during-append: only a prefix of the record lands
+      // (a partial length/CRC/body, whatever the cut leaves), and the
+      // journal is failed from here on — the process "died" mid-write.
+      (void)write_all_locked(bytes.data(), torn);
+      ::fsync(fd_);
+      failed_ = true;
+      return false;
+    }
+  }
+  if (!write_all_locked(bytes.data(), bytes.size())) {
+    failed_ = true;
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    failed_ = true;
+    return false;
+  }
+  ++next_seq_;
+  ++appended_;
+  return true;
+}
+
+bool Journal::compact(const std::vector<JournalRecord>& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return false;
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    failed_ = true;
+    return false;
+  }
+  std::vector<uint8_t> bytes = header_bytes();
+  uint64_t seq = 1;
+  for (const JournalRecord& record : snapshot) {
+    const std::vector<uint8_t> rec =
+        record_bytes(record.type, seq++, record.payload);
+    bytes.insert(bytes.end(), rec.begin(), rec.end());
+  }
+  size_t written = 0;
+  bool ok = true;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(tmp_fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  ok = ok && ::fsync(tmp_fd) == 0;
+  ::close(tmp_fd);
+  // rename() is atomic: a crash here leaves either the old journal or
+  // the fully-written new one, never a hybrid.
+  ok = ok && ::rename(tmp.c_str(), path_.c_str()) == 0;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    failed_ = true;
+    return false;
+  }
+  const int new_fd = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (new_fd < 0) {
+    failed_ = true;
+    return false;
+  }
+  ::close(fd_);
+  fd_ = new_fd;
+  failed_ = false;
+  next_seq_ = seq;
+  return true;
+}
+
+uint64_t Journal::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+bool Journal::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+uint64_t Journal::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+JournalReplayResult Journal::replay(const std::string& path) {
+  JournalReplayResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // fresh node: nothing to replay
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (bytes.empty()) return result;
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    throw std::runtime_error("journal: '" + path +
+                             "' is not a journal file (bad magic)");
+  }
+  uint32_t format = 0;
+  for (size_t i = 0; i < sizeof(uint32_t); ++i) {
+    format |= static_cast<uint32_t>(bytes[sizeof(kJournalMagic) + i])
+              << (8 * i);
+  }
+  if (format != kJournalFormatVersion) {
+    throw std::runtime_error("journal: '" + path +
+                             "' has unsupported format version " +
+                             std::to_string(format));
+  }
+  size_t at = kHeaderBytes;
+  result.valid_bytes = at;
+  while (at < bytes.size()) {
+    // Each failure mode below is a torn tail: stop, report, drop.
+    if (bytes.size() - at < 8) {
+      result.tail_dropped = true;
+      result.tail_reason = "truncated record header at byte " +
+                           std::to_string(at);
+      break;
+    }
+    uint32_t body_len = 0;
+    uint32_t crc = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      body_len |= static_cast<uint32_t>(bytes[at + i]) << (8 * i);
+      crc |= static_cast<uint32_t>(bytes[at + 4 + i]) << (8 * i);
+    }
+    if (body_len < 9) {  // type byte + seq at minimum
+      result.tail_dropped = true;
+      result.tail_reason = "implausible record length " +
+                           std::to_string(body_len) + " at byte " +
+                           std::to_string(at);
+      break;
+    }
+    if (bytes.size() - at - 8 < body_len) {
+      result.tail_dropped = true;
+      result.tail_reason = "truncated record body at byte " +
+                           std::to_string(at) + " (need " +
+                           std::to_string(body_len) + " bytes, have " +
+                           std::to_string(bytes.size() - at - 8) + ")";
+      break;
+    }
+    const uint8_t* body = bytes.data() + at + 8;
+    if (util::crc32(body, body_len) != crc) {
+      result.tail_dropped = true;
+      result.tail_reason =
+          "CRC mismatch at byte " + std::to_string(at);
+      break;
+    }
+    if (!valid_record_type(body[0])) {
+      result.tail_dropped = true;
+      result.tail_reason = "unknown record type " +
+                           std::to_string(body[0]) + " at byte " +
+                           std::to_string(at);
+      break;
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(body[0]);
+    for (size_t i = 0; i < 8; ++i) {
+      record.seq |= static_cast<uint64_t>(body[1 + i]) << (8 * i);
+    }
+    record.payload.assign(body + 9, body + body_len);
+    result.records.push_back(std::move(record));
+    at += 8 + body_len;
+    result.valid_bytes = at;
+  }
+  return result;
+}
+
+}  // namespace qsnc::serve

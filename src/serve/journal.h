@@ -1,0 +1,180 @@
+// Durable state journal of a serving node: crash-recoverable model
+// lifecycle.
+//
+// Every state transition a server would otherwise lose with its process
+// — hot-loaded versions (kLoadVersion), rollout promotions and
+// rollbacks, replica quarantines — is appended to a CRC-32-protected
+// append-only file before the transition is acknowledged. On restart the
+// server replays the journal and reconciles its ModelRegistry back to
+// the pre-crash active versions, so a supervisor-restarted node answers
+// with the same base@version entries (bit-exact) as before the crash.
+//
+// File format (all integers little-endian, the nn/serialize v2 container
+// idiom applied to a record stream):
+//
+//   header:  8-byte magic "QSNCJRNL" | u32 format version (1)
+//   record:  u32 body_len | u32 crc32(body) | body
+//   body:    u8 type | u64 seq | payload[...]
+//
+// Payloads per record type:
+//
+//   kLoadVersion       — u16 name_len | name | u16 arch_len | arch |
+//                        u16 backend_len | backend | u8 bits |
+//                        u64 init_seed | u64 state_len | state bytes
+//                        (the full checkpoint image, so replay rebuilds
+//                        the identical entry)
+//   kPromote           — u16 base_len | base | u16 key_len | key
+//   kRollback          — u16 key_len | key | u16 reason_len | reason
+//   kReplicaQuarantine — u16 model_len | model | u32 replica |
+//                        u16 reason_len | reason
+//
+// Torn-tail discipline: a crash mid-append leaves a truncated or
+// CRC-corrupt final record. replay() stops at the first record that does
+// not parse clean and reports the intact prefix — a torn tail is
+// *dropped*, never mis-applied — and the reconciler compacts the file so
+// the torn bytes are physically gone before new appends land.
+//
+// Compaction: rewrite-and-rename. compact() writes header + the given
+// snapshot records to "<path>.tmp", fsyncs, and rename()s over the live
+// path (atomic on POSIX), so a crash during compaction leaves either the
+// old journal or the new one, never a hybrid.
+//
+// Chaos: when a ChaosInjector with journal_torn_rate > 0 is attached,
+// append() deterministically truncates a record mid-write (partial CRC /
+// partial body) and marks the journal failed — the seeded spelling of
+// "the process died holding a half-written record" that the recovery
+// tests replay against.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/chaos.h"
+#include "serve/protocol.h"
+
+namespace qsnc::serve {
+
+constexpr uint32_t kJournalFormatVersion = 1;
+
+enum class JournalRecordType : uint8_t {
+  kLoadVersion = 1,
+  kPromote = 2,
+  kRollback = 3,
+  kReplicaQuarantine = 4,
+};
+
+const char* journal_record_type_name(JournalRecordType type);
+
+/// One decoded journal record (payload still encoded; see the per-type
+/// decode helpers below).
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kLoadVersion;
+  uint64_t seq = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// kPromote payload.
+struct JournalPromote {
+  std::string base;
+  std::string key;
+};
+
+/// kRollback payload.
+struct JournalRollback {
+  std::string key;
+  std::string reason;
+};
+
+/// kReplicaQuarantine payload.
+struct JournalReplicaQuarantine {
+  std::string model;
+  uint32_t replica = 0;
+  std::string reason;
+};
+
+// Payload codecs. Decoders throw ProtocolError on truncated or trailing
+// bytes (a CRC-clean record with a bad payload is corruption, not a torn
+// tail, and the replayer surfaces it as such).
+std::vector<uint8_t> encode_journal_load_version(
+    const LoadVersionRequest& request);
+LoadVersionRequest decode_journal_load_version(
+    const std::vector<uint8_t>& payload);
+std::vector<uint8_t> encode_journal_promote(const JournalPromote& promote);
+JournalPromote decode_journal_promote(const std::vector<uint8_t>& payload);
+std::vector<uint8_t> encode_journal_rollback(const JournalRollback& rollback);
+JournalRollback decode_journal_rollback(const std::vector<uint8_t>& payload);
+std::vector<uint8_t> encode_journal_replica_quarantine(
+    const JournalReplicaQuarantine& quarantine);
+JournalReplicaQuarantine decode_journal_replica_quarantine(
+    const std::vector<uint8_t>& payload);
+
+/// What replay() recovered from a journal file.
+struct JournalReplayResult {
+  /// Records that parsed clean, in append order.
+  std::vector<JournalRecord> records;
+  /// Byte length of the intact prefix (header + clean records).
+  uint64_t valid_bytes = 0;
+  /// True when bytes past valid_bytes were dropped (torn/corrupt tail).
+  bool tail_dropped = false;
+  /// Why the tail was dropped ("" when nothing was dropped).
+  std::string tail_reason;
+};
+
+/// Append-only journal writer. Thread-safe: appends from the serving hot
+/// path (load/promote/rollback run under the rollout or handler locks,
+/// but replica quarantines may land concurrently) serialize internally.
+class Journal {
+ public:
+  /// Opens `path` for appending, writing the header when the file is new
+  /// or empty. `chaos` (not owned, may be null) supplies the seeded
+  /// torn-append fault; it must outlive the journal. Throws
+  /// std::runtime_error when the file cannot be opened or the existing
+  /// header is not a journal (refusing to append garbage to some other
+  /// file).
+  explicit Journal(const std::string& path, ChaosInjector* chaos = nullptr);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one record (fsynced before returning, so an acknowledged
+  /// transition survives the process). Returns false when the journal is
+  /// failed — a previous write error or an injected torn append — in
+  /// which case nothing more will be written; the server keeps serving
+  /// (durability degrades, availability does not).
+  bool append(JournalRecordType type, const std::vector<uint8_t>& payload);
+
+  /// Rewrites the journal as header + `snapshot` via "<path>.tmp" +
+  /// atomic rename, then reopens for appending. Record seqs are
+  /// reassigned contiguously. Returns false (journal marked failed) on
+  /// any I/O error.
+  bool compact(const std::vector<JournalRecord>& snapshot);
+
+  /// Records appended (not counting compaction rewrites).
+  uint64_t appended() const;
+  /// True once a write failed or a torn append was injected.
+  bool failed() const;
+  uint64_t next_seq() const;
+  const std::string& path() const { return path_; }
+
+  /// Scans `path`, returning every intact record in order; a
+  /// torn/truncated/CRC-corrupt tail is dropped and reported, never
+  /// applied. A missing file replays empty (fresh node). Throws
+  /// std::runtime_error only when the file exists but its header is not a
+  /// journal.
+  static JournalReplayResult replay(const std::string& path);
+
+ private:
+  bool write_all_locked(const uint8_t* data, size_t size);
+
+  std::string path_;
+  ChaosInjector* chaos_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  bool failed_ = false;
+  uint64_t next_seq_ = 1;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace qsnc::serve

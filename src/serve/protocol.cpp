@@ -463,6 +463,48 @@ RolloutReply decode_rollout_reply(const std::vector<uint8_t>& body) {
   return reply;
 }
 
+std::vector<uint8_t> encode_supervise_command(
+    const SuperviseCommand& command) {
+  std::vector<uint8_t> body;
+  put_short_string(body, command.verb, "verb");
+  put_short_string(body, command.lane, "lane");
+  return finish_frame(MsgType::kSuperviseCommand, std::move(body));
+}
+
+SuperviseCommand decode_supervise_command(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  SuperviseCommand command;
+  command.verb = take_short_string(c, "verb");
+  command.lane = take_short_string(c, "lane");
+  c.done("SuperviseCommand");
+  return command;
+}
+
+std::vector<uint8_t> encode_supervise_reply(const RolloutReply& reply) {
+  if (reply.message.size() > UINT32_MAX) {
+    throw ProtocolError("protocol: reply message too long");
+  }
+  std::vector<uint8_t> body;
+  put<uint8_t>(body, reply.ok ? 1 : 0);
+  put<uint32_t>(body, static_cast<uint32_t>(reply.message.size()));
+  body.insert(body.end(), reply.message.begin(), reply.message.end());
+  return finish_frame(MsgType::kSuperviseReply, std::move(body));
+}
+
+RolloutReply decode_supervise_reply(const std::vector<uint8_t>& body) {
+  Cursor c{body};
+  RolloutReply reply;
+  const uint8_t ok = c.take<uint8_t>("ok");
+  if (ok > 1) {
+    throw ProtocolError("protocol: ok flag out of range");
+  }
+  reply.ok = ok != 0;
+  const uint32_t message_len = c.take<uint32_t>("message_len");
+  reply.message = c.take_string(message_len, "message");
+  c.done("SuperviseReply");
+  return reply;
+}
+
 void FrameReader::feed(const uint8_t* data, size_t n) {
   // Compact the buffer once the consumed prefix dominates, so a long-lived
   // connection does not grow its buffer without bound.

@@ -37,6 +37,9 @@
 //                       u16 reason_len | reason bytes
 //   kRolloutStatus(13): u16 name_len | name bytes (empty = all rollouts)
 //   kRolloutReply (14): u8 ok | u32 message_len | message bytes
+//   kSuperviseCommand (15): u16 verb_len | verb bytes |
+//                           u16 lane_len | lane bytes
+//   kSuperviseReply   (16): u8 ok | u32 message_len | message bytes
 //
 // The session key (v4) is an optional client-chosen affinity tag: the
 // router hashes (model, session) onto its consistent-hash ring so all
@@ -61,6 +64,13 @@
 // version list (v5) is how the router tier learns each backend's
 // per-model active version; a v4-style ack without the trailing list
 // decodes as an empty list.
+//
+// Supervisor control frames (v6): kSuperviseCommand carries an operator
+// verb for the process supervisor's control endpoint — "status" (lane
+// ignored) renders the lane table, "release <lane>" lifts a crash-loop
+// quarantine so the lane restarts. Answered by kSuperviseReply (same
+// shape as kRolloutReply: ok=0 carries the structured failure reason).
+// Like the rollout control frames it requires the kHello handshake.
 //
 // Decoders throw ProtocolError on truncated bodies, oversized frames
 // (> kMaxFrameBytes — a corrupt length prefix must not allocate
@@ -90,15 +100,15 @@ struct ProtocolError : std::runtime_error {
 /// socket are built from this repo; the constant documents the lineage:
 /// 1 = initial, 2 = deadline_us/degraded, 3 = priority/kShedded,
 /// 4 = session key + hello/health/forward frames, 5 = model-lifecycle
-/// control frames + health-ack version labels). The kHello handshake is
-/// mandatory before infer-class frames (kInferRequest/kForwardInfer,
-/// whose layout changes across versions) and before the state-changing
-/// control frames (kLoadVersion/kPromote/kRollback/kRolloutStatus):
-/// servers drop un-handshaken ones with a ProtocolError, so
-/// mixed-version fleets fail fast instead of mis-decoding.
-/// Version-stable frames (kStatsRequest, kHealthProbe) are accepted
-/// without a handshake.
-constexpr uint16_t kProtocolVersion = 5;
+/// control frames + health-ack version labels, 6 = supervisor control
+/// frames). The kHello handshake is mandatory before infer-class frames
+/// (kInferRequest/kForwardInfer, whose layout changes across versions)
+/// and before the state-changing control frames (kLoadVersion/kPromote/
+/// kRollback/kRolloutStatus/kSuperviseCommand): servers drop
+/// un-handshaken ones with a ProtocolError, so mixed-version fleets fail
+/// fast instead of mis-decoding. Version-stable frames (kStatsRequest,
+/// kHealthProbe) are accepted without a handshake.
+constexpr uint16_t kProtocolVersion = 6;
 
 /// Hard cap on one frame's payload (length prefix included in checks).
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
@@ -125,6 +135,8 @@ enum class MsgType : uint8_t {
   kRollback = 12,
   kRolloutStatus = 13,
   kRolloutReply = 14,
+  kSuperviseCommand = 15,
+  kSuperviseReply = 16,
 };
 
 enum class PeerRole : uint8_t { kClient = 0, kRouter = 1 };
@@ -223,6 +235,15 @@ struct RolloutReply {
   std::string message;
 };
 
+/// kSuperviseCommand body: an operator verb for the supervisor's control
+/// endpoint ("status" | "release"); `lane` names the target lane for
+/// verbs that take one and is empty otherwise. kSuperviseReply reuses the
+/// RolloutReply shape.
+struct SuperviseCommand {
+  std::string verb;
+  std::string lane;
+};
+
 std::vector<uint8_t> encode_infer_request(const InferRequest& request);
 std::vector<uint8_t> encode_infer_response(const InferResponse& response);
 std::vector<uint8_t> encode_stats_request();
@@ -237,6 +258,8 @@ std::vector<uint8_t> encode_promote(const RolloutCommand& command);
 std::vector<uint8_t> encode_rollback(const RolloutCommand& command);
 std::vector<uint8_t> encode_rollout_status(const RolloutCommand& command);
 std::vector<uint8_t> encode_rollout_reply(const RolloutReply& reply);
+std::vector<uint8_t> encode_supervise_command(const SuperviseCommand& command);
+std::vector<uint8_t> encode_supervise_reply(const RolloutReply& reply);
 
 InferRequest decode_infer_request(const std::vector<uint8_t>& body);
 InferResponse decode_infer_response(const std::vector<uint8_t>& body);
@@ -251,6 +274,8 @@ RolloutCommand decode_promote(const std::vector<uint8_t>& body);
 RolloutCommand decode_rollback(const std::vector<uint8_t>& body);
 RolloutCommand decode_rollout_status(const std::vector<uint8_t>& body);
 RolloutReply decode_rollout_reply(const std::vector<uint8_t>& body);
+SuperviseCommand decode_supervise_command(const std::vector<uint8_t>& body);
+RolloutReply decode_supervise_reply(const std::vector<uint8_t>& body);
 
 /// Incremental frame splitter over a byte stream.
 class FrameReader {

@@ -385,6 +385,7 @@ void RolloutController::evaluate_locked() {
 
 void RolloutController::promote_locked(const std::string& reason) {
   core_.registry().set_active(base_, green_);  // demotes blue to standby
+  core_.journal_promote(base_, green_);
   state_ = RolloutState::kPromoted;
   reason_ = reason;
   shadow_active_.store(false, std::memory_order_release);
@@ -392,6 +393,7 @@ void RolloutController::promote_locked(const std::string& reason) {
 
 void RolloutController::rollback_locked(const std::string& reason) {
   core_.registry().set_state(green_, VersionState::kQuarantined);
+  core_.journal_rollback(green_, reason);
   state_ = RolloutState::kRolledBack;
   reason_ = reason;
   shadow_active_.store(false, std::memory_order_release);

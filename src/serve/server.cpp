@@ -29,6 +29,15 @@ std::future<Response> error_future(const std::string& message) {
 
 }  // namespace
 
+std::string JournalReconcileReport::to_string() const {
+  std::string out = "journal: replayed " + std::to_string(records_replayed) +
+                    " record(s), applied " + std::to_string(applied) +
+                    ", skipped " + std::to_string(skipped);
+  if (tail_dropped) out += "; dropped torn tail (" + tail_reason + ")";
+  for (const std::string& e : errors) out += "\n  journal: " + e;
+  return out;
+}
+
 ServeCore::ServeCore(ModelRegistry& registry, const BatchOptions& options,
                      const RolloutOptions& rollout_options)
     : registry_(registry), batch_options_(options) {
@@ -116,7 +125,7 @@ Response ServeCore::infer(const std::string& model, nn::Tensor image,
   return infer_async(model, std::move(image), deadline_us, priority).get();
 }
 
-RolloutReply ServeCore::load_version(const LoadVersionRequest& request) {
+std::string ServeCore::register_version(const LoadVersionRequest& request) {
   const auto [base, version] = split_versioned_name(request.name);
   (void)version;
   const std::string active = registry_.active_key(base);
@@ -141,9 +150,20 @@ RolloutReply ServeCore::load_version(const LoadVersionRequest& request) {
       registry_.add_from_bytes(request.name, config, request.state);
     }
   } catch (const std::exception& e) {
-    return {false, std::string("load: ") + e.what()};
+    return std::string("load: ") + e.what();
   }
   add_model(request.name);
+  install_quarantine_hooks(request.name);
+  return std::string();
+}
+
+RolloutReply ServeCore::load_version(const LoadVersionRequest& request) {
+  const auto [base, version] = split_versioned_name(request.name);
+  (void)version;
+  const std::string active = registry_.active_key(base);
+  const std::string error = register_version(request);
+  if (!error.empty()) return {false, error};
+  journal_load(request, /*append=*/true);
   if (active.empty()) {
     // First version of a new base: it registered active, no rollout.
     return {true, "load: registered " + request.name +
@@ -157,6 +177,187 @@ RolloutReply ServeCore::load_version(const LoadVersionRequest& request) {
                       " standby; rollout not started: " + begun.message};
   }
   return {true, "load: registered " + request.name + "; " + begun.message};
+}
+
+void ServeCore::journal_load(const LoadVersionRequest& request, bool append) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  bool known = false;
+  for (const auto& [key, req] : journal_loads_) {
+    (void)req;
+    if (key == request.name) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) journal_loads_.emplace_back(request.name, request);
+  if (append && journal_ != nullptr) {
+    journal_->append(JournalRecordType::kLoadVersion,
+                     encode_journal_load_version(request));
+  }
+}
+
+void ServeCore::journal_promote(const std::string& base,
+                                const std::string& key) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (journal_ == nullptr) return;
+  journal_->append(JournalRecordType::kPromote,
+                   encode_journal_promote({base, key}));
+}
+
+void ServeCore::journal_rollback(const std::string& key,
+                                 const std::string& reason) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  journal_quarantine_reasons_[key] = reason;
+  if (journal_ == nullptr) return;
+  journal_->append(JournalRecordType::kRollback,
+                   encode_journal_rollback({key, reason}));
+}
+
+void ServeCore::journal_replica_quarantine(const std::string& model,
+                                           uint32_t replica,
+                                           const std::string& reason) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (journal_ == nullptr) return;
+  journal_->append(JournalRecordType::kReplicaQuarantine,
+                   encode_journal_replica_quarantine(
+                       {model, replica, reason}));
+}
+
+void ServeCore::install_quarantine_hooks(const std::string& key) {
+  const size_t shards = registry_.num_shards(key);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    auto* snc = dynamic_cast<SncBackend*>(&registry_.backend(key, shard));
+    if (snc == nullptr) continue;
+    snc->set_quarantine_hook(
+        [this, key](size_t replica, const std::string& reason) {
+          journal_replica_quarantine(key, static_cast<uint32_t>(replica),
+                                     reason);
+        });
+  }
+}
+
+std::vector<JournalRecord> ServeCore::journal_snapshot_locked() const {
+  std::vector<JournalRecord> snapshot;
+  auto emit = [&snapshot](JournalRecordType type,
+                          std::vector<uint8_t> payload) {
+    JournalRecord record;
+    record.type = type;
+    record.payload = std::move(payload);
+    snapshot.push_back(std::move(record));
+  };
+  for (const auto& [key, request] : journal_loads_) {
+    (void)key;
+    emit(JournalRecordType::kLoadVersion,
+         encode_journal_load_version(request));
+  }
+  // Re-derive the pointer records from the live registry: one kPromote
+  // per base whose active version is journaled (boot-registered actives
+  // need no record — the boot flags recreate them), one kRollback per
+  // quarantined journaled version.
+  std::map<std::string, bool> bases;
+  for (const auto& [key, request] : journal_loads_) {
+    (void)request;
+    bases[base_model_name(key)] = true;
+  }
+  for (const auto& [base, unused] : bases) {
+    (void)unused;
+    const std::string active = registry_.active_key(base);
+    if (active.empty()) continue;
+    bool journaled = false;
+    for (const auto& [key, request] : journal_loads_) {
+      (void)request;
+      if (key == active) {
+        journaled = true;
+        break;
+      }
+    }
+    if (journaled) {
+      emit(JournalRecordType::kPromote,
+           encode_journal_promote({base, active}));
+    }
+  }
+  for (const auto& [key, request] : journal_loads_) {
+    (void)request;
+    if (registry_.state(key) != VersionState::kQuarantined) continue;
+    const auto it = journal_quarantine_reasons_.find(key);
+    const std::string reason = it == journal_quarantine_reasons_.end()
+                                   ? std::string("quarantined")
+                                   : it->second;
+    emit(JournalRecordType::kRollback, encode_journal_rollback({key, reason}));
+  }
+  return snapshot;
+}
+
+JournalReconcileReport ServeCore::attach_journal(const std::string& path,
+                                                 ChaosInjector* chaos) {
+  JournalReconcileReport report;
+  const JournalReplayResult replayed = Journal::replay(path);
+  report.tail_dropped = replayed.tail_dropped;
+  report.tail_reason = replayed.tail_reason;
+  for (const JournalRecord& record : replayed.records) {
+    ++report.records_replayed;
+    try {
+      switch (record.type) {
+        case JournalRecordType::kLoadVersion: {
+          const LoadVersionRequest request =
+              decode_journal_load_version(record.payload);
+          if (registry_.contains(request.name)) {
+            // Boot flags already re-registered this key; their config
+            // wins and the entry stays un-journaled.
+            ++report.skipped;
+            break;
+          }
+          const std::string error = register_version(request);
+          if (!error.empty()) {
+            report.errors.push_back(request.name + ": " + error);
+            break;
+          }
+          journal_load(request, /*append=*/false);
+          ++report.applied;
+          break;
+        }
+        case JournalRecordType::kPromote: {
+          const JournalPromote promote =
+              decode_journal_promote(record.payload);
+          registry_.set_active(promote.base, promote.key);
+          ++report.applied;
+          break;
+        }
+        case JournalRecordType::kRollback: {
+          const JournalRollback rollback =
+              decode_journal_rollback(record.payload);
+          registry_.set_state(rollback.key, VersionState::kQuarantined);
+          {
+            std::lock_guard<std::mutex> lock(journal_mu_);
+            journal_quarantine_reasons_[rollback.key] = rollback.reason;
+          }
+          ++report.applied;
+          break;
+        }
+        case JournalRecordType::kReplicaQuarantine:
+          // Replica-level health is re-derived by the snc monitor on the
+          // rebuilt replicas; the record is an audit entry only.
+          ++report.skipped;
+          break;
+      }
+    } catch (const std::exception& e) {
+      report.errors.push_back(
+          std::string(journal_record_type_name(record.type)) + ": " +
+          e.what());
+    }
+  }
+  {
+    // Compact on attach: the torn tail (if any) is physically dropped and
+    // the file restarts from the canonical snapshot of live state.
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    journal_ = std::make_unique<Journal>(path, chaos);
+    journal_->compact(journal_snapshot_locked());
+  }
+  // Boot-registered models journal their replica quarantines too.
+  for (const std::string& key : registry_.names()) {
+    install_quarantine_hooks(key);
+  }
+  return report;
 }
 
 void ServeCore::drain() {
@@ -550,7 +751,8 @@ void SocketServer::handle_connection(Connection* connection) {
           } else if (frame->type == MsgType::kLoadVersion ||
                      frame->type == MsgType::kPromote ||
                      frame->type == MsgType::kRollback ||
-                     frame->type == MsgType::kRolloutStatus) {
+                     frame->type == MsgType::kRolloutStatus ||
+                     frame->type == MsgType::kSuperviseCommand) {
             throw ProtocolError("control frame before kHello handshake");
           }
         }
@@ -753,6 +955,22 @@ RolloutReply SocketClient::rollout_status(const std::string& name) {
   RolloutCommand command;
   command.name = name;
   return control_roundtrip(encode_rollout_status(command));
+}
+
+RolloutReply SocketClient::supervise(const std::string& verb,
+                                     const std::string& lane) {
+  if (!handshaken_ && !handshake()) {
+    throw std::runtime_error("server refused protocol version " +
+                             std::to_string(kProtocolVersion));
+  }
+  SuperviseCommand command;
+  command.verb = verb;
+  command.lane = lane;
+  const Frame frame = roundtrip(encode_supervise_command(command));
+  if (frame.type != MsgType::kSuperviseReply) {
+    throw std::runtime_error("unexpected response type");
+  }
+  return decode_supervise_reply(frame.body);
 }
 
 }  // namespace qsnc::serve

@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "serve/chaos.h"
+#include "serve/journal.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
@@ -70,6 +71,21 @@
 #include "serve/transport.h"
 
 namespace qsnc::serve {
+
+/// What attach_journal recovered and reconciled from a prior life of this
+/// node (see serve/journal.h for the file format).
+struct JournalReconcileReport {
+  uint64_t records_replayed = 0;
+  uint64_t applied = 0;   // transitions re-applied against the registry
+  uint64_t skipped = 0;   // already satisfied (e.g. boot-registered keys)
+  bool tail_dropped = false;
+  std::string tail_reason;
+  /// Per-record apply failures (bad architecture, corrupt checkpoint
+  /// image, ...) — reported, never fatal: the node serves what it can.
+  std::vector<std::string> errors;
+
+  std::string to_string() const;
+};
 
 class ServeCore {
  public:
@@ -115,6 +131,29 @@ class ServeCore {
   /// rollout against the base's active version.
   RolloutReply load_version(const LoadVersionRequest& request);
 
+  /// Attaches the durable state journal at `path`: replays existing
+  /// records — reconciling the registry to its pre-crash active versions
+  /// (hot-loaded entries rebuilt from their journaled checkpoint images,
+  /// promote/rollback transitions re-applied; torn tails dropped) — then
+  /// compacts the file and journals every subsequent state transition.
+  /// Call once, before traffic flows; boot-registered models are not
+  /// journaled (the boot flags recreate them). `chaos` (may be null, must
+  /// outlive the core) supplies the seeded torn-append fault. Throws
+  /// std::runtime_error when `path` exists but is not a journal.
+  JournalReconcileReport attach_journal(const std::string& path,
+                                        ChaosInjector* chaos = nullptr);
+
+  /// The attached journal (null when attach_journal was never called).
+  const Journal* journal() const { return journal_.get(); }
+
+  /// Journal hooks — no-ops without an attached journal. The rollout
+  /// controller calls the first two under its own lock; the snc replica
+  /// health monitor drives the third via its quarantine hook.
+  void journal_promote(const std::string& base, const std::string& key);
+  void journal_rollback(const std::string& key, const std::string& reason);
+  void journal_replica_quarantine(const std::string& model, uint32_t replica,
+                                  const std::string& reason);
+
   /// Stops admission and completes all accepted requests (rollout
   /// comparator first, then every lane). Idempotent.
   void drain();
@@ -146,6 +185,19 @@ class ServeCore {
 
   void add_model_locked(const std::string& key);  // callers hold models_mu_
   ModelLanes* find_lanes(const std::string& key) const;
+  /// Registers + builds lanes for a hot-load request (shared by the live
+  /// load_version path and journal replay). Returns "" on success, the
+  /// structured failure otherwise; the registry is untouched on failure.
+  std::string register_version(const LoadVersionRequest& request);
+  /// Records a successful hot-load in the journal (callers: load_version
+  /// and replay). No-op without a journal.
+  void journal_load(const LoadVersionRequest& request, bool append);
+  /// Installs the replica-quarantine journal hook on `key`'s snc shards.
+  void install_quarantine_hooks(const std::string& key);
+  /// Canonical snapshot of journaled state for compaction: every
+  /// journaled load in order, then the promotes/rollbacks that reproduce
+  /// the current active/quarantined pointers. Callers hold journal_mu_.
+  std::vector<JournalRecord> journal_snapshot_locked() const;
 
   ModelRegistry& registry_;
   BatchOptions batch_options_;
@@ -154,6 +206,14 @@ class ServeCore {
   mutable std::shared_mutex models_mu_;
   std::map<std::string, std::unique_ptr<ModelLanes>> models_;
   std::unique_ptr<RolloutController> rollout_;
+
+  /// Durable state journal (null until attach_journal). journal_mu_
+  /// guards the journaled-load list and quarantine-reason map; the
+  /// Journal serializes its own appends.
+  std::unique_ptr<Journal> journal_;
+  mutable std::mutex journal_mu_;
+  std::vector<std::pair<std::string, LoadVersionRequest>> journal_loads_;
+  std::map<std::string, std::string> journal_quarantine_reasons_;
 };
 
 /// In-process client used by tests and the load generator.
@@ -351,6 +411,12 @@ class SocketClient {
   RolloutReply rollback(const std::string& name,
                         const std::string& reason = std::string());
   RolloutReply rollout_status(const std::string& name = std::string());
+
+  /// Supervisor control request (protocol v6): sends kSuperviseCommand
+  /// ("status" | "release <lane>") and returns the kSuperviseReply.
+  /// Handshake-gated like the other control frames.
+  RolloutReply supervise(const std::string& verb,
+                         const std::string& lane = std::string());
 
  private:
   Frame roundtrip(const std::vector<uint8_t>& frame);

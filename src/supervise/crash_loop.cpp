@@ -1,0 +1,42 @@
+#include "supervise/crash_loop.h"
+
+namespace qsnc::supervise {
+
+CrashLoopTracker::CrashLoopTracker(const CrashLoopOptions& options)
+    : options_(options), backoff_(options.backoff) {}
+
+void CrashLoopTracker::on_start(int64_t now_us) { last_start_us_ = now_us; }
+
+std::optional<int64_t> CrashLoopTracker::on_exit(int64_t now_us,
+                                                 const std::string& why) {
+  if (quarantined_) return std::nullopt;
+  if (last_start_us_ >= 0 &&
+      now_us - last_start_us_ >= options_.healthy_reset_us) {
+    attempt_ = 0;  // the run was healthy; forgive earlier crashes
+  }
+  exits_.push_back(now_us);
+  while (!exits_.empty() && exits_.front() <= now_us - options_.window_us) {
+    exits_.pop_front();
+  }
+  if (options_.quarantine_exits > 0 &&
+      exits_.size() >= static_cast<size_t>(options_.quarantine_exits)) {
+    quarantined_ = true;
+    quarantine_reason_ =
+        "crash loop: " + std::to_string(exits_.size()) + " exit(s) within " +
+        std::to_string(options_.window_us / 1000000) + "s (last: " + why +
+        ")";
+    return std::nullopt;
+  }
+  const uint64_t delay = backoff_.delay_us(attempt_);
+  ++attempt_;
+  return now_us + static_cast<int64_t>(delay);
+}
+
+void CrashLoopTracker::release() {
+  quarantined_ = false;
+  quarantine_reason_.clear();
+  exits_.clear();
+  attempt_ = 0;
+}
+
+}  // namespace qsnc::supervise

@@ -1,0 +1,80 @@
+// Crash-loop detection for one supervised lane, as a pure state machine
+// over an injected microsecond clock.
+//
+// The supervisor feeds it lifecycle events — on_start when the child is
+// spawned, on_exit when waitpid reaps it — and it answers the one policy
+// question: *when* may this lane restart, or never (quarantine)?
+//
+//  * Restart delays follow the serve/backoff exponential-jitter schedule
+//    (the same curve clients use for kRejected retries), so a flapping
+//    process backs off instead of hot-spinning fork/exec.
+//  * A run that stays up at least healthy_reset_us counts as healthy and
+//    resets the backoff attempt counter — one crash after a week of
+//    uptime restarts fast again.
+//  * quarantine_exits exits inside a sliding window_us window trip the
+//    crash-loop detector: the lane is quarantined with a structured
+//    reason (exit count, window, last exit description) and never
+//    restarts until an operator calls release() (`qsnc supervisor
+//    release <lane>`).
+//
+// Everything is a pure function of (options, event times): unit tests
+// drive it with a synthetic clock and pin the exact quarantine boundary
+// without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "serve/backoff.h"
+
+namespace qsnc::supervise {
+
+struct CrashLoopOptions {
+  /// Restart-delay schedule (attempt 0 after the first healthy-period
+  /// crash, growing per consecutive crash).
+  serve::BackoffConfig backoff{/*base_us=*/200000, /*max_us=*/5000000,
+                               /*multiplier=*/2.0, /*seed=*/1};
+  /// This many exits inside `window_us` quarantine the lane.
+  int quarantine_exits = 5;
+  /// Sliding window for the exit counter.
+  int64_t window_us = 30'000'000;
+  /// A run alive at least this long resets the backoff attempt counter.
+  int64_t healthy_reset_us = 10'000'000;
+};
+
+class CrashLoopTracker {
+ public:
+  explicit CrashLoopTracker(const CrashLoopOptions& options = {});
+
+  /// The child was spawned at `now_us`.
+  void on_start(int64_t now_us);
+
+  /// The child exited at `now_us`; `why` is the exit description
+  /// ("exit 0", "signal 9") folded into the quarantine reason. Returns
+  /// the earliest time the lane may restart, or nullopt when this exit
+  /// tripped the crash-loop detector (the lane is now quarantined).
+  std::optional<int64_t> on_exit(int64_t now_us, const std::string& why);
+
+  bool quarantined() const { return quarantined_; }
+  const std::string& quarantine_reason() const { return quarantine_reason_; }
+
+  /// Lifts a quarantine and forgets the exit history; the next on_exit
+  /// starts a fresh window. No-op when not quarantined.
+  void release();
+
+  /// Consecutive-crash counter feeding the backoff schedule.
+  int attempt() const { return attempt_; }
+
+ private:
+  CrashLoopOptions options_;
+  serve::Backoff backoff_;
+  std::deque<int64_t> exits_;  // exit times still inside the window
+  int attempt_ = 0;
+  int64_t last_start_us_ = -1;
+  bool quarantined_ = false;
+  std::string quarantine_reason_;
+};
+
+}  // namespace qsnc::supervise

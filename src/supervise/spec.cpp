@@ -1,0 +1,80 @@
+#include "supervise/spec.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace qsnc::supervise {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return std::string();
+  const size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_words(const std::string& s) {
+  std::vector<std::string> words;
+  std::istringstream in(s);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw std::invalid_argument("supervisor spec line " +
+                              std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+SupervisorSpec parse_supervisor_spec(const std::string& text) {
+  SupervisorSpec spec;
+  std::set<std::string> names;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("lane ", 0) != 0) {
+      fail(line_no, "expected 'lane <name> = <argv...>'");
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(line_no, "missing '=' after lane name");
+    }
+    LaneSpec lane;
+    lane.name = trim(line.substr(5, eq - 5));
+    if (lane.name.empty() ||
+        lane.name.find_first_of(" \t") != std::string::npos) {
+      fail(line_no, "lane name must be one non-empty word");
+    }
+    lane.argv = split_words(line.substr(eq + 1));
+    if (lane.argv.empty()) {
+      fail(line_no, "lane '" + lane.name + "' has an empty command");
+    }
+    if (!names.insert(lane.name).second) {
+      fail(line_no, "duplicate lane name '" + lane.name + "'");
+    }
+    spec.lanes.push_back(std::move(lane));
+  }
+  return spec;
+}
+
+SupervisorSpec load_supervisor_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("supervisor: cannot read spec file '" + path +
+                             "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_supervisor_spec(text.str());
+}
+
+}  // namespace qsnc::supervise

@@ -1,0 +1,40 @@
+// Declarative lane spec for the fleet supervisor.
+//
+// A spec file names the long-running processes one supervisor owns, one
+// lane per line:
+//
+//   # comments and blank lines are skipped
+//   lane backend-a = ./qsnc serve --listen tcp:127.0.0.1:7101 --model lenet
+//   lane backend-b = ./qsnc serve --listen tcp:127.0.0.1:7102 --model lenet
+//
+// A lane is "lane <name> = <argv...>": the name keys restart tracking,
+// quarantine, and the status table; everything after the '=' is the
+// whitespace-split argv (argv[0] resolved through PATH at spawn time).
+// Parsing is strict — malformed lines, empty argv, and duplicate lane
+// names all throw std::invalid_argument with the offending line number,
+// so a typo'd spec fails at startup instead of spawning half a fleet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qsnc::supervise {
+
+struct LaneSpec {
+  std::string name;
+  std::vector<std::string> argv;
+};
+
+struct SupervisorSpec {
+  std::vector<LaneSpec> lanes;
+};
+
+/// Parses spec text (see header comment). Throws std::invalid_argument
+/// on malformed lines, empty argv, or duplicate lane names.
+SupervisorSpec parse_supervisor_spec(const std::string& text);
+
+/// Reads and parses a spec file. Throws std::runtime_error when the file
+/// cannot be read, std::invalid_argument on parse errors.
+SupervisorSpec load_supervisor_spec(const std::string& path);
+
+}  // namespace qsnc::supervise

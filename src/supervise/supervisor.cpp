@@ -1,0 +1,282 @@
+#include "supervise/supervisor.h"
+
+#include <csignal>
+#include <cstdio>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "report/table.h"
+
+namespace qsnc::supervise {
+
+namespace {
+
+std::string describe_exit(int wait_status) {
+  if (WIFEXITED(wait_status)) {
+    return "exit " + std::to_string(WEXITSTATUS(wait_status));
+  }
+  if (WIFSIGNALED(wait_status)) {
+    return "signal " + std::to_string(WTERMSIG(wait_status));
+  }
+  return "status " + std::to_string(wait_status);
+}
+
+std::atomic<bool> g_signal_stop{false};
+
+void handle_stop_signal(int) { g_signal_stop.store(true); }
+
+}  // namespace
+
+Supervisor::Supervisor(const SupervisorSpec& spec,
+                       const SupervisorOptions& options)
+    : options_(options) {
+  for (const LaneSpec& lane_spec : spec.lanes) {
+    Lane lane;
+    lane.spec = lane_spec;
+    lane.tracker = CrashLoopTracker(options_.crash_loop);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+int64_t Supervisor::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Supervisor::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) throw std::runtime_error("supervisor: already started");
+    started_ = true;
+    for (Lane& lane : lanes_) spawn_locked(lane);
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+bool Supervisor::spawn_locked(Lane& lane) {
+  std::vector<char*> argv;
+  argv.reserve(lane.spec.argv.size() + 1);
+  for (const std::string& arg : lane.spec.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    // fork failure is transient (EAGAIN/ENOMEM): treat it like a crash so
+    // the backoff schedule paces the retries.
+    lane.last_exit = "fork failed";
+    const auto retry = lane.tracker.on_exit(now_us(), lane.last_exit);
+    lane.restart_at_us = retry.value_or(-1);
+    return false;
+  }
+  if (pid == 0) {
+    ::execvp(argv[0], argv.data());
+    // exec failed; nothing sensible to do in the child but vanish with a
+    // recognizable status (127, the shell's command-not-found).
+    _exit(127);
+  }
+  lane.pid = pid;
+  lane.restart_at_us = -1;
+  lane.tracker.on_start(now_us());
+  return true;
+}
+
+void Supervisor::reap_locked(Lane& lane, int wait_status) {
+  lane.pid = -1;
+  lane.last_exit = describe_exit(wait_status);
+  const auto retry = lane.tracker.on_exit(now_us(), lane.last_exit);
+  lane.restart_at_us = retry.value_or(-1);
+}
+
+void Supervisor::monitor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const int64_t now = now_us();
+      for (Lane& lane : lanes_) {
+        if (lane.pid > 0) {
+          int wait_status = 0;
+          const pid_t reaped = ::waitpid(lane.pid, &wait_status, WNOHANG);
+          if (reaped == lane.pid) reap_locked(lane, wait_status);
+        }
+        if (lane.release_pending) {
+          lane.release_pending = false;
+          lane.tracker.release();
+          lane.restart_at_us = now;
+        }
+        if (lane.pid < 0 && lane.restart_at_us >= 0 &&
+            lane.restart_at_us <= now && !lane.tracker.quarantined()) {
+          if (spawn_locked(lane)) ++lane.restarts;
+        }
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.poll_interval_ms));
+  }
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
+  // Past this point the monitor is gone; this thread owns the pids.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Lane& lane : lanes_) {
+    if (lane.pid > 0) ::kill(lane.pid, SIGTERM);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+  bool any_alive = true;
+  while (any_alive && std::chrono::steady_clock::now() < deadline) {
+    any_alive = false;
+    for (Lane& lane : lanes_) {
+      if (lane.pid <= 0) continue;
+      int wait_status = 0;
+      const pid_t reaped = ::waitpid(lane.pid, &wait_status, WNOHANG);
+      if (reaped == lane.pid) {
+        lane.last_exit = describe_exit(wait_status);
+        lane.pid = -1;
+      } else {
+        any_alive = true;
+      }
+    }
+    if (any_alive) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  for (Lane& lane : lanes_) {
+    if (lane.pid <= 0) continue;
+    // The drain budget is spent; escalate.
+    ::kill(lane.pid, SIGKILL);
+    int wait_status = 0;
+    ::waitpid(lane.pid, &wait_status, 0);
+    lane.last_exit = describe_exit(wait_status);
+    lane.pid = -1;
+  }
+}
+
+bool Supervisor::release(const std::string& lane_name, std::string* message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Lane& lane : lanes_) {
+    if (lane.spec.name != lane_name) continue;
+    if (!lane.tracker.quarantined()) {
+      if (message) *message = "lane '" + lane_name + "' is not quarantined";
+      return false;
+    }
+    // The monitor thread applies the release on its next tick so all
+    // tracker mutation stays on one thread.
+    lane.release_pending = true;
+    if (message) *message = "lane '" + lane_name + "' released";
+    return true;
+  }
+  if (message) *message = "no such lane '" + lane_name + "'";
+  return false;
+}
+
+std::vector<LaneStatus> Supervisor::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LaneStatus> out;
+  out.reserve(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    LaneStatus s;
+    s.name = lane.spec.name;
+    s.pid = lane.pid;
+    s.restarts = lane.restarts;
+    s.last_exit = lane.last_exit;
+    if (lane.tracker.quarantined() && !lane.release_pending) {
+      s.state = "quarantined";
+      s.quarantine_reason = lane.tracker.quarantine_reason();
+    } else if (lane.pid > 0) {
+      s.state = "running";
+    } else if (lane.restart_at_us >= 0 || lane.release_pending) {
+      s.state = "backoff";
+    } else {
+      s.state = "stopped";
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Supervisor::status_report() const {
+  report::Table t({"lane", "state", "pid", "restarts", "last exit",
+                   "detail"});
+  for (const LaneStatus& s : status()) {
+    t.add_row({s.name, s.state, s.pid > 0 ? std::to_string(s.pid) : "-",
+               std::to_string(s.restarts),
+               s.last_exit.empty() ? "-" : s.last_exit,
+               s.quarantine_reason.empty() ? "-" : s.quarantine_reason});
+  }
+  return t.to_string();
+}
+
+void Supervisor::run_until_signal() {
+  g_signal_stop.store(false);
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int {}, old_term {};
+  ::sigaction(SIGINT, &action, &old_int);
+  ::sigaction(SIGTERM, &action, &old_term);
+  while (!g_signal_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  stop();
+}
+
+bool SupervisorFrameHandler::handle(const serve::Frame& frame,
+                                    serve::FrameSink& sink) {
+  using serve::MsgType;
+  switch (frame.type) {
+    case MsgType::kHello: {
+      const serve::Hello hello = serve::decode_hello(frame.body);
+      serve::HelloAck ack;
+      ack.version = serve::kProtocolVersion;
+      ack.accepted = hello.version == serve::kProtocolVersion;
+      return sink.send(serve::encode_hello_ack(ack));
+    }
+    case MsgType::kHealthProbe: {
+      const serve::HealthProbe probe =
+          serve::decode_health_probe(frame.body);
+      serve::HealthAck ack;
+      ack.nonce = probe.nonce;
+      ack.healthy = true;
+      return sink.send(serve::encode_health_ack(ack));
+    }
+    case MsgType::kStatsRequest:
+      return sink.send(
+          serve::encode_stats_response(supervisor_.status_report()));
+    case MsgType::kSuperviseCommand: {
+      const serve::SuperviseCommand command =
+          serve::decode_supervise_command(frame.body);
+      serve::RolloutReply reply;
+      if (command.verb == "status") {
+        reply.ok = true;
+        reply.message = supervisor_.status_report();
+      } else if (command.verb == "release") {
+        reply.ok = supervisor_.release(command.lane, &reply.message);
+      } else {
+        reply.ok = false;
+        reply.message = "unknown supervise verb '" + command.verb +
+                        "' (status|release)";
+      }
+      return sink.send(serve::encode_supervise_reply(reply));
+    }
+    default:
+      throw serve::ProtocolError("unexpected frame type for supervisor");
+  }
+}
+
+}  // namespace qsnc::supervise

@@ -1,0 +1,132 @@
+// Process supervisor for the serving fleet: spawn, monitor, restart,
+// quarantine.
+//
+// One Supervisor owns the lanes of a SupervisorSpec. start() forks and
+// execs every lane and launches a monitor thread that
+//
+//  * reaps exited children (per-lane waitpid WNOHANG poll),
+//  * schedules restarts on the CrashLoopTracker's exponential-jitter
+//    delay, and
+//  * quarantines lanes the tracker flags as crash-looping — the lane
+//    stays down, its structured reason surfaces in the status table, and
+//    only release() (the `qsnc supervisor release` verb over the control
+//    endpoint) revives it.
+//
+// stop() drains gracefully: SIGTERM to every child, a bounded wait for
+// voluntary exit (serving nodes flush their journals and close sockets
+// on SIGTERM), then SIGKILL escalation for anything still alive — the
+// supervisor never leaks children. The monitor thread is the only place
+// that forks or reaps, so pid bookkeeping has a single writer; status()
+// and release() synchronize with it through one mutex.
+//
+// The control endpoint is plain protocol v6 over a serve::SocketServer:
+// SupervisorFrameHandler answers kHello, kHealthProbe, kStatsRequest
+// (the status table), and kSuperviseCommand ("status" | "release
+// <lane>").
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "supervise/crash_loop.h"
+#include "supervise/spec.h"
+
+namespace qsnc::supervise {
+
+struct SupervisorOptions {
+  CrashLoopOptions crash_loop;
+  /// SIGTERM -> SIGKILL escalation budget on stop().
+  int64_t drain_timeout_ms = 2000;
+  /// Monitor thread reap/restart poll cadence.
+  int64_t poll_interval_ms = 20;
+};
+
+/// Point-in-time view of one lane (status table row).
+struct LaneStatus {
+  std::string name;
+  pid_t pid = -1;  // -1 when not running
+  std::string state;  // "running" | "backoff" | "quarantined" | "stopped"
+  int restarts = 0;
+  std::string last_exit;  // "exit N" | "signal N" | "" before first exit
+  std::string quarantine_reason;
+};
+
+class Supervisor {
+ public:
+  Supervisor(const SupervisorSpec& spec,
+             const SupervisorOptions& options = {});
+  ~Supervisor();  // stop()s
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns every lane and starts the monitor thread. Throws
+  /// std::runtime_error if called twice.
+  void start();
+
+  /// Graceful drain: SIGTERM all children, wait up to drain_timeout_ms,
+  /// SIGKILL the rest, reap everything, join the monitor. Idempotent.
+  void stop();
+
+  /// Lifts a crash-loop quarantine; the lane restarts on the next
+  /// monitor tick. Returns false when no such lane exists or the lane is
+  /// not quarantined (message explains which).
+  bool release(const std::string& lane, std::string* message = nullptr);
+
+  std::vector<LaneStatus> status() const;
+
+  /// Status table rendering (one row per lane).
+  std::string status_report() const;
+
+  /// Blocks until SIGINT/SIGTERM, then stop()s. Installs its handlers
+  /// for the call's duration; only one instance may run this at a time.
+  void run_until_signal();
+
+ private:
+  struct Lane {
+    LaneSpec spec;
+    CrashLoopTracker tracker;
+    pid_t pid = -1;
+    int restarts = 0;
+    int64_t restart_at_us = -1;  // >= 0: restart pending at this time
+    std::string last_exit;
+    bool release_pending = false;
+  };
+
+  static int64_t now_us();
+  void monitor_loop();
+  /// Forks/execs `lane`'s argv. Caller holds mu_. Returns false (lane
+  /// left down, scheduled per tracker) when fork itself fails.
+  bool spawn_locked(Lane& lane);
+  void reap_locked(Lane& lane, int wait_status);
+
+  SupervisorOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Lane> lanes_;
+  std::thread monitor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+/// Protocol v6 control endpoint semantics for a Supervisor (see
+/// serve/protocol.h): kSuperviseCommand verbs "status" and "release
+/// <lane>", answered by kSuperviseReply; plus kHello, kHealthProbe and
+/// kStatsRequest so the standard probes work against a supervisor.
+class SupervisorFrameHandler : public serve::FrameHandler {
+ public:
+  explicit SupervisorFrameHandler(Supervisor& supervisor)
+      : supervisor_(supervisor) {}
+  bool handle(const serve::Frame& frame, serve::FrameSink& sink) override;
+
+ private:
+  Supervisor& supervisor_;
+};
+
+}  // namespace qsnc::supervise

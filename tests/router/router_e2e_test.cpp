@@ -128,6 +128,43 @@ TEST(BackendPoolTest, TrippedBreakerRejoinsDespiteRepeatedUsablePolls) {
   EXPECT_EQ(pool.stats()[0].breaker, serve::CircuitBreaker::State::kClosed);
 }
 
+// Regression: when the HealthProber revives a backend (probe flips it
+// up), its breaker must reset too. Before, a backend whose breaker
+// opened during the outage stayed breaker-open for the rest of its
+// timer even though a probe just proved it serves again — fast-failing
+// live traffic at a healthy backend.
+TEST(BackendPoolTest, ProbeReviveResetsBreaker) {
+  RouterOptions options;
+  options.backends.push_back(serve::parse_endpoint("unix:/tmp/qsnc-bp-a"));
+  options.backends.push_back(serve::parse_endpoint("unix:/tmp/qsnc-bp-b"));
+  options.breaker_threshold = 1;
+  options.breaker_open_ms = 60'000;  // would hold open for 60s of now_us
+  options.probe_down_after = 2;
+  BackendPool pool(options);
+
+  // Forward failures open the breaker; probe failures mark it down.
+  pool.record_failure(0, /*now_us=*/0);
+  EXPECT_FALSE(pool.usable(0, 1000));
+  pool.record_probe(0, false, 0);
+  pool.record_probe(0, false, 0);
+  EXPECT_FALSE(pool.up(0));
+
+  // The revival probe flips it up AND closes the breaker — well inside
+  // the 60s open window, so only the reset explains usable() here.
+  pool.record_probe(0, true, 0);
+  EXPECT_TRUE(pool.up(0));
+  EXPECT_EQ(pool.stats()[0].breaker, serve::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(pool.usable(0, 2000));
+
+  // A routine ok-probe on an already-up backend is not a revival: it
+  // must not reset a breaker that live forwards just opened.
+  pool.record_failure(0, 3000);
+  EXPECT_FALSE(pool.usable(0, 4000));
+  pool.record_probe(0, true, 0);
+  EXPECT_FALSE(pool.usable(0, 4001));
+  EXPECT_EQ(pool.stats()[0].breaker, serve::CircuitBreaker::State::kOpen);
+}
+
 TEST(RouterE2ETest, PredictionsThroughRouterAreBitExact) {
   BackendNode a;
   BackendNode b;
@@ -277,6 +314,104 @@ TEST(RouterE2ETest, HedgingCutsTailLatencyOfASlowBackend) {
   EXPECT_GT(hedged.router().hedged(), 0u);
   EXPECT_GT(hedged.router().hedge_wins(), 0u);
   EXPECT_EQ(unhedged.router().hedged(), 0u);
+}
+
+TEST(RouterE2ETest, CrossHopDeadlineIsDecrementedAndExhaustsStructurally) {
+  // Every backend is chaos-slowed (80ms before every batch), so a 30ms
+  // total budget can never be met: the first attempt times out at the
+  // remaining-budget clamp, and a later attempt finds the budget spent —
+  // the router answers kDeadlineExceeded itself instead of burning more
+  // backend slots on an answer the client has given up on. Three lanes,
+  // not two: an attempt's read can time out a poll-tick *under* the
+  // clamp, leaving microseconds of budget at the next check; with a
+  // third candidate the loop is guaranteed one more budget check after
+  // that sliver is spent, so the deadline branch (never the exhausted
+  // branch) always answers.
+  serve::ChaosConfig chaos_cfg;
+  chaos_cfg.backend_latency_rate = 1.0;
+  chaos_cfg.backend_latency_us = 80'000;
+  serve::ChaosInjector chaos(chaos_cfg);
+  BatchOptions slow_opts = BackendNode::default_opts();
+  slow_opts.chaos = &chaos;
+  BackendNode a(slow_opts);
+  BackendNode b(slow_opts);
+  BackendNode c(slow_opts);
+  RouterServer router(fast_probe_options({&a, &b, &c}));
+  SocketClient client(router.endpoint());
+
+  const auto images = random_images(3, 99);
+
+  // A deadline-less request rides the slow fleet fine (80ms << the 3s
+  // forward timeout), as does a generous budget — deadline propagation
+  // must cost correct requests nothing.
+  ASSERT_EQ(client.infer("lenet-mini", images[0]).status, Status::kOk);
+  const Response roomy =
+      client.infer("lenet-mini", images[1], /*deadline_us=*/2'000'000);
+  ASSERT_EQ(roomy.status, Status::kOk) << roomy.error;
+
+  // 30ms of budget against 80ms backends: structured exhaustion.
+  const Response tight =
+      client.infer("lenet-mini", images[2], /*deadline_us=*/30'000);
+  EXPECT_EQ(tight.status, Status::kDeadlineExceeded) << tight.error;
+  EXPECT_NE(tight.error.find("deadline exhausted"), std::string::npos)
+      << tight.error;
+  EXPECT_GE(router.router().deadline_exceeded(), 1u);
+  EXPECT_EQ(router.router().exhausted(), 0u);
+  // The health table surfaces the new counter.
+  EXPECT_NE(router.router().stats_report().find("deadline"),
+            std::string::npos);
+}
+
+TEST(RouterE2ETest, DryRetryBudgetShedsInsteadOfAmplifying) {
+  BackendNode dead;
+  BackendNode alive;
+  RouterOptions options = fast_probe_options({&dead, &alive});
+  // Keep the prober and breaker out of the picture so every pinned
+  // request genuinely attempts the corpse: the retry budget is the only
+  // mechanism under test.
+  options.probe_interval_ms = 100'000;
+  options.probe_down_after = 1000;
+  options.breaker_threshold = 0;
+  // One reroute of burst, a refill rate that adds nothing in-test.
+  options.retry_tokens_per_sec = 0.001;
+  options.retry_burst = 1.0;
+  RouterServer router(options);
+  const std::string doomed = session_owned_by(options, 0);
+  const std::string safe = session_owned_by(options, 1);
+  dead.server->stop();
+
+  SocketClient client(router.endpoint());
+  const auto images = random_images(4, 321);
+
+  // Request 1 spends backend 0's only token on the reroute and succeeds.
+  const Response first =
+      client.infer("lenet-mini", images[0], /*deadline_us=*/0,
+                   serve::Priority::kInteractive, doomed);
+  ASSERT_EQ(first.status, Status::kOk) << first.error;
+  EXPECT_EQ(router.router().rerouted(), 1u);
+
+  // Request 2 finds the bucket dry: shed with a retry-after hint, no
+  // second reroute amplified onto the healthy neighbor.
+  const Response second =
+      client.infer("lenet-mini", images[1], /*deadline_us=*/0,
+                   serve::Priority::kInteractive, doomed);
+  EXPECT_EQ(second.status, Status::kShedded) << second.error;
+  EXPECT_GT(second.retry_after_us, 0u);
+  EXPECT_NE(second.error.find("retry budget exhausted"), std::string::npos)
+      << second.error;
+  EXPECT_EQ(router.router().rerouted(), 1u);
+  EXPECT_EQ(router.router().budget_shed(), 1u);
+  EXPECT_EQ(router.pool().stats()[0].retry_sheds, 1u);
+
+  // Collateral check: traffic owned by the healthy backend is untouched
+  // by its neighbor's dry budget.
+  const Response other =
+      client.infer("lenet-mini", images[2], /*deadline_us=*/0,
+                   serve::Priority::kInteractive, safe);
+  EXPECT_EQ(other.status, Status::kOk) << other.error;
+  // And the shed shows up in the health table ("rshed" column).
+  EXPECT_NE(router.router().stats_report().find("rshed"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,486 @@
+// Durable state journal: record codecs, torn-tail recovery at every
+// truncation offset, CRC discipline, seeded crash-during-append chaos,
+// compaction atomics, and ServeCore::attach_journal reconciliation
+// (the restart half of the supervisor's crash-recovery contract).
+#include "serve/journal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/rng.h"
+#include "nn/tensor.h"
+#include "serve/chaos.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "util/crc32.h"
+
+namespace qsnc::serve {
+namespace {
+
+std::string fresh_path(const char* tag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("qsnc_journal_" + std::string(tag) + "_" +
+        std::to_string(::getpid()) + ".jrnl"))
+          .string();
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+  return path;
+}
+
+std::vector<uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+LoadVersionRequest tiny_load(const std::string& name, uint64_t seed = 5) {
+  LoadVersionRequest request;
+  request.name = name;
+  request.architecture = "lenet-mini";
+  request.backend_kind = "fp32";
+  request.bits = 4;
+  request.init_seed = seed;
+  return request;
+}
+
+nn::Tensor test_image(uint64_t seed) {
+  nn::Rng rng(seed);
+  nn::Tensor t({1, 28, 28});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(0.0f, 1.0f);
+  return t;
+}
+
+TEST(JournalCodecTest, LoadVersionRoundTrips) {
+  LoadVersionRequest request = tiny_load("lenet-mini@v2", 11);
+  request.state = {1, 2, 3, 4, 5};
+  const LoadVersionRequest back =
+      decode_journal_load_version(encode_journal_load_version(request));
+  EXPECT_EQ(back.name, request.name);
+  EXPECT_EQ(back.architecture, request.architecture);
+  EXPECT_EQ(back.backend_kind, request.backend_kind);
+  EXPECT_EQ(back.bits, request.bits);
+  EXPECT_EQ(back.init_seed, request.init_seed);
+  EXPECT_EQ(back.state, request.state);
+}
+
+TEST(JournalCodecTest, PromoteRollbackQuarantineRoundTrip) {
+  const JournalPromote promote =
+      decode_journal_promote(encode_journal_promote({"lenet", "lenet@v3"}));
+  EXPECT_EQ(promote.base, "lenet");
+  EXPECT_EQ(promote.key, "lenet@v3");
+
+  const JournalRollback rollback = decode_journal_rollback(
+      encode_journal_rollback({"lenet@v3", "canary deviation"}));
+  EXPECT_EQ(rollback.key, "lenet@v3");
+  EXPECT_EQ(rollback.reason, "canary deviation");
+
+  const JournalReplicaQuarantine quarantine =
+      decode_journal_replica_quarantine(
+          encode_journal_replica_quarantine({"lenet@v3", 7, "stuck column"}));
+  EXPECT_EQ(quarantine.model, "lenet@v3");
+  EXPECT_EQ(quarantine.replica, 7u);
+  EXPECT_EQ(quarantine.reason, "stuck column");
+}
+
+TEST(JournalCodecTest, TruncatedPayloadThrows) {
+  std::vector<uint8_t> payload =
+      encode_journal_promote({"lenet", "lenet@v3"});
+  payload.pop_back();
+  EXPECT_THROW(decode_journal_promote(payload), ProtocolError);
+  // Trailing garbage on a CRC-clean payload is corruption, not a tail.
+  payload = encode_journal_rollback({"k", "r"});
+  payload.push_back(0);
+  EXPECT_THROW(decode_journal_rollback(payload), ProtocolError);
+}
+
+TEST(JournalTest, AppendAndReplayRoundTrip) {
+  const std::string path = fresh_path("roundtrip");
+  {
+    Journal journal(path);
+    EXPECT_TRUE(journal.append(
+        JournalRecordType::kLoadVersion,
+        encode_journal_load_version(tiny_load("tiny@v1"))));
+    EXPECT_TRUE(journal.append(JournalRecordType::kPromote,
+                               encode_journal_promote({"tiny", "tiny@v1"})));
+    EXPECT_TRUE(journal.append(
+        JournalRecordType::kReplicaQuarantine,
+        encode_journal_replica_quarantine({"tiny@v1", 2, "canary"})));
+    EXPECT_EQ(journal.appended(), 3u);
+    EXPECT_FALSE(journal.failed());
+  }
+  const JournalReplayResult result = Journal::replay(path);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_FALSE(result.tail_dropped);
+  EXPECT_EQ(result.records[0].type, JournalRecordType::kLoadVersion);
+  EXPECT_EQ(result.records[1].type, JournalRecordType::kPromote);
+  EXPECT_EQ(result.records[2].type, JournalRecordType::kReplicaQuarantine);
+  EXPECT_EQ(result.records[0].seq, 1u);
+  EXPECT_EQ(result.records[2].seq, 3u);
+  const JournalPromote promote =
+      decode_journal_promote(result.records[1].payload);
+  EXPECT_EQ(promote.key, "tiny@v1");
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, ReopenResumesSequenceNumbers) {
+  const std::string path = fresh_path("reopen");
+  {
+    Journal journal(path);
+    journal.append(JournalRecordType::kPromote,
+                   encode_journal_promote({"a", "a@v1"}));
+  }
+  {
+    Journal journal(path);
+    EXPECT_EQ(journal.next_seq(), 2u);
+    journal.append(JournalRecordType::kPromote,
+                   encode_journal_promote({"a", "a@v2"}));
+  }
+  const JournalReplayResult result = Journal::replay(path);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[1].seq, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, MissingFileReplaysEmpty) {
+  const JournalReplayResult result =
+      Journal::replay(fresh_path("missing"));
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_FALSE(result.tail_dropped);
+}
+
+TEST(JournalTest, NonJournalFileRefusedByCtorAndReplay) {
+  const std::string path = fresh_path("garbage");
+  write_bytes(path, {'n', 'o', 't', ' ', 'a', ' ', 'j', 'r', 'n', 'l'});
+  EXPECT_THROW(Journal::replay(path), std::runtime_error);
+  EXPECT_THROW(Journal journal(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, UnsupportedFormatVersionThrows) {
+  const std::string path = fresh_path("future");
+  std::vector<uint8_t> bytes = {'Q', 'S', 'N', 'C', 'J', 'R', 'N', 'L',
+                                99,  0,   0,   0};
+  write_bytes(path, bytes);
+  EXPECT_THROW(Journal::replay(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// The torn-tail discipline, exhaustively: truncating the file at every
+// byte offset inside the final record must drop exactly that record and
+// keep the clean prefix — no truncation point may crash the replayer or
+// smuggle a partial record through.
+TEST(JournalTest, TornTailAtEveryTruncationOffsetDropsOnlyTheTail) {
+  const std::string path = fresh_path("torn");
+  size_t first_record_end = 0;
+  {
+    Journal journal(path);
+    journal.append(JournalRecordType::kPromote,
+                   encode_journal_promote({"tiny", "tiny@v1"}));
+    first_record_end = static_cast<size_t>(
+        std::filesystem::file_size(path));
+    journal.append(JournalRecordType::kRollback,
+                   encode_journal_rollback({"tiny@v1", "bad canary"}));
+  }
+  const std::vector<uint8_t> full = file_bytes(path);
+  ASSERT_GT(full.size(), first_record_end);
+
+  for (size_t cut = first_record_end; cut < full.size(); ++cut) {
+    write_bytes(path, std::vector<uint8_t>(full.begin(),
+                                           full.begin() +
+                                               static_cast<ptrdiff_t>(cut)));
+    const JournalReplayResult result = Journal::replay(path);
+    ASSERT_EQ(result.records.size(), 1u) << "cut at byte " << cut;
+    EXPECT_EQ(result.tail_dropped, cut != first_record_end)
+        << "cut at byte " << cut;
+    EXPECT_EQ(result.valid_bytes, first_record_end) << "cut at byte " << cut;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, CrcFlipDropsTheCorruptRecord) {
+  const std::string path = fresh_path("crcflip");
+  {
+    Journal journal(path);
+    journal.append(JournalRecordType::kPromote,
+                   encode_journal_promote({"tiny", "tiny@v1"}));
+    journal.append(JournalRecordType::kRollback,
+                   encode_journal_rollback({"tiny@v1", "bad canary"}));
+  }
+  std::vector<uint8_t> bytes = file_bytes(path);
+  bytes.back() ^= 0xFF;  // flip inside the final record's body
+  write_bytes(path, bytes);
+  const JournalReplayResult result = Journal::replay(path);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_TRUE(result.tail_dropped);
+  EXPECT_NE(result.tail_reason.find("CRC mismatch"), std::string::npos)
+      << result.tail_reason;
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, UnknownRecordTypeDropsTail) {
+  const std::string path = fresh_path("unknowntype");
+  std::vector<uint8_t> bytes;
+  {
+    Journal journal(path);
+    journal.append(JournalRecordType::kPromote,
+                   encode_journal_promote({"tiny", "tiny@v1"}));
+  }
+  // Hand-craft a CRC-clean record with an unknown type byte: body is
+  // type 200 + an 8-byte seq.
+  bytes = file_bytes(path);
+  std::vector<uint8_t> body = {200, 9, 0, 0, 0, 0, 0, 0, 0};
+  const uint32_t crc = util::crc32(body.data(), body.size());
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  for (size_t i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  write_bytes(path, bytes);
+  const JournalReplayResult result = Journal::replay(path);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_TRUE(result.tail_dropped);
+  EXPECT_NE(result.tail_reason.find("unknown record type"),
+            std::string::npos)
+      << result.tail_reason;
+  std::filesystem::remove(path);
+}
+
+// The seeded chaos spelling of a crash mid-append: the record is cut
+// partway through its bytes, the journal fails closed, and replay drops
+// exactly the torn record.
+TEST(JournalTest, SeededChaosTornAppendIsDroppedOnReplay) {
+  const std::string path = fresh_path("chaos");
+  ChaosConfig config;
+  config.seed = 42;
+  config.journal_torn_rate = 1.0;
+  ChaosInjector chaos(config);
+  {
+    Journal journal(path, &chaos);
+    EXPECT_FALSE(journal.append(
+        JournalRecordType::kPromote,
+        encode_journal_promote({"tiny", "tiny@v1"})));
+    EXPECT_TRUE(journal.failed());
+    // A failed journal refuses further appends (fail closed, serve on).
+    EXPECT_FALSE(journal.append(
+        JournalRecordType::kRollback,
+        encode_journal_rollback({"tiny@v1", "x"})));
+  }
+  EXPECT_EQ(chaos.stats().journal_torn, 1u);
+  const JournalReplayResult result = Journal::replay(path);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_TRUE(result.tail_dropped);
+  // The torn bytes are a strict prefix of a record: more than the bare
+  // header survives only sometimes, but never the whole record.
+  EXPECT_GT(std::filesystem::file_size(path), 12u);  // header + >= 1 byte
+  std::filesystem::remove(path);
+}
+
+TEST(JournalTest, CompactRewritesSnapshotAndReassignsSeqs) {
+  const std::string path = fresh_path("compact");
+  Journal journal(path);
+  journal.append(JournalRecordType::kPromote,
+                 encode_journal_promote({"a", "a@v1"}));
+  journal.append(JournalRecordType::kPromote,
+                 encode_journal_promote({"a", "a@v2"}));
+  journal.append(JournalRecordType::kRollback,
+                 encode_journal_rollback({"a@v1", "old"}));
+
+  // Compact down to one surviving record: the snapshot replaces history.
+  JournalRecord keep;
+  keep.type = JournalRecordType::kPromote;
+  keep.seq = 99;  // ignored: compaction reassigns contiguously from 1
+  keep.payload = encode_journal_promote({"a", "a@v2"});
+  ASSERT_TRUE(journal.compact({keep}));
+  EXPECT_EQ(journal.next_seq(), 2u);
+
+  // The compacted file replays to exactly the snapshot, and the journal
+  // keeps appending cleanly after the rename.
+  JournalReplayResult result = Journal::replay(path);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].seq, 1u);
+  EXPECT_FALSE(result.tail_dropped);
+
+  EXPECT_TRUE(journal.append(JournalRecordType::kRollback,
+                             encode_journal_rollback({"a@v2", "later"})));
+  result = Journal::replay(path);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[1].seq, 2u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// attach_journal: the restart-reconciliation half.
+// ---------------------------------------------------------------------------
+
+TEST(JournalReconcileTest, FreshJournalAttachesEmpty) {
+  const std::string path = fresh_path("attach_fresh");
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.init_seed = 5;
+  ModelRegistry registry;
+  registry.add("lenet-mini", cfg);
+  ServeCore core(registry, BatchOptions{});
+  const JournalReconcileReport report = core.attach_journal(path);
+  EXPECT_EQ(report.records_replayed, 0u);
+  EXPECT_EQ(report.applied, 0u);
+  ASSERT_NE(core.journal(), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(JournalReconcileTest, ReplayRebuildsActiveVersionsBitExact) {
+  const std::string path = fresh_path("attach_replay");
+  // Pre-crash history, written directly: two hot-loaded versions of base
+  // "tiny", v2 promoted, v1 rolled back with a reason.
+  {
+    Journal journal(path);
+    journal.append(JournalRecordType::kLoadVersion,
+                   encode_journal_load_version(tiny_load("tiny@v1", 5)));
+    journal.append(JournalRecordType::kLoadVersion,
+                   encode_journal_load_version(tiny_load("tiny@v2", 5)));
+    journal.append(JournalRecordType::kPromote,
+                   encode_journal_promote({"tiny", "tiny@v2"}));
+    journal.append(
+        JournalRecordType::kRollback,
+        encode_journal_rollback({"tiny@v1", "operator rollback"}));
+  }
+
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.init_seed = 5;
+  ModelRegistry registry;
+  registry.add("lenet-mini", cfg);
+  ServeCore core(registry, BatchOptions{});
+  const JournalReconcileReport report = core.attach_journal(path);
+  EXPECT_EQ(report.records_replayed, 4u);
+  EXPECT_EQ(report.applied, 4u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_TRUE(report.errors.empty())
+      << (report.errors.empty() ? "" : report.errors[0]);
+
+  // The registry is back to its pre-crash shape: v2 active, v1
+  // quarantined, bare-name traffic serving v2.
+  EXPECT_EQ(registry.active_key("tiny"), "tiny@v2");
+  EXPECT_EQ(registry.state("tiny@v1"), VersionState::kQuarantined);
+  const Response served = core.infer("tiny", test_image(77));
+  ASSERT_EQ(served.status, Status::kOk) << served.error;
+
+  // Bit-exact: a reference build from the same seed agrees.
+  ModelConfig ref_cfg;
+  ref_cfg.architecture = "lenet-mini";
+  ref_cfg.init_seed = 5;
+  ModelRegistry ref_registry;
+  ref_registry.add("ref", ref_cfg);
+  ServeCore reference(ref_registry, BatchOptions{});
+  const Response expect = reference.infer("ref", test_image(77));
+  ASSERT_EQ(expect.status, Status::kOk) << expect.error;
+  EXPECT_EQ(served.prediction, expect.prediction);
+
+  // attach_journal compacted the file to the canonical snapshot: the
+  // same four transitions, reconstructible on the *next* restart too.
+  const JournalReplayResult compacted = Journal::replay(path);
+  EXPECT_EQ(compacted.records.size(), 4u);
+  EXPECT_FALSE(compacted.tail_dropped);
+  std::filesystem::remove(path);
+}
+
+TEST(JournalReconcileTest, BootRegisteredKeysSkipAndTornTailReported) {
+  const std::string path = fresh_path("attach_skip");
+  {
+    Journal journal(path);
+    // Same key the boot flags will register: replay must defer to boot.
+    journal.append(JournalRecordType::kLoadVersion,
+                   encode_journal_load_version(tiny_load("lenet-mini", 5)));
+    // Promote referencing a key nothing registers: a reported error.
+    journal.append(JournalRecordType::kPromote,
+                   encode_journal_promote({"ghost", "ghost@v1"}));
+    // Replica quarantine: audit-only on replay.
+    journal.append(
+        JournalRecordType::kReplicaQuarantine,
+        encode_journal_replica_quarantine({"lenet-mini", 1, "canary"}));
+  }
+  // Torn tail on top: half a record of garbage.
+  std::vector<uint8_t> bytes = file_bytes(path);
+  bytes.push_back(0xAB);
+  bytes.push_back(0xCD);
+  write_bytes(path, bytes);
+
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.init_seed = 5;
+  ModelRegistry registry;
+  registry.add("lenet-mini", cfg);
+  ServeCore core(registry, BatchOptions{});
+  const JournalReconcileReport report = core.attach_journal(path);
+  EXPECT_EQ(report.records_replayed, 3u);
+  EXPECT_EQ(report.skipped, 2u);  // boot-registered load + replica audit
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("ghost"), std::string::npos)
+      << report.errors[0];
+  EXPECT_TRUE(report.tail_dropped);
+  EXPECT_FALSE(report.tail_reason.empty());
+  // The report renders without throwing.
+  EXPECT_FALSE(report.to_string().empty());
+
+  // Compaction scrubbed both the torn tail and the dead records: the
+  // node serves, and the next replay is clean.
+  const JournalReplayResult compacted = Journal::replay(path);
+  EXPECT_FALSE(compacted.tail_dropped);
+  std::filesystem::remove(path);
+}
+
+// A live hot-load journals through the core hooks, and a second core
+// recovers it — the in-process spelling of kill -9 + restart.
+TEST(JournalReconcileTest, LiveHotLoadSurvivesRestartBitExact) {
+  const std::string path = fresh_path("attach_live");
+  ModelConfig cfg;
+  cfg.architecture = "lenet-mini";
+  cfg.init_seed = 5;
+  int pre_crash_prediction = -1;
+  {
+    ModelRegistry registry;
+    registry.add("lenet-mini", cfg);
+    ServeCore core(registry, BatchOptions{});
+    core.attach_journal(path);
+    // Hot-load a new base: the first version of a new base activates
+    // immediately, no rollout to wait on.
+    const RolloutReply loaded = core.load_version(tiny_load("tiny@v1", 9));
+    ASSERT_TRUE(loaded.ok) << loaded.message;
+    const Response served = core.infer("tiny", test_image(31));
+    ASSERT_EQ(served.status, Status::kOk) << served.error;
+    pre_crash_prediction = served.prediction;
+    // No clean shutdown: the journal simply stops getting writes, like a
+    // SIGKILL would leave it.
+  }
+  ModelRegistry registry2;
+  registry2.add("lenet-mini", cfg);
+  ServeCore core2(registry2, BatchOptions{});
+  const JournalReconcileReport report = core2.attach_journal(path);
+  EXPECT_EQ(report.records_replayed, 1u);
+  EXPECT_EQ(report.applied, 1u);
+  ASSERT_TRUE(registry2.contains("tiny@v1"));
+  EXPECT_EQ(registry2.resolve("tiny"), "tiny@v1");
+  const Response served = core2.infer("tiny", test_image(31));
+  ASSERT_EQ(served.status, Status::kOk) << served.error;
+  EXPECT_EQ(served.prediction, pre_crash_prediction);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace qsnc::serve

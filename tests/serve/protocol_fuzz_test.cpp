@@ -162,6 +162,12 @@ void decode_by_type(const Frame& frame) {
     case MsgType::kRolloutReply:
       (void)decode_rollout_reply(frame.body);
       break;
+    case MsgType::kSuperviseCommand:
+      (void)decode_supervise_command(frame.body);
+      break;
+    case MsgType::kSuperviseReply:
+      (void)decode_supervise_reply(frame.body);
+      break;
     default:
       break;
   }
@@ -292,6 +298,8 @@ TEST(ProtocolFuzzTest, MutatedValidFramesNeverEscape) {
       encode_rollout_status(RolloutCommand{"", ""}),
       encode_rollout_reply(RolloutReply{true, "rollout: promoted"}),
       encode_health_ack(valid_versioned_ack()),
+      encode_supervise_command(SuperviseCommand{"release", "backend-a"}),
+      encode_supervise_reply(RolloutReply{true, "lane released"}),
   };
   for (uint64_t i = 0; i < 1000; ++i) {
     FuzzRng rng(0x1000 + i);
@@ -460,6 +468,10 @@ TEST(ProtocolFuzzTest, EveryTruncationOfAV5FrameIsAProtocolError) {
       encode_rollout_status(RolloutCommand{"lenet-mini", ""}),
       encode_rollout_reply(RolloutReply{false, "load: checksum mismatch"}),
       encode_health_ack(valid_versioned_ack()),
+      // v6 supervisor control frames ride the same discipline.
+      encode_supervise_command(SuperviseCommand{"release", "backend-a"}),
+      encode_supervise_reply(
+          RolloutReply{false, "lane 'backend-a' is not quarantined"}),
   };
   for (const std::vector<uint8_t>& frame : frames) {
     const std::vector<uint8_t> body(frame.begin() + 5, frame.end());
@@ -529,6 +541,7 @@ TEST(ProtocolFuzzTest, UnhandshakenControlFramesDropTheConnection) {
       encode_promote(RolloutCommand{"m@v2", ""}),
       encode_rollback(RolloutCommand{"m@v2", "r"}),
       encode_rollout_status(RolloutCommand{"", ""}),
+      encode_supervise_command(SuperviseCommand{"status", ""}),
   };
   for (const std::vector<uint8_t>& frame : control) {
     const int fd = connect_to(server.endpoint());

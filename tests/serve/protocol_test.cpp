@@ -179,6 +179,34 @@ TEST(ProtocolTest, TrailingBytesThrow) {
   EXPECT_THROW(decode_infer_response(body), ProtocolError);
 }
 
+TEST(ProtocolTest, SuperviseFramesRoundTrip) {
+  // v6 supervisor control: command (verb + lane) and reply (the
+  // kRolloutReply shape under its own frame type).
+  const std::vector<uint8_t> cwire =
+      encode_supervise_command(SuperviseCommand{"release", "backend-a"});
+  EXPECT_EQ(static_cast<MsgType>(cwire[4]), MsgType::kSuperviseCommand);
+  const SuperviseCommand command = decode_supervise_command(
+      std::vector<uint8_t>(cwire.begin() + 5, cwire.end()));
+  EXPECT_EQ(command.verb, "release");
+  EXPECT_EQ(command.lane, "backend-a");
+
+  const std::vector<uint8_t> rwire =
+      encode_supervise_reply(RolloutReply{false, "no such lane 'x'"});
+  EXPECT_EQ(static_cast<MsgType>(rwire[4]), MsgType::kSuperviseReply);
+  const RolloutReply reply = decode_supervise_reply(
+      std::vector<uint8_t>(rwire.begin() + 5, rwire.end()));
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.message, "no such lane 'x'");
+
+  // An empty lane ("status") survives the round trip too.
+  const std::vector<uint8_t> swire =
+      encode_supervise_command(SuperviseCommand{"status", ""});
+  const SuperviseCommand status = decode_supervise_command(
+      std::vector<uint8_t>(swire.begin() + 5, swire.end()));
+  EXPECT_EQ(status.verb, "status");
+  EXPECT_TRUE(status.lane.empty());
+}
+
 TEST(ProtocolTest, UnknownStatusCodeThrows) {
   InferResponse response;
   response.id = 1;

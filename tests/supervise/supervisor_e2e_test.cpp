@@ -1,0 +1,276 @@
+// Fleet self-healing end to end: a real Supervisor running the real
+// `qsnc` binary (env QSNC_BIN, wired by CMake) as a journaled serving
+// lane. SIGKILL the backend three times under live traffic and the
+// contract is: every request eventually resolves kOk (zero drops), and
+// the hot-loaded version comes back bit-exact after every restart —
+// rebuilt purely from the state journal, since the boot flags never
+// mention it. A second test drives the crash-loop quarantine + release
+// verbs over the protocol v6 control endpoint.
+//
+// fork()+exec from a threaded parent is safe (unlike the in-child
+// servers of fleet_chaos_test), but the children are real processes, so
+// this suite also stays out of the tsan build.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/rng.h"
+#include "nn/tensor.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "supervise/supervisor.h"
+
+namespace qsnc::supervise {
+namespace {
+
+using serve::Response;
+using serve::Status;
+
+/// Reserves a free TCP port by binding an ephemeral socket, reading the
+/// kernel's choice, and closing it. The supervised child rebinds the same
+/// port on every restart (an ephemeral port would move).
+uint16_t free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  uint16_t port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port = ntohs(addr.sin_port);
+    }
+  }
+  ::close(fd);
+  return port;
+}
+
+nn::Tensor test_image(uint64_t seed) {
+  nn::Rng rng(seed);
+  nn::Tensor t({1, 28, 28});
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(0.0f, 1.0f);
+  return t;
+}
+
+SupervisorOptions fast_options() {
+  SupervisorOptions options;
+  options.crash_loop.backoff =
+      serve::BackoffConfig{/*base_us=*/20000, /*max_us=*/200000,
+                          /*multiplier=*/2.0, /*seed=*/1};
+  options.crash_loop.quarantine_exits = 3;
+  options.crash_loop.window_us = 30'000'000;
+  options.drain_timeout_ms = 3000;
+  options.poll_interval_ms = 5;
+  return options;
+}
+
+bool wait_until_serving(const std::string& endpoint, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    try {
+      serve::SocketClient probe(endpoint);
+      if (probe.probe().healthy) return true;
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
+
+TEST(SupervisorE2ETest, TripleSigkillUnderLoadZeroDropsJournalReconciled) {
+  const char* bin = std::getenv("QSNC_BIN");
+  if (bin == nullptr || bin[0] == '\0') {
+    GTEST_SKIP() << "QSNC_BIN not set (run via ctest)";
+  }
+  const uint16_t port = free_port();
+  ASSERT_GT(port, 0);
+  const std::string endpoint = "tcp:127.0.0.1:" + std::to_string(port);
+  const std::string journal_path =
+      (std::filesystem::temp_directory_path() /
+       ("qsnc_e2e_" + std::to_string(::getpid()) + ".jrnl"))
+          .string();
+  std::filesystem::remove(journal_path);
+
+  SupervisorSpec spec;
+  spec.lanes.push_back(
+      {"backend",
+       {bin, "serve", "--listen", endpoint, "--model", "lenet-mini",
+        "--seed", "5", "--max-batch", "4", "--batch-timeout-us", "500",
+        "--journal", journal_path, "--threads", "2"}});
+  SupervisorOptions options = fast_options();
+  // Three SIGKILLs are deliberate surgery, not a crash loop: keep the
+  // quarantine threshold out of the way for this test.
+  options.crash_loop.quarantine_exits = 20;
+  Supervisor supervisor(spec, options);
+  supervisor.start();
+  ASSERT_TRUE(wait_until_serving(endpoint, 20000))
+      << "supervised backend never came up";
+
+  // Hot-load a second base over the wire: it exists *only* in the
+  // journal — the boot flags rebuild lenet-mini, never tiny.
+  {
+    serve::SocketClient control(endpoint);
+    serve::LoadVersionRequest load;
+    load.name = "tiny@v1";
+    load.architecture = "lenet-mini";
+    load.backend_kind = "fp32";
+    load.init_seed = 9;
+    const serve::RolloutReply loaded = control.load_version(load);
+    ASSERT_TRUE(loaded.ok) << loaded.message;
+  }
+
+  // In-process references for bit-exactness (same seeds, same configs).
+  serve::ModelConfig boot_cfg;
+  boot_cfg.architecture = "lenet-mini";
+  boot_cfg.init_seed = 5;
+  serve::ModelConfig tiny_cfg;
+  tiny_cfg.architecture = "lenet-mini";
+  tiny_cfg.init_seed = 9;
+  serve::ModelRegistry reference_registry;
+  reference_registry.add("lenet-mini", boot_cfg);
+  reference_registry.add("tiny", tiny_cfg);
+  serve::ServeCore reference(reference_registry, serve::BatchOptions{});
+
+  auto backend_pid = [&]() -> pid_t {
+    for (const LaneStatus& s : supervisor.status()) {
+      if (s.name == "backend") return s.pid;
+    }
+    return -1;
+  };
+
+  std::unique_ptr<serve::SocketClient> client;
+  int kills = 0;
+  int dropped = 0;
+  uint64_t retries = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (i == 5 || i == 13 || i == 21) {
+      // SIGKILL mid-load: no drain, no journal flush beyond what every
+      // acknowledged transition already fsynced.
+      const pid_t pid = backend_pid();
+      ASSERT_GT(pid, 0) << "backend not running before kill " << kills;
+      ::kill(pid, SIGKILL);
+      ++kills;
+    }
+    const std::string model = (i % 2 == 0) ? "lenet-mini" : "tiny";
+    const nn::Tensor image = test_image(100 + static_cast<uint64_t>(i));
+    const Response expect = reference.infer(model, image);
+    ASSERT_EQ(expect.status, Status::kOk) << expect.error;
+
+    bool ok = false;
+    for (int attempt = 0; attempt < 400 && !ok; ++attempt) {
+      if (attempt > 0) {
+        ++retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+      try {
+        if (client == nullptr) {
+          client = std::make_unique<serve::SocketClient>(endpoint);
+        }
+        const Response r = client->infer(model, image);
+        if (r.status == Status::kOk) {
+          // Bit-exact across restarts: "tiny" can only answer like the
+          // reference if journal replay rebuilt it from the same
+          // (architecture, seed, checkpoint) the pre-crash load had.
+          EXPECT_EQ(r.prediction, expect.prediction)
+              << model << " request " << i;
+          ok = true;
+        }
+      } catch (const std::exception&) {
+        client.reset();  // connection died (kill window); reconnect
+      }
+    }
+    if (!ok) ++dropped;
+  }
+
+  EXPECT_EQ(kills, 3);
+  EXPECT_EQ(dropped, 0) << "the zero-drop contract broke under SIGKILL";
+  EXPECT_GT(retries, 0u) << "the kills were expected to cost retries";
+
+  // The supervisor really restarted the lane once per kill.
+  int restarts = 0;
+  for (const LaneStatus& s : supervisor.status()) {
+    if (s.name == "backend") restarts = s.restarts;
+  }
+  EXPECT_GE(restarts, 3);
+
+  supervisor.stop();
+  // Stopped supervisor leaves no child behind: the port closes.
+  EXPECT_FALSE(wait_until_serving(endpoint, 200));
+  std::filesystem::remove(journal_path);
+}
+
+TEST(SupervisorE2ETest, QuarantineAndReleaseOverControlEndpoint) {
+  SupervisorSpec spec;
+  spec.lanes.push_back({"crasher", {"/bin/false"}});
+  Supervisor supervisor(spec, fast_options());
+  supervisor.start();
+
+  SupervisorFrameHandler handler(supervisor);
+  serve::SocketServer control(handler,
+                              serve::parse_endpoint("tcp:127.0.0.1:0"));
+  serve::SocketClient client(control.endpoint());
+
+  // /bin/false crash-loops into quarantine within a few fast backoffs.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  bool quarantined = false;
+  while (!quarantined && std::chrono::steady_clock::now() < deadline) {
+    for (const LaneStatus& s : supervisor.status()) {
+      if (s.name == "crasher" && s.state == "quarantined") {
+        quarantined = true;
+      }
+    }
+    if (!quarantined) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(quarantined);
+
+  // The standard probes work against a supervisor control endpoint.
+  EXPECT_TRUE(client.probe().healthy);
+  EXPECT_NE(client.stats().find("crasher"), std::string::npos);
+
+  // status verb: the structured quarantine reason crosses the wire.
+  const serve::RolloutReply status = client.supervise("status");
+  EXPECT_TRUE(status.ok) << status.message;
+  EXPECT_NE(status.message.find("quarantined"), std::string::npos)
+      << status.message;
+  EXPECT_NE(status.message.find("crash loop"), std::string::npos)
+      << status.message;
+
+  // release verb: refuses unknown lanes, lifts real quarantines.
+  const serve::RolloutReply bad = client.supervise("release", "ghost");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.message.find("ghost"), std::string::npos) << bad.message;
+
+  const serve::RolloutReply released = client.supervise("release", "crasher");
+  EXPECT_TRUE(released.ok) << released.message;
+
+  // Unknown verbs answer structurally instead of dropping the line.
+  const serve::RolloutReply bogus = client.supervise("bogus");
+  EXPECT_FALSE(bogus.ok);
+  EXPECT_NE(bogus.message.find("unknown supervise verb"), std::string::npos)
+      << bogus.message;
+
+  control.stop();
+  supervisor.stop();
+}
+
+}  // namespace
+}  // namespace qsnc::supervise

@@ -34,6 +34,12 @@
 //               [--breaker-open-ms T]
 //               [--read-timeout-ms T] [--write-timeout-ms T]
 //               [--idle-timeout-ms T] [--max-connections C]
+//               [--journal path.jrnl]
+//               (--journal appends every state transition — version
+//               loads, promotes, rollbacks, replica quarantines — to a
+//               CRC-protected append-only journal, and replays it on
+//               startup so a restarted node reconciles to its pre-crash
+//               active versions; torn tails are detected and dropped)
 //               [--chaos-profile none|torn|backend|queue|soak]
 //               [--chaos-seed S]
 //               (long-lived inference server; SIGINT drains and exits;
@@ -75,10 +81,29 @@
 //               [--breaker-open-ms T] [--read-timeout-ms T]
 //               [--write-timeout-ms T] [--idle-timeout-ms T]
 //               [--max-connections C]
+//               [--retry-tokens-per-sec R] [--retry-burst B]
 //               (front tier over a fleet of qsnc serve processes:
 //               consistent-hash routing on (model, session), health
 //               probing, automatic reroute around dead backends, and
-//               optional hedged requests for interactive traffic)
+//               optional hedged requests for interactive traffic;
+//               requests with --deadline-us budgets have the router's
+//               elapsed time decremented before forwarding, so hops
+//               never stack full budgets; --retry-tokens-per-sec caps
+//               how fast reroutes may spend each backend's retry budget
+//               — a dry budget sheds instead of amplifying)
+//   qsnc supervisor [run] --spec lanes.spec [--listen tcp:host:port]
+//               [--quarantine-exits K] [--quarantine-window-ms T]
+//               [--healthy-reset-ms T] [--restart-base-ms T]
+//               [--restart-max-ms T] [--drain-timeout-ms T]
+//   qsnc supervisor status  --connect endpoint
+//   qsnc supervisor release --connect endpoint --lane name
+//               (process supervisor: spawns the lanes of a spec file —
+//               "lane <name> = <argv...>" per line — restarts crashed
+//               ones on an exponential-jitter schedule, quarantines
+//               crash loops of K exits within the window, and drains
+//               children SIGTERM-then-SIGKILL on shutdown; --listen
+//               serves the v6 control endpoint the status/release verbs
+//               talk to)
 //   qsnc loadgen --model lenet-mini[@v2] [--connect endpoint]
 //               [--requests N]
 //               [--concurrency C] [--no-retry] [--deadline-us D]
@@ -132,6 +157,8 @@
 #include "serve/transport.h"
 #include "snc/cost_model.h"
 #include "snc/snc_system.h"
+#include "supervise/spec.h"
+#include "supervise/supervisor.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -678,6 +705,7 @@ int cmd_serve(const util::Flags& flags) {
   // unix-path alias (--listen wins when both are given).
   const std::string socket =
       flags.get("listen", flags.get("socket", "/tmp/qsnc-serve.sock"));
+  const std::string journal_path = flags.get("journal", "");
   const std::string chaos_name = flags.get("chaos-profile", "none");
   const uint64_t chaos_seed =
       static_cast<uint64_t>(flags.get_int("chaos-seed", 42));
@@ -705,6 +733,13 @@ int cmd_serve(const util::Flags& flags) {
   serve::ModelRegistry registry;
   registry.add(model_name, cfg);
   serve::ServeCore core(registry, opts, rollout);
+  if (!journal_path.empty()) {
+    // Replay + reconcile before the socket opens, so the first request
+    // already sees the pre-crash active versions.
+    const serve::JournalReconcileReport reconciled =
+        core.attach_journal(journal_path, chaos.get());
+    std::printf("%s\n", reconciled.to_string().c_str());
+  }
   serve::SocketServer server(core, socket, sopts);
   const std::string state_note = cfg.state_path.empty()
                                      ? ", fresh init"
@@ -776,6 +811,9 @@ int cmd_router(const util::Flags& flags) {
       flags.get_int("breaker-threshold", opts.breaker_threshold));
   opts.breaker_open_ms =
       flags.get_int("breaker-open-ms", opts.breaker_open_ms);
+  opts.retry_tokens_per_sec =
+      flags.get_double("retry-tokens-per-sec", opts.retry_tokens_per_sec);
+  opts.retry_burst = flags.get_double("retry-burst", opts.retry_burst);
   opts.front.read_timeout_ms =
       flags.get_int("read-timeout-ms", opts.front.read_timeout_ms);
   opts.front.write_timeout_ms =
@@ -852,7 +890,7 @@ int cmd_loadgen(const util::Flags& flags) {
 
   struct ClassResult {
     int64_t sent = 0, ok = 0, retries = 0, shed = 0, dropped = 0,
-            errors = 0;
+            deadline_exceeded = 0, errors = 0;
     std::vector<uint64_t> latencies_us;
 
     void absorb(const ClassResult& r) {
@@ -861,6 +899,7 @@ int cmd_loadgen(const util::Flags& flags) {
       retries += r.retries;
       shed += r.shed;
       dropped += r.dropped;
+      deadline_exceeded += r.deadline_exceeded;
       errors += r.errors;
       latencies_us.insert(latencies_us.end(), r.latencies_us.begin(),
                           r.latencies_us.end());
@@ -914,6 +953,12 @@ int cmd_loadgen(const util::Flags& flags) {
                       s1 - s0)
                       .count()));
               ++cls.ok;
+              break;
+            }
+            if (r.status == serve::Status::kDeadlineExceeded) {
+              // Its own outcome class: the budget the *client* set ran
+              // out, which is neither a server error nor backpressure.
+              ++cls.deadline_exceeded;
               break;
             }
             const bool backpressure =
@@ -971,7 +1016,7 @@ int cmd_loadgen(const util::Flags& flags) {
     return v[idx];
   };
   report::Table t({"class", "sent", "ok", "retries", "shed", "dropped",
-                   "errors", "p50 us", "p95 us", "p99 us"});
+                   "deadline", "errors", "p50 us", "p95 us", "p99 us"});
   for (int c = serve::kNumPriorities - 1; c >= 0; --c) {
     ClassResult& r = per[c];
     if (r.sent == 0) continue;
@@ -979,7 +1024,9 @@ int cmd_loadgen(const util::Flags& flags) {
     t.add_row({serve::priority_name(static_cast<serve::Priority>(c)),
                std::to_string(r.sent), std::to_string(r.ok),
                std::to_string(r.retries), std::to_string(r.shed),
-               std::to_string(r.dropped), std::to_string(r.errors),
+               std::to_string(r.dropped),
+               std::to_string(r.deadline_exceeded),
+               std::to_string(r.errors),
                std::to_string(pct(r.latencies_us, 50)),
                std::to_string(pct(r.latencies_us, 95)),
                std::to_string(pct(r.latencies_us, 99))});
@@ -988,6 +1035,7 @@ int cmd_loadgen(const util::Flags& flags) {
   t.add_row({"total", std::to_string(total.sent),
              std::to_string(total.ok), std::to_string(total.retries),
              std::to_string(total.shed), std::to_string(total.dropped),
+             std::to_string(total.deadline_exceeded),
              std::to_string(total.errors),
              std::to_string(pct(total.latencies_us, 50)),
              std::to_string(pct(total.latencies_us, 95)),
@@ -1075,6 +1123,97 @@ int cmd_rollout(const util::Flags& flags) {
   return reply.ok ? 0 : 1;
 }
 
+int cmd_supervisor(const util::Flags& flags) {
+  const std::string verb =
+      flags.positional().size() >= 2 ? flags.positional()[1] : "run";
+  if (verb == "status" || verb == "release") {
+    // Operator verbs against a running supervisor's control endpoint.
+    const std::string connect = flags.get("connect", "");
+    if (connect.empty()) {
+      throw std::invalid_argument("supervisor " + verb +
+                                  " needs --connect endpoint");
+    }
+    const std::string lane = flags.get("lane", "");
+    if (verb == "release" && lane.empty()) {
+      throw std::invalid_argument("supervisor release needs --lane name");
+    }
+    check_unused(flags);
+    serve::SocketClient client(connect);
+    const serve::RolloutReply reply = client.supervise(verb, lane);
+    std::printf("%s%s%s", reply.ok ? "" : "refused: ",
+                reply.message.c_str(),
+                reply.message.empty() || reply.message.back() == '\n'
+                    ? ""
+                    : "\n");
+    return reply.ok ? 0 : 1;
+  }
+  if (verb != "run") {
+    throw std::invalid_argument("unknown supervisor verb '" + verb +
+                                "' (run|status|release)");
+  }
+  const std::string spec_path = flags.get("spec", "");
+  if (spec_path.empty()) {
+    throw std::invalid_argument("supervisor needs --spec file");
+  }
+  supervise::SupervisorOptions opts;
+  opts.crash_loop.quarantine_exits = static_cast<int>(
+      flags.get_int("quarantine-exits", opts.crash_loop.quarantine_exits));
+  opts.crash_loop.window_us =
+      flags.get_int("quarantine-window-ms",
+                    opts.crash_loop.window_us / 1000) *
+      1000;
+  opts.crash_loop.healthy_reset_us =
+      flags.get_int("healthy-reset-ms",
+                    opts.crash_loop.healthy_reset_us / 1000) *
+      1000;
+  opts.crash_loop.backoff.base_us =
+      static_cast<uint64_t>(flags.get_int(
+          "restart-base-ms",
+          static_cast<int64_t>(opts.crash_loop.backoff.base_us / 1000))) *
+      1000;
+  opts.crash_loop.backoff.max_us =
+      static_cast<uint64_t>(flags.get_int(
+          "restart-max-ms",
+          static_cast<int64_t>(opts.crash_loop.backoff.max_us / 1000))) *
+      1000;
+  opts.drain_timeout_ms =
+      flags.get_int("drain-timeout-ms", opts.drain_timeout_ms);
+  const std::string listen = flags.get("listen", "");
+  check_unused(flags);
+
+  const supervise::SupervisorSpec spec =
+      supervise::load_supervisor_spec(spec_path);
+  supervise::Supervisor supervisor(spec, opts);
+  supervisor.start();
+  std::printf("supervising %zu lane(s) from %s:\n", spec.lanes.size(),
+              spec_path.c_str());
+  for (const supervise::LaneSpec& lane : spec.lanes) {
+    std::string argv_line;
+    for (const std::string& a : lane.argv) {
+      argv_line += (argv_line.empty() ? "" : " ") + a;
+    }
+    std::printf("  %s = %s\n", lane.name.c_str(), argv_line.c_str());
+  }
+  std::printf("  crash loop: quarantine after %d exits / %llds window; "
+              "drain %lld ms; Ctrl-C drains children and exits\n",
+              opts.crash_loop.quarantine_exits,
+              static_cast<long long>(opts.crash_loop.window_us / 1000000),
+              static_cast<long long>(opts.drain_timeout_ms));
+  supervise::SupervisorFrameHandler handler(supervisor);
+  std::unique_ptr<serve::SocketServer> control;
+  if (!listen.empty()) {
+    control = std::make_unique<serve::SocketServer>(
+        handler, serve::parse_endpoint(listen));
+    std::printf("  control endpoint on %s\n",
+                control->endpoint().str().c_str());
+  }
+  supervisor.run_until_signal();
+  if (control != nullptr) control->stop();
+  std::printf("supervisor drained; final lane table:\n%s",
+              supervisor.status_report().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1093,7 +1232,7 @@ int main(int argc, char** argv) {
           stderr,
           "usage: qsnc "
           "<train|quantize|eval|deploy|faultsim|cost|serve|router|rollout|"
-          "loadgen> [flags]\n"
+          "loadgen|supervisor> [flags]\n"
           "see the header of tools/qsnc.cpp for details\n");
       return 2;
     }
@@ -1108,6 +1247,7 @@ int main(int argc, char** argv) {
     if (cmd == "router") return cmd_router(flags);
     if (cmd == "rollout") return cmd_rollout(flags);
     if (cmd == "loadgen") return cmd_loadgen(flags);
+    if (cmd == "supervisor") return cmd_supervisor(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {
